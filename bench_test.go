@@ -1,0 +1,234 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation. Each iteration runs the full
+// experiment harness in quick mode and reports the headline measurement as
+// custom benchmark metrics, so `go test -bench=. -benchmem` regenerates
+// the paper's results end to end.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cloudsim"
+	"repro/internal/experiments"
+	"repro/internal/simnet"
+)
+
+// BenchmarkFig7DynamicConsistency regenerates Figure 7: the put-latency
+// timeline across two sustained delays (switch to eventual and back) and
+// one ignored transient.
+func BenchmarkFig7DynamicConsistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(experiments.Options{Quick: true, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.StrongMeanMs, "strong-put-ms")
+		b.ReportMetric(res.EventualMeanMs, "eventual-put-ms")
+		b.ReportMetric(float64(res.SwitchesToEventual), "switches")
+	}
+}
+
+// BenchmarkFig8ChangePrimary regenerates Figure 8: the stale-read fraction
+// with a static versus moving primary.
+func BenchmarkFig8ChangePrimary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8Table3(experiments.Options{Quick: true, Seed: int64(i) + 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.StaleFracStatic, "static-stale-%")
+		b.ReportMetric(100*res.StaleFracChanging, "changing-stale-%")
+	}
+}
+
+// BenchmarkTable3PutLatency regenerates Table 3 from the same harness: the
+// per-region average put latency under static and moving primaries.
+func BenchmarkTable3PutLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8Table3(experiments.Options{Quick: true, Seed: int64(i) + 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PutMsStatic[simnet.EUWest], "static-eu-ms")
+		b.ReportMetric(res.PutMsChanging[simnet.EUWest], "changing-eu-ms")
+		b.ReportMetric(res.OverallStatic, "static-overall-ms")
+		b.ReportMetric(res.OverallChanging, "changing-overall-ms")
+	}
+}
+
+// BenchmarkFig9TierLatency regenerates Figure 9: 4 KB operation latency on
+// each storage tier.
+func BenchmarkFig9TierLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.Tier {
+			case "EBS SSD (gp2)":
+				b.ReportMetric(row.GetMs, "ebs-ssd-get-ms")
+			case "S3-IA":
+				b.ReportMetric(row.GetMs, "s3ia-get-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkTable4Pricing regenerates Table 4 and the Sec 5.3 savings
+// arithmetic built on it.
+func BenchmarkTable4Pricing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SavingsSSDToIA, "ssd-savings-$")
+	}
+}
+
+// BenchmarkSec53ColdData regenerates the Sec 5.3 cold-data demotion run.
+func BenchmarkSec53ColdData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Sec53ColdData(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.ColdFraction, "cold-moved-%")
+	}
+}
+
+// BenchmarkFig10CentralizedTier regenerates Figure 10: per-region latency
+// against the centralized US-East S3-IA tier.
+func BenchmarkFig10CentralizedTier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Region == simnet.AsiaEast {
+				b.ReportMetric(row.GetMs, "asia-get-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11SysBench regenerates Figure 11: SysBench IOPS on the local
+// throttled disk versus AWS remote memory per Azure VM size.
+func BenchmarkFig11SysBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(experiments.Options{Quick: true, Seed: int64(i) + 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.VM == cloudsim.AzureStdD3 {
+				b.ReportMetric(row.LocalIOPS, "d3-local-iops")
+				b.ReportMetric(row.RemoteIOPS, "d3-remote-iops")
+			}
+		}
+	}
+}
+
+// BenchmarkFig12RUBiS regenerates Figure 12: RUBiS throughput on both
+// storage paths per Azure VM size.
+func BenchmarkFig12RUBiS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(experiments.Options{Quick: true, Seed: int64(i) + 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.VM == cloudsim.AzureStdD3 {
+				b.ReportMetric(row.LocalRPS, "d3-local-rps")
+				b.ReportMetric(row.RemoteRPS, "d3-remote-rps")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationConsistency regenerates the consistency-cost ablation
+// (Sec 3.3.1 tradeoffs): put latency under multi-primaries, primary-backup,
+// and eventual consistency.
+func BenchmarkAblationConsistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationConsistency(experiments.Options{Quick: true, Seed: int64(i) + 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.Policy {
+			case "MultiPrimariesConsistency":
+				b.ReportMetric(row.PutMeanMs, "mp-put-ms")
+			case "EventualConsistency":
+				b.ReportMetric(row.PutMeanMs, "ev-put-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationQueueSupersede regenerates the queue-supersession
+// traffic ablation (Sec 3.2.3).
+func BenchmarkAblationQueueSupersede(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationQueue(experiments.Options{Quick: true, Seed: int64(i) + 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TransfersSupersede), "transfers-superseding")
+		b.ReportMetric(float64(res.TransfersNaive), "transfers-naive")
+	}
+}
+
+// BenchmarkAblationBlockSize regenerates the wfs block-size sweep on the
+// Sec 5.4 remote-memory path.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationBlockSize(experiments.Options{Quick: true, Seed: int64(i) + 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.ShapeHolds(); err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.BlockSize == 16*1024 {
+				b.ReportMetric(row.IOPS, "16k-iops")
+			}
+		}
+	}
+}

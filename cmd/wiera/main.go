@@ -1,0 +1,156 @@
+// Command wiera runs a complete Wiera deployment as a daemon: the control
+// plane (WUI/GPM/TSM), a coordination service, and one Tiera server per
+// configured region, all over the simulated multi-cloud WAN, fronted by a
+// real TCP endpoint so external clients (cmd/wieractl) can manage
+// instances and store data.
+//
+// Usage:
+//
+//	wiera [-listen 127.0.0.1:7360] [-regions us-east,us-west,eu-west,asia-east] [-factor 50]
+//
+// The TCP front serves the Table 1 management API (startInstances /
+// stopInstances / getInstances) and proxies the Table 2 data API (put /
+// get / getVersion / getVersionList / remove / removeVersion) to the
+// closest node of the named instance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/clock"
+	"repro/internal/coord"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/wiera"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7360", "TCP listen address")
+	regionsFlag := flag.String("regions", "us-east,us-west,eu-west,asia-east", "comma-separated simulated regions")
+	factor := flag.Float64("factor", 50, "clock compression factor for the simulated WAN")
+	flag.Parse()
+
+	clk := clock.NewScaled(*factor)
+	net := simnet.New(clk)
+	fabric := transport.NewFabric(net)
+
+	cs := coord.NewServer(clk)
+	zkEP, err := fabric.NewEndpoint("zk", simnet.USEast)
+	if err != nil {
+		log.Fatalf("wiera: %v", err)
+	}
+	zkEP.Serve(cs.Handler())
+
+	server, err := wiera.NewServer(wiera.ServerConfig{Fabric: fabric, CoordDst: "zk"})
+	if err != nil {
+		log.Fatalf("wiera: %v", err)
+	}
+	var tieraServers []*wiera.TieraServer
+	for _, r := range strings.Split(*regionsFlag, ",") {
+		region := simnet.Region(strings.TrimSpace(r))
+		if region == "" {
+			continue
+		}
+		ts, err := wiera.NewTieraServer(fabric, region, server, "zk")
+		if err != nil {
+			log.Fatalf("wiera: tiera server %s: %v", region, err)
+		}
+		tieraServers = append(tieraServers, ts)
+	}
+	server.Start()
+
+	front := &frontend{fabric: fabric, server: server}
+	tcp, err := transport.ListenTCP(*listen, front.handle)
+	if err != nil {
+		log.Fatalf("wiera: %v", err)
+	}
+	log.Printf("wiera: control plane listening on %s (regions: %s, clock factor %.0fx)",
+		tcp.Addr(), *regionsFlag, *factor)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("wiera: shutting down")
+	tcp.Close()
+	for _, ts := range tieraServers {
+		ts.Close()
+	}
+	server.Close()
+	fabric.Close()
+}
+
+// frontend bridges TCP requests onto the in-process fabric. Management
+// methods go to the Wiera server; data methods are proxied to the closest
+// node of the instance named in the request key prefix "<instance>/".
+type frontend struct {
+	fabric *transport.Fabric
+	server *wiera.Server
+
+	mu      sync.Mutex
+	clients map[string]*wiera.Client // per instance id
+	nextID  int
+}
+
+func (f *frontend) handle(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case wiera.MethodStartInstances, wiera.MethodStopInstances, wiera.MethodGetInstances, wiera.MethodCollectStats:
+		ep, cleanup, err := f.ephemeralEndpoint()
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		return ep.Call(f.server.Name(), method, payload)
+	case wiera.MethodPut, wiera.MethodGet, wiera.MethodGetVersion,
+		wiera.MethodVersionList, wiera.MethodRemove, wiera.MethodRemoveVer:
+		// Data methods carry the instance id in a ProxyRequest envelope.
+		var env wiera.ProxyRequest
+		if err := transport.Decode(payload, &env); err != nil {
+			return nil, err
+		}
+		cli, err := f.client(env.InstanceID)
+		if err != nil {
+			return nil, err
+		}
+		return cli.Call(method, env.Payload)
+	default:
+		return nil, fmt.Errorf("wiera: unknown method %q", method)
+	}
+}
+
+func (f *frontend) ephemeralEndpoint() (*transport.Endpoint, func(), error) {
+	f.mu.Lock()
+	f.nextID++
+	name := fmt.Sprintf("tcp-front/%d", f.nextID)
+	f.mu.Unlock()
+	ep, err := f.fabric.NewEndpoint(name, simnet.USEast)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ep, func() { f.fabric.Remove(name) }, nil
+}
+
+func (f *frontend) client(instanceID string) (*wiera.Client, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.clients == nil {
+		f.clients = make(map[string]*wiera.Client)
+	}
+	if cli, ok := f.clients[instanceID]; ok {
+		return cli, nil
+	}
+	f.nextID++
+	name := fmt.Sprintf("tcp-client/%d", f.nextID)
+	cli, err := wiera.NewClient(f.fabric, name, simnet.USEast, f.server.Name(), instanceID)
+	if err != nil {
+		return nil, err
+	}
+	f.clients[instanceID] = cli
+	return cli, nil
+}

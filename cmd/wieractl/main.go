@@ -1,0 +1,256 @@
+// Command wieractl is the client CLI for a running cmd/wiera daemon: it
+// manages Wiera instances (Table 1) and stores/retrieves objects (Table 2)
+// over TCP.
+//
+// Usage:
+//
+//	wieractl [-addr 127.0.0.1:7360] start  -id myapp -policy policy.wiera [-param t=2s] [-dynamic dyn.wiera]
+//	wieractl [-addr 127.0.0.1:7360] stop   -id myapp
+//	wieractl [-addr 127.0.0.1:7360] list   -id myapp
+//	wieractl [-addr 127.0.0.1:7360] stats  -id myapp
+//	wieractl [-addr 127.0.0.1:7360] put    -id myapp -key k [-value v | -file f]
+//	wieractl [-addr 127.0.0.1:7360] get    -id myapp -key k [-version N]
+//	wieractl [-addr 127.0.0.1:7360] versions -id myapp -key k
+//	wieractl [-addr 127.0.0.1:7360] remove -id myapp -key k [-version N]
+//	wieractl [-addr 127.0.0.1:7360] policies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/object"
+	"repro/internal/policy"
+	"repro/internal/transport"
+	"repro/internal/wiera"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "wieractl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("wieractl", flag.ExitOnError)
+	addr := global.String("addr", "127.0.0.1:7360", "wiera daemon address")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|remove|policies> ...")
+	}
+	cmdName, cmdArgs := rest[0], rest[1:]
+	if cmdName == "policies" {
+		names := policy.BuiltinNames()
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	}
+
+	cli := transport.DialTCP(*addr)
+	defer cli.Close()
+
+	fs := flag.NewFlagSet(cmdName, flag.ExitOnError)
+	id := fs.String("id", "", "wiera instance id")
+	key := fs.String("key", "", "object key")
+	value := fs.String("value", "", "object value (string)")
+	file := fs.String("file", "", "read object value from file")
+	version := fs.Int64("version", 0, "object version (0 = latest)")
+	policyPath := fs.String("policy", "", "global policy source file, or a builtin policy name")
+	dynamicPath := fs.String("dynamic", "", "dynamic (control) policy source file or builtin name")
+	var params paramFlags
+	fs.Var(&params, "param", "policy parameter binding name=value (repeatable)")
+	if err := fs.Parse(cmdArgs); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+
+	switch cmdName {
+	case "start":
+		src, err := loadPolicy(*policyPath)
+		if err != nil {
+			return err
+		}
+		p := map[string]string(params)
+		if p == nil {
+			p = map[string]string{}
+		}
+		if *dynamicPath != "" {
+			dyn, err := loadPolicy(*dynamicPath)
+			if err != nil {
+				return err
+			}
+			p["dynamic"] = dyn
+		}
+		var resp wiera.StartInstancesResponse
+		if err := call(cli, wiera.MethodStartInstances,
+			wiera.StartInstancesRequest{InstanceID: *id, PolicySrc: src, Params: p}, &resp); err != nil {
+			return err
+		}
+		for _, n := range resp.Nodes {
+			fmt.Printf("%s\t%s\n", n.Name, n.Region)
+		}
+		return nil
+	case "stop":
+		var resp wiera.Empty
+		return call(cli, wiera.MethodStopInstances, wiera.StopInstancesRequest{InstanceID: *id}, &resp)
+	case "list":
+		var resp wiera.StartInstancesResponse
+		if err := call(cli, wiera.MethodGetInstances, wiera.GetInstancesRequest{InstanceID: *id}, &resp); err != nil {
+			return err
+		}
+		for _, n := range resp.Nodes {
+			fmt.Printf("%s\t%s\n", n.Name, n.Region)
+		}
+		return nil
+	case "stats":
+		var resp wiera.InstanceStats
+		if err := call(cli, wiera.MethodCollectStats, wiera.GetInstancesRequest{InstanceID: *id}, &resp); err != nil {
+			return err
+		}
+		fmt.Print(resp.Render())
+		return nil
+	case "put":
+		if *key == "" {
+			return fmt.Errorf("-key is required")
+		}
+		data := []byte(*value)
+		if *file != "" {
+			b, err := os.ReadFile(*file)
+			if err != nil {
+				return err
+			}
+			data = b
+		}
+		var resp wiera.PutResponse
+		if err := proxyCall(cli, *id, wiera.MethodPut, wiera.PutRequest{Key: *key, Data: data}, &resp); err != nil {
+			return err
+		}
+		fmt.Printf("stored %s version %d (%d bytes)\n", *key, resp.Meta.Version, resp.Meta.Size)
+		return nil
+	case "get":
+		if *key == "" {
+			return fmt.Errorf("-key is required")
+		}
+		var resp wiera.GetResponse
+		if *version > 0 {
+			if err := proxyCall(cli, *id, wiera.MethodGetVersion,
+				wiera.GetVersionRequest{Key: *key, Version: object.Version(*version)}, &resp); err != nil {
+				return err
+			}
+		} else if err := proxyCall(cli, *id, wiera.MethodGet, wiera.GetRequest{Key: *key}, &resp); err != nil {
+			return err
+		}
+		os.Stdout.Write(resp.Data)
+		fmt.Fprintf(os.Stderr, "\n(version %d, %d bytes)\n", resp.Meta.Version, len(resp.Data))
+		return nil
+	case "versions":
+		if *key == "" {
+			return fmt.Errorf("-key is required")
+		}
+		var resp wiera.VersionListResponse
+		if err := proxyCall(cli, *id, wiera.MethodVersionList, wiera.VersionListRequest{Key: *key}, &resp); err != nil {
+			return err
+		}
+		for _, v := range resp.Versions {
+			fmt.Println(v)
+		}
+		return nil
+	case "remove":
+		if *key == "" {
+			return fmt.Errorf("-key is required")
+		}
+		var resp wiera.Empty
+		if *version > 0 {
+			return proxyCall(cli, *id, wiera.MethodRemoveVer,
+				wiera.RemoveVersionRequest{Key: *key, Version: object.Version(*version)}, &resp)
+		}
+		return proxyCall(cli, *id, wiera.MethodRemove, wiera.RemoveRequest{Key: *key}, &resp)
+	default:
+		return fmt.Errorf("unknown command %q", cmdName)
+	}
+}
+
+// loadPolicy reads a policy source file, or resolves a builtin name.
+func loadPolicy(pathOrName string) (string, error) {
+	if pathOrName == "" {
+		return "", fmt.Errorf("-policy is required")
+	}
+	if src, err := policy.BuiltinSource(pathOrName); err == nil {
+		return src, nil
+	}
+	b, err := os.ReadFile(pathOrName)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// call performs a management RPC.
+func call(cli *transport.TCPClient, method string, req, resp any) error {
+	payload, err := transport.Encode(req)
+	if err != nil {
+		return err
+	}
+	raw, err := cli.Call("", method, payload)
+	if err != nil {
+		return err
+	}
+	return transport.Decode(raw, resp)
+}
+
+// proxyCall performs a data RPC wrapped in the instance envelope.
+func proxyCall(cli *transport.TCPClient, instanceID, method string, req, resp any) error {
+	inner, err := transport.Encode(req)
+	if err != nil {
+		return err
+	}
+	payload, err := transport.Encode(wiera.ProxyRequest{InstanceID: instanceID, Payload: inner})
+	if err != nil {
+		return err
+	}
+	raw, err := cli.Call("", method, payload)
+	if err != nil {
+		return err
+	}
+	return transport.Decode(raw, resp)
+}
+
+// paramFlags collects repeated -param name=value bindings.
+type paramFlags map[string]string
+
+// String implements flag.Value.
+func (p *paramFlags) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(*p))
+	for k, v := range *p {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (p *paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("param %q is not name=value", s)
+	}
+	if *p == nil {
+		*p = map[string]string{}
+	}
+	(*p)[k] = v
+	return nil
+}

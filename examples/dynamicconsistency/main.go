@@ -1,0 +1,108 @@
+// Dynamic consistency (paper Fig 5(a) / Fig 7 in miniature): a
+// multi-primary instance guarded by the DynamicConsistency control policy.
+// The example injects a WAN delay, watches Wiera switch the running
+// instance to eventual consistency once the 800 ms violation persists,
+// then clears the delay and watches it switch back — all while an
+// application keeps writing through an unchanged PUT/GET API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/coord"
+	"repro/internal/policy"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/wiera"
+)
+
+func main() {
+	clk := clock.NewScaled(10)
+	net := simnet.New(clk)
+	fabric := transport.NewFabric(net)
+
+	locks := coord.NewServer(clk)
+	zkEP, err := fabric.NewEndpoint("zk", simnet.USEast)
+	must(err)
+	zkEP.Serve(locks.Handler())
+	server, err := wiera.NewServer(wiera.ServerConfig{Fabric: fabric, CoordDst: "zk"})
+	must(err)
+	for _, r := range []simnet.Region{simnet.USEast, simnet.USWest, simnet.EUWest} {
+		_, err := wiera.NewTieraServer(fabric, r, server, "zk")
+		must(err)
+	}
+
+	// Strong consistency as the data-plane policy; the DynamicConsistency
+	// control policy switches it at run time. Short thresholds keep the
+	// demo brisk: 800 ms latency violation sustained for 5 s.
+	dynSrc, err := policy.BuiltinSource("DynamicConsistency")
+	must(err)
+	dynSrc = strings.ReplaceAll(dynSrc, "30s", "5s")
+
+	nodes, err := server.StartInstances(wiera.StartInstancesRequest{
+		InstanceID: "dyn",
+		PolicySrc:  mustSource("MultiPrimariesConsistency"),
+		Params: map[string]string{
+			"t": "1s", "dynamic": dynSrc, "monitorWindow": "1s",
+		},
+	})
+	must(err)
+	fmt.Printf("running %d replicas under %s\n", len(nodes), "MultiPrimariesConsistency")
+
+	cli, err := wiera.NewClient(fabric, "app", simnet.USWest, server.Name(), "dyn")
+	must(err)
+	defer cli.Close()
+
+	writeFor := func(label string, d time.Duration) {
+		deadline := clk.Now().Add(d)
+		var last time.Duration
+		n := 0
+		for clk.Now().Before(deadline) {
+			start := clk.Now()
+			_, err := cli.Put(fmt.Sprintf("k%d", n%8), []byte("payload"))
+			must(err)
+			last = clk.Now().Sub(start)
+			n++
+			clk.Sleep(300 * time.Millisecond)
+		}
+		pol, _ := server.CurrentPolicy("dyn")
+		fmt.Printf("%-28s last put %6.1f ms   policy: %s\n",
+			label, float64(last)/float64(time.Millisecond), pol)
+	}
+
+	writeFor("normal operation:", 6*time.Second)
+
+	fmt.Println("\n-> injecting a 2s delay on every path touching us-west")
+	net.InjectRegionLag(simnet.USWest, 2*time.Second)
+	writeFor("degraded, detecting:", 10*time.Second)
+	writeFor("after switch to eventual:", 10*time.Second)
+
+	fmt.Println("\n-> clearing the delay")
+	net.InjectRegionLag(simnet.USWest, 0)
+	writeFor("recovering:", 12*time.Second)
+	writeFor("after switch back:", 8*time.Second)
+
+	fmt.Println("\npolicy change log:")
+	for _, ch := range server.ChangeLog() {
+		fmt.Printf("  %s -> %s (requested by %s)\n", ch.What, ch.To, ch.From)
+	}
+	must(server.StopInstances("dyn"))
+}
+
+func mustSource(name string) string {
+	src, err := policy.BuiltinSource(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return src
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package clock abstracts time for the Wiera system.
+//
+// Every latency model, timer event, and monitoring window in this repository
+// obtains time through a Clock rather than the time package directly. This
+// makes two things possible:
+//
+//   - Deterministic unit tests: Sim is a virtual clock advanced manually, so
+//     a "30 second" monitoring window elapses instantly and reproducibly.
+//   - Fast end-to-end experiments: Scaled compresses real time by a constant
+//     factor, so a multi-minute paper experiment runs in seconds while
+//     preserving the relative ordering and overlap of concurrent operations.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and sleep/timer primitives.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d of clock time.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Since returns the clock time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Scaled is a wall clock whose durations are compressed by Factor: sleeping
+// for d on a Scaled clock with Factor 0.05 blocks for d/20 of real time, and
+// Since/Now report times in *clock* units so measured latencies come out in
+// paper-scale units. A Factor of 1 behaves like Real.
+//
+// Scaled keeps a fixed epoch so that clock time is an affine function of
+// real time; concurrent observers always agree on ordering.
+type Scaled struct {
+	factor float64   // clock seconds per real second (>= 0)
+	epoch  time.Time // real time at clock time epochClock
+}
+
+// NewScaled returns a clock on which real durations appear factor times
+// longer: factor 20 means 1 real ms reads as 20 clock ms, so a simulated
+// 150 ms WAN hop costs 7.5 ms of real time. factor must be > 0.
+func NewScaled(factor float64) *Scaled {
+	if factor <= 0 {
+		panic("clock: NewScaled factor must be > 0")
+	}
+	return &Scaled{factor: factor, epoch: time.Now()}
+}
+
+// Factor returns the time-compression factor.
+func (s *Scaled) Factor() float64 { return s.factor }
+
+// Now implements Clock.
+func (s *Scaled) Now() time.Time {
+	real := time.Since(s.epoch)
+	return s.epoch.Add(time.Duration(float64(real) * s.factor))
+}
+
+// Sleep implements Clock. It blocks for d/factor of real time.
+func (s *Scaled) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) / s.factor))
+}
+
+// After implements Clock.
+func (s *Scaled) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	go func() {
+		s.Sleep(d)
+		ch <- s.Now()
+	}()
+	return ch
+}
+
+// Since implements Clock.
+func (s *Scaled) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Sim is a virtual clock for deterministic tests. Time only moves when
+// Advance is called. Goroutines blocked in Sleep or waiting on After fire in
+// deadline order as Advance passes their deadlines. Sim is safe for
+// concurrent use.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*simWaiter
+}
+
+type simWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewSim returns a virtual clock starting at start. A zero start uses an
+// arbitrary fixed epoch so tests are reproducible.
+func NewSim(start time.Time) *Sim {
+	if start.IsZero() {
+		start = time.Date(2016, 5, 31, 0, 0, 0, 0, time.UTC) // HPDC'16 week
+	}
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep implements Clock. It blocks until Advance moves the clock past the
+// deadline.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.waiters = append(s.waiters, &simWaiter{deadline: s.now.Add(d), ch: ch})
+	return ch
+}
+
+// Since implements Clock.
+func (s *Sim) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Advance moves the virtual clock forward by d, waking every waiter whose
+// deadline is reached, in deadline order.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	for {
+		next := s.earliestLocked()
+		if next == nil || next.deadline.After(target) {
+			break
+		}
+		s.now = next.deadline
+		s.removeLocked(next)
+		next.ch <- s.now
+	}
+	s.now = target
+	s.mu.Unlock()
+}
+
+// Waiters reports how many goroutines are currently blocked on this clock.
+// Tests use it to synchronize before advancing.
+func (s *Sim) Waiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+func (s *Sim) earliestLocked() *simWaiter {
+	var best *simWaiter
+	for _, w := range s.waiters {
+		if best == nil || w.deadline.Before(best.deadline) {
+			best = w
+		}
+	}
+	return best
+}
+
+// AutoAdvance starts a discrete-event driver: whenever goroutines are
+// blocked on this clock and the set of waiters has been stable for one
+// poll interval (i.e. the process looks idle), the clock jumps to the
+// earliest pending deadline. This lets throughput experiments run at
+// simulation speed with exact modeled durations — real compute time does
+// not distort measured clock time, unlike a Scaled clock.
+//
+// poll is the real-time check interval (e.g. 100µs). The returned stop
+// function terminates the driver.
+func (s *Sim) AutoAdvance(poll time.Duration) (stop func()) {
+	if poll <= 0 {
+		poll = 100 * time.Microsecond
+	}
+	done := make(chan struct{})
+	go func() {
+		var prevCount int
+		var prevEarliest time.Time
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(poll):
+			}
+			s.mu.Lock()
+			count := len(s.waiters)
+			var earliest time.Time
+			if w := s.earliestLocked(); w != nil {
+				earliest = w.deadline
+			}
+			stable := count > 0 && count == prevCount && earliest.Equal(prevEarliest)
+			prevCount, prevEarliest = count, earliest
+			if !stable {
+				s.mu.Unlock()
+				continue
+			}
+			// Advance exactly to the earliest deadline, waking its waiters.
+			target := earliest
+			for {
+				next := s.earliestLocked()
+				if next == nil || next.deadline.After(target) {
+					break
+				}
+				s.now = next.deadline
+				s.removeLocked(next)
+				next.ch <- s.now
+			}
+			if target.After(s.now) {
+				s.now = target
+			}
+			prevCount, prevEarliest = 0, time.Time{}
+			s.mu.Unlock()
+		}
+	}()
+	return func() { close(done) }
+}
+
+func (s *Sim) removeLocked(target *simWaiter) {
+	for i, w := range s.waiters {
+		if w == target {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealSince(t *testing.T) {
+	c := Real{}
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if got := c.Since(start); got < time.Millisecond {
+		t.Fatalf("Since = %v, want >= 1ms", got)
+	}
+}
+
+func TestScaledCompressesSleep(t *testing.T) {
+	// Factor 100: 100ms of clock time should cost ~1ms of real time.
+	c := NewScaled(100)
+	start := time.Now()
+	c.Sleep(100 * time.Millisecond)
+	real := time.Since(start)
+	if real > 50*time.Millisecond {
+		t.Fatalf("scaled sleep of 100ms took %v of real time, want ~1ms", real)
+	}
+}
+
+func TestScaledNowAdvancesFaster(t *testing.T) {
+	c := NewScaled(100)
+	start := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	elapsed := c.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Fatalf("scaled clock advanced %v during 5ms real, want >= 100ms", elapsed)
+	}
+}
+
+func TestScaledAfter(t *testing.T) {
+	c := NewScaled(1000)
+	select {
+	case <-c.After(100 * time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("scaled After never fired")
+	}
+}
+
+func TestScaledFactorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewScaled(0) did not panic")
+		}
+	}()
+	NewScaled(0)
+}
+
+func TestSimNowFrozen(t *testing.T) {
+	s := NewSim(time.Time{})
+	a := s.Now()
+	b := s.Now()
+	if !a.Equal(b) {
+		t.Fatalf("sim clock moved without Advance: %v then %v", a, b)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	s := NewSim(time.Time{})
+	start := s.Now()
+	s.Advance(30 * time.Second)
+	if got := s.Since(start); got != 30*time.Second {
+		t.Fatalf("Since after Advance(30s) = %v", got)
+	}
+}
+
+func TestSimSleepWakesOnAdvance(t *testing.T) {
+	s := NewSim(time.Time{})
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(10 * time.Second)
+		close(done)
+	}()
+	waitForWaiters(t, s, 1)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.Advance(10 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not wake after Advance")
+	}
+}
+
+func TestSimAfterDeliversDeadlineTime(t *testing.T) {
+	s := NewSim(time.Time{})
+	start := s.Now()
+	ch := s.After(5 * time.Second)
+	s.Advance(20 * time.Second)
+	got := <-ch
+	if want := start.Add(5 * time.Second); !got.Equal(want) {
+		t.Fatalf("After delivered %v, want deadline %v", got, want)
+	}
+}
+
+func TestSimAfterZeroFiresImmediately(t *testing.T) {
+	s := NewSim(time.Time{})
+	select {
+	case <-s.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestSimWakesInDeadlineOrder(t *testing.T) {
+	s := NewSim(time.Time{})
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	durations := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, d := range durations {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			s.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	waitForWaiters(t, s, 3)
+	// Advance one waiter at a time, waiting for each woken goroutine to
+	// record itself before releasing the next, so order is observable.
+	for n := 1; n <= 3; n++ {
+		s.Advance(10 * time.Second)
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			mu.Lock()
+			got := len(order)
+			mu.Unlock()
+			if got >= n {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for waiter %d to wake", n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wg.Wait()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimConcurrentAdvance(t *testing.T) {
+	s := NewSim(time.Time{})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Sleep(time.Duration(1+i%5) * time.Second)
+		}()
+	}
+	waitForWaiters(t, s, 20)
+	s.Advance(10 * time.Second)
+	wg.Wait()
+	if n := s.Waiters(); n != 0 {
+		t.Fatalf("%d waiters left after Advance past all deadlines", n)
+	}
+}
+
+func waitForWaiters(t *testing.T, s *Sim, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d waiters (have %d)", n, s.Waiters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAutoAdvanceDrivesSleepers(t *testing.T) {
+	s := NewSim(time.Time{})
+	stop := s.AutoAdvance(200 * time.Microsecond)
+	defer stop()
+	start := s.Now()
+	done := make(chan struct{})
+	go func() {
+		// A chain of sleeps: the driver must fire each deadline in turn.
+		for i := 0; i < 5; i++ {
+			s.Sleep(10 * time.Second)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("auto-advance never drove the sleeper")
+	}
+	if got := s.Since(start); got < 50*time.Second {
+		t.Fatalf("clock advanced only %v, want >= 50s", got)
+	}
+}
+
+func TestAutoAdvanceExactDeadlines(t *testing.T) {
+	s := NewSim(time.Time{})
+	stop := s.AutoAdvance(100 * time.Microsecond)
+	defer stop()
+	start := s.Now()
+	// Two concurrent sleepers with different deadlines: both wake, and the
+	// measured durations are exactly the modeled ones.
+	results := make(chan time.Duration, 2)
+	for _, d := range []time.Duration{3 * time.Second, 7 * time.Second} {
+		go func(d time.Duration) {
+			s.Sleep(d)
+			results <- s.Since(start)
+		}(d)
+	}
+	a, b := <-results, <-results
+	if a > b {
+		a, b = b, a
+	}
+	if a != 3*time.Second {
+		t.Fatalf("first waker measured %v, want exactly 3s", a)
+	}
+	if b != 7*time.Second {
+		t.Fatalf("second waker measured %v, want exactly 7s", b)
+	}
+}
+
+func TestAutoAdvanceStop(t *testing.T) {
+	s := NewSim(time.Time{})
+	stop := s.AutoAdvance(0) // default poll
+	stop()
+	// After stop, sleepers stay blocked (manual Advance still works).
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(time.Second)
+		close(done)
+	}()
+	waitForWaiters(t, s, 1)
+	select {
+	case <-done:
+		t.Fatal("sleeper woke after driver stopped")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Advance(time.Second)
+	<-done
+}

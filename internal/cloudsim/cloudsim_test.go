@@ -1,0 +1,131 @@
+package cloudsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLookupKnown(t *testing.T) {
+	s, err := Lookup(AzureStdD3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VCPUs != 4 || s.MemoryGB != 14 {
+		t.Fatalf("D3 spec = %+v", s)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("m5.enormous"); err == nil {
+		t.Fatal("unknown VM should error")
+	}
+}
+
+func TestAzureSizesOrder(t *testing.T) {
+	sizes := AzureSizes()
+	want := []VMType{AzureBasicA2, AzureStdD1, AzureStdD2, AzureStdD3}
+	if len(sizes) != len(want) {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("AzureSizes[%d] = %s, want %s", i, sizes[i], want[i])
+		}
+	}
+}
+
+// All Azure sizes share the 500 IOPS disk cap — the flat line of Fig 11.
+func TestAzureDiskCapUniform(t *testing.T) {
+	for _, size := range AzureSizes() {
+		s, _ := Lookup(size)
+		if s.DiskIOPS != 500 {
+			t.Errorf("%s disk IOPS = %d, want 500", size, s.DiskIOPS)
+		}
+	}
+}
+
+// Network caps must grow with VM size — the rising line of Fig 11.
+func TestAzureNetworkCapGrows(t *testing.T) {
+	sizes := AzureSizes()
+	prev := -1.0
+	for _, size := range sizes {
+		s, _ := Lookup(size)
+		if s.NetMBps <= prev {
+			t.Fatalf("%s net cap %v not greater than previous %v", size, s.NetMBps, prev)
+		}
+		prev = s.NetMBps
+	}
+}
+
+func TestDiskOpTimeIOPSCapDominates(t *testing.T) {
+	s, _ := Lookup(AzureStdD2)
+	op := s.DiskOpTime(4096)
+	// 500 IOPS -> 2ms per op; 4KB at 60MB/s adds ~68us.
+	if op < 2*time.Millisecond || op > 3*time.Millisecond {
+		t.Fatalf("D2 4KB disk op = %v, want ~2ms", op)
+	}
+}
+
+func TestDiskOpTimeUncapped(t *testing.T) {
+	s, _ := Lookup(AWSUnthrottled)
+	if op := s.DiskOpTime(4096); op != 100*time.Microsecond {
+		t.Fatalf("uncapped disk op = %v", op)
+	}
+}
+
+func TestNetOpTime(t *testing.T) {
+	s, _ := Lookup(AzureBasicA2) // 25 MB/s
+	got := s.NetOpTime(25_000_000)
+	if got != time.Second {
+		t.Fatalf("25MB at 25MB/s = %v, want 1s", got)
+	}
+	if s.NetOpTime(0) != 0 {
+		t.Fatal("zero bytes should cost nothing")
+	}
+	u, _ := Lookup(AWSUnthrottled)
+	if u.NetOpTime(1e9) != 0 {
+		t.Fatal("uncapped VM should add no serialization time")
+	}
+}
+
+func TestNetRoundTripUsesTighterCap(t *testing.T) {
+	a, _ := Lookup(AzureBasicA2) // 25 MB/s
+	b, _ := Lookup(AWST2Micro)   // 60 MB/s
+	rtt := 2 * time.Millisecond
+	got := NetRoundTrip(a, b, rtt, 1_000_000, 1_000_000)
+	// Each direction limited by A2's 25MB/s: 40ms per MB, both ways.
+	want := rtt + 40*time.Millisecond + 40*time.Millisecond
+	if got != want {
+		t.Fatalf("NetRoundTrip = %v, want %v", got, want)
+	}
+}
+
+// The crossover behind Fig 11: a 4KB remote-memory round trip beats a local
+// 500-IOPS disk op on D2/D3 (loose network caps) but not on A2/D1 once
+// concurrency makes serialization matter. At the single-op level, remote
+// memory must at least improve monotonically with VM size.
+func TestRemoteVsLocalShape(t *testing.T) {
+	remote, _ := Lookup(AWST2Micro)
+	rtt := 2 * time.Millisecond
+	prev := time.Duration(1<<62 - 1)
+	for _, size := range AzureSizes() {
+		s, _ := Lookup(size)
+		cost := NetRoundTrip(s, remote, rtt, 512, 4096)
+		if cost > prev {
+			t.Fatalf("%s remote op %v slower than smaller VM %v", size, cost, prev)
+		}
+		prev = cost
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != len(Catalog) {
+		t.Fatalf("Names len = %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}

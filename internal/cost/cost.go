@@ -1,0 +1,304 @@
+// Package cost encodes the cloud storage pricing used throughout the paper
+// (Table 4: AWS US-East prices as of 2016) and provides a cost accountant
+// that experiments use to attribute storage, request, and network charges to
+// storage tiers. The Section 5.3 cold-data savings analysis is implemented
+// on top of these tables.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TierClass identifies a priced storage service class.
+type TierClass string
+
+// Storage service classes from Table 4, plus memory (priced as the
+// ElastiCache-style per-GB-hour rate folded into a monthly rate).
+const (
+	ClassMemory  TierClass = "Memory"    // ElastiCache-style in-memory store
+	ClassEBSSSD  TierClass = "EBS (SSD)" // gp2 general purpose
+	ClassEBSHDD  TierClass = "EBS (HDD)" // magnetic
+	ClassS3      TierClass = "S3"
+	ClassS3IA    TierClass = "S3-IA"
+	ClassGlacier TierClass = "Glacier"
+)
+
+// Pricing holds the unit prices for one storage class.
+// Units follow Table 4: storage is $/GB-month, requests are $/10,000
+// requests, network is $/GB.
+type Pricing struct {
+	Class           TierClass
+	StorageGBMonth  float64 // $/GB/month provisioned
+	PutPer10K       float64 // $/10,000 put requests
+	GetPer10K       float64 // $/10,000 get requests
+	NetworkIntraDC  float64 // $/GB within a DC
+	NetworkToNet    float64 // $/GB out to the Internet
+	NetworkInterAWS float64 // $/GB between AWS regions
+	DurableNines    int     // informal durability indicator (number of nines)
+}
+
+// Table4 reproduces the paper's Table 4 (AWS US-East) verbatim, extended
+// with memory and Glacier rows used elsewhere in the paper's narrative.
+// The four columns of the printed table correspond to the middle entries.
+var Table4 = map[TierClass]Pricing{
+	ClassMemory: {
+		Class: ClassMemory, StorageGBMonth: 10.50, // t2-class cache node amortized
+		PutPer10K: 0, GetPer10K: 0,
+		NetworkIntraDC: 0, NetworkToNet: 0.09, NetworkInterAWS: 0.02,
+		DurableNines: 0,
+	},
+	ClassEBSSSD: {
+		Class: ClassEBSSSD, StorageGBMonth: 0.10,
+		PutPer10K: 0, GetPer10K: 0,
+		NetworkIntraDC: 0, NetworkToNet: 0.09, NetworkInterAWS: 0.02,
+		DurableNines: 5,
+	},
+	ClassEBSHDD: {
+		Class: ClassEBSHDD, StorageGBMonth: 0.05,
+		PutPer10K: 0.0005, GetPer10K: 0.0005,
+		NetworkIntraDC: 0, NetworkToNet: 0.09, NetworkInterAWS: 0.02,
+		DurableNines: 5,
+	},
+	ClassS3: {
+		Class: ClassS3, StorageGBMonth: 0.03,
+		PutPer10K: 0.05, GetPer10K: 0.004,
+		NetworkIntraDC: 0, NetworkToNet: 0.09, NetworkInterAWS: 0.02,
+		DurableNines: 11,
+	},
+	ClassS3IA: {
+		Class: ClassS3IA, StorageGBMonth: 0.0125,
+		PutPer10K: 0.1, GetPer10K: 0.01,
+		NetworkIntraDC: 0, NetworkToNet: 0.09, NetworkInterAWS: 0.02,
+		DurableNines: 11,
+	},
+	ClassGlacier: {
+		Class: ClassGlacier, StorageGBMonth: 0.007,
+		PutPer10K: 0.5, GetPer10K: 0.5,
+		NetworkIntraDC: 0, NetworkToNet: 0.09, NetworkInterAWS: 0.02,
+		DurableNines: 11,
+	},
+}
+
+// PriceFor returns the pricing for a class, or an error for unknown classes.
+func PriceFor(c TierClass) (Pricing, error) {
+	p, ok := Table4[c]
+	if !ok {
+		return Pricing{}, fmt.Errorf("cost: no pricing for tier class %q", c)
+	}
+	return p, nil
+}
+
+// StorageMonthly returns the monthly cost of keeping gb gigabytes
+// provisioned on class c.
+func StorageMonthly(c TierClass, gb float64) (float64, error) {
+	p, err := PriceFor(c)
+	if err != nil {
+		return 0, err
+	}
+	return p.StorageGBMonth * gb, nil
+}
+
+// NetScope classifies a transfer destination for pricing.
+type NetScope int
+
+// Transfer scopes from Table 4.
+const (
+	NetIntraDC  NetScope = iota // within one data center: free
+	NetInterAWS                 // between AWS regions
+	NetInternet                 // out to the Internet / other providers
+)
+
+// String returns the scope name.
+func (s NetScope) String() string {
+	switch s {
+	case NetIntraDC:
+		return "intra-DC"
+	case NetInterAWS:
+		return "inter-AWS"
+	case NetInternet:
+		return "internet"
+	default:
+		return fmt.Sprintf("NetScope(%d)", int(s))
+	}
+}
+
+// Accountant accumulates charges per tier class. Safe for concurrent use.
+type Accountant struct {
+	mu       sync.Mutex
+	storage  map[TierClass]float64 // $ for provisioned storage
+	requests map[TierClass]float64 // $ for put/get requests
+	network  map[TierClass]float64 // $ for outbound transfer
+	putOps   map[TierClass]int64
+	getOps   map[TierClass]int64
+	egressGB map[TierClass]float64
+}
+
+// NewAccountant returns an empty accountant.
+func NewAccountant() *Accountant {
+	return &Accountant{
+		storage:  make(map[TierClass]float64),
+		requests: make(map[TierClass]float64),
+		network:  make(map[TierClass]float64),
+		putOps:   make(map[TierClass]int64),
+		getOps:   make(map[TierClass]int64),
+		egressGB: make(map[TierClass]float64),
+	}
+}
+
+// ChargeStorage records months of provisioned storage of gb gigabytes on c.
+func (a *Accountant) ChargeStorage(c TierClass, gb, months float64) error {
+	p, err := PriceFor(c)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.storage[c] += p.StorageGBMonth * gb * months
+	a.mu.Unlock()
+	return nil
+}
+
+// ChargePut records n put requests against class c.
+func (a *Accountant) ChargePut(c TierClass, n int64) error {
+	p, err := PriceFor(c)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.putOps[c] += n
+	a.requests[c] += p.PutPer10K * float64(n) / 10000
+	a.mu.Unlock()
+	return nil
+}
+
+// ChargeGet records n get requests against class c.
+func (a *Accountant) ChargeGet(c TierClass, n int64) error {
+	p, err := PriceFor(c)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.getOps[c] += n
+	a.requests[c] += p.GetPer10K * float64(n) / 10000
+	a.mu.Unlock()
+	return nil
+}
+
+// ChargeNetwork records gb gigabytes of outbound transfer from class c
+// within the given scope.
+func (a *Accountant) ChargeNetwork(c TierClass, gb float64, scope NetScope) error {
+	p, err := PriceFor(c)
+	if err != nil {
+		return err
+	}
+	var rate float64
+	switch scope {
+	case NetIntraDC:
+		rate = p.NetworkIntraDC
+	case NetInterAWS:
+		rate = p.NetworkInterAWS
+	case NetInternet:
+		rate = p.NetworkToNet
+	default:
+		return fmt.Errorf("cost: unknown network scope %v", scope)
+	}
+	a.mu.Lock()
+	a.egressGB[c] += gb
+	a.network[c] += rate * gb
+	a.mu.Unlock()
+	return nil
+}
+
+// Totals summarizes accumulated charges.
+type Totals struct {
+	Storage  float64
+	Requests float64
+	Network  float64
+}
+
+// Total returns Storage+Requests+Network.
+func (t Totals) Total() float64 { return t.Storage + t.Requests + t.Network }
+
+// Totals returns the aggregate charges across all classes.
+func (a *Accountant) Totals() Totals {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var t Totals
+	for _, v := range a.storage {
+		t.Storage += v
+	}
+	for _, v := range a.requests {
+		t.Requests += v
+	}
+	for _, v := range a.network {
+		t.Network += v
+	}
+	return t
+}
+
+// ByClass returns the per-class totals for every class with any charge,
+// sorted by class name for stable output.
+func (a *Accountant) ByClass() []ClassTotals {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := map[TierClass]bool{}
+	for c := range a.storage {
+		seen[c] = true
+	}
+	for c := range a.requests {
+		seen[c] = true
+	}
+	for c := range a.network {
+		seen[c] = true
+	}
+	out := make([]ClassTotals, 0, len(seen))
+	for c := range seen {
+		out = append(out, ClassTotals{
+			Class:    c,
+			Totals:   Totals{Storage: a.storage[c], Requests: a.requests[c], Network: a.network[c]},
+			PutOps:   a.putOps[c],
+			GetOps:   a.getOps[c],
+			EgressGB: a.egressGB[c],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// ClassTotals is the per-class view of accumulated charges.
+type ClassTotals struct {
+	Class    TierClass
+	Totals   Totals
+	PutOps   int64
+	GetOps   int64
+	EgressGB float64
+}
+
+// ColdDataSavings computes the Section 5.3 analysis: moving coldGB of data
+// from hot class to cold class saves the storage-price difference per month.
+func ColdDataSavings(hot, cold TierClass, coldGB float64) (float64, error) {
+	hp, err := PriceFor(hot)
+	if err != nil {
+		return 0, err
+	}
+	cp, err := PriceFor(cold)
+	if err != nil {
+		return 0, err
+	}
+	return (hp.StorageGBMonth - cp.StorageGBMonth) * coldGB, nil
+}
+
+// CentralizedSavings computes the additional Section 5.3 saving from
+// keeping a single cold replica in one central region instead of one per
+// region: (regions-1) replicas of coldGB on class c are no longer stored.
+func CentralizedSavings(c TierClass, coldGB float64, regions int) (float64, error) {
+	if regions < 1 {
+		return 0, fmt.Errorf("cost: regions must be >= 1, got %d", regions)
+	}
+	p, err := PriceFor(c)
+	if err != nil {
+		return 0, err
+	}
+	return p.StorageGBMonth * coldGB * float64(regions-1), nil
+}

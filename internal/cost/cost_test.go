@@ -1,0 +1,252 @@
+package cost
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTable4Verbatim(t *testing.T) {
+	// The paper's Table 4 numbers, verbatim.
+	cases := []struct {
+		class   TierClass
+		storage float64
+		put     float64
+		get     float64
+	}{
+		{ClassEBSSSD, 0.10, 0, 0},
+		{ClassEBSHDD, 0.05, 0.0005, 0.0005},
+		{ClassS3, 0.03, 0.05, 0.004},
+		{ClassS3IA, 0.0125, 0.1, 0.01},
+	}
+	for _, c := range cases {
+		p, err := PriceFor(c.class)
+		if err != nil {
+			t.Fatalf("PriceFor(%s): %v", c.class, err)
+		}
+		if !almostEqual(p.StorageGBMonth, c.storage) {
+			t.Errorf("%s storage = %v, want %v", c.class, p.StorageGBMonth, c.storage)
+		}
+		if !almostEqual(p.PutPer10K, c.put) {
+			t.Errorf("%s put = %v, want %v", c.class, p.PutPer10K, c.put)
+		}
+		if !almostEqual(p.GetPer10K, c.get) {
+			t.Errorf("%s get = %v, want %v", c.class, p.GetPer10K, c.get)
+		}
+		if !almostEqual(p.NetworkIntraDC, 0) {
+			t.Errorf("%s intra-DC network should be free", c.class)
+		}
+		if !almostEqual(p.NetworkToNet, 0.09) {
+			t.Errorf("%s internet egress = %v, want 0.09", c.class, p.NetworkToNet)
+		}
+	}
+}
+
+func TestPriceForUnknown(t *testing.T) {
+	if _, err := PriceFor("Floppy"); err == nil {
+		t.Fatal("PriceFor unknown class should error")
+	}
+}
+
+func TestStorageMonthly(t *testing.T) {
+	got, err := StorageMonthly(ClassEBSSSD, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 10.0) {
+		t.Fatalf("100GB SSD monthly = %v, want 10", got)
+	}
+	if _, err := StorageMonthly("nope", 1); err == nil {
+		t.Fatal("want error for unknown class")
+	}
+}
+
+// The paper (Sec 5.3): 8TB cold data moved from EBS to S3-IA saves $700/mo
+// (from SSD) or $300/mo (from HDD) per instance.
+func TestColdDataSavingsPaperNumbers(t *testing.T) {
+	coldGB := 8.0 * 1024 // paper speaks of 8TB of a 10TB dataset
+	// The paper rounds 8TB to 8000GB in its arithmetic:
+	coldGB = 8000
+	fromSSD, err := ColdDataSavings(ClassEBSSSD, ClassS3IA, coldGB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fromSSD, 700.0) {
+		t.Fatalf("SSD->S3IA savings = %v, want 700", fromSSD)
+	}
+	fromHDD, err := ColdDataSavings(ClassEBSHDD, ClassS3IA, coldGB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fromHDD, 300.0) {
+		t.Fatalf("HDD->S3IA savings = %v, want 300", fromHDD)
+	}
+}
+
+// The paper: centralizing cold data saves $100 per non-central region, $300
+// total with 4 regions (3 replicas dropped × 8000GB × $0.0125).
+func TestCentralizedSavingsPaperNumbers(t *testing.T) {
+	got, err := CentralizedSavings(ClassS3IA, 8000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 300.0) {
+		t.Fatalf("centralized savings = %v, want 300", got)
+	}
+}
+
+func TestCentralizedSavingsValidation(t *testing.T) {
+	if _, err := CentralizedSavings(ClassS3IA, 1, 0); err == nil {
+		t.Fatal("regions=0 should error")
+	}
+	got, err := CentralizedSavings(ClassS3IA, 100, 1)
+	if err != nil || got != 0 {
+		t.Fatalf("1 region should save 0, got %v, %v", got, err)
+	}
+}
+
+func TestColdDataSavingsUnknownClass(t *testing.T) {
+	if _, err := ColdDataSavings("x", ClassS3, 1); err == nil {
+		t.Fatal("unknown hot class should error")
+	}
+	if _, err := ColdDataSavings(ClassS3, "x", 1); err == nil {
+		t.Fatal("unknown cold class should error")
+	}
+}
+
+func TestAccountantStorage(t *testing.T) {
+	a := NewAccountant()
+	if err := a.ChargeStorage(ClassS3, 1000, 2); err != nil {
+		t.Fatal(err)
+	}
+	tot := a.Totals()
+	if !almostEqual(tot.Storage, 60.0) { // 1000GB * $0.03 * 2 months
+		t.Fatalf("storage total = %v, want 60", tot.Storage)
+	}
+}
+
+func TestAccountantRequests(t *testing.T) {
+	a := NewAccountant()
+	if err := a.ChargePut(ClassS3, 100000); err != nil { // 10 units of 10k
+		t.Fatal(err)
+	}
+	if err := a.ChargeGet(ClassS3, 100000); err != nil {
+		t.Fatal(err)
+	}
+	tot := a.Totals()
+	want := 10*0.05 + 10*0.004
+	if !almostEqual(tot.Requests, want) {
+		t.Fatalf("requests total = %v, want %v", tot.Requests, want)
+	}
+}
+
+func TestAccountantNetworkScopes(t *testing.T) {
+	a := NewAccountant()
+	if err := a.ChargeNetwork(ClassS3, 10, NetIntraDC); err != nil {
+		t.Fatal(err)
+	}
+	if a.Totals().Network != 0 {
+		t.Fatal("intra-DC transfer should be free")
+	}
+	if err := a.ChargeNetwork(ClassS3, 10, NetInterAWS); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a.Totals().Network, 0.2) {
+		t.Fatalf("inter-AWS = %v, want 0.2", a.Totals().Network)
+	}
+	if err := a.ChargeNetwork(ClassS3, 10, NetInternet); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a.Totals().Network, 0.2+0.9) {
+		t.Fatalf("after internet = %v, want 1.1", a.Totals().Network)
+	}
+	if err := a.ChargeNetwork(ClassS3, 1, NetScope(99)); err == nil {
+		t.Fatal("unknown scope should error")
+	}
+}
+
+func TestAccountantUnknownClass(t *testing.T) {
+	a := NewAccountant()
+	if err := a.ChargeStorage("x", 1, 1); err == nil {
+		t.Fatal("want error")
+	}
+	if err := a.ChargePut("x", 1); err == nil {
+		t.Fatal("want error")
+	}
+	if err := a.ChargeGet("x", 1); err == nil {
+		t.Fatal("want error")
+	}
+	if err := a.ChargeNetwork("x", 1, NetInternet); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestAccountantByClass(t *testing.T) {
+	a := NewAccountant()
+	_ = a.ChargeStorage(ClassS3, 100, 1)
+	_ = a.ChargePut(ClassEBSHDD, 20000)
+	_ = a.ChargeNetwork(ClassS3IA, 5, NetInternet)
+	rows := a.ByClass()
+	if len(rows) != 3 {
+		t.Fatalf("ByClass rows = %d, want 3", len(rows))
+	}
+	// Sorted by class name: EBS (HDD) < S3 < S3-IA.
+	if rows[0].Class != ClassEBSHDD || rows[1].Class != ClassS3 || rows[2].Class != ClassS3IA {
+		t.Fatalf("ByClass order = %v %v %v", rows[0].Class, rows[1].Class, rows[2].Class)
+	}
+	if rows[0].PutOps != 20000 {
+		t.Fatalf("PutOps = %d", rows[0].PutOps)
+	}
+	if !almostEqual(rows[2].EgressGB, 5) {
+		t.Fatalf("EgressGB = %v", rows[2].EgressGB)
+	}
+}
+
+func TestTotalsTotal(t *testing.T) {
+	tt := Totals{Storage: 1, Requests: 2, Network: 3}
+	if tt.Total() != 6 {
+		t.Fatalf("Total = %v", tt.Total())
+	}
+}
+
+func TestNetScopeString(t *testing.T) {
+	if NetIntraDC.String() != "intra-DC" || NetInterAWS.String() != "inter-AWS" || NetInternet.String() != "internet" {
+		t.Fatal("scope strings wrong")
+	}
+	if NetScope(42).String() == "" {
+		t.Fatal("unknown scope should still stringify")
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a := NewAccountant()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				_ = a.ChargePut(ClassS3, 1)
+				_ = a.ChargeGet(ClassS3, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	rows := a.ByClass()
+	if len(rows) != 1 || rows[0].PutOps != 4000 || rows[0].GetOps != 4000 {
+		t.Fatalf("concurrent accounting lost ops: %+v", rows)
+	}
+}
+
+func TestGlacierCheaperThanS3IA(t *testing.T) {
+	g, _ := PriceFor(ClassGlacier)
+	ia, _ := PriceFor(ClassS3IA)
+	if g.StorageGBMonth >= ia.StorageGBMonth {
+		t.Fatal("Glacier should be cheaper than S3-IA per GB-month")
+	}
+	if g.GetPer10K <= ia.GetPer10K {
+		t.Fatal("Glacier retrieval should cost more than S3-IA")
+	}
+}

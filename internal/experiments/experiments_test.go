@@ -1,0 +1,143 @@
+package experiments
+
+import "testing"
+
+// Each test runs one paper-experiment harness in Quick mode and checks the
+// qualitative shape claims against the paper. The heavier timelines are
+// skipped under -short.
+
+func TestFig7DynamicConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 timeline takes ~25s")
+	}
+	res, err := Fig7(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8Table3ChangePrimary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 waves take ~30s")
+	}
+	res, err := Fig8Table3(Options{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig9TierLatency(t *testing.T) {
+	res, err := Fig9(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable4Pricing(t *testing.T) {
+	res, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSec53ColdDataSavings(t *testing.T) {
+	res, err := Sec53ColdData(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10CentralizedTier(t *testing.T) {
+	res, err := Fig10(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig11SysBenchIOPS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig11 sweep takes ~15s")
+	}
+	res, err := Fig11(Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig12RUBiSThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 sweep takes ~90s")
+	}
+	res, err := Fig12(Options{Quick: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationConsistency(t *testing.T) {
+	res, err := AblationConsistency(Options{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationQueue(t *testing.T) {
+	res, err := AblationQueue(Options{Quick: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationBlockSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("block size sweep takes ~15s")
+	}
+	res, err := AblationBlockSize(Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}

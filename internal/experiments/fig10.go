@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/wiera"
+)
+
+// Fig10Row is one region's operation latency against the centralized
+// S3-IA tier in US-East.
+type Fig10Row struct {
+	Region     simnet.Region
+	GetMs      float64
+	PutMs      float64 // local put (fast tier), unaffected by centralization
+	PaperGetMs float64
+}
+
+// Fig10Result reproduces "Figure 10: Operation Latency for S3 in US East
+// from each region": all instances share one centralized S3-IA cold tier
+// in US-East; reads of cold data pay the WAN trip, puts stay local.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10 measures cold-data get latency from each region against the
+// centralized US-East S3-IA tier on a virtual clock (exact modeled time).
+func Fig10(opts Options) (*Fig10Result, error) {
+	ops := 40
+	if opts.Quick {
+		ops = 15
+	}
+	regions := []simnet.Region{simnet.USEast, simnet.USWest, simnet.EUWest, simnet.AsiaEast}
+	d, err := NewSimDeployment(regions...)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	// The central US-East instance holds the shared cold data on S3-IA
+	// (its single tier); every region's gets forward there (the shared
+	// centralized cold tier of Sec 5.3's final step). Puts stay local on
+	// each region's memory tier.
+	policySrc := `
+Wiera CentralizedCold {
+	Region1 = {name: ForwardingInstance, region: us-east, primary: true,
+		tier1 = {name: s3-ia, size: 10G}};
+	Region2 = {name: ForwardingInstance, region: us-west};
+	Region3 = {name: ForwardingInstance, region: eu-west};
+	Region4 = {name: ForwardingInstance, region: asia-east};
+	event(insert.into) : response {
+		store(what: insert.object, to: local_instance);
+	}
+	event(get.from) : response {
+		forward(what: get.key, to: us-east);
+	}
+}`
+	nodes, err := d.Server.StartInstances(wiera.StartInstancesRequest{
+		InstanceID: "fig10", PolicySrc: policySrc, Params: map[string]string{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Cold data lives at the central node.
+	central, err := d.Node("fig10/us-east")
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 4096)
+	for i := 0; i < 16; i++ {
+		if _, err := central.Local().Put(fmt.Sprintf("cold-%02d", i), payload); err != nil {
+			return nil, err
+		}
+	}
+
+	paperGet := map[simnet.Region]float64{
+		simnet.USEast: 35, simnet.USWest: 105, simnet.EUWest: 115, simnet.AsiaEast: 200,
+	}
+	res := &Fig10Result{}
+	for _, pi := range nodes {
+		node, err := d.Node(pi.Name)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < ops; i++ {
+			key := fmt.Sprintf("cold-%02d", i%16)
+			if _, _, err := node.Get(key); err != nil {
+				return nil, err
+			}
+			if _, err := node.Put(fmt.Sprintf("local-%s-%d", pi.Region, i), payload, nil); err != nil {
+				return nil, err
+			}
+		}
+		res.Rows = append(res.Rows, Fig10Row{
+			Region:     pi.Region,
+			GetMs:      float64(node.GetLatency.Mean()) / float64(time.Millisecond),
+			PutMs:      float64(node.PutLatency.Mean()) / float64(time.Millisecond),
+			PaperGetMs: paperGet[pi.Region],
+		})
+	}
+	return res, nil
+}
+
+// Render prints the per-region latency table.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: operation latency against centralized S3-IA in US East\n")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{string(row.Region),
+			fmt.Sprintf("%.1f (paper ~%.0f)", row.GetMs, row.PaperGetMs),
+			fmt.Sprintf("%.1f", row.PutMs)})
+	}
+	b.WriteString(table([]string{"Region", "Get (ms)", "Put local (ms)"}, rows))
+	return b.String()
+}
+
+// ShapeHolds verifies the distance ordering and the paper's headline
+// (~200 ms from Asia-East).
+func (r *Fig10Result) ShapeHolds() error {
+	get := map[simnet.Region]float64{}
+	put := map[simnet.Region]float64{}
+	for _, row := range r.Rows {
+		get[row.Region] = row.GetMs
+		put[row.Region] = row.PutMs
+	}
+	order := []simnet.Region{simnet.USEast, simnet.USWest, simnet.EUWest, simnet.AsiaEast}
+	for i := 1; i < len(order); i++ {
+		if get[order[i-1]] >= get[order[i]] {
+			return fmt.Errorf("fig10: get latency ordering broken at %s (%.1f) vs %s (%.1f)",
+				order[i-1], get[order[i-1]], order[i], get[order[i]])
+		}
+	}
+	if get[simnet.AsiaEast] < 150 || get[simnet.AsiaEast] > 300 {
+		return fmt.Errorf("fig10: Asia-East get %.1f ms, paper ~200 ms", get[simnet.AsiaEast])
+	}
+	// Puts stay local and fast everywhere relative to the WAN gets.
+	for reg, v := range put {
+		if v > get[simnet.USWest] {
+			return fmt.Errorf("fig10: local put at %s (%.1f ms) not clearly local", reg, v)
+		}
+	}
+	return nil
+}

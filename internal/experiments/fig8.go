@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/wiera"
+	"repro/internal/ycsb"
+)
+
+// Fig8Table3Result reproduces "Figure 8: Percentage that applications can
+// see the latest data" and "Table 3: Average put operation latency" — the
+// Sec 5.2 ChangePrimary experiment: three regions with a travelling
+// activity wave (Asia-East, then EU-West, then US-West), a read-mostly
+// workload, asynchronous update propagation, and a primary that either
+// stays in Asia-East (static) or follows the forwarded-request majority
+// (changing).
+type Fig8Table3Result struct {
+	StaleFracStatic   float64 // fraction of gets returning outdated data, static primary
+	StaleFracChanging float64 // same with the ChangePrimary policy active
+	// Put latency means in ms, by region, for both configurations, plus
+	// overall means.
+	PutMsStatic     map[simnet.Region]float64
+	PutMsChanging   map[simnet.Region]float64
+	OverallStatic   float64
+	OverallChanging float64
+	// PrimaryMoves counts primary relocations in the changing run.
+	PrimaryMoves int
+	// Paper values.
+	PaperStaleStatic, PaperStaleChanging float64
+	PaperTable3Static                    map[simnet.Region]float64
+	PaperTable3Changing                  map[simnet.Region]float64
+}
+
+// fig8Regions is the paper's region order for Table 3 rendering.
+var fig8Regions = []simnet.Region{simnet.EUWest, simnet.USWest, simnet.AsiaEast}
+
+// Fig8Table3 runs the experiment twice (static, changing) and collects
+// both the Fig 8 staleness fractions and the Table 3 latency rows.
+func Fig8Table3(opts Options) (*Fig8Table3Result, error) {
+	res := &Fig8Table3Result{
+		PaperStaleStatic:   0.69,
+		PaperStaleChanging: 0.39,
+		PaperTable3Static: map[simnet.Region]float64{
+			simnet.EUWest: 216.61, simnet.USWest: 105.26, simnet.AsiaEast: 5,
+		},
+		PaperTable3Changing: map[simnet.Region]float64{
+			simnet.EUWest: 95.19, simnet.USWest: 72.20, simnet.AsiaEast: 40.60,
+		},
+	}
+	static, err := runFig8(opts, false)
+	if err != nil {
+		return nil, err
+	}
+	changing, err := runFig8(opts, true)
+	if err != nil {
+		return nil, err
+	}
+	res.StaleFracStatic = static.staleFrac
+	res.StaleFracChanging = changing.staleFrac
+	res.PutMsStatic = static.putMs
+	res.PutMsChanging = changing.putMs
+	res.OverallStatic = static.overallMs
+	res.OverallChanging = changing.overallMs
+	res.PrimaryMoves = changing.primaryMoves
+	return res, nil
+}
+
+type fig8Run struct {
+	staleFrac    float64
+	putMs        map[simnet.Region]float64
+	overallMs    float64
+	primaryMoves int
+}
+
+func runFig8(opts Options, changing bool) (*fig8Run, error) {
+	factor := 25.0
+	runLen := 22*time.Minute + 30*time.Second // paper: waves with mean 7.5 min
+	if opts.Quick {
+		runLen = 6 * time.Minute
+	}
+	d, err := NewDeployment(factor, fig8Regions...)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	// Primary-backup with asynchronous (queued) propagation, primary
+	// initially in Asia-East — the paper's Sec 5.2 configuration.
+	policySrc := `
+Wiera PrimaryBackupAsync {
+	Region1 = {name: LowLatencyInstance, region: asia-east, primary: true,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	Region2 = {name: LowLatencyInstance, region: eu-west,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	Region3 = {name: LowLatencyInstance, region: us-west,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	event(insert.into) : response {
+		if (local_instance.isPrimary == true) {
+			store(what: insert.object, to: local_instance);
+			queue(what: insert.object, to: all_regions);
+		} else {
+			forward(what: insert.object, to: primary_instance);
+		}
+	}
+}`
+	params := map[string]string{
+		"t": "2s",
+		// Asynchronous propagation pace: replicas lag the primary by up
+		// to 30s, well past the hot keys' inter-write interval, so reads
+		// away from the primary see outdated data (the paper's Fig 8
+		// staleness mechanism: "clients that are not close to the primary
+		// instance can see outdated data").
+		"queueFlush": "60s",
+	}
+	if changing {
+		// The paper's run uses a 15 s period threshold for the primary
+		// monitor (Sec 5.2), not Fig 5(b)'s illustrative 600 s.
+		params["dynamic"] = strings.Replace(mustBuiltinSource("ChangePrimary"), "600s", "15s", 1)
+	}
+	nodes, err := d.Server.StartInstances(wiera.StartInstancesRequest{
+		InstanceID: "fig8", PolicySrc: policySrc, Params: params,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 10 clients per region sharing one keyspace; the number of active
+	// clients per region follows a normal-distribution wave peaking in
+	// order Asia-East, EU-West, US-West (paper: mean 7.5 min, variance 5).
+	const clientsPerRegion = 10
+	sigma := float64(runLen) / 7.5
+	peaks := map[simnet.Region]time.Duration{
+		simnet.AsiaEast: runLen / 6,
+		simnet.EUWest:   runLen / 2,
+		simnet.USWest:   5 * runLen / 6,
+	}
+	start := d.Clk.Now()
+	activeCount := func(r simnet.Region) int {
+		t := float64(d.Clk.Since(start))
+		dp := t - float64(peaks[r])
+		n := int(math.Round(clientsPerRegion * math.Exp(-dp*dp/(2*sigma*sigma))))
+		return n
+	}
+
+	// Shared keyspace: staleness arises from reading data written through
+	// a (possibly remote) primary before propagation completes.
+	w := shrunkWorkload(ycsb.WorkloadB, 32, 1024)
+	loader, err := d.Node(nodes[0].Name)
+	if err != nil {
+		return nil, err
+	}
+	loadCli, err := ycsb.NewClient(w, nodeStore{loader}, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := loadCli.Load(); err != nil {
+		return nil, err
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, pi := range nodes {
+		node, err := d.Node(pi.Name)
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < clientsPerRegion; c++ {
+			cli, err := ycsb.NewClient(w, nodeStore{node}, opts.Seed+int64(c)*131+int64(len(pi.Name)))
+			if err != nil {
+				return nil, err
+			}
+			wg.Add(1)
+			go func(region simnet.Region, idx int, cli *ycsb.Client) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(opts.Seed + int64(idx)))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if idx < activeCount(region) {
+						cli.RunOne(d.Clk.Now)
+						d.Clk.Sleep(time.Duration(500+rng.Intn(500)) * time.Millisecond)
+					} else {
+						d.Clk.Sleep(2 * time.Second)
+					}
+				}
+			}(pi.Region, c, cli)
+		}
+	}
+	d.Clk.Sleep(runLen)
+	close(stop)
+	wg.Wait()
+
+	run := &fig8Run{putMs: make(map[simnet.Region]float64)}
+	var stale, fresh int64
+	var allPutSum float64
+	var allPutN int
+	for _, pi := range nodes {
+		node, err := d.Node(pi.Name)
+		if err != nil {
+			// The node may have been renamed by a primary move respawn; skip.
+			continue
+		}
+		stale += node.StaleReads()
+		fresh += node.FreshReads()
+		mean := float64(node.PutLatency.Mean()) / float64(time.Millisecond)
+		run.putMs[pi.Region] = mean
+		allPutSum += mean * float64(node.PutLatency.Count())
+		allPutN += node.PutLatency.Count()
+	}
+	if stale+fresh > 0 {
+		run.staleFrac = float64(stale) / float64(stale+fresh)
+	}
+	if allPutN > 0 {
+		run.overallMs = allPutSum / float64(allPutN)
+	}
+	for _, ch := range d.Server.ChangeLog() {
+		if ch.What == "primary_instance" {
+			run.primaryMoves++
+		}
+	}
+	return run, nil
+}
+
+// Render prints the Fig 8 fractions and the Table 3 rows.
+func (r *Fig8Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: fraction of reads returning outdated data\n")
+	fmt.Fprintf(&b, "static primary:   %.0f%% outdated (paper 69%%)\n", 100*r.StaleFracStatic)
+	fmt.Fprintf(&b, "changing primary: %.0f%% outdated (paper 39%%)\n", 100*r.StaleFracChanging)
+	fmt.Fprintf(&b, "primary moves in changing run: %d\n\n", r.PrimaryMoves)
+	b.WriteString("Table 3: Average put operation latency (ms)\n")
+	rows := [][]string{}
+	regionLabel := map[simnet.Region]string{
+		simnet.EUWest: "EU West", simnet.USWest: "US West", simnet.AsiaEast: "Asia East",
+	}
+	for _, cfg := range []struct {
+		name    string
+		mine    map[simnet.Region]float64
+		paper   map[simnet.Region]float64
+		overall float64
+	}{
+		{"Static", r.PutMsStatic, r.PaperTable3Static, r.OverallStatic},
+		{"Changing", r.PutMsChanging, r.PaperTable3Changing, r.OverallChanging},
+	} {
+		row := []string{cfg.name}
+		for _, reg := range fig8Regions {
+			row = append(row, fmt.Sprintf("%.2f (paper %.2f)", cfg.mine[reg], cfg.paper[reg]))
+		}
+		row = append(row, fmt.Sprintf("%.2f", cfg.overall))
+		rows = append(rows, row)
+	}
+	b.WriteString(table([]string{"", "EU West", "US West", "Asia East", "Overall"}, rows))
+	_ = regionLabel
+	return b.String()
+}
+
+// ShapeHolds verifies the experiment's qualitative claims.
+func (r *Fig8Table3Result) ShapeHolds() error {
+	if r.StaleFracChanging >= r.StaleFracStatic/1.3 {
+		return fmt.Errorf("fig8: changing primary did not reduce staleness enough (%.2f vs %.2f; paper factor 1.77)",
+			r.StaleFracChanging, r.StaleFracStatic)
+	}
+	if r.StaleFracStatic < 0.25 {
+		return fmt.Errorf("fig8: static staleness %.2f suspiciously low", r.StaleFracStatic)
+	}
+	if r.PrimaryMoves < 1 {
+		return fmt.Errorf("fig8: primary never moved")
+	}
+	// Table 3 orderings (static): EU West pays the most (farthest from the
+	// Asia-East primary), Asia-East the least.
+	st := r.PutMsStatic
+	if !(st[simnet.EUWest] > st[simnet.USWest] && st[simnet.USWest] > st[simnet.AsiaEast]) {
+		return fmt.Errorf("fig8: static Table 3 ordering broken: %v", st)
+	}
+	if st[simnet.AsiaEast] > 40 {
+		return fmt.Errorf("fig8: static Asia-East latency %.1f ms, want local (<40)", st[simnet.AsiaEast])
+	}
+	if r.OverallChanging >= r.OverallStatic {
+		return fmt.Errorf("fig8: moving the primary did not reduce overall put latency (%.1f vs %.1f)",
+			r.OverallChanging, r.OverallStatic)
+	}
+	return nil
+}

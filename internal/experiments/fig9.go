@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/policy"
+	"repro/internal/simnet"
+	"repro/internal/tiera"
+)
+
+// Fig9Row is one storage tier's measured 4 KB operation latency.
+type Fig9Row struct {
+	Tier  string
+	GetMs float64
+	PutMs float64
+}
+
+// Fig9Result reproduces "Figure 9: Operations Latencies for 4KB in US
+// East": per-tier put/get latency through a Tiera instance, with the
+// cached-EBS variant showing the <1 ms OS-buffer-cache behaviour the paper
+// notes.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// fig9Tiers lists the tier kinds in the paper's price/performance order.
+var fig9Tiers = []struct {
+	label string
+	kind  string
+}{
+	{"Memory (Memcached)", "memory"},
+	{"EBS SSD (cached)", "ebs-ssd-cached"},
+	{"EBS SSD (gp2)", "ebs-ssd"},
+	{"EBS HDD (magnetic)", "ebs-hdd"},
+	{"S3", "s3"},
+	{"S3-IA", "s3-ia"},
+}
+
+// Fig9 measures 4 KB put/get latency against each storage tier through a
+// single-tier Tiera instance on a virtual clock (exact modeled time).
+func Fig9(opts Options) (*Fig9Result, error) {
+	ops := 200
+	if opts.Quick {
+		ops = 50
+	}
+	res := &Fig9Result{}
+	for _, tcfg := range fig9Tiers {
+		clk := clock.NewSim(time.Time{})
+		stop := clk.AutoAdvance(50 * time.Microsecond)
+		src := fmt.Sprintf("Tiera OneTier { tier1: {name: %s, size: 1G}; }", tcfg.kind)
+		spec, err := policy.Parse(src)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		inst, err := tiera.New(tiera.Config{
+			Name: "fig9/" + tcfg.kind, Region: simnet.USEast, Spec: spec, Clock: clk,
+		})
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		payload := make([]byte, 4096)
+		for i := 0; i < ops; i++ {
+			key := fmt.Sprintf("obj-%d", i%32)
+			if _, err := inst.Put(key, payload); err != nil {
+				inst.Close()
+				stop()
+				return nil, err
+			}
+			if _, _, err := inst.Get(key); err != nil {
+				inst.Close()
+				stop()
+				return nil, err
+			}
+		}
+		res.Rows = append(res.Rows, Fig9Row{
+			Tier:  tcfg.label,
+			GetMs: float64(inst.GetLatency.Mean()) / float64(time.Millisecond),
+			PutMs: float64(inst.PutLatency.Mean()) / float64(time.Millisecond),
+		})
+		inst.Close()
+		stop()
+	}
+	return res, nil
+}
+
+// Render prints the per-tier latency table.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: 4KB operation latency per storage tier (US East)\n")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Tier,
+			fmt.Sprintf("%.2f", row.GetMs), fmt.Sprintf("%.2f", row.PutMs)})
+	}
+	b.WriteString(table([]string{"Tier", "Get (ms)", "Put (ms)"}, rows))
+	b.WriteString("paper: EBS SSD < EBS HDD < S3 < S3-IA; cached EBS < 1 ms\n")
+	return b.String()
+}
+
+// ShapeHolds checks the paper's ordering claims.
+func (r *Fig9Result) ShapeHolds() error {
+	get := map[string]float64{}
+	for _, row := range r.Rows {
+		get[row.Tier] = row.GetMs
+	}
+	order := []string{"Memory (Memcached)", "EBS SSD (gp2)", "EBS HDD (magnetic)", "S3", "S3-IA"}
+	for i := 1; i < len(order); i++ {
+		if get[order[i-1]] >= get[order[i]] {
+			return fmt.Errorf("fig9: %s (%.2f ms) not faster than %s (%.2f ms)",
+				order[i-1], get[order[i-1]], order[i], get[order[i]])
+		}
+	}
+	if get["EBS SSD (cached)"] >= 1.0 {
+		return fmt.Errorf("fig9: cached EBS get %.2f ms, want <1 ms", get["EBS SSD (cached)"])
+	}
+	return nil
+}

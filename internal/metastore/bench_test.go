@@ -1,0 +1,65 @@
+package metastore
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkPut(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "bench.db"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 256)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i%4096), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "bench.db"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 256)
+	for i := 0; i < 4096; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), val)
+	}
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("key-%d", i%4096)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.db")
+	s, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 256)
+	for i := 0; i < 10000; i++ {
+		s.Put(fmt.Sprintf("key-%d", i%2048), val)
+	}
+	s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}

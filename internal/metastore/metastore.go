@@ -1,0 +1,349 @@
+// Package metastore is the repository's BerkeleyDB substitute: an embedded,
+// durable key-value store used by Tiera instances to persist object
+// metadata and version records (paper Sec 4.2: "all object metadata is
+// stored and persisted using BerkeleyDB").
+//
+// The store is log-structured: every Put/Delete appends a length-prefixed,
+// checksummed record to a single append-only file, and an in-memory index
+// maps keys to the latest value. Open replays the log, so a crash at any
+// point loses at most the last unsynced record; a torn final record is
+// detected by checksum and truncated away. Compact rewrites the log keeping
+// only live records.
+package metastore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// record layout:
+//   uint32 keyLen | uint32 valLen (math.MaxUint32 = tombstone) | key | val | uint32 crc
+// crc covers keyLen,valLen,key,val.
+
+const tombstone = ^uint32(0)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("metastore: key not found")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("metastore: store is closed")
+
+// Store is an embedded persistent KV store. Safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	w      *bufio.Writer
+	index  map[string][]byte
+	closed bool
+	// dead counts superseded records, driving auto-compaction heuristics.
+	dead int
+}
+
+// Open opens (creating if necessary) the store at path and replays its log.
+func Open(path string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("metastore: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("metastore: %w", err)
+	}
+	s := &Store{path: path, f: f, index: make(map[string][]byte)}
+	valid, err := s.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate any torn tail so future appends start at a clean offset.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("metastore: truncate: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("metastore: seek: %w", err)
+	}
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// replay scans the log, building the index, and returns the offset of the
+// last fully valid record's end.
+func (s *Store) replay() (int64, error) {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("metastore: %w", err)
+	}
+	r := bufio.NewReader(s.f)
+	var offset int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			// Clean EOF or torn header: stop at last valid offset.
+			return offset, nil
+		}
+		keyLen := binary.LittleEndian.Uint32(hdr[0:4])
+		valLen := binary.LittleEndian.Uint32(hdr[4:8])
+		isTomb := valLen == tombstone
+		vl := valLen
+		if isTomb {
+			vl = 0
+		}
+		if keyLen > 1<<28 || vl > 1<<30 {
+			return offset, nil // corrupt length: treat as torn tail
+		}
+		body := make([]byte, int(keyLen)+int(vl)+4)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return offset, nil
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[:])
+		crc.Write(body[:len(body)-4])
+		if crc.Sum32() != binary.LittleEndian.Uint32(body[len(body)-4:]) {
+			return offset, nil
+		}
+		key := string(body[:keyLen])
+		if isTomb {
+			if _, ok := s.index[key]; ok {
+				s.dead++
+			}
+			delete(s.index, key)
+			s.dead++
+		} else {
+			if _, ok := s.index[key]; ok {
+				s.dead++
+			}
+			val := make([]byte, vl)
+			copy(val, body[keyLen:keyLen+vl])
+			s.index[key] = val
+		}
+		offset += int64(8 + len(body))
+	}
+}
+
+// Put durably records key=val (visible immediately; durable after Sync or
+// Close).
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.appendLocked(key, val, false); err != nil {
+		return err
+	}
+	if _, ok := s.index[key]; ok {
+		s.dead++
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.index[key] = cp
+	return nil
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	v, ok := s.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, nil
+}
+
+// Delete removes key. Deleting a missing key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	if err := s.appendLocked(key, nil, true); err != nil {
+		return err
+	}
+	delete(s.index, key)
+	s.dead += 2 // the dead value record and the tombstone itself
+	return nil
+}
+
+// Keys returns all live keys in sorted order.
+func (s *Store) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Sync flushes buffered appends to the OS and fsyncs the file.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("metastore: flush: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("metastore: fsync: %w", err)
+	}
+	return nil
+}
+
+// Compact rewrites the log with only live records, shrinking the file.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	tmp := s.path + ".compact"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("metastore: compact: %w", err)
+	}
+	nw := bufio.NewWriter(nf)
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := writeRecord(nw, k, s.index[k], false); err != nil {
+			nf.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := nw.Flush(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("metastore: compact flush: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("metastore: compact fsync: %w", err)
+	}
+	if err := nf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("metastore: compact close: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("metastore: close old: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("metastore: rename: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("metastore: reopen: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.dead = 0
+	return nil
+}
+
+// DeadRatio returns the fraction of log records that are superseded; callers
+// can use it to decide when to Compact.
+func (s *Store) DeadRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := len(s.index)
+	total := live + s.dead
+	if total == 0 {
+		return 0
+	}
+	return float64(s.dead) / float64(total)
+}
+
+// Close syncs and closes the store. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("metastore: close flush: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("metastore: close fsync: %w", err)
+	}
+	return s.f.Close()
+}
+
+func (s *Store) appendLocked(key string, val []byte, del bool) error {
+	return writeRecord(s.w, key, val, del)
+}
+
+func writeRecord(w io.Writer, key string, val []byte, del bool) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(key)))
+	if del {
+		binary.LittleEndian.PutUint32(hdr[4:8], tombstone)
+	} else {
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(val)))
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write([]byte(key))
+	if !del {
+		crc.Write(val)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	chunks := [][]byte{hdr[:], []byte(key)}
+	if !del {
+		chunks = append(chunks, val)
+	}
+	chunks = append(chunks, tail[:])
+	for _, chunk := range chunks {
+		if _, err := w.Write(chunk); err != nil {
+			return fmt.Errorf("metastore: write: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+package metastore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "meta.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func TestPutGet(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if _, err := s.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put("k", []byte("one"))
+	s.Put("k", []byte("two"))
+	got, _ := s.Get("k")
+	if string(got) != "two" {
+		t.Fatalf("Get = %q", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put("k", []byte("v"))
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("key should be deleted")
+	}
+	// Deleting a missing key is a no-op.
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put("b", nil)
+	s.Put("a", nil)
+	s.Put("c", nil)
+	ks, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 3 || ks[0] != "a" || ks[2] != "c" {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put("k1", []byte("v1"))
+	s.Put("k2", []byte("v2"))
+	s.Delete("k1")
+	s.Put("k2", []byte("v2b"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key resurrected after reopen")
+	}
+	got, err := s2.Get("k2")
+	if err != nil || string(got) != "v2b" {
+		t.Fatalf("Get after reopen = %q, %v", got, err)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put("good", []byte("value"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: write garbage partial record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 0, 0, 0, 5, 0}) // truncated header+body
+	f.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get("good")
+	if err != nil || string(got) != "value" {
+		t.Fatalf("Get after torn tail = %q, %v", got, err)
+	}
+	// The torn bytes must be gone: a new Put then reopen must replay fine.
+	s2.Put("after", []byte("crash"))
+	s2.Close()
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	got, err = s3.Get("after")
+	if err != nil || string(got) != "crash" {
+		t.Fatalf("Get post-recovery append = %q, %v", got, err)
+	}
+}
+
+func TestCorruptChecksumDropped(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Close()
+	// Flip a bit in the last record's value region.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("a"); err != nil {
+		t.Fatal("first record should survive")
+	}
+	if _, err := s2.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("corrupted record should be dropped")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	s, path := openTemp(t)
+	for i := 0; i < 100; i++ {
+		s.Put("k", []byte(fmt.Sprintf("v%d", i)))
+	}
+	s.Put("keep", []byte("x"))
+	s.Delete("keep")
+	s.Put("other", []byte("y"))
+	if s.DeadRatio() < 0.5 {
+		t.Fatalf("DeadRatio = %v, want high", s.DeadRatio())
+	}
+	s.Sync()
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compact did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	if s.DeadRatio() != 0 {
+		t.Fatalf("DeadRatio after compact = %v", s.DeadRatio())
+	}
+	got, err := s.Get("k")
+	if err != nil || string(got) != "v99" {
+		t.Fatalf("Get after compact = %q, %v", got, err)
+	}
+	if _, err := s.Get("keep"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key visible after compact")
+	}
+	// Store still writable after compact, and persists.
+	s.Put("post", []byte("compact"))
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err = s2.Get("post")
+	if err != nil || string(got) != "compact" {
+		t.Fatalf("Get after compact+reopen = %q, %v", got, err)
+	}
+}
+
+func TestClosedOperations(t *testing.T) {
+	s, _ := openTemp(t)
+	s.Close()
+	if err := s.Put("k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatal("Put on closed store should fail")
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatal("Get on closed store should fail")
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrClosed) {
+		t.Fatal("Delete on closed store should fail")
+	}
+	if _, err := s.Keys(); !errors.Is(err, ErrClosed) {
+		t.Fatal("Keys on closed store should fail")
+	}
+	if err := s.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatal("Sync on closed store should fail")
+	}
+	if err := s.Compact(); !errors.Is(err, ErrClosed) {
+		t.Fatal("Compact on closed store should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double Close should be a no-op")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	val := []byte("original")
+	s.Put("k", val)
+	val[0] = 'X' // caller mutates its buffer
+	got, _ := s.Get("k")
+	if string(got) != "original" {
+		t.Fatal("store aliased caller's buffer")
+	}
+	got[0] = 'Y' // caller mutates returned buffer
+	got2, _ := s.Get("k")
+	if string(got2) != "original" {
+		t.Fatal("Get returned aliased internal buffer")
+	}
+}
+
+func TestEmptyAndBinaryValues(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put("empty", []byte{})
+	s.Put("nilval", nil)
+	bin := []byte{0, 1, 2, 255, 254, '\n', 0}
+	s.Put("bin", bin)
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, err := s2.Get("empty"); err != nil || len(v) != 0 {
+		t.Fatalf("empty = %v, %v", v, err)
+	}
+	if v, err := s2.Get("bin"); err != nil || !bytes.Equal(v, bin) {
+		t.Fatalf("bin = %v, %v", v, err)
+	}
+}
+
+// Property: after any sequence of puts/deletes, reopening yields exactly the
+// same live map (recovery = replay).
+func TestRecoveryEquivalenceProperty(t *testing.T) {
+	type op struct {
+		Key string
+		Val []byte
+		Del bool
+	}
+	f := func(rawOps []struct {
+		K   uint8
+		V   []byte
+		Del bool
+	}) bool {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "p.db")
+		s, err := Open(path)
+		if err != nil {
+			return false
+		}
+		model := map[string][]byte{}
+		for _, o := range rawOps {
+			key := fmt.Sprintf("key-%d", o.K%8)
+			if o.Del {
+				if s.Delete(key) != nil {
+					return false
+				}
+				delete(model, key)
+			} else {
+				if s.Put(key, o.V) != nil {
+					return false
+				}
+				model[key] = append([]byte(nil), o.V...)
+			}
+		}
+		if s.Close() != nil {
+			return false
+		}
+		s2, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, err := s2.Get(k)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+	_ = op{}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				key := fmt.Sprintf("k%d-%d", i, j%10)
+				s.Put(key, []byte{byte(j)})
+				s.Get(key)
+				if j%50 == 0 {
+					s.Delete(key)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestOpenCreatesParentDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deep", "nested", "meta.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}

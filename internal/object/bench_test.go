@@ -1,0 +1,45 @@
+package object
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkStorePut(b *testing.B) {
+	s := NewStore()
+	now := time.Unix(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("key-%d", i%1024), 4096, "tier1", "origin", nil, now)
+	}
+}
+
+func BenchmarkStoreApplyLWW(b *testing.B) {
+	s := NewStore()
+	base := time.Unix(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply(Meta{
+			Key: fmt.Sprintf("key-%d", i%512), Version: Version(i%8 + 1),
+			Origin: "remote", ModifiedAt: base.Add(time.Duration(i) * time.Microsecond),
+		})
+	}
+}
+
+func BenchmarkStoreLatest(b *testing.B) {
+	s := NewStore()
+	now := time.Unix(0, 0)
+	for i := 0; i < 1024; i++ {
+		for v := 0; v < 4; v++ {
+			s.Put(fmt.Sprintf("key-%d", i), 64, "tier1", "o", nil, now)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Latest(fmt.Sprintf("key-%d", i%1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package object
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2016, 5, 31, 0, 0, 0, 0, time.UTC)
+
+func TestPutAssignsIncreasingVersions(t *testing.T) {
+	s := NewStore()
+	m1 := s.Put("k", 10, "mem", "us-east", nil, t0)
+	m2 := s.Put("k", 20, "mem", "us-east", nil, t0.Add(time.Second))
+	if m1.Version != 1 || m2.Version != 2 {
+		t.Fatalf("versions = %d, %d", m1.Version, m2.Version)
+	}
+	l, err := s.Latest("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Version != 2 || l.Size != 20 {
+		t.Fatalf("Latest = %+v", l)
+	}
+}
+
+func TestLatestMissing(t *testing.T) {
+	s := NewStore()
+	_, err := s.Latest("nope")
+	var nf ErrNotFound
+	if !errors.As(err, &nf) || nf.Key != "nope" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGetVersion(t *testing.T) {
+	s := NewStore()
+	s.Put("k", 10, "mem", "a", nil, t0)
+	s.Put("k", 20, "mem", "a", nil, t0)
+	m, err := s.GetVersion("k", 1)
+	if err != nil || m.Size != 10 {
+		t.Fatalf("GetVersion(1) = %+v, %v", m, err)
+	}
+	if _, err := s.GetVersion("k", 5); err == nil {
+		t.Fatal("missing version should error")
+	}
+	if _, err := s.GetVersion("other", 1); err == nil {
+		t.Fatal("missing key should error")
+	}
+}
+
+func TestVersionList(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		s.Put("k", int64(i), "mem", "a", nil, t0)
+	}
+	vs, err := s.VersionList("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 5 {
+		t.Fatalf("len = %d", len(vs))
+	}
+	for i, v := range vs {
+		if v != Version(i+1) {
+			t.Fatalf("VersionList = %v", vs)
+		}
+	}
+	if _, err := s.VersionList("none"); err == nil {
+		t.Fatal("want error for missing key")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := NewStore()
+	s.Put("k", 1, "mem", "a", nil, t0)
+	if err := s.Remove("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Latest("k"); err == nil {
+		t.Fatal("key should be gone")
+	}
+	if err := s.Remove("k"); err == nil {
+		t.Fatal("double remove should error")
+	}
+}
+
+func TestRemoveVersion(t *testing.T) {
+	s := NewStore()
+	s.Put("k", 1, "mem", "a", nil, t0)
+	s.Put("k", 2, "mem", "a", nil, t0)
+	if err := s.RemoveVersion("k", 2); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := s.Latest("k")
+	if l.Version != 1 {
+		t.Fatalf("Latest after removing v2 = %d", l.Version)
+	}
+	if err := s.RemoveVersion("k", 2); err == nil {
+		t.Fatal("removing missing version should error")
+	}
+	// Removing the last version drops the key entirely.
+	if err := s.RemoveVersion("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("key should be gone after last version removed")
+	}
+	if err := s.RemoveVersion("k", 1); err == nil {
+		t.Fatal("want error for missing key")
+	}
+}
+
+func TestTouch(t *testing.T) {
+	s := NewStore()
+	s.Put("k", 1, "mem", "a", nil, t0)
+	later := t0.Add(time.Hour)
+	s.Touch("k", 1, later)
+	s.Touch("k", 1, later.Add(time.Hour))
+	m, _ := s.GetVersion("k", 1)
+	if m.AccessCnt != 2 {
+		t.Fatalf("AccessCnt = %d", m.AccessCnt)
+	}
+	if !m.AccessedAt.Equal(later.Add(time.Hour)) {
+		t.Fatalf("AccessedAt = %v", m.AccessedAt)
+	}
+	s.Touch("missing", 1, later) // must not panic
+}
+
+func TestSetDirtyAndTier(t *testing.T) {
+	s := NewStore()
+	s.Put("k", 1, "mem", "a", nil, t0)
+	if err := s.SetDirty("k", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTier("k", 1, "ebs"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.GetVersion("k", 1)
+	if !m.Dirty || m.TierName != "ebs" {
+		t.Fatalf("meta = %+v", m)
+	}
+	if err := s.SetDirty("x", 1, true); err == nil {
+		t.Fatal("want error")
+	}
+	if err := s.SetTier("k", 9, "ebs"); err == nil {
+		t.Fatal("want error")
+	}
+	if err := s.SetDirty("k", 9, true); err == nil {
+		t.Fatal("want error for missing version")
+	}
+	if err := s.SetTier("x", 1, "ebs"); err == nil {
+		t.Fatal("want error for missing key")
+	}
+}
+
+func TestTags(t *testing.T) {
+	s := NewStore()
+	m := s.Put("k", 1, "mem", "a", []string{"tmp", "log"}, t0)
+	if !m.HasTag("tmp") || !m.HasTag("log") || m.HasTag("hot") {
+		t.Fatalf("tags = %v", m.Tags)
+	}
+}
+
+func TestMetaCloneIndependence(t *testing.T) {
+	s := NewStore()
+	m := s.Put("k", 1, "mem", "a", []string{"x"}, t0)
+	m.Tags[0] = "mutated"
+	fresh, _ := s.Latest("k")
+	if fresh.Tags[0] != "x" {
+		t.Fatal("returned Meta aliases internal tags")
+	}
+}
+
+func TestNewerLWWRules(t *testing.T) {
+	base := Meta{Version: 3, ModifiedAt: t0, Origin: "a"}
+	higher := Meta{Version: 4, ModifiedAt: t0.Add(-time.Hour), Origin: "a"}
+	if !Newer(higher, base) {
+		t.Fatal("higher version must win regardless of mtime")
+	}
+	newer := Meta{Version: 3, ModifiedAt: t0.Add(time.Second), Origin: "a"}
+	if !Newer(newer, base) {
+		t.Fatal("same version, later mtime must win")
+	}
+	tie := Meta{Version: 3, ModifiedAt: t0, Origin: "b"}
+	if !Newer(tie, base) || Newer(base, tie) {
+		t.Fatal("ties must break deterministically on origin")
+	}
+}
+
+func TestApplyLWW(t *testing.T) {
+	s := NewStore()
+	s.Put("k", 1, "mem", "us-east", nil, t0)
+	// Remote update with same version but later mtime wins.
+	won := s.Apply(Meta{Key: "k", Version: 1, Size: 99, Origin: "eu-west", CreatedAt: t0, ModifiedAt: t0.Add(time.Second)})
+	if !won {
+		t.Fatal("later remote write should win")
+	}
+	m, _ := s.GetVersion("k", 1)
+	if m.Size != 99 || m.Origin != "eu-west" {
+		t.Fatalf("after apply = %+v", m)
+	}
+	// An older update must be rejected.
+	if s.Apply(Meta{Key: "k", Version: 1, Size: 1, Origin: "ap", ModifiedAt: t0.Add(-time.Minute)}) {
+		t.Fatal("older write must lose")
+	}
+	// A new version on a fresh key is always accepted.
+	if !s.Apply(Meta{Key: "fresh", Version: 7, Origin: "x", ModifiedAt: t0}) {
+		t.Fatal("fresh key apply should succeed")
+	}
+}
+
+// Property: regardless of delivery order, two replicas applying the same
+// set of updates converge to identical winners (LWW convergence).
+func TestApplyConvergenceProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		updates := make([]Meta, 0, 8)
+		for i := 0; i < 8; i++ {
+			updates = append(updates, Meta{
+				Key:        "k",
+				Version:    Version(1 + (int(seed)+i*3)%3),
+				Size:       int64(i),
+				Origin:     fmt.Sprintf("origin-%d", i%4),
+				ModifiedAt: t0.Add(time.Duration((int(seed)*7+i*13)%5) * time.Second),
+			})
+		}
+		a, b := NewStore(), NewStore()
+		for _, u := range updates {
+			a.Apply(u)
+		}
+		for i := len(updates) - 1; i >= 0; i-- { // reverse order
+			b.Apply(updates[i])
+		}
+		for v := Version(1); v <= 3; v++ {
+			ma, errA := a.GetVersion("k", v)
+			mb, errB := b.GetVersion("k", v)
+			if (errA == nil) != (errB == nil) {
+				return false
+			}
+			if errA == nil && (ma.Size != mb.Size || ma.Origin != mb.Origin) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := NewStore()
+	s.Put("a", 1, "mem", "x", nil, t0)
+	s.Put("b", 2, "mem", "x", nil, t0)
+	s.Put("b", 3, "mem", "x", nil, t0)
+	count := 0
+	s.Scan(func(m Meta) bool { count++; return true })
+	if count != 3 {
+		t.Fatalf("Scan visited %d metas, want 3", count)
+	}
+	// Early stop.
+	count = 0
+	s.Scan(func(m Meta) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("Scan with early stop visited %d", count)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewStore()
+	s.Put("zebra", 1, "mem", "x", nil, t0)
+	s.Put("alpha", 1, "mem", "x", nil, t0)
+	ks := s.Keys()
+	if len(ks) != 2 || ks[0] != "alpha" || ks[1] != "zebra" {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
+
+func TestVersionKey(t *testing.T) {
+	if got := VersionKey("photo.jpg", 3); got != "photo.jpg@v3" {
+		t.Fatalf("VersionKey = %q", got)
+	}
+}
+
+func TestErrNotFoundMessages(t *testing.T) {
+	e1 := ErrNotFound{Key: "k"}
+	e2 := ErrNotFound{Key: "k", Version: 2}
+	if e1.Error() == e2.Error() {
+		t.Fatal("messages should differ with/without version")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%4)
+			for j := 0; j < 200; j++ {
+				s.Put(key, int64(j), "mem", "a", nil, t0)
+				_, _ = s.Latest(key)
+				s.Touch(key, 1, t0)
+				_ = s.Len()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// 2 goroutines per key, 200 puts each -> 400 versions.
+	vs, err := s.VersionList("k0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("no versions recorded")
+	}
+}
+
+func TestVersionedObjectLatestEmpty(t *testing.T) {
+	vo := NewVersionedObject("k")
+	if vo.Latest() != nil {
+		t.Fatal("empty object Latest should be nil")
+	}
+}

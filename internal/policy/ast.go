@@ -1,0 +1,297 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ValueKind classifies literal values in the policy language.
+type ValueKind int
+
+// Value kinds.
+const (
+	ValNone ValueKind = iota
+	ValString
+	ValNumber
+	ValBool
+	ValDuration
+	ValSize    // bytes
+	ValRate    // bytes per second
+	ValPercent // 0..100
+	ValIdent   // unresolved identifier (tier names, region names, ...)
+)
+
+// Value is a literal or identifier value in the language.
+type Value struct {
+	Kind ValueKind
+	Str  string        // ValString, ValIdent
+	Num  float64       // ValNumber, ValRate (bytes/sec), ValPercent
+	Bool bool          // ValBool
+	Dur  time.Duration // ValDuration
+	Size int64         // ValSize
+}
+
+// Constructors for Value.
+func StringVal(s string) Value          { return Value{Kind: ValString, Str: s} }
+func NumberVal(f float64) Value         { return Value{Kind: ValNumber, Num: f} }
+func BoolVal(b bool) Value              { return Value{Kind: ValBool, Bool: b} }
+func DurationVal(d time.Duration) Value { return Value{Kind: ValDuration, Dur: d} }
+func SizeVal(n int64) Value             { return Value{Kind: ValSize, Size: n} }
+func RateVal(bps float64) Value         { return Value{Kind: ValRate, Num: bps} }
+func PercentVal(p float64) Value        { return Value{Kind: ValPercent, Num: p} }
+func IdentVal(s string) Value           { return Value{Kind: ValIdent, Str: s} }
+
+// String renders the value in policy-source syntax.
+func (v Value) String() string {
+	switch v.Kind {
+	case ValString:
+		return strconv.Quote(v.Str)
+	case ValNumber:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case ValBool:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	case ValDuration:
+		return formatDuration(v.Dur)
+	case ValSize:
+		return formatSize(v.Size)
+	case ValRate:
+		return formatSize(int64(v.Num)) + "/s"
+	case ValPercent:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64) + "%"
+	case ValIdent:
+		return v.Str
+	default:
+		return "<none>"
+	}
+}
+
+// Equal reports semantic equality of two values (identifiers compare by
+// name; numbers by value).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		// Identifiers can equal strings of the same text ("true"-like laxity
+		// is NOT allowed; only ident<->string).
+		if (v.Kind == ValIdent && o.Kind == ValString) || (v.Kind == ValString && o.Kind == ValIdent) {
+			return v.Str == o.Str
+		}
+		return false
+	}
+	switch v.Kind {
+	case ValString, ValIdent:
+		return v.Str == o.Str
+	case ValNumber, ValRate, ValPercent:
+		return v.Num == o.Num
+	case ValBool:
+		return v.Bool == o.Bool
+	case ValDuration:
+		return v.Dur == o.Dur
+	case ValSize:
+		return v.Size == o.Size
+	default:
+		return true
+	}
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Hour && d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%dmin", d/time.Minute)
+	case d >= time.Second && d%time.Second == 0:
+		return fmt.Sprintf("%ds", d/time.Second)
+	default:
+		return fmt.Sprintf("%dms", d/time.Millisecond)
+	}
+}
+
+func formatSize(n int64) string {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+		gb = 1 << 30
+		tb = 1 << 40
+	)
+	switch {
+	case n >= tb && n%tb == 0:
+		return fmt.Sprintf("%dT", n/tb)
+	case n >= gb && n%gb == 0:
+		return fmt.Sprintf("%dG", n/gb)
+	case n >= mb && n%mb == 0:
+		return fmt.Sprintf("%dM", n/mb)
+	case n >= kb && n%kb == 0:
+		return fmt.Sprintf("%dKB", n/kb)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Expr is an expression AST node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// LitExpr is a literal value.
+type LitExpr struct{ Val Value }
+
+// IdentExpr is a (possibly dotted) identifier reference such as
+// insert.object.dirty or local_instance.isPrimary.
+type IdentExpr struct{ Path string }
+
+// BinaryExpr applies Op to Left and Right. Ops: == != < > <= >= && ||.
+type BinaryExpr struct {
+	Op          TokenKind
+	Left, Right Expr
+}
+
+// UnaryExpr applies ! to X.
+type UnaryExpr struct {
+	Op TokenKind
+	X  Expr
+}
+
+func (*LitExpr) exprNode()    {}
+func (*IdentExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+
+// String renders the expression as source.
+func (e *LitExpr) String() string { return e.Val.String() }
+
+// String renders the expression as source.
+func (e *IdentExpr) String() string { return e.Path }
+
+// String renders the expression as source.
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("%s %s %s", parenthesize(e.Left, e.Op), e.Op, parenthesize(e.Right, e.Op))
+}
+
+// String renders the expression as source.
+func (e *UnaryExpr) String() string { return "!" + e.X.String() }
+
+// parenthesize wraps child in parens when it binds looser than parent op.
+func parenthesize(child Expr, parentOp TokenKind) string {
+	b, ok := child.(*BinaryExpr)
+	if !ok {
+		return child.String()
+	}
+	if precedence(b.Op) < precedence(parentOp) {
+		return "(" + b.String() + ")"
+	}
+	return b.String()
+}
+
+func precedence(op TokenKind) int {
+	switch op {
+	case TokOr:
+		return 1
+	case TokAnd:
+		return 2
+	case TokEq, TokNeq, TokLt, TokGt, TokLe, TokGe:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Stmt is a statement inside a response block.
+type Stmt interface {
+	stmtNode()
+	indentString(depth int) string
+}
+
+// ActionStmt invokes a response action such as store, copy, move, forward,
+// queue, lock, release, change_policy, grow, delete. Args are named; the
+// paper's figures use what:/to:/bandwidth:.
+type ActionStmt struct {
+	Name string
+	Args []Arg
+}
+
+// Arg is one named action argument. The value is an expression because
+// "what" selectors are predicates over object attributes.
+type Arg struct {
+	Name string
+	Expr Expr
+}
+
+// Get returns the expression for the named argument and whether it exists.
+func (a *ActionStmt) Get(name string) (Expr, bool) {
+	for _, arg := range a.Args {
+		if arg.Name == name {
+			return arg.Expr, true
+		}
+	}
+	return nil, false
+}
+
+// AssignStmt sets an attribute: insert.object.dirty = true.
+type AssignStmt struct {
+	Path string
+	Expr Expr
+}
+
+// IfStmt is a conditional with an optional else branch. The paper's
+// figures use if/else if/else inside responses (Fig 3(b), Fig 5).
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may hold a single IfStmt to encode "else if"
+}
+
+func (*ActionStmt) stmtNode() {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+
+// EventDecl is one event(...) : response { ... } pair.
+type EventDecl struct {
+	Expr Expr   // raw event expression
+	Body []Stmt // response statements
+}
+
+// TierDecl declares a storage tier: tier1: {name: memory, size: 5G}.
+type TierDecl struct {
+	Label string // tier1, tier2, ...
+	Attrs []Attr
+}
+
+// RegionDecl declares an instance placement: Region1 = {region: us-west,
+// name: LowLatencyInstance, primary: true, tier1 = {...}}.
+type RegionDecl struct {
+	Label string
+	Attrs []Attr
+	Tiers []TierDecl // nested tier overrides
+}
+
+// Attr is one name/value attribute.
+type Attr struct {
+	Name string
+	Val  Value
+}
+
+// FindAttr returns the value of the named attribute in attrs.
+func FindAttr(attrs []Attr, name string) (Value, bool) {
+	for _, a := range attrs {
+		if strings.EqualFold(a.Name, name) {
+			return a.Val, true
+		}
+	}
+	return Value{}, false
+}
+
+// Spec is a full parsed policy: either a Tiera (local) or Wiera (global)
+// specification.
+type Spec struct {
+	IsGlobal bool // wiera vs tiera
+	Name     string
+	Params   []string // declaration parameters, e.g. (time t)
+	Tiers    []TierDecl
+	Regions  []RegionDecl
+	Events   []EventDecl
+}

@@ -1,0 +1,81 @@
+package policy
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkParseBuiltin(b *testing.B) {
+	src, err := BuiltinSource("MultiPrimariesConsistency")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	spec, err := Builtin("LowLatencyInstance")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := map[string]Value{"t": DurationVal(time.Second)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(spec, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalGuard(b *testing.B) {
+	toks, err := Lex("threshold.latency > 800ms && threshold.period > 30s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &parser{toks: toks}
+	expr, err := p.parseExpr()
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := NewMapEnv()
+	env.Set("threshold.latency", DurationVal(900*time.Millisecond))
+	env.Set("threshold.period", DurationVal(time.Minute))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(expr, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchExec discards actions: measures pure engine dispatch cost.
+type benchExec struct{}
+
+func (benchExec) Do(*ActionCall) error       { return nil }
+func (benchExec) Assign(string, Value) error { return nil }
+
+func BenchmarkFireInsertEvent(b *testing.B) {
+	spec, err := Builtin("PrimaryBackupConsistency")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := Compile(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := prog.ByKind(KindInsert)[0]
+	env := NewMapEnv()
+	env.Set("insert.key", StringVal("k"))
+	env.Set("local_instance.isPrimary", BoolVal(true))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Fire(env, benchExec{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package policy
+
+import "fmt"
+
+// Builtin policy sources transcribe the paper's figures into this package's
+// notation (canonicalized spacing and units; semantics unchanged). They are
+// the specifications the experiments run.
+var builtinSources = map[string]string{
+	// Figure 1(a): write-back caching — store to memory, copy dirty objects
+	// to the persistent tier on a timer.
+	"LowLatencyInstance": `
+Tiera LowLatencyInstance(time t) {
+	% two tiers specified with initial sizes
+	tier1: {name: memory, size: 5G};
+	tier2: {name: ebs-ssd, size: 5G};
+	% action event defined to always store data into memory
+	event(insert.into) : response {
+		insert.object.dirty = true;
+		store(what: insert.object, to: tier1);
+	}
+	% write back policy: copying data to persistent store on a timer event
+	event(time = t) : response {
+		copy(what: object.location == tier1 && object.dirty == true, to: tier2);
+	}
+}`,
+
+	// Figure 1(b): write-through with a backup tier once the persistent
+	// tier is half full.
+	"PersistentInstance": `
+Tiera PersistentInstance {
+	tier1: {name: memory, size: 5G};
+	tier2: {name: ebs-ssd, size: 5G};
+	tier3: {name: s3, size: 10G};
+	% write-through policy using action event and copy response
+	event(insert.into == tier1) : response {
+		copy(what: insert.object, to: tier2);
+	}
+	% simple backup policy
+	event(tier2.filled == 50%) : response {
+		copy(what: object.location == tier2, to: tier3, bandwidth: 40KB/s);
+	}
+}`,
+
+	// Figure 3(a): every replica is a primary; updates fan out
+	// synchronously under a global per-key lock.
+	"MultiPrimariesConsistency": `
+Wiera MultiPrimariesConsistency {
+	Region1 = {name: LowLatencyInstance, region: us-west,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	Region2 = {name: LowLatencyInstance, region: us-east,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	Region3 = {name: LowLatencyInstance, region: eu-west,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	% MultiPrimaries Consistency
+	event(insert.into) : response {
+		lock(what: insert.key);
+		store(what: insert.object, to: local_instance);
+		copy(what: insert.object, to: all_regions);
+		release(what: insert.key);
+	}
+}`,
+
+	// Figure 3(b): a single primary; non-primaries forward puts.
+	"PrimaryBackupConsistency": `
+Wiera PrimaryBackupConsistency {
+	% Primary instance is running on Region1
+	Region1 = {name: LowLatencyInstance, region: us-west, primary: true,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	Region2 = {name: LowLatencyInstance, region: us-east,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	% PrimaryBackup Consistency
+	event(insert.into) : response {
+		if (local_instance.isPrimary == true) {
+			store(what: insert.object, to: local_instance);
+			copy(what: insert.object, to: all_regions);
+		} else {
+			forward(what: insert.object, to: primary_instance);
+		}
+	}
+}`,
+
+	// Figure 4: local write plus background propagation.
+	"EventualConsistency": `
+Wiera EventualConsistency {
+	Region1 = {name: LowLatencyInstance, region: us-west,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	% Eventual Consistency
+	event(insert.into) : response {
+		store(what: insert.object, to: local_instance);
+		queue(what: insert.object, to: all_regions);
+	}
+}`,
+
+	// Figure 5(a): switch between strong and eventual based on observed
+	// put latency (800 ms threshold sustained for 30 s).
+	"DynamicConsistency": `
+Wiera DynamicConsistency {
+	% In Multiple-Primaries Consistency: put operations spending more time
+	% than the threshold for a sustained period trigger a policy change.
+	event(threshold.type == put) : response {
+		if (threshold.latency > 800ms && threshold.period > 30s) {
+			change_policy(what: consistency, to: EventualConsistency);
+		} else if (threshold.latency <= 800ms && threshold.period > 30s) {
+			change_policy(what: consistency, to: MultiPrimariesConsistency);
+		}
+	}
+}`,
+
+	// Figure 5(b): move the primary to the instance that forwarded the
+	// most requests.
+	"ChangePrimary": `
+Wiera ChangePrimary {
+	% In Primary-Backup Consistency: if another instance forwarded more
+	% requests than the primary received directly, move the primary there.
+	event(threshold.type == primary) : response {
+		if (threshold.forwarded >= threshold.fromClients && threshold.period >= 600s) {
+			change_policy(what: primary_instance, to: instance_forward_most);
+		}
+	}
+}`,
+
+	// Figure 6(a): demote objects unaccessed for 120 hours to the cheap
+	// tier.
+	"ReducedCostPolicy": `
+Wiera ReducedCostPolicy {
+	Region1 = {name: PersistentInstance, region: us-west,
+		tier1 = {name: ebs-ssd, size: 5G}, tier2 = {name: s3-ia, size: 5G}};
+	% Data is getting cold
+	event(object.lastAccessedTime > 120h) : response {
+		move(what: object.location == tier1, to: tier2, bandwidth: 100KB/s);
+	}
+}`,
+
+	// ForwardingInstance: the minimal local instance of Fig 6(b)'s
+	// non-primary members — a small memory tier used only as a cache while
+	// every put is forwarded by the global policy.
+	"ForwardingInstance": `
+Tiera ForwardingInstance {
+	tier1: {name: memory, size: 1G};
+}`,
+
+	// Figure 6(b): same-region forwarding instances around one primary
+	// with the fastest tier.
+	"SimplerConsistency": `
+Wiera SimplerConsistency {
+	Region1 = {name: LowLatencyInstance, region: us-west, primary: true,
+		tier1 = {name: memory, size: 30G}, tier2 = {name: ebs-ssd, size: 30G}};
+	Region2 = {name: ForwardingInstance, region: us-west-2};
+	Region3 = {name: ForwardingInstance, region: us-west-3};
+	% PrimaryBackup Consistency within one region
+	event(insert.into) : response {
+		if (local_instance.isPrimary == true) {
+			store(what: insert.object, to: local_instance);
+		} else {
+			forward(what: insert.object, to: primary_instance);
+		}
+	}
+}`,
+}
+
+// BuiltinNames returns the names of all built-in policies.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtinSources))
+	for n := range builtinSources {
+		names = append(names, n)
+	}
+	return names
+}
+
+// BuiltinSource returns the policy source text for name.
+func BuiltinSource(name string) (string, error) {
+	src, ok := builtinSources[name]
+	if !ok {
+		return "", fmt.Errorf("policy: no builtin policy %q", name)
+	}
+	return src, nil
+}
+
+// Builtin parses the named built-in policy.
+func Builtin(name string) (*Spec, error) {
+	src, err := BuiltinSource(name)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(src)
+}

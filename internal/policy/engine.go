@@ -1,0 +1,345 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// EventKind classifies compiled events by what triggers them.
+type EventKind int
+
+// Event kinds recognized by the engine.
+const (
+	// KindInsert fires on object insertion (the action event
+	// "insert.into", optionally guarded by a target tier).
+	KindInsert EventKind = iota
+	// KindGet fires on object retrieval ("get.from").
+	KindGet
+	// KindTimer fires periodically ("time = t").
+	KindTimer
+	// KindFilled fires when a tier's fill fraction crosses a threshold
+	// ("tier2.filled == 50%").
+	KindFilled
+	// KindObjectMonitor fires per object matching a metadata predicate,
+	// evaluated by a periodic scan ("object.lastAccessedTime > 120h" — the
+	// paper's ColdDataMonitoring).
+	KindObjectMonitor
+	// KindThreshold fires from the latency/requests monitoring threads
+	// ("threshold.type == put" / "threshold.type == primary").
+	KindThreshold
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindGet:
+		return "get"
+	case KindTimer:
+		return "timer"
+	case KindFilled:
+		return "filled"
+	case KindObjectMonitor:
+		return "object-monitor"
+	case KindThreshold:
+		return "threshold"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// CompiledEvent is one event/response pair classified and parameterized.
+type CompiledEvent struct {
+	Kind EventKind
+	Expr Expr   // original event expression, used as the firing guard
+	Body []Stmt // response statements
+
+	// Kind-specific parameters.
+	Period   time.Duration // KindTimer: firing period
+	Tier     string        // KindFilled: tier label
+	FillFrac float64       // KindFilled: threshold in [0,1]
+	Monitor  string        // KindThreshold: monitor name (put, get, primary)
+}
+
+// Program is a compiled policy specification ready to execute.
+type Program struct {
+	Spec   *Spec
+	Events []*CompiledEvent
+	params *MapEnv
+}
+
+// Compile classifies every event in spec. params binds declaration
+// parameters (e.g. {"t": DurationVal(10*time.Second)} for "Tiera X(time
+// t)") and is consulted when event expressions reference them.
+func Compile(spec *Spec, params map[string]Value) (*Program, error) {
+	env := NewMapEnv()
+	for k, v := range params {
+		env.Set(k, v)
+	}
+	p := &Program{Spec: spec, params: env}
+	for i := range spec.Events {
+		ce, err := classify(&spec.Events[i], env)
+		if err != nil {
+			return nil, fmt.Errorf("policy: event %d of %s: %w", i, spec.Name, err)
+		}
+		p.Events = append(p.Events, ce)
+	}
+	return p, nil
+}
+
+// classify determines an event's kind from its expression shape.
+func classify(decl *EventDecl, params Env) (*CompiledEvent, error) {
+	ce := &CompiledEvent{Expr: decl.Expr, Body: decl.Body}
+	root := firstIdent(decl.Expr)
+	switch {
+	case root == "":
+		return nil, fmt.Errorf("event expression %q names no attribute", decl.Expr)
+	case strings.HasPrefix(root, "insert."):
+		ce.Kind = KindInsert
+	case strings.HasPrefix(root, "get."):
+		ce.Kind = KindGet
+	case root == "time":
+		ce.Kind = KindTimer
+		bin, ok := decl.Expr.(*BinaryExpr)
+		if !ok || bin.Op != TokEq {
+			return nil, fmt.Errorf("timer event must be time = <duration>")
+		}
+		v, err := Eval(bin.Right, params)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind != ValDuration {
+			return nil, fmt.Errorf("timer period %s is not a duration", v)
+		}
+		ce.Period = v.Dur
+	case strings.HasSuffix(root, ".filled"):
+		ce.Kind = KindFilled
+		ce.Tier = strings.TrimSuffix(root, ".filled")
+		bin, ok := decl.Expr.(*BinaryExpr)
+		if !ok || (bin.Op != TokEq && bin.Op != TokGe && bin.Op != TokGt) {
+			return nil, fmt.Errorf("filled event must compare %s.filled to a percent", ce.Tier)
+		}
+		v, err := Eval(bin.Right, params)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Kind {
+		case ValPercent:
+			ce.FillFrac = v.Num / 100
+		case ValNumber:
+			ce.FillFrac = v.Num
+		default:
+			return nil, fmt.Errorf("filled threshold %s is not a percent", v)
+		}
+		if ce.FillFrac < 0 || ce.FillFrac > 1 {
+			return nil, fmt.Errorf("filled threshold %.3f outside [0,1]", ce.FillFrac)
+		}
+	case strings.HasPrefix(root, "object."):
+		ce.Kind = KindObjectMonitor
+	case strings.HasPrefix(root, "threshold."):
+		ce.Kind = KindThreshold
+		if bin, ok := decl.Expr.(*BinaryExpr); ok && bin.Op == TokEq {
+			v, err := Eval(bin.Right, params)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind == ValIdent || v.Kind == ValString {
+				ce.Monitor = v.Str
+			}
+		}
+		if ce.Monitor == "" {
+			return nil, fmt.Errorf("threshold event must be threshold.type == <monitor>")
+		}
+	default:
+		return nil, fmt.Errorf("unrecognized event expression %q", decl.Expr)
+	}
+	return ce, nil
+}
+
+// firstIdent returns the leftmost identifier path in expr.
+func firstIdent(expr Expr) string {
+	switch e := expr.(type) {
+	case *IdentExpr:
+		return e.Path
+	case *UnaryExpr:
+		return firstIdent(e.X)
+	case *BinaryExpr:
+		if s := firstIdent(e.Left); s != "" {
+			return s
+		}
+		return firstIdent(e.Right)
+	default:
+		return ""
+	}
+}
+
+// ByKind returns the compiled events of one kind, in declaration order.
+func (p *Program) ByKind(kind EventKind) []*CompiledEvent {
+	var out []*CompiledEvent
+	for _, e := range p.Events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Predicate tests one object's metadata environment; used for "what"
+// selectors like object.location == tier1 && object.dirty == true.
+type Predicate func(objEnv Env) (bool, error)
+
+// ActionCall is one response action, with arguments evaluated: Args holds
+// eagerly evaluated values, Preds holds arguments that are predicates over
+// object attributes (detected by their reference to "object.").
+type ActionCall struct {
+	Name  string
+	Args  map[string]Value
+	Preds map[string]Predicate
+}
+
+// Arg returns the named evaluated argument value.
+func (c *ActionCall) Arg(name string) (Value, bool) {
+	v, ok := c.Args[name]
+	return v, ok
+}
+
+// StringArg returns the named argument as a string (identifier or string
+// value) or an error.
+func (c *ActionCall) StringArg(name string) (string, error) {
+	v, ok := c.Args[name]
+	if !ok {
+		return "", fmt.Errorf("policy: action %s missing argument %q", c.Name, name)
+	}
+	if v.Kind != ValIdent && v.Kind != ValString {
+		return "", fmt.Errorf("policy: action %s argument %q is %s, want name", c.Name, name, v)
+	}
+	return v.Str, nil
+}
+
+// Executor carries out response actions and attribute assignments. The
+// Tiera layer implements local actions (store, copy, move, delete, grow);
+// the Wiera layer adds global ones (forward, queue, lock, release,
+// change_policy).
+type Executor interface {
+	// Do performs one action. Unknown actions should return an error.
+	Do(call *ActionCall) error
+	// Assign sets an attribute path (insert.object.dirty = true).
+	Assign(path string, v Value) error
+}
+
+// FireGuard evaluates the event's expression as its firing guard in env.
+// Bare attribute references (event(insert.into)) count as true; boolean
+// expressions are evaluated.
+func (e *CompiledEvent) FireGuard(env Env) (bool, error) {
+	switch e.Expr.(type) {
+	case *IdentExpr:
+		return true, nil
+	}
+	if e.Kind == KindTimer || e.Kind == KindFilled || e.Kind == KindObjectMonitor {
+		// These fire from schedulers that already checked the condition.
+		return true, nil
+	}
+	v, err := Eval(e.Expr, env)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != ValBool {
+		return true, nil // non-boolean event exprs (e.g. insert.into) fire unconditionally
+	}
+	return v.Bool, nil
+}
+
+// Execute runs the event's response body in env against exec.
+func (e *CompiledEvent) Execute(env Env, exec Executor) error {
+	return execStmts(e.Body, env, exec)
+}
+
+// Fire evaluates the guard and, when it holds, executes the body. It
+// reports whether the body ran.
+func (e *CompiledEvent) Fire(env Env, exec Executor) (bool, error) {
+	ok, err := e.FireGuard(env)
+	if err != nil || !ok {
+		return false, err
+	}
+	if err := e.Execute(env, exec); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+func execStmts(stmts []Stmt, env Env, exec Executor) error {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignStmt:
+			v, err := Eval(st.Expr, env)
+			if err != nil {
+				return err
+			}
+			if err := exec.Assign(st.Path, v); err != nil {
+				return err
+			}
+		case *IfStmt:
+			cond, err := EvalBool(st.Cond, env)
+			if err != nil {
+				return err
+			}
+			if cond {
+				if err := execStmts(st.Then, env, exec); err != nil {
+					return err
+				}
+			} else if len(st.Else) > 0 {
+				if err := execStmts(st.Else, env, exec); err != nil {
+					return err
+				}
+			}
+		case *ActionStmt:
+			call, err := evalCall(st, env)
+			if err != nil {
+				return err
+			}
+			if err := exec.Do(call); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("policy: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+// evalCall evaluates an action's arguments. Arguments whose expressions
+// reference object.* become Predicates evaluated later per object; all
+// others are evaluated eagerly in env.
+func evalCall(st *ActionStmt, env Env) (*ActionCall, error) {
+	call := &ActionCall{Name: st.Name, Args: make(map[string]Value), Preds: make(map[string]Predicate)}
+	for _, a := range st.Args {
+		if ReferencesPrefix(a.Expr, "object.") {
+			expr := a.Expr
+			outer := env
+			call.Preds[a.Name] = func(objEnv Env) (bool, error) {
+				chained := &MapEnv{Vars: map[string]Value{}, Parent: &chainEnv{first: objEnv, second: outer}}
+				return EvalBool(expr, chained)
+			}
+			continue
+		}
+		v, err := Eval(a.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		call.Args[a.Name] = v
+	}
+	return call, nil
+}
+
+// chainEnv consults first then second.
+type chainEnv struct{ first, second Env }
+
+// Lookup implements Env.
+func (c *chainEnv) Lookup(path string) (Value, bool) {
+	if v, ok := c.first.Lookup(path); ok {
+		return v, true
+	}
+	return c.second.Lookup(path)
+}

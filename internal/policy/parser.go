@@ -1,0 +1,546 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse parses one policy specification from src.
+//
+// Grammar (paper-figure style, case-insensitive keywords):
+//
+//	spec      := ("Tiera"|"Wiera") IDENT [params] "{" item* "}"
+//	params    := "(" [IDENT IDENT ("," IDENT IDENT)*] ")"
+//	item      := tierDecl | regionDecl | eventDecl
+//	tierDecl  := IDENT ":" attrBlock [";"]
+//	regionDecl:= IDENT "=" attrBlock [";"]
+//	attrBlock := "{" attr ((","|";") attr)* "}"
+//	attr      := IDENT (":"|"=") (value | attrBlock)   // nested = tier override
+//	eventDecl := "event" "(" expr ")" ":" "response" "{" stmt* "}"
+//	stmt      := ifStmt | assign | action
+//	ifStmt    := "if" "(" expr ")" block-or-stmts ["else" (ifStmt | block-or-stmts)]
+//	assign    := IDENT "=" expr [";"]
+//	action    := IDENT "(" [arg ("," arg)*] ")" [";"]
+//	arg       := IDENT ":" expr
+//	expr      := or-expr with ==, !=, <, >, <=, >=, &&, ||, !, parens
+func Parse(src string) (*Spec, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	spec, err := p.parseSpec()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("trailing input after specification")
+	}
+	return spec, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("policy: line %d:%d: %s (at %q)", t.Line, t.Col, fmt.Sprintf(format, args...), t.Text)
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	if p.peek().Kind != kind {
+		return Token{}, p.errorf("expected %s", kind)
+	}
+	return p.next(), nil
+}
+
+// accept consumes the next token when it matches kind.
+func (p *parser) accept(kind TokenKind) bool {
+	if p.peek().Kind == kind {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSpec() (*Spec, error) {
+	kw, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	spec := &Spec{}
+	switch strings.ToLower(kw.Text) {
+	case "tiera":
+		spec.IsGlobal = false
+	case "wiera":
+		spec.IsGlobal = true
+	default:
+		return nil, p.errorf("specification must begin with Tiera or Wiera, got %q", kw.Text)
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	spec.Name = name.Text
+	if p.accept(TokLParen) {
+		for p.peek().Kind == TokIdent {
+			typ := p.next() // parameter type (e.g. time)
+			if p.peek().Kind == TokIdent {
+				nm := p.next()
+				spec.Params = append(spec.Params, typ.Text+" "+nm.Text)
+			} else {
+				spec.Params = append(spec.Params, typ.Text)
+			}
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for p.peek().Kind != TokRBrace {
+		if p.peek().Kind == TokEOF {
+			return nil, p.errorf("unexpected EOF in specification body")
+		}
+		if err := p.parseItem(spec); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // closing brace
+	return spec, nil
+}
+
+func (p *parser) parseItem(spec *Spec) error {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return p.errorf("expected tier, region, or event declaration")
+	}
+	if strings.EqualFold(t.Text, "event") {
+		ev, err := p.parseEvent()
+		if err != nil {
+			return err
+		}
+		spec.Events = append(spec.Events, *ev)
+		return nil
+	}
+	label := p.next()
+	switch p.peek().Kind {
+	case TokColon:
+		p.next()
+		attrs, tiers, err := p.parseAttrBlock()
+		if err != nil {
+			return err
+		}
+		if len(tiers) > 0 {
+			return p.errorf("tier declaration %q cannot nest tiers", label.Text)
+		}
+		spec.Tiers = append(spec.Tiers, TierDecl{Label: label.Text, Attrs: attrs})
+	case TokAssign:
+		p.next()
+		attrs, tiers, err := p.parseAttrBlock()
+		if err != nil {
+			return err
+		}
+		spec.Regions = append(spec.Regions, RegionDecl{Label: label.Text, Attrs: attrs, Tiers: tiers})
+	default:
+		return p.errorf("expected ':' or '=' after %q", label.Text)
+	}
+	p.accept(TokSemi)
+	return nil
+}
+
+// parseAttrBlock parses {a: v, b = v, tierN = {...}} returning flat attrs
+// and nested tier declarations.
+func (p *parser) parseAttrBlock() ([]Attr, []TierDecl, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, nil, err
+	}
+	var attrs []Attr
+	var tiers []TierDecl
+	for p.peek().Kind != TokRBrace {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !p.accept(TokColon) && !p.accept(TokAssign) {
+			return nil, nil, p.errorf("expected ':' or '=' after attribute %q", name.Text)
+		}
+		if p.peek().Kind == TokLBrace {
+			sub, subTiers, err := p.parseAttrBlock()
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(subTiers) > 0 {
+				return nil, nil, p.errorf("attribute block for %q nests too deep", name.Text)
+			}
+			tiers = append(tiers, TierDecl{Label: name.Text, Attrs: sub})
+		} else {
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, nil, err
+			}
+			attrs = append(attrs, Attr{Name: name.Text, Val: v})
+		}
+		if !p.accept(TokComma) && !p.accept(TokSemi) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, nil, err
+	}
+	return attrs, tiers, nil
+}
+
+func (p *parser) parseValue() (Value, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokString:
+		return StringVal(t.Text), nil
+	case TokNumber:
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return Value{}, p.errorf("bad number %q", t.Text)
+		}
+		return NumberVal(f), nil
+	case TokDuration:
+		d, err := parseDurationText(t.Text)
+		if err != nil {
+			return Value{}, p.errorf("%v", err)
+		}
+		return DurationVal(d), nil
+	case TokSize:
+		n, err := parseSizeText(t.Text)
+		if err != nil {
+			return Value{}, p.errorf("%v", err)
+		}
+		return SizeVal(n), nil
+	case TokRate:
+		n, err := parseSizeText(t.Text)
+		if err != nil {
+			return Value{}, p.errorf("%v", err)
+		}
+		return RateVal(float64(n)), nil
+	case TokPercent:
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return Value{}, p.errorf("bad percent %q", t.Text)
+		}
+		return PercentVal(f), nil
+	case TokIdent:
+		switch strings.ToLower(t.Text) {
+		case "true":
+			return BoolVal(true), nil
+		case "false":
+			return BoolVal(false), nil
+		}
+		return IdentVal(t.Text), nil
+	default:
+		return Value{}, p.errorf("expected a value")
+	}
+}
+
+func (p *parser) parseEvent() (*EventDecl, error) {
+	p.next() // "event"
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	kw, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(kw.Text, "response") {
+		return nil, p.errorf("expected 'response', got %q", kw.Text)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &EventDecl{Expr: expr, Body: body}, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.peek().Kind != TokRBrace {
+		if p.peek().Kind == TokEOF {
+			return nil, p.errorf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next()
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return nil, p.errorf("expected statement")
+	}
+	if strings.EqualFold(t.Text, "if") {
+		return p.parseIf()
+	}
+	name := p.next()
+	switch p.peek().Kind {
+	case TokAssign:
+		p.next()
+		expr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.accept(TokSemi)
+		return &AssignStmt{Path: name.Text, Expr: expr}, nil
+	case TokLParen:
+		p.next()
+		var args []Arg
+		for p.peek().Kind != TokRParen {
+			an, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			ex, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, Arg{Name: an.Text, Expr: ex})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		p.accept(TokSemi)
+		return &ActionStmt{Name: strings.ToLower(name.Text), Args: args}, nil
+	default:
+		return nil, p.errorf("expected '=' or '(' after %q", name.Text)
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	p.next() // "if"
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	thenStmts, err := p.parseBranch()
+	if err != nil {
+		return nil, err
+	}
+	ifStmt := &IfStmt{Cond: cond, Then: thenStmts}
+	if p.peek().Kind == TokIdent && strings.EqualFold(p.peek().Text, "else") {
+		p.next()
+		if p.peek().Kind == TokIdent && strings.EqualFold(p.peek().Text, "if") {
+			elseIf, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			ifStmt.Else = []Stmt{elseIf}
+		} else {
+			elseStmts, err := p.parseBranch()
+			if err != nil {
+				return nil, err
+			}
+			ifStmt.Else = elseStmts
+		}
+	}
+	return ifStmt, nil
+}
+
+// parseBranch parses either a braced block or a single statement (the
+// paper's figures omit braces for single-statement branches).
+func (p *parser) parseBranch() ([]Stmt, error) {
+	if p.peek().Kind == TokLBrace {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek().Kind
+		prec := binaryPrec(op)
+		if prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		if op == TokAssign {
+			op = TokEq // the paper writes event(time=t) for equality
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func binaryPrec(op TokenKind) int {
+	switch op {
+	case TokOr:
+		return 1
+	case TokAnd:
+		return 2
+	case TokEq, TokNeq, TokLt, TokGt, TokLe, TokGe, TokAssign:
+		return 3
+	default:
+		return 0
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokNot) {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: TokNot, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		p.next()
+		switch strings.ToLower(t.Text) {
+		case "true":
+			return &LitExpr{Val: BoolVal(true)}, nil
+		case "false":
+			return &LitExpr{Val: BoolVal(false)}, nil
+		}
+		return &IdentExpr{Path: t.Text}, nil
+	case TokString, TokNumber, TokDuration, TokSize, TokRate, TokPercent:
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return &LitExpr{Val: v}, nil
+	default:
+		return nil, p.errorf("expected expression")
+	}
+}
+
+// TokenValue converts one literal token to a Value (used to parse
+// parameter bindings supplied as strings).
+func TokenValue(t Token) (Value, error) {
+	p := &parser{toks: []Token{t, {Kind: TokEOF}}}
+	return p.parseValue()
+}
+
+// parseDurationText converts "800ms", "30s", "7.5m", "120h", "600seconds"
+// to a duration.
+func parseDurationText(s string) (time.Duration, error) {
+	i := 0
+	for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+		i++
+	}
+	num, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return 0, fmt.Errorf("policy: bad duration %q", s)
+	}
+	var unit time.Duration
+	switch strings.ToLower(s[i:]) {
+	case "ns":
+		unit = time.Nanosecond
+	case "us":
+		unit = time.Microsecond
+	case "ms":
+		unit = time.Millisecond
+	case "s", "sec", "second", "seconds":
+		unit = time.Second
+	case "m", "min", "minute", "minutes":
+		unit = time.Minute
+	case "h", "hour", "hours":
+		unit = time.Hour
+	default:
+		return 0, fmt.Errorf("policy: bad duration unit in %q", s)
+	}
+	return time.Duration(num * float64(unit)), nil
+}
+
+// parseSizeText converts "5G", "512MB", "40KB" to bytes.
+func parseSizeText(s string) (int64, error) {
+	i := 0
+	for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+		i++
+	}
+	num, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return 0, fmt.Errorf("policy: bad size %q", s)
+	}
+	var unit float64
+	switch strings.ToUpper(s[i:]) {
+	case "B", "":
+		unit = 1
+	case "K", "KB":
+		unit = 1 << 10
+	case "M", "MB":
+		unit = 1 << 20
+	case "G", "GB":
+		unit = 1 << 30
+	case "T", "TB":
+		unit = 1 << 40
+	default:
+		return 0, fmt.Errorf("policy: bad size unit in %q", s)
+	}
+	return int64(num * unit), nil
+}

@@ -1,0 +1,317 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, src string) *Spec {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return s
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex(`tier1: {name: memory, size: 5G}; event(insert.into == tier1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{
+		TokIdent, TokColon, TokLBrace, TokIdent, TokColon, TokIdent,
+		TokComma, TokIdent, TokColon, TokSize, TokRBrace, TokSemi,
+		TokIdent, TokLParen, TokIdent, TokEq, TokIdent, TokRParen, TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v (%q), want %v", i, toks[i].Kind, toks[i].Text, k)
+		}
+	}
+}
+
+func TestLexUnits(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokenKind
+	}{
+		{"800ms", TokDuration},
+		{"30s", TokDuration},
+		{"120h", TokDuration},
+		{"7.5m", TokDuration},
+		{"600seconds", TokDuration},
+		{"5G", TokSize},
+		{"512MB", TokSize},
+		{"40KB", TokSize}, // plain size without /s
+		{"50%", TokPercent},
+		{"42", TokNumber},
+		{"3.5", TokNumber},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", c.src, err)
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("Lex(%q) = %v, want %v", c.src, toks[0].Kind, c.kind)
+		}
+	}
+	toks, err := Lex("40KB/s")
+	if err != nil || toks[0].Kind != TokRate {
+		t.Fatalf("40KB/s = %v, %v", toks[0].Kind, err)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("% a paper comment\n// a go comment\nx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Text != "x" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "\"multi\nline\"", "5zz", "a & b", "a | b", "@"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexHyphenIdent(t *testing.T) {
+	toks, err := Lex("us-west ebs-ssd s3-ia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "us-west" || toks[1].Text != "ebs-ssd" || toks[2].Text != "s3-ia" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestParseTieraSpec(t *testing.T) {
+	s := mustParse(t, `
+Tiera LowLatencyInstance(time t) {
+	tier1: {name: memory, size: 5G};
+	tier2: {name: ebs-ssd, size: 5G};
+	event(insert.into) : response {
+		insert.object.dirty = true;
+		store(what: insert.object, to: tier1);
+	}
+	event(time = t) : response {
+		copy(what: object.location == tier1 && object.dirty == true, to: tier2);
+	}
+}`)
+	if s.IsGlobal {
+		t.Fatal("Tiera spec marked global")
+	}
+	if s.Name != "LowLatencyInstance" {
+		t.Fatalf("Name = %q", s.Name)
+	}
+	if len(s.Params) != 1 || s.Params[0] != "time t" {
+		t.Fatalf("Params = %v", s.Params)
+	}
+	if len(s.Tiers) != 2 || s.Tiers[0].Label != "tier1" {
+		t.Fatalf("Tiers = %+v", s.Tiers)
+	}
+	if v, ok := FindAttr(s.Tiers[0].Attrs, "size"); !ok || v.Size != 5<<30 {
+		t.Fatalf("tier1 size = %+v", v)
+	}
+	if len(s.Events) != 2 {
+		t.Fatalf("Events = %d", len(s.Events))
+	}
+	if len(s.Events[0].Body) != 2 {
+		t.Fatalf("event0 body = %d stmts", len(s.Events[0].Body))
+	}
+	if _, ok := s.Events[0].Body[0].(*AssignStmt); !ok {
+		t.Fatalf("first stmt = %T, want assign", s.Events[0].Body[0])
+	}
+	act, ok := s.Events[0].Body[1].(*ActionStmt)
+	if !ok || act.Name != "store" {
+		t.Fatalf("second stmt = %+v", s.Events[0].Body[1])
+	}
+	if _, ok := act.Get("what"); !ok {
+		t.Fatal("store missing what arg")
+	}
+}
+
+func TestParseWieraWithRegions(t *testing.T) {
+	s := mustParse(t, `
+Wiera P {
+	Region1 = {name: X, region: us-west, primary: true,
+		tier1 = {name: memory, size: 5G}};
+	event(insert.into) : response {
+		if (local_instance.isPrimary == true) {
+			store(what: insert.object, to: local_instance);
+		} else {
+			forward(what: insert.object, to: primary_instance);
+		}
+	}
+}`)
+	if !s.IsGlobal {
+		t.Fatal("Wiera spec not global")
+	}
+	if len(s.Regions) != 1 {
+		t.Fatalf("Regions = %d", len(s.Regions))
+	}
+	r := s.Regions[0]
+	if v, ok := FindAttr(r.Attrs, "primary"); !ok || !v.Bool {
+		t.Fatal("primary attr lost")
+	}
+	if len(r.Tiers) != 1 || r.Tiers[0].Label != "tier1" {
+		t.Fatalf("nested tiers = %+v", r.Tiers)
+	}
+	ifStmt, ok := s.Events[0].Body[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("body[0] = %T", s.Events[0].Body[0])
+	}
+	if len(ifStmt.Then) != 1 || len(ifStmt.Else) != 1 {
+		t.Fatalf("if branches = %d/%d", len(ifStmt.Then), len(ifStmt.Else))
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	s := mustParse(t, `
+Wiera D {
+	event(threshold.type == put) : response {
+		if (threshold.latency > 800ms && threshold.period > 30s) {
+			change_policy(what: consistency, to: E);
+		} else if (threshold.latency <= 800ms && threshold.period > 30s) {
+			change_policy(what: consistency, to: M);
+		}
+	}
+}`)
+	ifStmt := s.Events[0].Body[0].(*IfStmt)
+	if len(ifStmt.Else) != 1 {
+		t.Fatalf("else = %d stmts", len(ifStmt.Else))
+	}
+	if _, ok := ifStmt.Else[0].(*IfStmt); !ok {
+		t.Fatalf("else if = %T", ifStmt.Else[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                  // empty
+		"Bogus X {}",                        // wrong keyword
+		"Tiera {",                           // missing name
+		"Tiera X { tier1: {size: 5G} ",      // unterminated
+		"Tiera X {} extra",                  // trailing input
+		"Tiera X { event(insert.into) {} }", // missing : response
+		"Tiera X { event(insert.into) : respond {} }",
+		"Tiera X { tier1 {name: x}; }",      // missing colon
+		"Tiera X { event() : response {} }", // empty event expr
+		"Tiera X { event(time = ) : response {} }",
+		"Wiera X { Region1 = {tier1 = {a = {b: 1}}}; }", // too deep
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDurationText(t *testing.T) {
+	cases := map[string]time.Duration{
+		"800ms":      800 * time.Millisecond,
+		"30s":        30 * time.Second,
+		"7.5m":       7*time.Minute + 30*time.Second,
+		"120h":       120 * time.Hour,
+		"600seconds": 600 * time.Second,
+		"15min":      15 * time.Minute,
+	}
+	for src, want := range cases {
+		got, err := parseDurationText(src)
+		if err != nil || got != want {
+			t.Errorf("parseDurationText(%q) = %v, %v; want %v", src, got, err, want)
+		}
+	}
+	if _, err := parseDurationText("5parsec"); err == nil {
+		t.Error("bad unit should fail")
+	}
+	if _, err := parseDurationText("xs"); err == nil {
+		t.Error("bad number should fail")
+	}
+}
+
+func TestParseSizeText(t *testing.T) {
+	cases := map[string]int64{
+		"5G":    5 << 30,
+		"512MB": 512 << 20,
+		"40KB":  40 << 10,
+		"10T":   10 << 40,
+		"100B":  100,
+	}
+	for src, want := range cases {
+		got, err := parseSizeText(src)
+		if err != nil || got != want {
+			t.Errorf("parseSizeText(%q) = %v, %v; want %v", src, got, err, want)
+		}
+	}
+	if _, err := parseSizeText("5Q"); err == nil {
+		t.Error("bad unit should fail")
+	}
+	if _, err := parseSizeText("xG"); err == nil {
+		t.Error("bad number should fail")
+	}
+}
+
+func TestAllBuiltinsParse(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		spec, err := Builtin(name)
+		if err != nil {
+			t.Errorf("Builtin(%s): %v", name, err)
+			continue
+		}
+		if spec.Name != name {
+			t.Errorf("Builtin(%s) parsed name %q", name, spec.Name)
+		}
+		// Every builtin must also compile.
+		params := map[string]Value{"t": DurationVal(10 * time.Second)}
+		if _, err := Compile(spec, params); err != nil {
+			t.Errorf("Compile(%s): %v", name, err)
+		}
+	}
+	if _, err := Builtin("NoSuchPolicy"); err == nil {
+		t.Error("unknown builtin should fail")
+	}
+	if _, err := BuiltinSource("NoSuchPolicy"); err == nil {
+		t.Error("unknown builtin source should fail")
+	}
+}
+
+// Round-trip property: Print then Parse yields a Spec that prints
+// identically (fixpoint after one round).
+func TestPrintParseFixpoint(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		spec, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := Print(spec)
+		reparsed, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\nprinted:\n%s", name, err, printed)
+		}
+		printed2 := Print(reparsed)
+		if printed != printed2 {
+			t.Fatalf("%s: print not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", name, printed, printed2)
+		}
+	}
+}
+
+func TestPrintContainsStructure(t *testing.T) {
+	spec, _ := Builtin("PersistentInstance")
+	out := Print(spec)
+	for _, want := range []string{"Tiera PersistentInstance", "tier2.filled", "40KB/s", "copy(", "event("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}

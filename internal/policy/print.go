@@ -1,0 +1,88 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a Spec back to policy source. Parse(Print(spec)) yields an
+// equivalent Spec (the property tests rely on this fixpoint).
+func Print(s *Spec) string {
+	var b strings.Builder
+	kw := "Tiera"
+	if s.IsGlobal {
+		kw = "Wiera"
+	}
+	fmt.Fprintf(&b, "%s %s", kw, s.Name)
+	if len(s.Params) > 0 {
+		fmt.Fprintf(&b, "(%s)", strings.Join(s.Params, ", "))
+	}
+	b.WriteString(" {\n")
+	for _, tier := range s.Tiers {
+		fmt.Fprintf(&b, "\t%s: %s;\n", tier.Label, printAttrs(tier.Attrs, nil))
+	}
+	for _, r := range s.Regions {
+		fmt.Fprintf(&b, "\t%s = %s;\n", r.Label, printAttrs(r.Attrs, r.Tiers))
+	}
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, "\tevent(%s) : response {\n", e.Expr.String())
+		for _, st := range e.Body {
+			b.WriteString(st.indentString(2))
+		}
+		b.WriteString("\t}\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func printAttrs(attrs []Attr, tiers []TierDecl) string {
+	parts := make([]string, 0, len(attrs)+len(tiers))
+	for _, a := range attrs {
+		parts = append(parts, fmt.Sprintf("%s: %s", a.Name, a.Val))
+	}
+	for _, t := range tiers {
+		parts = append(parts, fmt.Sprintf("%s = %s", t.Label, printAttrs(t.Attrs, nil)))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func indent(depth int) string { return strings.Repeat("\t", depth) }
+
+// indentString renders the action at the given indent depth.
+func (s *ActionStmt) indentString(depth int) string {
+	args := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		args[i] = fmt.Sprintf("%s: %s", a.Name, a.Expr.String())
+	}
+	return fmt.Sprintf("%s%s(%s);\n", indent(depth), s.Name, strings.Join(args, ", "))
+}
+
+// indentString renders the assignment at the given indent depth.
+func (s *AssignStmt) indentString(depth int) string {
+	return fmt.Sprintf("%s%s = %s;\n", indent(depth), s.Path, s.Expr.String())
+}
+
+// indentString renders the conditional at the given indent depth.
+func (s *IfStmt) indentString(depth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%sif (%s) {\n", indent(depth), s.Cond.String())
+	for _, st := range s.Then {
+		b.WriteString(st.indentString(depth + 1))
+	}
+	b.WriteString(indent(depth) + "}")
+	if len(s.Else) > 0 {
+		if elseIf, ok := s.Else[0].(*IfStmt); ok && len(s.Else) == 1 {
+			b.WriteString(" else ")
+			nested := elseIf.indentString(depth)
+			b.WriteString(strings.TrimPrefix(nested, indent(depth)))
+			return b.String()
+		}
+		b.WriteString(" else {\n")
+		for _, st := range s.Else {
+			b.WriteString(st.indentString(depth + 1))
+		}
+		b.WriteString(indent(depth) + "}")
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,331 @@
+// Package rubis reimplements the RUBiS auction-site benchmark the paper
+// runs unmodified on Wiera (Sec 5.4.2, Fig 12): an eBay-like application
+// (users, items, bids, comments) whose database performs slot-granular
+// file I/O through internal/wfs — the same path a MySQL instance takes
+// through the paper's FUSE mount, with O_DIRECT semantics (wfs has no page
+// cache, and the engine's internal cache is disabled to match the paper's
+// 16 MB-minimum-buffer configuration).
+//
+// The package splits into the storage engine (DB, tables of fixed-size
+// slots over wfs files) and the closed-loop client emulator (Emulator)
+// driving the paper's browse/bid request mix.
+package rubis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/wfs"
+)
+
+// SlotSize is the fixed on-disk record size. 512 bytes fits every row type
+// comfortably and packs 32 rows per 16 KiB block.
+const SlotSize = 512
+
+// Row types.
+
+// User is a registered customer.
+type User struct {
+	ID      int64
+	Name    string
+	Email   string
+	Rating  int
+	Balance float64
+	Region  string
+}
+
+// Item is an auction listing.
+type Item struct {
+	ID          int64
+	SellerID    int64
+	Name        string
+	Description string
+	Category    int
+	Quantity    int
+	StartPrice  float64
+	BuyNow      float64
+	MaxBid      float64
+	NumBids     int
+}
+
+// Bid is one bid on an item.
+type Bid struct {
+	ID     int64
+	ItemID int64
+	UserID int64
+	Amount float64
+}
+
+// Comment is user feedback.
+type Comment struct {
+	ID     int64
+	FromID int64
+	ToID   int64
+	ItemID int64
+	Rating int
+	Text   string
+}
+
+// table is a slot file with an append cursor.
+type table struct {
+	mu   sync.Mutex
+	file *wfs.File
+	rows int64
+}
+
+// insert appends a row: encode receives the assigned row id (determined
+// under the table lock, so concurrent inserts cannot embed an id that
+// mismatches their slot) and returns the serialized row.
+func (t *table) insert(encode func(id int64) ([]byte, error)) (int64, error) {
+	t.mu.Lock()
+	id := t.rows
+	encoded, err := encode(id)
+	if err != nil {
+		t.mu.Unlock()
+		return 0, err
+	}
+	if len(encoded) > SlotSize {
+		t.mu.Unlock()
+		return 0, fmt.Errorf("rubis: row of %d bytes exceeds slot size", len(encoded))
+	}
+	slot := make([]byte, SlotSize)
+	copy(slot, encoded)
+	if _, err := t.file.WriteAt(slot, id*SlotSize); err != nil {
+		t.mu.Unlock()
+		return 0, err
+	}
+	t.rows++
+	t.mu.Unlock()
+	// Durability sync: the paper configures MySQL with O_DIRECT and the
+	// minimum buffer, so every committed row pays a synchronous metadata/
+	// log write in addition to the page write.
+	if err := t.file.Sync(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func (t *table) read(id int64) ([]byte, error) {
+	t.mu.Lock()
+	rows := t.rows
+	t.mu.Unlock()
+	if id < 0 || id >= rows {
+		return nil, fmt.Errorf("rubis: row %d out of range (%d rows)", id, rows)
+	}
+	buf := make([]byte, SlotSize)
+	if _, err := t.file.ReadAt(buf, id*SlotSize); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (t *table) update(id int64, encoded []byte) error {
+	if len(encoded) > SlotSize {
+		return fmt.Errorf("rubis: row of %d bytes exceeds slot size", len(encoded))
+	}
+	t.mu.Lock()
+	rows := t.rows
+	t.mu.Unlock()
+	if id < 0 || id >= rows {
+		return fmt.Errorf("rubis: row %d out of range", id)
+	}
+	slot := make([]byte, SlotSize)
+	copy(slot, encoded)
+	if _, err := t.file.WriteAt(slot, id*SlotSize); err != nil {
+		return err
+	}
+	return t.file.Sync()
+}
+
+func (t *table) count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rows
+}
+
+// DB is the auction database.
+type DB struct {
+	fs       *wfs.FS
+	users    *table
+	items    *table
+	bids     *table
+	comments *table
+
+	mu         sync.Mutex
+	bidsByItem map[int64][]int64 // item id -> bid row ids (in-memory index)
+}
+
+// OpenDB creates (or re-creates) the database files on fs.
+func OpenDB(fs *wfs.FS) (*DB, error) {
+	db := &DB{fs: fs, bidsByItem: make(map[int64][]int64)}
+	for _, spec := range []struct {
+		name string
+		tp   **table
+	}{
+		{"/rubis/users.tbl", &db.users},
+		{"/rubis/items.tbl", &db.items},
+		{"/rubis/bids.tbl", &db.bids},
+		{"/rubis/comments.tbl", &db.comments},
+	} {
+		f, err := fs.Create(spec.name)
+		if err != nil {
+			return nil, err
+		}
+		*spec.tp = &table{file: f}
+	}
+	return db, nil
+}
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// RegisterUser inserts a user and returns its id.
+func (db *DB) RegisterUser(u User) (int64, error) {
+	return db.users.insert(func(id int64) ([]byte, error) {
+		u.ID = id
+		return encode(u)
+	})
+}
+
+// GetUser reads a user row.
+func (db *DB) GetUser(id int64) (User, error) {
+	raw, err := db.users.read(id)
+	if err != nil {
+		return User{}, err
+	}
+	var u User
+	if err := decode(raw, &u); err != nil {
+		return User{}, err
+	}
+	return u, nil
+}
+
+// ListItem inserts an item and returns its id.
+func (db *DB) ListItem(it Item) (int64, error) {
+	return db.items.insert(func(id int64) ([]byte, error) {
+		it.ID = id
+		return encode(it)
+	})
+}
+
+// GetItem reads an item row.
+func (db *DB) GetItem(id int64) (Item, error) {
+	raw, err := db.items.read(id)
+	if err != nil {
+		return Item{}, err
+	}
+	var it Item
+	if err := decode(raw, &it); err != nil {
+		return Item{}, err
+	}
+	return it, nil
+}
+
+// PlaceBid records a bid: reads the item, inserts the bid, and updates the
+// item's max bid (one read + two writes, like the real RUBiS PlaceBid
+// transaction).
+func (db *DB) PlaceBid(itemID, userID int64, amount float64) (int64, error) {
+	it, err := db.GetItem(itemID)
+	if err != nil {
+		return 0, err
+	}
+	bidID, err := db.bids.insert(func(id int64) ([]byte, error) {
+		return encode(Bid{ID: id, ItemID: itemID, UserID: userID, Amount: amount})
+	})
+	if err != nil {
+		return 0, err
+	}
+	if amount > it.MaxBid {
+		it.MaxBid = amount
+	}
+	it.NumBids++
+	enc, err := encode(it)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.items.update(itemID, enc); err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	db.bidsByItem[itemID] = append(db.bidsByItem[itemID], bidID)
+	db.mu.Unlock()
+	return bidID, nil
+}
+
+// ItemBids reads up to limit most recent bids for an item.
+func (db *DB) ItemBids(itemID int64, limit int) ([]Bid, error) {
+	db.mu.Lock()
+	ids := append([]int64(nil), db.bidsByItem[itemID]...)
+	db.mu.Unlock()
+	if len(ids) > limit {
+		ids = ids[len(ids)-limit:]
+	}
+	out := make([]Bid, 0, len(ids))
+	for _, id := range ids {
+		raw, err := db.bids.read(id)
+		if err != nil {
+			return nil, err
+		}
+		var b Bid
+		if err := decode(raw, &b); err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// AddComment inserts a comment.
+func (db *DB) AddComment(c Comment) (int64, error) {
+	return db.comments.insert(func(id int64) ([]byte, error) {
+		c.ID = id
+		return encode(c)
+	})
+}
+
+// GetComment reads a comment row.
+func (db *DB) GetComment(id int64) (Comment, error) {
+	raw, err := db.comments.read(id)
+	if err != nil {
+		return Comment{}, err
+	}
+	var c Comment
+	if err := decode(raw, &c); err != nil {
+		return Comment{}, err
+	}
+	return c, nil
+}
+
+// BuyNow executes an immediate purchase: item read + quantity update.
+func (db *DB) BuyNow(itemID, userID int64) error {
+	it, err := db.GetItem(itemID)
+	if err != nil {
+		return err
+	}
+	if it.Quantity <= 0 {
+		return errors.New("rubis: item sold out")
+	}
+	it.Quantity--
+	enc, err := encode(it)
+	if err != nil {
+		return err
+	}
+	return db.items.update(itemID, enc)
+}
+
+// Counts reports table sizes (users, items, bids, comments).
+func (db *DB) Counts() (int64, int64, int64, int64) {
+	return db.users.count(), db.items.count(), db.bids.count(), db.comments.count()
+}

@@ -1,0 +1,227 @@
+package rubis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/wfs"
+)
+
+func newDB(t *testing.T) *DB {
+	t.Helper()
+	fs := wfs.New(wfs.NewMapBackend(), wfs.WithBlockSize(16*1024))
+	db, err := OpenDB(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestUserRoundTrip(t *testing.T) {
+	db := newDB(t)
+	id, err := db.RegisterUser(User{Name: "alice", Email: "a@x.com", Rating: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := db.GetUser(id)
+	if err != nil || u.Name != "alice" || u.ID != id {
+		t.Fatalf("GetUser = %+v, %v", u, err)
+	}
+	if _, err := db.GetUser(99); err == nil {
+		t.Fatal("missing user readable")
+	}
+	if _, err := db.GetUser(-1); err == nil {
+		t.Fatal("negative id readable")
+	}
+}
+
+func TestItemAndBids(t *testing.T) {
+	db := newDB(t)
+	seller, _ := db.RegisterUser(User{Name: "seller"})
+	bidder, _ := db.RegisterUser(User{Name: "bidder"})
+	itemID, err := db.ListItem(Item{SellerID: seller, Name: "rare book", StartPrice: 10, Quantity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.PlaceBid(itemID, bidder, 15); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.PlaceBid(itemID, bidder, 22); err != nil {
+		t.Fatal(err)
+	}
+	it, err := db.GetItem(itemID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.NumBids != 2 || it.MaxBid != 22 {
+		t.Fatalf("item after bids = %+v", it)
+	}
+	bids, err := db.ItemBids(itemID, 10)
+	if err != nil || len(bids) != 2 {
+		t.Fatalf("ItemBids = %v, %v", bids, err)
+	}
+	if bids[1].Amount != 22 {
+		t.Fatalf("bid order wrong: %+v", bids)
+	}
+	// Limit trims to most recent.
+	bids, _ = db.ItemBids(itemID, 1)
+	if len(bids) != 1 || bids[0].Amount != 22 {
+		t.Fatalf("limited bids = %+v", bids)
+	}
+	// Bid on a missing item fails.
+	if _, err := db.PlaceBid(999, bidder, 5); err == nil {
+		t.Fatal("bid on missing item accepted")
+	}
+}
+
+func TestCommentsAndBuyNow(t *testing.T) {
+	db := newDB(t)
+	u, _ := db.RegisterUser(User{Name: "u"})
+	itemID, _ := db.ListItem(Item{Name: "widget", Quantity: 2, BuyNow: 5})
+	cid, err := db.AddComment(Comment{FromID: u, ToID: u, ItemID: itemID, Rating: 4, Text: "nice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := db.GetComment(cid)
+	if err != nil || c.Text != "nice" {
+		t.Fatalf("GetComment = %+v, %v", c, err)
+	}
+	if err := db.BuyNow(itemID, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuyNow(itemID, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuyNow(itemID, u); err == nil {
+		t.Fatal("sold-out item bought")
+	}
+	it, _ := db.GetItem(itemID)
+	if it.Quantity != 0 {
+		t.Fatalf("quantity = %d", it.Quantity)
+	}
+}
+
+func TestPersistenceThroughFS(t *testing.T) {
+	// Rows must actually live in the file system, not just memory.
+	backend := wfs.NewMapBackend()
+	fs := wfs.New(backend, wfs.WithBlockSize(16*1024))
+	db, _ := OpenDB(fs)
+	db.RegisterUser(User{Name: "durable"})
+	if backend.Len() == 0 {
+		t.Fatal("no objects written to backend")
+	}
+}
+
+func TestRowTooLarge(t *testing.T) {
+	db := newDB(t)
+	big := strings.Repeat("x", SlotSize)
+	if _, err := db.RegisterUser(User{Name: big, Email: big}); err == nil {
+		t.Fatal("oversized row accepted")
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	db := newDB(t)
+	if err := Populate(db, 20, 30); err != nil {
+		t.Fatal(err)
+	}
+	users, items, bids, comments := db.Counts()
+	if users != 20 || items != 30 || bids != 0 || comments != 0 {
+		t.Fatalf("counts = %d %d %d %d", users, items, bids, comments)
+	}
+	it, err := db.GetItem(29)
+	if err != nil || it.Name != "item-29" {
+		t.Fatalf("item 29 = %+v, %v", it, err)
+	}
+}
+
+func TestEmulatorConfigValidation(t *testing.T) {
+	if _, err := RunEmulator(EmulatorConfig{}); err == nil {
+		t.Fatal("missing DB should fail")
+	}
+	db := newDB(t)
+	if _, err := RunEmulator(EmulatorConfig{DB: db}); err == nil {
+		t.Fatal("missing clock should fail")
+	}
+	if _, err := RunEmulator(EmulatorConfig{DB: db, Clock: clock.Real{}}); err == nil {
+		t.Fatal("unpopulated DB should fail")
+	}
+}
+
+func TestEmulatorRun(t *testing.T) {
+	db := newDB(t)
+	if err := Populate(db, 50, 100); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunEmulator(EmulatorConfig{
+		DB: db, Clock: clock.Real{}, Clients: 8, RequestsPerClient: 50, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 400 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	if res.Latency.Count() != 400 {
+		t.Fatalf("latency samples = %d", res.Latency.Count())
+	}
+	// The mix must include both reads and writes.
+	if res.PerKind[ReqBrowseItems] == 0 || res.PerKind[ReqPlaceBid] == 0 {
+		t.Fatalf("mix = %v", res.PerKind)
+	}
+	// Reads dominate: browse+view (0.75 of the mix) must outnumber writes.
+	reads := res.PerKind[ReqBrowseItems] + res.PerKind[ReqViewItem] + res.PerKind[ReqViewUser]
+	writes := res.PerKind[ReqPlaceBid] + res.PerKind[ReqAddComment] + res.PerKind[ReqRegisterUser] + res.PerKind[ReqBuyNow]
+	if reads <= 2*writes {
+		t.Fatalf("mix not read-mostly: %d reads, %d writes", reads, writes)
+	}
+}
+
+func TestEmulatorDeterministicWithSeed(t *testing.T) {
+	run := func() map[RequestKind]int64 {
+		db := newDB(t)
+		Populate(db, 10, 20)
+		res, err := RunEmulator(EmulatorConfig{
+			DB: db, Clock: clock.Real{}, Clients: 4, RequestsPerClient: 25, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerKind
+	}
+	a, b := run(), run()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("seeded runs diverge on %v: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestRequestKindString(t *testing.T) {
+	kinds := []RequestKind{ReqBrowseItems, ReqViewItem, ReqViewUser, ReqPlaceBid,
+		ReqAddComment, ReqRegisterUser, ReqBuyNow, RequestKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	_ = time.Now
+}
+
+func TestMixSumsToOne(t *testing.T) {
+	sum := 0.0
+	for _, m := range mix {
+		sum += m.prob
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("mix sums to %v", sum)
+	}
+}

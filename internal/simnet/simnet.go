@@ -1,0 +1,300 @@
+// Package simnet models the wide-area network between cloud regions: a
+// latency matrix with jitter, per-path bandwidth, and run-time fault
+// injection (added delay, packet loss via errors, partitions). It stands in
+// for the live AWS/Azure WAN in the paper's evaluation.
+//
+// The latency matrix defaults are calibrated to the published inter-region
+// round-trip times of 2016-era AWS (and match the latencies visible in the
+// paper's figures: ~400 ms multi-primary puts across four regions, ~200 ms
+// gets on a US-East S3-IA tier from Asia-East).
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Region identifies a cloud data-center location. Values mirror the regions
+// the paper deploys on.
+type Region string
+
+// Regions used in the paper's evaluation.
+const (
+	USEast   Region = "us-east"   // Virginia (AWS)
+	USWest   Region = "us-west"   // N. California (AWS)
+	EUWest   Region = "eu-west"   // Ireland (AWS)
+	AsiaEast Region = "asia-east" // Tokyo (AWS)
+	// AzureUSEast is the Azure Virginia region used in Sec 5.4: ~2 ms from
+	// AWS US-East.
+	AzureUSEast Region = "azure-us-east"
+	// USWest2 and USWest3 are additional nearby DCs within the US-West
+	// region (the paper's Sec 3.3.3 SimplerConsistency setting uses
+	// US-West-1..N; our earlier work [15] showed DC density within a region
+	// keeps these a few ms apart).
+	USWest2 Region = "us-west-2"
+	USWest3 Region = "us-west-3"
+)
+
+// DefaultRegions lists the AWS regions of the main experiments in paper
+// order.
+func DefaultRegions() []Region {
+	return []Region{USEast, USWest, EUWest, AsiaEast}
+}
+
+// pathKey identifies a directed src->dst path.
+type pathKey struct{ src, dst Region }
+
+// Network is a simulated WAN. All methods are safe for concurrent use.
+type Network struct {
+	clk clock.Clock
+
+	mu         sync.Mutex
+	rtt        map[pathKey]time.Duration // round-trip time between regions
+	bandwidth  map[pathKey]float64       // bytes/sec, 0 = unlimited
+	nextFree   map[pathKey]time.Time     // bandwidth admission: next slot per path
+	jitterFrac float64                   // +/- fraction of one-way latency
+	rng        *rand.Rand
+	extraDelay map[pathKey]time.Duration // injected delay per path
+	regionLag  map[Region]time.Duration  // injected delay on all paths touching a region
+	partition  map[pathKey]bool          // true = unreachable
+	transfers  int64                     // count of simulated transfers
+	bytesMoved int64
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithJitter sets the jitter fraction (0 disables; 0.1 means +/-10% of the
+// one-way latency, uniformly distributed).
+func WithJitter(frac float64) Option {
+	return func(n *Network) { n.jitterFrac = frac }
+}
+
+// WithSeed seeds the jitter RNG for reproducible runs.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New returns a Network with the default 2016-era latency matrix over the
+// given clock.
+func New(clk clock.Clock, opts ...Option) *Network {
+	n := &Network{
+		clk:        clk,
+		rtt:        make(map[pathKey]time.Duration),
+		bandwidth:  make(map[pathKey]float64),
+		nextFree:   make(map[pathKey]time.Time),
+		extraDelay: make(map[pathKey]time.Duration),
+		regionLag:  make(map[Region]time.Duration),
+		partition:  make(map[pathKey]bool),
+		rng:        rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	n.installDefaults()
+	return n
+}
+
+// installDefaults loads the calibrated RTT matrix. Within-region RTT is
+// 1 ms; the AWS<->Azure US-East pair is 2 ms per the paper (Sec 5.4.1).
+func (n *Network) installDefaults() {
+	set := func(a, b Region, rtt time.Duration) {
+		n.rtt[pathKey{a, b}] = rtt
+		n.rtt[pathKey{b, a}] = rtt
+	}
+	for _, r := range []Region{USEast, USWest, EUWest, AsiaEast, AzureUSEast, USWest2, USWest3} {
+		n.rtt[pathKey{r, r}] = time.Millisecond
+	}
+	set(USEast, USWest, 70*time.Millisecond)
+	set(USEast, EUWest, 80*time.Millisecond)
+	set(USEast, AsiaEast, 170*time.Millisecond)
+	set(USWest, EUWest, 140*time.Millisecond)
+	set(USWest, AsiaEast, 110*time.Millisecond)
+	set(EUWest, AsiaEast, 240*time.Millisecond)
+	set(AzureUSEast, USEast, 2*time.Millisecond)
+	set(AzureUSEast, USWest, 70*time.Millisecond)
+	set(AzureUSEast, EUWest, 80*time.Millisecond)
+	set(AzureUSEast, AsiaEast, 170*time.Millisecond)
+	// Nearby DCs inside the US-West region: single-digit-ms paths; their
+	// long-haul latencies mirror US-West's.
+	set(USWest, USWest2, 5*time.Millisecond)
+	set(USWest, USWest3, 8*time.Millisecond)
+	set(USWest2, USWest3, 6*time.Millisecond)
+	for _, r := range []Region{USEast, EUWest, AsiaEast, AzureUSEast} {
+		set(USWest2, r, n.rtt[pathKey{USWest, r}])
+		set(USWest3, r, n.rtt[pathKey{USWest, r}])
+	}
+}
+
+// SetRTT overrides the round-trip time between two regions (both
+// directions).
+func (n *Network) SetRTT(a, b Region, rtt time.Duration) {
+	n.mu.Lock()
+	n.rtt[pathKey{a, b}] = rtt
+	n.rtt[pathKey{b, a}] = rtt
+	n.mu.Unlock()
+}
+
+// RTT returns the configured round-trip time between two regions, including
+// any injected delays (which model congestion or degraded links). Unknown
+// pairs default to 100 ms.
+func (n *Network) RTT(a, b Region) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rttLocked(a, b)
+}
+
+func (n *Network) rttLocked(a, b Region) time.Duration {
+	rtt, ok := n.rtt[pathKey{a, b}]
+	if !ok {
+		rtt = 100 * time.Millisecond
+	}
+	rtt += n.extraDelay[pathKey{a, b}]
+	rtt += n.regionLag[a] + n.regionLag[b]
+	if a == b {
+		rtt -= n.regionLag[a] // lag counted once for a self path
+	}
+	return rtt
+}
+
+// SetBandwidth limits the src->dst path to bps bytes per second (0 removes
+// the limit).
+func (n *Network) SetBandwidth(src, dst Region, bps float64) {
+	n.mu.Lock()
+	if bps <= 0 {
+		delete(n.bandwidth, pathKey{src, dst})
+	} else {
+		n.bandwidth[pathKey{src, dst}] = bps
+	}
+	n.mu.Unlock()
+}
+
+// InjectDelay adds d to the RTT of the src->dst path (and dst->src), until
+// ClearDelay. This is the fault-injection hook behind the paper's Fig 7
+// experiment.
+func (n *Network) InjectDelay(a, b Region, d time.Duration) {
+	n.mu.Lock()
+	n.extraDelay[pathKey{a, b}] = d
+	n.extraDelay[pathKey{b, a}] = d
+	n.mu.Unlock()
+}
+
+// ClearDelay removes an injected path delay.
+func (n *Network) ClearDelay(a, b Region) {
+	n.mu.Lock()
+	delete(n.extraDelay, pathKey{a, b})
+	delete(n.extraDelay, pathKey{b, a})
+	n.mu.Unlock()
+}
+
+// InjectRegionLag adds d to every path touching region r (models a
+// storage/VM slowdown local to one DC). Zero clears it.
+func (n *Network) InjectRegionLag(r Region, d time.Duration) {
+	n.mu.Lock()
+	if d <= 0 {
+		delete(n.regionLag, r)
+	} else {
+		n.regionLag[r] = d
+	}
+	n.mu.Unlock()
+}
+
+// Partition makes the a<->b pair unreachable until Heal.
+func (n *Network) Partition(a, b Region) {
+	n.mu.Lock()
+	n.partition[pathKey{a, b}] = true
+	n.partition[pathKey{b, a}] = true
+	n.mu.Unlock()
+}
+
+// Heal removes a partition between a and b.
+func (n *Network) Heal(a, b Region) {
+	n.mu.Lock()
+	delete(n.partition, pathKey{a, b})
+	delete(n.partition, pathKey{b, a})
+	n.mu.Unlock()
+}
+
+// Reachable reports whether src can currently reach dst.
+func (n *Network) Reachable(src, dst Region) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.partition[pathKey{src, dst}]
+}
+
+// ErrUnreachable is returned by Transfer when the path is partitioned.
+type ErrUnreachable struct{ Src, Dst Region }
+
+// Error implements error.
+func (e ErrUnreachable) Error() string {
+	return fmt.Sprintf("simnet: %s -> %s unreachable (partitioned)", e.Src, e.Dst)
+}
+
+// TransferTime returns the simulated time for moving size bytes one way
+// from src to dst: half the RTT (propagation) plus the bandwidth
+// serialization delay, with jitter applied. Bandwidth is a *shared* path
+// resource: concurrent transfers are admitted in sequence (each reserves
+// size/bps of link time), so aggregate throughput on a capped path never
+// exceeds the cap — the behaviour behind Azure's inter-VM throttling in
+// Figures 11 and 12.
+func (n *Network) TransferTime(src, dst Region, size int64) (time.Duration, error) {
+	n.mu.Lock()
+	if n.partition[pathKey{src, dst}] {
+		n.mu.Unlock()
+		return 0, ErrUnreachable{src, dst}
+	}
+	oneWay := n.rttLocked(src, dst) / 2
+	if n.jitterFrac > 0 {
+		j := 1 + n.jitterFrac*(2*n.rng.Float64()-1)
+		oneWay = time.Duration(float64(oneWay) * j)
+	}
+	if bps, ok := n.bandwidth[pathKey{src, dst}]; ok && size > 0 {
+		key := pathKey{src, dst}
+		now := n.clk.Now()
+		slot := n.nextFree[key]
+		if slot.Before(now) {
+			slot = now
+		}
+		serialization := time.Duration(float64(size) / bps * float64(time.Second))
+		n.nextFree[key] = slot.Add(serialization)
+		oneWay += slot.Sub(now) + serialization
+	}
+	n.transfers++
+	n.bytesMoved += size
+	n.mu.Unlock()
+	return oneWay, nil
+}
+
+// Transfer blocks for the simulated one-way transfer time of size bytes
+// from src to dst, or returns ErrUnreachable.
+func (n *Network) Transfer(src, dst Region, size int64) error {
+	d, err := n.TransferTime(src, dst, size)
+	if err != nil {
+		return err
+	}
+	n.clk.Sleep(d)
+	return nil
+}
+
+// RoundTrip blocks for a full request/response exchange moving reqSize
+// bytes out and respSize bytes back.
+func (n *Network) RoundTrip(src, dst Region, reqSize, respSize int64) error {
+	if err := n.Transfer(src, dst, reqSize); err != nil {
+		return err
+	}
+	return n.Transfer(dst, src, respSize)
+}
+
+// Stats reports cumulative transfer count and bytes moved.
+func (n *Network) Stats() (transfers, bytes int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.transfers, n.bytesMoved
+}
+
+// Clock returns the clock the network runs on.
+func (n *Network) Clock() clock.Clock { return n.clk }

@@ -1,0 +1,237 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func newTestNet() (*Network, *clock.Sim) {
+	clk := clock.NewSim(time.Time{})
+	return New(clk), clk
+}
+
+func TestDefaultMatrixSymmetric(t *testing.T) {
+	n, _ := newTestNet()
+	regions := DefaultRegions()
+	for _, a := range regions {
+		for _, b := range regions {
+			if n.RTT(a, b) != n.RTT(b, a) {
+				t.Errorf("RTT(%s,%s) != RTT(%s,%s)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestDefaultMatrixValues(t *testing.T) {
+	n, _ := newTestNet()
+	if got := n.RTT(USEast, AsiaEast); got != 170*time.Millisecond {
+		t.Fatalf("USEast-AsiaEast RTT = %v", got)
+	}
+	if got := n.RTT(AzureUSEast, USEast); got != 2*time.Millisecond {
+		t.Fatalf("Azure-AWS USEast RTT = %v, paper says ~2ms", got)
+	}
+	if got := n.RTT(USWest, USWest); got != time.Millisecond {
+		t.Fatalf("self RTT = %v", got)
+	}
+}
+
+func TestUnknownPairDefaults(t *testing.T) {
+	n, _ := newTestNet()
+	if got := n.RTT("mars", "venus"); got != 100*time.Millisecond {
+		t.Fatalf("unknown pair RTT = %v, want 100ms default", got)
+	}
+}
+
+func TestSetRTT(t *testing.T) {
+	n, _ := newTestNet()
+	n.SetRTT(USEast, USWest, 50*time.Millisecond)
+	if n.RTT(USWest, USEast) != 50*time.Millisecond {
+		t.Fatal("SetRTT not symmetric")
+	}
+}
+
+func TestInjectAndClearDelay(t *testing.T) {
+	n, _ := newTestNet()
+	base := n.RTT(USEast, USWest)
+	n.InjectDelay(USEast, USWest, time.Second)
+	if got := n.RTT(USEast, USWest); got != base+time.Second {
+		t.Fatalf("RTT with injected delay = %v, want %v", got, base+time.Second)
+	}
+	n.ClearDelay(USEast, USWest)
+	if got := n.RTT(USEast, USWest); got != base {
+		t.Fatalf("RTT after clear = %v, want %v", got, base)
+	}
+}
+
+func TestInjectRegionLag(t *testing.T) {
+	n, _ := newTestNet()
+	base := n.RTT(USEast, EUWest)
+	n.InjectRegionLag(USEast, 500*time.Millisecond)
+	if got := n.RTT(USEast, EUWest); got != base+500*time.Millisecond {
+		t.Fatalf("lagged RTT = %v", got)
+	}
+	// Both endpoints lagged: counted twice.
+	n.InjectRegionLag(EUWest, 100*time.Millisecond)
+	if got := n.RTT(USEast, EUWest); got != base+600*time.Millisecond {
+		t.Fatalf("double-lagged RTT = %v", got)
+	}
+	// Self path counts the lag once.
+	if got := n.RTT(USEast, USEast); got != time.Millisecond+500*time.Millisecond {
+		t.Fatalf("self lagged RTT = %v", got)
+	}
+	n.InjectRegionLag(USEast, 0)
+	n.InjectRegionLag(EUWest, 0)
+	if got := n.RTT(USEast, EUWest); got != base {
+		t.Fatalf("RTT after clearing lag = %v", got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n, _ := newTestNet()
+	n.Partition(USEast, EUWest)
+	if n.Reachable(USEast, EUWest) || n.Reachable(EUWest, USEast) {
+		t.Fatal("partitioned pair still reachable")
+	}
+	if _, err := n.TransferTime(USEast, EUWest, 10); err == nil {
+		t.Fatal("TransferTime across partition should fail")
+	}
+	var ue ErrUnreachable
+	_, err := n.TransferTime(USEast, EUWest, 10)
+	if !errors.As(err, &ue) || ue.Src != USEast {
+		t.Fatalf("error = %v, want ErrUnreachable{us-east,...}", err)
+	}
+	n.Heal(USEast, EUWest)
+	if !n.Reachable(USEast, EUWest) {
+		t.Fatal("heal did not restore reachability")
+	}
+}
+
+func TestTransferTimeIsHalfRTT(t *testing.T) {
+	n, _ := newTestNet()
+	d, err := n.TransferTime(USEast, AsiaEast, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 85*time.Millisecond {
+		t.Fatalf("one-way = %v, want 85ms (half of 170ms)", d)
+	}
+}
+
+func TestBandwidthSerializationDelay(t *testing.T) {
+	n, _ := newTestNet()
+	n.SetBandwidth(USEast, USWest, 1024*1024) // 1 MiB/s
+	d, err := n.TransferTime(USEast, USWest, 1024*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 35*time.Millisecond + time.Second
+	if d != want {
+		t.Fatalf("transfer time = %v, want %v", d, want)
+	}
+	// Reverse direction unlimited.
+	d2, _ := n.TransferTime(USWest, USEast, 1024*1024)
+	if d2 != 35*time.Millisecond {
+		t.Fatalf("reverse transfer = %v, want 35ms", d2)
+	}
+	n.SetBandwidth(USEast, USWest, 0) // clear
+	d3, _ := n.TransferTime(USEast, USWest, 1024*1024)
+	if d3 != 35*time.Millisecond {
+		t.Fatalf("after clearing bandwidth = %v", d3)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	clk := clock.NewSim(time.Time{})
+	n := New(clk, WithJitter(0.1), WithSeed(42))
+	base := 35 * time.Millisecond // half of 70ms
+	for i := 0; i < 200; i++ {
+		d, err := n.TransferTime(USEast, USWest, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := time.Duration(float64(base) * 0.9)
+		hi := time.Duration(float64(base) * 1.1)
+		if d < lo || d > hi {
+			t.Fatalf("jittered time %v outside [%v,%v]", d, lo, hi)
+		}
+	}
+}
+
+func TestJitterReproducibleWithSeed(t *testing.T) {
+	run := func() []time.Duration {
+		n := New(clock.NewSim(time.Time{}), WithJitter(0.2), WithSeed(7))
+		var out []time.Duration
+		for i := 0; i < 50; i++ {
+			d, _ := n.TransferTime(USEast, EUWest, 0)
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTransferBlocksOnClock(t *testing.T) {
+	n, clk := newTestNet()
+	done := make(chan error, 1)
+	go func() { done <- n.Transfer(USEast, AsiaEast, 0) }()
+	// The goroutine should block until the sim clock advances 85ms.
+	waitWaiters(t, clk, 1)
+	select {
+	case <-done:
+		t.Fatal("Transfer returned before clock advanced")
+	default:
+	}
+	clk.Advance(85 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	n, clk := newTestNet()
+	done := make(chan error, 1)
+	go func() { done <- n.RoundTrip(USEast, USWest, 100, 100) }()
+	waitWaiters(t, clk, 1)
+	clk.Advance(35 * time.Millisecond)
+	waitWaiters(t, clk, 1)
+	clk.Advance(35 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	n, _ := newTestNet()
+	_, _ = n.TransferTime(USEast, USWest, 1000)
+	_, _ = n.TransferTime(USEast, USWest, 500)
+	tr, by := n.Stats()
+	if tr != 2 || by != 1500 {
+		t.Fatalf("Stats = %d transfers, %d bytes", tr, by)
+	}
+}
+
+func TestClockAccessor(t *testing.T) {
+	clk := clock.NewSim(time.Time{})
+	if New(clk).Clock() != clock.Clock(clk) {
+		t.Fatal("Clock() returned wrong clock")
+	}
+}
+
+func waitWaiters(t *testing.T, s *clock.Sim, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d clock waiters", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

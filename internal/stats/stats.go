@@ -1,0 +1,274 @@
+// Package stats provides the measurement primitives used by every
+// experiment harness: latency histograms with percentile queries, windowed
+// rate counters, and time series for the timeline figures (e.g. paper Fig 7).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records duration samples and answers mean/percentile queries.
+// It keeps raw samples (experiments here record at most a few million
+// points), which keeps percentiles exact. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sum     time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sum += d
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Min returns the smallest sample, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sortLocked()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sortLocked()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or 0 if empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return h.samples[rank-1]
+}
+
+// Snapshot returns a copy of all samples, unsorted insertion order not
+// guaranteed.
+func (h *Histogram) Snapshot() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sum = 0
+	h.sorted = true
+	h.mu.Unlock()
+}
+
+// String summarizes the distribution, e.g. "n=100 mean=4ms p50=3ms p99=9ms".
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+}
+
+func (h *Histogram) sortLocked() {
+	if h.sorted {
+		return
+	}
+	sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+	h.sorted = true
+}
+
+// Counter is a concurrency-safe monotonically increasing counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by delta (delta must be >= 0).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("stats: Counter.Add with negative delta")
+	}
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Point is one (time, value) sample on a time series.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+// Series is an append-only time series, used for the timeline plots
+// (operation latency over time in Fig 7). Safe for concurrent use.
+type Series struct {
+	mu     sync.Mutex
+	name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append records a point.
+func (s *Series) Append(at time.Time, v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, Point{At: at, Value: v})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of the recorded points in append order.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// MaxValue returns the maximum value in the series, or 0 if empty.
+func (s *Series) MaxValue() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := 0.0
+	for _, p := range s.points {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	return max
+}
+
+// SlidingWindow counts events with timestamps and answers "how many events
+// in the last w" and "has the condition held continuously for w" queries —
+// the primitive behind the paper's threshold+period monitors (e.g. latency
+// above 800 ms for 30 s). Safe for concurrent use.
+type SlidingWindow struct {
+	mu     sync.Mutex
+	window time.Duration
+	events []time.Time
+}
+
+// NewSlidingWindow returns a window of width w.
+func NewSlidingWindow(w time.Duration) *SlidingWindow {
+	if w <= 0 {
+		panic("stats: window width must be positive")
+	}
+	return &SlidingWindow{window: w}
+}
+
+// Add records an event at time t.
+func (w *SlidingWindow) Add(t time.Time) {
+	w.mu.Lock()
+	w.events = append(w.events, t)
+	w.pruneLocked(t)
+	w.mu.Unlock()
+}
+
+// Count returns the number of events within (now-window, now].
+func (w *SlidingWindow) Count(now time.Time) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pruneLocked(now)
+	return len(w.events)
+}
+
+// OldestWithin returns the oldest event still inside the window and whether
+// one exists.
+func (w *SlidingWindow) OldestWithin(now time.Time) (time.Time, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pruneLocked(now)
+	if len(w.events) == 0 {
+		return time.Time{}, false
+	}
+	return w.events[0], true
+}
+
+// Reset discards all events.
+func (w *SlidingWindow) Reset() {
+	w.mu.Lock()
+	w.events = w.events[:0]
+	w.mu.Unlock()
+}
+
+func (w *SlidingWindow) pruneLocked(now time.Time) {
+	cut := now.Add(-w.window)
+	i := 0
+	for i < len(w.events) && !w.events[i].After(cut) {
+		i++
+	}
+	if i > 0 {
+		w.events = append(w.events[:0], w.events[i:]...)
+	}
+}

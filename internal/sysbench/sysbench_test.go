@@ -1,0 +1,127 @@
+package sysbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/policy"
+	"repro/internal/simnet"
+	"repro/internal/tiera"
+	"repro/internal/wfs"
+)
+
+func mapFS() *wfs.FS { return wfs.New(wfs.NewMapBackend(), wfs.WithBlockSize(4096)) }
+
+func TestDefaultsValidation(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.defaults(); err == nil {
+		t.Fatal("missing FS should fail")
+	}
+	cfg = Config{FS: mapFS()}
+	if err := cfg.defaults(); err == nil {
+		t.Fatal("missing clock should fail")
+	}
+	cfg = Config{FS: mapFS(), Clock: clock.Real{}, Mode: "seqwr"}
+	if err := cfg.defaults(); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+	cfg = Config{FS: mapFS(), Clock: clock.Real{}}
+	if err := cfg.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != RndRead || cfg.Threads != 1 || cfg.BlockSize != 16*1024 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestPrepareAndRunModes(t *testing.T) {
+	for _, mode := range []Mode{RndRead, RndWrite, RndRW} {
+		fs := mapFS()
+		cfg := Config{
+			FS: fs, Clock: clock.Real{}, Files: 2, FileSize: 64 * 1024,
+			BlockSize: 4096, Threads: 4, Ops: 200, Mode: mode, Seed: 1,
+		}
+		if err := Prepare(cfg); err != nil {
+			t.Fatalf("%s prepare: %v", mode, err)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s run: %v", mode, err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("%s errors = %d", mode, res.Errors)
+		}
+		if res.IOPS <= 0 {
+			t.Fatalf("%s IOPS = %v", mode, res.IOPS)
+		}
+		switch mode {
+		case RndRead:
+			if res.ReadLat.Count() != 200 || res.WriteLat.Count() != 0 {
+				t.Fatalf("%s op split = %d/%d", mode, res.ReadLat.Count(), res.WriteLat.Count())
+			}
+		case RndWrite:
+			if res.WriteLat.Count() != 200 {
+				t.Fatalf("%s writes = %d", mode, res.WriteLat.Count())
+			}
+		case RndRW:
+			if res.ReadLat.Count() == 0 || res.WriteLat.Count() == 0 {
+				t.Fatalf("%s op split = %d/%d", mode, res.ReadLat.Count(), res.WriteLat.Count())
+			}
+		}
+	}
+}
+
+func TestRunBeforePrepareFails(t *testing.T) {
+	cfg := Config{FS: mapFS(), Clock: clock.Real{}, Files: 1, FileSize: 8192, BlockSize: 4096}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("run before prepare should fail")
+	}
+}
+
+func TestFileSmallerThanBlock(t *testing.T) {
+	cfg := Config{FS: mapFS(), Clock: clock.Real{}, Files: 1, FileSize: 100, BlockSize: 4096}
+	if err := Prepare(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("undersized file should fail")
+	}
+}
+
+// The 500-IOPS disk cap must bound measured IOPS — the flat Azure line of
+// Fig 11, exercised end to end through the policy-built tier.
+func TestIOPSCapBoundsThroughput(t *testing.T) {
+	src := `
+Tiera AzureDisk {
+	tier1: {name: ebs-ssd, size: 1G, iops: 500};
+}`
+	spec, err := policy.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewSim(time.Time{})
+	stop := clk.AutoAdvance(50 * time.Microsecond)
+	defer stop()
+	inst, err := tiera.New(tiera.Config{Name: "disk", Region: simnet.AzureUSEast, Spec: spec, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	fs := wfs.New(wfs.TieraBackend{Inst: inst}, wfs.WithBlockSize(16*1024))
+	cfg := Config{
+		FS: fs, Clock: clk, Files: 2, FileSize: 256 * 1024,
+		BlockSize: 16 * 1024, Threads: 8, Ops: 300, Mode: RndRead, Seed: 7,
+	}
+	if err := Prepare(cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cap admits 500 ops/sec of simulated time.
+	if res.IOPS > 550 || res.IOPS < 350 {
+		t.Fatalf("IOPS = %.0f, want ~500 (capped)", res.IOPS)
+	}
+}

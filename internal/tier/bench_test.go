@@ -1,0 +1,62 @@
+package tier
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// zeroLatencyTier isolates data-structure cost from the latency model.
+func zeroLatencyTier(b *testing.B) *Store {
+	b.Helper()
+	s, err := New(Config{Name: "bench", Class: "S3"}, clock.NewScaled(1e6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkTierPut4K(b *testing.B) {
+	s := zeroLatencyTier(b)
+	payload := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i%1024), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTierGet4K(b *testing.B) {
+	s := zeroLatencyTier(b)
+	payload := make([]byte, 4096)
+	for i := 0; i < 1024; i++ {
+		s.Put(fmt.Sprintf("k%d", i), payload)
+	}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("k%d", i%1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTierLRUEvictionChurn(b *testing.B) {
+	s, err := New(Config{
+		Name: "cache", Class: "Memory", Capacity: 64 * 1024, EvictLRU: true,
+	}, clock.NewScaled(1e6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

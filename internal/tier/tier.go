@@ -1,0 +1,417 @@
+// Package tier implements the storage tiers a Tiera instance composes
+// (paper Sec 2.1): a volatile memory tier (Memcached/ElastiCache class),
+// block tiers (EBS SSD gp2 and EBS HDD magnetic), object storage (S3), and
+// archival classes (S3-IA, Glacier). Each tier is an in-memory byte store
+// wrapped in a latency and throughput model calibrated so the Figure 9
+// ordering holds: memory < EBS SSD < EBS HDD < S3 < S3-IA, and Glacier
+// retrieval takes vastly longer. Tiers also report capacity/fill level (the
+// "tier2.filled == 50%" events) and carry a cost class for the accountant.
+package tier
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cost"
+)
+
+// Common tier errors.
+var (
+	// ErrNotFound is returned by Get/Delete for missing keys.
+	ErrNotFound = errors.New("tier: key not found")
+	// ErrCapacity is returned by Put when the tier is full and eviction is
+	// disabled.
+	ErrCapacity = errors.New("tier: capacity exceeded")
+)
+
+// Tier is one storage service inside a Tiera instance.
+type Tier interface {
+	// Name is the instance-local tier name from the policy spec (tier1...).
+	Name() string
+	// Class is the priced storage class backing this tier.
+	Class() cost.TierClass
+	// Volatile reports whether data is lost on restart (memory tiers).
+	Volatile() bool
+	// Put stores data under key, blocking for the simulated write latency.
+	Put(key string, data []byte) error
+	// Get retrieves the data for key, blocking for the simulated read
+	// latency.
+	Get(key string) ([]byte, error)
+	// Delete removes key. Deleting a missing key returns ErrNotFound.
+	Delete(key string) error
+	// Has reports whether key is present without a latency charge.
+	Has(key string) bool
+	// Keys returns all stored keys, sorted.
+	Keys() []string
+	// Used returns bytes currently stored.
+	Used() int64
+	// Capacity returns the configured capacity in bytes (0 = unlimited).
+	Capacity() int64
+	// Grow increases capacity by delta bytes (the Tiera "grow" response).
+	Grow(delta int64)
+	// Stats returns cumulative operation counters.
+	Stats() Stats
+}
+
+// Stats counts tier operations.
+type Stats struct {
+	Puts, Gets, Deletes int64
+	BytesIn, BytesOut   int64
+	Evictions           int64
+}
+
+// LatencyProfile models a tier's service time: a fixed per-operation base
+// plus a per-byte throughput term, with an optional IOPS cap that enforces
+// minimum spacing between operation admissions (how EBS/Azure throttle
+// random I/O).
+type LatencyProfile struct {
+	ReadBase  time.Duration // first-byte latency for reads
+	WriteBase time.Duration // first-byte latency for writes
+	ReadBPS   float64       // read throughput, bytes/sec (0 = infinite)
+	WriteBPS  float64       // write throughput, bytes/sec (0 = infinite)
+	IOPSCap   int           // max ops/sec admitted (0 = uncapped)
+}
+
+// readTime returns the simulated duration of a read of size bytes.
+func (p LatencyProfile) readTime(size int64) time.Duration {
+	d := p.ReadBase
+	if p.ReadBPS > 0 && size > 0 {
+		d += time.Duration(float64(size) / p.ReadBPS * float64(time.Second))
+	}
+	return d
+}
+
+func (p LatencyProfile) writeTime(size int64) time.Duration {
+	d := p.WriteBase
+	if p.WriteBPS > 0 && size > 0 {
+		d += time.Duration(float64(size) / p.WriteBPS * float64(time.Second))
+	}
+	return d
+}
+
+// Profiles calibrated to Figure 9 (4 KB operations in US-East) and the
+// paper's narrative: EBS under OS buffer cache is <1 ms; uncached SSD is a
+// couple of ms; HDD near 10 ms; S3 tens of ms; S3-IA slightly worse than
+// S3; Glacier retrievals take hours (scaled here to a large constant that
+// still dominates every comparison).
+var (
+	// MemoryProfile: Memcached-class in-memory store.
+	MemoryProfile = LatencyProfile{
+		ReadBase: 200 * time.Microsecond, WriteBase: 250 * time.Microsecond,
+		ReadBPS: 1e9, WriteBPS: 1e9,
+	}
+	// EBSSSDProfile: gp2 without the OS buffer cache.
+	EBSSSDProfile = LatencyProfile{
+		ReadBase: 1 * time.Millisecond, WriteBase: 1500 * time.Microsecond,
+		ReadBPS: 160e6, WriteBPS: 160e6,
+	}
+	// EBSSSDCachedProfile: gp2 behind a warm OS buffer cache (<1 ms).
+	EBSSSDCachedProfile = LatencyProfile{
+		ReadBase: 300 * time.Microsecond, WriteBase: 400 * time.Microsecond,
+		ReadBPS: 1e9, WriteBPS: 1e9,
+	}
+	// EBSHDDProfile: magnetic volumes, seek-bound.
+	EBSHDDProfile = LatencyProfile{
+		ReadBase: 8 * time.Millisecond, WriteBase: 10 * time.Millisecond,
+		ReadBPS: 90e6, WriteBPS: 90e6,
+	}
+	// S3Profile: object storage REST path.
+	S3Profile = LatencyProfile{
+		ReadBase: 25 * time.Millisecond, WriteBase: 50 * time.Millisecond,
+		ReadBPS: 60e6, WriteBPS: 40e6,
+	}
+	// S3IAProfile: infrequent-access class, slightly slower than S3.
+	S3IAProfile = LatencyProfile{
+		ReadBase: 30 * time.Millisecond, WriteBase: 55 * time.Millisecond,
+		ReadBPS: 50e6, WriteBPS: 35e6,
+	}
+	// GlacierProfile: archival; retrieval latency dominates everything.
+	GlacierProfile = LatencyProfile{
+		ReadBase: 4 * time.Hour, WriteBase: 100 * time.Millisecond,
+		ReadBPS: 30e6, WriteBPS: 30e6,
+	}
+)
+
+// Config describes one tier to construct.
+type Config struct {
+	Name     string
+	Class    cost.TierClass
+	Capacity int64 // bytes; 0 = unlimited
+	Profile  LatencyProfile
+	Volatile bool
+	// EvictLRU makes Put evict least-recently-used entries instead of
+	// failing when full (cache semantics for memory tiers).
+	EvictLRU bool
+	// Accountant, when set, is charged for requests against Class.
+	Accountant *cost.Accountant
+}
+
+// New constructs a tier from cfg over clk.
+func New(cfg Config, clk clock.Clock) (*Store, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("tier: name required")
+	}
+	if _, err := cost.PriceFor(cfg.Class); err != nil {
+		return nil, err
+	}
+	if clk == nil {
+		return nil, errors.New("tier: clock required")
+	}
+	return &Store{cfg: cfg, clk: clk, data: make(map[string]entry)}, nil
+}
+
+// Standard constructs a tier of a well-known class with its calibrated
+// profile: "memory", "ebs-ssd", "ebs-ssd-cached", "ebs-hdd", "s3", "s3-ia",
+// or "glacier".
+func Standard(name, kind string, capacity int64, clk clock.Clock) (*Store, error) {
+	cfg := Config{Name: name, Capacity: capacity}
+	switch kind {
+	case "memory":
+		cfg.Class, cfg.Profile, cfg.Volatile, cfg.EvictLRU = cost.ClassMemory, MemoryProfile, true, true
+	case "ebs-ssd":
+		cfg.Class, cfg.Profile = cost.ClassEBSSSD, EBSSSDProfile
+	case "ebs-ssd-cached":
+		cfg.Class, cfg.Profile = cost.ClassEBSSSD, EBSSSDCachedProfile
+	case "ebs-hdd":
+		cfg.Class, cfg.Profile = cost.ClassEBSHDD, EBSHDDProfile
+	case "s3":
+		cfg.Class, cfg.Profile = cost.ClassS3, S3Profile
+	case "s3-ia":
+		cfg.Class, cfg.Profile = cost.ClassS3IA, S3IAProfile
+	case "glacier":
+		cfg.Class, cfg.Profile = cost.ClassGlacier, GlacierProfile
+	default:
+		return nil, fmt.Errorf("tier: unknown standard kind %q", kind)
+	}
+	return New(cfg, clk)
+}
+
+type entry struct {
+	data     []byte
+	lastUsed time.Time
+}
+
+// Store is the common tier implementation. Safe for concurrent use.
+type Store struct {
+	cfg Config
+	clk clock.Clock
+
+	mu       sync.Mutex
+	data     map[string]entry
+	used     int64
+	grown    int64     // capacity added via Grow
+	nextFree time.Time // IOPS admission: earliest next op start
+	stats    Stats
+}
+
+// Name implements Tier.
+func (s *Store) Name() string { return s.cfg.Name }
+
+// Class implements Tier.
+func (s *Store) Class() cost.TierClass { return s.cfg.Class }
+
+// Volatile implements Tier.
+func (s *Store) Volatile() bool { return s.cfg.Volatile }
+
+// Capacity implements Tier.
+func (s *Store) Capacity() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Capacity == 0 {
+		return 0
+	}
+	return s.cfg.Capacity + s.grown
+}
+
+// Grow implements Tier.
+func (s *Store) Grow(delta int64) {
+	s.mu.Lock()
+	s.grown += delta
+	s.mu.Unlock()
+}
+
+// Used implements Tier.
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// FillFraction returns Used/Capacity, or 0 for unlimited tiers. It backs
+// the "tier.filled == 50%" policy events.
+func (s *Store) FillFraction() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	capacity := s.cfg.Capacity + s.grown
+	if s.cfg.Capacity == 0 || capacity <= 0 {
+		return 0
+	}
+	return float64(s.used) / float64(capacity)
+}
+
+// admit enforces the IOPS cap: it reserves the next admission slot and
+// returns how long the caller must wait before starting service.
+func (s *Store) admit(now time.Time) time.Duration {
+	if s.cfg.Profile.IOPSCap <= 0 {
+		return 0
+	}
+	interval := time.Duration(float64(time.Second) / float64(s.cfg.Profile.IOPSCap))
+	if s.nextFree.Before(now) {
+		s.nextFree = now
+	}
+	wait := s.nextFree.Sub(now)
+	s.nextFree = s.nextFree.Add(interval)
+	return wait
+}
+
+// Put implements Tier.
+func (s *Store) Put(key string, data []byte) error {
+	size := int64(len(data))
+	s.mu.Lock()
+	wait := s.admit(s.clk.Now())
+	capacity := s.cfg.Capacity + s.grown
+	if s.cfg.Capacity != 0 {
+		old := int64(0)
+		if e, ok := s.data[key]; ok {
+			old = int64(len(e.data))
+		}
+		needed := s.used - old + size
+		if needed > capacity {
+			if !s.cfg.EvictLRU {
+				s.mu.Unlock()
+				return fmt.Errorf("%w: %s needs %d bytes over capacity %d", ErrCapacity, s.cfg.Name, needed-capacity, capacity)
+			}
+			if !s.evictLocked(needed-capacity, key) {
+				s.mu.Unlock()
+				return fmt.Errorf("%w: %s cannot evict enough for %d bytes", ErrCapacity, s.cfg.Name, size)
+			}
+		}
+	}
+	if e, ok := s.data[key]; ok {
+		s.used -= int64(len(e.data))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.data[key] = entry{data: cp, lastUsed: s.clk.Now()}
+	s.used += size
+	s.stats.Puts++
+	s.stats.BytesIn += size
+	s.mu.Unlock()
+
+	if s.cfg.Accountant != nil {
+		_ = s.cfg.Accountant.ChargePut(s.cfg.Class, 1)
+	}
+	s.clk.Sleep(wait + s.cfg.Profile.writeTime(size))
+	return nil
+}
+
+// evictLocked frees at least need bytes by LRU order, never evicting
+// exclude. Returns false if it cannot free enough.
+func (s *Store) evictLocked(need int64, exclude string) bool {
+	type cand struct {
+		key  string
+		size int64
+		used time.Time
+	}
+	cands := make([]cand, 0, len(s.data))
+	for k, e := range s.data {
+		if k == exclude {
+			continue
+		}
+		cands = append(cands, cand{k, int64(len(e.data)), e.lastUsed})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].used.Before(cands[j].used) })
+	freed := int64(0)
+	for _, c := range cands {
+		if freed >= need {
+			break
+		}
+		delete(s.data, c.key)
+		s.used -= c.size
+		freed += c.size
+		s.stats.Evictions++
+	}
+	return freed >= need
+}
+
+// Get implements Tier.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	wait := s.admit(s.clk.Now())
+	e, ok := s.data[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q in tier %s", ErrNotFound, key, s.cfg.Name)
+	}
+	e.lastUsed = s.clk.Now()
+	s.data[key] = e
+	cp := make([]byte, len(e.data))
+	copy(cp, e.data)
+	s.stats.Gets++
+	s.stats.BytesOut += int64(len(cp))
+	s.mu.Unlock()
+
+	if s.cfg.Accountant != nil {
+		_ = s.cfg.Accountant.ChargeGet(s.cfg.Class, 1)
+	}
+	s.clk.Sleep(wait + s.cfg.Profile.readTime(int64(len(cp))))
+	return cp, nil
+}
+
+// Delete implements Tier.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	e, ok := s.data[key]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q in tier %s", ErrNotFound, key, s.cfg.Name)
+	}
+	delete(s.data, key)
+	s.used -= int64(len(e.data))
+	s.stats.Deletes++
+	s.mu.Unlock()
+	return nil
+}
+
+// Has implements Tier.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.data[key]
+	return ok
+}
+
+// Keys implements Tier.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats implements Tier.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Crash simulates a process restart: volatile tiers lose all contents;
+// durable tiers are unaffected.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.cfg.Volatile {
+		return
+	}
+	s.data = make(map[string]entry)
+	s.used = 0
+}

@@ -1,0 +1,360 @@
+package tier
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cost"
+)
+
+// fastClock returns a heavily compressed real clock so latency-modelled ops
+// complete quickly in tests.
+func fastClock() clock.Clock { return clock.NewScaled(10000) }
+
+func newMem(t *testing.T, capacity int64) *Store {
+	t.Helper()
+	s, err := Standard("tier1", "memory", capacity, fastClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newMem(t, 0)
+	if err := s.Put("k", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := newMem(t, 0)
+	if _, err := s.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newMem(t, 0)
+	s.Put("k", []byte("v"))
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("k") {
+		t.Fatal("key still present after delete")
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double delete should report not found")
+	}
+}
+
+func TestUsedTracking(t *testing.T) {
+	s := newMem(t, 0)
+	s.Put("a", make([]byte, 100))
+	s.Put("b", make([]byte, 50))
+	if s.Used() != 150 {
+		t.Fatalf("Used = %d", s.Used())
+	}
+	s.Put("a", make([]byte, 10)) // overwrite shrinks
+	if s.Used() != 60 {
+		t.Fatalf("Used after overwrite = %d", s.Used())
+	}
+	s.Delete("b")
+	if s.Used() != 10 {
+		t.Fatalf("Used after delete = %d", s.Used())
+	}
+}
+
+func TestCapacityRejectWithoutEviction(t *testing.T) {
+	s, err := New(Config{
+		Name: "disk", Class: cost.ClassEBSSSD, Capacity: 100,
+	}, fastClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", make([]byte, 30)); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("over-capacity put: err = %v", err)
+	}
+	// Overwriting the same key within capacity succeeds.
+	if err := s.Put("a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	clk := clock.NewSim(time.Time{})
+	s, err := New(Config{
+		Name: "mem", Class: cost.ClassMemory, Capacity: 100,
+		Profile: LatencyProfile{}, Volatile: true, EvictLRU: true,
+	}, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("old", make([]byte, 50))
+	clk.Advance(time.Second)
+	s.Put("new", make([]byte, 50))
+	clk.Advance(time.Second)
+	// Touch "old" so "new" becomes LRU.
+	if _, err := s.Get("old"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if err := s.Put("incoming", make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("new") {
+		t.Fatal("LRU entry should have been evicted")
+	}
+	if !s.Has("old") || !s.Has("incoming") {
+		t.Fatal("wrong entries evicted")
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestEvictionCannotFreeEnough(t *testing.T) {
+	s, err := New(Config{
+		Name: "mem", Class: cost.ClassMemory, Capacity: 100, EvictLRU: true,
+	}, fastClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("huge", make([]byte, 200)); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("impossible put err = %v", err)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	s, err := New(Config{Name: "d", Class: cost.ClassEBSSSD, Capacity: 100}, fastClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", make([]byte, 90))
+	if err := s.Put("b", make([]byte, 50)); !errors.Is(err, ErrCapacity) {
+		t.Fatal("should be full")
+	}
+	s.Grow(100)
+	if s.Capacity() != 200 {
+		t.Fatalf("Capacity after grow = %d", s.Capacity())
+	}
+	if err := s.Put("b", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillFraction(t *testing.T) {
+	s, _ := New(Config{Name: "d", Class: cost.ClassEBSSSD, Capacity: 200}, fastClock())
+	s.Put("a", make([]byte, 100))
+	if got := s.FillFraction(); got != 0.5 {
+		t.Fatalf("FillFraction = %v", got)
+	}
+	u := newMem(t, 0)
+	u.Put("a", make([]byte, 100))
+	if u.FillFraction() != 0 {
+		t.Fatal("unlimited tier should report 0 fill")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := newMem(t, 0)
+	s.Put("k", make([]byte, 10))
+	s.Get("k")
+	s.Get("k")
+	s.Delete("k")
+	st := s.Stats()
+	if st.Puts != 1 || st.Gets != 2 || st.Deletes != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.BytesIn != 10 || st.BytesOut != 20 {
+		t.Fatalf("byte counts = %+v", st)
+	}
+}
+
+func TestVolatileCrash(t *testing.T) {
+	mem := newMem(t, 0)
+	mem.Put("k", []byte("v"))
+	mem.Crash()
+	if mem.Has("k") {
+		t.Fatal("volatile tier kept data across crash")
+	}
+	disk, _ := Standard("t2", "ebs-ssd", 0, fastClock())
+	disk.Put("k", []byte("v"))
+	disk.Crash()
+	if !disk.Has("k") {
+		t.Fatal("durable tier lost data on crash")
+	}
+}
+
+func TestStandardKinds(t *testing.T) {
+	kinds := []struct {
+		kind  string
+		class cost.TierClass
+	}{
+		{"memory", cost.ClassMemory},
+		{"ebs-ssd", cost.ClassEBSSSD},
+		{"ebs-ssd-cached", cost.ClassEBSSSD},
+		{"ebs-hdd", cost.ClassEBSHDD},
+		{"s3", cost.ClassS3},
+		{"s3-ia", cost.ClassS3IA},
+		{"glacier", cost.ClassGlacier},
+	}
+	for _, k := range kinds {
+		s, err := Standard("t", k.kind, 0, fastClock())
+		if err != nil {
+			t.Fatalf("Standard(%s): %v", k.kind, err)
+		}
+		if s.Class() != k.class {
+			t.Fatalf("%s class = %s", k.kind, s.Class())
+		}
+	}
+	if _, err := Standard("t", "tape", 0, fastClock()); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Class: cost.ClassS3}, fastClock()); err == nil {
+		t.Fatal("missing name should error")
+	}
+	if _, err := New(Config{Name: "x", Class: "bogus"}, fastClock()); err == nil {
+		t.Fatal("unknown class should error")
+	}
+	if _, err := New(Config{Name: "x", Class: cost.ClassS3}, nil); err == nil {
+		t.Fatal("nil clock should error")
+	}
+}
+
+// Figure 9's ordering: for a 4KB op, modelled latency must be strictly
+// ordered memory < SSD < HDD < S3 < S3-IA, and the cached-EBS profile must
+// be under 1ms.
+func TestFig9LatencyOrdering(t *testing.T) {
+	const size = 4096
+	read := func(p LatencyProfile) time.Duration { return p.readTime(size) }
+	seq := []LatencyProfile{MemoryProfile, EBSSSDProfile, EBSHDDProfile, S3Profile, S3IAProfile}
+	for i := 1; i < len(seq); i++ {
+		if read(seq[i-1]) >= read(seq[i]) {
+			t.Fatalf("profile %d read time %v not < profile %d time %v",
+				i-1, read(seq[i-1]), i, read(seq[i]))
+		}
+	}
+	if read(EBSSSDCachedProfile) >= time.Millisecond {
+		t.Fatalf("cached EBS read = %v, want <1ms", read(EBSSSDCachedProfile))
+	}
+	if read(GlacierProfile) < time.Hour {
+		t.Fatal("glacier retrieval should be hours")
+	}
+}
+
+func TestAccountantCharges(t *testing.T) {
+	acct := cost.NewAccountant()
+	s, err := New(Config{
+		Name: "s3", Class: cost.ClassS3, Accountant: acct,
+	}, fastClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", []byte("v"))
+	s.Get("k")
+	rows := acct.ByClass()
+	if len(rows) != 1 || rows[0].PutOps != 1 || rows[0].GetOps != 1 {
+		t.Fatalf("accounting rows = %+v", rows)
+	}
+}
+
+func TestIOPSCapSpacing(t *testing.T) {
+	// 100 IOPS cap: 10ms between admissions. Using a sim clock and
+	// sequential ops, the second op must wait ~10ms of sim time.
+	clk := clock.NewSim(time.Time{})
+	s, err := New(Config{
+		Name: "disk", Class: cost.ClassEBSHDD,
+		Profile: LatencyProfile{IOPSCap: 100},
+	}, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan time.Time, 2)
+	go func() {
+		s.Put("a", nil) // admitted at t=0, no wait, zero service time
+		done <- clk.Now()
+		s.Put("b", nil) // admitted at t=10ms
+		done <- clk.Now()
+	}()
+	first := <-done
+	if first != clk.Now() && clk.Since(first) != 0 {
+		t.Fatalf("first op should complete immediately")
+	}
+	// Second op is blocked until we advance 10ms.
+	waitForWaiters(t, clk, 1)
+	clk.Advance(10 * time.Millisecond)
+	second := <-done
+	if got := second.Sub(first); got != 10*time.Millisecond {
+		t.Fatalf("spacing = %v, want 10ms", got)
+	}
+}
+
+func TestDataIsolation(t *testing.T) {
+	s := newMem(t, 0)
+	buf := []byte("original")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	got, _ := s.Get("k")
+	if string(got) != "original" {
+		t.Fatal("tier aliased caller buffer")
+	}
+	got[0] = 'Y'
+	got2, _ := s.Get("k")
+	if string(got2) != "original" {
+		t.Fatal("tier returned aliased buffer")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := newMem(t, 0)
+	s.Put("b", nil)
+	s.Put("a", nil)
+	ks := s.Keys()
+	if len(ks) != 2 || ks[0] != "a" {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
+
+func TestConcurrentOps(t *testing.T) {
+	s := newMem(t, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				key := fmt.Sprintf("k%d", j%10)
+				s.Put(key, []byte{byte(i)})
+				s.Get(key)
+				s.Has(key)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func waitForWaiters(t *testing.T, s *clock.Sim, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d clock waiters", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

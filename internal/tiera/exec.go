@@ -1,0 +1,291 @@
+package tiera
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/object"
+	"repro/internal/policy"
+)
+
+// opContext carries the state of one in-flight put while its insert events
+// execute.
+type opContext struct {
+	inst   *Instance
+	key    string
+	meta   object.Meta
+	data   []byte
+	target string
+	stored bool
+	dirty  bool
+}
+
+// storeTo writes the current object's payload into the labeled tier and
+// records its location.
+func (op *opContext) storeTo(label string) error {
+	t, ok := op.inst.tiers[label]
+	if !ok {
+		return fmt.Errorf("tiera: no tier %q in instance %s", label, op.inst.name)
+	}
+	vk := object.VersionKey(op.key, op.meta.Version)
+	if err := t.Put(vk, op.data); err != nil {
+		return err
+	}
+	if err := op.inst.objects.SetTier(op.key, op.meta.Version, label); err != nil {
+		return err
+	}
+	op.stored = true
+	return nil
+}
+
+// localExec executes policy actions for one put operation. It handles the
+// local (intra-instance) actions; global actions (forward, queue, lock,
+// release, change_policy) are rejected here and belong to the Wiera layer,
+// which wraps this executor.
+type localExec struct {
+	op *opContext
+}
+
+// Do implements policy.Executor.
+func (e *localExec) Do(call *policy.ActionCall) error {
+	op := e.op
+	switch call.Name {
+	case "store":
+		to, err := call.StringArg("to")
+		if err != nil {
+			return err
+		}
+		if to == "local_instance" {
+			to = op.target
+		}
+		return op.storeTo(to)
+	case "copy", "move":
+		return e.copyOrMove(call, call.Name == "move")
+	case "delete":
+		return op.inst.deleteBySelector(call)
+	case "compress", "encrypt":
+		encrypt := call.Name == "encrypt"
+		if pred, ok := call.Preds["what"]; ok {
+			return op.inst.transformMatching(pred, encrypt)
+		}
+		// Insert-time transform of the current object.
+		meta, err := op.inst.objects.GetVersion(op.key, op.meta.Version)
+		if err != nil {
+			return err
+		}
+		return op.inst.transformOne(meta, encrypt)
+	case "grow":
+		to, err := call.StringArg("what")
+		if err != nil {
+			return err
+		}
+		by, ok := call.Arg("by")
+		if !ok || by.Kind != policy.ValSize {
+			return fmt.Errorf("tiera: grow requires by: <size>")
+		}
+		t, exists := op.inst.tiers[to]
+		if !exists {
+			return fmt.Errorf("tiera: no tier %q to grow", to)
+		}
+		t.Grow(by.Size)
+		return nil
+	default:
+		return fmt.Errorf("tiera: unsupported local action %q", call.Name)
+	}
+}
+
+func (e *localExec) copyOrMove(call *policy.ActionCall, move bool) error {
+	op := e.op
+	to, err := call.StringArg("to")
+	if err != nil {
+		return err
+	}
+	// For insert-time copy/move the selector is the current object.
+	if _, isPred := call.Preds["what"]; !isPred {
+		what, err := call.StringArg("what")
+		if err != nil {
+			return err
+		}
+		if what != "insert.object" && what != op.key {
+			return fmt.Errorf("tiera: copy of %q outside the current operation", what)
+		}
+		return op.inst.transferVersion(op.key, op.meta.Version, op.target, to, move, bandwidthOf(call))
+	}
+	// Predicate selector at insert time: scan (rare but legal).
+	return op.inst.transferMatching(call.Preds["what"], to, move, bandwidthOf(call))
+}
+
+// Assign implements policy.Executor: insert.object.<attr> = value.
+func (e *localExec) Assign(path string, v policy.Value) error {
+	switch path {
+	case "insert.object.dirty":
+		if v.Kind != policy.ValBool {
+			return fmt.Errorf("tiera: dirty must be boolean")
+		}
+		e.op.dirty = v.Bool
+		return nil
+	default:
+		return fmt.Errorf("tiera: cannot assign %q", path)
+	}
+}
+
+// bandwidthOf extracts an optional bandwidth argument (bytes/sec, 0 = none).
+func bandwidthOf(call *policy.ActionCall) float64 {
+	if v, ok := call.Arg("bandwidth"); ok && v.Kind == policy.ValRate {
+		return v.Num
+	}
+	return 0
+}
+
+// transferVersion copies (or moves) one version's payload from the first
+// tier currently holding it to the destination tier. A bandwidth cap adds
+// size/bw of transfer delay. Copy to a durable tier clears the dirty bit
+// (write-back completion).
+func (in *Instance) transferVersion(key string, v object.Version, preferredFrom, to string, move bool, bw float64) error {
+	dst, ok := in.tiers[to]
+	if !ok {
+		return fmt.Errorf("tiera: no destination tier %q", to)
+	}
+	vk := object.VersionKey(key, v)
+	from := ""
+	if preferredFrom != "" && in.tiers[preferredFrom] != nil && in.tiers[preferredFrom].Has(vk) {
+		from = preferredFrom
+	} else {
+		for _, label := range in.tierOrder {
+			if in.tiers[label].Has(vk) {
+				from = label
+				break
+			}
+		}
+	}
+	if from == "" {
+		return fmt.Errorf("tiera: no tier holds %s", vk)
+	}
+	if from == to {
+		return nil
+	}
+	data, err := in.tiers[from].Get(vk)
+	if err != nil {
+		return err
+	}
+	if bw > 0 {
+		in.clk.Sleep(time.Duration(float64(len(data)) / bw * float64(time.Second)))
+	}
+	if err := dst.Put(vk, data); err != nil {
+		return err
+	}
+	if move {
+		_ = in.tiers[from].Delete(vk)
+		if err := in.objects.SetTier(key, v, to); err != nil {
+			return err
+		}
+	}
+	if !dst.Volatile() {
+		_ = in.objects.SetDirty(key, v, false)
+	}
+	in.persistMeta(key)
+	return nil
+}
+
+// transferMatching applies transferVersion to every (object, tier) pair the
+// predicate matches. The predicate sees object.location bound to each tier
+// currently holding the payload, so "object.location == tier2" selects the
+// copy living in tier2.
+func (in *Instance) transferMatching(pred policy.Predicate, to string, move bool, bw float64) error {
+	matches, err := in.matchObjects(pred)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		if m.location == to {
+			continue
+		}
+		if err := in.transferVersion(m.meta.Key, m.meta.Version, m.location, to, move, bw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteBySelector removes matching payload copies (and, when the object
+// ends up nowhere, its metadata).
+func (in *Instance) deleteBySelector(call *policy.ActionCall) error {
+	pred, ok := call.Preds["what"]
+	if !ok {
+		return fmt.Errorf("tiera: delete requires a what: predicate")
+	}
+	matches, err := in.matchObjects(pred)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		vk := object.VersionKey(m.meta.Key, m.meta.Version)
+		_ = in.tiers[m.location].Delete(vk)
+		if len(in.Locations(m.meta.Key, m.meta.Version)) == 0 {
+			_ = in.objects.RemoveVersion(m.meta.Key, m.meta.Version)
+		}
+		in.persistMeta(m.meta.Key)
+	}
+	return nil
+}
+
+// match is one (object version, holding tier) pair selected by a predicate.
+type match struct {
+	meta     object.Meta
+	location string
+}
+
+// matchObjects evaluates pred once per (version, holding-tier) pair. The
+// environment binds the object attributes of Sec 2.2: size, dirty,
+// location, access counters, age values for cold-data policies, and
+// isLatest for version garbage collection (Sec 3.2.1).
+func (in *Instance) matchObjects(pred policy.Predicate) ([]match, error) {
+	now := in.clk.Now()
+	var out []match
+	var firstErr error
+	in.objects.Scan(func(m object.Meta) bool {
+		vk := object.VersionKey(m.Key, m.Version)
+		latest, lerr := in.objects.Latest(m.Key)
+		isLatest := lerr == nil && latest.Version == m.Version
+		for _, label := range in.tierOrder {
+			if !in.tiers[label].Has(vk) {
+				continue
+			}
+			env := objectEnv(m, label, now)
+			env.Set("object.isLatest", policy.BoolVal(isLatest))
+			okMatch, err := pred(env)
+			if err != nil {
+				firstErr = err
+				return false
+			}
+			if okMatch {
+				out = append(out, match{meta: m, location: label})
+				break // one source location per version
+			}
+		}
+		return true
+	})
+	return out, firstErr
+}
+
+// objectEnv binds an object version's attributes for predicate evaluation.
+func objectEnv(m object.Meta, location string, now time.Time) *policy.MapEnv {
+	env := policy.NewMapEnv()
+	env.Set("object.key", policy.StringVal(m.Key))
+	env.Set("object.version", policy.NumberVal(float64(m.Version)))
+	env.Set("object.size", policy.SizeVal(m.Size))
+	env.Set("object.dirty", policy.BoolVal(m.Dirty))
+	env.Set("object.location", policy.IdentVal(location))
+	env.Set("object.accessCount", policy.NumberVal(float64(m.AccessCnt)))
+	env.Set("object.compressed", policy.BoolVal(m.Compressed))
+	env.Set("object.encrypted", policy.BoolVal(m.Encrypted))
+	// Age attributes evaluate as elapsed durations, so the paper's
+	// "object.lastAccessedTime > 120 hours" reads naturally.
+	env.Set("object.lastAccessedTime", policy.DurationVal(now.Sub(m.AccessedAt)))
+	env.Set("object.lastModifiedTime", policy.DurationVal(now.Sub(m.ModifiedAt)))
+	env.Set("object.age", policy.DurationVal(now.Sub(m.CreatedAt)))
+	for _, tag := range m.Tags {
+		env.Set("object.tag."+tag, policy.BoolVal(true))
+	}
+	return env
+}

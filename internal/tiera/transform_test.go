@@ -1,0 +1,312 @@
+package tiera
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/policy"
+	"repro/internal/simnet"
+)
+
+func TestCompressPolicyRoundTrip(t *testing.T) {
+	// A timer policy compressing everything on tier2 (cold storage).
+	src := `
+Tiera CompressCold(time t) {
+	tier1: {name: memory, size: 1G};
+	tier2: {name: s3, size: 1G};
+	event(insert.into == tier1) : response {
+		copy(what: insert.object, to: tier2);
+	}
+	event(time = t) : response {
+		compress(what: object.location == tier2);
+	}
+}`
+	spec, err := policy.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := New(Config{
+		Name: "z", Region: simnet.USEast, Spec: spec,
+		Params: map[string]policy.Value{"t": policy.DurationVal(1e9)},
+		Clock:  fastClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	payload := []byte(strings.Repeat("compressible data! ", 200))
+	meta, err := inst.Put("doc", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := inst.Tier("tier2")
+	rawBefore := t2.Used()
+	if err := inst.RunTimerEventsOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if t2.Used() >= rawBefore {
+		t.Fatalf("tier2 usage did not shrink: %d -> %d", rawBefore, t2.Used())
+	}
+	m, _ := inst.Objects().GetVersion("doc", meta.Version)
+	if !m.Compressed {
+		t.Fatal("compressed flag not set")
+	}
+	// Reads reverse the transform transparently.
+	got, _, err := inst.Get("doc")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after compress: %d bytes, %v", len(got), err)
+	}
+	// Idempotent: a second sweep must not double-compress.
+	if err := inst.RunTimerEventsOnce(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = inst.Get("doc")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatal("double compression corrupted data")
+	}
+}
+
+func TestEncryptPolicy(t *testing.T) {
+	src := `
+Tiera EncryptAll {
+	tier1: {name: ebs-ssd, size: 1G};
+	event(insert.into) : response {
+		store(what: insert.object, to: tier1);
+		encrypt(what: insert.object);
+	}
+}`
+	spec, err := policy.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := New(Config{Name: "e", Region: simnet.USEast, Spec: spec, Clock: fastClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	secret := []byte("attack at dawn")
+	meta, err := inst.Put("plan", secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tier holds ciphertext, not the plaintext.
+	t1, _ := inst.Tier("tier1")
+	vk := "plan@v1"
+	raw, err := t1.Get(vk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, secret) {
+		t.Fatal("tier holds plaintext after encrypt policy")
+	}
+	m, _ := inst.Objects().GetVersion("plan", meta.Version)
+	if !m.Encrypted {
+		t.Fatal("encrypted flag not set")
+	}
+	// Application reads the original bytes.
+	got, _, err := inst.Get("plan")
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestCompressThenEncrypt(t *testing.T) {
+	src := `
+Tiera Both {
+	tier1: {name: ebs-ssd, size: 1G};
+	event(insert.into) : response {
+		store(what: insert.object, to: tier1);
+		compress(what: insert.object);
+		encrypt(what: insert.object);
+	}
+}`
+	spec, _ := policy.Parse(src)
+	inst, err := New(Config{Name: "b", Region: simnet.USEast, Spec: spec, Clock: fastClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	payload := []byte(strings.Repeat("both transforms ", 100))
+	if _, err := inst.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, m, err := inst.Get("k")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if !m.Compressed || !m.Encrypted {
+		t.Fatalf("flags = %+v", m)
+	}
+}
+
+func TestCompressAfterEncryptRejected(t *testing.T) {
+	src := `
+Tiera Wrong {
+	tier1: {name: ebs-ssd, size: 1G};
+	event(insert.into) : response {
+		store(what: insert.object, to: tier1);
+		encrypt(what: insert.object);
+		compress(what: insert.object);
+	}
+}`
+	spec, _ := policy.Parse(src)
+	inst, err := New(Config{Name: "w", Region: simnet.USEast, Spec: spec, Clock: fastClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if _, err := inst.Put("k", []byte("data")); err == nil {
+		t.Fatal("compress-after-encrypt should be rejected")
+	}
+}
+
+func TestTransformPrimitives(t *testing.T) {
+	key := make([]byte, 32)
+	data := []byte(strings.Repeat("x", 1000))
+	// Compression round trip.
+	c, err := compressPayload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= len(data) {
+		t.Fatal("compression did not shrink repetitive data")
+	}
+	d, err := decompressPayload(c)
+	if err != nil || !bytes.Equal(d, data) {
+		t.Fatal("decompress mismatch")
+	}
+	if _, err := decompressPayload([]byte("not gzip")); err == nil {
+		t.Fatal("garbage decompress should fail")
+	}
+	// Encryption round trip.
+	ct, err := encryptPayload(key, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := decryptPayload(key, ct)
+	if err != nil || !bytes.Equal(pt, data) {
+		t.Fatal("decrypt mismatch")
+	}
+	// Tampering detected.
+	ct[len(ct)-1] ^= 0xFF
+	if _, err := decryptPayload(key, ct); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+	if _, err := decryptPayload(key, []byte("short")); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+	wrongKey := make([]byte, 32)
+	wrongKey[0] = 1
+	ct2, _ := encryptPayload(key, data)
+	if _, err := decryptPayload(wrongKey, ct2); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+// The paper's Sec 2.2 tag example: objects tagged "tmp" go to inexpensive
+// volatile storage, everything else to the durable tier.
+func TestTagClassPolicy(t *testing.T) {
+	src := `
+Tiera TagClasses(time t) {
+	tier1: {name: ebs-ssd, size: 1G};
+	tier2: {name: memory, size: 1G};
+	event(time = t) : response {
+		move(what: object.tag.tmp == true, to: tier2);
+	}
+}`
+	spec, err := policy.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := New(Config{
+		Name: "tags", Region: simnet.USEast, Spec: spec,
+		Params: map[string]policy.Value{"t": policy.DurationVal(1e9)},
+		Clock:  fastClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	tmpMeta, err := inst.PutTagged("scratch.dat", []byte("temp"), []string{"tmp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keepMeta, err := inst.Put("results.dat", []byte("keep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.RunTimerEventsOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if locs := inst.Locations("scratch.dat", tmpMeta.Version); len(locs) != 1 || locs[0] != "tier2" {
+		t.Fatalf("tmp object locations = %v, want [tier2]", locs)
+	}
+	if locs := inst.Locations("results.dat", keepMeta.Version); len(locs) != 1 || locs[0] != "tier1" {
+		t.Fatalf("untagged object locations = %v, want [tier1]", locs)
+	}
+}
+
+// Version garbage collection (Sec 3.2.1: "old versions of objects will be
+// stored until they are required to be garbage collected in the policy
+// specification"): a monitor deletes superseded versions older than an
+// hour while keeping the latest.
+func TestVersionGarbageCollectionPolicy(t *testing.T) {
+	src := `
+Tiera VersionGC {
+	tier1: {name: ebs-ssd, size: 1G};
+	event(object.lastModifiedTime > 1h) : response {
+		delete(what: object.isLatest == false);
+	}
+}`
+	spec, err := policy.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clockSim()
+	inst, err := New(Config{Name: "gc", Region: simnet.USEast, Spec: spec, Clock: clk.clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	put := func(key, val string) {
+		clk.run(t, func() error { _, err := inst.Put(key, []byte(val)); return err })
+	}
+	put("doc", "v1")
+	put("doc", "v2")
+	clk.clk.Advance(2 * time.Hour)
+	put("doc", "v3") // recent: survives along with being latest
+	clk.run(t, func() error { return inst.RunObjectMonitorsOnce() })
+
+	vs, err := inst.VersionList("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0] != 3 {
+		t.Fatalf("versions after GC = %v, want [3]", vs)
+	}
+	var data []byte
+	clk.run(t, func() error {
+		var err error
+		data, _, err = inst.Get("doc")
+		return err
+	})
+	if string(data) != "v3" {
+		t.Fatalf("latest = %q", data)
+	}
+}
+
+// clockRunner pairs a sim clock with an advancing helper.
+type clockRunner struct{ clk *clock.Sim }
+
+func clockSim() *clockRunner { return &clockRunner{clk: clock.NewSim(time.Time{})} }
+
+func (c *clockRunner) run(t *testing.T, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	advanceUntil(t, c.clk, done)
+}

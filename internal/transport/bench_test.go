@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/simnet"
+)
+
+func BenchmarkFabricCallSameRegion(b *testing.B) {
+	fab := NewFabric(simnet.New(clock.NewScaled(1e6)))
+	defer fab.Close()
+	srv, err := fab.NewEndpoint("srv", simnet.USEast)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Serve(func(_ string, p []byte) ([]byte, error) { return p, nil })
+	cli, err := fab.NewEndpoint("cli", simnet.USEast)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call("srv", "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	srv, err := ListenTCP("127.0.0.1:0", func(_ string, p []byte) ([]byte, error) { return p, nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli := DialTCP(srv.Addr())
+	defer cli.Close()
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call("", "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGobEncodeDecode(b *testing.B) {
+	type msg struct {
+		Key  string
+		Data []byte
+	}
+	in := msg{Key: "object-key", Data: make([]byte, 4096)}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		raw, err := Encode(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out msg
+		if err := Decode(raw, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// wireRequest/wireResponse are the gob frame types of the TCP transport.
+type wireRequest struct {
+	Method  string
+	Payload []byte
+}
+
+type wireResponse struct {
+	Payload []byte
+	Err     string
+}
+
+// TCPServer serves transport handlers on a real TCP listener. It is the
+// deployment-grade counterpart of the in-process Fabric, used by cmd/wiera.
+type TCPServer struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenTCP starts a server on addr ("host:port", empty port picks one) and
+// serves h on every accepted connection. Connections are persistent: each
+// carries a stream of request/response frames served sequentially.
+func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s := &TCPServer{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(bw)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection
+		}
+		var resp wireResponse
+		out, err := s.handler(req.Method, req.Payload)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Payload = out
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and closes all live connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// TCPClient issues calls to one TCPServer over a pool of persistent
+// connections. Safe for concurrent use; concurrent calls use separate
+// pooled connections.
+type TCPClient struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []*tcpConn
+	closed bool
+}
+
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	bw   *bufio.Writer
+}
+
+// DialTCP returns a client for the server at addr. Connections are opened
+// lazily.
+func DialTCP(addr string) *TCPClient {
+	return &TCPClient{addr: addr}
+}
+
+// Call implements a single request/response exchange. The dst parameter is
+// ignored (a TCPClient is bound to one server); it exists so TCPClient can
+// satisfy call sites written against Caller.
+func (c *TCPClient) Call(_ string, method string, payload []byte) ([]byte, error) {
+	tc, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := tc.roundTrip(method, payload)
+	if err != nil {
+		tc.conn.Close() // connection state unknown; drop it
+		return nil, err
+	}
+	c.release(tc)
+	if resp.Err != "" {
+		return nil, RemoteError{Msg: resp.Err}
+	}
+	return resp.Payload, nil
+}
+
+func (tc *tcpConn) roundTrip(method string, payload []byte) (*wireResponse, error) {
+	if err := tc.enc.Encode(wireRequest{Method: method, Payload: payload}); err != nil {
+		return nil, fmt.Errorf("transport: send: %w", err)
+	}
+	if err := tc.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("transport: flush: %w", err)
+	}
+	var resp wireResponse
+	if err := tc.dec.Decode(&resp); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("transport: connection closed by server")
+		}
+		return nil, fmt.Errorf("transport: recv: %w", err)
+	}
+	return &resp, nil
+}
+
+func (c *TCPClient) acquire() (*tcpConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		tc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return tc, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
+	}
+	bw := bufio.NewWriter(conn)
+	return &tcpConn{
+		conn: conn,
+		enc:  gob.NewEncoder(bw),
+		dec:  gob.NewDecoder(bufio.NewReader(conn)),
+		bw:   bw,
+	}, nil
+}
+
+func (c *TCPClient) release(tc *tcpConn) {
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= 8 {
+		c.mu.Unlock()
+		tc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, tc)
+	c.mu.Unlock()
+}
+
+// Close closes all pooled connections.
+func (c *TCPClient) Close() {
+	c.mu.Lock()
+	c.closed = true
+	for _, tc := range c.idle {
+		tc.conn.Close()
+	}
+	c.idle = nil
+	c.mu.Unlock()
+}

@@ -1,0 +1,201 @@
+// Package transport is the RPC layer between Wiera components and Tiera
+// instances — the repository's Apache Thrift substitute. It defines a small
+// request/response contract and two interchangeable implementations:
+//
+//   - Fabric: in-process endpoints connected through the simulated WAN
+//     (internal/simnet), so every call pays the region-to-region latency and
+//     bandwidth cost. All experiments run on this.
+//   - TCP (tcp.go): a real wire transport with gob framing, used by the
+//     cmd/wiera daemon and cmd/wieractl client.
+//
+// Payloads are opaque bytes; callers encode typed messages with
+// encoding/gob (see Encode/Decode helpers).
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// Handler serves one method invocation. Returning an error transmits the
+// error text to the caller.
+type Handler func(method string, payload []byte) ([]byte, error)
+
+// Caller issues RPCs to a named endpoint.
+type Caller interface {
+	// Call invokes method on the endpoint named dst with payload and
+	// returns its response.
+	Call(dst, method string, payload []byte) ([]byte, error)
+}
+
+// Transport-level errors.
+var (
+	// ErrNoEndpoint reports an unknown destination name.
+	ErrNoEndpoint = errors.New("transport: no such endpoint")
+	// ErrClosed reports a closed endpoint or fabric.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// RemoteError wraps an error returned by a remote handler, distinguishing
+// it from transport failures.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// Fabric connects in-process endpoints through the simulated WAN. Every
+// call sleeps for the simnet transfer time of its request and response
+// bodies between the caller's and callee's regions. Safe for concurrent
+// use.
+type Fabric struct {
+	net *simnet.Network
+
+	mu        sync.RWMutex
+	endpoints map[string]*Endpoint
+	closed    bool
+}
+
+// NewFabric returns a fabric over net.
+func NewFabric(net *simnet.Network) *Fabric {
+	return &Fabric{net: net, endpoints: make(map[string]*Endpoint)}
+}
+
+// Network returns the underlying simulated WAN.
+func (f *Fabric) Network() *simnet.Network { return f.net }
+
+// Endpoint is one addressable party on a Fabric.
+type Endpoint struct {
+	fabric  *Fabric
+	name    string
+	region  simnet.Region
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+// NewEndpoint registers a new endpoint with a unique name in region.
+func (f *Fabric) NewEndpoint(name string, region simnet.Region) (*Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := f.endpoints[name]; ok {
+		return nil, fmt.Errorf("transport: endpoint %q already registered", name)
+	}
+	ep := &Endpoint{fabric: f, name: name, region: region}
+	f.endpoints[name] = ep
+	return ep, nil
+}
+
+// Remove unregisters an endpoint by name (idempotent).
+func (f *Fabric) Remove(name string) {
+	f.mu.Lock()
+	if ep, ok := f.endpoints[name]; ok {
+		ep.mu.Lock()
+		ep.closed = true
+		ep.mu.Unlock()
+		delete(f.endpoints, name)
+	}
+	f.mu.Unlock()
+}
+
+// Names returns the registered endpoint names (unordered).
+func (f *Fabric) Names() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.endpoints))
+	for n := range f.endpoints {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Close shuts down the fabric; all endpoints stop accepting calls.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	f.closed = true
+	for _, ep := range f.endpoints {
+		ep.mu.Lock()
+		ep.closed = true
+		ep.mu.Unlock()
+	}
+	f.endpoints = make(map[string]*Endpoint)
+	f.mu.Unlock()
+}
+
+// Name returns the endpoint's registered name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Region returns the endpoint's region.
+func (e *Endpoint) Region() simnet.Region { return e.region }
+
+// Serve installs the handler invoked for incoming calls. It may be called
+// again to swap handlers (used when policies change at run time).
+func (e *Endpoint) Serve(h Handler) {
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+}
+
+// Call implements Caller. The request pays src->dst transfer time for the
+// payload and dst->src time for the response. Handler errors arrive as
+// RemoteError; partitions surface as simnet.ErrUnreachable.
+func (e *Endpoint) Call(dst, method string, payload []byte) ([]byte, error) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	e.mu.RUnlock()
+
+	e.fabric.mu.RLock()
+	target, ok := e.fabric.endpoints[dst]
+	e.fabric.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoEndpoint, dst)
+	}
+
+	if err := e.fabric.net.Transfer(e.region, target.region, int64(len(payload))+int64(len(method))); err != nil {
+		return nil, err
+	}
+
+	target.mu.RLock()
+	h := target.handler
+	closed := target.closed
+	target.mu.RUnlock()
+	if closed || h == nil {
+		return nil, fmt.Errorf("%w: %q has no handler", ErrNoEndpoint, dst)
+	}
+
+	resp, herr := h(method, payload)
+	if err := e.fabric.net.Transfer(target.region, e.region, int64(len(resp))); err != nil {
+		return nil, err
+	}
+	if herr != nil {
+		return nil, RemoteError{Msg: herr.Error()}
+	}
+	return resp, nil
+}
+
+// Encode gob-encodes v for use as an RPC payload.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes an RPC payload into v (a pointer).
+func Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}

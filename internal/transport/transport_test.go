@@ -1,0 +1,328 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/simnet"
+)
+
+func newFabric() *Fabric {
+	// Scaled clock keeps WAN latencies tiny in real time.
+	return NewFabric(simnet.New(clock.NewScaled(10000)))
+}
+
+func TestFabricCallRoundTrip(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	server, err := f.NewEndpoint("server", simnet.USEast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Serve(func(method string, payload []byte) ([]byte, error) {
+		return []byte("echo:" + method + ":" + string(payload)), nil
+	})
+	client, err := f.NewEndpoint("client", simnet.USWest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Call("server", "ping", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:ping:hi" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestFabricDuplicateName(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	if _, err := f.NewEndpoint("a", simnet.USEast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.NewEndpoint("a", simnet.USWest); err == nil {
+		t.Fatal("duplicate endpoint name should error")
+	}
+}
+
+func TestFabricUnknownDestination(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	c, _ := f.NewEndpoint("c", simnet.USEast)
+	if _, err := c.Call("ghost", "m", nil); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFabricNoHandler(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	f.NewEndpoint("mute", simnet.USEast)
+	c, _ := f.NewEndpoint("c", simnet.USEast)
+	if _, err := c.Call("mute", "m", nil); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFabricRemoteError(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	s, _ := f.NewEndpoint("s", simnet.USEast)
+	s.Serve(func(string, []byte) ([]byte, error) { return nil, errors.New("boom") })
+	c, _ := f.NewEndpoint("c", simnet.USEast)
+	_, err := c.Call("s", "m", nil)
+	var re RemoteError
+	if !errors.As(err, &re) || re.Msg != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFabricPartition(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	s, _ := f.NewEndpoint("s", simnet.EUWest)
+	s.Serve(func(string, []byte) ([]byte, error) { return nil, nil })
+	c, _ := f.NewEndpoint("c", simnet.USEast)
+	f.Network().Partition(simnet.USEast, simnet.EUWest)
+	_, err := c.Call("s", "m", nil)
+	var ue simnet.ErrUnreachable
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want unreachable", err)
+	}
+	f.Network().Heal(simnet.USEast, simnet.EUWest)
+	if _, err := c.Call("s", "m", nil); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestFabricCallPaysWANLatency(t *testing.T) {
+	clk := clock.NewSim(time.Time{})
+	f := NewFabric(simnet.New(clk))
+	defer f.Close()
+	s, _ := f.NewEndpoint("s", simnet.AsiaEast)
+	s.Serve(func(string, []byte) ([]byte, error) { return []byte("ok"), nil })
+	c, _ := f.NewEndpoint("c", simnet.USEast)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call("s", "m", nil)
+		done <- err
+	}()
+	// Request leg: 85ms.
+	waitClk(t, clk, 1)
+	clk.Advance(85 * time.Millisecond)
+	// Response leg: 85ms.
+	waitClk(t, clk, 1)
+	clk.Advance(85 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricRemove(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	s, _ := f.NewEndpoint("s", simnet.USEast)
+	s.Serve(func(string, []byte) ([]byte, error) { return nil, nil })
+	c, _ := f.NewEndpoint("c", simnet.USEast)
+	f.Remove("s")
+	if _, err := c.Call("s", "m", nil); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+	f.Remove("s") // idempotent
+	// Removed endpoint can be re-registered.
+	if _, err := f.NewEndpoint("s", simnet.EUWest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricClose(t *testing.T) {
+	f := newFabric()
+	c, _ := f.NewEndpoint("c", simnet.USEast)
+	f.Close()
+	if _, err := c.Call("anything", "m", nil); err == nil {
+		t.Fatal("call on closed fabric should fail")
+	}
+	if _, err := f.NewEndpoint("x", simnet.USEast); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFabricNames(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	f.NewEndpoint("a", simnet.USEast)
+	f.NewEndpoint("b", simnet.USWest)
+	names := f.Names()
+	if len(names) != 2 {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestFabricConcurrentCalls(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	s, _ := f.NewEndpoint("s", simnet.USEast)
+	s.Serve(func(_ string, p []byte) ([]byte, error) { return p, nil })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		c, err := f.NewEndpoint(fmt.Sprintf("c%d", i), simnet.USWest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				want := fmt.Sprintf("%d-%d", i, j)
+				resp, err := c.Call("s", "echo", []byte(want))
+				if err != nil || string(resp) != want {
+					t.Errorf("call: %q, %v", resp, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestEncodeDecode(t *testing.T) {
+	type msg struct {
+		Key   string
+		Data  []byte
+		Count int
+	}
+	in := msg{Key: "k", Data: []byte{1, 2}, Count: 7}
+	b, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out msg
+	if err := Decode(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Key != in.Key || out.Count != 7 || len(out.Data) != 2 {
+		t.Fatalf("roundtrip = %+v", out)
+	}
+	if err := Decode([]byte("garbage"), &out); err == nil {
+		t.Fatal("decoding garbage should fail")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", func(method string, p []byte) ([]byte, error) {
+		if method == "fail" {
+			return nil, errors.New("nope")
+		}
+		return append([]byte("srv:"), p...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli := DialTCP(srv.Addr())
+	defer cli.Close()
+	resp, err := cli.Call("", "m", []byte("x"))
+	if err != nil || string(resp) != "srv:x" {
+		t.Fatalf("Call = %q, %v", resp, err)
+	}
+	_, err = cli.Call("", "fail", nil)
+	var re RemoteError
+	if !errors.As(err, &re) || re.Msg != "nope" {
+		t.Fatalf("err = %v", err)
+	}
+	// Connection reuse: subsequent call still works after a remote error.
+	resp, err = cli.Call("", "m", []byte("y"))
+	if err != nil || string(resp) != "srv:y" {
+		t.Fatalf("Call after error = %q, %v", resp, err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", func(_ string, p []byte) ([]byte, error) {
+		return p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := DialTCP(srv.Addr())
+	defer cli.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				want := fmt.Sprintf("%d/%d", i, j)
+				resp, err := cli.Call("", "echo", []byte(want))
+				if err != nil || string(resp) != want {
+					t.Errorf("call: %q, %v", resp, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestTCPServerClose(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", func(_ string, p []byte) ([]byte, error) { return p, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := DialTCP(srv.Addr())
+	defer cli.Close()
+	if _, err := cli.Call("", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+	if _, err := cli.Call("", "m", nil); err == nil {
+		t.Fatal("call after server close should fail")
+	}
+}
+
+func TestTCPClientClosed(t *testing.T) {
+	cli := DialTCP("127.0.0.1:1") // never dialed
+	cli.Close()
+	if _, err := cli.Call("", "m", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	cli := DialTCP("127.0.0.1:1") // nothing listening
+	defer cli.Close()
+	if _, err := cli.Call("", "m", nil); err == nil {
+		t.Fatal("dial to dead port should fail")
+	}
+}
+
+func TestRemoteErrorMessage(t *testing.T) {
+	e := RemoteError{Msg: "x"}
+	if !strings.Contains(e.Error(), "x") {
+		t.Fatal("message lost")
+	}
+}
+
+func waitClk(t *testing.T, s *clock.Sim, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d clock waiters", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,50 @@
+package wfs
+
+import (
+	"repro/internal/tiera"
+	"repro/internal/wiera"
+)
+
+// TieraBackend adapts a Tiera instance as a file system backend: every
+// block and inode object becomes a (versioned) Tiera object. Remove maps
+// to removing all versions.
+type TieraBackend struct {
+	Inst *tiera.Instance
+}
+
+// Put implements Backend.
+func (b TieraBackend) Put(key string, value []byte) error {
+	_, err := b.Inst.Put(key, value)
+	return err
+}
+
+// Get implements Backend.
+func (b TieraBackend) Get(key string) ([]byte, error) {
+	data, _, err := b.Inst.Get(key)
+	return data, err
+}
+
+// Remove implements Backend.
+func (b TieraBackend) Remove(key string) error { return b.Inst.Remove(key) }
+
+// NodeBackend adapts a Wiera node: file operations flow through the global
+// policy (forwarding, replication), which is exactly the paper's FUSE ->
+// Wiera arrangement in Sec 5.4.
+type NodeBackend struct {
+	Node *wiera.Node
+}
+
+// Put implements Backend.
+func (b NodeBackend) Put(key string, value []byte) error {
+	_, err := b.Node.Put(key, value, nil)
+	return err
+}
+
+// Get implements Backend.
+func (b NodeBackend) Get(key string) ([]byte, error) {
+	data, _, err := b.Node.Get(key)
+	return data, err
+}
+
+// Remove implements Backend.
+func (b NodeBackend) Remove(key string) error { return b.Node.Remove(key) }

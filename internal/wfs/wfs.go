@@ -1,0 +1,473 @@
+// Package wfs is the repository's FUSE substitute (paper Sec 5.4): a
+// POSIX-style file system whose backing store is any PUT/GET object store —
+// a Tiera instance or a Wiera node. Unmodified applications written against
+// open/read/write/seek/fsync (the SysBench and RUBiS substitutes here) run
+// on Wiera through this layer, with every file operation translated into
+// object operations exactly as the paper's FUSE module forwards requests to
+// Wiera.
+//
+// Files are chunked into fixed-size blocks, each stored as one object
+// ("path\x00blockN"); a per-file inode object records the size. There is no
+// page cache: reads and writes hit the backing store directly (the paper's
+// experiments set O_DIRECT to bypass caching).
+package wfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Backend is the object store under the file system.
+type Backend interface {
+	Put(key string, value []byte) error
+	Get(key string) ([]byte, error)
+	Remove(key string) error
+}
+
+// DefaultBlockSize is the chunking unit (16 KiB, a database-page-friendly
+// size).
+const DefaultBlockSize = 16 * 1024
+
+// File system errors.
+var (
+	// ErrNotExist reports a missing file.
+	ErrNotExist = errors.New("wfs: file does not exist")
+	// ErrExist reports a create of an existing file without truncate.
+	ErrExist = errors.New("wfs: file exists")
+	// ErrClosed reports operations on a closed handle.
+	ErrClosed = errors.New("wfs: file handle closed")
+	// ErrIsDir is reserved for future directory support.
+	ErrIsDir = errors.New("wfs: is a directory")
+)
+
+// FS is a POSIX-style file system over a Backend. Safe for concurrent use;
+// per-file operations serialize on a per-inode lock.
+type FS struct {
+	backend   Backend
+	blockSize int
+
+	mu     sync.Mutex
+	inodes map[string]*inode
+}
+
+type inode struct {
+	// mu guards the file size (shared for reads, exclusive for size
+	// changes). Block contents are protected by per-block latches, so
+	// writers to distinct blocks proceed concurrently — the page-latch
+	// discipline of a real database file.
+	mu      sync.RWMutex
+	path    string
+	size    int64
+	latches sync.Map // block number (int64) -> *sync.Mutex
+}
+
+// latch returns the mutex guarding one block's read-modify-write cycle.
+func (ino *inode) latch(bn int64) *sync.Mutex {
+	if m, ok := ino.latches.Load(bn); ok {
+		return m.(*sync.Mutex)
+	}
+	m, _ := ino.latches.LoadOrStore(bn, &sync.Mutex{})
+	return m.(*sync.Mutex)
+}
+
+// Option configures an FS.
+type Option func(*FS)
+
+// WithBlockSize overrides the chunk size.
+func WithBlockSize(n int) Option {
+	return func(f *FS) { f.blockSize = n }
+}
+
+// New mounts a file system over backend. Existing files (from a previous
+// mount over the same backend) are discovered lazily by inode lookups.
+func New(backend Backend, opts ...Option) *FS {
+	f := &FS{backend: backend, blockSize: DefaultBlockSize, inodes: make(map[string]*inode)}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// BlockSize returns the chunk size.
+func (f *FS) BlockSize() int { return f.blockSize }
+
+func inodeKey(path string) string { return "wfs!" + path + "\x00meta" }
+
+func blockKey(path string, n int64) string {
+	return fmt.Sprintf("wfs!%s\x00b%d", path, n)
+}
+
+// getInode returns the in-memory inode for path, loading it from the
+// backend if present there, or nil.
+func (f *FS) getInode(path string) (*inode, error) {
+	f.mu.Lock()
+	if ino, ok := f.inodes[path]; ok {
+		f.mu.Unlock()
+		return ino, nil
+	}
+	f.mu.Unlock()
+	raw, err := f.backend.Get(inodeKey(path))
+	if err != nil {
+		return nil, nil // not found in backend either
+	}
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("wfs: corrupt inode for %s", path)
+	}
+	ino := &inode{path: path, size: int64(binary.LittleEndian.Uint64(raw))}
+	f.mu.Lock()
+	if existing, ok := f.inodes[path]; ok {
+		ino = existing
+	} else {
+		f.inodes[path] = ino
+	}
+	f.mu.Unlock()
+	return ino, nil
+}
+
+func (f *FS) persistInode(ino *inode) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(ino.size))
+	return f.backend.Put(inodeKey(ino.path), buf[:])
+}
+
+// Create creates (or truncates) a file and returns an open handle.
+func (f *FS) Create(path string) (*File, error) {
+	if err := validPath(path); err != nil {
+		return nil, err
+	}
+	ino, err := f.getInode(path)
+	if err != nil {
+		return nil, err
+	}
+	if ino == nil {
+		ino = &inode{path: path}
+		f.mu.Lock()
+		f.inodes[path] = ino
+		f.mu.Unlock()
+	}
+	ino.mu.Lock()
+	ino.size = 0
+	err = f.persistInode(ino)
+	ino.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &File{fs: f, ino: ino}, nil
+}
+
+// Open opens an existing file.
+func (f *FS) Open(path string) (*File, error) {
+	if err := validPath(path); err != nil {
+		return nil, err
+	}
+	ino, err := f.getInode(path)
+	if err != nil {
+		return nil, err
+	}
+	if ino == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return &File{fs: f, ino: ino}, nil
+}
+
+// Stat returns the file's size.
+func (f *FS) Stat(path string) (int64, error) {
+	ino, err := f.getInode(path)
+	if err != nil {
+		return 0, err
+	}
+	if ino == nil {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	return ino.size, nil
+}
+
+// Remove deletes a file and its blocks.
+func (f *FS) Remove(path string) error {
+	ino, err := f.getInode(path)
+	if err != nil {
+		return err
+	}
+	if ino == nil {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	blocks := (ino.size + int64(f.blockSize) - 1) / int64(f.blockSize)
+	for b := int64(0); b < blocks; b++ {
+		_ = f.backend.Remove(blockKey(path, b))
+	}
+	if err := f.backend.Remove(inodeKey(path)); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.inodes, path)
+	f.mu.Unlock()
+	return nil
+}
+
+// List returns known file paths with the given prefix (in-memory view,
+// sorted). Files created through other mounts appear after they are opened
+// here.
+func (f *FS) List(prefix string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for p := range f.inodes {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func validPath(path string) error {
+	if path == "" || strings.Contains(path, "\x00") {
+		return fmt.Errorf("wfs: invalid path %q", path)
+	}
+	return nil
+}
+
+// File is an open file handle with an independent offset.
+type File struct {
+	fs     *FS
+	ino    *inode
+	offset int64
+	closed bool
+}
+
+// Name returns the file's path.
+func (h *File) Name() string { return h.ino.path }
+
+// Size returns the current file size.
+func (h *File) Size() int64 {
+	h.ino.mu.RLock()
+	defer h.ino.mu.RUnlock()
+	return h.ino.size
+}
+
+// Close releases the handle.
+func (h *File) Close() error {
+	if h.closed {
+		return ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// Seek sets the handle offset (whence as in io.Seeker).
+func (h *File) Seek(offset int64, whence int) (int64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = h.offset
+	case io.SeekEnd:
+		base = h.Size()
+	default:
+		return 0, fmt.Errorf("wfs: bad whence %d", whence)
+	}
+	n := base + offset
+	if n < 0 {
+		return 0, errors.New("wfs: negative seek")
+	}
+	h.offset = n
+	return n, nil
+}
+
+// Read reads from the current offset (io.Reader).
+func (h *File) Read(p []byte) (int, error) {
+	n, err := h.ReadAt(p, h.offset)
+	h.offset += int64(n)
+	return n, err
+}
+
+// Write writes at the current offset (io.Writer).
+func (h *File) Write(p []byte) (int, error) {
+	n, err := h.WriteAt(p, h.offset)
+	h.offset += int64(n)
+	return n, err
+}
+
+// ReadAt implements io.ReaderAt: a positioned read that does not move the
+// handle offset.
+func (h *File) ReadAt(p []byte, off int64) (int, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, errors.New("wfs: negative offset")
+	}
+	h.ino.mu.RLock()
+	defer h.ino.mu.RUnlock()
+	size := h.ino.size
+	if off >= size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if off+want > size {
+		want = size - off
+	}
+	bs := int64(h.fs.blockSize)
+	read := int64(0)
+	for read < want {
+		pos := off + read
+		bn := pos / bs
+		inBlock := pos % bs
+		chunk, err := h.fs.backend.Get(blockKey(h.ino.path, bn))
+		if err != nil {
+			// Sparse block: zeros.
+			chunk = make([]byte, bs)
+		}
+		if int64(len(chunk)) < bs {
+			padded := make([]byte, bs)
+			copy(padded, chunk)
+			chunk = padded
+		}
+		n := copy(p[read:want], chunk[inBlock:])
+		read += int64(n)
+	}
+	if read < int64(len(p)) {
+		return int(read), io.EOF
+	}
+	return int(read), nil
+}
+
+// WriteAt implements io.WriterAt: a positioned write that does not move
+// the handle offset. Partial-block writes read-modify-write the block.
+func (h *File) WriteAt(p []byte, off int64) (int, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, errors.New("wfs: negative offset")
+	}
+	bs := int64(h.fs.blockSize)
+	written := int64(0)
+	total := int64(len(p))
+	for written < total {
+		pos := off + written
+		bn := pos / bs
+		inBlock := pos % bs
+		n := bs - inBlock
+		if n > total-written {
+			n = total - written
+		}
+		latch := h.ino.latch(bn)
+		latch.Lock()
+		var chunk []byte
+		var err error
+		if inBlock == 0 && n == bs {
+			// Full-block write: no read needed.
+			chunk = p[written : written+n]
+		} else {
+			existing, gerr := h.fs.backend.Get(blockKey(h.ino.path, bn))
+			if gerr != nil {
+				existing = nil
+			}
+			chunk = make([]byte, bs)
+			copy(chunk, existing)
+			copy(chunk[inBlock:], p[written:written+n])
+		}
+		err = h.fs.backend.Put(blockKey(h.ino.path, bn), chunk)
+		latch.Unlock()
+		if err != nil {
+			return int(written), err
+		}
+		written += n
+	}
+	h.ino.mu.Lock()
+	defer h.ino.mu.Unlock()
+	if off+total > h.ino.size {
+		h.ino.size = off + total
+		if err := h.fs.persistInode(h.ino); err != nil {
+			return int(written), err
+		}
+	}
+	return int(written), nil
+}
+
+// Truncate sets the file size.
+func (h *File) Truncate(size int64) error {
+	if h.closed {
+		return ErrClosed
+	}
+	if size < 0 {
+		return errors.New("wfs: negative size")
+	}
+	h.ino.mu.Lock()
+	defer h.ino.mu.Unlock()
+	bs := int64(h.fs.blockSize)
+	oldBlocks := (h.ino.size + bs - 1) / bs
+	newBlocks := (size + bs - 1) / bs
+	for b := newBlocks; b < oldBlocks; b++ {
+		_ = h.fs.backend.Remove(blockKey(h.ino.path, b))
+	}
+	h.ino.size = size
+	return h.fs.persistInode(h.ino)
+}
+
+// Sync flushes metadata (data writes are already write-through).
+func (h *File) Sync() error {
+	if h.closed {
+		return ErrClosed
+	}
+	h.ino.mu.Lock()
+	defer h.ino.mu.Unlock()
+	return h.fs.persistInode(h.ino)
+}
+
+// MapBackend is an in-memory Backend for tests and as the trivial store.
+type MapBackend struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMapBackend returns an empty map-backed store.
+func NewMapBackend() *MapBackend { return &MapBackend{m: make(map[string][]byte)} }
+
+// Put implements Backend.
+func (b *MapBackend) Put(key string, value []byte) error {
+	b.mu.Lock()
+	b.m[key] = append([]byte(nil), value...)
+	b.mu.Unlock()
+	return nil
+}
+
+// Get implements Backend.
+func (b *MapBackend) Get(key string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	if !ok {
+		return nil, fmt.Errorf("wfs: map backend: no key %q", key)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Remove implements Backend.
+func (b *MapBackend) Remove(key string) error {
+	b.mu.Lock()
+	delete(b.m, key)
+	b.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of stored objects.
+func (b *MapBackend) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.m)
+}

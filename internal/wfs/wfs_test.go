@@ -1,0 +1,372 @@
+package wfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/policy"
+	"repro/internal/simnet"
+	"repro/internal/tiera"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	return New(NewMapBackend(), WithBlockSize(64))
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.Create("/data/file1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, wiera file system")
+	n, err := f.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	n, err = f.Read(buf)
+	if err != nil || n != len(msg) || !bytes.Equal(buf, msg) {
+		t.Fatalf("Read = %d, %q, %v", n, buf, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Open("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := fs.Stat("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := fs.Remove("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrossBlockWrite(t *testing.T) {
+	fs := newFS(t) // 64-byte blocks
+	f, _ := fs.Create("/big")
+	data := make([]byte, 300) // spans 5 blocks
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 300)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-block data mismatch")
+	}
+	// Partial block overwrite in the middle.
+	patch := []byte("PATCH")
+	if _, err := f.WriteAt(patch, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[100:105], patch) {
+		t.Fatalf("patch lost: %q", got[100:105])
+	}
+	if got[99] != 99 || got[105] != 105 {
+		t.Fatal("bytes around patch corrupted")
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	fs := newFS(t)
+	f, _ := fs.Create("/f")
+	f.Write([]byte("12345"))
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if n != 5 || err != io.EOF {
+		t.Fatalf("short read = %d, %v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("past-EOF read err = %v", err)
+	}
+	n, err = f.ReadAt(buf[:3], 1)
+	if n != 3 || err != nil {
+		t.Fatalf("interior read = %d, %v", n, err)
+	}
+}
+
+func TestSparseWrite(t *testing.T) {
+	fs := newFS(t)
+	f, _ := fs.Create("/sparse")
+	if _, err := f.WriteAt([]byte("end"), 200); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 203 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	buf := make([]byte, 203)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("hole byte %d = %d", i, buf[i])
+		}
+	}
+	if string(buf[200:]) != "end" {
+		t.Fatalf("tail = %q", buf[200:])
+	}
+}
+
+func TestSeekModes(t *testing.T) {
+	fs := newFS(t)
+	f, _ := fs.Create("/s")
+	f.Write(make([]byte, 100))
+	if pos, _ := f.Seek(10, io.SeekStart); pos != 10 {
+		t.Fatalf("pos = %d", pos)
+	}
+	if pos, _ := f.Seek(5, io.SeekCurrent); pos != 15 {
+		t.Fatalf("pos = %d", pos)
+	}
+	if pos, _ := f.Seek(-10, io.SeekEnd); pos != 90 {
+		t.Fatalf("pos = %d", pos)
+	}
+	if _, err := f.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek allowed")
+	}
+	if _, err := f.Seek(0, 99); err == nil {
+		t.Fatal("bad whence allowed")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := newFS(t)
+	f, _ := fs.Create("/t")
+	f.Write(make([]byte, 300))
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 100 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if err := f.Truncate(-1); err == nil {
+		t.Fatal("negative truncate allowed")
+	}
+	// Reopen and confirm the size persisted.
+	g, err := fs.Open("/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 100 {
+		t.Fatalf("reopened size = %d", g.Size())
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	fs := newFS(t)
+	f, _ := fs.Create("/x")
+	f.Write([]byte("old content"))
+	f.Close()
+	g, err := fs.Create("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 0 {
+		t.Fatalf("size after re-create = %d", g.Size())
+	}
+}
+
+func TestRemoveFreesBlocks(t *testing.T) {
+	backend := NewMapBackend()
+	fs := New(backend, WithBlockSize(64))
+	f, _ := fs.Create("/r")
+	f.Write(make([]byte, 500))
+	before := backend.Len()
+	if before < 8 {
+		t.Fatalf("expected blocks in backend, have %d", before)
+	}
+	if err := fs.Remove("/r"); err != nil {
+		t.Fatal(err)
+	}
+	if backend.Len() != 0 {
+		t.Fatalf("backend still has %d objects", backend.Len())
+	}
+	if _, err := fs.Open("/r"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("file still openable")
+	}
+}
+
+func TestClosedHandle(t *testing.T) {
+	fs := newFS(t)
+	f, _ := fs.Create("/c")
+	f.Close()
+	if _, err := f.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatal("read on closed handle")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatal("write on closed handle")
+	}
+	if _, err := f.Seek(0, io.SeekStart); !errors.Is(err, ErrClosed) {
+		t.Fatal("seek on closed handle")
+	}
+	if err := f.Truncate(0); !errors.Is(err, ErrClosed) {
+		t.Fatal("truncate on closed handle")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatal("sync on closed handle")
+	}
+	if err := f.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatal("double close")
+	}
+}
+
+func TestPersistenceAcrossMounts(t *testing.T) {
+	backend := NewMapBackend()
+	fs1 := New(backend, WithBlockSize(64))
+	f, _ := fs1.Create("/persist")
+	f.Write([]byte("durable data"))
+	f.Sync()
+	// A second mount over the same backend sees the file.
+	fs2 := New(backend, WithBlockSize(64))
+	g, err := fs2.Open("/persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 12)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "durable data" {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := newFS(t)
+	fs.Create("/a/1")
+	fs.Create("/a/2")
+	fs.Create("/b/1")
+	got := fs.List("/a/")
+	if len(got) != 2 || got[0] != "/a/1" {
+		t.Fatalf("List = %v", got)
+	}
+	if n := len(fs.List("")); n != 3 {
+		t.Fatalf("List all = %d", n)
+	}
+}
+
+func TestInvalidPaths(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Create(""); err == nil {
+		t.Fatal("empty path allowed")
+	}
+	if _, err := fs.Create("bad\x00path"); err == nil {
+		t.Fatal("NUL path allowed")
+	}
+	if _, err := fs.Open(""); err == nil {
+		t.Fatal("empty open allowed")
+	}
+}
+
+func TestNameAndBlockSize(t *testing.T) {
+	fs := New(NewMapBackend())
+	if fs.BlockSize() != DefaultBlockSize {
+		t.Fatalf("BlockSize = %d", fs.BlockSize())
+	}
+	f, _ := fs.Create("/n")
+	if f.Name() != "/n" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+// Property: a sequence of random positioned writes then full read equals
+// the same operations applied to an in-memory byte slice.
+func TestWriteReadEquivalenceProperty(t *testing.T) {
+	type op struct {
+		Off  uint16
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		fs := New(NewMapBackend(), WithBlockSize(32))
+		fh, err := fs.Create("/prop")
+		if err != nil {
+			return false
+		}
+		model := []byte{}
+		for _, o := range ops {
+			off := int64(o.Off % 2048)
+			if len(o.Data) > 256 {
+				o.Data = o.Data[:256]
+			}
+			if _, err := fh.WriteAt(o.Data, off); err != nil {
+				return false
+			}
+			end := off + int64(len(o.Data))
+			if int64(len(model)) < end {
+				model = append(model, make([]byte, end-int64(len(model)))...)
+			}
+			copy(model[off:end], o.Data)
+		}
+		if fh.Size() != int64(len(model)) {
+			return false
+		}
+		if len(model) == 0 {
+			return true
+		}
+		got := make([]byte, len(model))
+		if _, err := fh.ReadAt(got, 0); err != nil && err != io.EOF {
+			return false
+		}
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieraBackend(t *testing.T) {
+	spec, err := policy.Builtin("PersistentInstance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := tiera.New(tiera.Config{
+		Name: "fs-backend", Region: simnet.USEast, Spec: spec,
+		Clock: clock.NewScaled(10000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	fs := New(TieraBackend{Inst: inst}, WithBlockSize(128))
+	f, err := fs.Create("/db/table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("page"), 100) // 400 bytes, 4 blocks
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("tiera-backed file corrupted")
+	}
+	if err := fs.Remove("/db/table1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = time.Now
+}

@@ -1,0 +1,190 @@
+package wiera
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/object"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// Client is an application-side handle to a Wiera instance. It connects to
+// the closest node (head of the instance list, Sec 4.1 step 8) and fails
+// over to the next closest when a node is down (Sec 4.4).
+type Client struct {
+	name   string
+	region simnet.Region
+	ep     *transport.Endpoint
+	fabric *transport.Fabric
+	nodes  []PeerInfo // sorted by RTT from the client's region
+}
+
+// NewClient registers a client endpoint and fetches the instance's node
+// list from the Wiera server.
+func NewClient(fabric *transport.Fabric, name string, region simnet.Region, serverDst, instanceID string) (*Client, error) {
+	ep, err := fabric.NewEndpoint(name, region)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{name: name, region: region, ep: ep, fabric: fabric}
+	payload, err := transport.Encode(GetInstancesRequest{InstanceID: instanceID})
+	if err != nil {
+		fabric.Remove(name)
+		return nil, err
+	}
+	raw, err := ep.Call(serverDst, MethodGetInstances, payload)
+	if err != nil {
+		fabric.Remove(name)
+		return nil, err
+	}
+	var resp StartInstancesResponse
+	if err := transport.Decode(raw, &resp); err != nil {
+		fabric.Remove(name)
+		return nil, err
+	}
+	c.SetNodes(resp.Nodes)
+	return c, nil
+}
+
+// SetNodes installs the node list, sorted closest-first for this client.
+func (c *Client) SetNodes(nodes []PeerInfo) {
+	c.nodes = append([]PeerInfo(nil), nodes...)
+	net := c.fabric.Network()
+	sort.SliceStable(c.nodes, func(i, j int) bool {
+		return net.RTT(c.region, c.nodes[i].Region) < net.RTT(c.region, c.nodes[j].Region)
+	})
+}
+
+// Nodes returns the client's node list, closest first.
+func (c *Client) Nodes() []PeerInfo { return append([]PeerInfo(nil), c.nodes...) }
+
+// Closest returns the nearest node's name.
+func (c *Client) Closest() (string, error) {
+	if len(c.nodes) == 0 {
+		return "", errors.New("wiera: client has no nodes")
+	}
+	return c.nodes[0].Name, nil
+}
+
+// Call invokes a raw data-plane method on the instance, trying nodes
+// closest-first (used by TCP proxies that already hold encoded payloads).
+func (c *Client) Call(method string, payload []byte) ([]byte, error) {
+	return c.call(method, payload)
+}
+
+// call tries each node closest-first until one answers.
+func (c *Client) call(method string, payload []byte) ([]byte, error) {
+	if len(c.nodes) == 0 {
+		return nil, errors.New("wiera: client has no nodes")
+	}
+	var lastErr error
+	for _, n := range c.nodes {
+		raw, err := c.ep.Call(n.Name, method, payload)
+		if err == nil {
+			return raw, nil
+		}
+		lastErr = err
+		// Only fail over on connectivity errors; application errors (e.g.
+		// key not found) surface immediately.
+		if !errors.Is(err, transport.ErrNoEndpoint) {
+			var ue simnet.ErrUnreachable
+			if !errors.As(err, &ue) {
+				return nil, err
+			}
+		}
+	}
+	return nil, fmt.Errorf("wiera: all nodes unreachable: %w", lastErr)
+}
+
+// Put stores data under key (Table 2 put).
+func (c *Client) Put(key string, data []byte) (object.Meta, error) {
+	payload, err := transport.Encode(PutRequest{Key: key, Data: data})
+	if err != nil {
+		return object.Meta{}, err
+	}
+	raw, err := c.call(MethodPut, payload)
+	if err != nil {
+		return object.Meta{}, err
+	}
+	var resp PutResponse
+	if err := transport.Decode(raw, &resp); err != nil {
+		return object.Meta{}, err
+	}
+	return resp.Meta, nil
+}
+
+// Get retrieves key's latest version (Table 2 get).
+func (c *Client) Get(key string) ([]byte, object.Meta, error) {
+	payload, err := transport.Encode(GetRequest{Key: key})
+	if err != nil {
+		return nil, object.Meta{}, err
+	}
+	raw, err := c.call(MethodGet, payload)
+	if err != nil {
+		return nil, object.Meta{}, err
+	}
+	var resp GetResponse
+	if err := transport.Decode(raw, &resp); err != nil {
+		return nil, object.Meta{}, err
+	}
+	return resp.Data, resp.Meta, nil
+}
+
+// GetVersion retrieves a specific version (Table 2 getVersion).
+func (c *Client) GetVersion(key string, v object.Version) ([]byte, object.Meta, error) {
+	payload, err := transport.Encode(GetVersionRequest{Key: key, Version: v})
+	if err != nil {
+		return nil, object.Meta{}, err
+	}
+	raw, err := c.call(MethodGetVersion, payload)
+	if err != nil {
+		return nil, object.Meta{}, err
+	}
+	var resp GetResponse
+	if err := transport.Decode(raw, &resp); err != nil {
+		return nil, object.Meta{}, err
+	}
+	return resp.Data, resp.Meta, nil
+}
+
+// VersionList lists available versions (Table 2 getVersionList).
+func (c *Client) VersionList(key string) ([]object.Version, error) {
+	payload, err := transport.Encode(VersionListRequest{Key: key})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.call(MethodVersionList, payload)
+	if err != nil {
+		return nil, err
+	}
+	var resp VersionListResponse
+	if err := transport.Decode(raw, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Versions, nil
+}
+
+// Remove deletes all versions of key (Table 2 remove).
+func (c *Client) Remove(key string) error {
+	payload, err := transport.Encode(RemoveRequest{Key: key})
+	if err != nil {
+		return err
+	}
+	_, err = c.call(MethodRemove, payload)
+	return err
+}
+
+// RemoveVersion deletes one version of key (Table 2 removeVersion).
+func (c *Client) RemoveVersion(key string, v object.Version) error {
+	payload, err := transport.Encode(RemoveVersionRequest{Key: key, Version: v})
+	if err != nil {
+		return err
+	}
+	_, err = c.call(MethodRemoveVer, payload)
+	return err
+}
+
+// Close removes the client's endpoint.
+func (c *Client) Close() { c.fabric.Remove(c.name) }

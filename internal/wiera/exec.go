@@ -1,0 +1,219 @@
+package wiera
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/policy"
+	"repro/internal/transport"
+)
+
+// globalPutExec executes a global policy's insert-event responses for one
+// put operation: lock/release, store to local_instance, synchronous copy or
+// lazy queue to all_regions, and forward to the primary (paper Figs 3-4).
+type globalPutExec struct {
+	n    *Node
+	key  string
+	data []byte
+	tags []string
+
+	meta      *object.Meta // set once stored locally or forwarded
+	lockHeld  bool
+	forwarded bool
+}
+
+// Do implements policy.Executor.
+func (e *globalPutExec) Do(call *policy.ActionCall) error {
+	switch call.Name {
+	case "lock":
+		if e.n.locks == nil {
+			return errors.New("wiera: no coordination service configured for lock")
+		}
+		if err := e.n.locks.Lock(e.key, lockWait); err != nil {
+			return err
+		}
+		e.lockHeld = true
+		return nil
+	case "release":
+		if e.n.locks == nil {
+			return errors.New("wiera: no coordination service configured for release")
+		}
+		e.lockHeld = false
+		// Release is asynchronous: the update is already durable everywhere
+		// by this point, and coordination clients pipeline session
+		// operations, so the put need not pay the release round trip (the
+		// paper's ~400 ms multi-primary put pays lock + broadcast only).
+		key := e.key
+		n := e.n
+		go func() { _ = n.locks.Unlock(key) }()
+		return nil
+	case "store":
+		to, err := call.StringArg("to")
+		if err != nil {
+			return err
+		}
+		if to != "local_instance" && to != e.n.name {
+			return fmt.Errorf("wiera: global store targets local_instance, got %q", to)
+		}
+		m, err := e.n.local.PutTagged(e.key, e.data, e.tags)
+		if err != nil {
+			return err
+		}
+		e.meta = &m
+		return nil
+	case "copy":
+		return e.distribute(call, true)
+	case "queue":
+		return e.distribute(call, false)
+	case "forward":
+		to, err := call.StringArg("to")
+		if err != nil {
+			return err
+		}
+		target, err := e.n.resolveTarget(to)
+		if err != nil {
+			return err
+		}
+		payload, err := transport.Encode(PutRequest{Key: e.key, Data: e.data, Tags: e.tags, From: e.n.name})
+		if err != nil {
+			return err
+		}
+		raw, err := e.n.ep.Call(target, MethodForwardPut, payload)
+		if err != nil {
+			return err
+		}
+		var resp PutResponse
+		if err := transport.Decode(raw, &resp); err != nil {
+			return err
+		}
+		e.meta = &resp.Meta
+		e.forwarded = true
+		return nil
+	case "change_policy":
+		return doChangePolicy(e.n, call)
+	default:
+		return fmt.Errorf("wiera: unsupported global action %q", call.Name)
+	}
+}
+
+// distribute fans the stored version out to all peers, synchronously
+// (copy) or through the background queue (queue).
+func (e *globalPutExec) distribute(call *policy.ActionCall, sync bool) error {
+	if e.meta == nil {
+		return errors.New("wiera: copy/queue before store in policy body")
+	}
+	to, err := call.StringArg("to")
+	if err != nil {
+		return err
+	}
+	if to != "all_regions" {
+		// Distribution to a single named instance/region. The shared queue
+		// fans out to every peer, so a single-target lazy update is sent
+		// directly (asynchronously) instead of being enqueued.
+		target, err := e.n.resolveTarget(to)
+		if err != nil {
+			return err
+		}
+		msg := UpdateMsg{Meta: *e.meta, Data: e.data}
+		payload, err := transport.Encode(msg)
+		if err != nil {
+			return err
+		}
+		if !sync {
+			n := e.n
+			go func() { _, _ = n.ep.Call(target, MethodApplyUpdate, payload) }()
+			return nil
+		}
+		_, err = e.n.ep.Call(target, MethodApplyUpdate, payload)
+		return err
+	}
+	msg := UpdateMsg{Meta: *e.meta, Data: e.data}
+	if sync {
+		return e.n.fanOutSync(msg)
+	}
+	e.n.queue.enqueue(msg)
+	return nil
+}
+
+// Assign implements policy.Executor (no assignable attributes at the
+// global level yet).
+func (e *globalPutExec) Assign(path string, v policy.Value) error {
+	return fmt.Errorf("wiera: cannot assign %q in a global policy", path)
+}
+
+// releaseLockIfHeld frees the global lock after a mid-body failure so a
+// failed put cannot deadlock the key.
+func (e *globalPutExec) releaseLockIfHeld() {
+	if e.lockHeld && e.n.locks != nil {
+		_ = e.n.locks.Unlock(e.key)
+		e.lockHeld = false
+	}
+}
+
+// globalGetExec executes get-event responses: forwarding reads to another
+// instance (Sec 5.4's remote-memory reads).
+type globalGetExec struct {
+	n    *Node
+	key  string
+	resp *GetResponse
+}
+
+// Do implements policy.Executor.
+func (e *globalGetExec) Do(call *policy.ActionCall) error {
+	switch call.Name {
+	case "forward":
+		to, err := call.StringArg("to")
+		if err != nil {
+			return err
+		}
+		target, err := e.n.resolveTarget(to)
+		if err != nil {
+			return err
+		}
+		if target == e.n.name {
+			data, meta, err := e.n.local.Get(e.key)
+			if err != nil {
+				return err
+			}
+			e.resp = &GetResponse{Data: data, Meta: meta}
+			return nil
+		}
+		payload, err := transport.Encode(GetRequest{Key: e.key})
+		if err != nil {
+			return err
+		}
+		raw, err := e.n.ep.Call(target, MethodForwardGet, payload)
+		if err != nil {
+			return err
+		}
+		var resp GetResponse
+		if err := transport.Decode(raw, &resp); err != nil {
+			return err
+		}
+		e.resp = &resp
+		return nil
+	case "change_policy":
+		return doChangePolicy(e.n, call)
+	default:
+		return fmt.Errorf("wiera: unsupported get action %q", call.Name)
+	}
+}
+
+// Assign implements policy.Executor.
+func (e *globalGetExec) Assign(path string, v policy.Value) error {
+	return fmt.Errorf("wiera: cannot assign %q in a get policy", path)
+}
+
+// doChangePolicy translates a change_policy action into a server request.
+func doChangePolicy(n *Node, call *policy.ActionCall) error {
+	what, err := call.StringArg("what")
+	if err != nil {
+		return err
+	}
+	to, err := call.StringArg("to")
+	if err != nil {
+		return err
+	}
+	return n.requestPolicyChange(what, to)
+}

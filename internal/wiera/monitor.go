@@ -1,0 +1,346 @@
+package wiera
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+)
+
+const debugMonitor = false
+
+// monitorWindow is the observation window of the requests monitor (the
+// paper's experiment checks the put history of the last 30 seconds).
+const monitorWindow = 30 * time.Second
+
+// probePeriod stands in for "infinitely long" when probing which branch a
+// threshold body would take, so period comparisons always pass.
+const probePeriod = 1000000 * time.Hour
+
+// changeCapture is a policy executor that records change_policy calls
+// without performing them; used to probe which branch a threshold event
+// body takes for the current measurements.
+type changeCapture struct {
+	what, to string
+}
+
+// Do implements policy.Executor.
+func (c *changeCapture) Do(call *policy.ActionCall) error {
+	if call.Name == "change_policy" {
+		c.what, _ = call.StringArg("what")
+		c.to, _ = call.StringArg("to")
+	}
+	return nil
+}
+
+// Assign implements policy.Executor.
+func (c *changeCapture) Assign(string, policy.Value) error { return nil }
+
+// DefaultMonitorWindow is how long a latency sample stays representative
+// by default. The monitor evaluates against the window *maximum*, so that
+// in eventual consistency — where application puts are fast by
+// construction — the slow background replication fan-outs still register
+// as "the network is degraded", preventing a premature switch back to
+// strong consistency (paper Fig 7: the system returns to MultiPrimaries
+// only once no delay is observed for the period threshold). The window
+// also stretches any violation by up to its own width, so it should stay
+// well under the policy's period threshold (a third or less).
+const DefaultMonitorWindow = 10 * time.Second
+
+// thresholdMonitor implements LatencyMonitoring (paper Sec 4.3): a
+// dedicated evaluator signalled after each operation *and* each background
+// replication fan-out. Semantics of the threshold.period attribute: the
+// duration for which the policy body has continuously selected the same
+// change target ("the period of the violation"). The monitor discovers the
+// target by probing the body with an unbounded period, so the 800 ms
+// threshold itself lives purely in the policy text.
+type thresholdMonitor struct {
+	n       *Node
+	monitor string // threshold.type this monitor feeds ("put")
+	window  time.Duration
+
+	mu            sync.Mutex
+	samples       []latencySample
+	streakTarget  string
+	streakStart   time.Time
+	pendingChange bool
+}
+
+type latencySample struct {
+	at time.Time
+	d  time.Duration
+}
+
+func newThresholdMonitor(n *Node, monitor string, window time.Duration) *thresholdMonitor {
+	if window <= 0 {
+		window = DefaultMonitorWindow
+	}
+	return &thresholdMonitor{n: n, monitor: monitor, window: window, streakStart: n.clk.Now()}
+}
+
+// reset clears streak and pending state (called when a policy change
+// commits).
+func (m *thresholdMonitor) reset() {
+	m.mu.Lock()
+	m.streakTarget = ""
+	m.streakStart = m.n.clk.Now()
+	m.pendingChange = false
+	m.mu.Unlock()
+}
+
+// observe feeds one latency sample (an operation or a replication
+// fan-out) to every matching threshold event.
+func (m *thresholdMonitor) observe(latency time.Duration) {
+	now := m.n.clk.Now()
+	m.mu.Lock()
+	m.samples = append(m.samples, latencySample{at: now, d: latency})
+	cut := now.Add(-m.window)
+	i := 0
+	for i < len(m.samples) && m.samples[i].at.Before(cut) {
+		i++
+	}
+	m.samples = append(m.samples[:0], m.samples[i:]...)
+	// Evaluate against the second-highest sample in the window (the
+	// highest when fewer than three exist): a genuine network delay slows
+	// every operation and replication fan-out, while an isolated
+	// measurement spike (scheduling noise) only produces one outlier and
+	// must not register as a violation.
+	var max1, max2 time.Duration
+	for _, s := range m.samples {
+		if s.d > max1 {
+			max2, max1 = max1, s.d
+		} else if s.d > max2 {
+			max2 = s.d
+		}
+	}
+	windowMax := max1
+	if len(m.samples) >= 3 {
+		windowMax = max2
+	}
+	m.mu.Unlock()
+	for _, ev := range m.n.controlEvents {
+		if ev.Kind != policy.KindThreshold || ev.Monitor != m.monitor {
+			continue
+		}
+		m.evaluate(ev, windowMax)
+	}
+}
+
+func (m *thresholdMonitor) evaluate(ev *policy.CompiledEvent, latency time.Duration) {
+	now := m.n.clk.Now()
+	// Probe: which target would this sample choose, ignoring period?
+	probeEnv := policy.NewMapEnv()
+	probeEnv.Set("threshold.type", policy.IdentVal(m.monitor))
+	probeEnv.Set("threshold.latency", policy.DurationVal(latency))
+	probeEnv.Set("threshold.period", policy.DurationVal(probePeriod))
+	probe := &changeCapture{}
+	if _, err := ev.Fire(probeEnv, probe); err != nil {
+		return
+	}
+
+	m.mu.Lock()
+	if probe.to != m.streakTarget {
+		m.streakTarget = probe.to
+		m.streakStart = now
+	}
+	streak := now.Sub(m.streakStart)
+	pending := m.pendingChange
+	m.mu.Unlock()
+
+	if probe.to == "" || pending {
+		return
+	}
+	// Real evaluation with the true violation period.
+	realEnv := policy.NewMapEnv()
+	realEnv.Set("threshold.type", policy.IdentVal(m.monitor))
+	realEnv.Set("threshold.latency", policy.DurationVal(latency))
+	realEnv.Set("threshold.period", policy.DurationVal(streak))
+	capture := &changeCapture{}
+	if _, err := ev.Fire(realEnv, capture); err != nil || capture.to == "" {
+		return
+	}
+	if capture.what == "consistency" && capture.to == m.n.PolicyName() {
+		return // already on the requested policy
+	}
+	m.mu.Lock()
+	m.pendingChange = true
+	m.mu.Unlock()
+	if debugMonitor {
+		fmt.Fprintf(os.Stderr, "[mon %s] FIRE at %s: windowMax=%v streak=%v target=%s\n",
+			m.n.name, now.Format("15:04:05.000"), latency, streak, capture.to)
+	}
+	// Asynchronous: the request round-trips to the Wiera server, which
+	// freezes this node's gate; blocking here would deadlock the
+	// triggering operation (it still occupies the gate).
+	go func() {
+		if err := m.n.requestPolicyChange(capture.what, capture.to); err != nil {
+			m.mu.Lock()
+			m.pendingChange = false
+			m.mu.Unlock()
+		}
+	}()
+}
+
+// requestsMonitor implements RequestsMonitoring (paper Sec 4.3 / Fig
+// 5(b)): the primary tracks, over a sliding window, how many puts arrived
+// directly from applications versus forwarded from each other instance.
+// When an instance's forwarded count sustainedly exceeds the direct count,
+// the ChangePrimary policy moves the primary there.
+type requestsMonitor struct {
+	n *Node
+
+	mu            sync.Mutex
+	direct        []time.Time
+	forwarded     map[string][]time.Time
+	streakSource  string
+	streakStart   time.Time
+	pendingChange bool
+}
+
+func newRequestsMonitor(n *Node) *requestsMonitor {
+	return &requestsMonitor{n: n, forwarded: make(map[string][]time.Time), streakStart: n.clk.Now()}
+}
+
+// reset clears pending state (called when the primary changes).
+func (m *requestsMonitor) reset() {
+	m.mu.Lock()
+	m.direct = nil
+	m.forwarded = make(map[string][]time.Time)
+	m.streakSource = ""
+	m.streakStart = m.n.clk.Now()
+	m.pendingChange = false
+	m.mu.Unlock()
+}
+
+// observeDirect records a put received directly from an application.
+func (m *requestsMonitor) observeDirect() {
+	if !m.n.IsPrimary() {
+		return
+	}
+	now := m.n.clk.Now()
+	m.mu.Lock()
+	m.direct = append(m.direct, now)
+	m.pruneLocked(now)
+	m.mu.Unlock()
+	m.evaluate()
+}
+
+// observeForwarded records a put forwarded from another instance.
+func (m *requestsMonitor) observeForwarded(src string) {
+	if !m.n.IsPrimary() {
+		return
+	}
+	now := m.n.clk.Now()
+	m.mu.Lock()
+	if src == "" {
+		src = "unknown"
+	}
+	m.forwarded[src] = append(m.forwarded[src], now)
+	m.pruneLocked(now)
+	m.mu.Unlock()
+	m.evaluate()
+}
+
+func (m *requestsMonitor) pruneLocked(now time.Time) {
+	cut := now.Add(-monitorWindow)
+	trim := func(ts []time.Time) []time.Time {
+		i := 0
+		for i < len(ts) && ts[i].Before(cut) {
+			i++
+		}
+		return append(ts[:0], ts[i:]...)
+	}
+	m.direct = trim(m.direct)
+	for src, ts := range m.forwarded {
+		m.forwarded[src] = trim(ts)
+		if len(m.forwarded[src]) == 0 {
+			delete(m.forwarded, src)
+		}
+	}
+}
+
+// counts returns the max single-source forwarded count, that source, and
+// the direct count within the window.
+func (m *requestsMonitor) counts() (maxForwarded int, maxSource string, direct int) {
+	now := m.n.clk.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pruneLocked(now)
+	for src, ts := range m.forwarded {
+		if len(ts) > maxForwarded {
+			maxForwarded = len(ts)
+			maxSource = src
+		}
+	}
+	return maxForwarded, maxSource, len(m.direct)
+}
+
+func (m *requestsMonitor) evaluate() {
+	maxF, maxSrc, direct := m.counts()
+	if maxSrc == "" {
+		return
+	}
+	for _, ev := range m.n.controlEvents {
+		if ev.Kind != policy.KindThreshold || ev.Monitor != "primary" {
+			continue
+		}
+		m.evaluateEvent(ev, maxF, maxSrc, direct)
+	}
+}
+
+func (m *requestsMonitor) evaluateEvent(ev *policy.CompiledEvent, maxF int, maxSrc string, direct int) {
+	now := m.n.clk.Now()
+	bind := func(env *policy.MapEnv, period time.Duration) {
+		env.Set("threshold.type", policy.IdentVal("primary"))
+		env.Set("threshold.forwarded", policy.NumberVal(float64(maxF)))
+		env.Set("threshold.fromClients", policy.NumberVal(float64(direct)))
+		env.Set("threshold.period", policy.DurationVal(period))
+	}
+	probeEnv := policy.NewMapEnv()
+	bind(probeEnv, probePeriod)
+	probe := &changeCapture{}
+	if _, err := ev.Fire(probeEnv, probe); err != nil {
+		return
+	}
+	streakKey := ""
+	if probe.to != "" {
+		streakKey = maxSrc // the condition holds in favor of maxSrc
+	}
+	m.mu.Lock()
+	if streakKey != m.streakSource {
+		m.streakSource = streakKey
+		m.streakStart = now
+	}
+	streak := now.Sub(m.streakStart)
+	pending := m.pendingChange
+	m.mu.Unlock()
+	if streakKey == "" || pending {
+		return
+	}
+
+	realEnv := policy.NewMapEnv()
+	bind(realEnv, streak)
+	capture := &changeCapture{}
+	if _, err := ev.Fire(realEnv, capture); err != nil || capture.to == "" {
+		return
+	}
+	target := capture.to
+	if target == "instance_forward_most" {
+		target = maxSrc
+	}
+	if capture.what == "primary_instance" && target == m.n.name {
+		return // already primary here
+	}
+	m.mu.Lock()
+	m.pendingChange = true
+	m.mu.Unlock()
+	go func() {
+		if err := m.n.requestPolicyChange(capture.what, target); err != nil {
+			m.mu.Lock()
+			m.pendingChange = false
+			m.mu.Unlock()
+		}
+	}()
+}

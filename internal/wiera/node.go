@@ -1,0 +1,803 @@
+package wiera
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/coord"
+	"repro/internal/cost"
+	"repro/internal/object"
+	"repro/internal/policy"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/tier"
+	"repro/internal/tiera"
+	"repro/internal/transport"
+)
+
+// lockWait bounds how long a node waits for the global per-key lock.
+const lockWait = time.Minute
+
+// NodeConfig assembles a data-plane node: one Tiera instance plus the
+// global-policy machinery around it.
+type NodeConfig struct {
+	// Name is the node's fabric endpoint name (unique).
+	Name string
+	// InstanceID is the Wiera instance this node belongs to.
+	InstanceID string
+	// Region places the node.
+	Region simnet.Region
+	// Fabric connects the node to peers, the coordination service, and the
+	// Wiera server.
+	Fabric *transport.Fabric
+	// LocalSpec is the node's local Tiera policy.
+	LocalSpec *policy.Spec
+	// LocalParams binds local spec parameters.
+	LocalParams map[string]policy.Value
+	// GlobalSpec is the Wiera policy every node of the instance shares.
+	GlobalSpec *policy.Spec
+	// GlobalParams binds global spec parameters.
+	GlobalParams map[string]policy.Value
+	// DynamicSpec optionally supplies control-plane threshold events
+	// (DynamicConsistency, ChangePrimary). Control events persist across
+	// consistency changes: change_policy(consistency, ...) swaps only the
+	// data-plane events, as Fig 5(a) requires.
+	DynamicSpec *policy.Spec
+	// CoordDst names the coordination (lock) service endpoint ("" = no
+	// locking available; lock actions will fail).
+	CoordDst string
+	// ServerDst names the Wiera server endpoint for change_policy requests
+	// ("" = changes applied locally only — useful in tests).
+	ServerDst string
+	// Primary marks this node's view of the current primary node name.
+	Primary string
+	// QueueFlushEvery is the background propagation period for queued
+	// updates (default 500ms of clock time).
+	QueueFlushEvery time.Duration
+	// MonitorWindow is the latency monitor's sample window (default
+	// DefaultMonitorWindow); keep it well under the policy's period
+	// threshold.
+	MonitorWindow time.Duration
+	// NoQueueSupersede disables per-key supersession in the update queue
+	// (ablation only).
+	NoQueueSupersede bool
+	// Accountant receives tier request charges.
+	Accountant *cost.Accountant
+	// MetaPath persists local metadata when non-empty.
+	MetaPath string
+	// ExtraTiers installs pre-built tiers into the local instance, keyed by
+	// tier label — the paper's modular instances (Sec 3.2.2): another
+	// instance adapted as a storage tier.
+	ExtraTiers map[string]tier.Tier
+}
+
+// Node is one Wiera data-plane member: a Tiera instance executing a global
+// policy.
+type Node struct {
+	name       string
+	instanceID string
+	region     simnet.Region
+	clk        clock.Clock
+	local      *tiera.Instance
+	ep         *transport.Endpoint
+	fabric     *transport.Fabric
+	locks      *coord.Client
+	serverDst  string
+
+	mu         sync.Mutex
+	prog       *policy.Program
+	policyName string
+	peers      []PeerInfo // all members including self
+	primary    string
+	epoch      int64
+
+	// controlEvents are the threshold (monitoring) events, fixed at node
+	// creation; consistency changes do not replace them.
+	controlEvents []*policy.CompiledEvent
+
+	gate  *opGate
+	queue *updateQueue
+
+	latMon *thresholdMonitor // LatencyMonitoring (put)
+	reqMon *requestsMonitor  // RequestsMonitoring (primary)
+
+	// PutLatency records application-perceived put latency (lock + fan-out
+	// included); GetLatency likewise for gets.
+	PutLatency *stats.Histogram
+	GetLatency *stats.Histogram
+
+	// PutSeries records (time, put latency ms) for timeline figures.
+	PutSeries *stats.Series
+
+	staleReads stats.Counter
+	freshReads stats.Counter
+	closed     bool
+}
+
+// NewNode builds and registers a node on the fabric.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Fabric == nil {
+		return nil, errors.New("wiera: fabric required")
+	}
+	if cfg.GlobalSpec == nil || !cfg.GlobalSpec.IsGlobal {
+		return nil, errors.New("wiera: global (Wiera) spec required")
+	}
+	clk := cfg.Fabric.Network().Clock()
+	local, err := tiera.New(tiera.Config{
+		Name: cfg.Name + "/local", Region: cfg.Region, Spec: cfg.LocalSpec,
+		Params: cfg.LocalParams, Clock: clk, Accountant: cfg.Accountant,
+		MetaPath: cfg.MetaPath, ExtraTiers: cfg.ExtraTiers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	prog, err := policy.Compile(cfg.GlobalSpec, cfg.GlobalParams)
+	if err != nil {
+		local.Close()
+		return nil, err
+	}
+	ep, err := cfg.Fabric.NewEndpoint(cfg.Name, cfg.Region)
+	if err != nil {
+		local.Close()
+		return nil, err
+	}
+	n := &Node{
+		name:       cfg.Name,
+		instanceID: cfg.InstanceID,
+		region:     cfg.Region,
+		clk:        clk,
+		local:      local,
+		ep:         ep,
+		fabric:     cfg.Fabric,
+		serverDst:  cfg.ServerDst,
+		prog:       prog,
+		policyName: cfg.GlobalSpec.Name,
+		primary:    cfg.Primary,
+		gate:       newOpGate(),
+		PutLatency: stats.NewHistogram(),
+		GetLatency: stats.NewHistogram(),
+		PutSeries:  stats.NewSeries(cfg.Name + "/put"),
+	}
+	n.controlEvents = append(n.controlEvents, prog.ByKind(policy.KindThreshold)...)
+	if cfg.DynamicSpec != nil {
+		dynProg, err := policy.Compile(cfg.DynamicSpec, cfg.GlobalParams)
+		if err != nil {
+			local.Close()
+			cfg.Fabric.Remove(cfg.Name)
+			return nil, err
+		}
+		n.controlEvents = append(n.controlEvents, dynProg.ByKind(policy.KindThreshold)...)
+	}
+	if cfg.CoordDst != "" {
+		cli, err := coord.NewClient(ep, cfg.CoordDst, 24*365*time.Hour)
+		if err != nil {
+			local.Close()
+			cfg.Fabric.Remove(cfg.Name)
+			return nil, fmt.Errorf("wiera: coord session: %w", err)
+		}
+		n.locks = cli
+	}
+	flushEvery := cfg.QueueFlushEvery
+	if flushEvery <= 0 {
+		flushEvery = 500 * time.Millisecond
+	}
+	n.queue = newUpdateQueue(n, flushEvery, !cfg.NoQueueSupersede)
+	n.latMon = newThresholdMonitor(n, "put", cfg.MonitorWindow)
+	n.reqMon = newRequestsMonitor(n)
+	ep.Serve(n.handle)
+	n.queue.start()
+	local.Start()
+	registerNode(n)
+	return n, nil
+}
+
+// Name returns the node's endpoint name.
+func (n *Node) Name() string { return n.name }
+
+// Region returns the node's region.
+func (n *Node) Region() simnet.Region { return n.region }
+
+// Local returns the node's Tiera instance.
+func (n *Node) Local() *tiera.Instance { return n.local }
+
+// PolicyName returns the current global policy name.
+func (n *Node) PolicyName() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.policyName
+}
+
+// Primary returns the node's current view of the primary instance.
+func (n *Node) Primary() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.primary
+}
+
+// IsPrimary reports whether this node is the primary.
+func (n *Node) IsPrimary() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.primary == n.name
+}
+
+// SetPeers installs the membership list (control plane).
+func (n *Node) SetPeers(peers []PeerInfo, primary string) {
+	n.mu.Lock()
+	n.peers = append([]PeerInfo(nil), peers...)
+	if primary != "" {
+		n.primary = primary
+	}
+	n.mu.Unlock()
+}
+
+// Peers returns the other members (excluding self).
+func (n *Node) Peers() []PeerInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]PeerInfo, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p.Name != n.name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// StaleReads and FreshReads report how many gets returned data that was
+// outdated (resp. current) with respect to the globally newest version at
+// read time — the Fig 8 metric. Tracking happens in Get.
+func (n *Node) StaleReads() int64 { return n.staleReads.Value() }
+
+// FreshReads reports gets that returned the globally latest version.
+func (n *Node) FreshReads() int64 { return n.freshReads.Value() }
+
+// Put stores data under key through the global policy. fromApp
+// distinguishes direct application puts from forwarded ones for the
+// requests monitor.
+func (n *Node) Put(key string, data []byte, tags []string) (object.Meta, error) {
+	return n.put(key, data, tags, true)
+}
+
+func (n *Node) put(key string, data []byte, tags []string, fromApp bool) (object.Meta, error) {
+	appStart := n.clk.Now()
+	if err := n.gate.enter(); err != nil {
+		return object.Meta{}, err
+	}
+	defer n.gate.exit()
+
+	// start excludes time blocked at the gate during a policy change: the
+	// latency monitor watches the operation path, and feeding it the
+	// transition pause would read as a spurious network delay. The
+	// application-perceived histogram still includes it.
+	start := n.clk.Now()
+	n.mu.Lock()
+	prog := n.prog
+	n.mu.Unlock()
+
+	op := &globalPutExec{n: n, key: key, data: data, tags: tags}
+	fired := false
+	for _, ev := range prog.ByKind(policy.KindInsert) {
+		env := n.putEnv(key, data)
+		f, err := ev.Fire(env, op)
+		if err != nil {
+			op.releaseLockIfHeld()
+			return object.Meta{}, err
+		}
+		fired = fired || f
+	}
+	if !fired || (op.meta == nil) {
+		// No global insert policy stored or forwarded: default local put.
+		m, err := n.local.PutTagged(key, data, tags)
+		if err != nil {
+			return object.Meta{}, err
+		}
+		op.meta = &m
+	}
+	elapsed := n.clk.Since(appStart)
+	if fromApp {
+		n.PutLatency.Record(elapsed)
+		n.PutSeries.Append(n.clk.Now(), float64(elapsed)/float64(time.Millisecond))
+		n.latMon.observe(n.clk.Since(start))
+		n.reqMon.observeDirect()
+	}
+	return *op.meta, nil
+}
+
+func (n *Node) putEnv(key string, data []byte) *policy.MapEnv {
+	env := policy.NewMapEnv()
+	env.Set("insert.key", policy.StringVal(key))
+	env.Set("insert.object", policy.IdentVal(key))
+	env.Set("insert.object.size", policy.SizeVal(int64(len(data))))
+	env.Set("local_instance.isPrimary", policy.BoolVal(n.IsPrimary()))
+	return env
+}
+
+// Get retrieves key's latest local version through the global policy
+// (forwarding policies apply); on a local miss it falls back to the
+// nearest peer holding the data.
+func (n *Node) Get(key string) ([]byte, object.Meta, error) {
+	if err := n.gate.enter(); err != nil {
+		return nil, object.Meta{}, err
+	}
+	defer n.gate.exit()
+	start := n.clk.Now()
+
+	n.mu.Lock()
+	prog := n.prog
+	n.mu.Unlock()
+
+	// Get-forwarding policies (Sec 5.4: all gets forwarded to the AWS
+	// memory instance).
+	for _, ev := range prog.ByKind(policy.KindGet) {
+		env := policy.NewMapEnv()
+		env.Set("get.key", policy.StringVal(key))
+		env.Set("local_instance.isPrimary", policy.BoolVal(n.IsPrimary()))
+		ge := &globalGetExec{n: n, key: key}
+		fired, err := ev.Fire(env, ge)
+		if err != nil {
+			return nil, object.Meta{}, err
+		}
+		if fired && ge.resp != nil {
+			n.GetLatency.Record(n.clk.Since(start))
+			return ge.resp.Data, ge.resp.Meta, nil
+		}
+	}
+
+	data, meta, err := n.local.Get(key)
+	if err != nil {
+		// Local miss: read from the nearest peer that has it.
+		data, meta, err = n.getFromPeers(key)
+		if err != nil {
+			return nil, object.Meta{}, err
+		}
+	}
+	n.GetLatency.Record(n.clk.Since(start))
+	n.trackFreshness(meta)
+	return data, meta, nil
+}
+
+// trackFreshness compares the returned version against the globally
+// newest version of the key across peers' indexes (oracle view for the
+// Fig 8 staleness metric; no network cost is charged).
+func (n *Node) trackFreshness(meta object.Meta) {
+	latest := meta.Version
+	for _, p := range n.Peers() {
+		node := lookupNode(p.Name)
+		if node == nil {
+			continue
+		}
+		if m, err := node.local.Objects().Latest(meta.Key); err == nil && m.Version > latest {
+			latest = m.Version
+		}
+	}
+	if latest > meta.Version {
+		n.staleReads.Inc()
+	} else {
+		n.freshReads.Inc()
+	}
+}
+
+// GetVersion retrieves a specific version locally.
+func (n *Node) GetVersion(key string, v object.Version) ([]byte, object.Meta, error) {
+	return n.local.GetVersion(key, v)
+}
+
+// VersionList lists available versions locally.
+func (n *Node) VersionList(key string) ([]object.Version, error) {
+	return n.local.VersionList(key)
+}
+
+// Remove deletes all versions locally and on all peers.
+func (n *Node) Remove(key string) error {
+	if err := n.local.Remove(key); err != nil {
+		return err
+	}
+	for _, p := range n.Peers() {
+		payload, _ := transport.Encode(RemoveRequest{Key: key})
+		_, _ = n.ep.Call(p.Name, MethodRemove, payload)
+	}
+	return nil
+}
+
+// RemoveVersion deletes one version locally.
+func (n *Node) RemoveVersion(key string, v object.Version) error {
+	return n.local.RemoveVersion(key, v)
+}
+
+// getFromPeers reads key from peers in ascending RTT order.
+func (n *Node) getFromPeers(key string) ([]byte, object.Meta, error) {
+	peers := n.Peers()
+	net := n.fabric.Network()
+	sort.Slice(peers, func(i, j int) bool {
+		return net.RTT(n.region, peers[i].Region) < net.RTT(n.region, peers[j].Region)
+	})
+	var lastErr error = object.ErrNotFound{Key: key}
+	for _, p := range peers {
+		payload, err := transport.Encode(GetRequest{Key: key})
+		if err != nil {
+			return nil, object.Meta{}, err
+		}
+		raw, err := n.ep.Call(p.Name, MethodForwardGet, payload)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var resp GetResponse
+		if err := transport.Decode(raw, &resp); err != nil {
+			return nil, object.Meta{}, err
+		}
+		return resp.Data, resp.Meta, nil
+	}
+	return nil, object.Meta{}, lastErr
+}
+
+// fanOutSync pushes an update to every peer synchronously, in parallel,
+// returning when all have acknowledged (or any fails).
+func (n *Node) fanOutSync(msg UpdateMsg) error {
+	peers := n.Peers()
+	if len(peers) == 0 {
+		return nil
+	}
+	payload, err := transport.Encode(msg)
+	if err != nil {
+		return err
+	}
+	errs := make(chan error, len(peers))
+	for _, p := range peers {
+		go func(p PeerInfo) {
+			_, err := n.ep.Call(p.Name, MethodApplyUpdate, payload)
+			errs <- err
+		}(p)
+	}
+	var firstErr error
+	for range peers {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// handle is the node's RPC dispatcher.
+func (n *Node) handle(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case MethodPut:
+		var req PutRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		meta, err := n.Put(req.Key, req.Data, req.Tags)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(PutResponse{Meta: meta})
+	case MethodForwardPut:
+		var req PutRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		n.reqMon.observeForwarded(req.From)
+		meta, err := n.put(req.Key, req.Data, req.Tags, false)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(PutResponse{Meta: meta})
+	case MethodGet:
+		var req GetRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		data, meta, err := n.Get(req.Key)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(GetResponse{Data: data, Meta: meta})
+	case MethodForwardGet:
+		var req GetRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		data, meta, err := n.local.Get(req.Key)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(GetResponse{Data: data, Meta: meta})
+	case MethodGetVersion:
+		var req GetVersionRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		data, meta, err := n.GetVersion(req.Key, req.Version)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(GetResponse{Data: data, Meta: meta})
+	case MethodVersionList:
+		var req VersionListRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		vs, err := n.VersionList(req.Key)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(VersionListResponse{Versions: vs})
+	case MethodRemove:
+		var req RemoveRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		// Remote-initiated removes are local-only (no re-broadcast).
+		if err := n.local.Remove(req.Key); err != nil {
+			return nil, err
+		}
+		return transport.Encode(Empty{})
+	case MethodRemoveVer:
+		var req RemoveVersionRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := n.RemoveVersion(req.Key, req.Version); err != nil {
+			return nil, err
+		}
+		return transport.Encode(Empty{})
+	case MethodApplyUpdate:
+		var msg UpdateMsg
+		if err := transport.Decode(payload, &msg); err != nil {
+			return nil, err
+		}
+		accepted, err := n.local.ApplyRemote(msg.Meta, msg.Data)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(UpdateAck{Accepted: accepted})
+	case MethodSnapshot:
+		return n.snapshot()
+	case MethodSetPeers:
+		var msg PeersMsg
+		if err := transport.Decode(payload, &msg); err != nil {
+			return nil, err
+		}
+		n.SetPeers(msg.Peers, msg.Primary)
+		return transport.Encode(Empty{})
+	case MethodSetPrimary:
+		var msg SetPrimaryMsg
+		if err := transport.Decode(payload, &msg); err != nil {
+			return nil, err
+		}
+		n.mu.Lock()
+		n.primary = msg.Primary
+		n.mu.Unlock()
+		n.reqMon.reset()
+		return transport.Encode(Empty{})
+	case MethodPrepareChange:
+		var msg PrepareChangeMsg
+		if err := transport.Decode(payload, &msg); err != nil {
+			return nil, err
+		}
+		if err := n.prepareChange(msg.Epoch); err != nil {
+			return nil, err
+		}
+		return transport.Encode(Empty{})
+	case MethodCommitChange:
+		var msg CommitChangeMsg
+		if err := transport.Decode(payload, &msg); err != nil {
+			return nil, err
+		}
+		if err := n.commitChange(msg); err != nil {
+			return nil, err
+		}
+		return transport.Encode(Empty{})
+	case MethodStats:
+		return transport.Encode(n.statsLocal())
+	case MethodPing:
+		return transport.Encode(PongMsg{Name: n.name})
+	case MethodShutdown:
+		go n.Close()
+		return transport.Encode(Empty{})
+	default:
+		return nil, fmt.Errorf("wiera: node %s: unknown method %q", n.name, method)
+	}
+}
+
+// snapshot serializes every key's latest version for new-replica sync.
+func (n *Node) snapshot() ([]byte, error) {
+	var resp SnapshotResponse
+	for _, key := range n.local.Objects().Keys() {
+		meta, err := n.local.Objects().Latest(key)
+		if err != nil {
+			continue
+		}
+		data, _, err := n.local.GetVersion(key, meta.Version)
+		if err != nil {
+			continue
+		}
+		resp.Updates = append(resp.Updates, UpdateMsg{Meta: meta, Data: data})
+	}
+	return transport.Encode(resp)
+}
+
+// SyncFrom pulls a full snapshot from peer and applies it (new replica
+// bootstrap, Sec 4.4).
+func (n *Node) SyncFrom(peer string) error {
+	payload, err := transport.Encode(SnapshotRequest{})
+	if err != nil {
+		return err
+	}
+	raw, err := n.ep.Call(peer, MethodSnapshot, payload)
+	if err != nil {
+		return err
+	}
+	var resp SnapshotResponse
+	if err := transport.Decode(raw, &resp); err != nil {
+		return err
+	}
+	for _, u := range resp.Updates {
+		if _, err := n.local.ApplyRemote(u.Meta, u.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepareChange drains in-flight operations and the update queue, then
+// blocks new operations until commitChange.
+func (n *Node) prepareChange(epoch int64) error {
+	n.mu.Lock()
+	if epoch <= n.epoch {
+		n.mu.Unlock()
+		return fmt.Errorf("wiera: stale change epoch %d (at %d)", epoch, n.epoch)
+	}
+	n.mu.Unlock()
+	n.gate.freeze()
+	n.queue.flushNow()
+	return nil
+}
+
+// commitChange installs the new policy and unblocks operations.
+func (n *Node) commitChange(msg CommitChangeMsg) error {
+	var spec *policy.Spec
+	var err error
+	if msg.PolicyName != "" {
+		spec, err = policy.Builtin(msg.PolicyName)
+	} else {
+		spec, err = policy.Parse(msg.PolicySrc)
+	}
+	if err != nil {
+		n.gate.thaw()
+		return err
+	}
+	prog, err := policy.Compile(spec, nil)
+	if err != nil {
+		n.gate.thaw()
+		return err
+	}
+	n.mu.Lock()
+	n.prog = prog
+	n.policyName = spec.Name
+	n.epoch = msg.Epoch
+	if msg.Primary != "" {
+		n.primary = msg.Primary
+	}
+	n.mu.Unlock()
+	n.latMon.reset()
+	if msg.Primary != "" {
+		n.reqMon.reset()
+	}
+	n.gate.thaw()
+	return nil
+}
+
+// requestPolicyChange asks the Wiera server to change the policy (the
+// change_policy response, Sec 4.3). Without a server the change applies
+// locally (single-node tests).
+func (n *Node) requestPolicyChange(what, to string) error {
+	if n.serverDst == "" {
+		switch what {
+		case "consistency":
+			return n.commitChange(CommitChangeMsg{Epoch: n.epoch + 1, PolicyName: to})
+		case "primary_instance":
+			n.mu.Lock()
+			n.primary = to
+			n.mu.Unlock()
+			return nil
+		default:
+			return fmt.Errorf("wiera: unknown change_policy target %q", what)
+		}
+	}
+	payload, err := transport.Encode(ChangeRequestMsg{
+		InstanceID: n.instanceID, What: what, To: to, From: n.name,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = n.ep.Call(n.serverDst, MethodRequestChange, payload)
+	return err
+}
+
+// Close stops the node and removes it from the fabric.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.gate.kill() // unblock any operation parked behind a policy change
+	n.queue.stop()
+	if n.locks != nil {
+		_ = n.locks.Close()
+	}
+	n.fabric.Remove(n.name)
+	unregisterNode(n.name)
+	return n.local.Close()
+}
+
+// Crash simulates an abrupt node failure: the endpoint vanishes and
+// volatile tiers lose data, but no clean shutdown runs.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.gate.kill()
+	n.queue.stop()
+	n.fabric.Remove(n.name)
+	unregisterNode(n.name)
+	n.local.CrashVolatile()
+	n.local.Stop()
+}
+
+// resolveTarget maps policy target names to node names: primary_instance,
+// an explicit node name, or a region name (the node in that region).
+func (n *Node) resolveTarget(target string) (string, error) {
+	switch target {
+	case "primary_instance":
+		p := n.Primary()
+		if p == "" {
+			return "", errors.New("wiera: no primary configured")
+		}
+		return p, nil
+	case "local_instance":
+		return n.name, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.peers {
+		if p.Name == target || string(p.Region) == target {
+			return p.Name, nil
+		}
+	}
+	// Fall back to treating the target as a raw endpoint name.
+	if strings.TrimSpace(target) != "" {
+		return target, nil
+	}
+	return "", fmt.Errorf("wiera: cannot resolve target %q", target)
+}
+
+// nodeRegistry maps node names to live Nodes in this process, giving the
+// staleness oracle (Fig 8) a zero-cost global view. It is test/experiment
+// instrumentation, not part of the data path.
+var (
+	nodeRegMu sync.Mutex
+	nodeReg   = map[string]*Node{}
+)
+
+// LookupNode returns the live in-process node with the given name, or nil.
+// Experiments and examples use it to reach node internals (metrics, local
+// instance) without adding introspection RPCs to the protocol.
+func LookupNode(name string) *Node { return lookupNode(name) }
+
+func registerNode(n *Node)       { nodeRegMu.Lock(); nodeReg[n.name] = n; nodeRegMu.Unlock() }
+func unregisterNode(name string) { nodeRegMu.Lock(); delete(nodeReg, name); nodeRegMu.Unlock() }
+func lookupNode(name string) *Node {
+	nodeRegMu.Lock()
+	defer nodeRegMu.Unlock()
+	return nodeReg[name]
+}

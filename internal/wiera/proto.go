@@ -1,0 +1,239 @@
+// Package wiera implements the Wiera system (paper Sec 3-4): a control
+// plane (Server: WUI, Global Policy Manager, Tiera Server Manager, Tiera
+// Instance Managers) that launches and manages Tiera instances across
+// regions, and a data plane (Node) in which each instance executes the
+// global policy — consistency fan-out, forwarding, queued propagation,
+// global locking, and run-time policy changes driven by latency and
+// request monitors. Wiera itself never touches data; all object bytes flow
+// directly between nodes (paper Sec 4).
+package wiera
+
+import (
+	"time"
+
+	"repro/internal/object"
+	"repro/internal/simnet"
+)
+
+// RPC method names. The application-facing ones implement the paper's
+// Table 1 and Table 2 APIs; the node-to-node and control ones implement
+// Sec 4.1's protocol.
+const (
+	// Application API (Table 2) served by every node.
+	MethodPut         = "wiera.put"
+	MethodGet         = "wiera.get"
+	MethodGetVersion  = "wiera.getVersion"
+	MethodVersionList = "wiera.getVersionList"
+	MethodRemove      = "wiera.remove"
+	MethodRemoveVer   = "wiera.removeVersion"
+
+	// Node-to-node data plane.
+	MethodApplyUpdate = "wiera.applyUpdate"
+	MethodForwardPut  = "wiera.forwardPut"
+	MethodForwardGet  = "wiera.forwardGet"
+	MethodSnapshot    = "wiera.snapshot"
+
+	// Control plane: server -> node.
+	MethodSetPeers      = "wiera.setPeers"
+	MethodSetPrimary    = "wiera.setPrimary"
+	MethodPrepareChange = "wiera.prepareChange"
+	MethodCommitChange  = "wiera.commitChange"
+	MethodPing          = "wiera.ping"
+	MethodShutdown      = "wiera.shutdown"
+
+	// Control plane: node -> server.
+	MethodRequestChange = "wiera.requestPolicyChange"
+
+	// Control plane: server -> tiera server.
+	MethodSpawn   = "wiera.spawnInstance"
+	MethodDespawn = "wiera.despawnInstance"
+
+	// Application API (Table 1) served by the Wiera server.
+	MethodStartInstances = "wiera.startInstances"
+	MethodStopInstances  = "wiera.stopInstances"
+	MethodGetInstances   = "wiera.getInstances"
+)
+
+// PutRequest stores an object (Table 2 put / update). From names the
+// forwarding instance on forwarded puts ("" for direct application puts);
+// the requests monitor uses it for per-source attribution.
+type PutRequest struct {
+	Key  string
+	Data []byte
+	Tags []string
+	From string
+}
+
+// PutResponse returns the created version's metadata.
+type PutResponse struct {
+	Meta object.Meta
+}
+
+// GetRequest retrieves an object's latest version (Table 2 get).
+type GetRequest struct {
+	Key string
+}
+
+// GetVersionRequest retrieves a specific version (Table 2 getVersion).
+type GetVersionRequest struct {
+	Key     string
+	Version object.Version
+}
+
+// GetResponse carries payload and metadata.
+type GetResponse struct {
+	Data []byte
+	Meta object.Meta
+}
+
+// VersionListRequest lists versions (Table 2 getVersionList).
+type VersionListRequest struct {
+	Key string
+}
+
+// VersionListResponse carries the version numbers.
+type VersionListResponse struct {
+	Versions []object.Version
+}
+
+// RemoveRequest removes all versions (Table 2 remove).
+type RemoveRequest struct {
+	Key string
+}
+
+// RemoveVersionRequest removes one version (Table 2 removeVersion).
+type RemoveVersionRequest struct {
+	Key     string
+	Version object.Version
+}
+
+// UpdateMsg propagates one version between replicas, with the metadata
+// (version number, last modified time) the receiver needs for last-writer-
+// wins conflict resolution (paper Sec 4.2).
+type UpdateMsg struct {
+	Meta object.Meta
+	Data []byte
+}
+
+// UpdateAck reports whether the update won at the receiver.
+type UpdateAck struct {
+	Accepted bool
+}
+
+// SnapshotRequest asks a peer for its full live state (new-replica sync).
+type SnapshotRequest struct{}
+
+// SnapshotResponse carries every key's latest version.
+type SnapshotResponse struct {
+	Updates []UpdateMsg
+}
+
+// PeersMsg distributes the instance membership list (Sec 4.1 step 6).
+type PeersMsg struct {
+	Peers   []PeerInfo
+	Primary string
+}
+
+// PeerInfo names one member instance and its region.
+type PeerInfo struct {
+	Name   string
+	Region simnet.Region
+}
+
+// SetPrimaryMsg changes the primary instance.
+type SetPrimaryMsg struct {
+	Primary string
+}
+
+// PrepareChangeMsg blocks new operations and drains queues ahead of a
+// consistency change (Sec 3.3.2: in-progress and queued operations are
+// applied first; new requests block until the change takes effect).
+type PrepareChangeMsg struct {
+	Epoch int64
+}
+
+// CommitChangeMsg installs a new global policy body.
+type CommitChangeMsg struct {
+	Epoch      int64
+	PolicyName string // a builtin or previously registered policy name
+	PolicySrc  string // full source; used when PolicyName is empty
+	Primary    string // optional new primary ("" = keep)
+}
+
+// ChangeRequestMsg is a node asking the server for a policy change (the
+// change_policy response).
+type ChangeRequestMsg struct {
+	InstanceID string // wiera instance id
+	What       string // "consistency" or "primary_instance"
+	To         string // target policy name or instance name
+	From       string // requesting node
+}
+
+// PingMsg checks liveness.
+type PingMsg struct{}
+
+// PongMsg answers a ping.
+type PongMsg struct {
+	Name string
+}
+
+// Empty is a no-payload response.
+type Empty struct{}
+
+// StartInstancesRequest launches a Wiera instance (Table 1).
+type StartInstancesRequest struct {
+	InstanceID string
+	PolicySrc  string            // global (Wiera) policy source
+	Params     map[string]string // spec parameter bindings (durations as strings)
+	// LocalSpecs supplies custom local Tiera policy sources by name; region
+	// declarations resolve their instance name here first, then among the
+	// built-in policies.
+	LocalSpecs  map[string]string
+	MinReplicas int // replicas to keep alive (Sec 4.4); 0 = len(regions)
+}
+
+// StartInstancesResponse returns the launched node list (closest first for
+// the caller's region when the server can tell; declaration order
+// otherwise).
+type StartInstancesResponse struct {
+	Nodes []PeerInfo
+}
+
+// StopInstancesRequest stops a Wiera instance (Table 1).
+type StopInstancesRequest struct {
+	InstanceID string
+}
+
+// GetInstancesRequest lists a Wiera instance's nodes (Table 1).
+type GetInstancesRequest struct {
+	InstanceID string
+}
+
+// SpawnRequest asks a Tiera server to create an instance node (Sec 4.1
+// step 3).
+type SpawnRequest struct {
+	InstanceID string
+	NodeName   string
+	LocalSrc   string // local Tiera policy source
+	GlobalSrc  string // global policy source
+	Params     map[string]string
+	Primary    string
+	TimerParam time.Duration // binding for the conventional "t" parameter
+}
+
+// SpawnResponse confirms the node is serving.
+type SpawnResponse struct {
+	Node PeerInfo
+}
+
+// DespawnRequest removes an instance node.
+type DespawnRequest struct {
+	NodeName string
+}
+
+// ProxyRequest wraps a data-plane request with its target instance for the
+// cmd/wiera TCP front, which routes it to the instance's closest node.
+type ProxyRequest struct {
+	InstanceID string
+	Payload    []byte
+}

@@ -1,0 +1,132 @@
+package wiera
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// updateQueue implements the queue response (Sec 3.2.3): updates enqueued
+// for lazy background distribution to other replicas. A newer version of a
+// key supersedes an older queued one (only the newest matters under
+// last-writer-wins), reducing update traffic. Applications choose the
+// flush period in NodeConfig ("applications can specify how frequently
+// queued updates need to be distributed", Sec 3.3.1).
+type updateQueue struct {
+	n      *Node
+	period time.Duration
+	// supersede drops older queued versions of a key when a newer one is
+	// enqueued (LWW makes only the newest matter). Disabled only by the
+	// ablation that quantifies the saved update traffic.
+	supersede bool
+
+	// flushMu serializes whole flush operations (drain + delivery), so a
+	// caller returning from flushNow knows every previously queued update
+	// has been delivered — prepareChange relies on this drain guarantee.
+	flushMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[string]UpdateMsg // key -> newest queued update
+	order   []string             // FIFO of keys with pending updates
+	stopCh  chan struct{}
+	started bool
+}
+
+func newUpdateQueue(n *Node, period time.Duration, supersede bool) *updateQueue {
+	return &updateQueue{n: n, period: period, supersede: supersede, pending: make(map[string]UpdateMsg)}
+}
+
+// enqueue registers an update for background propagation.
+func (q *updateQueue) enqueue(msg UpdateMsg) {
+	q.mu.Lock()
+	if !q.supersede {
+		// Ablation mode: every update is shipped individually.
+		key := fmt.Sprintf("%s#%d", msg.Meta.Key, len(q.order))
+		q.order = append(q.order, key)
+		q.pending[key] = msg
+		q.mu.Unlock()
+		return
+	}
+	if _, ok := q.pending[msg.Meta.Key]; !ok {
+		q.order = append(q.order, msg.Meta.Key)
+	}
+	q.pending[msg.Meta.Key] = msg
+	q.mu.Unlock()
+}
+
+// Len reports how many keys have queued updates.
+func (q *updateQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// start launches the background flusher.
+func (q *updateQueue) start() {
+	q.mu.Lock()
+	if q.started {
+		q.mu.Unlock()
+		return
+	}
+	q.started = true
+	q.stopCh = make(chan struct{})
+	stop := q.stopCh
+	q.mu.Unlock()
+	go q.loop(stop)
+}
+
+func (q *updateQueue) loop(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-q.n.clk.After(q.period):
+			q.flushNow()
+		}
+	}
+}
+
+// flushNow synchronously distributes all queued updates; on return every
+// update queued before the call has been delivered (or its peer found
+// unreachable).
+func (q *updateQueue) flushNow() {
+	q.flushMu.Lock()
+	defer q.flushMu.Unlock()
+	q.mu.Lock()
+	if len(q.pending) == 0 {
+		q.mu.Unlock()
+		return
+	}
+	batch := make([]UpdateMsg, 0, len(q.order))
+	for _, key := range q.order {
+		if msg, ok := q.pending[key]; ok {
+			batch = append(batch, msg)
+		}
+	}
+	q.pending = make(map[string]UpdateMsg)
+	q.order = q.order[:0]
+	q.mu.Unlock()
+
+	for _, msg := range batch {
+		// Best effort: unreachable peers catch up via later updates or
+		// snapshot sync; LWW makes redelivery harmless.
+		start := q.n.clk.Now()
+		err := q.n.fanOutSync(msg)
+		if err == nil {
+			// Feed the replication latency to the latency monitor: under
+			// eventual consistency this is the signal that tells the
+			// DynamicConsistency policy whether the network has recovered.
+			q.n.latMon.observe(q.n.clk.Since(start))
+		}
+	}
+}
+
+// stop terminates the flusher without flushing.
+func (q *updateQueue) stop() {
+	q.mu.Lock()
+	if q.started {
+		close(q.stopCh)
+		q.started = false
+	}
+	q.mu.Unlock()
+}

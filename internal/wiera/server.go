@@ -1,0 +1,886 @@
+package wiera
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/simnet"
+	"repro/internal/tier"
+	"repro/internal/tiera"
+	"repro/internal/transport"
+)
+
+// ServerConfig assembles the Wiera control plane.
+type ServerConfig struct {
+	// Fabric connects the server to Tiera servers and nodes.
+	Fabric *transport.Fabric
+	// Name is the server's endpoint name (default "wiera").
+	Name string
+	// Region places the server (the paper runs it in US-East).
+	Region simnet.Region
+	// CoordDst names the coordination service endpoint nodes should use
+	// for global locks ("" disables locking).
+	CoordDst string
+	// HeartbeatEvery is the TSM ping period (default 5s clock time).
+	HeartbeatEvery time.Duration
+}
+
+// Server is the Wiera control plane: the WUI application API (Table 1),
+// the Global Policy Manager holding policy metadata, the Tiera Server
+// Manager tracking per-region Tiera servers, and one Tiera Instance
+// Manager per running Wiera instance. The server never carries object
+// data.
+type Server struct {
+	name     string
+	region   simnet.Region
+	fabric   *transport.Fabric
+	ep       *transport.Endpoint
+	coordDst string
+	hbEvery  time.Duration
+
+	mu           sync.Mutex
+	tieraServers map[simnet.Region]string // TSM registry: region -> endpoint
+	instances    map[string]*instanceState
+	changeLog    []ChangeEvent
+	stopCh       chan struct{}
+	started      bool
+}
+
+// ChangeEvent records one applied run-time policy change (consistency swap
+// or primary move) — the timeline data behind the paper's Fig 7.
+type ChangeEvent struct {
+	At         time.Time
+	InstanceID string
+	What       string
+	To         string
+	From       string // requesting node
+}
+
+// instanceState is one TIM: the metadata of a running Wiera instance.
+type instanceState struct {
+	id          string
+	globalSrc   string
+	dynamicSrc  string
+	params      map[string]string
+	policyName  string // current data-plane policy
+	primary     string
+	epoch       int64
+	minReplicas int
+	nodes       []PeerInfo
+	plans       []regionPlan // for respawning failed replicas
+	changing    bool
+}
+
+// regionPlan records how to (re)spawn one member.
+type regionPlan struct {
+	Region   simnet.Region
+	LocalSrc string
+	Primary  bool
+}
+
+// NewServer builds and registers the control plane endpoint.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Fabric == nil {
+		return nil, errors.New("wiera: fabric required")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "wiera"
+	}
+	region := cfg.Region
+	if region == "" {
+		region = simnet.USEast
+	}
+	ep, err := cfg.Fabric.NewEndpoint(name, region)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		name:         name,
+		region:       region,
+		fabric:       cfg.Fabric,
+		ep:           ep,
+		coordDst:     cfg.CoordDst,
+		hbEvery:      cfg.HeartbeatEvery,
+		tieraServers: make(map[simnet.Region]string),
+		instances:    make(map[string]*instanceState),
+	}
+	if s.hbEvery <= 0 {
+		s.hbEvery = 5 * time.Second
+	}
+	ep.Serve(s.handle)
+	return s, nil
+}
+
+// Name returns the server endpoint name.
+func (s *Server) Name() string { return s.name }
+
+// RegisterTieraServer records a Tiera server for a region (Sec 4.1:
+// "whenever a Tiera server launches, it connects to the TSM first").
+func (s *Server) RegisterTieraServer(region simnet.Region, endpoint string) {
+	s.mu.Lock()
+	s.tieraServers[region] = endpoint
+	s.mu.Unlock()
+}
+
+// handle dispatches control-plane RPCs.
+func (s *Server) handle(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case MethodStartInstances:
+		var req StartInstancesRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		nodes, err := s.StartInstances(req)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(StartInstancesResponse{Nodes: nodes})
+	case MethodStopInstances:
+		var req StopInstancesRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := s.StopInstances(req.InstanceID); err != nil {
+			return nil, err
+		}
+		return transport.Encode(Empty{})
+	case MethodGetInstances:
+		var req GetInstancesRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		nodes, err := s.GetInstances(req.InstanceID)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(StartInstancesResponse{Nodes: nodes})
+	case MethodCollectStats:
+		var req GetInstancesRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		stats, err := s.CollectStats(req.InstanceID)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(stats)
+	case MethodRequestChange:
+		var req ChangeRequestMsg
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := s.ApplyChange(req); err != nil {
+			return nil, err
+		}
+		return transport.Encode(Empty{})
+	default:
+		return nil, fmt.Errorf("wiera: server: unknown method %q", method)
+	}
+}
+
+// StartInstances implements Table 1 startInstances: parse the global
+// policy, spawn a Tiera instance in every declared region through that
+// region's Tiera server, distribute membership, and return the node list.
+func (s *Server) StartInstances(req StartInstancesRequest) ([]PeerInfo, error) {
+	if req.InstanceID == "" {
+		return nil, errors.New("wiera: instance id required")
+	}
+	globalSpec, err := policy.Parse(req.PolicySrc)
+	if err != nil {
+		return nil, err
+	}
+	if !globalSpec.IsGlobal {
+		return nil, fmt.Errorf("wiera: policy %q is not a Wiera policy", globalSpec.Name)
+	}
+	if len(globalSpec.Regions) == 0 {
+		return nil, fmt.Errorf("wiera: policy %q declares no regions", globalSpec.Name)
+	}
+	s.mu.Lock()
+	if _, exists := s.instances[req.InstanceID]; exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("wiera: instance %q already running", req.InstanceID)
+	}
+	s.mu.Unlock()
+
+	st := &instanceState{
+		id:          req.InstanceID,
+		globalSrc:   req.PolicySrc,
+		params:      req.Params,
+		policyName:  globalSpec.Name,
+		minReplicas: req.MinReplicas,
+	}
+	// The minimum-replica requirement (Sec 4.4: "an application can specify
+	// the required number of replicas to be available at all times") can
+	// also arrive as a policy parameter.
+	if st.minReplicas == 0 {
+		if v, ok := req.Params["minReplicas"]; ok {
+			fmt.Sscanf(v, "%d", &st.minReplicas)
+		}
+	}
+	if dyn, ok := req.Params["dynamic"]; ok {
+		st.dynamicSrc = dyn
+	}
+
+	var nodes []PeerInfo
+	for _, decl := range globalSpec.Regions {
+		plan, nodeName, err := s.planFor(req.InstanceID, globalSpec, decl, req.LocalSpecs)
+		if err != nil {
+			s.teardown(nodes)
+			return nil, err
+		}
+		node, err := s.spawn(req.InstanceID, nodeName, plan, st)
+		if err != nil {
+			s.teardown(nodes)
+			return nil, err
+		}
+		if plan.Primary {
+			st.primary = node.Name
+		}
+		st.plans = append(st.plans, plan)
+		nodes = append(nodes, node)
+	}
+	if st.minReplicas == 0 {
+		st.minReplicas = len(nodes)
+	}
+	st.nodes = nodes
+	s.mu.Lock()
+	s.instances[req.InstanceID] = st
+	s.mu.Unlock()
+	if err := s.broadcastPeers(st); err != nil {
+		return nil, err
+	}
+	return nodes, nil
+}
+
+// planFor derives a region plan from one region declaration: resolve the
+// local policy (builtin name), apply tier overrides, and name the node.
+func (s *Server) planFor(instanceID string, global *policy.Spec, decl policy.RegionDecl, localSpecs map[string]string) (regionPlan, string, error) {
+	regionVal, ok := policy.FindAttr(decl.Attrs, "region")
+	if !ok {
+		return regionPlan{}, "", fmt.Errorf("wiera: region decl %q missing region attribute", decl.Label)
+	}
+	region := simnet.Region(regionVal.Str)
+	localName, ok := policy.FindAttr(decl.Attrs, "name")
+	if !ok {
+		return regionPlan{}, "", fmt.Errorf("wiera: region decl %q missing instance name", decl.Label)
+	}
+	var localSpec *policy.Spec
+	var err error
+	if src, ok := localSpecs[localName.Str]; ok {
+		localSpec, err = policy.Parse(src)
+	} else {
+		localSpec, err = policy.Builtin(localName.Str)
+	}
+	if err != nil {
+		return regionPlan{}, "", err
+	}
+	if localSpec.IsGlobal {
+		return regionPlan{}, "", fmt.Errorf("wiera: %q is a global policy, not a local instance", localName.Str)
+	}
+	merged := mergeTierOverrides(localSpec, decl.Tiers)
+	primary := false
+	if p, ok := policy.FindAttr(decl.Attrs, "primary"); ok && p.Kind == policy.ValBool {
+		primary = p.Bool
+	}
+	nodeName := fmt.Sprintf("%s/%s", instanceID, region)
+	return regionPlan{Region: region, LocalSrc: policy.Print(merged), Primary: primary}, nodeName, nil
+}
+
+// mergeTierOverrides replaces or appends tier declarations from a region
+// decl into a copy of the local spec.
+func mergeTierOverrides(spec *policy.Spec, overrides []policy.TierDecl) *policy.Spec {
+	if len(overrides) == 0 {
+		return spec
+	}
+	merged := *spec
+	merged.Tiers = append([]policy.TierDecl(nil), spec.Tiers...)
+	for _, ov := range overrides {
+		replaced := false
+		for i := range merged.Tiers {
+			if merged.Tiers[i].Label == ov.Label {
+				merged.Tiers[i] = ov
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			merged.Tiers = append(merged.Tiers, ov)
+		}
+	}
+	return &merged
+}
+
+// spawn asks the region's Tiera server to create the node.
+func (s *Server) spawn(instanceID, nodeName string, plan regionPlan, st *instanceState) (PeerInfo, error) {
+	s.mu.Lock()
+	tsEndpoint, ok := s.tieraServers[plan.Region]
+	s.mu.Unlock()
+	if !ok {
+		return PeerInfo{}, fmt.Errorf("wiera: no Tiera server registered for region %s", plan.Region)
+	}
+	primaryName := ""
+	if plan.Primary {
+		primaryName = nodeName
+	} else {
+		primaryName = st.primary
+	}
+	payload, err := transport.Encode(SpawnRequest{
+		InstanceID: instanceID,
+		NodeName:   nodeName,
+		LocalSrc:   plan.LocalSrc,
+		GlobalSrc:  st.globalSrc,
+		Params:     st.params,
+		Primary:    primaryName,
+	})
+	if err != nil {
+		return PeerInfo{}, err
+	}
+	raw, err := s.ep.Call(tsEndpoint, MethodSpawn, payload)
+	if err != nil {
+		return PeerInfo{}, err
+	}
+	var resp SpawnResponse
+	if err := transport.Decode(raw, &resp); err != nil {
+		return PeerInfo{}, err
+	}
+	return resp.Node, nil
+}
+
+func (s *Server) teardown(nodes []PeerInfo) {
+	for _, n := range nodes {
+		payload, _ := transport.Encode(Empty{})
+		_, _ = s.ep.Call(n.Name, MethodShutdown, payload)
+	}
+}
+
+// broadcastPeers distributes the membership list and primary to all nodes
+// (Sec 4.1 step 6).
+func (s *Server) broadcastPeers(st *instanceState) error {
+	payload, err := transport.Encode(PeersMsg{Peers: st.nodes, Primary: st.primary})
+	if err != nil {
+		return err
+	}
+	for _, n := range st.nodes {
+		if _, err := s.ep.Call(n.Name, MethodSetPeers, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StopInstances implements Table 1 stopInstances.
+func (s *Server) StopInstances(instanceID string) error {
+	s.mu.Lock()
+	st, ok := s.instances[instanceID]
+	if ok {
+		delete(s.instances, instanceID)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("wiera: no instance %q", instanceID)
+	}
+	s.teardown(st.nodes)
+	return nil
+}
+
+// GetInstances implements Table 1 getInstances.
+func (s *Server) GetInstances(instanceID string) ([]PeerInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.instances[instanceID]
+	if !ok {
+		return nil, fmt.Errorf("wiera: no instance %q", instanceID)
+	}
+	return append([]PeerInfo(nil), st.nodes...), nil
+}
+
+// ApplyChange executes a change_policy request from a node: a consistency
+// swap (prepare on all nodes, then commit) or a primary move.
+func (s *Server) ApplyChange(req ChangeRequestMsg) error {
+	s.mu.Lock()
+	st, ok := s.instances[req.InstanceID]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("wiera: no instance %q", req.InstanceID)
+	}
+	if st.changing {
+		s.mu.Unlock()
+		return nil // a change is already in flight; drop duplicates
+	}
+	switch req.What {
+	case "consistency":
+		if st.policyName == req.To {
+			s.mu.Unlock()
+			return nil
+		}
+	case "primary_instance":
+		if st.primary == req.To {
+			s.mu.Unlock()
+			return nil
+		}
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("wiera: unknown change target %q", req.What)
+	}
+	st.changing = true
+	nodes := append([]PeerInfo(nil), st.nodes...)
+	epoch := st.epoch + 1
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		st.changing = false
+		s.mu.Unlock()
+	}()
+
+	switch req.What {
+	case "consistency":
+		// Validate the target policy before disturbing the fleet.
+		if _, err := policy.Builtin(req.To); err != nil {
+			return err
+		}
+		prepare, err := transport.Encode(PrepareChangeMsg{Epoch: epoch})
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			if _, err := s.ep.Call(n.Name, MethodPrepareChange, prepare); err != nil {
+				return err
+			}
+		}
+		commit, err := transport.Encode(CommitChangeMsg{Epoch: epoch, PolicyName: req.To})
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			if _, err := s.ep.Call(n.Name, MethodCommitChange, commit); err != nil {
+				return err
+			}
+		}
+		s.mu.Lock()
+		st.policyName = req.To
+		st.epoch = epoch
+		s.logChangeLocked(req)
+		s.mu.Unlock()
+		return nil
+	default: // primary_instance
+		msg, err := transport.Encode(SetPrimaryMsg{Primary: req.To})
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			if _, err := s.ep.Call(n.Name, MethodSetPrimary, msg); err != nil {
+				return err
+			}
+		}
+		s.mu.Lock()
+		st.primary = req.To
+		st.epoch = epoch
+		s.logChangeLocked(req)
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+func (s *Server) logChangeLocked(req ChangeRequestMsg) {
+	s.changeLog = append(s.changeLog, ChangeEvent{
+		At: s.fabric.Network().Clock().Now(), InstanceID: req.InstanceID,
+		What: req.What, To: req.To, From: req.From,
+	})
+}
+
+// ChangeLog returns the applied policy changes in order.
+func (s *Server) ChangeLog() []ChangeEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ChangeEvent(nil), s.changeLog...)
+}
+
+// CurrentPolicy returns the instance's active data-plane policy name.
+func (s *Server) CurrentPolicy(instanceID string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.instances[instanceID]
+	if !ok {
+		return "", fmt.Errorf("wiera: no instance %q", instanceID)
+	}
+	return st.policyName, nil
+}
+
+// CurrentPrimary returns the instance's current primary node name.
+func (s *Server) CurrentPrimary(instanceID string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.instances[instanceID]
+	if !ok {
+		return "", fmt.Errorf("wiera: no instance %q", instanceID)
+	}
+	return st.primary, nil
+}
+
+// Start launches the heartbeat loop (Sec 4.1: the TSM "periodically sends
+// a ping message to check on their health"; Sec 4.4: failed replicas are
+// recreated while the available count is below the required threshold).
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.stopCh = make(chan struct{})
+	stop := s.stopCh
+	s.mu.Unlock()
+	go s.heartbeatLoop(stop)
+}
+
+// Stop terminates the heartbeat loop.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.started {
+		close(s.stopCh)
+		s.started = false
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the server and removes its endpoint.
+func (s *Server) Close() {
+	s.Stop()
+	s.fabric.Remove(s.name)
+}
+
+func (s *Server) heartbeatLoop(stop <-chan struct{}) {
+	clk := s.fabric.Network().Clock()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-clk.After(s.hbEvery):
+			s.HeartbeatOnce()
+		}
+	}
+}
+
+// HeartbeatOnce pings every node of every instance and respawns failed
+// replicas below the minimum count. Exported so tests and experiments can
+// drive failure recovery deterministically.
+func (s *Server) HeartbeatOnce() {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.instances))
+	for id := range s.instances {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		s.checkInstance(id)
+	}
+}
+
+func (s *Server) checkInstance(id string) {
+	s.mu.Lock()
+	st, ok := s.instances[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	nodes := append([]PeerInfo(nil), st.nodes...)
+	plans := append([]regionPlan(nil), st.plans...)
+	minReplicas := st.minReplicas
+	s.mu.Unlock()
+
+	ping, _ := transport.Encode(PingMsg{})
+	var live, dead []PeerInfo
+	for _, n := range nodes {
+		if _, err := s.ep.Call(n.Name, MethodPing, ping); err != nil {
+			dead = append(dead, n)
+		} else {
+			live = append(live, n)
+		}
+	}
+	if len(dead) == 0 || len(live) >= minReplicas {
+		if len(dead) > 0 {
+			s.commitMembership(st, live)
+		}
+		return
+	}
+	// Respawn failed replicas in their original regions until the minimum
+	// is met.
+	for _, d := range dead {
+		if len(live) >= minReplicas {
+			break
+		}
+		plan, ok := planForRegion(plans, d.Region)
+		if !ok {
+			continue
+		}
+		newName := respawnName(d.Name)
+		node, err := s.spawn(id, newName, plan, st)
+		if err != nil {
+			continue
+		}
+		// Bootstrap from any live peer.
+		if len(live) > 0 {
+			if n := lookupNode(node.Name); n != nil {
+				_ = n.SyncFrom(live[0].Name)
+			}
+		}
+		live = append(live, node)
+	}
+	s.commitMembership(st, live)
+}
+
+func (s *Server) commitMembership(st *instanceState, live []PeerInfo) {
+	s.mu.Lock()
+	st.nodes = live
+	// If the primary died, promote the first live node.
+	primaryAlive := false
+	for _, n := range live {
+		if n.Name == st.primary {
+			primaryAlive = true
+			break
+		}
+	}
+	if !primaryAlive && len(live) > 0 && st.primary != "" {
+		st.primary = live[0].Name
+	}
+	s.mu.Unlock()
+	_ = s.broadcastPeers(st)
+}
+
+func planForRegion(plans []regionPlan, region simnet.Region) (regionPlan, bool) {
+	for _, p := range plans {
+		if p.Region == region {
+			return p, true
+		}
+	}
+	return regionPlan{}, false
+}
+
+// respawnName derives a fresh node name from a dead one (name, name#2,
+// name#3, ...).
+func respawnName(old string) string {
+	base := old
+	gen := 1
+	if i := strings.LastIndex(old, "#"); i >= 0 {
+		if _, err := fmt.Sscanf(old[i:], "#%d", &gen); err == nil {
+			base = old[:i]
+		}
+	}
+	return fmt.Sprintf("%s#%d", base, gen+1)
+}
+
+// TieraServer runs in each region and spawns instance nodes on request
+// (paper Sec 3.1/4.1). Nodes run in-process ("instances run within the
+// Tiera server process for simplicity", Sec 4.1).
+type TieraServer struct {
+	region    simnet.Region
+	name      string
+	fabric    *transport.Fabric
+	ep        *transport.Endpoint
+	coordDst  string
+	serverDst string
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// NewTieraServer registers a Tiera server endpoint in region and announces
+// it to the Wiera server's TSM.
+func NewTieraServer(fabric *transport.Fabric, region simnet.Region, server *Server, coordDst string) (*TieraServer, error) {
+	name := "tiera-server/" + string(region)
+	ep, err := fabric.NewEndpoint(name, region)
+	if err != nil {
+		return nil, err
+	}
+	ts := &TieraServer{
+		region: region, name: name, fabric: fabric, ep: ep,
+		coordDst: coordDst, serverDst: server.Name(),
+		nodes: make(map[string]*Node),
+	}
+	ep.Serve(ts.handle)
+	server.RegisterTieraServer(region, name)
+	return ts, nil
+}
+
+// Name returns the Tiera server's endpoint name.
+func (ts *TieraServer) Name() string { return ts.name }
+
+func (ts *TieraServer) handle(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case MethodSpawn:
+		var req SpawnRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		node, err := ts.Spawn(req)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(SpawnResponse{Node: PeerInfo{Name: node.Name(), Region: ts.region}})
+	case MethodDespawn:
+		var req DespawnRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		ts.mu.Lock()
+		node := ts.nodes[req.NodeName]
+		delete(ts.nodes, req.NodeName)
+		ts.mu.Unlock()
+		if node != nil {
+			_ = node.Close()
+		}
+		return transport.Encode(Empty{})
+	case MethodPing:
+		return transport.Encode(PongMsg{Name: ts.name})
+	default:
+		return nil, fmt.Errorf("wiera: tiera server: unknown method %q", method)
+	}
+}
+
+// Spawn creates a node from a spawn request (Sec 4.1 steps 4-5).
+func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
+	localSpec, err := policy.Parse(req.LocalSrc)
+	if err != nil {
+		return nil, err
+	}
+	globalSpec, err := policy.Parse(req.GlobalSrc)
+	if err != nil {
+		return nil, err
+	}
+	params, err := decodeParams(req.Params)
+	if err != nil {
+		return nil, err
+	}
+	var dynSpec *policy.Spec
+	if dyn, ok := req.Params["dynamic"]; ok && dyn != "" {
+		dynSpec, err = policy.Parse(dyn)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Modular instances (Sec 3.2.2): a tier declared as
+	// {name: instance, ref: "<node name>", readonly: true} mounts another
+	// running instance as a storage tier of this one.
+	extraTiers := make(map[string]tier.Tier)
+	for _, td := range localSpec.Tiers {
+		nameVal, ok := policy.FindAttr(td.Attrs, "name")
+		if !ok || nameVal.Str != "instance" {
+			continue
+		}
+		refVal, ok := policy.FindAttr(td.Attrs, "ref")
+		if !ok {
+			return nil, fmt.Errorf("wiera: tier %q: instance tier requires ref", td.Label)
+		}
+		backend := lookupNode(refVal.Str)
+		if backend == nil {
+			return nil, fmt.Errorf("wiera: tier %q: no running node %q", td.Label, refVal.Str)
+		}
+		readOnly := false
+		if v, ok := policy.FindAttr(td.Attrs, "readonly"); ok && v.Kind == policy.ValBool {
+			readOnly = v.Bool
+		}
+		extraTiers[td.Label] = tiera.NewInstanceTier(td.Label, backend.Local(), readOnly)
+	}
+	if len(extraTiers) == 0 {
+		extraTiers = nil
+	}
+
+	var monitorWindow, queueFlush time.Duration
+	if v, ok := params["monitorWindow"]; ok && v.Kind == policy.ValDuration {
+		monitorWindow = v.Dur
+	}
+	if v, ok := params["queueFlush"]; ok && v.Kind == policy.ValDuration {
+		queueFlush = v.Dur
+	}
+	noSupersede := false
+	if v, ok := params["queueSupersede"]; ok && v.Kind == policy.ValBool {
+		noSupersede = !v.Bool
+	}
+	node, err := NewNode(NodeConfig{
+		Name:             req.NodeName,
+		InstanceID:       req.InstanceID,
+		Region:           ts.region,
+		Fabric:           ts.fabric,
+		LocalSpec:        localSpec,
+		LocalParams:      params,
+		GlobalSpec:       globalSpec,
+		GlobalParams:     params,
+		DynamicSpec:      dynSpec,
+		CoordDst:         ts.coordDst,
+		ServerDst:        ts.serverDst,
+		Primary:          req.Primary,
+		MonitorWindow:    monitorWindow,
+		QueueFlushEvery:  queueFlush,
+		NoQueueSupersede: noSupersede,
+		ExtraTiers:       extraTiers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts.mu.Lock()
+	ts.nodes[req.NodeName] = node
+	ts.mu.Unlock()
+	return node, nil
+}
+
+// Node returns a spawned node by name (experiments reach in for metrics).
+func (ts *TieraServer) Node(name string) (*Node, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n, ok := ts.nodes[name]
+	return n, ok
+}
+
+// Close shuts down all nodes and the server endpoint.
+func (ts *TieraServer) Close() {
+	ts.mu.Lock()
+	nodes := make([]*Node, 0, len(ts.nodes))
+	for _, n := range ts.nodes {
+		nodes = append(nodes, n)
+	}
+	ts.nodes = make(map[string]*Node)
+	ts.mu.Unlock()
+	for _, n := range nodes {
+		_ = n.Close()
+	}
+	ts.fabric.Remove(ts.name)
+}
+
+// decodeParams converts string parameter bindings ("10s", "5G", "true",
+// "42") into policy values by parsing them as policy literals.
+func decodeParams(raw map[string]string) (map[string]policy.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]policy.Value, len(raw))
+	for k, v := range raw {
+		if k == "dynamic" {
+			continue // carried separately: a policy source, not a value
+		}
+		val, err := parseParamValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("wiera: param %q: %w", k, err)
+		}
+		out[k] = val
+	}
+	return out, nil
+}
+
+func parseParamValue(s string) (policy.Value, error) {
+	toks, err := policy.Lex(s)
+	if err != nil {
+		return policy.Value{}, err
+	}
+	if len(toks) != 2 { // value + EOF
+		return policy.Value{}, fmt.Errorf("not a single literal: %q", s)
+	}
+	return policy.TokenValue(toks[0])
+}

@@ -1,0 +1,158 @@
+package wiera
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// MethodCollectStats serves the aggregated per-instance view from the
+// Wiera server.
+const MethodCollectStats = "wiera.collectStats"
+
+// MethodStats serves a node's workload counters (Sec 3.1's workload
+// monitor: "users' locations (number of requests from each instance),
+// access patterns, and object sizes").
+const MethodStats = "wiera.stats"
+
+// NodeStats is one node's workload summary.
+type NodeStats struct {
+	Name       string
+	Region     string
+	PolicyName string
+	Primary    string
+	IsPrimary  bool
+
+	Puts       int64
+	Gets       int64
+	PutMeanMs  float64
+	PutP99Ms   float64
+	GetMeanMs  float64
+	GetP99Ms   float64
+	StaleReads int64
+	FreshReads int64
+	QueueDepth int
+	Keys       int
+	BytesUsed  int64
+}
+
+// statsLocal builds the node's own summary.
+func (n *Node) statsLocal() NodeStats {
+	var used int64
+	for _, label := range n.local.TierOrder() {
+		if t, ok := n.local.Tier(label); ok {
+			used += t.Used()
+		}
+	}
+	toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return NodeStats{
+		Name:       n.name,
+		Region:     string(n.region),
+		PolicyName: n.PolicyName(),
+		Primary:    n.Primary(),
+		IsPrimary:  n.IsPrimary(),
+		Puts:       int64(n.PutLatency.Count()),
+		Gets:       int64(n.GetLatency.Count()),
+		PutMeanMs:  toMs(n.PutLatency.Mean()),
+		PutP99Ms:   toMs(n.PutLatency.Percentile(99)),
+		GetMeanMs:  toMs(n.GetLatency.Mean()),
+		GetP99Ms:   toMs(n.GetLatency.Percentile(99)),
+		StaleReads: n.StaleReads(),
+		FreshReads: n.FreshReads(),
+		QueueDepth: n.queue.Len(),
+		Keys:       n.local.Objects().Len(),
+		BytesUsed:  used,
+	}
+}
+
+// InstanceStats aggregates one Wiera instance's workload and network view —
+// the inputs the paper's data placement manager would consume (automated
+// placement itself is the paper's future work).
+type InstanceStats struct {
+	InstanceID string
+	Policy     string
+	Primary    string
+	Nodes      []NodeStats
+	// RTTms is the network monitor's inter-node latency matrix
+	// ("latencies between instances", Sec 3.1), in milliseconds, keyed by
+	// "from->to" node names.
+	RTTms map[string]float64
+}
+
+// CollectStats queries every node of an instance and assembles the
+// aggregated view (the WUI-side entry point of the network and workload
+// monitors).
+func (s *Server) CollectStats(instanceID string) (*InstanceStats, error) {
+	s.mu.Lock()
+	st, ok := s.instances[instanceID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("wiera: no instance %q", instanceID)
+	}
+	nodes := append([]PeerInfo(nil), st.nodes...)
+	out := &InstanceStats{
+		InstanceID: instanceID, Policy: st.policyName, Primary: st.primary,
+		RTTms: make(map[string]float64),
+	}
+	s.mu.Unlock()
+
+	payload, err := transport.Encode(Empty{})
+	if err != nil {
+		return nil, err
+	}
+	for _, pi := range nodes {
+		raw, err := s.ep.Call(pi.Name, MethodStats, payload)
+		if err != nil {
+			continue // dead nodes are the heartbeat's business
+		}
+		var ns NodeStats
+		if err := transport.Decode(raw, &ns); err != nil {
+			return nil, err
+		}
+		out.Nodes = append(out.Nodes, ns)
+	}
+	net := s.fabric.Network()
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a.Name == b.Name {
+				continue
+			}
+			key := a.Name + "->" + b.Name
+			out.RTTms[key] = float64(net.RTT(a.Region, b.Region)) / float64(time.Millisecond)
+		}
+	}
+	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Name < out.Nodes[j].Name })
+	return out, nil
+}
+
+// Render prints the aggregated view as a text report.
+func (is *InstanceStats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instance %s  policy=%s  primary=%s\n", is.InstanceID, is.Policy, is.Primary)
+	for _, n := range is.Nodes {
+		role := ""
+		if n.IsPrimary {
+			role = " (primary)"
+		}
+		fmt.Fprintf(&b, "  %-24s %-10s%s\n", n.Name, n.Region, role)
+		fmt.Fprintf(&b, "    puts=%d mean=%.1fms p99=%.1fms  gets=%d mean=%.1fms p99=%.1fms\n",
+			n.Puts, n.PutMeanMs, n.PutP99Ms, n.Gets, n.GetMeanMs, n.GetP99Ms)
+		fmt.Fprintf(&b, "    keys=%d bytes=%d queued=%d stale/fresh=%d/%d\n",
+			n.Keys, n.BytesUsed, n.QueueDepth, n.StaleReads, n.FreshReads)
+	}
+	if len(is.RTTms) > 0 {
+		keys := make([]string, 0, len(is.RTTms))
+		for k := range is.RTTms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  network monitor (RTT ms):\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "    %-50s %.0f\n", k, is.RTTms[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,40 @@
+package ycsb
+
+import "testing"
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := NewZipfian(100000, ZipfianConstant, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}
+
+func BenchmarkUniformNext(b *testing.B) {
+	u := NewUniform(100000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = u.Next()
+	}
+}
+
+func BenchmarkClientOpAgainstMap(b *testing.B) {
+	store := newMapStore()
+	w := WorkloadA
+	w.RecordCount = 1024
+	w.FieldLength = 128
+	c, err := NewClient(w, store, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Load(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.RunOne(nil) {
+			b.Fatal("op failed")
+		}
+	}
+}
