@@ -1,0 +1,23 @@
+# Development entry points. `make ci` is what .github/workflows/ci.yml runs.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Telemetry overhead: instrumented vs bare client PUT/GET.
+bench:
+	$(GO) test -bench=BenchmarkClient -benchmem ./internal/wiera/

@@ -6,18 +6,23 @@
 //
 // Usage:
 //
-//	wiera [-listen 127.0.0.1:7360] [-regions us-east,us-west,eu-west,asia-east] [-factor 50]
+//	wiera [-listen 127.0.0.1:7360] [-metrics-addr 127.0.0.1:7361]
+//	      [-regions us-east,us-west,eu-west,asia-east] [-factor 50]
 //
 // The TCP front serves the Table 1 management API (startInstances /
 // stopInstances / getInstances) and proxies the Table 2 data API (put /
 // get / getVersion / getVersionList / remove / removeVersion) to the
-// closest node of the named instance.
+// closest node of the named instance. With -metrics-addr set, an HTTP
+// server exposes the fabric's telemetry: /metrics in Prometheus text
+// format and /traces as JSON (filter one trace with ?trace=<id>).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,12 +32,14 @@ import (
 	"repro/internal/clock"
 	"repro/internal/coord"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wiera"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7360", "TCP listen address")
+	metricsAddr := flag.String("metrics-addr", "127.0.0.1:7361", "HTTP address for /metrics and /traces (empty = disabled)")
 	regionsFlag := flag.String("regions", "us-east,us-west,eu-west,asia-east", "comma-separated simulated regions")
 	factor := flag.Float64("factor", 50, "clock compression factor for the simulated WAN")
 	flag.Parse()
@@ -67,17 +74,35 @@ func main() {
 	server.Start()
 
 	front := &frontend{fabric: fabric, server: server}
-	tcp, err := transport.ListenTCP(*listen, front.handle)
+	tcp, err := transport.ListenTCP(*listen, front.handle,
+		transport.WithServerTelemetry(fabric.Metrics(), fabric.Tracer()))
 	if err != nil {
 		log.Fatalf("wiera: %v", err)
 	}
 	log.Printf("wiera: control plane listening on %s (regions: %s, clock factor %.0fx)",
 		tcp.Addr(), *regionsFlag, *factor)
 
+	var httpSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.MetricsHandler(fabric.Metrics()))
+		mux.Handle("/traces", telemetry.TracesHandler(fabric.Tracer()))
+		httpSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("wiera: metrics server: %v", err)
+			}
+		}()
+		log.Printf("wiera: telemetry on http://%s/metrics and /traces", *metricsAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("wiera: shutting down")
+	if httpSrv != nil {
+		_ = httpSrv.Close()
+	}
 	tcp.Close()
 	for _, ts := range tieraServers {
 		ts.Close()
@@ -88,7 +113,9 @@ func main() {
 
 // frontend bridges TCP requests onto the in-process fabric. Management
 // methods go to the Wiera server; data methods are proxied to the closest
-// node of the instance named in the request key prefix "<instance>/".
+// node of the instance named in the request key prefix "<instance>/";
+// telemetry dumps are answered directly from the fabric's registry and
+// tracer.
 type frontend struct {
 	fabric *transport.Fabric
 	server *wiera.Server
@@ -98,7 +125,7 @@ type frontend struct {
 	nextID  int
 }
 
-func (f *frontend) handle(method string, payload []byte) ([]byte, error) {
+func (f *frontend) handle(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	switch method {
 	case wiera.MethodStartInstances, wiera.MethodStopInstances, wiera.MethodGetInstances, wiera.MethodCollectStats:
 		ep, cleanup, err := f.ephemeralEndpoint()
@@ -106,7 +133,7 @@ func (f *frontend) handle(method string, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		defer cleanup()
-		return ep.Call(f.server.Name(), method, payload)
+		return ep.Call(ctx, f.server.Name(), method, payload)
 	case wiera.MethodPut, wiera.MethodGet, wiera.MethodGetVersion,
 		wiera.MethodVersionList, wiera.MethodRemove, wiera.MethodRemoveVer:
 		// Data methods carry the instance id in a ProxyRequest envelope.
@@ -118,7 +145,33 @@ func (f *frontend) handle(method string, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return cli.Call(method, env.Payload)
+		// External clients (wieractl) don't carry trace context; root a
+		// sampled span here so daemon-side requests show up in /traces.
+		if telemetry.SpanFromContext(ctx) == nil {
+			if sp := f.fabric.Tracer().SampleRoot("front." + strings.TrimPrefix(method, "wiera.")); sp != nil {
+				sp.SetAttr("instance", env.InstanceID)
+				defer sp.End()
+				ctx = telemetry.ContextWithSpan(ctx, sp)
+			}
+		}
+		return cli.Call(ctx, method, env.Payload)
+	case wiera.MethodMetricsDump:
+		return transport.Encode(wiera.MetricsDumpResponse{
+			Prometheus: f.fabric.Metrics().RenderPrometheus(),
+		})
+	case wiera.MethodTraceDump:
+		var req wiera.TraceDumpRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		tr := f.fabric.Tracer()
+		var spans []telemetry.SpanRecord
+		if req.TraceID != "" {
+			spans = tr.TraceSpans(req.TraceID)
+		} else {
+			spans = tr.Spans()
+		}
+		return transport.Encode(wiera.TraceDumpResponse{Spans: spans})
 	default:
 		return nil, fmt.Errorf("wiera: unknown method %q", method)
 	}

@@ -13,9 +13,13 @@
 //	wieractl [-addr 127.0.0.1:7360] versions -id myapp -key k
 //	wieractl [-addr 127.0.0.1:7360] remove -id myapp -key k [-version N]
 //	wieractl [-addr 127.0.0.1:7360] policies
+//	wieractl [-addr 127.0.0.1:7360] metrics
+//	wieractl [-addr 127.0.0.1:7360] trace [-trace <id>] [-raw]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +28,7 @@ import (
 
 	"repro/internal/object"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wiera"
 )
@@ -43,7 +48,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|remove|policies> ...")
+		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|remove|policies|metrics|trace> ...")
 	}
 	cmdName, cmdArgs := rest[0], rest[1:]
 	if cmdName == "policies" {
@@ -66,10 +71,34 @@ func run(args []string) error {
 	version := fs.Int64("version", 0, "object version (0 = latest)")
 	policyPath := fs.String("policy", "", "global policy source file, or a builtin policy name")
 	dynamicPath := fs.String("dynamic", "", "dynamic (control) policy source file or builtin name")
+	traceID := fs.String("trace", "", "trace id to dump (trace command; empty = all spans)")
+	rawSpans := fs.Bool("raw", false, "print spans as JSON instead of a tree (trace command)")
 	var params paramFlags
 	fs.Var(&params, "param", "policy parameter binding name=value (repeatable)")
 	if err := fs.Parse(cmdArgs); err != nil {
 		return err
+	}
+	// Telemetry commands read daemon-wide state; they take no instance id.
+	switch cmdName {
+	case "metrics":
+		var resp wiera.MetricsDumpResponse
+		if err := call(cli, wiera.MethodMetricsDump, wiera.MetricsDumpRequest{}, &resp); err != nil {
+			return err
+		}
+		fmt.Print(resp.Prometheus)
+		return nil
+	case "trace":
+		var resp wiera.TraceDumpResponse
+		if err := call(cli, wiera.MethodTraceDump, wiera.TraceDumpRequest{TraceID: *traceID}, &resp); err != nil {
+			return err
+		}
+		if *rawSpans {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(resp.Spans)
+		}
+		fmt.Print(telemetry.RenderSpanTree(resp.Spans))
+		return nil
 	}
 	if *id == "" {
 		return fmt.Errorf("-id is required")
@@ -202,7 +231,7 @@ func call(cli *transport.TCPClient, method string, req, resp any) error {
 	if err != nil {
 		return err
 	}
-	raw, err := cli.Call("", method, payload)
+	raw, err := cli.Call(context.Background(), "", method, payload)
 	if err != nil {
 		return err
 	}
@@ -219,7 +248,7 @@ func proxyCall(cli *transport.TCPClient, instanceID, method string, req, resp an
 	if err != nil {
 		return err
 	}
-	raw, err := cli.Call("", method, payload)
+	raw, err := cli.Call(context.Background(), "", method, payload)
 	if err != nil {
 		return err
 	}

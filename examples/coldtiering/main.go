@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -41,7 +42,7 @@ Tiera ReducedCostInstance {
 
 	const objects = 50
 	for i := 0; i < objects; i++ {
-		_, err := inst.Put(fmt.Sprintf("photo-%02d", i), make([]byte, 4096))
+		_, err := inst.Put(context.Background(), fmt.Sprintf("photo-%02d", i), make([]byte, 4096))
 		must(err)
 	}
 	fmt.Printf("loaded %d objects onto the fast tier\n", objects)
@@ -49,7 +50,7 @@ Tiera ReducedCostInstance {
 	// Five days pass; the application touches only the first ten objects.
 	clk.Advance(100 * time.Hour)
 	for i := 0; i < 10; i++ {
-		_, _, err := inst.Get(fmt.Sprintf("photo-%02d", i))
+		_, _, err := inst.Get(context.Background(), fmt.Sprintf("photo-%02d", i))
 		must(err)
 	}
 	clk.Advance(21 * time.Hour) // untouched objects are now 121h idle
@@ -71,7 +72,7 @@ Tiera ReducedCostInstance {
 	fmt.Printf("after the 120h cold-data sweep: %d hot on EBS, %d demoted to S3-IA\n", onFast, onCheap)
 
 	// Cold data remains readable (slower, but durable and cheap).
-	data, _, err := inst.Get("photo-49")
+	data, _, err := inst.Get(context.Background(), "photo-49")
 	must(err)
 	fmt.Printf("cold object still readable: %d bytes\n", len(data))
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -63,7 +64,7 @@ func main() {
 		n := 0
 		for clk.Now().Before(deadline) {
 			start := clk.Now()
-			_, err := cli.Put(fmt.Sprintf("k%d", n%8), []byte("payload"))
+			_, err := cli.Put(context.Background(), fmt.Sprintf("k%d", n%8), []byte("payload"))
 			must(err)
 			last = clk.Now().Sub(start)
 			n++

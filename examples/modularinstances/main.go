@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -46,7 +47,7 @@ Tiera RawBigData(time t) {
 	// Load the input data set.
 	record := []byte(strings.Repeat("sensor-reading,2016-05-31,42.1;", 64))
 	for i := 0; i < 20; i++ {
-		_, err := raw.Put(fmt.Sprintf("input-%03d", i), record)
+		_, err := raw.Put(context.Background(), fmt.Sprintf("input-%03d", i), record)
 		must(err)
 	}
 	s3, _ := raw.Tier("tier2")
@@ -75,22 +76,22 @@ Tiera IntermediateData {
 	// A "job" reads raw inputs through the mounted tier (decompressed
 	// transparently) and writes derived results to its own fast tier.
 	for i := 0; i < 20; i++ {
-		in, _, err := inter.Get(fmt.Sprintf("input-%03d", i))
+		in, _, err := inter.Get(context.Background(), fmt.Sprintf("input-%03d", i))
 		must(err)
 		derived := fmt.Sprintf("count=%d", strings.Count(string(in), ";"))
-		_, err = inter.Put(fmt.Sprintf("result-%03d", i), []byte(derived))
+		_, err = inter.Put(context.Background(), fmt.Sprintf("result-%03d", i), []byte(derived))
 		must(err)
 	}
-	out, _, err := inter.Get("result-007")
+	out, _, err := inter.Get(context.Background(), "result-007")
 	must(err)
 	fmt.Printf("derived result-007 = %s (stored on the fast local tier)\n", out)
 
 	// The mounted store is untouched by result writes and write-protected.
-	if _, _, err := raw.Get("result-007"); err == nil {
+	if _, _, err := raw.Get(context.Background(), "result-007"); err == nil {
 		log.Fatal("results leaked into the raw store")
 	}
 	t2, _ := inter.Tier("tier2")
-	if err := t2.Put("x", []byte("y")); err != nil {
+	if err := t2.Put(context.Background(), "x", []byte("y")); err != nil {
 		fmt.Printf("write to the read-only mounted tier rejected: %v\n", err)
 	}
 	fmt.Println("modular assembly complete: raw store intact, results local")

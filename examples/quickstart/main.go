@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -72,21 +73,21 @@ Wiera EventualConsistency {
 	fmt.Printf("closest node for an EU client: %s\n\n", closest)
 
 	// PUT/GET round trip (Table 2 API).
-	meta, err := cli.Put("user:42", []byte(`{"name":"ada","plan":"pro"}`))
+	meta, err := cli.Put(context.Background(), "user:42", []byte(`{"name":"ada","plan":"pro"}`))
 	must(err)
 	fmt.Printf("put user:42 -> version %d (%d bytes)\n", meta.Version, meta.Size)
 
-	data, meta, err := cli.Get("user:42")
+	data, meta, err := cli.Get(context.Background(), "user:42")
 	must(err)
 	fmt.Printf("get user:42 -> %s (version %d)\n", data, meta.Version)
 
 	// Overwrites create new versions; old ones stay retrievable.
-	_, err = cli.Put("user:42", []byte(`{"name":"ada","plan":"enterprise"}`))
+	_, err = cli.Put(context.Background(), "user:42", []byte(`{"name":"ada","plan":"enterprise"}`))
 	must(err)
-	versions, err := cli.VersionList("user:42")
+	versions, err := cli.VersionList(context.Background(), "user:42")
 	must(err)
 	fmt.Printf("versions of user:42: %v\n", versions)
-	old, _, err := cli.GetVersion("user:42", 1)
+	old, _, err := cli.GetVersion(context.Background(), "user:42", 1)
 	must(err)
 	fmt.Printf("version 1 payload: %s\n", old)
 
@@ -97,7 +98,7 @@ Wiera EventualConsistency {
 	for _, n := range nodes {
 		remote, err := wiera.NewClient(fabric, "probe-"+string(n.Region), n.Region, server.Name(), "quickstart")
 		must(err)
-		_, m, err := remote.Get("user:42")
+		_, m, err := remote.Get(context.Background(), "user:42")
 		if err != nil || m.Version != 2 {
 			stale++
 		}

@@ -9,6 +9,7 @@
 package coord
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -93,7 +94,7 @@ func NewServer(clk clock.Clock) *Server {
 // Handler returns the transport.Handler serving the coordination protocol;
 // attach it to a fabric endpoint or TCP server.
 func (s *Server) Handler() transport.Handler {
-	return func(method string, payload []byte) ([]byte, error) {
+	return func(_ context.Context, method string, payload []byte) ([]byte, error) {
 		switch method {
 		case methodCreateSession:
 			var req createSessionReq
@@ -338,7 +339,7 @@ func NewClient(caller transport.Caller, serverDst string, ttl time.Duration) (*C
 	if err != nil {
 		return nil, err
 	}
-	raw, err := caller.Call(serverDst, methodCreateSession, payload)
+	raw, err := caller.Call(context.Background(), serverDst, methodCreateSession, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -352,15 +353,18 @@ func NewClient(caller transport.Caller, serverDst string, ttl time.Duration) (*C
 // SessionID returns the client's server-assigned session id.
 func (c *Client) SessionID() int64 { return c.sessionID }
 
-// Lock acquires the global lock for key, waiting up to wait.
-func (c *Client) Lock(key string, wait time.Duration) error {
+// Lock acquires the global lock for key, waiting up to wait. ctx carries
+// the caller's trace span: the lock round trip to the (possibly remote)
+// coordination service is a significant share of a strongly consistent
+// put's latency, so it should show up in the trace.
+func (c *Client) Lock(ctx context.Context, key string, wait time.Duration) error {
 	payload, err := transport.Encode(acquireReq{
 		SessionID: c.sessionID, Key: key, WaitMillis: wait.Milliseconds(),
 	})
 	if err != nil {
 		return err
 	}
-	raw, err := c.caller.Call(c.serverDst, methodAcquire, payload)
+	raw, err := c.caller.Call(ctx, c.serverDst, methodAcquire, payload)
 	if err != nil {
 		return err
 	}
@@ -376,12 +380,12 @@ func (c *Client) Lock(key string, wait time.Duration) error {
 
 // TryLock attempts the lock without waiting and reports whether it was
 // granted.
-func (c *Client) TryLock(key string) (bool, error) {
+func (c *Client) TryLock(ctx context.Context, key string) (bool, error) {
 	payload, err := transport.Encode(acquireReq{SessionID: c.sessionID, Key: key})
 	if err != nil {
 		return false, err
 	}
-	raw, err := c.caller.Call(c.serverDst, methodAcquire, payload)
+	raw, err := c.caller.Call(ctx, c.serverDst, methodAcquire, payload)
 	if err != nil {
 		return false, err
 	}
@@ -393,12 +397,12 @@ func (c *Client) TryLock(key string) (bool, error) {
 }
 
 // Unlock releases the lock for key.
-func (c *Client) Unlock(key string) error {
+func (c *Client) Unlock(ctx context.Context, key string) error {
 	payload, err := transport.Encode(releaseReq{SessionID: c.sessionID, Key: key})
 	if err != nil {
 		return err
 	}
-	_, err = c.caller.Call(c.serverDst, methodRelease, payload)
+	_, err = c.caller.Call(ctx, c.serverDst, methodRelease, payload)
 	return err
 }
 
@@ -408,7 +412,7 @@ func (c *Client) KeepAlive() error {
 	if err != nil {
 		return err
 	}
-	_, err = c.caller.Call(c.serverDst, methodKeepAlive, payload)
+	_, err = c.caller.Call(context.Background(), c.serverDst, methodKeepAlive, payload)
 	return err
 }
 
@@ -418,6 +422,6 @@ func (c *Client) Close() error {
 	if err != nil {
 		return err
 	}
-	_, err = c.caller.Call(c.serverDst, methodCloseSession, payload)
+	_, err = c.caller.Call(context.Background(), c.serverDst, methodCloseSession, payload)
 	return err
 }

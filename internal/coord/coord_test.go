@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -306,7 +307,7 @@ func TestClientServerOverFabric(t *testing.T) {
 	if cli.SessionID() == 0 {
 		t.Fatal("no session id")
 	}
-	if err := cli.Lock("obj-1", time.Second); err != nil {
+	if err := cli.Lock(context.Background(), "obj-1", time.Second); err != nil {
 		t.Fatal(err)
 	}
 	// A second client cannot take it.
@@ -315,14 +316,14 @@ func TestClientServerOverFabric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cli2.TryLock("obj-1")
+	got, err := cli2.TryLock(context.Background(), "obj-1")
 	if err != nil || got {
 		t.Fatalf("TryLock = %v, %v", got, err)
 	}
-	if err := cli.Unlock("obj-1"); err != nil {
+	if err := cli.Unlock(context.Background(), "obj-1"); err != nil {
 		t.Fatal(err)
 	}
-	got, err = cli2.TryLock("obj-1")
+	got, err = cli2.TryLock(context.Background(), "obj-1")
 	if err != nil || !got {
 		t.Fatalf("TryLock after unlock = %v, %v", got, err)
 	}
@@ -357,21 +358,21 @@ func TestClientLockTimeoutOverFabric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c1.Lock("k", time.Second); err != nil {
+	if err := c1.Lock(context.Background(), "k", time.Second); err != nil {
 		t.Fatal(err)
 	}
-	err = c2.Lock("k", 50*time.Millisecond)
+	err = c2.Lock(context.Background(), "k", 50*time.Millisecond)
 	if err == nil {
 		t.Fatal("lock should have timed out")
 	}
-	if err := c2.Unlock("k"); err == nil {
+	if err := c2.Unlock(context.Background(), "k"); err == nil {
 		t.Fatal("unlock of unheld lock should fail")
 	}
 }
 
 func TestHandlerUnknownMethod(t *testing.T) {
 	s, _ := newServer()
-	if _, err := s.Handler()("bogus", nil); err == nil {
+	if _, err := s.Handler()(context.Background(), "bogus", nil); err == nil {
 		t.Fatal("unknown method should error")
 	}
 }
@@ -380,7 +381,7 @@ func TestHandlerDecodeErrors(t *testing.T) {
 	s, _ := newServer()
 	h := s.Handler()
 	for _, m := range []string{methodCreateSession, methodKeepAlive, methodCloseSession, methodAcquire, methodRelease} {
-		if _, err := h(m, []byte("junk")); err == nil {
+		if _, err := h(context.Background(), m, []byte("junk")); err == nil {
 			t.Fatalf("method %s accepted junk payload", m)
 		}
 	}

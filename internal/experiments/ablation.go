@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -94,11 +95,11 @@ Wiera %s {
 		payload := make([]byte, 1024)
 		for i := 0; i < ops; i++ {
 			key := fmt.Sprintf("k%d", i)
-			if _, err := node.Put(key, payload, nil); err != nil {
+			if _, err := node.Put(context.Background(), key, payload, nil); err != nil {
 				d.Close()
 				return nil, err
 			}
-			if _, _, err := node.Get(key); err != nil {
+			if _, _, err := node.Get(context.Background(), key); err != nil {
 				d.Close()
 				return nil, err
 			}
@@ -193,7 +194,7 @@ Wiera EventualConsistency {
 		payload := make([]byte, 4096)
 		before, _ := d.Net.Stats()
 		for i := 0; i < overwrites; i++ {
-			if _, err := node.Put("hot-key", payload, nil); err != nil {
+			if _, err := node.Put(context.Background(), "hot-key", payload, nil); err != nil {
 				return 0, err
 			}
 		}

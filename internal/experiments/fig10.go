@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -70,7 +71,7 @@ Wiera CentralizedCold {
 	}
 	payload := make([]byte, 4096)
 	for i := 0; i < 16; i++ {
-		if _, err := central.Local().Put(fmt.Sprintf("cold-%02d", i), payload); err != nil {
+		if _, err := central.Local().Put(context.Background(), fmt.Sprintf("cold-%02d", i), payload); err != nil {
 			return nil, err
 		}
 	}
@@ -86,10 +87,10 @@ Wiera CentralizedCold {
 		}
 		for i := 0; i < ops; i++ {
 			key := fmt.Sprintf("cold-%02d", i%16)
-			if _, _, err := node.Get(key); err != nil {
+			if _, _, err := node.Get(context.Background(), key); err != nil {
 				return nil, err
 			}
-			if _, err := node.Put(fmt.Sprintf("local-%s-%d", pi.Region, i), payload, nil); err != nil {
+			if _, err := node.Put(context.Background(), fmt.Sprintf("local-%s-%d", pi.Region, i), payload, nil); err != nil {
 				return nil, err
 			}
 		}

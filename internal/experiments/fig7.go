@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -275,13 +276,13 @@ type nodeStore struct{ n *wiera.Node }
 
 // Put implements ycsb.Store.
 func (s nodeStore) Put(key string, value []byte) error {
-	_, err := s.n.Put(key, value, nil)
+	_, err := s.n.Put(context.Background(), key, value, nil)
 	return err
 }
 
 // Get implements ycsb.Store.
 func (s nodeStore) Get(key string) ([]byte, error) {
-	data, _, err := s.n.Get(key)
+	data, _, err := s.n.Get(context.Background(), key)
 	return data, err
 }
 

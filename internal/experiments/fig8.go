@@ -214,7 +214,7 @@ Wiera PrimaryBackupAsync {
 		mean := float64(node.PutLatency.Mean()) / float64(time.Millisecond)
 		run.putMs[pi.Region] = mean
 		allPutSum += mean * float64(node.PutLatency.Count())
-		allPutN += node.PutLatency.Count()
+		allPutN += int(node.PutLatency.Count())
 	}
 	if stale+fresh > 0 {
 		run.staleFrac = float64(stale) / float64(stale+fresh)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -66,12 +67,12 @@ func Fig9(opts Options) (*Fig9Result, error) {
 		payload := make([]byte, 4096)
 		for i := 0; i < ops; i++ {
 			key := fmt.Sprintf("obj-%d", i%32)
-			if _, err := inst.Put(key, payload); err != nil {
+			if _, err := inst.Put(context.Background(), key, payload); err != nil {
 				inst.Close()
 				stop()
 				return nil, err
 			}
-			if _, _, err := inst.Get(key); err != nil {
+			if _, _, err := inst.Get(context.Background(), key); err != nil {
 				inst.Close()
 				stop()
 				return nil, err

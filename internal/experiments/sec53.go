@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -64,7 +65,7 @@ Tiera ReducedCostInstance {
 
 	payload := make([]byte, 8192)
 	for i := 0; i < objects; i++ {
-		if _, err := inst.Put(fmt.Sprintf("obj-%03d", i), payload); err != nil {
+		if _, err := inst.Put(context.Background(), fmt.Sprintf("obj-%03d", i), payload); err != nil {
 			return nil, err
 		}
 	}
@@ -73,7 +74,7 @@ Tiera ReducedCostInstance {
 	hotCount := objects / 5
 	clk.Advance(100 * time.Hour)
 	for i := 0; i < hotCount; i++ {
-		if _, _, err := inst.Get(fmt.Sprintf("obj-%03d", i)); err != nil {
+		if _, _, err := inst.Get(context.Background(), fmt.Sprintf("obj-%03d", i)); err != nil {
 			return nil, err
 		}
 	}

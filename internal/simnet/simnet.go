@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 )
 
 // Region identifies a cloud data-center location. Values mirror the regions
@@ -63,6 +64,20 @@ type Network struct {
 	partition  map[pathKey]bool          // true = unreachable
 	transfers  int64                     // count of simulated transfers
 	bytesMoved int64
+
+	// Telemetry (installed by Instrument; nil-safe when absent). Children
+	// are cached per path so the transfer hot path skips the label lookup.
+	transferSeconds *telemetry.HistogramVec // {src, dst} one-way transit time
+	transferCount   *telemetry.CounterVec   // {src, dst}
+	transferBytes   *telemetry.CounterVec   // {src, dst}
+	transferMetrics map[pathKey]*pathMetrics
+}
+
+// pathMetrics caches one path's metric children.
+type pathMetrics struct {
+	seconds *telemetry.Histogram
+	count   *telemetry.Counter
+	bytes   *telemetry.Counter
 }
 
 // Option configures a Network.
@@ -234,6 +249,26 @@ func (e ErrUnreachable) Error() string {
 	return fmt.Sprintf("simnet: %s -> %s unreachable (partitioned)", e.Src, e.Dst)
 }
 
+// Instrument registers the network's WAN-transit metrics into reg: a
+// transit-time histogram plus transfer and byte counters, all labeled by
+// source and destination region. Safe to call more than once (the registry
+// dedupes families); a nil registry uninstalls instrumentation.
+func (n *Network) Instrument(reg *telemetry.Registry) {
+	n.mu.Lock()
+	n.transferMetrics = make(map[pathKey]*pathMetrics)
+	if reg == nil {
+		n.transferSeconds, n.transferCount, n.transferBytes = nil, nil, nil
+	} else {
+		n.transferSeconds = reg.Histogram("simnet_transfer_seconds",
+			"Simulated one-way WAN transit time.", "src", "dst")
+		n.transferCount = reg.Counter("simnet_transfers_total",
+			"Simulated WAN transfers.", "src", "dst")
+		n.transferBytes = reg.Counter("simnet_transfer_bytes_total",
+			"Bytes moved across the simulated WAN.", "src", "dst")
+	}
+	n.mu.Unlock()
+}
+
 // TransferTime returns the simulated time for moving size bytes one way
 // from src to dst: half the RTT (propagation) plus the bandwidth
 // serialization delay, with jitter applied. Bandwidth is a *shared* path
@@ -265,7 +300,25 @@ func (n *Network) TransferTime(src, dst Region, size int64) (time.Duration, erro
 	}
 	n.transfers++
 	n.bytesMoved += size
+	var pm *pathMetrics
+	if n.transferCount != nil {
+		key := pathKey{src, dst}
+		pm = n.transferMetrics[key]
+		if pm == nil {
+			pm = &pathMetrics{
+				seconds: n.transferSeconds.With(string(src), string(dst)),
+				count:   n.transferCount.With(string(src), string(dst)),
+				bytes:   n.transferBytes.With(string(src), string(dst)),
+			}
+			n.transferMetrics[key] = pm
+		}
+	}
 	n.mu.Unlock()
+	if pm != nil {
+		pm.seconds.Record(oneWay)
+		pm.count.Inc()
+		pm.bytes.Add(size)
+	}
 	return oneWay, nil
 }
 

@@ -6,19 +6,32 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
 )
 
+// reservoirCap bounds how many raw samples a Histogram retains. Long
+// experiment runs record tens of millions of points; beyond this many the
+// histogram switches to uniform reservoir sampling (Vitter's Algorithm R),
+// keeping memory constant while percentiles stay accurate to well under a
+// percentile point at this reservoir size.
+const reservoirCap = 8192
+
 // Histogram records duration samples and answers mean/percentile queries.
-// It keeps raw samples (experiments here record at most a few million
-// points), which keeps percentiles exact. Safe for concurrent use.
+// Count, Mean, Min and Max are always exact; percentiles are exact up to
+// reservoirCap samples and estimated from a uniform reservoir beyond that.
+// Safe for concurrent use.
 type Histogram struct {
 	mu      sync.Mutex
-	samples []time.Duration
+	samples []time.Duration // reservoir of at most reservoirCap samples
+	n       int64           // total samples recorded
 	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
 	sorted  bool
+	rng     *rand.Rand
 }
 
 // NewHistogram returns an empty histogram.
@@ -27,9 +40,29 @@ func NewHistogram() *Histogram { return &Histogram{} }
 // Record adds one sample.
 func (h *Histogram) Record(d time.Duration) {
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
+	h.n++
 	h.sum += d
-	h.sorted = false
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < reservoirCap {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+		h.mu.Unlock()
+		return
+	}
+	// Algorithm R: keep the new sample with probability cap/n, evicting a
+	// uniformly random resident. The seed is fixed so runs are repeatable.
+	if h.rng == nil {
+		h.rng = rand.New(rand.NewSource(int64(reservoirCap)))
+	}
+	if i := h.rng.Int63n(h.n); i < reservoirCap {
+		h.samples[i] = d
+		h.sorted = false
+	}
 	h.mu.Unlock()
 }
 
@@ -37,56 +70,50 @@ func (h *Histogram) Record(d time.Duration) {
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.n)
 }
 
 // Mean returns the arithmetic mean, or 0 if empty.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.n)
 }
 
 // Min returns the smallest sample, or 0 if empty.
 func (h *Histogram) Min() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.sortLocked()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	return h.samples[0]
+	return h.min
 }
 
 // Max returns the largest sample, or 0 if empty.
 func (h *Histogram) Max() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.sortLocked()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	return h.samples[len(h.samples)-1]
+	return h.max
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank, or 0 if empty.
+// nearest-rank, or 0 if empty. The extremes (p<=0, p>=100) are exact;
+// interior percentiles are estimated from the reservoir once the sample
+// count exceeds its capacity.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	h.sortLocked()
 	if p <= 0 {
-		return h.samples[0]
+		return h.min
 	}
 	if p >= 100 {
-		return h.samples[len(h.samples)-1]
+		return h.max
 	}
+	h.sortLocked()
 	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
 	if rank < 1 {
 		rank = 1
@@ -94,7 +121,8 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.samples[rank-1]
 }
 
-// Snapshot returns a copy of all samples, unsorted insertion order not
+// Snapshot returns a copy of the retained samples (all of them below
+// reservoirCap, a uniform subsample beyond), insertion order not
 // guaranteed.
 func (h *Histogram) Snapshot() []time.Duration {
 	h.mu.Lock()
@@ -108,7 +136,10 @@ func (h *Histogram) Snapshot() []time.Duration {
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.samples = h.samples[:0]
+	h.n = 0
 	h.sum = 0
+	h.min = 0
+	h.max = 0
 	h.sorted = true
 	h.mu.Unlock()
 }

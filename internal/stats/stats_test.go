@@ -257,3 +257,40 @@ func TestSlidingWindowZeroWidthPanics(t *testing.T) {
 	}()
 	NewSlidingWindow(0)
 }
+
+func TestHistogramBoundedMemory(t *testing.T) {
+	h := NewHistogram()
+	const n = 4 * reservoirCap
+	for i := 1; i <= n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got := len(h.Snapshot()); got > reservoirCap {
+		t.Fatalf("reservoir holds %d samples, cap is %d", got, reservoirCap)
+	}
+	// Exact aggregates survive sampling.
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	if h.Min() != 1*time.Microsecond {
+		t.Fatalf("Min = %v", h.Min())
+	}
+	if h.Max() != time.Duration(n)*time.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	wantMean := time.Duration(n) * time.Duration(n+1) / 2 * time.Microsecond / time.Duration(n)
+	if h.Mean() != wantMean {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	// Estimated interior percentiles stay close to the exact value: the
+	// samples are uniform on (0, n] microseconds, so p50 should land near
+	// n/2 within a few percent.
+	p50 := h.Percentile(50)
+	exact := time.Duration(n/2) * time.Microsecond
+	diff := p50 - exact
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > exact/10 {
+		t.Fatalf("p50 = %v, want within 10%% of %v", p50, exact)
+	}
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// sanitizeMetricName maps a metric name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatLabels renders {name="value",...}; empty input renders nothing.
+func formatLabels(names, values []string, extra ...string) string {
+	var pairs []string
+	for i, n := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		pairs = append(pairs, fmt.Sprintf("%s=%q", sanitizeMetricName(n), escapeLabelValue(v)))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", extra[i], escapeLabelValue(extra[i+1])))
+	}
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// RenderPrometheus renders the registry snapshot in the Prometheus text
+// exposition format. Histogram buckets and sums are reported in seconds,
+// matching Prometheus duration conventions.
+func (r *Registry) RenderPrometheus() string {
+	var b strings.Builder
+	for _, fam := range r.Snapshot() {
+		name := sanitizeMetricName(fam.Name)
+		if fam.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, fam.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, fam.Kind)
+		for _, m := range fam.Metrics {
+			switch fam.Kind {
+			case KindHistogram:
+				for _, bk := range m.Buckets {
+					le := "+Inf"
+					if bk.UpperBound != math.MaxInt64 {
+						le = formatFloat(bk.UpperBound.Seconds())
+					}
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						name, formatLabels(fam.LabelNames, m.LabelValues, "le", le), bk.Count)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n",
+					name, formatLabels(fam.LabelNames, m.LabelValues), formatFloat(m.Sum.Seconds()))
+				fmt.Fprintf(&b, "%s_count%s %d\n",
+					name, formatLabels(fam.LabelNames, m.LabelValues), m.Count)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n",
+					name, formatLabels(fam.LabelNames, m.LabelValues), formatFloat(m.Value))
+			}
+		}
+	}
+	return b.String()
+}
+
+// MetricsHandler serves the registry in Prometheus text format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.RenderPrometheus()))
+	})
+}
+
+// TracesHandler serves the tracer's retained spans as JSON. The optional
+// ?trace=<hex id> query filters to one trace.
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var spans []SpanRecord
+		if id := req.URL.Query().Get("trace"); id != "" {
+			spans = t.TraceSpans(id)
+		} else {
+			spans = t.Spans()
+		}
+		if spans == nil {
+			spans = []SpanRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
+	})
+}
+
+// RenderSpanTree renders spans of one trace as an indented tree, children
+// under parents, for wieractl trace output.
+func RenderSpanTree(spans []SpanRecord) string {
+	byParent := make(map[uint64][]SpanRecord)
+	have := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		have[s.SpanID] = true
+	}
+	for _, s := range spans {
+		p := s.ParentID
+		if p != 0 && !have[p] {
+			p = 0 // orphan: parent evicted or remote-only; show at root
+		}
+		byParent[p] = append(byParent[p], s)
+	}
+	var b strings.Builder
+	var walk func(parent uint64, depth int)
+	walk = func(parent uint64, depth int) {
+		for _, s := range byParent[parent] {
+			fmt.Fprintf(&b, "%s%s  %v", strings.Repeat("  ", depth), s.Name, s.Duration)
+			if len(s.Attrs) > 0 {
+				keys := make([]string, 0, len(s.Attrs))
+				for k := range s.Attrs {
+					keys = append(keys, k)
+				}
+				// small maps: simple insertion sort keeps output stable
+				for i := 1; i < len(keys); i++ {
+					for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+						keys[j], keys[j-1] = keys[j-1], keys[j]
+					}
+				}
+				var kv []string
+				for _, k := range keys {
+					kv = append(kv, k+"="+s.Attrs[k])
+				}
+				fmt.Fprintf(&b, "  {%s}", strings.Join(kv, " "))
+			}
+			if s.Err != "" {
+				fmt.Fprintf(&b, "  ERR=%s", s.Err)
+			}
+			b.WriteByte('\n')
+			walk(s.SpanID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return b.String()
+}

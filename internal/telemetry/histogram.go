@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: fixed log-scaled bounds starting at 10µs growing
+// by 1.25x per bucket. 96 buckets cover ~10µs .. ~19h, spanning everything
+// from a memory-tier hit to a Glacier restore; anything above the last
+// finite bound lands in the overflow bucket. Fixed buckets mean Record is a
+// binary search plus a handful of atomic adds — no allocation, no lock, and
+// memory stays constant no matter how many samples arrive (unlike the old
+// raw-sample stats.Histogram).
+const (
+	numBuckets   = 96
+	bucketStart  = 10 * time.Microsecond
+	bucketGrowth = 1.25
+)
+
+// bucketBounds holds the shared upper bounds (inclusive), ascending.
+var bucketBounds = func() [numBuckets]time.Duration {
+	var b [numBuckets]time.Duration
+	v := float64(bucketStart)
+	for i := 0; i < numBuckets; i++ {
+		b[i] = time.Duration(v)
+		v *= bucketGrowth
+	}
+	return b
+}()
+
+// Histogram is a bounded, concurrency-safe duration histogram with
+// percentile estimation. All methods are nil-safe; a nil *Histogram records
+// nothing and reports zeros, so uninstrumented paths cost one nil check.
+type Histogram struct {
+	counts [numBuckets + 1]atomic.Int64 // +1 = overflow bucket
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // nanoseconds; valid when count > 0
+	max    atomic.Int64 // nanoseconds; valid when count > 0
+}
+
+// NewHistogram returns a standalone histogram (not attached to a registry).
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketIndex returns the bucket for d: the first bound >= d, or the
+// overflow bucket.
+func bucketIndex(d time.Duration) int {
+	lo, hi := 0, numBuckets
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucketBounds[mid] >= d {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo // numBuckets == overflow
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		old := h.min.Load()
+		if int64(d) >= old || h.min.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if int64(d) <= old || h.max.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the exact average observation (sum/count).
+func (h *Histogram) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Min returns the smallest recorded observation (exact).
+func (h *Histogram) Min() time.Duration {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest recorded observation (exact).
+func (h *Histogram) Max() time.Duration {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Percentile estimates the p-th percentile (0 < p <= 100) by locating the
+// bucket containing the rank and interpolating linearly inside it. The
+// estimate is clamped to the exact observed [Min, Max], so p=0/p=100 and
+// single-sample histograms are exact, and relative error elsewhere is
+// bounded by the bucket growth factor (25%; typically far less).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	idx := numBuckets
+	for i := 0; i <= numBuckets; i++ {
+		cum += h.counts[i].Load()
+		if float64(cum) >= rank {
+			idx = i
+			break
+		}
+	}
+	var lower, upper float64
+	if idx >= numBuckets {
+		// Overflow bucket: no finite upper bound; report the observed max.
+		return h.Max()
+	}
+	upper = float64(bucketBounds[idx])
+	if idx == 0 {
+		lower = 0
+	} else {
+		lower = float64(bucketBounds[idx-1])
+	}
+	inBucket := h.counts[idx].Load()
+	prev := cum - inBucket
+	est := upper
+	if inBucket > 0 {
+		frac := (rank - float64(prev)) / float64(inBucket)
+		est = lower + frac*(upper-lower)
+	}
+	// Clamp to exact observed extremes.
+	if mn := float64(h.min.Load()); est < mn {
+		est = mn
+	}
+	if mx := float64(h.max.Load()); est > mx {
+		est = mx
+	}
+	return time.Duration(est)
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+}
+
+// snapshot returns count, sum, and cumulative buckets (only buckets up to
+// the highest non-empty one, plus the +Inf bucket).
+func (h *Histogram) snapshot() (int64, time.Duration, []BucketCount) {
+	total := h.count.Load()
+	sum := time.Duration(h.sum.Load())
+	// Find the highest non-empty finite bucket so exports stay compact.
+	last := -1
+	raw := make([]int64, numBuckets+1)
+	for i := 0; i <= numBuckets; i++ {
+		raw[i] = h.counts[i].Load()
+		if raw[i] > 0 && i < numBuckets {
+			last = i
+		}
+	}
+	var out []BucketCount
+	var cum int64
+	for i := 0; i <= last; i++ {
+		cum += raw[i]
+		out = append(out, BucketCount{UpperBound: bucketBounds[i], Count: cum})
+	}
+	out = append(out, BucketCount{UpperBound: math.MaxInt64, Count: total})
+	return total, sum, out
+}

@@ -1,0 +1,328 @@
+// Package telemetry is the observability backbone of the repository: a
+// lock-cheap metrics registry (counters, gauges, and bounded bucketed
+// histograms with label support) plus cross-region distributed tracing
+// (Span/SpanContext propagated through the opaque payloads of
+// internal/transport). Every layer of the stack — transport, simnet, tier,
+// tiera, wiera, and the cmd front ends — records into a shared Registry and
+// Tracer, so the workload monitor, the experiment harnesses, and the
+// /metrics and /traces endpoints all read from one source of truth.
+//
+// Hot-path cost is kept to a few atomic operations: metric children are
+// cached after the first label lookup, histograms use fixed log-scaled
+// buckets (no per-sample allocation, bounded memory), and every type is
+// nil-safe so an uninstrumented deployment pays only a nil check.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MetricKind distinguishes the metric families a Registry holds.
+type MetricKind int
+
+// Metric kinds.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name of the kind.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Registry holds metric families by name. The zero value is not usable; use
+// NewRegistry. All methods are safe for concurrent use, and a nil *Registry
+// is a valid no-op registry (every vec it returns is nil, every operation on
+// those children is a no-op).
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// family is one named metric with a fixed label schema and a child per
+// label-value combination.
+type family struct {
+	name       string
+	help       string
+	kind       MetricKind
+	labelNames []string
+
+	mu       sync.RWMutex
+	children map[string]any // joined label values -> *Counter/*Gauge/*Histogram
+	order    []string       // insertion order of child keys
+}
+
+// labelSep joins label values into a child cache key; it cannot occur in
+// reasonable label values.
+const labelSep = "\x1f"
+
+// register returns the family for name, creating it on first use. Kind and
+// label arity must match across registrations of the same name.
+func (r *Registry) register(name, help string, kind MetricKind, labelNames []string) *family {
+	r.mu.RLock()
+	f, ok := r.fams[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		f, ok = r.fams[name]
+		if !ok {
+			f = &family{
+				name: name, help: help, kind: kind,
+				labelNames: append([]string(nil), labelNames...),
+				children:   make(map[string]any),
+			}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind || len(f.labelNames) != len(labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %v/%d labels (was %v/%d)",
+			name, kind, len(labelNames), f.kind, len(f.labelNames)))
+	}
+	return f
+}
+
+// child returns the cached child for the label values, creating it with
+// mk on first use.
+func (f *family) child(values []string, mk func() any) any {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %q expects %d label values, got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.children[key]; ok {
+		return c
+	}
+	c = mk()
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// CounterVec is a counter family; With returns the child for a label-value
+// combination.
+type CounterVec struct{ f *family }
+
+// Counter registers (or fetches) a counter family.
+func (r *Registry) Counter(name, help string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, KindCounter, labelNames)}
+}
+
+// With returns the counter for the given label values (cached).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() any { return NewCounter() }).(*Counter)
+}
+
+// Counter is a monotonically increasing counter. All methods are nil-safe.
+type Counter struct{ n atomic.Int64 }
+
+// NewCounter returns a standalone counter (not attached to any registry).
+func NewCounter() *Counter { return &Counter{} }
+
+// Add increments by delta (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta <= 0 {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n.Add(1)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// GaugeVec is a gauge family.
+type GaugeVec struct{ f *family }
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, KindGauge, labelNames)}
+}
+
+// With returns the gauge for the given label values (cached).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() any { return NewGauge() }).(*Gauge)
+}
+
+// Gauge is a settable value. All methods are nil-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// NewGauge returns a standalone gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// HistogramVec is a histogram family.
+type HistogramVec struct{ f *family }
+
+// Histogram registers (or fetches) a duration-histogram family.
+func (r *Registry) Histogram(name, help string, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.register(name, help, KindHistogram, labelNames)}
+}
+
+// With returns the histogram for the given label values (cached).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() any { return NewHistogram() }).(*Histogram)
+}
+
+// Snapshot types: a point-in-time copy of the registry for exporters and
+// the in-process stats consumers (wiera.collectStats, experiment harnesses).
+
+// FamilySnapshot is one metric family with all its children.
+type FamilySnapshot struct {
+	Name       string
+	Help       string
+	Kind       MetricKind
+	LabelNames []string
+	Metrics    []MetricSnapshot
+}
+
+// MetricSnapshot is one child's state. Value is the counter or gauge value;
+// histograms fill Count, Sum, and Buckets instead.
+type MetricSnapshot struct {
+	LabelValues []string
+	Value       float64
+	Count       int64
+	Sum         time.Duration
+	Buckets     []BucketCount // cumulative, ascending upper bounds
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	UpperBound time.Duration // last bucket uses math.MaxInt64 (rendered as +Inf)
+	Count      int64
+}
+
+// Snapshot copies the registry's current state, families sorted by name and
+// children in insertion order.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name: f.name, Help: f.help, Kind: f.kind,
+			LabelNames: append([]string(nil), f.labelNames...),
+		}
+		f.mu.RLock()
+		keys := append([]string(nil), f.order...)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.RUnlock()
+		for i, k := range keys {
+			var values []string
+			if k != "" || len(f.labelNames) > 0 {
+				values = strings.Split(k, labelSep)
+			}
+			ms := MetricSnapshot{LabelValues: values}
+			switch c := children[i].(type) {
+			case *Counter:
+				ms.Value = float64(c.Value())
+			case *Gauge:
+				ms.Value = c.Value()
+			case *Histogram:
+				ms.Count, ms.Sum, ms.Buckets = c.snapshot()
+			}
+			fs.Metrics = append(fs.Metrics, ms)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

@@ -1,0 +1,410 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	vec := r.Counter("ops_total", "ops", "kind")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := vec.With("put") // child lookup races with other goroutines
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := vec.With("put").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := vec.With("get").Value(); got != 0 {
+		t.Fatalf("untouched child = %d, want 0", got)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	c := NewCounter()
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	g := NewGauge()
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != goroutines*perG {
+		t.Fatalf("gauge = %v, want %d", g.Value(), goroutines*perG)
+	}
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", g.Value())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(time.Duration(g*perG+i+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	const n = goroutines * perG
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	wantSum := time.Duration(n) * time.Duration(n+1) / 2 * time.Microsecond
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Min() != 1*time.Microsecond {
+		t.Fatalf("min = %v, want 1µs", h.Min())
+	}
+	if h.Max() != time.Duration(n)*time.Microsecond {
+		t.Fatalf("max = %v, want %dµs", h.Max(), n)
+	}
+}
+
+// TestHistogramPercentileAccuracy checks bucket-interpolated percentiles
+// against an exact nearest-rank reference over several distributions. The
+// bucket layout grows 1.25x per bucket, so estimates must land within 25%
+// of the exact value (and within the observed range).
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	distributions := map[string][]time.Duration{
+		"uniform":  nil, // filled below
+		"bimodal":  nil,
+		"constant": nil,
+	}
+	var uniform, bimodal, constant []time.Duration
+	for i := 1; i <= 10000; i++ {
+		uniform = append(uniform, time.Duration(i)*50*time.Microsecond)
+		if i%10 == 0 {
+			bimodal = append(bimodal, 200*time.Millisecond) // slow WAN mode
+		} else {
+			bimodal = append(bimodal, 2*time.Millisecond) // fast local mode
+		}
+		constant = append(constant, 5*time.Millisecond)
+	}
+	distributions["uniform"] = uniform
+	distributions["bimodal"] = bimodal
+	distributions["constant"] = constant
+
+	for name, samples := range distributions {
+		h := NewHistogram()
+		for _, d := range samples {
+			h.Record(d)
+		}
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, p := range []float64{50, 90, 95, 99} {
+			rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+			exact := sorted[rank-1]
+			got := h.Percentile(p)
+			relErr := math.Abs(float64(got)-float64(exact)) / float64(exact)
+			if relErr > 0.25 {
+				t.Errorf("%s p%.0f = %v, exact %v (rel err %.1f%% > 25%%)",
+					name, p, got, exact, relErr*100)
+			}
+			if got < h.Min() || got > h.Max() {
+				t.Errorf("%s p%.0f = %v outside [%v, %v]", name, p, got, h.Min(), h.Max())
+			}
+		}
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != 0 {
+		t.Fatal("empty histogram percentile should be 0")
+	}
+	h.Record(7 * time.Millisecond)
+	for _, p := range []float64{0, 50, 100} {
+		if got := h.Percentile(p); got != 7*time.Millisecond {
+			t.Fatalf("single-sample p%.0f = %v, want 7ms", p, got)
+		}
+	}
+	// An observation beyond the last finite bucket lands in overflow and
+	// reports the exact max.
+	h.Record(48 * time.Hour)
+	if got := h.Percentile(99.9); got != 48*time.Hour {
+		t.Fatalf("overflow percentile = %v, want 48h", got)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second family", "x").With("1").Add(3)
+	r.Gauge("a_gauge", "first family").With().Set(1.5)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("families = %d, want 2", len(snap))
+	}
+	// Sorted by name.
+	if snap[0].Name != "a_gauge" || snap[1].Name != "b_total" {
+		t.Fatalf("order = %s, %s", snap[0].Name, snap[1].Name)
+	}
+	if snap[0].Metrics[0].Value != 1.5 {
+		t.Fatalf("gauge snapshot = %v", snap[0].Metrics[0].Value)
+	}
+	if snap[1].Metrics[0].Value != 3 || snap[1].Metrics[0].LabelValues[0] != "1" {
+		t.Fatalf("counter snapshot = %+v", snap[1].Metrics[0])
+	}
+}
+
+func TestRegistryReregisterPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind should panic")
+		}
+	}()
+	r.Gauge("m", "help", "a")
+}
+
+// TestRenderPrometheusGolden pins the exact text exposition output for a
+// small registry: counter and gauge lines with labels, histogram buckets in
+// seconds with the +Inf bucket, _sum and _count.
+func TestRenderPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tier_ops_total", "Tier operations.", "op", "tier").With("put", "memory").Add(4)
+	r.Gauge("wiera_queue_depth", "Queued updates.", "node").With("n-1").Set(2)
+	h := r.Histogram("tier_op_seconds", "Tier operation latency.", "op").With("get")
+	h.Record(9 * time.Microsecond)  // first bucket (le=1e-05)
+	h.Record(11 * time.Microsecond) // second bucket (le=1.25e-05)
+
+	got := r.RenderPrometheus()
+	want := strings.Join([]string{
+		`# HELP tier_op_seconds Tier operation latency.`,
+		`# TYPE tier_op_seconds histogram`,
+		`tier_op_seconds_bucket{op="get",le="1e-05"} 1`,
+		`tier_op_seconds_bucket{op="get",le="1.25e-05"} 2`,
+		`tier_op_seconds_bucket{op="get",le="+Inf"} 2`,
+		`tier_op_seconds_sum{op="get"} 2e-05`,
+		`tier_op_seconds_count{op="get"} 2`,
+		`# HELP tier_ops_total Tier operations.`,
+		`# TYPE tier_ops_total counter`,
+		`tier_ops_total{op="put",tier="memory"} 4`,
+		`# HELP wiera_queue_depth Queued updates.`,
+		`# TYPE wiera_queue_depth gauge`,
+		`wiera_queue_depth{node="n-1"} 2`,
+		``,
+	}, "\n")
+	if got != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	cv := r.Counter("x", "")
+	gv := r.Gauge("y", "")
+	hv := r.Histogram("z", "")
+	if cv != nil || gv != nil || hv != nil {
+		t.Fatal("nil registry should return nil vecs")
+	}
+	cv.With("a").Inc()
+	gv.With("b").Set(1)
+	hv.With("c").Record(time.Second)
+	if r.Snapshot() != nil || len(r.RenderPrometheus()) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+
+	var tr *Tracer
+	sp := tr.StartRoot("op")
+	if sp != nil {
+		t.Fatal("nil tracer should return nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetError(nil)
+	sp.End()
+	ctx, child := StartSpan(context.Background(), "child")
+	if child != nil || ctx == nil {
+		t.Fatal("StartSpan without a parent should return nil span, same ctx")
+	}
+}
+
+func TestSpanParentChildLinkage(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartRoot("client.put")
+	root.SetAttr("region", "us-east")
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx, mid := StartSpan(ctx, "rpc.client")
+	_, leaf := StartSpan(ctx, "tier.put")
+	leaf.End()
+	mid.End()
+	root.SetError(nil)
+	root.End()
+	root.End() // idempotent
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, m, l := byName["client.put"], byName["rpc.client"], byName["tier.put"]
+	if r.TraceID == "" || m.TraceID != r.TraceID || l.TraceID != r.TraceID {
+		t.Fatalf("trace ids differ: %q %q %q", r.TraceID, m.TraceID, l.TraceID)
+	}
+	if r.ParentID != 0 {
+		t.Fatalf("root has parent %d", r.ParentID)
+	}
+	if m.ParentID != r.SpanID || l.ParentID != m.SpanID {
+		t.Fatalf("bad linkage: root=%d mid(parent=%d) leaf(parent=%d mid=%d)",
+			r.SpanID, m.ParentID, l.ParentID, m.SpanID)
+	}
+	if r.Attrs["region"] != "us-east" {
+		t.Fatalf("root attrs = %v", r.Attrs)
+	}
+	if got := tr.TraceSpans(r.TraceID); len(got) != 3 {
+		t.Fatalf("TraceSpans = %d, want 3", len(got))
+	}
+	if got := tr.TraceSpans("no-such-trace"); len(got) != 0 {
+		t.Fatalf("TraceSpans(bogus) = %d, want 0", len(got))
+	}
+}
+
+func TestStartRemote(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartRoot("origin")
+	remote := tr.StartRemote(root.Context(), "rpc.server")
+	if remote.Context().Trace != root.Context().Trace {
+		t.Fatal("remote span should join the parent's trace")
+	}
+	remote.End()
+	root.End()
+	for _, s := range tr.Spans() {
+		if s.Name == "rpc.server" && s.ParentID != root.Context().Span {
+			t.Fatalf("remote parent = %d, want %d", s.ParentID, root.Context().Span)
+		}
+	}
+	// Invalid remote context degrades to a fresh root.
+	fresh := tr.StartRemote(SpanContext{}, "orphan")
+	if fresh.Context().Trace.IsZero() || fresh.Context().Trace == root.Context().Trace {
+		t.Fatal("invalid remote context should start a new trace")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(WithCapacity(4))
+	for i := 0; i < 10; i++ {
+		tr.StartRoot("s").End()
+	}
+	if got := len(tr.Spans()); got != 4 {
+		t.Fatalf("retained = %d, want 4", got)
+	}
+	if tr.TotalSpans() != 10 {
+		t.Fatalf("total = %d, want 10", tr.TotalSpans())
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 {
+		t.Fatal("reset should clear the ring")
+	}
+}
+
+func TestWrapUnwrapPayload(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartRoot("op")
+	payload := []byte("hello wiera")
+	wire := WrapPayload(sp.Context(), payload)
+	if len(wire) != envelopeLen+len(payload) {
+		t.Fatalf("wire len = %d", len(wire))
+	}
+	sc, inner := UnwrapPayload(wire)
+	if !sc.Valid() || sc != sp.Context() {
+		t.Fatalf("roundtrip context = %+v, want %+v", sc, sp.Context())
+	}
+	if string(inner) != string(payload) {
+		t.Fatalf("inner = %q", inner)
+	}
+	// Unwrapped payloads pass through untouched.
+	sc, inner = UnwrapPayload(payload)
+	if sc.Valid() || string(inner) != string(payload) {
+		t.Fatalf("plain payload mangled: %+v %q", sc, inner)
+	}
+	// Invalid contexts wrap to the original bytes.
+	if got := WrapPayload(SpanContext{}, payload); len(got) != len(payload) {
+		t.Fatal("invalid context should not add an envelope")
+	}
+}
+
+func TestRenderSpanTree(t *testing.T) {
+	tr := NewTracer(WithNow(func() time.Time { return time.Unix(0, 0) }))
+	root := tr.StartRoot("client.put")
+	ctx := ContextWithSpan(context.Background(), root)
+	_, child := StartSpan(ctx, "rpc.client")
+	child.SetAttr("dst", "n-1")
+	child.End()
+	root.End()
+	out := RenderSpanTree(tr.Spans())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("tree lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "client.put") {
+		t.Fatalf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  rpc.client") || !strings.Contains(lines[1], "dst=n-1") {
+		t.Fatalf("child line = %q", lines[1])
+	}
+}
+
+func TestSampleRoot(t *testing.T) {
+	tr := NewTracer(WithAutoSample(4))
+	var traced int
+	for i := 0; i < 16; i++ {
+		if sp := tr.SampleRoot("op"); sp != nil {
+			if i%4 != 0 {
+				t.Fatalf("call %d sampled; want every 4th starting at 0", i)
+			}
+			traced++
+			sp.End()
+		}
+	}
+	if traced != 4 {
+		t.Fatalf("traced = %d, want 4", traced)
+	}
+	// Rate 1 traces everything; explicit roots always trace.
+	tr.SetAutoSample(1)
+	if tr.SampleRoot("all") == nil {
+		t.Fatal("rate 1 should trace every call")
+	}
+	tr.SetAutoSample(1000000)
+	if tr.StartRoot("explicit") == nil {
+		t.Fatal("StartRoot must bypass sampling")
+	}
+}

@@ -1,0 +1,419 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end request across regions and processes.
+type TraceID [16]byte
+
+// String renders the trace ID as lowercase hex.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// SpanContext is the propagated part of a span: enough for a remote child
+// to link itself to its parent.
+type SpanContext struct {
+	Trace TraceID
+	Span  uint64
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && sc.Span != 0 }
+
+// SpanRecord is a completed span as stored by the tracer and exported as
+// JSON from /traces.
+type SpanRecord struct {
+	TraceID  string            `json:"traceId"`
+	SpanID   uint64            `json:"spanId"`
+	ParentID uint64            `json:"parentId,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"durationNs"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Err      string            `json:"err,omitempty"`
+}
+
+// Span is one in-flight operation. Created by Tracer.StartRoot/StartRemote
+// or the package-level StartSpan; finished exactly once with End. A nil
+// *Span is valid and all its methods no-op.
+type Span struct {
+	tracer *Tracer
+	sc     SpanContext
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]string
+	err   string
+	done  bool
+}
+
+// Context returns the span's propagatable context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetAttr attaches a key/value attribute (region, tier, method, ...).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetError records the error that ended the operation (nil is ignored).
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.err = err.Error()
+	s.mu.Unlock()
+}
+
+// End completes the span and hands it to the tracer's ring buffer.
+// Idempotent: second and later calls are ignored.
+func (s *Span) End() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	rec := SpanRecord{
+		TraceID:  s.sc.Trace.String(),
+		SpanID:   s.sc.Span,
+		ParentID: s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: s.tracer.now().Sub(s.start),
+		Err:      s.err,
+		// The span is finished: hand the attribute map to the record
+		// instead of copying it (SetAttr after End is documented away).
+		Attrs: s.attrs,
+	}
+	s.attrs = nil
+	s.mu.Unlock()
+	s.tracer.record(rec)
+}
+
+// Tracer creates spans and retains completed ones in a bounded ring buffer.
+// A nil *Tracer is valid: every span it produces is nil and records nothing.
+type Tracer struct {
+	now       func() time.Time
+	nextID    atomic.Uint64
+	tracePfx  [8]byte       // random process prefix shared by all trace IDs
+	nextTrace atomic.Uint64 // low half of the next trace ID
+
+	sampleEvery atomic.Int64 // SampleRoot keeps 1 in this many (<=1 = all)
+	autoCount   atomic.Int64 // SampleRoot call counter
+
+	mu    sync.Mutex
+	ring  []SpanRecord
+	head  int
+	total int
+}
+
+// TracerOption configures NewTracer.
+type TracerOption func(*Tracer)
+
+// WithNow sets the tracer's time source. Pass the simnet clock's Now so
+// span durations line up with simulated latencies rather than wall time.
+func WithNow(now func() time.Time) TracerOption {
+	return func(t *Tracer) {
+		if now != nil {
+			t.now = now
+		}
+	}
+}
+
+// WithCapacity bounds the completed-span ring buffer (default 4096).
+func WithCapacity(n int) TracerOption {
+	return func(t *Tracer) {
+		if n > 0 {
+			t.ring = make([]SpanRecord, 0, n)
+		}
+	}
+}
+
+// WithAutoSample sets how many SampleRoot calls produce one trace (default
+// 16; 1 or less traces every call). Explicit StartRoot/StartRemote spans
+// are never sampled away.
+func WithAutoSample(every int) TracerOption {
+	return func(t *Tracer) { t.SetAutoSample(every) }
+}
+
+// defaultSpanCapacity bounds retained spans when WithCapacity is not given.
+const defaultSpanCapacity = 4096
+
+// defaultAutoSample is the default SampleRoot rate: 1 in 16 application
+// operations start a trace. Metrics stay exact for every operation; the
+// sampled traces keep the tracing tax on the data path negligible (the
+// same head-sampling strategy production tracers use).
+const defaultAutoSample = 16
+
+// NewTracer returns a tracer with randomly seeded trace- and span-ID
+// sequences. IDs after the seed are counter-derived: one atomic add per ID,
+// no per-span entropy syscalls on the hot path.
+func NewTracer(opts ...TracerOption) *Tracer {
+	t := &Tracer{now: time.Now}
+	var seed [24]byte
+	_, _ = rand.Read(seed[:])
+	t.nextID.Store(binary.LittleEndian.Uint64(seed[0:8]) | 1)
+	copy(t.tracePfx[:], seed[8:16])
+	t.tracePfx[0] |= 1 // non-zero prefix => every trace ID is non-zero
+	t.nextTrace.Store(binary.LittleEndian.Uint64(seed[16:24]))
+	t.sampleEvery.Store(defaultAutoSample)
+	for _, o := range opts {
+		o(t)
+	}
+	if t.ring == nil {
+		t.ring = make([]SpanRecord, 0, defaultSpanCapacity)
+	}
+	return t
+}
+
+// newTraceID returns a unique non-zero trace ID: the tracer's (non-zero)
+// random prefix plus a counter, so two tracers (processes) collide only if
+// their 8-byte prefixes do.
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	copy(id[0:8], t.tracePfx[:])
+	binary.LittleEndian.PutUint64(id[8:16], t.nextTrace.Add(1))
+	return id
+}
+
+// newSpanID returns a process-unique non-zero span ID.
+func (t *Tracer) newSpanID() uint64 {
+	for {
+		id := t.nextID.Add(1)
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+// StartRoot begins a new trace with a fresh random trace ID.
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		sc:     SpanContext{Trace: t.newTraceID(), Span: t.newSpanID()},
+		name:   name,
+		start:  t.now(),
+	}
+}
+
+// SetAutoSample changes the SampleRoot rate at run time (1 or less traces
+// every call).
+func (t *Tracer) SetAutoSample(every int) {
+	if t == nil {
+		return
+	}
+	if every < 1 {
+		every = 1
+	}
+	t.sampleEvery.Store(int64(every))
+}
+
+// SampleRoot begins a new trace for an application-initiated operation,
+// subject to the tracer's sampling rate: the first call and every
+// sampleEvery-th call after it return a real root; the rest return nil (a
+// valid no-op span), so untraced operations pay nothing downstream. Use
+// StartRoot to bypass sampling.
+func (t *Tracer) SampleRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if n := t.sampleEvery.Load(); n > 1 && (t.autoCount.Add(1)-1)%n != 0 {
+		return nil
+	}
+	return t.StartRoot(name)
+}
+
+// StartRemote begins a span whose parent lives in another process/region:
+// the remote SpanContext (extracted from the wire) becomes the parent. An
+// invalid remote context starts a fresh root instead.
+func (t *Tracer) StartRemote(remote SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if !remote.Valid() {
+		return t.StartRoot(name)
+	}
+	return &Span{
+		tracer: t,
+		sc:     SpanContext{Trace: remote.Trace, Span: t.newSpanID()},
+		parent: remote.Span,
+		name:   name,
+		start:  t.now(),
+	}
+}
+
+// startChild begins a local child of parent.
+func (t *Tracer) startChild(parent *Span, name string) *Span {
+	if t == nil || parent == nil {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		sc:     SpanContext{Trace: parent.sc.Trace, Span: t.newSpanID()},
+		parent: parent.sc.Span,
+		name:   name,
+		start:  t.now(),
+	}
+}
+
+// record appends a completed span to the ring, evicting the oldest when
+// full.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else if cap(t.ring) > 0 {
+		t.ring[t.head] = rec
+		t.head = (t.head + 1) % cap(t.ring)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the retained completed spans, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.head:]...)
+	out = append(out, t.ring[:t.head]...)
+	return out
+}
+
+// TraceSpans returns the retained spans of one trace, oldest first.
+func (t *Tracer) TraceSpans(traceID string) []SpanRecord {
+	var out []SpanRecord
+	for _, rec := range t.Spans() {
+		if rec.TraceID == traceID {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TotalSpans returns how many spans have completed over the tracer's
+// lifetime (including ones evicted from the ring).
+func (t *Tracer) TotalSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Reset discards all retained spans.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.head = 0
+	t.mu.Unlock()
+}
+
+// --- context plumbing -------------------------------------------------
+
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying span.
+func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, span)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan begins a child of the span in ctx (if any) and returns the
+// derived context plus the new span. With no span in ctx it returns ctx
+// unchanged and a nil span — instrumented code never needs to check.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil || parent.tracer == nil {
+		return ctx, nil
+	}
+	child := parent.tracer.startChild(parent, name)
+	return ContextWithSpan(ctx, child), child
+}
+
+// --- wire propagation --------------------------------------------------
+
+// The trace envelope prepends a fixed header to opaque transport payloads:
+//
+//	[4]byte magic "WT01" | [16]byte trace ID | [8]byte span ID (LE)
+//
+// Both Fabric and TCP transports wrap outbound payloads and unwrap inbound
+// ones; payloads without the magic pass through untouched, so traced and
+// untraced peers interoperate.
+const envelopeLen = 4 + 16 + 8
+
+var envelopeMagic = [4]byte{'W', 'T', '0', '1'}
+
+// WrapPayload prepends sc to payload. An invalid sc returns payload as-is.
+func WrapPayload(sc SpanContext, payload []byte) []byte {
+	if !sc.Valid() {
+		return payload
+	}
+	out := make([]byte, envelopeLen+len(payload))
+	copy(out[0:4], envelopeMagic[:])
+	copy(out[4:20], sc.Trace[:])
+	binary.LittleEndian.PutUint64(out[20:28], sc.Span)
+	copy(out[envelopeLen:], payload)
+	return out
+}
+
+// UnwrapPayload splits a wrapped payload into its span context and the
+// original bytes. Payloads without the envelope return a zero context.
+func UnwrapPayload(b []byte) (SpanContext, []byte) {
+	if len(b) < envelopeLen || [4]byte(b[0:4]) != envelopeMagic {
+		return SpanContext{}, b
+	}
+	var sc SpanContext
+	copy(sc.Trace[:], b[4:20])
+	sc.Span = binary.LittleEndian.Uint64(b[20:28])
+	return sc, b[envelopeLen:]
+}

@@ -1,6 +1,7 @@
 package tier
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -23,7 +24,7 @@ func BenchmarkTierPut4K(b *testing.B) {
 	b.SetBytes(4096)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := s.Put(fmt.Sprintf("k%d", i%1024), payload); err != nil {
+		if err := s.Put(context.Background(), fmt.Sprintf("k%d", i%1024), payload); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -33,13 +34,13 @@ func BenchmarkTierGet4K(b *testing.B) {
 	s := zeroLatencyTier(b)
 	payload := make([]byte, 4096)
 	for i := 0; i < 1024; i++ {
-		s.Put(fmt.Sprintf("k%d", i), payload)
+		s.Put(context.Background(), fmt.Sprintf("k%d", i), payload)
 	}
 	b.SetBytes(4096)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Get(fmt.Sprintf("k%d", i%1024)); err != nil {
+		if _, err := s.Get(context.Background(), fmt.Sprintf("k%d", i%1024)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -55,7 +56,7 @@ func BenchmarkTierLRUEvictionChurn(b *testing.B) {
 	payload := make([]byte, 4096)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := s.Put(fmt.Sprintf("k%d", i), payload); err != nil {
+		if err := s.Put(context.Background(), fmt.Sprintf("k%d", i), payload); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,6 +9,7 @@
 package tier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/cost"
+	"repro/internal/telemetry"
 )
 
 // Common tier errors.
@@ -37,12 +39,13 @@ type Tier interface {
 	// Volatile reports whether data is lost on restart (memory tiers).
 	Volatile() bool
 	// Put stores data under key, blocking for the simulated write latency.
-	Put(key string, data []byte) error
+	// The context carries the trace span of the enclosing operation.
+	Put(ctx context.Context, key string, data []byte) error
 	// Get retrieves the data for key, blocking for the simulated read
 	// latency.
-	Get(key string) ([]byte, error)
+	Get(ctx context.Context, key string) ([]byte, error)
 	// Delete removes key. Deleting a missing key returns ErrNotFound.
-	Delete(key string) error
+	Delete(ctx context.Context, key string) error
 	// Has reports whether key is present without a latency charge.
 	Has(key string) bool
 	// Keys returns all stored keys, sorted.
@@ -206,6 +209,34 @@ type Store struct {
 	grown    int64     // capacity added via Grow
 	nextFree time.Time // IOPS admission: earliest next op start
 	stats    Stats
+
+	// Telemetry children, cached at SetTelemetry time so the hot path pays
+	// no label lookups. All nil (no-op) until installed.
+	putSeconds *telemetry.Histogram
+	getSeconds *telemetry.Histogram
+	putOps     *telemetry.Counter
+	getOps     *telemetry.Counter
+}
+
+// SetTelemetry installs per-tier metrics into reg, labeled by operation,
+// tier name, storage class, and region. Children are resolved once here;
+// Put/Get then record with plain atomic adds. A nil registry uninstalls.
+func (s *Store) SetTelemetry(reg *telemetry.Registry, region string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg == nil {
+		s.putSeconds, s.getSeconds, s.putOps, s.getOps = nil, nil, nil, nil
+		return
+	}
+	hist := reg.Histogram("tier_op_seconds",
+		"Simulated tier service time per operation.", "op", "tier", "class", "region")
+	ops := reg.Counter("tier_ops_total",
+		"Tier operations served.", "op", "tier", "class", "region")
+	class := string(s.cfg.Class)
+	s.putSeconds = hist.With("put", s.cfg.Name, class, region)
+	s.getSeconds = hist.With("get", s.cfg.Name, class, region)
+	s.putOps = ops.With("put", s.cfg.Name, class, region)
+	s.getOps = ops.With("get", s.cfg.Name, class, region)
 }
 
 // Name implements Tier.
@@ -269,7 +300,12 @@ func (s *Store) admit(now time.Time) time.Duration {
 }
 
 // Put implements Tier.
-func (s *Store) Put(key string, data []byte) error {
+func (s *Store) Put(ctx context.Context, key string, data []byte) error {
+	_, span := telemetry.StartSpan(ctx, "tier.put")
+	span.SetAttr("tier", s.cfg.Name)
+	span.SetAttr("class", string(s.cfg.Class))
+	defer span.End()
+
 	size := int64(len(data))
 	s.mu.Lock()
 	wait := s.admit(s.clk.Now())
@@ -300,12 +336,16 @@ func (s *Store) Put(key string, data []byte) error {
 	s.used += size
 	s.stats.Puts++
 	s.stats.BytesIn += size
+	hist, ops := s.putSeconds, s.putOps
 	s.mu.Unlock()
 
 	if s.cfg.Accountant != nil {
 		_ = s.cfg.Accountant.ChargePut(s.cfg.Class, 1)
 	}
-	s.clk.Sleep(wait + s.cfg.Profile.writeTime(size))
+	service := wait + s.cfg.Profile.writeTime(size)
+	s.clk.Sleep(service)
+	hist.Record(service)
+	ops.Inc()
 	return nil
 }
 
@@ -339,13 +379,20 @@ func (s *Store) evictLocked(need int64, exclude string) bool {
 }
 
 // Get implements Tier.
-func (s *Store) Get(key string) ([]byte, error) {
+func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
+	_, span := telemetry.StartSpan(ctx, "tier.get")
+	span.SetAttr("tier", s.cfg.Name)
+	span.SetAttr("class", string(s.cfg.Class))
+	defer span.End()
+
 	s.mu.Lock()
 	wait := s.admit(s.clk.Now())
 	e, ok := s.data[key]
 	if !ok {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q in tier %s", ErrNotFound, key, s.cfg.Name)
+		err := fmt.Errorf("%w: %q in tier %s", ErrNotFound, key, s.cfg.Name)
+		span.SetError(err)
+		return nil, err
 	}
 	e.lastUsed = s.clk.Now()
 	s.data[key] = e
@@ -353,17 +400,21 @@ func (s *Store) Get(key string) ([]byte, error) {
 	copy(cp, e.data)
 	s.stats.Gets++
 	s.stats.BytesOut += int64(len(cp))
+	hist, ops := s.getSeconds, s.getOps
 	s.mu.Unlock()
 
 	if s.cfg.Accountant != nil {
 		_ = s.cfg.Accountant.ChargeGet(s.cfg.Class, 1)
 	}
-	s.clk.Sleep(wait + s.cfg.Profile.readTime(int64(len(cp))))
+	service := wait + s.cfg.Profile.readTime(int64(len(cp)))
+	s.clk.Sleep(service)
+	hist.Record(service)
+	ops.Inc()
 	return cp, nil
 }
 
 // Delete implements Tier.
-func (s *Store) Delete(key string) error {
+func (s *Store) Delete(_ context.Context, key string) error {
 	s.mu.Lock()
 	e, ok := s.data[key]
 	if !ok {

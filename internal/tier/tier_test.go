@@ -1,6 +1,7 @@
 package tier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,10 +27,10 @@ func newMem(t *testing.T, capacity int64) *Store {
 
 func TestPutGetRoundTrip(t *testing.T) {
 	s := newMem(t, 0)
-	if err := s.Put("k", []byte("hello")); err != nil {
+	if err := s.Put(context.Background(), "k", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get("k")
+	got, err := s.Get(context.Background(), "k")
 	if err != nil || string(got) != "hello" {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
@@ -37,37 +38,37 @@ func TestPutGetRoundTrip(t *testing.T) {
 
 func TestGetMissing(t *testing.T) {
 	s := newMem(t, 0)
-	if _, err := s.Get("absent"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Get(context.Background(), "absent"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestDelete(t *testing.T) {
 	s := newMem(t, 0)
-	s.Put("k", []byte("v"))
-	if err := s.Delete("k"); err != nil {
+	s.Put(context.Background(), "k", []byte("v"))
+	if err := s.Delete(context.Background(), "k"); err != nil {
 		t.Fatal(err)
 	}
 	if s.Has("k") {
 		t.Fatal("key still present after delete")
 	}
-	if err := s.Delete("k"); !errors.Is(err, ErrNotFound) {
+	if err := s.Delete(context.Background(), "k"); !errors.Is(err, ErrNotFound) {
 		t.Fatal("double delete should report not found")
 	}
 }
 
 func TestUsedTracking(t *testing.T) {
 	s := newMem(t, 0)
-	s.Put("a", make([]byte, 100))
-	s.Put("b", make([]byte, 50))
+	s.Put(context.Background(), "a", make([]byte, 100))
+	s.Put(context.Background(), "b", make([]byte, 50))
 	if s.Used() != 150 {
 		t.Fatalf("Used = %d", s.Used())
 	}
-	s.Put("a", make([]byte, 10)) // overwrite shrinks
+	s.Put(context.Background(), "a", make([]byte, 10)) // overwrite shrinks
 	if s.Used() != 60 {
 		t.Fatalf("Used after overwrite = %d", s.Used())
 	}
-	s.Delete("b")
+	s.Delete(context.Background(), "b")
 	if s.Used() != 10 {
 		t.Fatalf("Used after delete = %d", s.Used())
 	}
@@ -80,14 +81,14 @@ func TestCapacityRejectWithoutEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("a", make([]byte, 80)); err != nil {
+	if err := s.Put(context.Background(), "a", make([]byte, 80)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("b", make([]byte, 30)); !errors.Is(err, ErrCapacity) {
+	if err := s.Put(context.Background(), "b", make([]byte, 30)); !errors.Is(err, ErrCapacity) {
 		t.Fatalf("over-capacity put: err = %v", err)
 	}
 	// Overwriting the same key within capacity succeeds.
-	if err := s.Put("a", make([]byte, 100)); err != nil {
+	if err := s.Put(context.Background(), "a", make([]byte, 100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -101,16 +102,16 @@ func TestLRUEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Put("old", make([]byte, 50))
+	s.Put(context.Background(), "old", make([]byte, 50))
 	clk.Advance(time.Second)
-	s.Put("new", make([]byte, 50))
+	s.Put(context.Background(), "new", make([]byte, 50))
 	clk.Advance(time.Second)
 	// Touch "old" so "new" becomes LRU.
-	if _, err := s.Get("old"); err != nil {
+	if _, err := s.Get(context.Background(), "old"); err != nil {
 		t.Fatal(err)
 	}
 	clk.Advance(time.Second)
-	if err := s.Put("incoming", make([]byte, 40)); err != nil {
+	if err := s.Put(context.Background(), "incoming", make([]byte, 40)); err != nil {
 		t.Fatal(err)
 	}
 	if s.Has("new") {
@@ -131,7 +132,7 @@ func TestEvictionCannotFreeEnough(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("huge", make([]byte, 200)); !errors.Is(err, ErrCapacity) {
+	if err := s.Put(context.Background(), "huge", make([]byte, 200)); !errors.Is(err, ErrCapacity) {
 		t.Fatalf("impossible put err = %v", err)
 	}
 }
@@ -141,27 +142,27 @@ func TestGrow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Put("a", make([]byte, 90))
-	if err := s.Put("b", make([]byte, 50)); !errors.Is(err, ErrCapacity) {
+	s.Put(context.Background(), "a", make([]byte, 90))
+	if err := s.Put(context.Background(), "b", make([]byte, 50)); !errors.Is(err, ErrCapacity) {
 		t.Fatal("should be full")
 	}
 	s.Grow(100)
 	if s.Capacity() != 200 {
 		t.Fatalf("Capacity after grow = %d", s.Capacity())
 	}
-	if err := s.Put("b", make([]byte, 50)); err != nil {
+	if err := s.Put(context.Background(), "b", make([]byte, 50)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFillFraction(t *testing.T) {
 	s, _ := New(Config{Name: "d", Class: cost.ClassEBSSSD, Capacity: 200}, fastClock())
-	s.Put("a", make([]byte, 100))
+	s.Put(context.Background(), "a", make([]byte, 100))
 	if got := s.FillFraction(); got != 0.5 {
 		t.Fatalf("FillFraction = %v", got)
 	}
 	u := newMem(t, 0)
-	u.Put("a", make([]byte, 100))
+	u.Put(context.Background(), "a", make([]byte, 100))
 	if u.FillFraction() != 0 {
 		t.Fatal("unlimited tier should report 0 fill")
 	}
@@ -169,10 +170,10 @@ func TestFillFraction(t *testing.T) {
 
 func TestStatsCounting(t *testing.T) {
 	s := newMem(t, 0)
-	s.Put("k", make([]byte, 10))
-	s.Get("k")
-	s.Get("k")
-	s.Delete("k")
+	s.Put(context.Background(), "k", make([]byte, 10))
+	s.Get(context.Background(), "k")
+	s.Get(context.Background(), "k")
+	s.Delete(context.Background(), "k")
 	st := s.Stats()
 	if st.Puts != 1 || st.Gets != 2 || st.Deletes != 1 {
 		t.Fatalf("Stats = %+v", st)
@@ -184,13 +185,13 @@ func TestStatsCounting(t *testing.T) {
 
 func TestVolatileCrash(t *testing.T) {
 	mem := newMem(t, 0)
-	mem.Put("k", []byte("v"))
+	mem.Put(context.Background(), "k", []byte("v"))
 	mem.Crash()
 	if mem.Has("k") {
 		t.Fatal("volatile tier kept data across crash")
 	}
 	disk, _ := Standard("t2", "ebs-ssd", 0, fastClock())
-	disk.Put("k", []byte("v"))
+	disk.Put(context.Background(), "k", []byte("v"))
 	disk.Crash()
 	if !disk.Has("k") {
 		t.Fatal("durable tier lost data on crash")
@@ -265,8 +266,8 @@ func TestAccountantCharges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Put("k", []byte("v"))
-	s.Get("k")
+	s.Put(context.Background(), "k", []byte("v"))
+	s.Get(context.Background(), "k")
 	rows := acct.ByClass()
 	if len(rows) != 1 || rows[0].PutOps != 1 || rows[0].GetOps != 1 {
 		t.Fatalf("accounting rows = %+v", rows)
@@ -286,9 +287,9 @@ func TestIOPSCapSpacing(t *testing.T) {
 	}
 	done := make(chan time.Time, 2)
 	go func() {
-		s.Put("a", nil) // admitted at t=0, no wait, zero service time
+		s.Put(context.Background(), "a", nil) // admitted at t=0, no wait, zero service time
 		done <- clk.Now()
-		s.Put("b", nil) // admitted at t=10ms
+		s.Put(context.Background(), "b", nil) // admitted at t=10ms
 		done <- clk.Now()
 	}()
 	first := <-done
@@ -307,14 +308,14 @@ func TestIOPSCapSpacing(t *testing.T) {
 func TestDataIsolation(t *testing.T) {
 	s := newMem(t, 0)
 	buf := []byte("original")
-	s.Put("k", buf)
+	s.Put(context.Background(), "k", buf)
 	buf[0] = 'X'
-	got, _ := s.Get("k")
+	got, _ := s.Get(context.Background(), "k")
 	if string(got) != "original" {
 		t.Fatal("tier aliased caller buffer")
 	}
 	got[0] = 'Y'
-	got2, _ := s.Get("k")
+	got2, _ := s.Get(context.Background(), "k")
 	if string(got2) != "original" {
 		t.Fatal("tier returned aliased buffer")
 	}
@@ -322,8 +323,8 @@ func TestDataIsolation(t *testing.T) {
 
 func TestKeysSorted(t *testing.T) {
 	s := newMem(t, 0)
-	s.Put("b", nil)
-	s.Put("a", nil)
+	s.Put(context.Background(), "b", nil)
+	s.Put(context.Background(), "a", nil)
 	ks := s.Keys()
 	if len(ks) != 2 || ks[0] != "a" {
 		t.Fatalf("Keys = %v", ks)
@@ -339,8 +340,8 @@ func TestConcurrentOps(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 100; j++ {
 				key := fmt.Sprintf("k%d", j%10)
-				s.Put(key, []byte{byte(i)})
-				s.Get(key)
+				s.Put(context.Background(), key, []byte{byte(i)})
+				s.Get(context.Background(), key)
 				s.Has(key)
 			}
 		}(i)

@@ -1,6 +1,8 @@
 package tiera
 
 import (
+	"context"
+
 	"repro/internal/cost"
 	"repro/internal/object"
 	"repro/internal/tier"
@@ -55,26 +57,26 @@ func (e errReadOnly) Error() string {
 // Put implements tier.Tier by storing through the backend instance's own
 // policy. Version-composite keys pass through unchanged (the backend
 // versions them independently).
-func (a *InstanceTier) Put(key string, data []byte) error {
+func (a *InstanceTier) Put(ctx context.Context, key string, data []byte) error {
 	if a.readOnly {
 		return errReadOnly{a.label}
 	}
-	_, err := a.backend.Put(key, data)
+	_, err := a.backend.Put(ctx, key, data)
 	return err
 }
 
 // Get implements tier.Tier, reading the latest version from the backend.
-func (a *InstanceTier) Get(key string) ([]byte, error) {
-	data, _, err := a.backend.Get(key)
+func (a *InstanceTier) Get(ctx context.Context, key string) ([]byte, error) {
+	data, _, err := a.backend.Get(ctx, key)
 	return data, err
 }
 
 // Delete implements tier.Tier.
-func (a *InstanceTier) Delete(key string) error {
+func (a *InstanceTier) Delete(ctx context.Context, key string) error {
 	if a.readOnly {
 		return errReadOnly{a.label}
 	}
-	return a.backend.Remove(key)
+	return a.backend.Remove(ctx, key)
 }
 
 // Has implements tier.Tier.

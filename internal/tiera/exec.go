@@ -1,6 +1,7 @@
 package tiera
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,8 +10,9 @@ import (
 )
 
 // opContext carries the state of one in-flight put while its insert events
-// execute.
+// execute. ctx carries the operation's trace span into tier accesses.
 type opContext struct {
+	ctx    context.Context
 	inst   *Instance
 	key    string
 	meta   object.Meta
@@ -28,7 +30,7 @@ func (op *opContext) storeTo(label string) error {
 		return fmt.Errorf("tiera: no tier %q in instance %s", label, op.inst.name)
 	}
 	vk := object.VersionKey(op.key, op.meta.Version)
-	if err := t.Put(vk, op.data); err != nil {
+	if err := t.Put(op.ctx, vk, op.data); err != nil {
 		return err
 	}
 	if err := op.inst.objects.SetTier(op.key, op.meta.Version, label); err != nil {
@@ -109,10 +111,10 @@ func (e *localExec) copyOrMove(call *policy.ActionCall, move bool) error {
 		if what != "insert.object" && what != op.key {
 			return fmt.Errorf("tiera: copy of %q outside the current operation", what)
 		}
-		return op.inst.transferVersion(op.key, op.meta.Version, op.target, to, move, bandwidthOf(call))
+		return op.inst.transferVersion(op.ctx, op.key, op.meta.Version, op.target, to, move, bandwidthOf(call))
 	}
 	// Predicate selector at insert time: scan (rare but legal).
-	return op.inst.transferMatching(call.Preds["what"], to, move, bandwidthOf(call))
+	return op.inst.transferMatching(op.ctx, call.Preds["what"], to, move, bandwidthOf(call))
 }
 
 // Assign implements policy.Executor: insert.object.<attr> = value.
@@ -141,7 +143,10 @@ func bandwidthOf(call *policy.ActionCall) float64 {
 // tier currently holding it to the destination tier. A bandwidth cap adds
 // size/bw of transfer delay. Copy to a durable tier clears the dirty bit
 // (write-back completion).
-func (in *Instance) transferVersion(key string, v object.Version, preferredFrom, to string, move bool, bw float64) error {
+func (in *Instance) transferVersion(ctx context.Context, key string, v object.Version, preferredFrom, to string, move bool, bw float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	dst, ok := in.tiers[to]
 	if !ok {
 		return fmt.Errorf("tiera: no destination tier %q", to)
@@ -164,18 +169,18 @@ func (in *Instance) transferVersion(key string, v object.Version, preferredFrom,
 	if from == to {
 		return nil
 	}
-	data, err := in.tiers[from].Get(vk)
+	data, err := in.tiers[from].Get(ctx, vk)
 	if err != nil {
 		return err
 	}
 	if bw > 0 {
 		in.clk.Sleep(time.Duration(float64(len(data)) / bw * float64(time.Second)))
 	}
-	if err := dst.Put(vk, data); err != nil {
+	if err := dst.Put(ctx, vk, data); err != nil {
 		return err
 	}
 	if move {
-		_ = in.tiers[from].Delete(vk)
+		_ = in.tiers[from].Delete(ctx, vk)
 		if err := in.objects.SetTier(key, v, to); err != nil {
 			return err
 		}
@@ -191,7 +196,7 @@ func (in *Instance) transferVersion(key string, v object.Version, preferredFrom,
 // predicate matches. The predicate sees object.location bound to each tier
 // currently holding the payload, so "object.location == tier2" selects the
 // copy living in tier2.
-func (in *Instance) transferMatching(pred policy.Predicate, to string, move bool, bw float64) error {
+func (in *Instance) transferMatching(ctx context.Context, pred policy.Predicate, to string, move bool, bw float64) error {
 	matches, err := in.matchObjects(pred)
 	if err != nil {
 		return err
@@ -200,7 +205,7 @@ func (in *Instance) transferMatching(pred policy.Predicate, to string, move bool
 		if m.location == to {
 			continue
 		}
-		if err := in.transferVersion(m.meta.Key, m.meta.Version, m.location, to, move, bw); err != nil {
+		if err := in.transferVersion(ctx, m.meta.Key, m.meta.Version, m.location, to, move, bw); err != nil {
 			return err
 		}
 	}
@@ -220,7 +225,7 @@ func (in *Instance) deleteBySelector(call *policy.ActionCall) error {
 	}
 	for _, m := range matches {
 		vk := object.VersionKey(m.meta.Key, m.meta.Version)
-		_ = in.tiers[m.location].Delete(vk)
+		_ = in.tiers[m.location].Delete(context.Background(), vk)
 		if len(in.Locations(m.meta.Key, m.meta.Version)) == 0 {
 			_ = in.objects.RemoveVersion(m.meta.Key, m.meta.Version)
 		}

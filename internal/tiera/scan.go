@@ -1,6 +1,7 @@
 package tiera
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,7 +44,7 @@ func (e *timerExec) Do(call *policy.ActionCall) error {
 		if !ok {
 			return errNoPredicate(call.Name)
 		}
-		return in.transferMatching(pred, to, call.Name == "move", bandwidthOf(call))
+		return in.transferMatching(context.Background(), pred, to, call.Name == "move", bandwidthOf(call))
 	case "delete":
 		return in.deleteBySelector(call)
 	case "compress", "encrypt":

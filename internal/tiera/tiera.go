@@ -12,6 +12,7 @@
 package tiera
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tier"
 )
 
@@ -83,6 +85,9 @@ type Config struct {
 	// tier label; these take precedence over spec tier declarations with
 	// the same label.
 	ExtraTiers map[string]tier.Tier
+	// Metrics, when set, receives the instance's operation metrics and the
+	// per-tier service-time metrics of every tier the instance builds.
+	Metrics *telemetry.Registry
 }
 
 // Instance is one Tiera storage instance.
@@ -109,6 +114,10 @@ type Instance struct {
 	GetLatency *stats.Histogram
 	putCount   stats.Counter
 	getCount   stats.Counter
+
+	// Registry children cached at construction (nil = uninstrumented).
+	putSeconds *telemetry.Histogram
+	getSeconds *telemetry.Histogram
 }
 
 // New builds an instance from cfg, constructing its tiers from the policy
@@ -177,6 +186,17 @@ func New(cfg Config) (*Instance, error) {
 	inst.scanInterval = cfg.ScanInterval
 	if inst.scanInterval <= 0 {
 		inst.scanInterval = 10 * time.Second
+	}
+	if cfg.Metrics != nil {
+		hist := cfg.Metrics.Histogram("tiera_op_seconds",
+			"Tiera instance end-to-end operation time.", "op", "instance", "region")
+		inst.putSeconds = hist.With("put", cfg.Name, string(cfg.Region))
+		inst.getSeconds = hist.With("get", cfg.Name, string(cfg.Region))
+		for _, label := range inst.tierOrder {
+			if st, ok := inst.tiers[label].(*tier.Store); ok {
+				st.SetTelemetry(cfg.Metrics, string(cfg.Region))
+			}
+		}
 	}
 	return inst, nil
 }
@@ -296,23 +316,30 @@ func (in *Instance) GetCount() int64 { return in.getCount.Value() }
 
 // Put stores data as a new version of key, driving the local insert policy.
 // It returns the created version's metadata.
-func (in *Instance) Put(key string, data []byte) (object.Meta, error) {
-	return in.PutTagged(key, data, nil)
+func (in *Instance) Put(ctx context.Context, key string, data []byte) (object.Meta, error) {
+	return in.PutTagged(ctx, key, data, nil)
 }
 
 // PutTagged stores data with application tags attached to the new version.
-func (in *Instance) PutTagged(key string, data []byte, tags []string) (object.Meta, error) {
+func (in *Instance) PutTagged(ctx context.Context, key string, data []byte, tags []string) (object.Meta, error) {
+	ctx, span := telemetry.StartSpan(ctx, "tiera.put")
+	span.SetAttr("instance", in.name)
+	span.SetAttr("region", string(in.region))
+	defer span.End()
+
 	start := in.clk.Now()
-	meta, err := in.putInternal(key, data, tags)
+	meta, err := in.putInternal(ctx, key, data, tags)
 	if err != nil {
+		span.SetError(err)
 		return object.Meta{}, err
 	}
 	in.PutLatency.Record(in.clk.Since(start))
+	in.putSeconds.Record(in.clk.Since(start))
 	in.putCount.Inc()
 	return meta, nil
 }
 
-func (in *Instance) putInternal(key string, data []byte, tags []string) (object.Meta, error) {
+func (in *Instance) putInternal(ctx context.Context, key string, data []byte, tags []string) (object.Meta, error) {
 	if len(in.tierOrder) == 0 {
 		return object.Meta{}, errors.New("tiera: no tiers")
 	}
@@ -320,7 +347,7 @@ func (in *Instance) putInternal(key string, data []byte, tags []string) (object.
 	now := in.clk.Now()
 	meta := in.objects.Put(key, int64(len(data)), target, in.name, tags, now)
 
-	op := &opContext{inst: in, key: key, meta: meta, data: data, target: target}
+	op := &opContext{ctx: ctx, inst: in, key: key, meta: meta, data: data, target: target}
 	env := policy.NewMapEnv()
 	env.Set("insert.key", policy.StringVal(key))
 	env.Set("insert.into", policy.IdentVal(target))
@@ -389,7 +416,12 @@ func anyStoresExplicitly(events []*policy.CompiledEvent) bool {
 }
 
 // Get returns the latest version's payload and metadata for key.
-func (in *Instance) Get(key string) ([]byte, object.Meta, error) {
+func (in *Instance) Get(ctx context.Context, key string) ([]byte, object.Meta, error) {
+	ctx, span := telemetry.StartSpan(ctx, "tiera.get")
+	span.SetAttr("instance", in.name)
+	span.SetAttr("region", string(in.region))
+	defer span.End()
+
 	meta, err := in.objects.Latest(key)
 	if err != nil {
 		// Unknown locally: fall through to mounted instance tiers, which
@@ -402,29 +434,37 @@ func (in *Instance) Get(key string) ([]byte, object.Meta, error) {
 			if !ok || !it.Has(key) {
 				continue
 			}
-			data, m, gerr := it.Backend().Get(key)
+			data, m, gerr := it.Backend().Get(ctx, key)
 			if gerr != nil {
 				continue
 			}
 			in.GetLatency.Record(in.clk.Since(start))
+			in.getSeconds.Record(in.clk.Since(start))
 			in.getCount.Inc()
 			return data, m, nil
 		}
+		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
-	return in.getVersion(meta)
+	return in.getVersion(ctx, meta)
 }
 
 // GetVersion returns a specific version's payload and metadata.
-func (in *Instance) GetVersion(key string, v object.Version) ([]byte, object.Meta, error) {
+func (in *Instance) GetVersion(ctx context.Context, key string, v object.Version) ([]byte, object.Meta, error) {
+	ctx, span := telemetry.StartSpan(ctx, "tiera.get")
+	span.SetAttr("instance", in.name)
+	span.SetAttr("region", string(in.region))
+	defer span.End()
+
 	meta, err := in.objects.GetVersion(key, v)
 	if err != nil {
+		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
-	return in.getVersion(meta)
+	return in.getVersion(ctx, meta)
 }
 
-func (in *Instance) getVersion(meta object.Meta) ([]byte, object.Meta, error) {
+func (in *Instance) getVersion(ctx context.Context, meta object.Meta) ([]byte, object.Meta, error) {
 	start := in.clk.Now()
 	vk := object.VersionKey(meta.Key, meta.Version)
 	for _, label := range in.tierOrder {
@@ -432,12 +472,13 @@ func (in *Instance) getVersion(meta object.Meta) ([]byte, object.Meta, error) {
 		if !t.Has(vk) {
 			continue
 		}
-		data, err := t.Get(vk)
+		data, err := t.Get(ctx, vk)
 		if err != nil {
 			continue // raced with eviction; try the next tier
 		}
 		in.objects.Touch(meta.Key, meta.Version, in.clk.Now())
 		in.GetLatency.Record(in.clk.Since(start))
+		in.getSeconds.Record(in.clk.Since(start))
 		in.getCount.Inc()
 		m, err := in.objects.GetVersion(meta.Key, meta.Version)
 		if err != nil {
@@ -461,13 +502,13 @@ func (in *Instance) VersionList(key string) ([]object.Version, error) {
 }
 
 // Remove deletes all versions of key from every tier and the index.
-func (in *Instance) Remove(key string) error {
+func (in *Instance) Remove(ctx context.Context, key string) error {
 	versions, err := in.objects.VersionList(key)
 	if err != nil {
 		return err
 	}
 	for _, v := range versions {
-		in.deletePayload(key, v)
+		in.deletePayload(ctx, key, v)
 	}
 	if err := in.objects.Remove(key); err != nil {
 		return err
@@ -477,11 +518,11 @@ func (in *Instance) Remove(key string) error {
 }
 
 // RemoveVersion deletes one version of key.
-func (in *Instance) RemoveVersion(key string, v object.Version) error {
+func (in *Instance) RemoveVersion(ctx context.Context, key string, v object.Version) error {
 	if _, err := in.objects.GetVersion(key, v); err != nil {
 		return err
 	}
-	in.deletePayload(key, v)
+	in.deletePayload(ctx, key, v)
 	if err := in.objects.RemoveVersion(key, v); err != nil {
 		return err
 	}
@@ -489,11 +530,11 @@ func (in *Instance) RemoveVersion(key string, v object.Version) error {
 	return nil
 }
 
-func (in *Instance) deletePayload(key string, v object.Version) {
+func (in *Instance) deletePayload(ctx context.Context, key string, v object.Version) {
 	vk := object.VersionKey(key, v)
 	for _, label := range in.tierOrder {
 		if in.tiers[label].Has(vk) {
-			_ = in.tiers[label].Delete(vk)
+			_ = in.tiers[label].Delete(ctx, vk)
 		}
 	}
 }
@@ -501,12 +542,17 @@ func (in *Instance) deletePayload(key string, v object.Version) {
 // ApplyRemote installs a replica-propagated version: metadata via
 // last-writer-wins and the payload into the first tier. It returns whether
 // the update won. This is the replication receive path (paper Sec 4.2).
-func (in *Instance) ApplyRemote(meta object.Meta, data []byte) (bool, error) {
+func (in *Instance) ApplyRemote(ctx context.Context, meta object.Meta, data []byte) (bool, error) {
+	ctx, span := telemetry.StartSpan(ctx, "tiera.applyRemote")
+	span.SetAttr("instance", in.name)
+	span.SetAttr("region", string(in.region))
+	defer span.End()
+
 	if !in.objects.Apply(meta) {
 		return false, nil
 	}
 	vk := object.VersionKey(meta.Key, meta.Version)
-	if err := in.tiers[in.tierOrder[0]].Put(vk, data); err != nil {
+	if err := in.tiers[in.tierOrder[0]].Put(ctx, vk, data); err != nil {
 		return false, err
 	}
 	if err := in.objects.SetTier(meta.Key, meta.Version, in.tierOrder[0]); err != nil {

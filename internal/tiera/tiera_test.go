@@ -2,6 +2,7 @@ package tiera
 
 import (
 	"bytes"
+	"context"
 
 	"fmt"
 	"path/filepath"
@@ -55,14 +56,14 @@ func newPersistent(t *testing.T) *Instance {
 
 func TestPutGetRoundTrip(t *testing.T) {
 	inst := newLowLatency(t)
-	meta, err := inst.Put("k", []byte("hello"))
+	meta, err := inst.Put(context.Background(), "k", []byte("hello"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if meta.Version != 1 {
 		t.Fatalf("version = %d", meta.Version)
 	}
-	data, m, err := inst.Get("k")
+	data, m, err := inst.Get(context.Background(), "k")
 	if err != nil || string(data) != "hello" {
 		t.Fatalf("Get = %q, %v", data, err)
 	}
@@ -73,14 +74,14 @@ func TestPutGetRoundTrip(t *testing.T) {
 
 func TestGetMissing(t *testing.T) {
 	inst := newLowLatency(t)
-	if _, _, err := inst.Get("absent"); err == nil {
+	if _, _, err := inst.Get(context.Background(), "absent"); err == nil {
 		t.Fatal("missing key should error")
 	}
 }
 
 func TestWriteBackPolicy(t *testing.T) {
 	inst := newLowLatency(t)
-	meta, err := inst.Put("k", []byte("data"))
+	meta, err := inst.Put(context.Background(), "k", []byte("data"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestWriteBackPolicy(t *testing.T) {
 
 func TestWriteThroughPolicy(t *testing.T) {
 	inst := newPersistent(t)
-	meta, err := inst.Put("k", []byte("data"))
+	meta, err := inst.Put(context.Background(), "k", []byte("data"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ Tiera SmallPersistent {
 	}
 	defer inst.Close()
 	// ~3KB of 10KB: below threshold.
-	if _, err := inst.Put("a", make([]byte, 3<<10)); err != nil {
+	if _, err := inst.Put(context.Background(), "a", make([]byte, 3<<10)); err != nil {
 		t.Fatal(err)
 	}
 	t3, _ := inst.Tier("tier3")
@@ -161,7 +162,7 @@ Tiera SmallPersistent {
 		t.Fatal("backup ran below threshold")
 	}
 	// +3KB crosses 50%: backup copies tier2 contents to tier3.
-	if _, err := inst.Put("b", make([]byte, 3<<10)); err != nil {
+	if _, err := inst.Put(context.Background(), "b", make([]byte, 3<<10)); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(t3.Keys()); got != 2 {
@@ -193,9 +194,9 @@ Tiera ColdDemo {
 	// goroutine while advancing.
 	done := make(chan error, 1)
 	go func() {
-		_, err := inst.Put("hot", []byte("h"))
+		_, err := inst.Put(context.Background(), "hot", []byte("h"))
 		if err == nil {
-			_, err = inst.Put("cold", []byte("c"))
+			_, err = inst.Put(context.Background(), "cold", []byte("c"))
 		}
 		done <- err
 	}()
@@ -204,7 +205,7 @@ Tiera ColdDemo {
 	// Age both, then touch "hot" to keep it warm.
 	clk.Advance(121 * time.Hour)
 	go func() {
-		_, _, err := inst.Get("hot")
+		_, _, err := inst.Get(context.Background(), "hot")
 		done <- err
 	}()
 	advanceUntil(t, clk, done)
@@ -245,44 +246,44 @@ func advanceUntil(t *testing.T, clk *clock.Sim, done <-chan error) {
 
 func TestVersioning(t *testing.T) {
 	inst := newLowLatency(t)
-	inst.Put("k", []byte("v1"))
-	inst.Put("k", []byte("v2"))
-	inst.Put("k", []byte("v3"))
+	inst.Put(context.Background(), "k", []byte("v1"))
+	inst.Put(context.Background(), "k", []byte("v2"))
+	inst.Put(context.Background(), "k", []byte("v3"))
 	vs, err := inst.VersionList("k")
 	if err != nil || len(vs) != 3 {
 		t.Fatalf("VersionList = %v, %v", vs, err)
 	}
-	data, _, err := inst.GetVersion("k", 1)
+	data, _, err := inst.GetVersion(context.Background(), "k", 1)
 	if err != nil || string(data) != "v1" {
 		t.Fatalf("GetVersion(1) = %q, %v", data, err)
 	}
-	data, _, _ = inst.Get("k")
+	data, _, _ = inst.Get(context.Background(), "k")
 	if string(data) != "v3" {
 		t.Fatalf("latest = %q", data)
 	}
-	if err := inst.RemoveVersion("k", 2); err != nil {
+	if err := inst.RemoveVersion(context.Background(), "k", 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := inst.GetVersion("k", 2); err == nil {
+	if _, _, err := inst.GetVersion(context.Background(), "k", 2); err == nil {
 		t.Fatal("removed version still readable")
 	}
-	if err := inst.Remove("k"); err != nil {
+	if err := inst.Remove(context.Background(), "k"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := inst.Get("k"); err == nil {
+	if _, _, err := inst.Get(context.Background(), "k"); err == nil {
 		t.Fatal("removed key still readable")
 	}
-	if err := inst.Remove("k"); err == nil {
+	if err := inst.Remove(context.Background(), "k"); err == nil {
 		t.Fatal("double remove should error")
 	}
-	if err := inst.RemoveVersion("k", 1); err == nil {
+	if err := inst.RemoveVersion(context.Background(), "k", 1); err == nil {
 		t.Fatal("remove version of missing key should error")
 	}
 }
 
 func TestTags(t *testing.T) {
 	inst := newLowLatency(t)
-	meta, err := inst.PutTagged("tmp-file", []byte("x"), []string{"tmp"})
+	meta, err := inst.PutTagged(context.Background(), "tmp-file", []byte("x"), []string{"tmp"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,24 +295,24 @@ func TestTags(t *testing.T) {
 func TestApplyRemoteLWW(t *testing.T) {
 	inst := newLowLatency(t)
 	base := inst.clk.Now()
-	won, err := inst.ApplyRemote(object.Meta{
+	won, err := inst.ApplyRemote(context.Background(), object.Meta{
 		Key: "k", Version: 1, Size: 2, Origin: "remote-1", ModifiedAt: base,
 	}, []byte("r1"))
 	if err != nil || !won {
 		t.Fatalf("ApplyRemote = %v, %v", won, err)
 	}
-	data, _, err := inst.Get("k")
+	data, _, err := inst.Get(context.Background(), "k")
 	if err != nil || string(data) != "r1" {
 		t.Fatalf("Get after apply = %q, %v", data, err)
 	}
 	// An older remote update loses.
-	won, err = inst.ApplyRemote(object.Meta{
+	won, err = inst.ApplyRemote(context.Background(), object.Meta{
 		Key: "k", Version: 1, Size: 2, Origin: "remote-0", ModifiedAt: base.Add(-time.Hour),
 	}, []byte("old"))
 	if err != nil || won {
 		t.Fatalf("old update won = %v, %v", won, err)
 	}
-	data, _, _ = inst.Get("k")
+	data, _, _ = inst.Get(context.Background(), "k")
 	if string(data) != "r1" {
 		t.Fatalf("payload overwritten by losing update: %q", data)
 	}
@@ -329,10 +330,10 @@ func TestMetadataPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst.Put("k1", []byte("v1"))
-	inst.Put("k1", []byte("v1b"))
-	inst.Put("k2", []byte("v2"))
-	inst.Remove("k2")
+	inst.Put(context.Background(), "k1", []byte("v1"))
+	inst.Put(context.Background(), "k1", []byte("v1b"))
+	inst.Put(context.Background(), "k2", []byte("v2"))
+	inst.Remove(context.Background(), "k2")
 	if err := inst.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +361,7 @@ func TestMetadataPersistence(t *testing.T) {
 
 func TestCrashVolatileLosesMemoryKeepsDisk(t *testing.T) {
 	inst := newLowLatency(t)
-	meta, _ := inst.Put("k", []byte("v"))
+	meta, _ := inst.Put(context.Background(), "k", []byte("v"))
 	inst.RunTimerEventsOnce() // write back to tier2
 	inst.CrashVolatile()
 	locs := inst.Locations("k", meta.Version)
@@ -368,7 +369,7 @@ func TestCrashVolatileLosesMemoryKeepsDisk(t *testing.T) {
 		t.Fatalf("locations after crash = %v", locs)
 	}
 	// Data still readable from the durable tier.
-	data, _, err := inst.Get("k")
+	data, _, err := inst.Get(context.Background(), "k")
 	if err != nil || string(data) != "v" {
 		t.Fatalf("Get after crash = %q, %v", data, err)
 	}
@@ -376,12 +377,12 @@ func TestCrashVolatileLosesMemoryKeepsDisk(t *testing.T) {
 
 func TestCrashBeforeWriteBackLosesData(t *testing.T) {
 	inst := newLowLatency(t)
-	meta, _ := inst.Put("k", []byte("v"))
+	meta, _ := inst.Put(context.Background(), "k", []byte("v"))
 	inst.CrashVolatile() // dirty data only in memory: gone
 	if locs := inst.Locations("k", meta.Version); len(locs) != 0 {
 		t.Fatalf("locations = %v", locs)
 	}
-	if _, _, err := inst.Get("k"); err == nil {
+	if _, _, err := inst.Get(context.Background(), "k"); err == nil {
 		t.Fatal("lost data still readable")
 	}
 }
@@ -390,7 +391,7 @@ func TestModularInstanceTier(t *testing.T) {
 	// A backing instance holding raw data, wrapped read-only as tier2 of a
 	// front instance (the paper's RAW-BIG-DATA / INTERMEDIATE-DATA case).
 	backing := newPersistent(t)
-	if _, err := backing.Put("raw-1", []byte("raw data")); err != nil {
+	if _, err := backing.Put(context.Background(), "raw-1", []byte("raw data")); err != nil {
 		t.Fatal(err)
 	}
 	adapter := NewInstanceTier("tier2", backing, true)
@@ -414,19 +415,19 @@ Tiera Intermediate {
 		t.Fatal("extra tier not installed")
 	}
 	// Reads of raw data flow through the adapter to the backing instance.
-	data, err := t2.Get("raw-1")
+	data, err := t2.Get(context.Background(), "raw-1")
 	if err != nil || string(data) != "raw data" {
 		t.Fatalf("adapter Get = %q, %v", data, err)
 	}
 	// Read-only: writes rejected.
-	if err := t2.Put("x", []byte("y")); err == nil {
+	if err := t2.Put(context.Background(), "x", []byte("y")); err == nil {
 		t.Fatal("read-only adapter accepted a write")
 	}
-	if err := t2.Delete("raw-1"); err == nil {
+	if err := t2.Delete(context.Background(), "raw-1"); err == nil {
 		t.Fatal("read-only adapter accepted a delete")
 	}
 	// Front instance puts go to its own tier1.
-	if _, err := front.Put("intermediate", []byte("mid")); err != nil {
+	if _, err := front.Put(context.Background(), "intermediate", []byte("mid")); err != nil {
 		t.Fatal(err)
 	}
 	if !adapter.Volatile() {
@@ -451,14 +452,14 @@ Tiera Intermediate {
 func TestWritableInstanceTier(t *testing.T) {
 	backing := newPersistent(t)
 	adapter := NewInstanceTier("t", backing, false)
-	if err := adapter.Put("k", []byte("v")); err != nil {
+	if err := adapter.Put(context.Background(), "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	data, err := adapter.Get("k")
+	data, err := adapter.Get(context.Background(), "k")
 	if err != nil || !bytes.Equal(data, []byte("v")) {
 		t.Fatalf("Get = %q, %v", data, err)
 	}
-	if err := adapter.Delete("k"); err != nil {
+	if err := adapter.Delete(context.Background(), "k"); err != nil {
 		t.Fatal(err)
 	}
 	adapter.Grow(100)
@@ -522,7 +523,7 @@ func TestAccountantWiring(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer inst.Close()
-	inst.Put("k", []byte("v"))
+	inst.Put(context.Background(), "k", []byte("v"))
 	rows := acct.ByClass()
 	if len(rows) == 0 {
 		t.Fatal("no charges recorded")
@@ -540,7 +541,7 @@ func TestTimerLoopViaStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer inst.Close()
-	meta, _ := inst.Put("k", []byte("v"))
+	meta, _ := inst.Put(context.Background(), "k", []byte("v"))
 	inst.Start()
 	inst.Start() // idempotent
 	deadline := time.Now().Add(2 * time.Second)
@@ -559,8 +560,8 @@ func TestTimerLoopViaStart(t *testing.T) {
 
 func TestPutGetLatencyRecorded(t *testing.T) {
 	inst := newLowLatency(t)
-	inst.Put("k", []byte("v"))
-	inst.Get("k")
+	inst.Put(context.Background(), "k", []byte("v"))
+	inst.Get(context.Background(), "k")
 	if inst.PutLatency.Count() != 1 || inst.GetLatency.Count() != 1 {
 		t.Fatalf("latency counts = %d/%d", inst.PutLatency.Count(), inst.GetLatency.Count())
 	}
@@ -613,10 +614,10 @@ Tiera Tiny(time t) {
 		t.Fatal(err)
 	}
 	defer inst.Close()
-	inst.Put("a", []byte("11111111")) // fills the 8B memory tier
-	inst.RunTimerEventsOnce()         // a -> tier2
-	inst.Put("b", []byte("22222222")) // evicts a from memory
-	data, _, err := inst.Get("a")
+	inst.Put(context.Background(), "a", []byte("11111111")) // fills the 8B memory tier
+	inst.RunTimerEventsOnce()                               // a -> tier2
+	inst.Put(context.Background(), "b", []byte("22222222")) // evicts a from memory
+	data, _, err := inst.Get(context.Background(), "a")
 	if err != nil || string(data) != "11111111" {
 		t.Fatalf("Get(a) = %q, %v", data, err)
 	}

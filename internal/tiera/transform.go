@@ -3,6 +3,7 @@ package tiera
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
@@ -135,7 +136,7 @@ func (in *Instance) transformOne(meta object.Meta, encrypt bool) error {
 			continue
 		}
 		if transformed == nil {
-			raw, err := t.Get(vk)
+			raw, err := t.Get(context.Background(), vk)
 			if err != nil {
 				return err
 			}
@@ -148,7 +149,7 @@ func (in *Instance) transformOne(meta object.Meta, encrypt bool) error {
 				return err
 			}
 		}
-		if err := t.Put(vk, transformed); err != nil {
+		if err := t.Put(context.Background(), vk, transformed); err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package tiera
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -39,7 +40,7 @@ Tiera CompressCold(time t) {
 	defer inst.Close()
 
 	payload := []byte(strings.Repeat("compressible data! ", 200))
-	meta, err := inst.Put("doc", payload)
+	meta, err := inst.Put(context.Background(), "doc", payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ Tiera CompressCold(time t) {
 		t.Fatal("compressed flag not set")
 	}
 	// Reads reverse the transform transparently.
-	got, _, err := inst.Get("doc")
+	got, _, err := inst.Get(context.Background(), "doc")
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("Get after compress: %d bytes, %v", len(got), err)
 	}
@@ -64,7 +65,7 @@ Tiera CompressCold(time t) {
 	if err := inst.RunTimerEventsOnce(); err != nil {
 		t.Fatal(err)
 	}
-	got, _, err = inst.Get("doc")
+	got, _, err = inst.Get(context.Background(), "doc")
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatal("double compression corrupted data")
 	}
@@ -89,14 +90,14 @@ Tiera EncryptAll {
 	}
 	defer inst.Close()
 	secret := []byte("attack at dawn")
-	meta, err := inst.Put("plan", secret)
+	meta, err := inst.Put(context.Background(), "plan", secret)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The tier holds ciphertext, not the plaintext.
 	t1, _ := inst.Tier("tier1")
 	vk := "plan@v1"
-	raw, err := t1.Get(vk)
+	raw, err := t1.Get(context.Background(), vk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ Tiera EncryptAll {
 		t.Fatal("encrypted flag not set")
 	}
 	// Application reads the original bytes.
-	got, _, err := inst.Get("plan")
+	got, _, err := inst.Get(context.Background(), "plan")
 	if err != nil || !bytes.Equal(got, secret) {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
@@ -131,10 +132,10 @@ Tiera Both {
 	}
 	defer inst.Close()
 	payload := []byte(strings.Repeat("both transforms ", 100))
-	if _, err := inst.Put("k", payload); err != nil {
+	if _, err := inst.Put(context.Background(), "k", payload); err != nil {
 		t.Fatal(err)
 	}
-	got, m, err := inst.Get("k")
+	got, m, err := inst.Get(context.Background(), "k")
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("round trip failed: %v", err)
 	}
@@ -159,7 +160,7 @@ Tiera Wrong {
 		t.Fatal(err)
 	}
 	defer inst.Close()
-	if _, err := inst.Put("k", []byte("data")); err == nil {
+	if _, err := inst.Put(context.Background(), "k", []byte("data")); err == nil {
 		t.Fatal("compress-after-encrypt should be rejected")
 	}
 }
@@ -231,11 +232,11 @@ Tiera TagClasses(time t) {
 		t.Fatal(err)
 	}
 	defer inst.Close()
-	tmpMeta, err := inst.PutTagged("scratch.dat", []byte("temp"), []string{"tmp"})
+	tmpMeta, err := inst.PutTagged(context.Background(), "scratch.dat", []byte("temp"), []string{"tmp"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keepMeta, err := inst.Put("results.dat", []byte("keep"))
+	keepMeta, err := inst.Put(context.Background(), "results.dat", []byte("keep"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ Tiera VersionGC {
 	}
 	defer inst.Close()
 	put := func(key, val string) {
-		clk.run(t, func() error { _, err := inst.Put(key, []byte(val)); return err })
+		clk.run(t, func() error { _, err := inst.Put(context.Background(), key, []byte(val)); return err })
 	}
 	put("doc", "v1")
 	put("doc", "v2")
@@ -291,7 +292,7 @@ Tiera VersionGC {
 	var data []byte
 	clk.run(t, func() error {
 		var err error
-		data, _, err = inst.Get("doc")
+		data, _, err = inst.Get(context.Background(), "doc")
 		return err
 	})
 	if string(data) != "v3" {

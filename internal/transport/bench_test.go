@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/clock"
@@ -14,7 +15,7 @@ func BenchmarkFabricCallSameRegion(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv.Serve(func(_ string, p []byte) ([]byte, error) { return p, nil })
+	srv.Serve(func(_ context.Context, _ string, p []byte) ([]byte, error) { return p, nil })
 	cli, err := fab.NewEndpoint("cli", simnet.USEast)
 	if err != nil {
 		b.Fatal(err)
@@ -23,14 +24,14 @@ func BenchmarkFabricCallSameRegion(b *testing.B) {
 	b.SetBytes(1024)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := cli.Call("srv", "echo", payload); err != nil {
+		if _, err := cli.Call(context.Background(), "srv", "echo", payload); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkTCPRoundTrip(b *testing.B) {
-	srv, err := ListenTCP("127.0.0.1:0", func(_ string, p []byte) ([]byte, error) { return p, nil })
+	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, _ string, p []byte) ([]byte, error) { return p, nil })
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 	b.SetBytes(1024)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := cli.Call("", "echo", payload); err != nil {
+		if _, err := cli.Call(context.Background(), "", "echo", payload); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,14 +2,20 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // wireRequest/wireResponse are the gob frame types of the TCP transport.
+// The Payload may carry a telemetry trace envelope exactly as on the
+// Fabric transport — the server unwraps it before dispatch.
 type wireRequest struct {
 	Method  string
 	Payload []byte
@@ -25,6 +31,12 @@ type wireResponse struct {
 type TCPServer struct {
 	ln      net.Listener
 	handler Handler
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+
+	rpcLatency *telemetry.HistogramVec
+	rpcCalls   *telemetry.CounterVec
+	rpcErrors  *telemetry.CounterVec
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -32,15 +44,38 @@ type TCPServer struct {
 	wg     sync.WaitGroup
 }
 
+// TCPServerOption configures ListenTCP.
+type TCPServerOption func(*TCPServer)
+
+// WithServerTelemetry makes the server record per-method RPC metrics into
+// reg and continue inbound trace envelopes on tr (either may be nil).
+func WithServerTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) TCPServerOption {
+	return func(s *TCPServer) {
+		s.metrics = reg
+		s.tracer = tr
+	}
+}
+
 // ListenTCP starts a server on addr ("host:port", empty port picks one) and
 // serves h on every accepted connection. Connections are persistent: each
 // carries a stream of request/response frames served sequentially.
-func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+func ListenTCP(addr string, h Handler, opts ...TCPServerOption) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	s := &TCPServer{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.metrics != nil {
+		s.rpcLatency = s.metrics.Histogram("rpc_server_seconds",
+			"Server-side RPC service time.", "method", "region")
+		s.rpcCalls = s.metrics.Counter("rpc_calls_total",
+			"RPCs dispatched to a handler.", "method", "region")
+		s.rpcErrors = s.metrics.Counter("rpc_errors_total",
+			"RPCs whose handler returned an error.", "method", "region")
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -69,6 +104,10 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// tcpRegionLabel labels TCP-served RPC metrics; the daemon's frontend is
+// not region-pinned the way Fabric endpoints are.
+const tcpRegionLabel = "tcp"
+
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -87,7 +126,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return // EOF or broken connection
 		}
 		var resp wireResponse
-		out, err := s.handler(req.Method, req.Payload)
+		out, err := s.serve(req.Method, req.Payload)
 		if err != nil {
 			resp.Err = err.Error()
 		} else {
@@ -100,6 +139,33 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serve dispatches one frame: unwrap the trace envelope, open a linked
+// rpc.server span when the client sent one, invoke the handler, record
+// metrics.
+func (s *TCPServer) serve(method string, payload []byte) ([]byte, error) {
+	remote, inner := telemetry.UnwrapPayload(payload)
+	ctx := context.Background()
+	var span *telemetry.Span
+	if remote.Valid() && s.tracer != nil {
+		span = s.tracer.StartRemote(remote, "rpc.server")
+		span.SetAttr("method", method)
+		span.SetAttr("transport", "tcp")
+		ctx = telemetry.ContextWithSpan(ctx, span)
+	}
+	start := time.Now()
+	out, err := s.handler(ctx, method, inner)
+	if s.metrics != nil {
+		s.rpcLatency.With(method, tcpRegionLabel).Record(time.Since(start))
+		s.rpcCalls.With(method, tcpRegionLabel).Inc()
+		if err != nil {
+			s.rpcErrors.With(method, tcpRegionLabel).Inc()
+		}
+	}
+	span.SetError(err)
+	span.End()
+	return out, err
 }
 
 // Close stops accepting and closes all live connections.
@@ -145,8 +211,12 @@ func DialTCP(addr string) *TCPClient {
 
 // Call implements a single request/response exchange. The dst parameter is
 // ignored (a TCPClient is bound to one server); it exists so TCPClient can
-// satisfy call sites written against Caller.
-func (c *TCPClient) Call(_ string, method string, payload []byte) ([]byte, error) {
+// satisfy call sites written against Caller. A trace span carried by ctx is
+// propagated to the server inside the payload.
+func (c *TCPClient) Call(ctx context.Context, _ string, method string, payload []byte) ([]byte, error) {
+	if sp := telemetry.SpanFromContext(ctx); sp != nil {
+		payload = telemetry.WrapPayload(sp.Context(), payload)
+	}
 	tc, err := c.acquire()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/telemetry"
+)
+
+// TestFabricTracePropagation performs one traced call over the fabric and
+// checks the resulting span tree: the caller's root span parents the
+// rpc.client span, whose SpanContext crosses the wire inside the payload
+// and parents the callee's rpc.server span. This is the linkage every
+// higher layer (wiera, tiera, tier) relies on.
+func TestFabricTracePropagation(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	tr := f.Tracer()
+	if tr == nil {
+		t.Fatal("default fabric should own a tracer")
+	}
+
+	server, _ := f.NewEndpoint("server", simnet.EUWest)
+	server.Serve(func(ctx context.Context, _ string, p []byte) ([]byte, error) {
+		// The handler context carries the server span; a child started here
+		// must join the same trace.
+		_, inner := telemetry.StartSpan(ctx, "handler.work")
+		if inner == nil {
+			t.Error("handler context carries no span")
+		}
+		inner.End()
+		return p, nil
+	})
+	client, _ := f.NewEndpoint("client", simnet.USWest)
+
+	root := tr.StartRoot("test.op")
+	ctx := telemetry.ContextWithSpan(context.Background(), root)
+	if _, err := client.Call(ctx, "server", "echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := tr.TraceSpans(root.Context().Trace.String())
+	if len(spans) != 4 {
+		t.Fatalf("trace spans = %d, want 4 (test.op, rpc.client, rpc.server, handler.work)", len(spans))
+	}
+	byName := map[string]telemetry.SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	rootRec, cli, srv, work := byName["test.op"], byName["rpc.client"], byName["rpc.server"], byName["handler.work"]
+	if cli.ParentID != rootRec.SpanID {
+		t.Fatalf("rpc.client parent = %d, want root %d", cli.ParentID, rootRec.SpanID)
+	}
+	if srv.ParentID != cli.SpanID {
+		t.Fatalf("rpc.server parent = %d, want rpc.client %d", srv.ParentID, cli.SpanID)
+	}
+	if work.ParentID != srv.SpanID {
+		t.Fatalf("handler.work parent = %d, want rpc.server %d", work.ParentID, srv.SpanID)
+	}
+	if cli.Attrs["method"] != "echo" || cli.Attrs["dst.region"] != string(simnet.EUWest) {
+		t.Fatalf("rpc.client attrs = %v", cli.Attrs)
+	}
+	if srv.Attrs["region"] != string(simnet.EUWest) {
+		t.Fatalf("rpc.server attrs = %v", srv.Attrs)
+	}
+	// The client span saw real WAN transit in both directions.
+	if cli.Attrs["wan.request"] == "" || cli.Attrs["wan.response"] == "" {
+		t.Fatalf("missing WAN attrs: %v", cli.Attrs)
+	}
+}
+
+// TestFabricUntracedCall checks that calls without a span in the context
+// produce no spans and no envelope overhead the handler can observe.
+func TestFabricUntracedCall(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	server, _ := f.NewEndpoint("server", simnet.USEast)
+	server.Serve(func(ctx context.Context, _ string, p []byte) ([]byte, error) {
+		if telemetry.SpanFromContext(ctx) != nil {
+			t.Error("untraced call delivered a span")
+		}
+		return p, nil
+	})
+	client, _ := f.NewEndpoint("client", simnet.USEast)
+	if _, err := client.Call(context.Background(), "server", "m", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.Tracer().TotalSpans(); n != 0 {
+		t.Fatalf("untraced call produced %d spans", n)
+	}
+}
+
+// TestFabricRPCMetrics checks the server-side RPC metric families fill in
+// with method and region labels.
+func TestFabricRPCMetrics(t *testing.T) {
+	f := newFabric()
+	defer f.Close()
+	server, _ := f.NewEndpoint("server", simnet.AsiaEast)
+	server.Serve(func(_ context.Context, method string, p []byte) ([]byte, error) {
+		return p, nil
+	})
+	client, _ := f.NewEndpoint("client", simnet.USEast)
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call(context.Background(), "server", "ping", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := f.Metrics().RenderPrometheus()
+	if !strings.Contains(out, `rpc_calls_total{method="ping",region="asia-east"} 3`) {
+		t.Fatalf("missing rpc_calls_total sample:\n%s", out)
+	}
+	if !strings.Contains(out, `rpc_server_seconds_count{method="ping",region="asia-east"} 3`) {
+		t.Fatalf("missing rpc_server_seconds sample:\n%s", out)
+	}
+}
+
+// TestFabricWithoutTelemetry checks the bare fabric stays fully functional
+// with zero telemetry state.
+func TestFabricWithoutTelemetry(t *testing.T) {
+	f := NewFabric(newFabric().Network(), WithoutTelemetry())
+	defer f.Close()
+	if f.Metrics() != nil || f.Tracer() != nil {
+		t.Fatal("WithoutTelemetry should leave registry and tracer nil")
+	}
+	server, _ := f.NewEndpoint("server", simnet.USEast)
+	server.Serve(func(_ context.Context, _ string, p []byte) ([]byte, error) { return p, nil })
+	client, _ := f.NewEndpoint("client", simnet.USWest)
+	resp, err := client.Call(context.Background(), "server", "m", []byte("ok"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("resp = %q, err = %v", resp, err)
+	}
+}

@@ -10,27 +10,38 @@
 //
 // Payloads are opaque bytes; callers encode typed messages with
 // encoding/gob (see Encode/Decode helpers).
+//
+// Both implementations carry distributed-trace context across calls: when
+// the caller's context holds a telemetry span, its SpanContext is prepended
+// to the payload (telemetry.WrapPayload) and the receiving side starts a
+// linked server span before dispatching to the handler. Untraced payloads
+// pass through untouched, so instrumented and uninstrumented parties
+// interoperate.
 package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
-// Handler serves one method invocation. Returning an error transmits the
-// error text to the caller.
-type Handler func(method string, payload []byte) ([]byte, error)
+// Handler serves one method invocation. The context carries the server-side
+// trace span (if the caller propagated one). Returning an error transmits
+// the error text to the caller.
+type Handler func(ctx context.Context, method string, payload []byte) ([]byte, error)
 
 // Caller issues RPCs to a named endpoint.
 type Caller interface {
 	// Call invokes method on the endpoint named dst with payload and
-	// returns its response.
-	Call(dst, method string, payload []byte) ([]byte, error)
+	// returns its response. The context's trace span (if any) propagates to
+	// the callee.
+	Call(ctx context.Context, dst, method string, payload []byte) ([]byte, error)
 }
 
 // Transport-level errors.
@@ -52,21 +63,116 @@ func (e RemoteError) Error() string { return "transport: remote error: " + e.Msg
 // call sleeps for the simnet transfer time of its request and response
 // bodies between the caller's and callee's regions. Safe for concurrent
 // use.
+//
+// A Fabric owns the process's telemetry by default: a metrics Registry and
+// a Tracer running on the simnet clock, shared by every layer above it.
+// Use WithTelemetry to share an external pair or WithoutTelemetry to run
+// bare (e.g. for overhead benchmarks).
 type Fabric struct {
-	net *simnet.Network
+	net     *simnet.Network
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+
+	rpcLatency *telemetry.HistogramVec // {method, region} server-side service time
+	rpcCalls   *telemetry.CounterVec   // {method, region}
+	rpcErrors  *telemetry.CounterVec   // {method, region}
+
+	// rpcMetrics caches metric children per (method, region) so dispatch
+	// skips the label-join lookup on every call.
+	rpcMu      sync.RWMutex
+	rpcMetrics map[rpcKey]*rpcChildren
 
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
 	closed    bool
 }
 
-// NewFabric returns a fabric over net.
-func NewFabric(net *simnet.Network) *Fabric {
-	return &Fabric{net: net, endpoints: make(map[string]*Endpoint)}
+// rpcKey identifies one (method, region) metric child set.
+type rpcKey struct{ method, region string }
+
+// rpcChildren caches the per-(method, region) server-side RPC metrics.
+type rpcChildren struct {
+	latency *telemetry.Histogram
+	calls   *telemetry.Counter
+	errors  *telemetry.Counter
+}
+
+// rpc returns the cached metric children for (method, region).
+func (f *Fabric) rpc(method, region string) *rpcChildren {
+	key := rpcKey{method, region}
+	f.rpcMu.RLock()
+	c, ok := f.rpcMetrics[key]
+	f.rpcMu.RUnlock()
+	if ok {
+		return c
+	}
+	f.rpcMu.Lock()
+	defer f.rpcMu.Unlock()
+	if c, ok = f.rpcMetrics[key]; ok {
+		return c
+	}
+	c = &rpcChildren{
+		latency: f.rpcLatency.With(method, region),
+		calls:   f.rpcCalls.With(method, region),
+		errors:  f.rpcErrors.With(method, region),
+	}
+	f.rpcMetrics[key] = c
+	return c
+}
+
+// FabricOption configures NewFabric.
+type FabricOption func(*Fabric)
+
+// WithTelemetry makes the fabric record into an externally owned registry
+// and tracer (either may be nil to disable that half).
+func WithTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) FabricOption {
+	return func(f *Fabric) {
+		f.metrics = reg
+		f.tracer = tr
+	}
+}
+
+// WithoutTelemetry disables the fabric's default registry and tracer; calls
+// pay only a nil check.
+func WithoutTelemetry() FabricOption {
+	return func(f *Fabric) {
+		f.metrics = nil
+		f.tracer = nil
+	}
+}
+
+// NewFabric returns a fabric over net. Unless configured otherwise it
+// creates a fresh telemetry registry plus a tracer timestamping spans with
+// the network's clock (so span durations line up with simulated latency),
+// and instruments net's transfers into the registry.
+func NewFabric(net *simnet.Network, opts ...FabricOption) *Fabric {
+	f := &Fabric{net: net, endpoints: make(map[string]*Endpoint)}
+	f.metrics = telemetry.NewRegistry()
+	f.tracer = telemetry.NewTracer(telemetry.WithNow(net.Clock().Now))
+	for _, o := range opts {
+		o(f)
+	}
+	if f.metrics != nil {
+		f.rpcLatency = f.metrics.Histogram("rpc_server_seconds",
+			"Server-side RPC service time.", "method", "region")
+		f.rpcCalls = f.metrics.Counter("rpc_calls_total",
+			"RPCs dispatched to a handler.", "method", "region")
+		f.rpcErrors = f.metrics.Counter("rpc_errors_total",
+			"RPCs whose handler returned an error.", "method", "region")
+		f.rpcMetrics = make(map[rpcKey]*rpcChildren)
+		net.Instrument(f.metrics)
+	}
+	return f
 }
 
 // Network returns the underlying simulated WAN.
 func (f *Fabric) Network() *simnet.Network { return f.net }
+
+// Metrics returns the fabric's registry (nil when disabled).
+func (f *Fabric) Metrics() *telemetry.Registry { return f.metrics }
+
+// Tracer returns the fabric's tracer (nil when disabled).
+func (f *Fabric) Tracer() *telemetry.Tracer { return f.tracer }
 
 // Endpoint is one addressable party on a Fabric.
 type Endpoint struct {
@@ -146,7 +252,16 @@ func (e *Endpoint) Serve(h Handler) {
 // Call implements Caller. The request pays src->dst transfer time for the
 // payload and dst->src time for the response. Handler errors arrive as
 // RemoteError; partitions surface as simnet.ErrUnreachable.
-func (e *Endpoint) Call(dst, method string, payload []byte) ([]byte, error) {
+//
+// When ctx carries a trace span, Call opens an rpc.client child covering
+// the whole exchange (with WAN transit times as attributes), ships its
+// SpanContext inside the payload, and the callee side opens a linked
+// rpc.server span around handler dispatch — exactly the span pair a real
+// cross-process RPC would produce.
+func (e *Endpoint) Call(ctx context.Context, dst, method string, payload []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
@@ -154,33 +269,98 @@ func (e *Endpoint) Call(dst, method string, payload []byte) ([]byte, error) {
 	}
 	e.mu.RUnlock()
 
-	e.fabric.mu.RLock()
-	target, ok := e.fabric.endpoints[dst]
-	e.fabric.mu.RUnlock()
+	f := e.fabric
+	f.mu.RLock()
+	target, ok := f.endpoints[dst]
+	f.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoEndpoint, dst)
 	}
 
-	if err := e.fabric.net.Transfer(e.region, target.region, int64(len(payload))+int64(len(method))); err != nil {
+	var clientSpan *telemetry.Span
+	if _, sp := telemetry.StartSpan(ctx, "rpc.client"); sp != nil {
+		clientSpan = sp
+		clientSpan.SetAttr("method", method)
+		clientSpan.SetAttr("dst", dst)
+		clientSpan.SetAttr("src.region", string(e.region))
+		clientSpan.SetAttr("dst.region", string(target.region))
+	}
+	wire := telemetry.WrapPayload(clientSpan.Context(), payload)
+
+	clk := f.net.Clock()
+	out, err := f.net.TransferTime(e.region, target.region, int64(len(wire))+int64(len(method)))
+	if err != nil {
+		clientSpan.SetError(err)
+		clientSpan.End()
 		return nil, err
 	}
+	clk.Sleep(out)
 
 	target.mu.RLock()
 	h := target.handler
 	closed := target.closed
 	target.mu.RUnlock()
 	if closed || h == nil {
-		return nil, fmt.Errorf("%w: %q has no handler", ErrNoEndpoint, dst)
-	}
-
-	resp, herr := h(method, payload)
-	if err := e.fabric.net.Transfer(target.region, e.region, int64(len(resp))); err != nil {
+		err := fmt.Errorf("%w: %q has no handler", ErrNoEndpoint, dst)
+		clientSpan.SetError(err)
+		clientSpan.End()
 		return nil, err
 	}
-	if herr != nil {
-		return nil, RemoteError{Msg: herr.Error()}
+
+	resp, herr := f.dispatch(target, h, method, wire)
+
+	back, err := f.net.TransferTime(target.region, e.region, int64(len(resp)))
+	if err != nil {
+		clientSpan.SetError(err)
+		clientSpan.End()
+		return nil, err
 	}
+	clk.Sleep(back)
+
+	if clientSpan != nil {
+		clientSpan.SetAttr("wan.request", out.String())
+		clientSpan.SetAttr("wan.response", back.String())
+	}
+	if herr != nil {
+		rerr := RemoteError{Msg: herr.Error()}
+		clientSpan.SetError(rerr)
+		clientSpan.End()
+		return nil, rerr
+	}
+	clientSpan.End()
 	return resp, nil
+}
+
+// dispatch runs the callee side of a call: it unwraps the trace envelope,
+// opens the rpc.server span on a fresh context (the handler is logically in
+// another process — nothing from the caller's context leaks across except
+// the SpanContext), invokes the handler, and records the server-side RPC
+// metrics labeled by method and the callee's region.
+func (f *Fabric) dispatch(target *Endpoint, h Handler, method string, wire []byte) ([]byte, error) {
+	remote, inner := telemetry.UnwrapPayload(wire)
+	sctx := context.Background()
+	var serverSpan *telemetry.Span
+	if remote.Valid() && f.tracer != nil {
+		serverSpan = f.tracer.StartRemote(remote, "rpc.server")
+		serverSpan.SetAttr("method", method)
+		serverSpan.SetAttr("endpoint", target.name)
+		serverSpan.SetAttr("region", string(target.region))
+		sctx = telemetry.ContextWithSpan(sctx, serverSpan)
+	}
+
+	start := f.net.Clock().Now()
+	resp, herr := h(sctx, method, inner)
+	if f.metrics != nil {
+		m := f.rpc(method, string(target.region))
+		m.latency.Record(f.net.Clock().Now().Sub(start))
+		m.calls.Inc()
+		if herr != nil {
+			m.errors.Inc()
+		}
+	}
+	serverSpan.SetError(herr)
+	serverSpan.End()
+	return resp, herr
 }
 
 // Encode gob-encodes v for use as an RPC payload.

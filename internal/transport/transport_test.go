@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -24,14 +25,14 @@ func TestFabricCallRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	server.Serve(func(method string, payload []byte) ([]byte, error) {
+	server.Serve(func(_ context.Context, method string, payload []byte) ([]byte, error) {
 		return []byte("echo:" + method + ":" + string(payload)), nil
 	})
 	client, err := f.NewEndpoint("client", simnet.USWest)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := client.Call("server", "ping", []byte("hi"))
+	resp, err := client.Call(context.Background(), "server", "ping", []byte("hi"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFabricUnknownDestination(t *testing.T) {
 	f := newFabric()
 	defer f.Close()
 	c, _ := f.NewEndpoint("c", simnet.USEast)
-	if _, err := c.Call("ghost", "m", nil); !errors.Is(err, ErrNoEndpoint) {
+	if _, err := c.Call(context.Background(), "ghost", "m", nil); !errors.Is(err, ErrNoEndpoint) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -65,7 +66,7 @@ func TestFabricNoHandler(t *testing.T) {
 	defer f.Close()
 	f.NewEndpoint("mute", simnet.USEast)
 	c, _ := f.NewEndpoint("c", simnet.USEast)
-	if _, err := c.Call("mute", "m", nil); !errors.Is(err, ErrNoEndpoint) {
+	if _, err := c.Call(context.Background(), "mute", "m", nil); !errors.Is(err, ErrNoEndpoint) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -74,9 +75,9 @@ func TestFabricRemoteError(t *testing.T) {
 	f := newFabric()
 	defer f.Close()
 	s, _ := f.NewEndpoint("s", simnet.USEast)
-	s.Serve(func(string, []byte) ([]byte, error) { return nil, errors.New("boom") })
+	s.Serve(func(_ context.Context, _ string, _ []byte) ([]byte, error) { return nil, errors.New("boom") })
 	c, _ := f.NewEndpoint("c", simnet.USEast)
-	_, err := c.Call("s", "m", nil)
+	_, err := c.Call(context.Background(), "s", "m", nil)
 	var re RemoteError
 	if !errors.As(err, &re) || re.Msg != "boom" {
 		t.Fatalf("err = %v", err)
@@ -87,16 +88,16 @@ func TestFabricPartition(t *testing.T) {
 	f := newFabric()
 	defer f.Close()
 	s, _ := f.NewEndpoint("s", simnet.EUWest)
-	s.Serve(func(string, []byte) ([]byte, error) { return nil, nil })
+	s.Serve(func(_ context.Context, _ string, _ []byte) ([]byte, error) { return nil, nil })
 	c, _ := f.NewEndpoint("c", simnet.USEast)
 	f.Network().Partition(simnet.USEast, simnet.EUWest)
-	_, err := c.Call("s", "m", nil)
+	_, err := c.Call(context.Background(), "s", "m", nil)
 	var ue simnet.ErrUnreachable
 	if !errors.As(err, &ue) {
 		t.Fatalf("err = %v, want unreachable", err)
 	}
 	f.Network().Heal(simnet.USEast, simnet.EUWest)
-	if _, err := c.Call("s", "m", nil); err != nil {
+	if _, err := c.Call(context.Background(), "s", "m", nil); err != nil {
 		t.Fatalf("after heal: %v", err)
 	}
 }
@@ -106,11 +107,11 @@ func TestFabricCallPaysWANLatency(t *testing.T) {
 	f := NewFabric(simnet.New(clk))
 	defer f.Close()
 	s, _ := f.NewEndpoint("s", simnet.AsiaEast)
-	s.Serve(func(string, []byte) ([]byte, error) { return []byte("ok"), nil })
+	s.Serve(func(_ context.Context, _ string, _ []byte) ([]byte, error) { return []byte("ok"), nil })
 	c, _ := f.NewEndpoint("c", simnet.USEast)
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.Call("s", "m", nil)
+		_, err := c.Call(context.Background(), "s", "m", nil)
 		done <- err
 	}()
 	// Request leg: 85ms.
@@ -128,10 +129,10 @@ func TestFabricRemove(t *testing.T) {
 	f := newFabric()
 	defer f.Close()
 	s, _ := f.NewEndpoint("s", simnet.USEast)
-	s.Serve(func(string, []byte) ([]byte, error) { return nil, nil })
+	s.Serve(func(_ context.Context, _ string, _ []byte) ([]byte, error) { return nil, nil })
 	c, _ := f.NewEndpoint("c", simnet.USEast)
 	f.Remove("s")
-	if _, err := c.Call("s", "m", nil); !errors.Is(err, ErrNoEndpoint) {
+	if _, err := c.Call(context.Background(), "s", "m", nil); !errors.Is(err, ErrNoEndpoint) {
 		t.Fatalf("err = %v", err)
 	}
 	f.Remove("s") // idempotent
@@ -145,7 +146,7 @@ func TestFabricClose(t *testing.T) {
 	f := newFabric()
 	c, _ := f.NewEndpoint("c", simnet.USEast)
 	f.Close()
-	if _, err := c.Call("anything", "m", nil); err == nil {
+	if _, err := c.Call(context.Background(), "anything", "m", nil); err == nil {
 		t.Fatal("call on closed fabric should fail")
 	}
 	if _, err := f.NewEndpoint("x", simnet.USEast); !errors.Is(err, ErrClosed) {
@@ -168,7 +169,7 @@ func TestFabricConcurrentCalls(t *testing.T) {
 	f := newFabric()
 	defer f.Close()
 	s, _ := f.NewEndpoint("s", simnet.USEast)
-	s.Serve(func(_ string, p []byte) ([]byte, error) { return p, nil })
+	s.Serve(func(_ context.Context, _ string, p []byte) ([]byte, error) { return p, nil })
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		c, err := f.NewEndpoint(fmt.Sprintf("c%d", i), simnet.USWest)
@@ -180,7 +181,7 @@ func TestFabricConcurrentCalls(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 50; j++ {
 				want := fmt.Sprintf("%d-%d", i, j)
-				resp, err := c.Call("s", "echo", []byte(want))
+				resp, err := c.Call(context.Background(), "s", "echo", []byte(want))
 				if err != nil || string(resp) != want {
 					t.Errorf("call: %q, %v", resp, err)
 					return
@@ -215,7 +216,7 @@ func TestEncodeDecode(t *testing.T) {
 }
 
 func TestTCPRoundTrip(t *testing.T) {
-	srv, err := ListenTCP("127.0.0.1:0", func(method string, p []byte) ([]byte, error) {
+	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, method string, p []byte) ([]byte, error) {
 		if method == "fail" {
 			return nil, errors.New("nope")
 		}
@@ -228,24 +229,24 @@ func TestTCPRoundTrip(t *testing.T) {
 
 	cli := DialTCP(srv.Addr())
 	defer cli.Close()
-	resp, err := cli.Call("", "m", []byte("x"))
+	resp, err := cli.Call(context.Background(), "", "m", []byte("x"))
 	if err != nil || string(resp) != "srv:x" {
 		t.Fatalf("Call = %q, %v", resp, err)
 	}
-	_, err = cli.Call("", "fail", nil)
+	_, err = cli.Call(context.Background(), "", "fail", nil)
 	var re RemoteError
 	if !errors.As(err, &re) || re.Msg != "nope" {
 		t.Fatalf("err = %v", err)
 	}
 	// Connection reuse: subsequent call still works after a remote error.
-	resp, err = cli.Call("", "m", []byte("y"))
+	resp, err = cli.Call(context.Background(), "", "m", []byte("y"))
 	if err != nil || string(resp) != "srv:y" {
 		t.Fatalf("Call after error = %q, %v", resp, err)
 	}
 }
 
 func TestTCPConcurrentClients(t *testing.T) {
-	srv, err := ListenTCP("127.0.0.1:0", func(_ string, p []byte) ([]byte, error) {
+	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, _ string, p []byte) ([]byte, error) {
 		return p, nil
 	})
 	if err != nil {
@@ -261,7 +262,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 50; j++ {
 				want := fmt.Sprintf("%d/%d", i, j)
-				resp, err := cli.Call("", "echo", []byte(want))
+				resp, err := cli.Call(context.Background(), "", "echo", []byte(want))
 				if err != nil || string(resp) != want {
 					t.Errorf("call: %q, %v", resp, err)
 					return
@@ -273,13 +274,13 @@ func TestTCPConcurrentClients(t *testing.T) {
 }
 
 func TestTCPServerClose(t *testing.T) {
-	srv, err := ListenTCP("127.0.0.1:0", func(_ string, p []byte) ([]byte, error) { return p, nil })
+	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, _ string, p []byte) ([]byte, error) { return p, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
 	cli := DialTCP(srv.Addr())
 	defer cli.Close()
-	if _, err := cli.Call("", "m", nil); err != nil {
+	if _, err := cli.Call(context.Background(), "", "m", nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
@@ -288,7 +289,7 @@ func TestTCPServerClose(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal("double close should be nil")
 	}
-	if _, err := cli.Call("", "m", nil); err == nil {
+	if _, err := cli.Call(context.Background(), "", "m", nil); err == nil {
 		t.Fatal("call after server close should fail")
 	}
 }
@@ -296,7 +297,7 @@ func TestTCPServerClose(t *testing.T) {
 func TestTCPClientClosed(t *testing.T) {
 	cli := DialTCP("127.0.0.1:1") // never dialed
 	cli.Close()
-	if _, err := cli.Call("", "m", nil); !errors.Is(err, ErrClosed) {
+	if _, err := cli.Call(context.Background(), "", "m", nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -304,7 +305,7 @@ func TestTCPClientClosed(t *testing.T) {
 func TestTCPDialFailure(t *testing.T) {
 	cli := DialTCP("127.0.0.1:1") // nothing listening
 	defer cli.Close()
-	if _, err := cli.Call("", "m", nil); err == nil {
+	if _, err := cli.Call(context.Background(), "", "m", nil); err == nil {
 		t.Fatal("dial to dead port should fail")
 	}
 }

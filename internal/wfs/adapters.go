@@ -1,31 +1,36 @@
 package wfs
 
 import (
+	"context"
+
 	"repro/internal/tiera"
 	"repro/internal/wiera"
 )
 
 // TieraBackend adapts a Tiera instance as a file system backend: every
 // block and inode object becomes a (versioned) Tiera object. Remove maps
-// to removing all versions.
+// to removing all versions. File operations are not traced individually;
+// each storage call starts from a fresh context.
 type TieraBackend struct {
 	Inst *tiera.Instance
 }
 
 // Put implements Backend.
 func (b TieraBackend) Put(key string, value []byte) error {
-	_, err := b.Inst.Put(key, value)
+	_, err := b.Inst.Put(context.Background(), key, value)
 	return err
 }
 
 // Get implements Backend.
 func (b TieraBackend) Get(key string) ([]byte, error) {
-	data, _, err := b.Inst.Get(key)
+	data, _, err := b.Inst.Get(context.Background(), key)
 	return data, err
 }
 
 // Remove implements Backend.
-func (b TieraBackend) Remove(key string) error { return b.Inst.Remove(key) }
+func (b TieraBackend) Remove(key string) error {
+	return b.Inst.Remove(context.Background(), key)
+}
 
 // NodeBackend adapts a Wiera node: file operations flow through the global
 // policy (forwarding, replication), which is exactly the paper's FUSE ->
@@ -36,15 +41,17 @@ type NodeBackend struct {
 
 // Put implements Backend.
 func (b NodeBackend) Put(key string, value []byte) error {
-	_, err := b.Node.Put(key, value, nil)
+	_, err := b.Node.Put(context.Background(), key, value, nil)
 	return err
 }
 
 // Get implements Backend.
 func (b NodeBackend) Get(key string) ([]byte, error) {
-	data, _, err := b.Node.Get(key)
+	data, _, err := b.Node.Get(context.Background(), key)
 	return data, err
 }
 
 // Remove implements Backend.
-func (b NodeBackend) Remove(key string) error { return b.Node.Remove(key) }
+func (b NodeBackend) Remove(key string) error {
+	return b.Node.Remove(context.Background(), key)
+}

@@ -1,12 +1,14 @@
 package wiera
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/object"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -34,7 +36,7 @@ func NewClient(fabric *transport.Fabric, name string, region simnet.Region, serv
 		fabric.Remove(name)
 		return nil, err
 	}
-	raw, err := ep.Call(serverDst, MethodGetInstances, payload)
+	raw, err := ep.Call(context.Background(), serverDst, MethodGetInstances, payload)
 	if err != nil {
 		fabric.Remove(name)
 		return nil, err
@@ -68,20 +70,41 @@ func (c *Client) Closest() (string, error) {
 	return c.nodes[0].Name, nil
 }
 
+// startOp opens the operation's trace span: a child when the caller's ctx
+// already carries one, otherwise a sampled fresh root on the fabric's
+// tracer — application Puts/Gets start traces without the caller having to
+// know about telemetry, at the tracer's auto-sample rate (the first
+// operation is always traced).
+func (c *Client) startOp(ctx context.Context, name string) (context.Context, *telemetry.Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if telemetry.SpanFromContext(ctx) != nil {
+		return telemetry.StartSpan(ctx, name)
+	}
+	span := c.fabric.Tracer().SampleRoot(name)
+	if span == nil {
+		return ctx, nil
+	}
+	span.SetAttr("client", c.name)
+	span.SetAttr("region", string(c.region))
+	return telemetry.ContextWithSpan(ctx, span), span
+}
+
 // Call invokes a raw data-plane method on the instance, trying nodes
 // closest-first (used by TCP proxies that already hold encoded payloads).
-func (c *Client) Call(method string, payload []byte) ([]byte, error) {
-	return c.call(method, payload)
+func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	return c.call(ctx, method, payload)
 }
 
 // call tries each node closest-first until one answers.
-func (c *Client) call(method string, payload []byte) ([]byte, error) {
+func (c *Client) call(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	if len(c.nodes) == 0 {
 		return nil, errors.New("wiera: client has no nodes")
 	}
 	var lastErr error
 	for _, n := range c.nodes {
-		raw, err := c.ep.Call(n.Name, method, payload)
+		raw, err := c.ep.Call(ctx, n.Name, method, payload)
 		if err == nil {
 			return raw, nil
 		}
@@ -99,47 +122,60 @@ func (c *Client) call(method string, payload []byte) ([]byte, error) {
 }
 
 // Put stores data under key (Table 2 put).
-func (c *Client) Put(key string, data []byte) (object.Meta, error) {
+func (c *Client) Put(ctx context.Context, key string, data []byte) (object.Meta, error) {
+	ctx, span := c.startOp(ctx, "client.put")
+	defer span.End()
 	payload, err := transport.Encode(PutRequest{Key: key, Data: data})
 	if err != nil {
+		span.SetError(err)
 		return object.Meta{}, err
 	}
-	raw, err := c.call(MethodPut, payload)
+	raw, err := c.call(ctx, MethodPut, payload)
 	if err != nil {
+		span.SetError(err)
 		return object.Meta{}, err
 	}
 	var resp PutResponse
 	if err := transport.Decode(raw, &resp); err != nil {
+		span.SetError(err)
 		return object.Meta{}, err
 	}
 	return resp.Meta, nil
 }
 
 // Get retrieves key's latest version (Table 2 get).
-func (c *Client) Get(key string) ([]byte, object.Meta, error) {
+func (c *Client) Get(ctx context.Context, key string) ([]byte, object.Meta, error) {
+	ctx, span := c.startOp(ctx, "client.get")
+	defer span.End()
 	payload, err := transport.Encode(GetRequest{Key: key})
 	if err != nil {
+		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
-	raw, err := c.call(MethodGet, payload)
+	raw, err := c.call(ctx, MethodGet, payload)
 	if err != nil {
+		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
 	var resp GetResponse
 	if err := transport.Decode(raw, &resp); err != nil {
+		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
 	return resp.Data, resp.Meta, nil
 }
 
 // GetVersion retrieves a specific version (Table 2 getVersion).
-func (c *Client) GetVersion(key string, v object.Version) ([]byte, object.Meta, error) {
+func (c *Client) GetVersion(ctx context.Context, key string, v object.Version) ([]byte, object.Meta, error) {
+	ctx, span := c.startOp(ctx, "client.getVersion")
+	defer span.End()
 	payload, err := transport.Encode(GetVersionRequest{Key: key, Version: v})
 	if err != nil {
 		return nil, object.Meta{}, err
 	}
-	raw, err := c.call(MethodGetVersion, payload)
+	raw, err := c.call(ctx, MethodGetVersion, payload)
 	if err != nil {
+		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
 	var resp GetResponse
@@ -150,12 +186,12 @@ func (c *Client) GetVersion(key string, v object.Version) ([]byte, object.Meta, 
 }
 
 // VersionList lists available versions (Table 2 getVersionList).
-func (c *Client) VersionList(key string) ([]object.Version, error) {
+func (c *Client) VersionList(ctx context.Context, key string) ([]object.Version, error) {
 	payload, err := transport.Encode(VersionListRequest{Key: key})
 	if err != nil {
 		return nil, err
 	}
-	raw, err := c.call(MethodVersionList, payload)
+	raw, err := c.call(ctx, MethodVersionList, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -167,22 +203,27 @@ func (c *Client) VersionList(key string) ([]object.Version, error) {
 }
 
 // Remove deletes all versions of key (Table 2 remove).
-func (c *Client) Remove(key string) error {
+func (c *Client) Remove(ctx context.Context, key string) error {
+	ctx, span := c.startOp(ctx, "client.remove")
+	defer span.End()
 	payload, err := transport.Encode(RemoveRequest{Key: key})
 	if err != nil {
 		return err
 	}
-	_, err = c.call(MethodRemove, payload)
+	_, err = c.call(ctx, MethodRemove, payload)
+	if err != nil {
+		span.SetError(err)
+	}
 	return err
 }
 
 // RemoveVersion deletes one version of key (Table 2 removeVersion).
-func (c *Client) RemoveVersion(key string, v object.Version) error {
+func (c *Client) RemoveVersion(ctx context.Context, key string, v object.Version) error {
 	payload, err := transport.Encode(RemoveVersionRequest{Key: key, Version: v})
 	if err != nil {
 		return err
 	}
-	_, err = c.call(MethodRemoveVer, payload)
+	_, err = c.call(ctx, MethodRemoveVer, payload)
 	return err
 }
 

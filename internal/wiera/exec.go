@@ -1,6 +1,7 @@
 package wiera
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -12,7 +13,10 @@ import (
 // globalPutExec executes a global policy's insert-event responses for one
 // put operation: lock/release, store to local_instance, synchronous copy or
 // lazy queue to all_regions, and forward to the primary (paper Figs 3-4).
+// ctx carries the put's trace span through forwards and fan-outs (the
+// policy.Executor interface has no ctx parameter, so it rides on the exec).
 type globalPutExec struct {
+	ctx  context.Context
 	n    *Node
 	key  string
 	data []byte
@@ -30,7 +34,7 @@ func (e *globalPutExec) Do(call *policy.ActionCall) error {
 		if e.n.locks == nil {
 			return errors.New("wiera: no coordination service configured for lock")
 		}
-		if err := e.n.locks.Lock(e.key, lockWait); err != nil {
+		if err := e.n.locks.Lock(e.ctx, e.key, lockWait); err != nil {
 			return err
 		}
 		e.lockHeld = true
@@ -46,7 +50,7 @@ func (e *globalPutExec) Do(call *policy.ActionCall) error {
 		// paper's ~400 ms multi-primary put pays lock + broadcast only).
 		key := e.key
 		n := e.n
-		go func() { _ = n.locks.Unlock(key) }()
+		go func() { _ = n.locks.Unlock(context.Background(), key) }()
 		return nil
 	case "store":
 		to, err := call.StringArg("to")
@@ -56,7 +60,7 @@ func (e *globalPutExec) Do(call *policy.ActionCall) error {
 		if to != "local_instance" && to != e.n.name {
 			return fmt.Errorf("wiera: global store targets local_instance, got %q", to)
 		}
-		m, err := e.n.local.PutTagged(e.key, e.data, e.tags)
+		m, err := e.n.local.PutTagged(e.ctx, e.key, e.data, e.tags)
 		if err != nil {
 			return err
 		}
@@ -79,7 +83,7 @@ func (e *globalPutExec) Do(call *policy.ActionCall) error {
 		if err != nil {
 			return err
 		}
-		raw, err := e.n.ep.Call(target, MethodForwardPut, payload)
+		raw, err := e.n.ep.Call(e.ctx, target, MethodForwardPut, payload)
 		if err != nil {
 			return err
 		}
@@ -121,16 +125,17 @@ func (e *globalPutExec) distribute(call *policy.ActionCall, sync bool) error {
 			return err
 		}
 		if !sync {
+			// Async delivery outlives the put's span; detach from it.
 			n := e.n
-			go func() { _, _ = n.ep.Call(target, MethodApplyUpdate, payload) }()
+			go func() { _, _ = n.ep.Call(context.Background(), target, MethodApplyUpdate, payload) }()
 			return nil
 		}
-		_, err = e.n.ep.Call(target, MethodApplyUpdate, payload)
+		_, err = e.n.ep.Call(e.ctx, target, MethodApplyUpdate, payload)
 		return err
 	}
 	msg := UpdateMsg{Meta: *e.meta, Data: e.data}
 	if sync {
-		return e.n.fanOutSync(msg)
+		return e.n.fanOutSync(e.ctx, msg)
 	}
 	e.n.queue.enqueue(msg)
 	return nil
@@ -146,14 +151,16 @@ func (e *globalPutExec) Assign(path string, v policy.Value) error {
 // failed put cannot deadlock the key.
 func (e *globalPutExec) releaseLockIfHeld() {
 	if e.lockHeld && e.n.locks != nil {
-		_ = e.n.locks.Unlock(e.key)
+		_ = e.n.locks.Unlock(context.Background(), e.key)
 		e.lockHeld = false
 	}
 }
 
 // globalGetExec executes get-event responses: forwarding reads to another
-// instance (Sec 5.4's remote-memory reads).
+// instance (Sec 5.4's remote-memory reads). ctx carries the get's trace
+// span through the forward.
 type globalGetExec struct {
+	ctx  context.Context
 	n    *Node
 	key  string
 	resp *GetResponse
@@ -172,7 +179,7 @@ func (e *globalGetExec) Do(call *policy.ActionCall) error {
 			return err
 		}
 		if target == e.n.name {
-			data, meta, err := e.n.local.Get(e.key)
+			data, meta, err := e.n.local.Get(e.ctx, e.key)
 			if err != nil {
 				return err
 			}
@@ -183,7 +190,7 @@ func (e *globalGetExec) Do(call *policy.ActionCall) error {
 		if err != nil {
 			return err
 		}
-		raw, err := e.n.ep.Call(target, MethodForwardGet, payload)
+		raw, err := e.n.ep.Call(e.ctx, target, MethodForwardGet, payload)
 		if err != nil {
 			return err
 		}

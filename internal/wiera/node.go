@@ -1,6 +1,7 @@
 package wiera
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tier"
 	"repro/internal/tiera"
 	"repro/internal/transport"
@@ -107,15 +109,19 @@ type Node struct {
 	reqMon *requestsMonitor  // RequestsMonitoring (primary)
 
 	// PutLatency records application-perceived put latency (lock + fan-out
-	// included); GetLatency likewise for gets.
-	PutLatency *stats.Histogram
-	GetLatency *stats.Histogram
+	// included); GetLatency likewise for gets. Both are children of the
+	// fabric's telemetry registry ("wiera_op_seconds"), so the values here,
+	// NodeStats, and the /metrics endpoint can never disagree. Nil (no-op)
+	// when the fabric runs without telemetry.
+	PutLatency *telemetry.Histogram
+	GetLatency *telemetry.Histogram
 
 	// PutSeries records (time, put latency ms) for timeline figures.
 	PutSeries *stats.Series
 
-	staleReads stats.Counter
-	freshReads stats.Counter
+	staleReads *telemetry.Counter
+	freshReads *telemetry.Counter
+	queueDepth *telemetry.Gauge
 	closed     bool
 }
 
@@ -132,6 +138,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Name: cfg.Name + "/local", Region: cfg.Region, Spec: cfg.LocalSpec,
 		Params: cfg.LocalParams, Clock: clk, Accountant: cfg.Accountant,
 		MetaPath: cfg.MetaPath, ExtraTiers: cfg.ExtraTiers,
+		Metrics: cfg.Fabric.Metrics(),
 	})
 	if err != nil {
 		return nil, err
@@ -159,10 +166,23 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		policyName: cfg.GlobalSpec.Name,
 		primary:    cfg.Primary,
 		gate:       newOpGate(),
-		PutLatency: stats.NewHistogram(),
-		GetLatency: stats.NewHistogram(),
 		PutSeries:  stats.NewSeries(cfg.Name + "/put"),
 	}
+	// All node-level counters live on the fabric's registry: the same
+	// children back NodeStats (collectStats) and the /metrics endpoint.
+	reg := cfg.Fabric.Metrics()
+	region := string(cfg.Region)
+	opHist := reg.Histogram("wiera_op_seconds",
+		"Application-perceived Wiera operation latency.", "op", "node", "region")
+	n.PutLatency = opHist.With("put", cfg.Name, region)
+	n.GetLatency = opHist.With("get", cfg.Name, region)
+	reads := reg.Counter("wiera_reads_total",
+		"Gets by freshness against the global newest version.", "node", "region", "freshness")
+	n.staleReads = reads.With(cfg.Name, region, "stale")
+	n.freshReads = reads.With(cfg.Name, region, "fresh")
+	n.queueDepth = reg.Gauge("wiera_queue_depth",
+		"Keys with updates queued for lazy propagation.", "node", "region").
+		With(cfg.Name, region)
 	n.controlEvents = append(n.controlEvents, prog.ByKind(policy.KindThreshold)...)
 	if cfg.DynamicSpec != nil {
 		dynProg, err := policy.Compile(cfg.DynamicSpec, cfg.GlobalParams)
@@ -260,13 +280,20 @@ func (n *Node) FreshReads() int64 { return n.freshReads.Value() }
 // Put stores data under key through the global policy. fromApp
 // distinguishes direct application puts from forwarded ones for the
 // requests monitor.
-func (n *Node) Put(key string, data []byte, tags []string) (object.Meta, error) {
-	return n.put(key, data, tags, true)
+func (n *Node) Put(ctx context.Context, key string, data []byte, tags []string) (object.Meta, error) {
+	return n.put(ctx, key, data, tags, true)
 }
 
-func (n *Node) put(key string, data []byte, tags []string, fromApp bool) (object.Meta, error) {
+func (n *Node) put(ctx context.Context, key string, data []byte, tags []string, fromApp bool) (object.Meta, error) {
+	ctx, span := telemetry.StartSpan(ctx, "wiera.put")
+	span.SetAttr("node", n.name)
+	span.SetAttr("region", string(n.region))
+	span.SetAttr("policy", n.PolicyName())
+	defer span.End()
+
 	appStart := n.clk.Now()
 	if err := n.gate.enter(); err != nil {
+		span.SetError(err)
 		return object.Meta{}, err
 	}
 	defer n.gate.exit()
@@ -280,21 +307,23 @@ func (n *Node) put(key string, data []byte, tags []string, fromApp bool) (object
 	prog := n.prog
 	n.mu.Unlock()
 
-	op := &globalPutExec{n: n, key: key, data: data, tags: tags}
+	op := &globalPutExec{ctx: ctx, n: n, key: key, data: data, tags: tags}
 	fired := false
 	for _, ev := range prog.ByKind(policy.KindInsert) {
 		env := n.putEnv(key, data)
 		f, err := ev.Fire(env, op)
 		if err != nil {
 			op.releaseLockIfHeld()
+			span.SetError(err)
 			return object.Meta{}, err
 		}
 		fired = fired || f
 	}
 	if !fired || (op.meta == nil) {
 		// No global insert policy stored or forwarded: default local put.
-		m, err := n.local.PutTagged(key, data, tags)
+		m, err := n.local.PutTagged(ctx, key, data, tags)
 		if err != nil {
+			span.SetError(err)
 			return object.Meta{}, err
 		}
 		op.meta = &m
@@ -321,8 +350,15 @@ func (n *Node) putEnv(key string, data []byte) *policy.MapEnv {
 // Get retrieves key's latest local version through the global policy
 // (forwarding policies apply); on a local miss it falls back to the
 // nearest peer holding the data.
-func (n *Node) Get(key string) ([]byte, object.Meta, error) {
+func (n *Node) Get(ctx context.Context, key string) ([]byte, object.Meta, error) {
+	ctx, span := telemetry.StartSpan(ctx, "wiera.get")
+	span.SetAttr("node", n.name)
+	span.SetAttr("region", string(n.region))
+	span.SetAttr("policy", n.PolicyName())
+	defer span.End()
+
 	if err := n.gate.enter(); err != nil {
+		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
 	defer n.gate.exit()
@@ -338,9 +374,10 @@ func (n *Node) Get(key string) ([]byte, object.Meta, error) {
 		env := policy.NewMapEnv()
 		env.Set("get.key", policy.StringVal(key))
 		env.Set("local_instance.isPrimary", policy.BoolVal(n.IsPrimary()))
-		ge := &globalGetExec{n: n, key: key}
+		ge := &globalGetExec{ctx: ctx, n: n, key: key}
 		fired, err := ev.Fire(env, ge)
 		if err != nil {
+			span.SetError(err)
 			return nil, object.Meta{}, err
 		}
 		if fired && ge.resp != nil {
@@ -349,11 +386,12 @@ func (n *Node) Get(key string) ([]byte, object.Meta, error) {
 		}
 	}
 
-	data, meta, err := n.local.Get(key)
+	data, meta, err := n.local.Get(ctx, key)
 	if err != nil {
 		// Local miss: read from the nearest peer that has it.
-		data, meta, err = n.getFromPeers(key)
+		data, meta, err = n.getFromPeers(ctx, key)
 		if err != nil {
+			span.SetError(err)
 			return nil, object.Meta{}, err
 		}
 	}
@@ -384,8 +422,8 @@ func (n *Node) trackFreshness(meta object.Meta) {
 }
 
 // GetVersion retrieves a specific version locally.
-func (n *Node) GetVersion(key string, v object.Version) ([]byte, object.Meta, error) {
-	return n.local.GetVersion(key, v)
+func (n *Node) GetVersion(ctx context.Context, key string, v object.Version) ([]byte, object.Meta, error) {
+	return n.local.GetVersion(ctx, key, v)
 }
 
 // VersionList lists available versions locally.
@@ -394,24 +432,24 @@ func (n *Node) VersionList(key string) ([]object.Version, error) {
 }
 
 // Remove deletes all versions locally and on all peers.
-func (n *Node) Remove(key string) error {
-	if err := n.local.Remove(key); err != nil {
+func (n *Node) Remove(ctx context.Context, key string) error {
+	if err := n.local.Remove(ctx, key); err != nil {
 		return err
 	}
 	for _, p := range n.Peers() {
 		payload, _ := transport.Encode(RemoveRequest{Key: key})
-		_, _ = n.ep.Call(p.Name, MethodRemove, payload)
+		_, _ = n.ep.Call(ctx, p.Name, MethodRemove, payload)
 	}
 	return nil
 }
 
 // RemoveVersion deletes one version locally.
-func (n *Node) RemoveVersion(key string, v object.Version) error {
-	return n.local.RemoveVersion(key, v)
+func (n *Node) RemoveVersion(ctx context.Context, key string, v object.Version) error {
+	return n.local.RemoveVersion(ctx, key, v)
 }
 
 // getFromPeers reads key from peers in ascending RTT order.
-func (n *Node) getFromPeers(key string) ([]byte, object.Meta, error) {
+func (n *Node) getFromPeers(ctx context.Context, key string) ([]byte, object.Meta, error) {
 	peers := n.Peers()
 	net := n.fabric.Network()
 	sort.Slice(peers, func(i, j int) bool {
@@ -423,7 +461,7 @@ func (n *Node) getFromPeers(key string) ([]byte, object.Meta, error) {
 		if err != nil {
 			return nil, object.Meta{}, err
 		}
-		raw, err := n.ep.Call(p.Name, MethodForwardGet, payload)
+		raw, err := n.ep.Call(ctx, p.Name, MethodForwardGet, payload)
 		if err != nil {
 			lastErr = err
 			continue
@@ -439,7 +477,7 @@ func (n *Node) getFromPeers(key string) ([]byte, object.Meta, error) {
 
 // fanOutSync pushes an update to every peer synchronously, in parallel,
 // returning when all have acknowledged (or any fails).
-func (n *Node) fanOutSync(msg UpdateMsg) error {
+func (n *Node) fanOutSync(ctx context.Context, msg UpdateMsg) error {
 	peers := n.Peers()
 	if len(peers) == 0 {
 		return nil
@@ -451,7 +489,7 @@ func (n *Node) fanOutSync(msg UpdateMsg) error {
 	errs := make(chan error, len(peers))
 	for _, p := range peers {
 		go func(p PeerInfo) {
-			_, err := n.ep.Call(p.Name, MethodApplyUpdate, payload)
+			_, err := n.ep.Call(ctx, p.Name, MethodApplyUpdate, payload)
 			errs <- err
 		}(p)
 	}
@@ -464,15 +502,16 @@ func (n *Node) fanOutSync(msg UpdateMsg) error {
 	return firstErr
 }
 
-// handle is the node's RPC dispatcher.
-func (n *Node) handle(method string, payload []byte) ([]byte, error) {
+// handle is the node's RPC dispatcher. ctx carries the caller's trace
+// span (extracted from the wire envelope by the transport layer).
+func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	switch method {
 	case MethodPut:
 		var req PutRequest
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		meta, err := n.Put(req.Key, req.Data, req.Tags)
+		meta, err := n.Put(ctx, req.Key, req.Data, req.Tags)
 		if err != nil {
 			return nil, err
 		}
@@ -483,7 +522,7 @@ func (n *Node) handle(method string, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		n.reqMon.observeForwarded(req.From)
-		meta, err := n.put(req.Key, req.Data, req.Tags, false)
+		meta, err := n.put(ctx, req.Key, req.Data, req.Tags, false)
 		if err != nil {
 			return nil, err
 		}
@@ -493,7 +532,7 @@ func (n *Node) handle(method string, payload []byte) ([]byte, error) {
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		data, meta, err := n.Get(req.Key)
+		data, meta, err := n.Get(ctx, req.Key)
 		if err != nil {
 			return nil, err
 		}
@@ -503,7 +542,7 @@ func (n *Node) handle(method string, payload []byte) ([]byte, error) {
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		data, meta, err := n.local.Get(req.Key)
+		data, meta, err := n.local.Get(ctx, req.Key)
 		if err != nil {
 			return nil, err
 		}
@@ -513,7 +552,7 @@ func (n *Node) handle(method string, payload []byte) ([]byte, error) {
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		data, meta, err := n.GetVersion(req.Key, req.Version)
+		data, meta, err := n.GetVersion(ctx, req.Key, req.Version)
 		if err != nil {
 			return nil, err
 		}
@@ -534,7 +573,7 @@ func (n *Node) handle(method string, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		// Remote-initiated removes are local-only (no re-broadcast).
-		if err := n.local.Remove(req.Key); err != nil {
+		if err := n.local.Remove(ctx, req.Key); err != nil {
 			return nil, err
 		}
 		return transport.Encode(Empty{})
@@ -543,7 +582,7 @@ func (n *Node) handle(method string, payload []byte) ([]byte, error) {
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		if err := n.RemoveVersion(req.Key, req.Version); err != nil {
+		if err := n.RemoveVersion(ctx, req.Key, req.Version); err != nil {
 			return nil, err
 		}
 		return transport.Encode(Empty{})
@@ -552,13 +591,13 @@ func (n *Node) handle(method string, payload []byte) ([]byte, error) {
 		if err := transport.Decode(payload, &msg); err != nil {
 			return nil, err
 		}
-		accepted, err := n.local.ApplyRemote(msg.Meta, msg.Data)
+		accepted, err := n.local.ApplyRemote(ctx, msg.Meta, msg.Data)
 		if err != nil {
 			return nil, err
 		}
 		return transport.Encode(UpdateAck{Accepted: accepted})
 	case MethodSnapshot:
-		return n.snapshot()
+		return n.snapshot(ctx)
 	case MethodSetPeers:
 		var msg PeersMsg
 		if err := transport.Decode(payload, &msg); err != nil {
@@ -607,14 +646,14 @@ func (n *Node) handle(method string, payload []byte) ([]byte, error) {
 }
 
 // snapshot serializes every key's latest version for new-replica sync.
-func (n *Node) snapshot() ([]byte, error) {
+func (n *Node) snapshot(ctx context.Context) ([]byte, error) {
 	var resp SnapshotResponse
 	for _, key := range n.local.Objects().Keys() {
 		meta, err := n.local.Objects().Latest(key)
 		if err != nil {
 			continue
 		}
-		data, _, err := n.local.GetVersion(key, meta.Version)
+		data, _, err := n.local.GetVersion(ctx, key, meta.Version)
 		if err != nil {
 			continue
 		}
@@ -626,11 +665,12 @@ func (n *Node) snapshot() ([]byte, error) {
 // SyncFrom pulls a full snapshot from peer and applies it (new replica
 // bootstrap, Sec 4.4).
 func (n *Node) SyncFrom(peer string) error {
+	ctx := context.Background()
 	payload, err := transport.Encode(SnapshotRequest{})
 	if err != nil {
 		return err
 	}
-	raw, err := n.ep.Call(peer, MethodSnapshot, payload)
+	raw, err := n.ep.Call(ctx, peer, MethodSnapshot, payload)
 	if err != nil {
 		return err
 	}
@@ -639,7 +679,7 @@ func (n *Node) SyncFrom(peer string) error {
 		return err
 	}
 	for _, u := range resp.Updates {
-		if _, err := n.local.ApplyRemote(u.Meta, u.Data); err != nil {
+		if _, err := n.local.ApplyRemote(ctx, u.Meta, u.Data); err != nil {
 			return err
 		}
 	}
@@ -717,7 +757,7 @@ func (n *Node) requestPolicyChange(what, to string) error {
 	if err != nil {
 		return err
 	}
-	_, err = n.ep.Call(n.serverDst, MethodRequestChange, payload)
+	_, err = n.ep.Call(context.Background(), n.serverDst, MethodRequestChange, payload)
 	return err
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/object"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // RPC method names. The application-facing ones implement the paper's
@@ -52,6 +53,12 @@ const (
 	MethodStartInstances = "wiera.startInstances"
 	MethodStopInstances  = "wiera.stopInstances"
 	MethodGetInstances   = "wiera.getInstances"
+
+	// Telemetry API served by the cmd/wiera TCP front. Handled in the
+	// daemon process directly: the metrics registry and tracer live on the
+	// fabric, not on any single node.
+	MethodMetricsDump = "wiera.metricsDump"
+	MethodTraceDump   = "wiera.traceDump"
 )
 
 // PutRequest stores an object (Table 2 put / update). From names the
@@ -236,4 +243,24 @@ type DespawnRequest struct {
 type ProxyRequest struct {
 	InstanceID string
 	Payload    []byte
+}
+
+// MetricsDumpRequest asks the daemon for its full metrics registry.
+type MetricsDumpRequest struct{}
+
+// MetricsDumpResponse carries the registry rendered in Prometheus text
+// format (the same bytes the daemon's HTTP /metrics endpoint serves).
+type MetricsDumpResponse struct {
+	Prometheus string
+}
+
+// TraceDumpRequest asks the daemon for recorded trace spans. TraceID
+// filters to one trace; empty returns every span in the ring.
+type TraceDumpRequest struct {
+	TraceID string
+}
+
+// TraceDumpResponse carries the matching span records.
+type TraceDumpResponse struct {
+	Spans []telemetry.SpanRecord
 }

@@ -1,6 +1,7 @@
 package wiera
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -44,14 +45,18 @@ func (q *updateQueue) enqueue(msg UpdateMsg) {
 		key := fmt.Sprintf("%s#%d", msg.Meta.Key, len(q.order))
 		q.order = append(q.order, key)
 		q.pending[key] = msg
+		depth := len(q.pending)
 		q.mu.Unlock()
+		q.n.queueDepth.Set(float64(depth))
 		return
 	}
 	if _, ok := q.pending[msg.Meta.Key]; !ok {
 		q.order = append(q.order, msg.Meta.Key)
 	}
 	q.pending[msg.Meta.Key] = msg
+	depth := len(q.pending)
 	q.mu.Unlock()
+	q.n.queueDepth.Set(float64(depth))
 }
 
 // Len reports how many keys have queued updates.
@@ -106,12 +111,13 @@ func (q *updateQueue) flushNow() {
 	q.pending = make(map[string]UpdateMsg)
 	q.order = q.order[:0]
 	q.mu.Unlock()
+	q.n.queueDepth.Set(0)
 
 	for _, msg := range batch {
 		// Best effort: unreachable peers catch up via later updates or
 		// snapshot sync; LWW makes redelivery harmless.
 		start := q.n.clk.Now()
-		err := q.n.fanOutSync(msg)
+		err := q.n.fanOutSync(context.Background(), msg)
 		if err == nil {
 			// Feed the replication latency to the latency monitor: under
 			// eventual consistency this is the signal that tells the

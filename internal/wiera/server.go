@@ -1,6 +1,7 @@
 package wiera
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -128,8 +129,10 @@ func (s *Server) RegisterTieraServer(region simnet.Region, endpoint string) {
 	s.mu.Unlock()
 }
 
-// handle dispatches control-plane RPCs.
-func (s *Server) handle(method string, payload []byte) ([]byte, error) {
+// handle dispatches control-plane RPCs. Control-plane operations fan out
+// their own RPCs under fresh contexts (they are not part of any data-path
+// trace), so the incoming ctx is not propagated further.
+func (s *Server) handle(_ context.Context, method string, payload []byte) ([]byte, error) {
 	switch method {
 	case MethodStartInstances:
 		var req StartInstancesRequest
@@ -341,7 +344,7 @@ func (s *Server) spawn(instanceID, nodeName string, plan regionPlan, st *instanc
 	if err != nil {
 		return PeerInfo{}, err
 	}
-	raw, err := s.ep.Call(tsEndpoint, MethodSpawn, payload)
+	raw, err := s.ep.Call(context.Background(), tsEndpoint, MethodSpawn, payload)
 	if err != nil {
 		return PeerInfo{}, err
 	}
@@ -355,7 +358,7 @@ func (s *Server) spawn(instanceID, nodeName string, plan regionPlan, st *instanc
 func (s *Server) teardown(nodes []PeerInfo) {
 	for _, n := range nodes {
 		payload, _ := transport.Encode(Empty{})
-		_, _ = s.ep.Call(n.Name, MethodShutdown, payload)
+		_, _ = s.ep.Call(context.Background(), n.Name, MethodShutdown, payload)
 	}
 }
 
@@ -367,7 +370,7 @@ func (s *Server) broadcastPeers(st *instanceState) error {
 		return err
 	}
 	for _, n := range st.nodes {
-		if _, err := s.ep.Call(n.Name, MethodSetPeers, payload); err != nil {
+		if _, err := s.ep.Call(context.Background(), n.Name, MethodSetPeers, payload); err != nil {
 			return err
 		}
 	}
@@ -450,7 +453,7 @@ func (s *Server) ApplyChange(req ChangeRequestMsg) error {
 			return err
 		}
 		for _, n := range nodes {
-			if _, err := s.ep.Call(n.Name, MethodPrepareChange, prepare); err != nil {
+			if _, err := s.ep.Call(context.Background(), n.Name, MethodPrepareChange, prepare); err != nil {
 				return err
 			}
 		}
@@ -459,7 +462,7 @@ func (s *Server) ApplyChange(req ChangeRequestMsg) error {
 			return err
 		}
 		for _, n := range nodes {
-			if _, err := s.ep.Call(n.Name, MethodCommitChange, commit); err != nil {
+			if _, err := s.ep.Call(context.Background(), n.Name, MethodCommitChange, commit); err != nil {
 				return err
 			}
 		}
@@ -475,7 +478,7 @@ func (s *Server) ApplyChange(req ChangeRequestMsg) error {
 			return err
 		}
 		for _, n := range nodes {
-			if _, err := s.ep.Call(n.Name, MethodSetPrimary, msg); err != nil {
+			if _, err := s.ep.Call(context.Background(), n.Name, MethodSetPrimary, msg); err != nil {
 				return err
 			}
 		}
@@ -599,7 +602,7 @@ func (s *Server) checkInstance(id string) {
 	ping, _ := transport.Encode(PingMsg{})
 	var live, dead []PeerInfo
 	for _, n := range nodes {
-		if _, err := s.ep.Call(n.Name, MethodPing, ping); err != nil {
+		if _, err := s.ep.Call(context.Background(), n.Name, MethodPing, ping); err != nil {
 			dead = append(dead, n)
 		} else {
 			live = append(live, n)
@@ -713,7 +716,7 @@ func NewTieraServer(fabric *transport.Fabric, region simnet.Region, server *Serv
 // Name returns the Tiera server's endpoint name.
 func (ts *TieraServer) Name() string { return ts.name }
 
-func (ts *TieraServer) handle(method string, payload []byte) ([]byte, error) {
+func (ts *TieraServer) handle(_ context.Context, method string, payload []byte) ([]byte, error) {
 	switch method {
 	case MethodSpawn:
 		var req SpawnRequest

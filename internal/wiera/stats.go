@@ -1,6 +1,7 @@
 package wiera
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -104,7 +105,7 @@ func (s *Server) CollectStats(instanceID string) (*InstanceStats, error) {
 		return nil, err
 	}
 	for _, pi := range nodes {
-		raw, err := s.ep.Call(pi.Name, MethodStats, payload)
+		raw, err := s.ep.Call(context.Background(), pi.Name, MethodStats, payload)
 		if err != nil {
 			continue // dead nodes are the heartbeat's business
 		}

@@ -1,6 +1,7 @@
 package wiera
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -165,7 +166,7 @@ func TestMultiPrimariesSynchronousReplication(t *testing.T) {
 	c := newCluster(t)
 	nodes := c.start(t, "mp", "MultiPrimariesConsistency", nil)
 	west := c.node(t, nodes[0].Name)
-	meta, err := west.Put("k", []byte("v1"), nil)
+	meta, err := west.Put(context.Background(), "k", []byte("v1"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestMultiPrimariesSynchronousReplication(t *testing.T) {
 	// Synchronous: every other node must already have the data.
 	for _, pi := range nodes[1:] {
 		n := c.node(t, pi.Name)
-		data, m, err := n.Local().Get("k")
+		data, m, err := n.Local().Get(context.Background(), "k")
 		if err != nil || string(data) != "v1" {
 			t.Fatalf("node %s: %q, %v", pi.Name, data, err)
 		}
@@ -210,17 +211,17 @@ func TestPrimaryBackupForwarding(t *testing.T) {
 	}
 	// A put at the backup is forwarded to the primary, which stores and
 	// fans out synchronously.
-	meta, err := backup.Put("k", []byte("v"), nil)
+	meta, err := backup.Put(context.Background(), "k", []byte("v"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if meta.Version != 1 {
 		t.Fatalf("version = %d", meta.Version)
 	}
-	if _, _, err := primary.Local().Get("k"); err != nil {
+	if _, _, err := primary.Local().Get(context.Background(), "k"); err != nil {
 		t.Fatalf("primary missing data: %v", err)
 	}
-	if _, _, err := backup.Local().Get("k"); err != nil {
+	if _, _, err := backup.Local().Get(context.Background(), "k"); err != nil {
 		t.Fatalf("backup missing data after sync copy: %v", err)
 	}
 	if primary.Local().PutCount() == 0 {
@@ -244,33 +245,33 @@ Wiera EventualConsistency {
 	nodes := c.startSrc(t, "ev", src, nil)
 	west := c.node(t, nodes[0].Name)
 	east := c.node(t, nodes[1].Name)
-	if _, err := west.Put("k", []byte("from-west"), nil); err != nil {
+	if _, err := west.Put(context.Background(), "k", []byte("from-west"), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Not yet replicated (queued).
-	if _, _, err := east.Local().Get("k"); err == nil {
+	if _, _, err := east.Local().Get(context.Background(), "k"); err == nil {
 		t.Log("replication already happened (flush raced); acceptable")
 	}
 	west.queue.flushNow()
-	data, _, err := east.Local().Get("k")
+	data, _, err := east.Local().Get(context.Background(), "k")
 	if err != nil || string(data) != "from-west" {
 		t.Fatalf("east after flush: %q, %v", data, err)
 	}
 	// Concurrent writes at both sides converge under LWW after flushes.
-	if _, err := west.Put("c", []byte("west"), nil); err != nil {
+	if _, err := west.Put(context.Background(), "c", []byte("west"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := east.Put("c", []byte("east"), nil); err != nil {
+	if _, err := east.Put(context.Background(), "c", []byte("east"), nil); err != nil {
 		t.Fatal(err)
 	}
 	west.queue.flushNow()
 	east.queue.flushNow()
 	west.queue.flushNow() // LWW redelivery is harmless
-	dw, mw, err := west.Local().Get("c")
+	dw, mw, err := west.Local().Get(context.Background(), "c")
 	if err != nil {
 		t.Fatal(err)
 	}
-	de, me, err := east.Local().Get("c")
+	de, me, err := east.Local().Get(context.Background(), "c")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestQueueSupersedesOlderVersions(t *testing.T) {
 	_ = nodes
 	west := c.node(t, "ev/us-west")
 	for i := 0; i < 5; i++ {
-		if _, err := west.Put("k", []byte{byte(i)}, nil); err != nil {
+		if _, err := west.Put(context.Background(), "k", []byte{byte(i)}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -306,30 +307,30 @@ func TestClientClosestAndFailover(t *testing.T) {
 	if err != nil || closest != "mp/eu-west" {
 		t.Fatalf("closest = %q, %v", closest, err)
 	}
-	if _, err := cli.Put("k", []byte("v")); err != nil {
+	if _, err := cli.Put(context.Background(), "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	data, _, err := cli.Get("k")
+	data, _, err := cli.Get(context.Background(), "k")
 	if err != nil || string(data) != "v" {
 		t.Fatalf("Get = %q, %v", data, err)
 	}
-	vs, err := cli.VersionList("k")
+	vs, err := cli.VersionList(context.Background(), "k")
 	if err != nil || len(vs) != 1 {
 		t.Fatalf("VersionList = %v, %v", vs, err)
 	}
-	if _, _, err := cli.GetVersion("k", 1); err != nil {
+	if _, _, err := cli.GetVersion(context.Background(), "k", 1); err != nil {
 		t.Fatal(err)
 	}
 	// Kill the closest node: the client fails over to the next one.
 	c.node(t, "mp/eu-west").Crash()
-	data, _, err = cli.Get("k")
+	data, _, err = cli.Get(context.Background(), "k")
 	if err != nil || string(data) != "v" {
 		t.Fatalf("Get after crash = %q, %v", data, err)
 	}
-	if err := cli.RemoveVersion("k", 1); err != nil {
+	if err := cli.RemoveVersion(context.Background(), "k", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.Remove("k"); err == nil {
+	if err := cli.Remove(context.Background(), "k"); err == nil {
 		t.Log("remove after removeVersion cleaned key") // version was the only one
 	}
 }
@@ -342,7 +343,7 @@ func TestDynamicConsistencySwitch(t *testing.T) {
 
 	// Normal operation: stays on MultiPrimaries.
 	for i := 0; i < 3; i++ {
-		if _, err := west.Put(fmt.Sprintf("k%d", i), []byte("v"), nil); err != nil {
+		if _, err := west.Put(context.Background(), fmt.Sprintf("k%d", i), []byte("v"), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -355,7 +356,7 @@ func TestDynamicConsistencySwitch(t *testing.T) {
 	c.net.InjectDelay(simnet.USWest, simnet.USEast, 2*time.Second)
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		if _, err := west.Put("hot", []byte("v"), nil); err != nil {
+		if _, err := west.Put(context.Background(), "hot", []byte("v"), nil); err != nil {
 			t.Fatal(err)
 		}
 		if got, _ := c.server.CurrentPolicy("dc"); got == "EventualConsistency" {
@@ -373,7 +374,7 @@ func TestDynamicConsistencySwitch(t *testing.T) {
 	c.net.ClearDelay(simnet.USWest, simnet.USEast)
 	deadline = time.Now().Add(15 * time.Second)
 	for {
-		if _, err := west.Put("hot", []byte("v"), nil); err != nil {
+		if _, err := west.Put(context.Background(), "hot", []byte("v"), nil); err != nil {
 			t.Fatal(err)
 		}
 		if got, _ := c.server.CurrentPolicy("dc"); got == "MultiPrimariesConsistency" {
@@ -416,7 +417,7 @@ Wiera PrimaryBackupConsistency {
 	eu := c.node(t, "cp/eu-west")
 	deadline := time.Now().Add(20 * time.Second)
 	for i := 0; ; i++ {
-		if _, err := eu.Put(fmt.Sprintf("k%d", i%8), []byte("v"), nil); err != nil {
+		if _, err := eu.Put(context.Background(), fmt.Sprintf("k%d", i%8), []byte("v"), nil); err != nil {
 			t.Fatal(err)
 		}
 		if p, _ := c.server.CurrentPrimary("cp"); p == "cp/eu-west" {
@@ -456,7 +457,7 @@ Wiera TwoRegions {
 }`
 	nodes = c.startSrc(t, "ha2", src, nil)
 	west := c.node(t, "ha2/us-west")
-	if _, err := west.Put("k", []byte("precious"), nil); err != nil {
+	if _, err := west.Put(context.Background(), "k", []byte("precious"), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Kill the east replica and run a heartbeat sweep.
@@ -480,7 +481,7 @@ Wiera TwoRegions {
 	}
 	// The respawned replica bootstrapped the data from a live peer.
 	nn := c.node(t, respawned)
-	data, _, err := nn.Local().Get("k")
+	data, _, err := nn.Local().Get(context.Background(), "k")
 	if err != nil || string(data) != "precious" {
 		t.Fatalf("respawned node data = %q, %v", data, err)
 	}
@@ -523,7 +524,7 @@ Wiera PB2 {
 		t.Fatal("east does not know it is primary")
 	}
 	// Puts still work.
-	if _, err := east.Put("k", []byte("v"), nil); err != nil {
+	if _, err := east.Put(context.Background(), "k", []byte("v"), nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -571,11 +572,11 @@ Wiera RemoteMemory {
 	c.startSrc(t, "rm", src, nil)
 	azure := c.node(t, "rm/azure-us-east")
 	aws := c.node(t, "rm/us-east")
-	if _, err := azure.Put("k", []byte("v"), nil); err != nil {
+	if _, err := azure.Put(context.Background(), "k", []byte("v"), nil); err != nil {
 		t.Fatal(err)
 	}
 	awsGetsBefore := aws.Local().GetCount()
-	data, _, err := azure.Get("k")
+	data, _, err := azure.Get(context.Background(), "k")
 	if err != nil || string(data) != "v" {
 		t.Fatalf("Get = %q, %v", data, err)
 	}
@@ -604,11 +605,11 @@ func TestNodeConfigValidation(t *testing.T) {
 	}
 	defer n.Close()
 	// Single node, no peers: puts work locally, queue flushes are no-ops.
-	if _, err := n.Put("k", []byte("v"), nil); err != nil {
+	if _, err := n.Put(context.Background(), "k", []byte("v"), nil); err != nil {
 		t.Fatal(err)
 	}
 	n.queue.flushNow()
-	data, _, err := n.Get("k")
+	data, _, err := n.Get(context.Background(), "k")
 	if err != nil || string(data) != "v" {
 		t.Fatalf("solo get = %q, %v", data, err)
 	}
@@ -666,7 +667,7 @@ Wiera Two {
 	payload, _ := transport.Encode(StartInstancesRequest{
 		InstanceID: "rpc", PolicySrc: src, Params: map[string]string{"t": "1s"},
 	})
-	raw, err := ep.Call("wiera", MethodStartInstances, payload)
+	raw, err := ep.Call(context.Background(), "wiera", MethodStartInstances, payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -678,14 +679,14 @@ Wiera Two {
 		t.Fatalf("nodes = %v", resp.Nodes)
 	}
 	payload, _ = transport.Encode(GetInstancesRequest{InstanceID: "rpc"})
-	if _, err := ep.Call("wiera", MethodGetInstances, payload); err != nil {
+	if _, err := ep.Call(context.Background(), "wiera", MethodGetInstances, payload); err != nil {
 		t.Fatal(err)
 	}
 	payload, _ = transport.Encode(StopInstancesRequest{InstanceID: "rpc"})
-	if _, err := ep.Call("wiera", MethodStopInstances, payload); err != nil {
+	if _, err := ep.Call(context.Background(), "wiera", MethodStopInstances, payload); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ep.Call("wiera", "bogus", nil); err == nil {
+	if _, err := ep.Call(context.Background(), "wiera", "bogus", nil); err == nil {
 		t.Fatal("unknown method should fail")
 	}
 }
@@ -736,11 +737,11 @@ func TestCollectStats(t *testing.T) {
 	nodes := c.start(t, "st", "MultiPrimariesConsistency", nil)
 	west := c.node(t, nodes[0].Name)
 	for i := 0; i < 5; i++ {
-		if _, err := west.Put(fmt.Sprintf("k%d", i), []byte("v"), nil); err != nil {
+		if _, err := west.Put(context.Background(), fmt.Sprintf("k%d", i), []byte("v"), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := west.Get("k0"); err != nil {
+	if _, _, err := west.Get(context.Background(), "k0"); err != nil {
 		t.Fatal(err)
 	}
 	stats, err := c.server.CollectStats("st")
@@ -799,29 +800,29 @@ Wiera EventualConsistency {
 
 	// Partition the replicas, then write on both sides.
 	c.net.Partition(simnet.USWest, simnet.USEast)
-	if _, err := west.Put("k", []byte("west-during-partition"), nil); err != nil {
+	if _, err := west.Put(context.Background(), "k", []byte("west-during-partition"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := east.Put("k", []byte("east-during-partition"), nil); err != nil {
+	if _, err := east.Put(context.Background(), "k", []byte("east-during-partition"), nil); err != nil {
 		t.Fatal(err)
 	}
 	west.queue.flushNow() // delivery fails (unreachable); must not crash
-	if _, _, err := east.Local().Get("k"); err != nil {
+	if _, _, err := east.Local().Get(context.Background(), "k"); err != nil {
 		t.Fatal("east lost its own write during partition")
 	}
 
 	// Heal and overwrite once more; the system must converge.
 	c.net.Heal(simnet.USWest, simnet.USEast)
-	if _, err := west.Put("k", []byte("after-heal"), nil); err != nil {
+	if _, err := west.Put(context.Background(), "k", []byte("after-heal"), nil); err != nil {
 		t.Fatal(err)
 	}
 	west.queue.flushNow()
 	east.queue.flushNow()
-	dw, mw, err := west.Local().Get("k")
+	dw, mw, err := west.Local().Get(context.Background(), "k")
 	if err != nil {
 		t.Fatal(err)
 	}
-	de, me, err := east.Local().Get("k")
+	de, me, err := east.Local().Get(context.Background(), "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -861,7 +862,7 @@ Wiera EventualConsistency {
 					return
 				default:
 				}
-				if _, err := west.Put(fmt.Sprintf("w%d-k%d", w, i%16), []byte("v"), nil); err != nil {
+				if _, err := west.Put(context.Background(), fmt.Sprintf("w%d-k%d", w, i%16), []byte("v"), nil); err != nil {
 					putErrs.Inc()
 				} else {
 					putOK.Inc()
@@ -894,11 +895,11 @@ Wiera EventualConsistency {
 		t.Fatalf("final policy = %q", got)
 	}
 	// Writes still work after the churn and replicate synchronously now.
-	if _, err := west.Put("final", []byte("x"), nil); err != nil {
+	if _, err := west.Put(context.Background(), "final", []byte("x"), nil); err != nil {
 		t.Fatal(err)
 	}
 	east := c.node(t, "pc/us-east")
-	if _, _, err := east.Local().Get("final"); err != nil {
+	if _, _, err := east.Local().Get(context.Background(), "final"); err != nil {
 		t.Fatal("synchronous replication broken after policy churn")
 	}
 }
@@ -920,12 +921,12 @@ Wiera Solo {
 	east := c.node(t, "sn/us-east")
 	for i := 0; i < 10; i++ {
 		key := fmt.Sprintf("k%d", i)
-		if _, err := west.Put(key, []byte(key+"-data"), nil); err != nil {
+		if _, err := west.Put(context.Background(), key, []byte(key+"-data"), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// No replication policy: east is empty until it syncs a snapshot.
-	if _, _, err := east.Local().Get("k0"); err == nil {
+	if _, _, err := east.Local().Get(context.Background(), "k0"); err == nil {
 		t.Fatal("east should be empty before sync")
 	}
 	if err := east.SyncFrom(west.Name()); err != nil {
@@ -933,7 +934,7 @@ Wiera Solo {
 	}
 	for i := 0; i < 10; i++ {
 		key := fmt.Sprintf("k%d", i)
-		data, _, err := east.Local().Get(key)
+		data, _, err := east.Local().Get(context.Background(), key)
 		if err != nil || string(data) != key+"-data" {
 			t.Fatalf("after sync, %s = %q, %v", key, data, err)
 		}
@@ -955,7 +956,7 @@ Wiera RawBigData {
 }`
 	c.startSrc(t, "bigdata", rawSrc, nil)
 	raw := c.node(t, "bigdata/us-east")
-	if _, err := raw.Put("input-000", []byte("raw bytes"), nil); err != nil {
+	if _, err := raw.Put(context.Background(), "input-000", []byte("raw bytes"), nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -983,15 +984,15 @@ Wiera Intermediate {
 	inter := c.node(t, nodes[0].Name)
 
 	// Reads of raw data fall through tier1 (miss) to the mounted instance.
-	data, _, err := inter.Local().Get("input-000")
+	data, _, err := inter.Local().Get(context.Background(), "input-000")
 	if err != nil || string(data) != "raw bytes" {
 		t.Fatalf("read through instance tier = %q, %v", data, err)
 	}
 	// Intermediate results land in the local memory tier, not in bigdata.
-	if _, err := inter.Put("result-000", []byte("derived"), nil); err != nil {
+	if _, err := inter.Put(context.Background(), "result-000", []byte("derived"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := raw.Local().Get("result-000"); err == nil {
+	if _, _, err := raw.Local().Get(context.Background(), "result-000"); err == nil {
 		t.Fatal("write leaked into the read-only backing instance")
 	}
 	// The read-only tier rejects writes directly.
@@ -999,7 +1000,7 @@ Wiera Intermediate {
 	if !ok {
 		t.Fatal("tier2 missing")
 	}
-	if err := t2.Put("x", []byte("y")); err == nil {
+	if err := t2.Put(context.Background(), "x", []byte("y")); err == nil {
 		t.Fatal("read-only instance tier accepted a write")
 	}
 	// A dangling ref fails cleanly.
