@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci verify vet build test race bench convergence
 
 ci: vet build race
+
+# One-stop pre-commit check: static analysis, full build, race-checked tests.
+verify: vet build race
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +24,7 @@ race:
 # Telemetry overhead: instrumented vs bare client PUT/GET.
 bench:
 	$(GO) test -bench=BenchmarkClient -benchmem ./internal/wiera/
+
+# Anti-entropy partition/heal experiment (quick mode).
+convergence:
+	$(GO) run ./cmd/wierabench -exp convergence

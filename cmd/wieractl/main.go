@@ -14,6 +14,7 @@
 //	wieractl [-addr 127.0.0.1:7360] remove -id myapp -key k [-version N]
 //	wieractl [-addr 127.0.0.1:7360] policies
 //	wieractl [-addr 127.0.0.1:7360] metrics
+//	wieractl [-addr 127.0.0.1:7360] repair
 //	wieractl [-addr 127.0.0.1:7360] trace [-trace <id>] [-raw]
 package main
 
@@ -48,7 +49,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|remove|policies|metrics|trace> ...")
+		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|remove|policies|metrics|repair|trace> ...")
 	}
 	cmdName, cmdArgs := rest[0], rest[1:]
 	if cmdName == "policies" {
@@ -86,6 +87,26 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(resp.Prometheus)
+		return nil
+	case "repair":
+		// Anti-entropy health: the repair_* metric families (pending hints,
+		// replayed hints, keys repaired, digest rounds, ...) across every
+		// node the daemon hosts.
+		var resp wiera.MetricsDumpResponse
+		if err := call(cli, wiera.MethodMetricsDump, wiera.MetricsDumpRequest{}, &resp); err != nil {
+			return err
+		}
+		printed := false
+		for _, line := range strings.Split(resp.Prometheus, "\n") {
+			trimmed := strings.TrimPrefix(strings.TrimPrefix(line, "# HELP "), "# TYPE ")
+			if strings.HasPrefix(trimmed, "repair_") {
+				fmt.Println(line)
+				printed = true
+			}
+		}
+		if !printed {
+			fmt.Println("no repair metrics (anti-entropy disabled or no instances running)")
+		}
 		return nil
 	case "trace":
 		var resp wiera.TraceDumpResponse

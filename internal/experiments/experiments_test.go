@@ -106,6 +106,20 @@ func TestFig12RUBiSThroughput(t *testing.T) {
 	}
 }
 
+func TestConvergenceAntiEntropy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence partition/heal run takes ~20s")
+	}
+	res, err := Convergence(Options{Quick: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestAblationConsistency(t *testing.T) {
 	res, err := AblationConsistency(Options{Quick: true, Seed: 5})
 	if err != nil {

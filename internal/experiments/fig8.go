@@ -117,6 +117,9 @@ Wiera PrimaryBackupAsync {
 		// staleness mechanism: "clients that are not close to the primary
 		// instance can see outdated data").
 		"queueFlush": "60s",
+		// The paper's Wiera has no read repair; leaving anti-entropy on
+		// would repair the stale reads this experiment exists to measure.
+		"antiEntropy": "false",
 	}
 	if changing {
 		// The paper's run uses a 15 s period threshold for the primary

@@ -1,0 +1,271 @@
+package repair
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// hintSep joins peer name and object key in a backend key. Unit separator:
+// it cannot appear in endpoint names or sane object keys, and a peer name
+// containing it would only shadow its own hints.
+const hintSep = "\x1f"
+
+// Backend persists hints. metastore.Store satisfies it exactly, giving
+// durable hints; memBackend (NewMemBackend) keeps them in memory for nodes
+// running without a metadata path.
+type Backend interface {
+	Put(key string, val []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	Keys() ([]string, error)
+	Close() error
+}
+
+// memBackend is the in-memory Backend for non-durable nodes.
+type memBackend struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemBackend returns an empty in-memory hint backend.
+func NewMemBackend() Backend { return &memBackend{m: make(map[string][]byte)} }
+
+func (b *memBackend) Put(key string, val []byte) error {
+	b.mu.Lock()
+	b.m[key] = append([]byte(nil), val...)
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *memBackend) Get(key string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	if !ok {
+		return nil, fmt.Errorf("repair: no hint %q", key)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+func (b *memBackend) Delete(key string) error {
+	b.mu.Lock()
+	delete(b.m, key)
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *memBackend) Keys() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.m))
+	for k := range b.m {
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func (b *memBackend) Close() error { return nil }
+
+// HintLog stores updates that failed to reach a peer, keyed (peer, key)
+// with last-writer-wins supersession: a newer version of a key replaces an
+// older queued hint, so a hot key partitioned away accumulates exactly one
+// hint per peer. Safe for concurrent use.
+type HintLog struct {
+	mu      sync.Mutex
+	be      Backend
+	pending map[string]map[string]Entry // peer -> key -> queued summary
+	metrics *Metrics
+}
+
+// OpenHintLog loads existing hints from be (replaying a durable backend
+// after a restart) and reports the pending gauge through metrics (may be
+// nil).
+func OpenHintLog(be Backend, metrics *Metrics) (*HintLog, error) {
+	l := &HintLog{be: be, pending: make(map[string]map[string]Entry), metrics: metrics}
+	keys, err := be.Keys()
+	if err != nil {
+		return nil, err
+	}
+	for _, bk := range keys {
+		peer, _, ok := strings.Cut(bk, hintSep)
+		if !ok {
+			continue
+		}
+		raw, err := be.Get(bk)
+		if err != nil {
+			continue
+		}
+		var u Update
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&u); err != nil {
+			_ = be.Delete(bk) // torn record: drop rather than wedge replay
+			continue
+		}
+		l.addPending(peer, u.Entry())
+	}
+	l.gauge()
+	return l, nil
+}
+
+func (l *HintLog) addPending(peer string, e Entry) {
+	m := l.pending[peer]
+	if m == nil {
+		m = make(map[string]Entry)
+		l.pending[peer] = m
+	}
+	m[e.Key] = e
+}
+
+// gauge publishes the pending count; callers hold l.mu or have exclusive
+// access.
+func (l *HintLog) gauge() {
+	if l.metrics == nil {
+		return
+	}
+	n := 0
+	for _, m := range l.pending {
+		n += len(m)
+	}
+	l.metrics.HintsPending.Set(float64(n))
+}
+
+// Add queues u for peer unless an equal-or-newer hint for the same key is
+// already queued. Returns whether the hint was recorded.
+func (l *HintLog) Add(peer string, u Update) (bool, error) {
+	e := u.Entry()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if old, ok := l.pending[peer][e.Key]; ok && !newer(e, old) {
+		return false, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(u); err != nil {
+		return false, fmt.Errorf("repair: encode hint: %w", err)
+	}
+	if err := l.be.Put(peer+hintSep+e.Key, buf.Bytes()); err != nil {
+		return false, err
+	}
+	l.addPending(peer, e)
+	l.gauge()
+	return true, nil
+}
+
+// Pending returns the total queued hint count.
+func (l *HintLog) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, m := range l.pending {
+		n += len(m)
+	}
+	return n
+}
+
+// PendingFor returns the queued hint count for one peer.
+func (l *HintLog) PendingFor(peer string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending[peer])
+}
+
+// PeersWithHints lists peers that currently have queued hints.
+func (l *HintLog) PeersWithHints() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.pending))
+	for p, m := range l.pending {
+		if len(m) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// take loads up to limit hints queued for peer.
+func (l *HintLog) take(peer string, limit int) []Update {
+	l.mu.Lock()
+	keys := make([]string, 0, limit)
+	for k := range l.pending[peer] {
+		if len(keys) == limit {
+			break
+		}
+		keys = append(keys, k)
+	}
+	l.mu.Unlock()
+	out := make([]Update, 0, len(keys))
+	for _, k := range keys {
+		raw, err := l.be.Get(peer + hintSep + k)
+		if err != nil {
+			continue
+		}
+		var u Update
+		if gob.NewDecoder(bytes.NewReader(raw)).Decode(&u) == nil {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// ack removes delivered hints unless a newer version was queued while the
+// replay was in flight.
+func (l *HintLog) ack(peer string, delivered []Update) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, u := range delivered {
+		e := u.Entry()
+		cur, ok := l.pending[peer][e.Key]
+		if !ok || newer(cur, e) {
+			continue
+		}
+		delete(l.pending[peer], e.Key)
+		_ = l.be.Delete(peer + hintSep + e.Key)
+	}
+	l.gauge()
+}
+
+// ReplayFor drains peer's queue through push (typically PeerClient.Push) in
+// batches, stopping on the first error. It returns how many hints were
+// delivered and acknowledged.
+func (l *HintLog) ReplayFor(peer string, push func([]Update) (int, error)) (int, error) {
+	replayed := 0
+	for {
+		batch := l.take(peer, pullBatch)
+		if len(batch) == 0 {
+			return replayed, nil
+		}
+		if _, err := push(batch); err != nil {
+			return replayed, err
+		}
+		l.ack(peer, batch)
+		replayed += len(batch)
+		if l.metrics != nil {
+			l.metrics.HintsReplayed.Add(int64(len(batch)))
+		}
+	}
+}
+
+// DropPeer discards every hint queued for peer (it left the membership),
+// returning how many were dropped.
+func (l *HintLog) DropPeer(peer string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.pending[peer]
+	for k := range m {
+		_ = l.be.Delete(peer + hintSep + k)
+	}
+	delete(l.pending, peer)
+	if l.metrics != nil && len(m) > 0 {
+		l.metrics.HintsDropped.Add(int64(len(m)))
+	}
+	l.gauge()
+	return len(m)
+}
+
+// Close closes the backing store.
+func (l *HintLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.be.Close()
+}

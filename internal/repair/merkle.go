@@ -1,0 +1,181 @@
+package repair
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Geometry fixes the shape of a Merkle digest tree: a complete tree with
+// Fanout children per internal node and Depth levels below the root, so
+// Fanout^Depth leaf buckets. Both sides of a sync session must use the same
+// geometry; it travels inside every digest request.
+type Geometry struct {
+	Fanout int
+	Depth  int
+}
+
+// DefaultGeometry is 16^3 = 4096 leaf buckets — a few keys per bucket at
+// the 10k-key scale the experiments run, and three digest rounds to locate
+// any divergent range.
+var DefaultGeometry = Geometry{Fanout: 16, Depth: 3}
+
+// normalize substitutes defaults for zero fields and clamps degenerate
+// values.
+func (g Geometry) normalize() Geometry {
+	if g.Fanout < 2 {
+		g.Fanout = DefaultGeometry.Fanout
+	}
+	if g.Depth < 1 {
+		g.Depth = DefaultGeometry.Depth
+	}
+	return g
+}
+
+// Leaves returns the number of leaf buckets (Fanout^Depth).
+func (g Geometry) Leaves() int {
+	n := 1
+	for i := 0; i < g.Depth; i++ {
+		n *= g.Fanout
+	}
+	return n
+}
+
+// LeafStart returns the heap index of the first leaf: nodes are numbered
+// heap-style (root = 0, children of i are i*Fanout+1 .. i*Fanout+Fanout),
+// so the (Fanout^Depth - 1)/(Fanout - 1) internal nodes come first.
+func (g Geometry) LeafStart() int {
+	return (g.Leaves() - 1) / (g.Fanout - 1)
+}
+
+// Nodes returns the total node count, internal plus leaves.
+func (g Geometry) Nodes() int {
+	return g.LeafStart() + g.Leaves()
+}
+
+// Children returns the heap indices of node's children (nil for leaves).
+func (g Geometry) Children(node int) []int {
+	if node >= g.LeafStart() {
+		return nil
+	}
+	out := make([]int, g.Fanout)
+	for i := range out {
+		out[i] = node*g.Fanout + 1 + i
+	}
+	return out
+}
+
+// Leaf maps a key to its leaf bucket index in [0, Leaves()).
+func (g Geometry) Leaf(key string) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(g.Leaves()))
+}
+
+// mix64 is the splitmix64 finalizer: it decorrelates entry digests so the
+// XOR combination at leaves does not cancel structured FNV outputs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// entryDigest hashes one key summary. Any field change — version bump,
+// mtime change, different origin — changes the digest.
+func entryDigest(e Entry) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(e.Key))
+	var buf [16]byte
+	putU64(buf[0:8], uint64(e.Version))
+	putU64(buf[8:16], uint64(e.Mtime))
+	h.Write(buf[:])
+	h.Write([]byte(e.Origin))
+	return mix64(h.Sum64())
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Tree is a built Merkle digest tree over one replica's key summaries.
+type Tree struct {
+	geo    Geometry
+	dig    []uint64
+	leaves [][]Entry
+	count  int
+}
+
+// BuildTree hashes entries into their leaf buckets and folds digests up to
+// the root. Leaf digests XOR per-entry digests (order independent, so the
+// iteration order of the caller's map does not matter); internal digests
+// hash their children in child order.
+func BuildTree(geo Geometry, entries []Entry) *Tree {
+	geo = geo.normalize()
+	t := &Tree{geo: geo, dig: make([]uint64, geo.Nodes()), leaves: make([][]Entry, geo.Leaves()), count: len(entries)}
+	for _, e := range entries {
+		l := geo.Leaf(e.Key)
+		t.leaves[l] = append(t.leaves[l], e)
+	}
+	start := geo.LeafStart()
+	for i, es := range t.leaves {
+		var d uint64
+		for _, e := range es {
+			d ^= entryDigest(e)
+		}
+		t.dig[start+i] = d
+	}
+	for i := start - 1; i >= 0; i-- {
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, c := range geo.Children(i) {
+			putU64(buf[:], t.dig[c])
+			h.Write(buf[:])
+		}
+		t.dig[i] = h.Sum64()
+	}
+	return t
+}
+
+// Geometry returns the tree's shape.
+func (t *Tree) Geometry() Geometry { return t.geo }
+
+// Count returns how many entries the tree covers.
+func (t *Tree) Count() int { return t.count }
+
+// Digest returns the digest of the node at heap index i.
+func (t *Tree) Digest(i int) (uint64, error) {
+	if i < 0 || i >= len(t.dig) {
+		return 0, fmt.Errorf("repair: node index %d out of range [0,%d)", i, len(t.dig))
+	}
+	return t.dig[i], nil
+}
+
+// Digests returns the digests for a set of node indices, in order.
+func (t *Tree) Digests(nodes []int) ([]uint64, error) {
+	out := make([]uint64, len(nodes))
+	for i, n := range nodes {
+		d, err := t.Digest(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// LeafEntries returns the concatenated summaries of the given leaf buckets
+// (indices in [0, Leaves())).
+func (t *Tree) LeafEntries(leaves []int) ([]Entry, error) {
+	var out []Entry
+	for _, l := range leaves {
+		if l < 0 || l >= len(t.leaves) {
+			return nil, fmt.Errorf("repair: leaf index %d out of range [0,%d)", l, len(t.leaves))
+		}
+		out = append(out, t.leaves[l]...)
+	}
+	return out, nil
+}

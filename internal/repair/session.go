@@ -1,0 +1,217 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+)
+
+// pullBatch bounds how many keys one Pull/Push RPC carries so a badly
+// diverged pair never builds an unbounded message.
+const pullBatch = 512
+
+// Stats summarises one sync session. Byte fields use the wire-size model
+// below (a deterministic per-message estimate), so "Merkle vs full
+// exchange" comparisons are implementation independent; the transport
+// adapters additionally count real payload bytes into telemetry.
+type Stats struct {
+	// Rounds counts digest exchange RPCs (the O(log n) descent).
+	Rounds int
+	// NodesCompared counts tree nodes whose digests were exchanged.
+	NodesCompared int
+	// LeavesDiverged counts leaf buckets whose key summaries were pulled.
+	LeavesDiverged int
+	// KeysPulled / KeysPushed count versions moved toward (resp. from)
+	// the local replica; KeysRepaired is the sum that actually won LWW.
+	KeysPulled   int
+	KeysPushed   int
+	KeysRepaired int
+	// DigestBytes, EntryBytes and DataBytes estimate the session's wire
+	// cost split by message kind.
+	DigestBytes int64
+	EntryBytes  int64
+	DataBytes   int64
+	// FullSyncBytes estimates what a naive full-key exchange would have
+	// cost instead: both replicas shipping their complete summary lists.
+	FullSyncBytes int64
+}
+
+// TotalBytes is the session's full estimated wire cost.
+func (s Stats) TotalBytes() int64 { return s.DigestBytes + s.EntryBytes + s.DataBytes }
+
+// entryWireSize models one summary on the wire: key and origin bytes plus
+// version, mtime and framing.
+func entryWireSize(e Entry) int64 {
+	return int64(len(e.Key)) + int64(len(e.Origin)) + 18
+}
+
+// updateWireSize models one full version on the wire.
+func updateWireSize(u Update) int64 {
+	return entryWireSize(u.Entry()) + int64(len(u.Data))
+}
+
+// Sync runs one anti-entropy session: build the local digest tree, walk it
+// against the peer's level by level, diff the divergent leaf buckets, then
+// pull versions the peer holds newer and push versions held newer locally.
+// LWW idempotence makes a session against a concurrently changing peer
+// harmless: anything missed converges on a later round.
+func Sync(local Store, peer PeerClient, geo Geometry) (Stats, error) {
+	geo = geo.normalize()
+	var st Stats
+	entries := local.Entries()
+	tree := BuildTree(geo, entries)
+	for _, e := range entries {
+		st.FullSyncBytes += 2 * entryWireSize(e) // both directions of a naive exchange
+	}
+
+	// Descent: compare the root, then expand only divergent nodes.
+	frontier := []int{0}
+	divergent := make([]int, 0, 8)
+	leafStart := geo.LeafStart()
+	for len(frontier) > 0 {
+		remote, err := peer.Digests(geo, frontier)
+		if err != nil {
+			return st, err
+		}
+		st.Rounds++
+		st.NodesCompared += len(frontier)
+		st.DigestBytes += int64(len(frontier))*16 + 8 // indices out, digests back, framing
+		if len(remote) != len(frontier) {
+			return st, fmt.Errorf("repair: peer returned %d digests for %d nodes", len(remote), len(frontier))
+		}
+		next := frontier[:0:0]
+		for i, idx := range frontier {
+			ld, err := tree.Digest(idx)
+			if err != nil {
+				return st, err
+			}
+			if remote[i] == ld {
+				continue
+			}
+			if idx >= leafStart {
+				divergent = append(divergent, idx-leafStart)
+			} else {
+				next = append(next, geo.Children(idx)...)
+			}
+		}
+		frontier = next
+	}
+	if len(divergent) == 0 {
+		return st, nil
+	}
+	st.LeavesDiverged = len(divergent)
+
+	// Diff the divergent buckets key by key.
+	remoteEntries, err := peer.LeafEntries(geo, divergent)
+	if err != nil {
+		return st, err
+	}
+	st.EntryBytes += int64(len(divergent)) * 8
+	remoteByKey := make(map[string]Entry, len(remoteEntries))
+	for _, e := range remoteEntries {
+		st.EntryBytes += entryWireSize(e)
+		remoteByKey[e.Key] = e
+	}
+	localByKey := make(map[string]Entry)
+	for _, l := range divergent {
+		es, err := tree.LeafEntries([]int{l})
+		if err != nil {
+			return st, err
+		}
+		for _, e := range es {
+			localByKey[e.Key] = e
+		}
+	}
+	var pulls, pushes []string
+	for key, re := range remoteByKey {
+		le, ok := localByKey[key]
+		if !ok || newer(re, le) {
+			pulls = append(pulls, key)
+		}
+	}
+	for key, le := range localByKey {
+		re, ok := remoteByKey[key]
+		if !ok || newer(le, re) {
+			pushes = append(pushes, key)
+		}
+	}
+	sort.Strings(pulls)
+	sort.Strings(pushes)
+
+	for start := 0; start < len(pulls); start += pullBatch {
+		end := min(start+pullBatch, len(pulls))
+		batch := pulls[start:end]
+		for _, k := range batch {
+			st.DataBytes += int64(len(k)) + 2
+		}
+		updates, err := peer.Pull(batch)
+		if err != nil {
+			return st, err
+		}
+		for _, u := range updates {
+			st.DataBytes += updateWireSize(u)
+			st.KeysPulled++
+			if local.Apply(u) {
+				st.KeysRepaired++
+			}
+		}
+	}
+	for start := 0; start < len(pushes); start += pullBatch {
+		end := min(start+pullBatch, len(pushes))
+		var batch []Update
+		for _, k := range pushes[start:end] {
+			u, ok := local.Load(k)
+			if !ok {
+				continue // removed since the tree was built
+			}
+			st.DataBytes += updateWireSize(u)
+			batch = append(batch, u)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		accepted, err := peer.Push(batch)
+		if err != nil {
+			return st, err
+		}
+		st.KeysPushed += len(batch)
+		st.KeysRepaired += accepted
+	}
+	return st, nil
+}
+
+// LocalPeer adapts an in-process Store to the PeerClient interface. Tests
+// and the experiment harness use it to run protocol-exact sessions without
+// a transport.
+type LocalPeer struct{ S Store }
+
+// Digests implements PeerClient.
+func (p LocalPeer) Digests(geo Geometry, nodes []int) ([]uint64, error) {
+	return BuildTree(geo, p.S.Entries()).Digests(nodes)
+}
+
+// LeafEntries implements PeerClient.
+func (p LocalPeer) LeafEntries(geo Geometry, leaves []int) ([]Entry, error) {
+	return BuildTree(geo, p.S.Entries()).LeafEntries(leaves)
+}
+
+// Pull implements PeerClient.
+func (p LocalPeer) Pull(keys []string) ([]Update, error) {
+	out := make([]Update, 0, len(keys))
+	for _, k := range keys {
+		if u, ok := p.S.Load(k); ok {
+			out = append(out, u)
+		}
+	}
+	return out, nil
+}
+
+// Push implements PeerClient.
+func (p LocalPeer) Push(updates []Update) (int, error) {
+	accepted := 0
+	for _, u := range updates {
+		if p.S.Apply(u) {
+			accepted++
+		}
+	}
+	return accepted, nil
+}

@@ -125,13 +125,24 @@ func (e *globalPutExec) distribute(call *policy.ActionCall, sync bool) error {
 			return err
 		}
 		if !sync {
-			// Async delivery outlives the put's span; detach from it.
+			// Async delivery outlives the put's span; detach from it. A
+			// failed delivery becomes a hint so the update survives the
+			// target being partitioned or down.
 			n := e.n
-			go func() { _, _ = n.ep.Call(context.Background(), target, MethodApplyUpdate, payload) }()
+			go func() {
+				if _, err := n.ep.Call(context.Background(), target, MethodApplyUpdate, payload); err != nil && n.repair != nil {
+					n.repair.addHint(target, msg)
+				}
+			}()
 			return nil
 		}
-		_, err = e.n.ep.Call(e.ctx, target, MethodApplyUpdate, payload)
-		return err
+		if _, err := e.n.ep.Call(e.ctx, target, MethodApplyUpdate, payload); err != nil {
+			if e.n.repair != nil {
+				e.n.repair.addHint(target, msg)
+			}
+			return err
+		}
+		return nil
 	}
 	msg := UpdateMsg{Meta: *e.meta, Data: e.data}
 	if sync {

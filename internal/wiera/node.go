@@ -68,6 +68,13 @@ type NodeConfig struct {
 	// NoQueueSupersede disables per-key supersession in the update queue
 	// (ablation only).
 	NoQueueSupersede bool
+	// AntiEntropyEvery is the background anti-entropy round period
+	// (internal/repair). A positive period enables full Merkle digest sync
+	// every round; 0 (the default) runs hinted handoff and read repair only
+	// — periodic full sync is opt-in because it would replicate keys that a
+	// placement policy deliberately keeps local. Negative disables the
+	// repair subsystem entirely.
+	AntiEntropyEvery time.Duration
 	// Accountant receives tier request charges.
 	Accountant *cost.Accountant
 	// MetaPath persists local metadata when non-empty.
@@ -102,8 +109,9 @@ type Node struct {
 	// creation; consistency changes do not replace them.
 	controlEvents []*policy.CompiledEvent
 
-	gate  *opGate
-	queue *updateQueue
+	gate   *opGate
+	queue  *updateQueue
+	repair *repairManager // nil when AntiEntropyEvery < 0
 
 	latMon *thresholdMonitor // LatencyMonitoring (put)
 	reqMon *requestsMonitor  // RequestsMonitoring (primary)
@@ -207,10 +215,22 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		flushEvery = 500 * time.Millisecond
 	}
 	n.queue = newUpdateQueue(n, flushEvery, !cfg.NoQueueSupersede)
+	if cfg.AntiEntropyEvery >= 0 {
+		rm, err := newRepairManager(n, cfg)
+		if err != nil {
+			local.Close()
+			cfg.Fabric.Remove(cfg.Name)
+			return nil, err
+		}
+		n.repair = rm
+	}
 	n.latMon = newThresholdMonitor(n, "put", cfg.MonitorWindow)
 	n.reqMon = newRequestsMonitor(n)
 	ep.Serve(n.handle)
 	n.queue.start()
+	if n.repair != nil {
+		n.repair.start()
+	}
 	local.Start()
 	registerNode(n)
 	return n, nil
@@ -394,16 +414,26 @@ func (n *Node) Get(ctx context.Context, key string) ([]byte, object.Meta, error)
 			span.SetError(err)
 			return nil, object.Meta{}, err
 		}
+		// Read repair: install the fetched version locally in the
+		// background so the next read of key is served here.
+		if n.repair != nil {
+			n.repair.absorb(meta, data)
+		}
 	}
 	n.GetLatency.Record(n.clk.Since(start))
-	n.trackFreshness(meta)
+	if n.trackFreshness(meta) && n.repair != nil {
+		// Read repair: a peer holds a newer version than the one just
+		// returned — reconcile the key asynchronously.
+		n.repair.scheduleKeyRepair(meta.Key)
+	}
 	return data, meta, nil
 }
 
 // trackFreshness compares the returned version against the globally
 // newest version of the key across peers' indexes (oracle view for the
-// Fig 8 staleness metric; no network cost is charged).
-func (n *Node) trackFreshness(meta object.Meta) {
+// Fig 8 staleness metric; no network cost is charged) and reports whether
+// the read was stale — the read-repair trigger.
+func (n *Node) trackFreshness(meta object.Meta) bool {
 	latest := meta.Version
 	for _, p := range n.Peers() {
 		node := lookupNode(p.Name)
@@ -416,9 +446,10 @@ func (n *Node) trackFreshness(meta object.Meta) {
 	}
 	if latest > meta.Version {
 		n.staleReads.Inc()
-	} else {
-		n.freshReads.Inc()
+		return true
 	}
+	n.freshReads.Inc()
+	return false
 }
 
 // GetVersion retrieves a specific version locally.
@@ -476,7 +507,10 @@ func (n *Node) getFromPeers(ctx context.Context, key string) ([]byte, object.Met
 }
 
 // fanOutSync pushes an update to every peer synchronously, in parallel,
-// returning when all have acknowledged (or any fails).
+// returning when all have acknowledged (or any fails). A peer that cannot
+// be reached gets the update queued as a hint, so an acknowledged write is
+// never lost to a partition or crash: the repair daemon replays it when the
+// peer answers pings again.
 func (n *Node) fanOutSync(ctx context.Context, msg UpdateMsg) error {
 	peers := n.Peers()
 	if len(peers) == 0 {
@@ -486,17 +520,28 @@ func (n *Node) fanOutSync(ctx context.Context, msg UpdateMsg) error {
 	if err != nil {
 		return err
 	}
-	errs := make(chan error, len(peers))
+	type result struct {
+		peer string
+		err  error
+	}
+	results := make(chan result, len(peers))
 	for _, p := range peers {
 		go func(p PeerInfo) {
 			_, err := n.ep.Call(ctx, p.Name, MethodApplyUpdate, payload)
-			errs <- err
+			results <- result{peer: p.Name, err: err}
 		}(p)
 	}
 	var firstErr error
 	for range peers {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
+		r := <-results
+		if r.err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = r.err
+		}
+		if n.repair != nil {
+			n.repair.addHint(r.peer, msg)
 		}
 	}
 	return firstErr
@@ -598,6 +643,11 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		return transport.Encode(UpdateAck{Accepted: accepted})
 	case MethodSnapshot:
 		return n.snapshot(ctx)
+	case MethodRepairDigest, MethodRepairEntries, MethodRepairPull, MethodRepairPush:
+		if n.repair == nil {
+			return nil, fmt.Errorf("wiera: node %s: repair subsystem disabled", n.name)
+		}
+		return n.repair.handle(ctx, method, payload)
 	case MethodSetPeers:
 		var msg PeersMsg
 		if err := transport.Decode(payload, &msg); err != nil {
@@ -772,6 +822,9 @@ func (n *Node) Close() error {
 	n.mu.Unlock()
 	n.gate.kill() // unblock any operation parked behind a policy change
 	n.queue.stop()
+	if n.repair != nil {
+		n.repair.stop()
+	}
 	if n.locks != nil {
 		_ = n.locks.Close()
 	}
@@ -788,6 +841,11 @@ func (n *Node) Crash() {
 	n.mu.Unlock()
 	n.gate.kill()
 	n.queue.stop()
+	if n.repair != nil {
+		// Stop the daemon but leave the hint backend unflushed: a crash
+		// takes no clean shutdown path, and durable hints replay on respawn.
+		n.repair.daemon.Stop()
+	}
 	n.fabric.Remove(n.name)
 	unregisterNode(n.name)
 	n.local.CrashVolatile()

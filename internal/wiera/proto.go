@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/object"
+	"repro/internal/repair"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
 )
@@ -33,6 +34,13 @@ const (
 	MethodForwardPut  = "wiera.forwardPut"
 	MethodForwardGet  = "wiera.forwardGet"
 	MethodSnapshot    = "wiera.snapshot"
+
+	// Node-to-node anti-entropy (internal/repair): Merkle digest exchange,
+	// divergent-leaf summaries, and targeted version transfer.
+	MethodRepairDigest  = "wiera.repairDigest"
+	MethodRepairEntries = "wiera.repairEntries"
+	MethodRepairPull    = "wiera.repairPull"
+	MethodRepairPush    = "wiera.repairPush"
 
 	// Control plane: server -> node.
 	MethodSetPeers      = "wiera.setPeers"
@@ -133,6 +141,54 @@ type SnapshotRequest struct{}
 // SnapshotResponse carries every key's latest version.
 type SnapshotResponse struct {
 	Updates []UpdateMsg
+}
+
+// RepairDigestRequest asks a replica for its Merkle tree digests at the
+// given heap-indexed nodes. Fanout and Depth pin the tree geometry so both
+// sides bucket keys identically.
+type RepairDigestRequest struct {
+	Fanout int
+	Depth  int
+	Nodes  []int
+}
+
+// RepairDigestResponse carries the digests in request order.
+type RepairDigestResponse struct {
+	Digests []uint64
+}
+
+// RepairEntriesRequest asks for the key summaries of divergent leaf
+// buckets.
+type RepairEntriesRequest struct {
+	Fanout int
+	Depth  int
+	Leaves []int
+}
+
+// RepairEntriesResponse carries the concatenated leaf summaries.
+type RepairEntriesResponse struct {
+	Entries []repair.Entry
+}
+
+// RepairPullRequest fetches the latest versions of specific keys.
+type RepairPullRequest struct {
+	Keys []string
+}
+
+// RepairPullResponse carries the requested versions (missing keys are
+// absent).
+type RepairPullResponse struct {
+	Updates []UpdateMsg
+}
+
+// RepairPushRequest offers versions to a replica under LWW.
+type RepairPushRequest struct {
+	Updates []UpdateMsg
+}
+
+// RepairPushResponse reports how many pushed versions won locally.
+type RepairPushResponse struct {
+	Accepted int
 }
 
 // PeersMsg distributes the instance membership list (Sec 4.1 step 6).

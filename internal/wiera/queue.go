@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/object"
 )
 
 // updateQueue implements the queue response (Sec 3.2.3): updates enqueued
@@ -50,10 +52,18 @@ func (q *updateQueue) enqueue(msg UpdateMsg) {
 		q.n.queueDepth.Set(float64(depth))
 		return
 	}
-	if _, ok := q.pending[msg.Meta.Key]; !ok {
+	cur, ok := q.pending[msg.Meta.Key]
+	if !ok {
 		q.order = append(q.order, msg.Meta.Key)
 	}
-	q.pending[msg.Meta.Key] = msg
+	// LWW-aware supersession: only a strictly newer version replaces the
+	// queued one, so a failed flush re-enqueueing an old version cannot
+	// clobber an update the application made in the meantime. The key is
+	// never appended to order twice, so a hot key re-enqueued in a loop
+	// keeps the FIFO bounded by the number of distinct keys.
+	if !ok || object.Newer(msg.Meta, cur.Meta) {
+		q.pending[msg.Meta.Key] = msg
+	}
 	depth := len(q.pending)
 	q.mu.Unlock()
 	q.n.queueDepth.Set(float64(depth))
@@ -114,8 +124,6 @@ func (q *updateQueue) flushNow() {
 	q.n.queueDepth.Set(0)
 
 	for _, msg := range batch {
-		// Best effort: unreachable peers catch up via later updates or
-		// snapshot sync; LWW makes redelivery harmless.
 		start := q.n.clk.Now()
 		err := q.n.fanOutSync(context.Background(), msg)
 		if err == nil {
@@ -123,6 +131,12 @@ func (q *updateQueue) flushNow() {
 			// eventual consistency this is the signal that tells the
 			// DynamicConsistency policy whether the network has recovered.
 			q.n.latMon.observe(q.n.clk.Since(start))
+		} else if q.n.repair == nil {
+			// fanOutSync hinted the unreachable peers when repair is
+			// enabled; without it, re-enqueue so the update is retried on
+			// the next flush instead of being lost. LWW supersession keeps
+			// the retry from clobbering newer queued versions.
+			q.enqueue(msg)
 		}
 	}
 }

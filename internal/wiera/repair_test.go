@@ -1,0 +1,358 @@
+package wiera
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/object"
+	"repro/internal/repair"
+	"repro/internal/simnet"
+)
+
+// eventual2Src is a two-region eventual-consistency policy (the builtin
+// EventualConsistency declares only one region; anti-entropy needs peers).
+const eventual2Src = `
+Wiera EventualTwoRegions {
+	Region1 = {name: LowLatencyInstance, region: us-west,
+		tier1 = {name: memory, size: 5G}};
+	Region2 = {name: LowLatencyInstance, region: us-east,
+		tier1 = {name: memory, size: 5G}};
+	event(insert.into) : response {
+		store(what: insert.object, to: local_instance);
+		queue(what: insert.object, to: all_regions);
+	}
+}`
+
+// entrySet snapshots a node's (key -> version/mtime/origin) view through
+// the same summary the repair subsystem syncs.
+func entrySet(n *Node) map[string]repair.Entry {
+	out := make(map[string]repair.Entry)
+	for _, e := range (nodeStore{n}).Entries() {
+		out[e.Key] = e
+	}
+	return out
+}
+
+// waitConverged polls until both nodes hold identical version sets.
+func waitConverged(t *testing.T, a, b *Node, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		ea, eb := entrySet(a), entrySet(b)
+		if len(ea) == len(eb) {
+			same := true
+			for k, e := range ea {
+				if eb[k] != e {
+					same = false
+					break
+				}
+			}
+			if same && len(ea) > 0 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas did not converge: %s has %d keys, %s has %d",
+				a.Name(), len(entrySet(a)), b.Name(), len(entrySet(b)))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFlushFailureBecomesHintThenReplays(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast)
+	nodes := c.startSrc(t, "ev", eventual2Src, map[string]string{"queueFlush": "100ms"})
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	west := c.node(t, "ev/us-west")
+	east := c.node(t, "ev/us-east")
+
+	c.net.Partition(simnet.USWest, simnet.USEast)
+	if _, err := west.Put(context.Background(), "k1", []byte("v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Drive the flush deterministically: delivery to the partitioned east
+	// fails, and the update must land in the hint log, not vanish.
+	west.queue.flushNow()
+	if west.queue.Len() != 0 {
+		t.Fatalf("queue not drained: %d", west.queue.Len())
+	}
+	if got := west.repair.hints.PendingFor(east.Name()); got != 1 {
+		t.Fatalf("hints pending for east = %d, want 1", got)
+	}
+
+	c.net.Heal(simnet.USWest, simnet.USEast)
+	west.repair.daemon.RunOnce()
+	if got := west.repair.hints.Pending(); got != 0 {
+		t.Fatalf("hints still pending after heal: %d", got)
+	}
+	if _, err := east.local.Objects().Latest("k1"); err != nil {
+		t.Fatal("east never received the hinted update")
+	}
+	waitConverged(t, west, east, 2*time.Second)
+}
+
+func TestCrashedPeerMidFlushDoesNotLoseUpdate(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast)
+	c.startSrc(t, "cr", eventual2Src, map[string]string{"queueFlush": "100ms"})
+	west := c.node(t, "cr/us-west")
+	east := c.node(t, "cr/us-east")
+
+	if _, err := west.Put(context.Background(), "k1", []byte("v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the peer while its update is still queued, then flush.
+	east.Crash()
+	west.queue.flushNow()
+	if got := west.repair.hints.PendingFor("cr/us-east"); got != 1 {
+		t.Fatalf("hints pending for crashed east = %d, want 1", got)
+	}
+
+	// The control plane respawns the replica under a new name and
+	// bootstraps it; the update must surface there.
+	c.server.HeartbeatOnce()
+	respawned := c.node(t, "cr/us-east#2")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := respawned.local.Objects().Latest("k1"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("respawned replica never received k1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Hints for the dead name are garbage-collected once the daemon sees
+	// the new membership.
+	west.repair.daemon.RunOnce()
+	if got := west.repair.hints.PendingFor("cr/us-east"); got != 0 {
+		t.Fatalf("hints for departed peer not dropped: %d", got)
+	}
+	waitConverged(t, west, respawned, 2*time.Second)
+}
+
+func TestQueueSupersedeKeepsNewestAndBoundsOrder(t *testing.T) {
+	c := newCluster(t, simnet.USWest)
+	c.start(t, "q", "EventualConsistency", map[string]string{"queueFlush": "10m"})
+	n := c.node(t, "q/us-west")
+	q := n.queue
+
+	now := time.Now()
+	mk := func(ver int64) UpdateMsg {
+		return UpdateMsg{Meta: object.Meta{Key: "hot", Version: object.Version(ver),
+			ModifiedAt: now.Add(time.Duration(ver)), Origin: n.Name()}}
+	}
+	q.enqueue(mk(5))
+	// A re-enqueued older version (failed-flush retry racing a fresh put)
+	// must not clobber the newer queued one.
+	q.enqueue(mk(3))
+	q.mu.Lock()
+	got := q.pending["hot"].Meta.Version
+	q.mu.Unlock()
+	if got != 5 {
+		t.Fatalf("queued version = %d, want 5 (older re-enqueue clobbered newer)", got)
+	}
+	// A hot key updated in a loop keeps the FIFO bounded at one slot.
+	for v := int64(6); v < 1000; v++ {
+		q.enqueue(mk(v))
+	}
+	q.mu.Lock()
+	orderLen := len(q.order)
+	q.mu.Unlock()
+	if orderLen != 1 || q.Len() != 1 {
+		t.Fatalf("order=%d pending=%d, want 1/1 for a single hot key", orderLen, q.Len())
+	}
+}
+
+func TestQueueReenqueuesWhenRepairDisabled(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast)
+	c.startSrc(t, "nr", eventual2Src, map[string]string{
+		"queueFlush": "10m", "antiEntropy": "false"})
+	west := c.node(t, "nr/us-west")
+	east := c.node(t, "nr/us-east")
+	if west.repair != nil {
+		t.Fatal("antiEntropy=false must disable the repair subsystem")
+	}
+
+	c.net.Partition(simnet.USWest, simnet.USEast)
+	if _, err := west.Put(context.Background(), "k1", []byte("v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	west.queue.flushNow()
+	if west.queue.Len() != 1 {
+		t.Fatalf("undeliverable update not re-enqueued: queue len %d", west.queue.Len())
+	}
+	c.net.Heal(simnet.USWest, simnet.USEast)
+	west.queue.flushNow()
+	if west.queue.Len() != 0 {
+		t.Fatalf("queue not drained after heal: %d", west.queue.Len())
+	}
+	if _, err := east.local.Objects().Latest("k1"); err != nil {
+		t.Fatal("east missing k1 after retried flush")
+	}
+}
+
+func TestPartitionHealConvergenceEventual(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast)
+	c.startSrc(t, "conv", eventual2Src, map[string]string{
+		"queueFlush": "100ms", "antiEntropy": "500ms"})
+	west := c.node(t, "conv/us-west")
+	east := c.node(t, "conv/us-east")
+	ctx := context.Background()
+
+	// Baseline keys reach both replicas.
+	for i := 0; i < 10; i++ {
+		if _, err := west.Put(ctx, fmt.Sprintf("base-%d", i), []byte("v"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, west, east, 5*time.Second)
+
+	// Writes on both sides of a partition: queue flushes fail peerward.
+	c.net.Partition(simnet.USWest, simnet.USEast)
+	for i := 0; i < 10; i++ {
+		if _, err := west.Put(ctx, fmt.Sprintf("west-%d", i), []byte("w"), nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := east.Put(ctx, fmt.Sprintf("east-%d", i), []byte("e"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Conflicting writes to the same key on both sides.
+	if _, err := west.Put(ctx, "both", []byte("from-west"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := east.Put(ctx, "both", []byte("from-east"), nil); err != nil {
+		t.Fatal(err)
+	}
+	west.queue.flushNow()
+	east.queue.flushNow()
+
+	c.net.Heal(simnet.USWest, simnet.USEast)
+	// One anti-entropy period (500ms clock / factor 2000) is microseconds
+	// of real time; the 5s real deadline is many periods.
+	waitConverged(t, west, east, 5*time.Second)
+
+	// Zero lost acknowledged writes: every acked key is on both replicas.
+	for i := 0; i < 10; i++ {
+		for _, key := range []string{fmt.Sprintf("west-%d", i), fmt.Sprintf("east-%d", i)} {
+			if _, err := west.local.Objects().Latest(key); err != nil {
+				t.Fatalf("west missing acked key %s", key)
+			}
+			if _, err := east.local.Objects().Latest(key); err != nil {
+				t.Fatalf("east missing acked key %s", key)
+			}
+		}
+	}
+}
+
+func TestPartitionHealConvergencePrimaryBackup(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast)
+	c.start(t, "pb", "PrimaryBackupConsistency", map[string]string{"antiEntropy": "500ms"})
+	west := c.node(t, "pb/us-west") // primary
+	east := c.node(t, "pb/us-east")
+	ctx := context.Background()
+
+	if !west.IsPrimary() {
+		t.Fatalf("primary = %q", west.Primary())
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := west.Put(ctx, fmt.Sprintf("base-%d", i), []byte("v"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, west, east, 5*time.Second)
+
+	c.net.Partition(simnet.USWest, simnet.USEast)
+	// Primary-side puts store locally but fail the synchronous copy; the
+	// failed copy must be captured as a hint for the backup.
+	for i := 0; i < 5; i++ {
+		_, _ = west.Put(ctx, fmt.Sprintf("part-%d", i), []byte("w"), nil)
+	}
+	if got := west.repair.hints.PendingFor(east.Name()); got == 0 {
+		t.Fatal("failed primary-backup copies recorded no hints")
+	}
+
+	c.net.Heal(simnet.USWest, simnet.USEast)
+	waitConverged(t, west, east, 5*time.Second)
+	for i := 0; i < 5; i++ {
+		if _, err := east.local.Objects().Latest(fmt.Sprintf("part-%d", i)); err != nil {
+			t.Fatalf("east missing partition-era key part-%d", i)
+		}
+	}
+}
+
+func TestStaleReadSchedulesReadRepair(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast)
+	// Long flush and anti-entropy periods isolate the read-repair path.
+	c.startSrc(t, "rr", eventual2Src, map[string]string{
+		"queueFlush": "4h", "antiEntropy": "4h"})
+	west := c.node(t, "rr/us-west")
+	east := c.node(t, "rr/us-east")
+	ctx := context.Background()
+
+	if _, err := west.Put(ctx, "k", []byte("v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	west.queue.flushNow() // both replicas at version 1
+	if _, err := west.Put(ctx, "k", []byte("v2"), nil); err != nil {
+		t.Fatal(err) // version 2 only on west; east is now stale
+	}
+
+	data, meta, err := east.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v1" || meta.Version != 1 {
+		t.Fatalf("expected the stale v1 read, got %q v%d", data, meta.Version)
+	}
+	if east.StaleReads() != 1 {
+		t.Fatalf("stale reads = %d, want 1", east.StaleReads())
+	}
+	// The stale read schedules an async repair that pulls v2 from west.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if m, err := east.local.Objects().Latest("k"); err == nil && m.Version == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("read repair never brought east to version 2")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := east.repair.metrics.ReadRepairs.Value(); got < 1 {
+		t.Fatalf("repair_read_repairs_total = %d, want >= 1", got)
+	}
+}
+
+func TestLocalMissGetAbsorbsVersion(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast)
+	c.startSrc(t, "lm", eventual2Src, map[string]string{
+		"queueFlush": "4h", "antiEntropy": "4h"})
+	west := c.node(t, "lm/us-west")
+	east := c.node(t, "lm/us-east")
+	ctx := context.Background()
+
+	if _, err := west.Put(ctx, "k", []byte("v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// East has never seen k: the get is served from west and the fetched
+	// version is installed locally in the background.
+	data, _, err := east.Get(ctx, "k")
+	if err != nil || string(data) != "v1" {
+		t.Fatalf("get = %q, %v", data, err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := east.local.Objects().Latest("k"); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fetched version was not absorbed locally")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -807,6 +807,17 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 	if v, ok := params["queueSupersede"]; ok && v.Kind == policy.ValBool {
 		noSupersede = !v.Bool
 	}
+	// antiEntropy accepts a duration (round period) or false (disable the
+	// repair subsystem).
+	var antiEntropy time.Duration
+	if v, ok := params["antiEntropy"]; ok {
+		switch {
+		case v.Kind == policy.ValDuration:
+			antiEntropy = v.Dur
+		case v.Kind == policy.ValBool && !v.Bool:
+			antiEntropy = -1
+		}
+	}
 	node, err := NewNode(NodeConfig{
 		Name:             req.NodeName,
 		InstanceID:       req.InstanceID,
@@ -823,6 +834,7 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 		MonitorWindow:    monitorWindow,
 		QueueFlushEvery:  queueFlush,
 		NoQueueSupersede: noSupersede,
+		AntiEntropyEvery: antiEntropy,
 		ExtraTiers:       extraTiers,
 	})
 	if err != nil {

@@ -38,6 +38,12 @@ type NodeStats struct {
 	QueueDepth int
 	Keys       int
 	BytesUsed  int64
+
+	// Anti-entropy view (internal/repair); zero when repair is disabled.
+	HintsPending  int
+	HintsReplayed int64
+	KeysRepaired  int64
+	ReadRepairs   int64
 }
 
 // statsLocal builds the node's own summary.
@@ -49,6 +55,7 @@ func (n *Node) statsLocal() NodeStats {
 		}
 	}
 	toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pending, repaired, readRepairs, replayed := n.repair.statsSnapshot()
 	return NodeStats{
 		Name:       n.name,
 		Region:     string(n.region),
@@ -66,6 +73,11 @@ func (n *Node) statsLocal() NodeStats {
 		QueueDepth: n.queue.Len(),
 		Keys:       n.local.Objects().Len(),
 		BytesUsed:  used,
+
+		HintsPending:  pending,
+		HintsReplayed: replayed,
+		KeysRepaired:  repaired,
+		ReadRepairs:   readRepairs,
 	}
 }
 
@@ -143,6 +155,8 @@ func (is *InstanceStats) Render() string {
 			n.Puts, n.PutMeanMs, n.PutP99Ms, n.Gets, n.GetMeanMs, n.GetP99Ms)
 		fmt.Fprintf(&b, "    keys=%d bytes=%d queued=%d stale/fresh=%d/%d\n",
 			n.Keys, n.BytesUsed, n.QueueDepth, n.StaleReads, n.FreshReads)
+		fmt.Fprintf(&b, "    repair: hints=%d replayed=%d repaired=%d readRepairs=%d\n",
+			n.HintsPending, n.HintsReplayed, n.KeysRepaired, n.ReadRepairs)
 	}
 	if len(is.RTTms) > 0 {
 		keys := make([]string, 0, len(is.RTTms))
