@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: ci verify vet build test race bench convergence
+.PHONY: ci verify vet build test race race-obs bench convergence
 
-ci: vet build race
+ci: vet build race-obs race
 
 # One-stop pre-commit check: static analysis, full build, race-checked tests.
-verify: vet build race
+verify: vet build race-obs race
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the observability layer (flight recorder, SLO
+# engine, telemetry primitives): these are the lock-cheap hot paths where a
+# data race would silently corrupt metrics, so they get their own fast gate.
+race-obs:
+	$(GO) test -race -count=2 ./internal/flight/ ./internal/telemetry/
 
 # Telemetry overhead: instrumented vs bare client PUT/GET.
 bench:

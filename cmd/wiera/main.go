@@ -14,7 +14,11 @@
 // get / getVersion / getVersionList / remove / removeVersion) to the
 // closest node of the named instance. With -metrics-addr set, an HTTP
 // server exposes the fabric's telemetry: /metrics in Prometheus text
-// format and /traces as JSON (filter one trace with ?trace=<id>).
+// format, /traces as JSON (filter one trace with ?trace=<id>), and
+// /debug/requests with the flight recorder's per-request hop breakdowns
+// (?slow=1 for the always-keep slow/expensive log, ?format=text for a
+// table). -trace-sample N head-samples 1 in N root traces; slow requests
+// force the next root to be sampled regardless.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/coord"
+	"repro/internal/flight"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -42,11 +47,15 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "127.0.0.1:7361", "HTTP address for /metrics and /traces (empty = disabled)")
 	regionsFlag := flag.String("regions", "us-east,us-west,eu-west,asia-east", "comma-separated simulated regions")
 	factor := flag.Float64("factor", 50, "clock compression factor for the simulated WAN")
+	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N root traces (0 = trace everything; slow requests are always sampled)")
 	flag.Parse()
 
 	clk := clock.NewScaled(*factor)
 	net := simnet.New(clk)
 	fabric := transport.NewFabric(net)
+	if *traceSample > 0 {
+		fabric.Tracer().SetAutoSample(*traceSample)
+	}
 
 	cs := coord.NewServer(clk)
 	zkEP, err := fabric.NewEndpoint("zk", simnet.USEast)
@@ -87,13 +96,14 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", telemetry.MetricsHandler(fabric.Metrics()))
 		mux.Handle("/traces", telemetry.TracesHandler(fabric.Tracer()))
+		mux.Handle("/debug/requests", flight.Handler(fabric.Flight()))
 		httpSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("wiera: metrics server: %v", err)
 			}
 		}()
-		log.Printf("wiera: telemetry on http://%s/metrics and /traces", *metricsAddr)
+		log.Printf("wiera: telemetry on http://%s/metrics, /traces, and /debug/requests", *metricsAddr)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -172,6 +182,15 @@ func (f *frontend) handle(ctx context.Context, method string, payload []byte) ([
 			spans = tr.Spans()
 		}
 		return transport.Encode(wiera.TraceDumpResponse{Spans: spans})
+	case wiera.MethodFlightDump:
+		var req wiera.FlightDumpRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		dump := flight.Dump(f.fabric.Flight(), req.SlowOnly, req.Max)
+		return transport.Encode(wiera.FlightDumpResponse{
+			TotalSeen: dump.TotalSeen, SlowSeen: dump.SlowSeen, Records: dump.Records,
+		})
 	default:
 		return nil, fmt.Errorf("wiera: unknown method %q", method)
 	}

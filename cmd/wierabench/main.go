@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wierabench [-exp all|fig7|fig8|table3|fig9|table4|sec53|fig10|fig11|fig12|convergence] [-full] [-seed N]
+//	wierabench [-exp all|fig7|sloswitch|fig8|table3|fig9|table4|sec53|fig10|fig11|fig12|convergence] [-full] [-seed N]
 //
 // By default experiments run in quick mode (seconds each); -full uses the
 // paper-scale durations.
@@ -34,7 +34,7 @@ type renderable interface {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: all, fig7, fig8, table3, fig9, table4, sec53, fig10, fig11, fig12, convergence, ablation-consistency, ablation-queue, ablation-blocksize")
+	expFlag := flag.String("exp", "all", "experiment to run: all, fig7, sloswitch, fig8, table3, fig9, table4, sec53, fig10, fig11, fig12, convergence, ablation-consistency, ablation-queue, ablation-blocksize")
 	full := flag.Bool("full", false, "run at paper-scale durations instead of quick mode")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -42,6 +42,7 @@ func main() {
 	opts := experiments.Options{Quick: !*full, Seed: *seed}
 	all := []experiment{
 		{"fig7", func(o experiments.Options) (renderable, error) { return experiments.Fig7(o) }},
+		{"sloswitch", func(o experiments.Options) (renderable, error) { return experiments.SLOSwitch(o) }},
 		{"fig8", func(o experiments.Options) (renderable, error) { return experiments.Fig8Table3(o) }},
 		{"fig9", func(o experiments.Options) (renderable, error) { return experiments.Fig9(o) }},
 		{"table4", func(o experiments.Options) (renderable, error) { return experiments.Table4() }},

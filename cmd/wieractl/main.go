@@ -16,6 +16,14 @@
 //	wieractl [-addr 127.0.0.1:7360] metrics
 //	wieractl [-addr 127.0.0.1:7360] repair
 //	wieractl [-addr 127.0.0.1:7360] trace [-trace <id>] [-raw]
+//	wieractl [-addr 127.0.0.1:7360] slow  [-n 20] [-all] [-summary] [-raw]
+//	wieractl [-addr 127.0.0.1:7360] top   -id myapp [-watch] [-interval 2s]
+//
+// slow prints the flight recorder's always-keep slow/expensive request log
+// (hop-by-hop tier/RPC/lock/repair breakdown with attributed cost); -all
+// switches to the recent-request ring. top is a one-shot (or -watch
+// refreshed) health view combining per-node operation stats, anti-entropy
+// repair counters, and SLO error-budget burn gauges.
 package main
 
 import (
@@ -26,7 +34,9 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/flight"
 	"repro/internal/object"
 	"repro/internal/policy"
 	"repro/internal/telemetry"
@@ -49,7 +59,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|remove|policies|metrics|repair|trace> ...")
+		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|remove|policies|metrics|repair|trace|slow|top> ...")
 	}
 	cmdName, cmdArgs := rest[0], rest[1:]
 	if cmdName == "policies" {
@@ -73,7 +83,12 @@ func run(args []string) error {
 	policyPath := fs.String("policy", "", "global policy source file, or a builtin policy name")
 	dynamicPath := fs.String("dynamic", "", "dynamic (control) policy source file or builtin name")
 	traceID := fs.String("trace", "", "trace id to dump (trace command; empty = all spans)")
-	rawSpans := fs.Bool("raw", false, "print spans as JSON instead of a tree (trace command)")
+	rawSpans := fs.Bool("raw", false, "print output as JSON instead of a table/tree (trace, slow commands)")
+	maxN := fs.Int("n", 20, "max records to show (slow command)")
+	allRecs := fs.Bool("all", false, "show the recent-request ring instead of the slowlog (slow command)")
+	summary := fs.Bool("summary", false, "append a per-hop-kind aggregate (slow command)")
+	watch := fs.Bool("watch", false, "refresh continuously (top command)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval for -watch (top command)")
 	var params paramFlags
 	fs.Var(&params, "param", "policy parameter binding name=value (repeatable)")
 	if err := fs.Parse(cmdArgs); err != nil {
@@ -119,6 +134,28 @@ func run(args []string) error {
 			return enc.Encode(resp.Spans)
 		}
 		fmt.Print(telemetry.RenderSpanTree(resp.Spans))
+		return nil
+	case "slow":
+		var resp wiera.FlightDumpResponse
+		if err := call(cli, wiera.MethodFlightDump,
+			wiera.FlightDumpRequest{SlowOnly: !*allRecs, Max: *maxN}, &resp); err != nil {
+			return err
+		}
+		if *rawSpans {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(resp)
+		}
+		which := "slow/expensive"
+		if *allRecs {
+			which = "recent"
+		}
+		fmt.Printf("%s requests (%d shown; %d seen, %d slow since start)\n",
+			which, len(resp.Records), resp.TotalSeen, resp.SlowSeen)
+		fmt.Print(flight.RenderRecords(resp.Records))
+		if *summary {
+			fmt.Print(flight.RenderHopSummary(resp.Records))
+		}
 		return nil
 	}
 	if *id == "" {
@@ -170,6 +207,22 @@ func run(args []string) error {
 		}
 		fmt.Print(resp.Render())
 		return nil
+	case "top":
+		for {
+			out, err := renderTop(cli, *id)
+			if err != nil {
+				return err
+			}
+			if *watch {
+				// Clear and repaint like top(1).
+				fmt.Print("\033[H\033[2J")
+			}
+			fmt.Print(out)
+			if !*watch {
+				return nil
+			}
+			time.Sleep(*interval)
+		}
 	case "put":
 		if *key == "" {
 			return fmt.Errorf("-key is required")
@@ -229,6 +282,44 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmdName)
 	}
+}
+
+// renderTop builds one frame of the top view: per-node operation stats for
+// the instance, then the daemon-wide anti-entropy repair counters and SLO
+// error-budget gauges pulled from the metrics registry.
+func renderTop(cli *transport.TCPClient, id string) (string, error) {
+	var b strings.Builder
+	var stats wiera.InstanceStats
+	if err := call(cli, wiera.MethodCollectStats, wiera.GetInstancesRequest{InstanceID: id}, &stats); err != nil {
+		return "", err
+	}
+	b.WriteString(stats.Render())
+
+	var metrics wiera.MetricsDumpResponse
+	if err := call(cli, wiera.MethodMetricsDump, wiera.MetricsDumpRequest{}, &metrics); err != nil {
+		return "", err
+	}
+	section := func(title, prefix string) {
+		var lines []string
+		for _, line := range strings.Split(metrics.Prometheus, "\n") {
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			if strings.HasPrefix(line, prefix) {
+				lines = append(lines, line)
+			}
+		}
+		if len(lines) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "\n%s\n", title)
+		for _, line := range lines {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	section("slo (error-budget burn; alert when both windows >= 2)", "slo_")
+	section("repair (anti-entropy)", "repair_")
+	return b.String(), nil
 }
 
 // loadPolicy reads a policy source file, or resolves a builtin name.

@@ -100,6 +100,46 @@ func StorageMonthly(c TierClass, gb float64) (float64, error) {
 	return p.StorageGBMonth * gb, nil
 }
 
+// PutRequestCost returns the price of a single put request against class c
+// (0 for unknown classes). Per-request pricing lets the flight recorder
+// attribute dollars to individual hops without the accountant's locking.
+func PutRequestCost(c TierClass) float64 {
+	p, ok := Table4[c]
+	if !ok {
+		return 0
+	}
+	return p.PutPer10K / 10000
+}
+
+// GetRequestCost returns the price of a single get request against class c
+// (0 for unknown classes).
+func GetRequestCost(c TierClass) float64 {
+	p, ok := Table4[c]
+	if !ok {
+		return 0
+	}
+	return p.GetPer10K / 10000
+}
+
+// TransferCost returns the price of moving bytes out of class c within the
+// given scope (0 for unknown classes or scopes).
+func TransferCost(c TierClass, scope NetScope, bytes int64) float64 {
+	p, ok := Table4[c]
+	if !ok || bytes <= 0 {
+		return 0
+	}
+	var rate float64
+	switch scope {
+	case NetIntraDC:
+		rate = p.NetworkIntraDC
+	case NetInterAWS:
+		rate = p.NetworkInterAWS
+	case NetInternet:
+		rate = p.NetworkToNet
+	}
+	return rate * float64(bytes) / (1 << 30)
+}
+
 // NetScope classifies a transfer destination for pricing.
 type NetScope int
 

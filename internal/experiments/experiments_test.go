@@ -20,6 +20,20 @@ func TestFig7DynamicConsistency(t *testing.T) {
 	}
 }
 
+func TestSLOSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sloswitch timeline takes ~25s")
+	}
+	res, err := SLOSwitch(Options{Quick: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFig8Table3ChangePrimary(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig8 waves take ~30s")

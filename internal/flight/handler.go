@@ -1,0 +1,168 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DumpResponse is the JSON shape served at /debug/requests (and returned by
+// the MethodFlightDump RPC in internal/wiera).
+type DumpResponse struct {
+	TotalSeen int64    `json:"totalSeen"`
+	SlowSeen  int64    `json:"slowSeen"`
+	Records   []Record `json:"records"`
+}
+
+// Dump snapshots the recorder into a DumpResponse. slowOnly selects the
+// always-keep slowlog ring; max <= 0 returns everything retained.
+func Dump(r *Recorder, slowOnly bool, max int) DumpResponse {
+	seen, slow := r.Totals()
+	resp := DumpResponse{TotalSeen: seen, SlowSeen: slow}
+	if slowOnly {
+		resp.Records = r.Slow(max)
+	} else {
+		resp.Records = r.Recent(max)
+	}
+	if resp.Records == nil {
+		resp.Records = []Record{}
+	}
+	return resp
+}
+
+// Handler serves the flight recorder at /debug/requests.
+//
+//	?slow=1       only the always-keep slow/expensive log
+//	?n=50         cap the record count (default 100)
+//	?format=text  human-readable table instead of JSON
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		slowOnly := q.Get("slow") == "1" || q.Get("slow") == "true"
+		max := 100
+		if v := q.Get("n"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				max = n
+			}
+		}
+		resp := Dump(r, slowOnly, max)
+		if q.Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "%d requests seen, %d slow/expensive\n\n",
+				resp.TotalSeen, resp.SlowSeen)
+			w.Write([]byte(RenderRecords(resp.Records)))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}
+
+// RenderRecords formats records as a human-readable table with a per-record
+// hop breakdown; shared by /debug/requests?format=text and `wieractl slow`.
+func RenderRecords(recs []Record) string {
+	if len(recs) == 0 {
+		return "no records\n"
+	}
+	var b strings.Builder
+	for _, r := range recs {
+		flags := ""
+		if r.Slow {
+			flags += " SLOW"
+		}
+		if r.Expensive {
+			flags += " EXPENSIVE"
+		}
+		status := "ok"
+		if r.Err != "" {
+			status = "err=" + r.Err
+		}
+		fmt.Fprintf(&b, "#%d %s %-4s %-24s %9s $%.8f %s%s",
+			r.ID, r.Node, strings.ToUpper(r.Op), r.Key,
+			fmtDur(r.Total), r.CostUSD, status, flags)
+		if r.TraceID != "" {
+			fmt.Fprintf(&b, " trace=%s", r.TraceID)
+		}
+		b.WriteByte('\n')
+		for _, h := range r.Hops {
+			name := h.Name
+			if h.Class != "" {
+				name += "/" + h.Class
+			}
+			fmt.Fprintf(&b, "    %-6s %-28s %9s", h.Kind, name, fmtDur(h.Duration))
+			if h.Wait > 0 {
+				fmt.Fprintf(&b, " (wait %s)", fmtDur(h.Wait))
+			}
+			if h.Bytes > 0 {
+				fmt.Fprintf(&b, " %dB", h.Bytes)
+			}
+			if h.CostUSD > 0 {
+				fmt.Fprintf(&b, " $%.10f", h.CostUSD)
+			}
+			if h.Err != "" {
+				fmt.Fprintf(&b, " err=%s", h.Err)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// RenderHopSummary aggregates hop time by kind across records — the "where
+// did the time go" one-liner used by `wieractl slow -summary`.
+func RenderHopSummary(recs []Record) string {
+	type agg struct {
+		n     int
+		total time.Duration
+		cost  float64
+	}
+	byKind := map[string]*agg{}
+	for _, r := range recs {
+		for _, h := range r.Hops {
+			a := byKind[h.Kind]
+			if a == nil {
+				a = &agg{}
+				byKind[h.Kind] = a
+			}
+			a.n++
+			a.total += h.Duration
+			a.cost += h.CostUSD
+		}
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %6s %12s %12s %14s\n", "hop", "count", "total", "mean", "cost")
+	for _, k := range kinds {
+		a := byKind[k]
+		mean := time.Duration(0)
+		if a.n > 0 {
+			mean = a.total / time.Duration(a.n)
+		}
+		fmt.Fprintf(&b, "%-8s %6d %12s %12s $%.10f\n",
+			k, a.n, fmtDur(a.total), fmtDur(mean), a.cost)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return d.String()
+	}
+}

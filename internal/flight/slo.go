@@ -1,0 +1,308 @@
+package flight
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+)
+
+// Objective declares one service-level objective: a good/total event ratio
+// that must stay at or above Target. Latency objectives count requests under
+// Threshold as good; availability objectives (Threshold == 0) count
+// non-error requests as good. Where the events come from is the Source's
+// business — the engine only ever sees cumulative (good, total) pairs, which
+// is exactly what the telemetry histograms' log buckets and the error
+// counters already provide.
+type Objective struct {
+	Name string // gauge label, e.g. "get-p99"
+	Op   string // informational: which op the objective covers
+
+	// Threshold is the latency bound for a latency SLO; 0 marks an
+	// availability SLO.
+	Threshold time.Duration
+	// Target is the good-event ratio objective, e.g. 0.999.
+	Target float64
+	// FastWindow and SlowWindow are the two burn-rate windows (Google
+	// SRE-workbook multi-window alerting): the alert fires only when BOTH
+	// windows burn at AlertBurn or more, so a brief blip (fails slow
+	// window) and a long-ago incident (fails fast window) both stay quiet.
+	FastWindow, SlowWindow time.Duration
+	// AlertBurn is the burn-rate alert threshold (default 2: consuming
+	// error budget twice as fast as the objective allows).
+	AlertBurn float64
+
+	// Source reads the cumulative (good, total) event counts.
+	Source Source
+}
+
+// Source supplies monotone cumulative good/total event counts.
+type Source func() (good, total int64)
+
+// DefaultAlertBurn is the alert threshold used when an Objective leaves
+// AlertBurn zero.
+const DefaultAlertBurn = 2.0
+
+// Status is one objective's evaluation at a tick.
+type Status struct {
+	Objective string
+	Op        string
+	Target    float64
+	// FastBurn and SlowBurn are the burn rates over the two windows; Burn
+	// is their minimum (the rate the alert condition is actually holding
+	// at — both windows must clear AlertBurn to fire).
+	FastBurn, SlowBurn, Burn float64
+	// GoodRatio is the good/total ratio over the slow window.
+	GoodRatio float64
+	Firing    bool
+	// Since is how long the objective has been continuously firing.
+	Since time.Duration
+}
+
+type sloSample struct {
+	at          time.Time
+	good, total int64
+}
+
+type objectiveState struct {
+	obj         Objective
+	samples     []sloSample // oldest first; [0] kept as pre-window baseline
+	firingSince time.Time
+
+	burnFast, burnSlow, violation, goodRatio *telemetry.Gauge
+}
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	Clock    clock.Clock
+	Interval time.Duration // evaluation period (default 1s)
+	// Registry receives the slo_* gauges (nil skips export).
+	Registry     *telemetry.Registry
+	Node, Region string
+	// OnStatus, when set, is invoked for every objective at every
+	// evaluation — the wiera SLO monitor turns these into policy events.
+	OnStatus func(Status)
+}
+
+// Engine evaluates declared objectives with multi-window burn rates and
+// exports slo_burn_rate / slo_violation / slo_good_ratio gauges. A nil
+// *Engine is a valid no-op.
+type Engine struct {
+	clk      clock.Clock
+	interval time.Duration
+	onStatus func(Status)
+
+	mu     sync.Mutex
+	states []*objectiveState
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewEngine builds an engine over the given objectives. Objectives without
+// a Source are dropped.
+func NewEngine(cfg EngineConfig, objectives ...Objective) *Engine {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	e := &Engine{
+		clk:      cfg.Clock,
+		interval: cfg.Interval,
+		onStatus: cfg.OnStatus,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	var burn, viol, ratio *telemetry.GaugeVec
+	if cfg.Registry != nil {
+		burn = cfg.Registry.Gauge("slo_burn_rate",
+			"Error-budget burn rate per objective and window.",
+			"slo", "window", "node", "region")
+		viol = cfg.Registry.Gauge("slo_violation",
+			"1 while the objective's multi-window burn alert is firing.",
+			"slo", "node", "region")
+		ratio = cfg.Registry.Gauge("slo_good_ratio",
+			"Good-event ratio over the slow window per objective.",
+			"slo", "node", "region")
+	}
+	for _, o := range objectives {
+		if o.Source == nil {
+			continue
+		}
+		if o.AlertBurn <= 0 {
+			o.AlertBurn = DefaultAlertBurn
+		}
+		if o.FastWindow <= 0 {
+			o.FastWindow = 5 * time.Minute
+		}
+		if o.SlowWindow <= 0 {
+			o.SlowWindow = time.Hour
+		}
+		st := &objectiveState{obj: o}
+		if burn != nil {
+			st.burnFast = burn.With(o.Name, "fast", cfg.Node, cfg.Region)
+			st.burnSlow = burn.With(o.Name, "slow", cfg.Node, cfg.Region)
+			st.violation = viol.With(o.Name, cfg.Node, cfg.Region)
+			st.goodRatio = ratio.With(o.Name, cfg.Node, cfg.Region)
+		}
+		e.states = append(e.states, st)
+	}
+	return e
+}
+
+// Objectives reports how many objectives the engine evaluates.
+func (e *Engine) Objectives() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.states)
+}
+
+// Start launches the evaluation loop. No-op on a nil engine; at most one
+// loop runs regardless of how many times Start is called.
+func (e *Engine) Start() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	e.mu.Unlock()
+	go func() {
+		defer close(e.done)
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-e.clk.After(e.interval):
+				e.EvaluateNow()
+			}
+		}
+	}()
+}
+
+// Stop halts the evaluation loop and waits for it to exit. Safe to call
+// repeatedly, and before Start.
+func (e *Engine) Stop() {
+	if e == nil {
+		return
+	}
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.mu.Lock()
+	started := e.started
+	e.mu.Unlock()
+	if started {
+		<-e.done
+	}
+}
+
+// EvaluateNow samples every source and evaluates every objective
+// immediately, returning the statuses. Tests drive the engine
+// deterministically with a simulated clock and explicit EvaluateNow calls.
+func (e *Engine) EvaluateNow() []Status {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.clk.Now()
+	out := make([]Status, 0, len(e.states))
+	for _, st := range e.states {
+		good, total := st.obj.Source()
+		st.push(sloSample{at: now, good: good, total: total}, now)
+		s := st.evaluate(now)
+		if st.violation != nil {
+			st.burnFast.Set(s.FastBurn)
+			st.burnSlow.Set(s.SlowBurn)
+			st.goodRatio.Set(s.GoodRatio)
+			if s.Firing {
+				st.violation.Set(1)
+			} else {
+				st.violation.Set(0)
+			}
+		}
+		if e.onStatus != nil {
+			e.onStatus(s)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// push appends a sample and prunes history, always keeping one sample older
+// than the slow window as the diff baseline.
+func (st *objectiveState) push(s sloSample, now time.Time) {
+	st.samples = append(st.samples, s)
+	horizon := now.Add(-st.obj.SlowWindow)
+	for len(st.samples) > 2 && !st.samples[1].at.After(horizon) {
+		st.samples = st.samples[1:]
+	}
+}
+
+// burnOver computes the burn rate and good ratio across window w ending at
+// the newest sample, diffing against the best available baseline (the
+// latest sample at or before now-w, falling back to the oldest retained).
+func (st *objectiveState) burnOver(now time.Time, w time.Duration) (burn, goodRatio float64) {
+	n := len(st.samples)
+	if n < 2 {
+		return 0, 1
+	}
+	cur := st.samples[n-1]
+	cut := now.Add(-w)
+	base := st.samples[0]
+	for _, s := range st.samples[:n-1] {
+		if s.at.After(cut) {
+			break
+		}
+		base = s
+	}
+	dTotal := cur.total - base.total
+	if dTotal <= 0 {
+		return 0, 1
+	}
+	dGood := cur.good - base.good
+	if dGood < 0 {
+		dGood = 0
+	}
+	goodRatio = float64(dGood) / float64(dTotal)
+	budget := 1 - st.obj.Target
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return (1 - goodRatio) / budget, goodRatio
+}
+
+func (st *objectiveState) evaluate(now time.Time) Status {
+	fast, _ := st.burnOver(now, st.obj.FastWindow)
+	slow, ratio := st.burnOver(now, st.obj.SlowWindow)
+	s := Status{
+		Objective: st.obj.Name,
+		Op:        st.obj.Op,
+		Target:    st.obj.Target,
+		FastBurn:  fast,
+		SlowBurn:  slow,
+		GoodRatio: ratio,
+	}
+	s.Burn = fast
+	if slow < fast {
+		s.Burn = slow
+	}
+	s.Firing = fast >= st.obj.AlertBurn && slow >= st.obj.AlertBurn
+	if s.Firing {
+		if st.firingSince.IsZero() {
+			st.firingSince = now
+		}
+		s.Since = now.Sub(st.firingSince)
+	} else {
+		st.firingSince = time.Time{}
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package flight
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+)
+
+// counters is a mutable cumulative (good, total) source.
+type counters struct{ good, total atomic.Int64 }
+
+func (c *counters) source() Source {
+	return func() (int64, int64) { return c.good.Load(), c.total.Load() }
+}
+
+// add records n events of which g were good.
+func (c *counters) add(g, n int64) {
+	c.good.Add(g)
+	c.total.Add(n)
+}
+
+// tick advances the sim clock and evaluates, returning the single status.
+func tick(t *testing.T, e *Engine, sim *clock.Sim, d time.Duration) Status {
+	t.Helper()
+	sim.Advance(d)
+	sts := e.EvaluateNow()
+	if len(sts) != 1 {
+		t.Fatalf("EvaluateNow returned %d statuses, want 1", len(sts))
+	}
+	return sts[0]
+}
+
+func newTestEngine(t *testing.T, src *counters, reg *telemetry.Registry) (*Engine, *clock.Sim) {
+	t.Helper()
+	sim := clock.NewSim(time.Time{})
+	e := NewEngine(EngineConfig{Clock: sim, Registry: reg, Node: "n1", Region: "us-west"},
+		Objective{
+			Name: "put-latency", Op: "put", Threshold: 800 * time.Millisecond,
+			Target:     0.9, // 10% error budget: burn = badFraction / 0.1
+			FastWindow: 30 * time.Second,
+			SlowWindow: 2 * time.Minute,
+			Source:     src.source(),
+		})
+	if e.Objectives() != 1 {
+		t.Fatalf("engine kept %d objectives, want 1", e.Objectives())
+	}
+	return e, sim
+}
+
+func TestBurnRateComputation(t *testing.T) {
+	src := &counters{}
+	e, sim := newTestEngine(t, src, nil)
+
+	// First sample: no baseline yet, burn 0, ratio 1.
+	src.add(100, 100)
+	if st := tick(t, e, sim, time.Second); st.Burn != 0 || st.GoodRatio != 1 || st.Firing {
+		t.Fatalf("first tick = %+v", st)
+	}
+	// 80/100 good in the next second: bad fraction 0.2, budget 0.1 → burn 2.
+	src.add(80, 100)
+	st := tick(t, e, sim, time.Second)
+	if st.FastBurn < 1.99 || st.FastBurn > 2.01 {
+		t.Fatalf("fast burn = %v, want 2", st.FastBurn)
+	}
+	if st.SlowBurn < 1.99 || st.SlowBurn > 2.01 {
+		t.Fatalf("slow burn = %v, want 2", st.SlowBurn)
+	}
+	if st.GoodRatio < 0.799 || st.GoodRatio > 0.801 {
+		t.Fatalf("good ratio = %v, want 0.8", st.GoodRatio)
+	}
+	if st.Burn != st.SlowBurn && st.Burn != st.FastBurn {
+		t.Fatalf("Burn %v is not min(fast=%v, slow=%v)", st.Burn, st.FastBurn, st.SlowBurn)
+	}
+}
+
+func TestMultiWindowFiringAndRecovery(t *testing.T) {
+	src := &counters{}
+	reg := telemetry.NewRegistry()
+	e, sim := newTestEngine(t, src, reg)
+
+	// A healthy baseline long enough to cover the slow window.
+	for i := 0; i < 30; i++ {
+		src.add(10, 10)
+		tick(t, e, sim, 5*time.Second)
+	}
+	// Total outage starts: every event bad → burn 10x. The fast window (30s)
+	// fills with bad events quickly; the slow window (2m) takes longer, so
+	// the alert must NOT fire on the first bad tick (multi-window gating).
+	src.add(0, 50)
+	st := tick(t, e, sim, 10*time.Second)
+	if st.Firing {
+		t.Fatalf("alert fired after one bad tick: %+v (slow window should gate it)", st)
+	}
+	// Keep burning until both windows agree.
+	var fired Status
+	for i := 0; i < 12 && !fired.Firing; i++ {
+		src.add(0, 50)
+		fired = tick(t, e, sim, 10*time.Second)
+	}
+	if !fired.Firing {
+		t.Fatalf("alert never fired under sustained 10x burn: %+v", fired)
+	}
+	if fired.FastBurn < DefaultAlertBurn || fired.SlowBurn < DefaultAlertBurn {
+		t.Fatalf("firing status windows = %+v", fired)
+	}
+	if fired.Since <= 0 {
+		// Since counts from the first firing evaluation; by the next tick it
+		// must be positive.
+		src.add(0, 50)
+		if st := tick(t, e, sim, 10*time.Second); st.Since <= 0 {
+			t.Fatalf("Since = %v while continuously firing", st.Since)
+		}
+	}
+	// Gauges mirror the firing state.
+	assertGauge(t, reg, "slo_violation", 1)
+
+	// Recovery: all-good events drain the fast window first; the alert must
+	// clear even while the slow window still remembers the incident.
+	cleared := fired
+	for i := 0; i < 8 && cleared.Firing; i++ {
+		src.add(50, 50)
+		cleared = tick(t, e, sim, 10*time.Second)
+	}
+	if cleared.Firing {
+		t.Fatalf("alert still firing after recovery: %+v", cleared)
+	}
+	if cleared.Since != 0 {
+		t.Fatalf("Since = %v after clearing", cleared.Since)
+	}
+	assertGauge(t, reg, "slo_violation", 0)
+}
+
+func TestEngineQuietWithNoTraffic(t *testing.T) {
+	src := &counters{}
+	e, sim := newTestEngine(t, src, nil)
+	for i := 0; i < 5; i++ {
+		if st := tick(t, e, sim, time.Second); st.Firing || st.Burn != 0 || st.GoodRatio != 1 {
+			t.Fatalf("idle tick %d = %+v", i, st)
+		}
+	}
+}
+
+func TestEngineStartStop(t *testing.T) {
+	var e *Engine
+	e.Start() // nil engine: no-ops
+	e.Stop()
+
+	src := &counters{}
+	e, _ = newTestEngine(t, src, nil)
+	e.Stop() // stop before start must not hang
+	e2, sim2 := newTestEngine(t, src, nil)
+	e2.Start()
+	e2.Start() // idempotent
+	sim2.Advance(5 * time.Second)
+	e2.Stop()
+	e2.Stop() // repeated stop must not hang or panic
+}
+
+func TestSourcelessObjectivesDropped(t *testing.T) {
+	e := NewEngine(EngineConfig{}, Objective{Name: "no-source", Target: 0.9})
+	if e.Objectives() != 0 {
+		t.Fatalf("engine kept %d objectives, want 0", e.Objectives())
+	}
+	if sts := e.EvaluateNow(); len(sts) != 0 {
+		t.Fatalf("EvaluateNow = %+v", sts)
+	}
+}
+
+// assertGauge fails unless the first child of family name has value want.
+func assertGauge(t *testing.T, reg *telemetry.Registry, name string, want float64) {
+	t.Helper()
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != name {
+			continue
+		}
+		if len(fam.Metrics) == 0 {
+			break
+		}
+		if got := fam.Metrics[0].Value; got != want {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+		return
+	}
+	t.Fatalf("gauge %s not found in registry", name)
+}

@@ -106,6 +106,26 @@ Wiera DynamicConsistency {
 	}
 }`,
 
+	// Fig-7-style switch driven by SLO error-budget burn instead of raw
+	// latency: downgrade consistency while the multi-window burn-rate alert
+	// holds, return to strong consistency once the budget stops burning.
+	// threshold.burnRate is the minimum of the fast- and slow-window burn
+	// rates, so both the "genuinely on fire" and "has recovered" branches
+	// read the conservative signal.
+	"SLOSwitch": `
+Wiera SLOSwitch {
+	% Consuming error budget at twice the sustainable rate for a sustained
+	% period: drop to eventual consistency. Burn below sustainable: the
+	% budget is recovering, return to multi-primaries.
+	event(threshold.type == slo) : response {
+		if (threshold.burnRate >= 2 && threshold.period > 30s) {
+			change_policy(what: consistency, to: EventualConsistency);
+		} else if (threshold.burnRate < 1 && threshold.period > 30s) {
+			change_policy(what: consistency, to: MultiPrimariesConsistency);
+		}
+	}
+}`,
+
 	// Figure 5(b): move the primary to the instance that forwarded the
 	// most requests.
 	"ChangePrimary": `

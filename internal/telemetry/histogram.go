@@ -208,15 +208,20 @@ func (h *Histogram) Reset() {
 }
 
 // snapshot returns count, sum, and cumulative buckets (only buckets up to
-// the highest non-empty one, plus the +Inf bucket).
+// the highest non-empty one, plus the +Inf bucket). The reported count is
+// derived from the bucket loads themselves — not h.count, which under
+// concurrent Record could lag the buckets and make the +Inf bucket smaller
+// than a cumulative finite bucket, an invariant violation Prometheus
+// clients reject.
 func (h *Histogram) snapshot() (int64, time.Duration, []BucketCount) {
-	total := h.count.Load()
 	sum := time.Duration(h.sum.Load())
 	// Find the highest non-empty finite bucket so exports stay compact.
 	last := -1
 	raw := make([]int64, numBuckets+1)
+	var total int64
 	for i := 0; i <= numBuckets; i++ {
 		raw[i] = h.counts[i].Load()
+		total += raw[i]
 		if raw[i] > 0 && i < numBuckets {
 			last = i
 		}
@@ -229,4 +234,33 @@ func (h *Histogram) snapshot() (int64, time.Duration, []BucketCount) {
 	}
 	out = append(out, BucketCount{UpperBound: math.MaxInt64, Count: total})
 	return total, sum, out
+}
+
+// CountLE returns the number of observations recorded at or below d,
+// counting whole buckets whose upper bound is <= d. When d falls strictly
+// inside a bucket that bucket is excluded, so the result is a slight
+// undercount rather than an overcount — the conservative direction for SLO
+// good-event accounting. Passing an exact bucket bound (e.g. a threshold
+// aligned via AlignedBound) is exact.
+func (h *Histogram) CountLE(d time.Duration) int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := 0; i < numBuckets && bucketBounds[i] <= d; i++ {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// AlignedBound returns the smallest histogram bucket bound >= d — the
+// effective threshold CountLE(d) would evaluate if d were rounded up to a
+// bucket edge. SLO objectives align their latency thresholds with this so
+// good-event counts are exact rather than conservatively low.
+func AlignedBound(d time.Duration) time.Duration {
+	idx := bucketIndex(d)
+	if idx >= numBuckets {
+		return bucketBounds[numBuckets-1]
+	}
+	return bucketBounds[idx]
 }

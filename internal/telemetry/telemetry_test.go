@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -406,5 +407,158 @@ func TestSampleRoot(t *testing.T) {
 	tr.SetAutoSample(1000000)
 	if tr.StartRoot("explicit") == nil {
 		t.Fatal("StartRoot must bypass sampling")
+	}
+}
+
+// TestHistogramSnapshotConsistentUnderConcurrency hammers Record while
+// repeatedly snapshotting and checks the exposition invariants Prometheus
+// clients enforce: finite cumulative buckets never decrease, and the +Inf
+// bucket equals _count. Deriving the snapshot count from h.count instead of
+// the summed bucket loads breaks this (the count increments after the bucket,
+// so +Inf could undershoot a finite bucket mid-Record).
+func TestHistogramSnapshotConsistentUnderConcurrency(t *testing.T) {
+	h := NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := time.Duration(g+1) * 100 * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(d)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 2000; i++ {
+		count, _, buckets := h.snapshot()
+		var prev int64 = -1
+		for _, b := range buckets {
+			if b.Count < prev {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("cumulative bucket decreased: %d after %d", b.Count, prev)
+			}
+			prev = b.Count
+		}
+		if n := len(buckets); n > 0 {
+			if inf := buckets[n-1]; inf.Count != count {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("+Inf bucket %d != snapshot count %d", inf.Count, count)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Quiescent: snapshot count, h.Count, and a rendered _count agree.
+	count, _, buckets := h.snapshot()
+	if count != h.Count() {
+		t.Fatalf("snapshot count %d != Count() %d at rest", count, h.Count())
+	}
+	if buckets[len(buckets)-1].Count != count {
+		t.Fatalf("+Inf %d != count %d at rest", buckets[len(buckets)-1].Count, count)
+	}
+}
+
+func TestCountLEAndAlignedBound(t *testing.T) {
+	h := NewHistogram()
+	if h.CountLE(time.Hour) != 0 {
+		t.Fatal("empty histogram CountLE != 0")
+	}
+	var nilH *Histogram
+	if nilH.CountLE(time.Hour) != 0 {
+		t.Fatal("nil histogram CountLE != 0")
+	}
+
+	// Bucket bounds start at 10µs growing 1.25x; record at exact bounds so
+	// placement is unambiguous.
+	h.Record(bucketBounds[0]) // 10µs
+	h.Record(bucketBounds[1]) // 12.5µs
+	h.Record(bucketBounds[5])
+	h.Record(48 * time.Hour) // overflow
+
+	if got := h.CountLE(bucketBounds[0]); got != 1 {
+		t.Fatalf("CountLE(bound0) = %d, want 1", got)
+	}
+	if got := h.CountLE(bucketBounds[1]); got != 2 {
+		t.Fatalf("CountLE(bound1) = %d, want 2", got)
+	}
+	// A threshold strictly inside bucket 5 excludes it (conservative
+	// undercount).
+	inside := bucketBounds[4] + (bucketBounds[5]-bucketBounds[4])/2
+	if got := h.CountLE(inside); got != 2 {
+		t.Fatalf("CountLE(mid-bucket) = %d, want 2", got)
+	}
+	if got := h.CountLE(bucketBounds[5]); got != 3 {
+		t.Fatalf("CountLE(bound5) = %d, want 3", got)
+	}
+	// Overflow observations are never <= any finite threshold.
+	if got := h.CountLE(bucketBounds[numBuckets-1]); got != 3 {
+		t.Fatalf("CountLE(last bound) = %d, want 3", got)
+	}
+
+	// AlignedBound rounds a threshold up to the next bucket edge, making
+	// CountLE exact for that threshold.
+	if got := AlignedBound(inside); got != bucketBounds[5] {
+		t.Fatalf("AlignedBound(mid) = %v, want %v", got, bucketBounds[5])
+	}
+	if got := AlignedBound(bucketBounds[3]); got != bucketBounds[3] {
+		t.Fatalf("AlignedBound(exact bound) = %v, want itself", got)
+	}
+	if got := AlignedBound(48 * time.Hour); got != bucketBounds[numBuckets-1] {
+		t.Fatalf("AlignedBound(overflow) = %v, want last finite bound", got)
+	}
+	if got := h.CountLE(AlignedBound(inside)); got != 3 {
+		t.Fatalf("CountLE(AlignedBound(mid)) = %d, want 3", got)
+	}
+}
+
+func TestForceSample(t *testing.T) {
+	tr := NewTracer(WithAutoSample(1000000)) // effectively never head-sample
+	// Burn the modulo counter's first hit (i=0 samples with any rate).
+	for i := 0; i < 3; i++ {
+		if sp := tr.SampleRoot("warm"); sp != nil {
+			sp.End()
+		}
+	}
+	if sp := tr.SampleRoot("not-boosted"); sp != nil {
+		t.Fatal("sampled without boost at 1-in-1e6")
+	}
+	tr.ForceSample(2)
+	for i := 0; i < 2; i++ {
+		sp := tr.SampleRoot("boosted")
+		if sp == nil {
+			t.Fatalf("boost credit %d not honored", i)
+		}
+		sp.End()
+	}
+	if sp := tr.SampleRoot("credit-spent"); sp != nil {
+		t.Fatal("sampled after boost credits ran out")
+	}
+	// Concurrent credits never over-spend.
+	tr.ForceSample(100)
+	var sampled atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if sp := tr.SampleRoot("c"); sp != nil {
+					sampled.Add(1)
+					sp.End()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := sampled.Load(); got != 100 {
+		t.Fatalf("concurrent boost sampled %d, want exactly 100", got)
 	}
 }

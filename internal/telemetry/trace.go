@@ -128,6 +128,7 @@ type Tracer struct {
 
 	sampleEvery atomic.Int64 // SampleRoot keeps 1 in this many (<=1 = all)
 	autoCount   atomic.Int64 // SampleRoot call counter
+	boost       atomic.Int64 // SampleRoot calls forced on by ForceSample
 
 	mu    sync.Mutex
 	ring  []SpanRecord
@@ -239,14 +240,35 @@ func (t *Tracer) SetAutoSample(every int) {
 	t.sampleEvery.Store(int64(every))
 }
 
+// ForceSample guarantees the next n SampleRoot calls return real roots
+// regardless of the sampling ratio. The flight recorder uses this when a
+// slow request lands in the slowlog: the slow request itself is past
+// tracing, but its immediate successors — likely hitting the same congested
+// path — get full traces.
+func (t *Tracer) ForceSample(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.boost.Add(int64(n))
+}
+
 // SampleRoot begins a new trace for an application-initiated operation,
 // subject to the tracer's sampling rate: the first call and every
 // sampleEvery-th call after it return a real root; the rest return nil (a
-// valid no-op span), so untraced operations pay nothing downstream. Use
-// StartRoot to bypass sampling.
+// valid no-op span), so untraced operations pay nothing downstream. Pending
+// ForceSample credit overrides the ratio. Use StartRoot to bypass sampling.
 func (t *Tracer) SampleRoot(name string) *Span {
 	if t == nil {
 		return nil
+	}
+	for {
+		b := t.boost.Load()
+		if b <= 0 {
+			break
+		}
+		if t.boost.CompareAndSwap(b, b-1) {
+			return t.StartRoot(name)
+		}
 	}
 	if n := t.sampleEvery.Load(); n > 1 && (t.autoCount.Add(1)-1)%n != 0 {
 		return nil

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/cost"
+	"repro/internal/flight"
 	"repro/internal/telemetry"
 )
 
@@ -346,6 +347,11 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 	s.clk.Sleep(service)
 	hist.Record(service)
 	ops.Inc()
+	flight.FromContext(ctx).AddHop(flight.Hop{
+		Kind: flight.HopTier, Name: s.cfg.Name, Class: string(s.cfg.Class),
+		Wait: wait, Duration: service, Bytes: size,
+		CostUSD: cost.PutRequestCost(s.cfg.Class),
+	})
 	return nil
 }
 
@@ -410,6 +416,11 @@ func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
 	s.clk.Sleep(service)
 	hist.Record(service)
 	ops.Inc()
+	flight.FromContext(ctx).AddHop(flight.Hop{
+		Kind: flight.HopTier, Name: s.cfg.Name, Class: string(s.cfg.Class),
+		Wait: wait, Duration: service, Bytes: int64(len(cp)),
+		CostUSD: cost.GetRequestCost(s.cfg.Class),
+	})
 	return cp, nil
 }
 

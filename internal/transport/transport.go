@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/flight"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
 )
@@ -69,9 +70,10 @@ func (e RemoteError) Error() string { return "transport: remote error: " + e.Msg
 // Use WithTelemetry to share an external pair or WithoutTelemetry to run
 // bare (e.g. for overhead benchmarks).
 type Fabric struct {
-	net     *simnet.Network
-	metrics *telemetry.Registry
-	tracer  *telemetry.Tracer
+	net       *simnet.Network
+	metrics   *telemetry.Registry
+	tracer    *telemetry.Tracer
+	flightRec *flight.Recorder
 
 	rpcLatency *telemetry.HistogramVec // {method, region} server-side service time
 	rpcCalls   *telemetry.CounterVec   // {method, region}
@@ -132,13 +134,20 @@ func WithTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) FabricOption {
 	}
 }
 
-// WithoutTelemetry disables the fabric's default registry and tracer; calls
-// pay only a nil check.
+// WithoutTelemetry disables the fabric's default registry, tracer, and
+// flight recorder; calls pay only a nil check.
 func WithoutTelemetry() FabricOption {
 	return func(f *Fabric) {
 		f.metrics = nil
 		f.tracer = nil
+		f.flightRec = nil
 	}
+}
+
+// WithFlightRecorder replaces the fabric's default flight recorder (nil
+// disables per-request flight records while keeping metrics and traces).
+func WithFlightRecorder(r *flight.Recorder) FabricOption {
+	return func(f *Fabric) { f.flightRec = r }
 }
 
 // NewFabric returns a fabric over net. Unless configured otherwise it
@@ -149,8 +158,15 @@ func NewFabric(net *simnet.Network, opts ...FabricOption) *Fabric {
 	f := &Fabric{net: net, endpoints: make(map[string]*Endpoint)}
 	f.metrics = telemetry.NewRegistry()
 	f.tracer = telemetry.NewTracer(telemetry.WithNow(net.Clock().Now))
+	f.flightRec = flight.NewRecorder(flight.Config{Now: net.Clock().Now})
 	for _, o := range opts {
 		o(f)
+	}
+	if f.flightRec != nil && f.tracer != nil {
+		// A slow request is past tracing, but its immediate successor —
+		// likely hitting the same congested path — gets a guaranteed trace.
+		tr := f.tracer
+		f.flightRec.OnSlow(func(flight.Record) { tr.ForceSample(1) })
 	}
 	if f.metrics != nil {
 		f.rpcLatency = f.metrics.Histogram("rpc_server_seconds",
@@ -173,6 +189,10 @@ func (f *Fabric) Metrics() *telemetry.Registry { return f.metrics }
 
 // Tracer returns the fabric's tracer (nil when disabled).
 func (f *Fabric) Tracer() *telemetry.Tracer { return f.tracer }
+
+// Flight returns the fabric's shared request flight recorder (nil when
+// disabled).
+func (f *Fabric) Flight() *flight.Recorder { return f.flightRec }
 
 // Endpoint is one addressable party on a Fabric.
 type Endpoint struct {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/flight"
 	"repro/internal/object"
 	"repro/internal/policy"
 	"repro/internal/transport"
@@ -34,9 +36,13 @@ func (e *globalPutExec) Do(call *policy.ActionCall) error {
 		if e.n.locks == nil {
 			return errors.New("wiera: no coordination service configured for lock")
 		}
+		lockStart := e.n.clk.Now()
 		if err := e.n.locks.Lock(e.ctx, e.key, lockWait); err != nil {
 			return err
 		}
+		flight.FromContext(e.ctx).AddHop(flight.Hop{
+			Kind: flight.HopLock, Name: e.key, Duration: e.n.clk.Since(lockStart),
+		})
 		e.lockHeld = true
 		return nil
 	case "release":
@@ -83,10 +89,12 @@ func (e *globalPutExec) Do(call *policy.ActionCall) error {
 		if err != nil {
 			return err
 		}
+		callStart := e.n.clk.Now()
 		raw, err := e.n.ep.Call(e.ctx, target, MethodForwardPut, payload)
 		if err != nil {
 			return err
 		}
+		e.addRPCHop(target, callStart, int64(len(payload)))
 		var resp PutResponse
 		if err := transport.Decode(raw, &resp); err != nil {
 			return err
@@ -136,12 +144,14 @@ func (e *globalPutExec) distribute(call *policy.ActionCall, sync bool) error {
 			}()
 			return nil
 		}
+		callStart := e.n.clk.Now()
 		if _, err := e.n.ep.Call(e.ctx, target, MethodApplyUpdate, payload); err != nil {
 			if e.n.repair != nil {
 				e.n.repair.addHint(target, msg)
 			}
 			return err
 		}
+		e.addRPCHop(target, callStart, int64(len(payload)))
 		return nil
 	}
 	msg := UpdateMsg{Meta: *e.meta, Data: e.data}
@@ -150,6 +160,11 @@ func (e *globalPutExec) distribute(call *policy.ActionCall, sync bool) error {
 	}
 	e.n.queue.enqueue(msg)
 	return nil
+}
+
+// addRPCHop files a flight hop for one completed peer call.
+func (e *globalPutExec) addRPCHop(target string, start time.Time, bytes int64) {
+	e.n.addRPCHop(e.ctx, target, start, bytes)
 }
 
 // Assign implements policy.Executor (no assignable attributes at the
@@ -201,6 +216,7 @@ func (e *globalGetExec) Do(call *policy.ActionCall) error {
 		if err != nil {
 			return err
 		}
+		callStart := e.n.clk.Now()
 		raw, err := e.n.ep.Call(e.ctx, target, MethodForwardGet, payload)
 		if err != nil {
 			return err
@@ -209,6 +225,7 @@ func (e *globalGetExec) Do(call *policy.ActionCall) error {
 		if err := transport.Decode(raw, &resp); err != nil {
 			return err
 		}
+		e.n.addRPCHop(e.ctx, target, callStart, int64(len(resp.Data)))
 		e.resp = &resp
 		return nil
 	case "change_policy":
@@ -233,5 +250,5 @@ func doChangePolicy(n *Node, call *policy.ActionCall) error {
 	if err != nil {
 		return err
 	}
-	return n.requestPolicyChange(what, to)
+	return n.requestPolicyChangeVia(what, to, "policy")
 }

@@ -102,23 +102,7 @@ func (m *thresholdMonitor) observe(latency time.Duration) {
 		i++
 	}
 	m.samples = append(m.samples[:0], m.samples[i:]...)
-	// Evaluate against the second-highest sample in the window (the
-	// highest when fewer than three exist): a genuine network delay slows
-	// every operation and replication fan-out, while an isolated
-	// measurement spike (scheduling noise) only produces one outlier and
-	// must not register as a violation.
-	var max1, max2 time.Duration
-	for _, s := range m.samples {
-		if s.d > max1 {
-			max2, max1 = max1, s.d
-		} else if s.d > max2 {
-			max2 = s.d
-		}
-	}
-	windowMax := max1
-	if len(m.samples) >= 3 {
-		windowMax = max2
-	}
+	windowMax := windowMaxOf(m.samples)
 	m.mu.Unlock()
 	for _, ev := range m.n.controlEvents {
 		if ev.Kind != policy.KindThreshold || ev.Monitor != m.monitor {
@@ -126,6 +110,28 @@ func (m *thresholdMonitor) observe(latency time.Duration) {
 		}
 		m.evaluate(ev, windowMax)
 	}
+}
+
+// windowMaxOf returns the representative maximum of a sample window: the
+// second-highest sample when three or more exist, otherwise the highest
+// (zero for an empty window). A genuine network delay slows every operation
+// and replication fan-out, while an isolated measurement spike (scheduling
+// noise) produces one outlier and must not register as a violation — hence
+// the second-max rule, which discards exactly one outlier once the window
+// holds enough samples to tell the difference.
+func windowMaxOf(samples []latencySample) time.Duration {
+	var max1, max2 time.Duration
+	for _, s := range samples {
+		if s.d > max1 {
+			max2, max1 = max1, s.d
+		} else if s.d > max2 {
+			max2 = s.d
+		}
+	}
+	if len(samples) >= 3 {
+		return max2
+	}
+	return max1
 }
 
 func (m *thresholdMonitor) evaluate(ev *policy.CompiledEvent, latency time.Duration) {
@@ -175,7 +181,7 @@ func (m *thresholdMonitor) evaluate(ev *policy.CompiledEvent, latency time.Durat
 	// freezes this node's gate; blocking here would deadlock the
 	// triggering operation (it still occupies the gate).
 	go func() {
-		if err := m.n.requestPolicyChange(capture.what, capture.to); err != nil {
+		if err := m.n.requestPolicyChangeVia(capture.what, capture.to, "latency"); err != nil {
 			m.mu.Lock()
 			m.pendingChange = false
 			m.mu.Unlock()
@@ -337,7 +343,7 @@ func (m *requestsMonitor) evaluateEvent(ev *policy.CompiledEvent, maxF int, maxS
 	m.pendingChange = true
 	m.mu.Unlock()
 	go func() {
-		if err := m.n.requestPolicyChange(capture.what, target); err != nil {
+		if err := m.n.requestPolicyChangeVia(capture.what, target, "primary"); err != nil {
 			m.mu.Lock()
 			m.pendingChange = false
 			m.mu.Unlock()

@@ -1,0 +1,169 @@
+package wiera
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/policy"
+)
+
+func TestWindowMaxOf(t *testing.T) {
+	s := func(ds ...time.Duration) []latencySample {
+		out := make([]latencySample, len(ds))
+		for i, d := range ds {
+			out[i] = latencySample{d: d}
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		samples []latencySample
+		want    time.Duration
+	}{
+		// Empty window: no violation signal at all.
+		{"empty", nil, 0},
+		// With one or two samples there is no way to tell an outlier from a
+		// trend, so the highest wins.
+		{"single", s(700 * time.Millisecond), 700 * time.Millisecond},
+		{"two", s(100*time.Millisecond, 900*time.Millisecond), 900 * time.Millisecond},
+		// Three or more: the second-highest discards exactly one outlier.
+		{"three-outlier", s(10*time.Millisecond, 20*time.Millisecond, 5*time.Second), 20 * time.Millisecond},
+		{"three-degraded", s(900*time.Millisecond, 950*time.Millisecond, 5*time.Second), 950 * time.Millisecond},
+		{"order-independent", s(5*time.Second, 20*time.Millisecond, 10*time.Millisecond), 20 * time.Millisecond},
+		{"ties", s(time.Second, time.Second, time.Second), time.Second},
+		{"zeros", s(0, 0, 0), 0},
+	}
+	for _, c := range cases {
+		if got := windowMaxOf(c.samples); got != c.want {
+			t.Errorf("%s: windowMaxOf = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// monitorFixture builds a thresholdMonitor over a bare node with a sim
+// clock and the DynamicConsistency control events compiled in. policyName is
+// set to the policy the slow branch targets, so real evaluations early-return
+// (already on the requested policy) instead of issuing an RPC — the fixture
+// has no transport.
+func monitorFixture(t *testing.T, window time.Duration) (*thresholdMonitor, *clock.Sim) {
+	t.Helper()
+	spec, err := policy.Builtin("DynamicConsistency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := policy.Compile(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := clock.NewSim(time.Time{})
+	n := &Node{clk: sim, policyName: "EventualConsistency"}
+	n.controlEvents = prog.ByKind(policy.KindThreshold)
+	return newThresholdMonitor(n, "put", window), sim
+}
+
+func TestThresholdMonitorEmptyWindowNoStreak(t *testing.T) {
+	m, _ := monitorFixture(t, 10*time.Second)
+	// No samples observed: nothing may have set a streak target.
+	m.mu.Lock()
+	target := m.streakTarget
+	m.mu.Unlock()
+	if target != "" {
+		t.Fatalf("streak target %q before any sample", target)
+	}
+}
+
+func TestThresholdMonitorSecondMaxGatesStreak(t *testing.T) {
+	m, sim := monitorFixture(t, 10*time.Second)
+	// One violating sample among fast ones: with >= 3 samples the second-max
+	// rule discards the outlier, so the slow branch must not become the
+	// streak target.
+	m.observe(10 * time.Millisecond)
+	sim.Advance(100 * time.Millisecond)
+	m.observe(20 * time.Millisecond)
+	sim.Advance(100 * time.Millisecond)
+	m.observe(5 * time.Second) // isolated spike
+	m.mu.Lock()
+	target := m.streakTarget
+	m.mu.Unlock()
+	if target == "EventualConsistency" {
+		t.Fatal("isolated spike set the violation streak (second-max rule broken)")
+	}
+	// A second slow sample makes it a trend: second-max is now violating.
+	sim.Advance(100 * time.Millisecond)
+	m.observe(4 * time.Second)
+	m.mu.Lock()
+	target = m.streakTarget
+	m.mu.Unlock()
+	if target != "EventualConsistency" {
+		t.Fatalf("sustained violation streak target = %q, want EventualConsistency", target)
+	}
+}
+
+func TestThresholdMonitorStreakRestartsOnTargetChange(t *testing.T) {
+	m, sim := monitorFixture(t, 10*time.Second)
+	// Establish a violation streak.
+	for i := 0; i < 3; i++ {
+		m.observe(2 * time.Second)
+		sim.Advance(time.Second)
+	}
+	m.mu.Lock()
+	firstStart := m.streakStart
+	m.mu.Unlock()
+	// Let the slow samples age out, then observe fast: the probed branch
+	// flips to MultiPrimaries and the streak clock must restart.
+	sim.Advance(11 * time.Second)
+	for i := 0; i < 3; i++ {
+		m.observe(5 * time.Millisecond)
+		sim.Advance(100 * time.Millisecond)
+	}
+	m.mu.Lock()
+	target, start := m.streakTarget, m.streakStart
+	m.mu.Unlock()
+	if target != "MultiPrimariesConsistency" {
+		t.Fatalf("recovered streak target = %q", target)
+	}
+	if !start.After(firstStart) {
+		t.Fatal("streak start did not restart when the target flipped")
+	}
+}
+
+func TestThresholdMonitorResetAfterSwitch(t *testing.T) {
+	m, sim := monitorFixture(t, 10*time.Second)
+	for i := 0; i < 3; i++ {
+		m.observe(2 * time.Second)
+		sim.Advance(time.Second)
+	}
+	m.mu.Lock()
+	m.pendingChange = true // as if a change request was issued
+	m.mu.Unlock()
+
+	before := sim.Now()
+	sim.Advance(time.Second)
+	m.reset() // commitChange calls this once the switch lands
+
+	m.mu.Lock()
+	target, pending, start := m.streakTarget, m.pendingChange, m.streakStart
+	m.mu.Unlock()
+	if target != "" {
+		t.Fatalf("streak target %q after reset", target)
+	}
+	if pending {
+		t.Fatal("pendingChange survived reset")
+	}
+	if !start.After(before) {
+		t.Fatal("streak start not re-anchored at reset time")
+	}
+	// Samples observed before the switch may remain; the streak must restart
+	// from scratch on the next observation.
+	m.observe(2 * time.Second)
+	m.mu.Lock()
+	target, start = m.streakTarget, m.streakStart
+	m.mu.Unlock()
+	if target != "EventualConsistency" {
+		t.Fatalf("post-reset streak target = %q", target)
+	}
+	if got := sim.Now().Sub(start); got != 0 {
+		t.Fatalf("post-reset streak age = %v, want 0", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/coord"
 	"repro/internal/cost"
+	"repro/internal/flight"
 	"repro/internal/object"
 	"repro/internal/policy"
 	"repro/internal/simnet"
@@ -77,6 +78,15 @@ type NodeConfig struct {
 	AntiEntropyEvery time.Duration
 	// Accountant receives tier request charges.
 	Accountant *cost.Accountant
+	// SLOs declares the node's service-level objectives. Latency objectives
+	// (Op "put"/"get") and availability objectives (Threshold 0) are
+	// sourced from the node's own histograms and error counters; Source
+	// fields are filled in here and need not be set. Empty disables the
+	// SLO engine.
+	SLOs []flight.Objective
+	// SLOInterval is the SLO engine's evaluation period (default 1s of
+	// clock time).
+	SLOInterval time.Duration
 	// MetaPath persists local metadata when non-empty.
 	MetaPath string
 	// ExtraTiers installs pre-built tiers into the local instance, keyed by
@@ -115,6 +125,13 @@ type Node struct {
 
 	latMon *thresholdMonitor // LatencyMonitoring (put)
 	reqMon *requestsMonitor  // RequestsMonitoring (primary)
+	sloMon *sloMonitor       // SLOViolation (slo); nil without objectives
+
+	// flightRec is the fabric's shared per-request flight recorder (nil
+	// when telemetry is disabled); sloEngine evaluates the node's declared
+	// objectives (nil without objectives).
+	flightRec *flight.Recorder
+	sloEngine *flight.Engine
 
 	// PutLatency records application-perceived put latency (lock + fan-out
 	// included); GetLatency likewise for gets. Both are children of the
@@ -124,11 +141,21 @@ type Node struct {
 	PutLatency *telemetry.Histogram
 	GetLatency *telemetry.Histogram
 
+	// ReplLatency records background replication fan-out latency (op
+	// "replicate" of wiera_op_seconds). The SLO engine's put objective
+	// draws from it alongside PutLatency for the same reason the latency
+	// monitor observes fan-outs: under eventual consistency application
+	// puts are fast by construction, and only the fan-outs still show the
+	// degraded network.
+	ReplLatency *telemetry.Histogram
+
 	// PutSeries records (time, put latency ms) for timeline figures.
 	PutSeries *stats.Series
 
 	staleReads *telemetry.Counter
 	freshReads *telemetry.Counter
+	putErrors  *telemetry.Counter
+	getErrors  *telemetry.Counter
 	queueDepth *telemetry.Gauge
 	closed     bool
 }
@@ -184,10 +211,16 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		"Application-perceived Wiera operation latency.", "op", "node", "region")
 	n.PutLatency = opHist.With("put", cfg.Name, region)
 	n.GetLatency = opHist.With("get", cfg.Name, region)
+	n.ReplLatency = opHist.With("replicate", cfg.Name, region)
 	reads := reg.Counter("wiera_reads_total",
 		"Gets by freshness against the global newest version.", "node", "region", "freshness")
 	n.staleReads = reads.With(cfg.Name, region, "stale")
 	n.freshReads = reads.With(cfg.Name, region, "fresh")
+	opErrs := reg.Counter("wiera_op_errors_total",
+		"Wiera operations that returned an error to the application.", "op", "node", "region")
+	n.putErrors = opErrs.With("put", cfg.Name, region)
+	n.getErrors = opErrs.With("get", cfg.Name, region)
+	n.flightRec = cfg.Fabric.Flight()
 	n.queueDepth = reg.Gauge("wiera_queue_depth",
 		"Keys with updates queued for lazy propagation.", "node", "region").
 		With(cfg.Name, region)
@@ -226,14 +259,62 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	n.latMon = newThresholdMonitor(n, "put", cfg.MonitorWindow)
 	n.reqMon = newRequestsMonitor(n)
+	if len(cfg.SLOs) > 0 {
+		n.sloMon = newSLOMonitor(n)
+		n.sloEngine = flight.NewEngine(flight.EngineConfig{
+			Clock:    clk,
+			Interval: cfg.SLOInterval,
+			Registry: reg,
+			Node:     cfg.Name,
+			Region:   region,
+			OnStatus: n.sloMon.observe,
+		}, n.sloObjectives(cfg.SLOs)...)
+	}
 	ep.Serve(n.handle)
 	n.queue.start()
 	if n.repair != nil {
 		n.repair.start()
 	}
+	n.sloEngine.Start()
 	local.Start()
 	registerNode(n)
 	return n, nil
+}
+
+// sloObjectives binds declared objectives to the node's own histograms and
+// error counters. Latency thresholds are aligned up to a histogram bucket
+// bound so good-event counts are exact rather than conservatively low.
+func (n *Node) sloObjectives(objs []flight.Objective) []flight.Objective {
+	out := make([]flight.Objective, 0, len(objs))
+	for _, o := range objs {
+		switch {
+		case o.Threshold > 0 && o.Op == "put":
+			// Puts plus background replication fan-outs (see ReplLatency).
+			th := telemetry.AlignedBound(o.Threshold)
+			o.Threshold = th
+			o.Source = func() (int64, int64) {
+				good := n.PutLatency.CountLE(th) + n.ReplLatency.CountLE(th)
+				return good, n.PutLatency.Count() + n.ReplLatency.Count()
+			}
+		case o.Threshold > 0 && o.Op == "get":
+			th := telemetry.AlignedBound(o.Threshold)
+			o.Threshold = th
+			o.Source = func() (int64, int64) {
+				return n.GetLatency.CountLE(th), n.GetLatency.Count()
+			}
+		case o.Threshold == 0:
+			// Availability: every completed op is good, every errored op bad.
+			o.Op = "availability"
+			o.Source = func() (int64, int64) {
+				good := n.PutLatency.Count() + n.GetLatency.Count()
+				return good, good + n.putErrors.Value() + n.getErrors.Value()
+			}
+		default:
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
 }
 
 // Name returns the node's endpoint name.
@@ -304,12 +385,29 @@ func (n *Node) Put(ctx context.Context, key string, data []byte, tags []string) 
 	return n.put(ctx, key, data, tags, true)
 }
 
-func (n *Node) put(ctx context.Context, key string, data []byte, tags []string, fromApp bool) (object.Meta, error) {
+func (n *Node) put(ctx context.Context, key string, data []byte, tags []string, fromApp bool) (_ object.Meta, retErr error) {
 	ctx, span := telemetry.StartSpan(ctx, "wiera.put")
 	span.SetAttr("node", n.name)
 	span.SetAttr("region", string(n.region))
 	span.SetAttr("policy", n.PolicyName())
 	defer span.End()
+
+	// Only application-initiated puts open a flight record; forwarded puts
+	// appear as rpc hops in the originator's record instead.
+	var fa *flight.Active
+	if fromApp {
+		fa = n.flightRec.Begin("put", key, n.name, string(n.region), n.PolicyName())
+		if sc := span.Context(); sc.Valid() {
+			fa.SetTraceID(sc.Trace.String())
+		}
+		ctx = flight.NewContext(ctx, fa)
+		defer func() {
+			if retErr != nil {
+				n.putErrors.Inc()
+			}
+			fa.End(retErr)
+		}()
+	}
 
 	appStart := n.clk.Now()
 	if err := n.gate.enter(); err != nil {
@@ -323,6 +421,9 @@ func (n *Node) put(ctx context.Context, key string, data []byte, tags []string, 
 	// transition pause would read as a spurious network delay. The
 	// application-perceived histogram still includes it.
 	start := n.clk.Now()
+	if wait := start.Sub(appStart); wait > 0 {
+		fa.AddHop(flight.Hop{Kind: flight.HopQueue, Name: "gate", Wait: wait, Duration: wait})
+	}
 	n.mu.Lock()
 	prog := n.prog
 	n.mu.Unlock()
@@ -370,19 +471,35 @@ func (n *Node) putEnv(key string, data []byte) *policy.MapEnv {
 // Get retrieves key's latest local version through the global policy
 // (forwarding policies apply); on a local miss it falls back to the
 // nearest peer holding the data.
-func (n *Node) Get(ctx context.Context, key string) ([]byte, object.Meta, error) {
+func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, retErr error) {
 	ctx, span := telemetry.StartSpan(ctx, "wiera.get")
 	span.SetAttr("node", n.name)
 	span.SetAttr("region", string(n.region))
 	span.SetAttr("policy", n.PolicyName())
 	defer span.End()
 
+	fa := n.flightRec.Begin("get", key, n.name, string(n.region), n.PolicyName())
+	if sc := span.Context(); sc.Valid() {
+		fa.SetTraceID(sc.Trace.String())
+	}
+	ctx = flight.NewContext(ctx, fa)
+	defer func() {
+		if retErr != nil {
+			n.getErrors.Inc()
+		}
+		fa.End(retErr)
+	}()
+
+	gateStart := n.clk.Now()
 	if err := n.gate.enter(); err != nil {
 		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
 	defer n.gate.exit()
 	start := n.clk.Now()
+	if wait := start.Sub(gateStart); wait > 0 {
+		fa.AddHop(flight.Hop{Kind: flight.HopQueue, Name: "gate", Wait: wait, Duration: wait})
+	}
 
 	n.mu.Lock()
 	prog := n.prog
@@ -418,6 +535,7 @@ func (n *Node) Get(ctx context.Context, key string) ([]byte, object.Meta, error)
 		// background so the next read of key is served here.
 		if n.repair != nil {
 			n.repair.absorb(meta, data)
+			fa.AddHop(flight.Hop{Kind: flight.HopRepair, Name: "absorb", Bytes: int64(len(data))})
 		}
 	}
 	n.GetLatency.Record(n.clk.Since(start))
@@ -425,6 +543,7 @@ func (n *Node) Get(ctx context.Context, key string) ([]byte, object.Meta, error)
 		// Read repair: a peer holds a newer version than the one just
 		// returned — reconcile the key asynchronously.
 		n.repair.scheduleKeyRepair(meta.Key)
+		fa.AddHop(flight.Hop{Kind: flight.HopRepair, Name: "key-repair"})
 	}
 	return data, meta, nil
 }
@@ -487,13 +606,19 @@ func (n *Node) getFromPeers(ctx context.Context, key string) ([]byte, object.Met
 		return net.RTT(n.region, peers[i].Region) < net.RTT(n.region, peers[j].Region)
 	})
 	var lastErr error = object.ErrNotFound{Key: key}
+	fa := flight.FromContext(ctx)
 	for _, p := range peers {
 		payload, err := transport.Encode(GetRequest{Key: key})
 		if err != nil {
 			return nil, object.Meta{}, err
 		}
+		callStart := n.clk.Now()
 		raw, err := n.ep.Call(ctx, p.Name, MethodForwardGet, payload)
 		if err != nil {
+			fa.AddHop(flight.Hop{
+				Kind: flight.HopRPC, Name: p.Name,
+				Duration: n.clk.Since(callStart), Err: err.Error(),
+			})
 			lastErr = err
 			continue
 		}
@@ -501,9 +626,48 @@ func (n *Node) getFromPeers(ctx context.Context, key string) ([]byte, object.Met
 		if err := transport.Decode(raw, &resp); err != nil {
 			return nil, object.Meta{}, err
 		}
+		fa.AddHop(flight.Hop{
+			Kind: flight.HopRPC, Name: p.Name,
+			Duration: n.clk.Since(callStart), Bytes: int64(len(resp.Data)),
+			CostUSD: n.transferCost(p.Region, int64(len(resp.Data))),
+		})
 		return resp.Data, resp.Meta, nil
 	}
 	return nil, object.Meta{}, lastErr
+}
+
+// transferCost prices moving bytes between this node's region and peer's
+// (free inside one region, inter-AWS rate otherwise — Table 4 network rates
+// are class-independent, so Memory stands in for all).
+func (n *Node) transferCost(peer simnet.Region, bytes int64) float64 {
+	scope := cost.NetInterAWS
+	if peer == n.region {
+		scope = cost.NetIntraDC
+	}
+	return cost.TransferCost(cost.ClassMemory, scope, bytes)
+}
+
+// addRPCHop files a flight hop for a completed peer call started at start,
+// priced by the target's region (self if the name is unknown).
+func (n *Node) addRPCHop(ctx context.Context, target string, start time.Time, bytes int64) {
+	fa := flight.FromContext(ctx)
+	if fa == nil {
+		return
+	}
+	region := n.region
+	n.mu.Lock()
+	for _, p := range n.peers {
+		if p.Name == target {
+			region = p.Region
+			break
+		}
+	}
+	n.mu.Unlock()
+	fa.AddHop(flight.Hop{
+		Kind: flight.HopRPC, Name: target,
+		Duration: n.clk.Since(start), Bytes: bytes,
+		CostUSD: n.transferCost(region, bytes),
+	})
 }
 
 // fanOutSync pushes an update to every peer synchronously, in parallel,
@@ -520,6 +684,7 @@ func (n *Node) fanOutSync(ctx context.Context, msg UpdateMsg) error {
 	if err != nil {
 		return err
 	}
+	fa := flight.FromContext(ctx)
 	type result struct {
 		peer string
 		err  error
@@ -527,7 +692,17 @@ func (n *Node) fanOutSync(ctx context.Context, msg UpdateMsg) error {
 	results := make(chan result, len(peers))
 	for _, p := range peers {
 		go func(p PeerInfo) {
+			callStart := n.clk.Now()
 			_, err := n.ep.Call(ctx, p.Name, MethodApplyUpdate, payload)
+			hop := flight.Hop{
+				Kind: flight.HopRPC, Name: p.Name,
+				Duration: n.clk.Since(callStart), Bytes: int64(len(payload)),
+				CostUSD: n.transferCost(p.Region, int64(len(payload))),
+			}
+			if err != nil {
+				hop.Err = err.Error()
+			}
+			fa.AddHop(hop)
 			results <- result{peer: p.Name, err: err}
 		}(p)
 	}
@@ -664,6 +839,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		n.primary = msg.Primary
 		n.mu.Unlock()
 		n.reqMon.reset()
+		n.sloMon.reset()
 		return transport.Encode(Empty{})
 	case MethodPrepareChange:
 		var msg PrepareChangeMsg
@@ -777,6 +953,7 @@ func (n *Node) commitChange(msg CommitChangeMsg) error {
 	}
 	n.mu.Unlock()
 	n.latMon.reset()
+	n.sloMon.reset()
 	if msg.Primary != "" {
 		n.reqMon.reset()
 	}
@@ -788,6 +965,13 @@ func (n *Node) commitChange(msg CommitChangeMsg) error {
 // change_policy response, Sec 4.3). Without a server the change applies
 // locally (single-node tests).
 func (n *Node) requestPolicyChange(what, to string) error {
+	return n.requestPolicyChangeVia(what, to, "")
+}
+
+// requestPolicyChangeVia additionally records which monitor triggered the
+// change ("latency", "primary", "slo", ...) so the server's change log can
+// attribute every switch to its cause.
+func (n *Node) requestPolicyChangeVia(what, to, via string) error {
 	if n.serverDst == "" {
 		switch what {
 		case "consistency":
@@ -802,7 +986,7 @@ func (n *Node) requestPolicyChange(what, to string) error {
 		}
 	}
 	payload, err := transport.Encode(ChangeRequestMsg{
-		InstanceID: n.instanceID, What: what, To: to, From: n.name,
+		InstanceID: n.instanceID, What: what, To: to, From: n.name, Via: via,
 	})
 	if err != nil {
 		return err
@@ -822,6 +1006,7 @@ func (n *Node) Close() error {
 	n.mu.Unlock()
 	n.gate.kill() // unblock any operation parked behind a policy change
 	n.queue.stop()
+	n.sloEngine.Stop()
 	if n.repair != nil {
 		n.repair.stop()
 	}
@@ -841,6 +1026,7 @@ func (n *Node) Crash() {
 	n.mu.Unlock()
 	n.gate.kill()
 	n.queue.stop()
+	n.sloEngine.Stop()
 	if n.repair != nil {
 		// Stop the daemon but leave the hint backend unflushed: a crash
 		// takes no clean shutdown path, and durable hints replay on respawn.

@@ -11,6 +11,7 @@ package wiera
 import (
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/object"
 	"repro/internal/repair"
 	"repro/internal/simnet"
@@ -67,6 +68,7 @@ const (
 	// fabric, not on any single node.
 	MethodMetricsDump = "wiera.metricsDump"
 	MethodTraceDump   = "wiera.traceDump"
+	MethodFlightDump  = "wiera.flightDump"
 )
 
 // PutRequest stores an object (Table 2 put / update). From names the
@@ -230,6 +232,7 @@ type ChangeRequestMsg struct {
 	What       string // "consistency" or "primary_instance"
 	To         string // target policy name or instance name
 	From       string // requesting node
+	Via        string // triggering monitor: "latency", "primary", "slo", "policy", "" (manual)
 }
 
 // PingMsg checks liveness.
@@ -319,4 +322,19 @@ type TraceDumpRequest struct {
 // TraceDumpResponse carries the matching span records.
 type TraceDumpResponse struct {
 	Spans []telemetry.SpanRecord
+}
+
+// FlightDumpRequest asks the daemon for recorded request flight records.
+// SlowOnly selects the always-keep slow/expensive log; Max caps the count
+// (<= 0 returns everything retained).
+type FlightDumpRequest struct {
+	SlowOnly bool
+	Max      int
+}
+
+// FlightDumpResponse carries the matching flight records, newest first.
+type FlightDumpResponse struct {
+	TotalSeen int64
+	SlowSeen  int64
+	Records   []flight.Record
 }

@@ -127,10 +127,14 @@ func (q *updateQueue) flushNow() {
 		start := q.n.clk.Now()
 		err := q.n.fanOutSync(context.Background(), msg)
 		if err == nil {
-			// Feed the replication latency to the latency monitor: under
-			// eventual consistency this is the signal that tells the
-			// DynamicConsistency policy whether the network has recovered.
-			q.n.latMon.observe(q.n.clk.Since(start))
+			// Feed the replication latency to the latency monitor and the
+			// replication histogram (which the SLO put objective draws
+			// from): under eventual consistency this is the signal that
+			// tells the DynamicConsistency / SLOSwitch policies whether the
+			// network has recovered.
+			elapsed := q.n.clk.Since(start)
+			q.n.latMon.observe(elapsed)
+			q.n.ReplLatency.Record(elapsed)
 		} else if q.n.repair == nil {
 			// fanOutSync hinted the unreachable peers when repair is
 			// enabled; without it, re-enqueue so the update is retried on

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/policy"
 	"repro/internal/simnet"
 	"repro/internal/tier"
@@ -60,6 +61,7 @@ type ChangeEvent struct {
 	What       string
 	To         string
 	From       string // requesting node
+	Via        string // triggering monitor ("latency", "primary", "slo", ...)
 }
 
 // instanceState is one TIM: the metadata of a running Wiera instance.
@@ -494,7 +496,7 @@ func (s *Server) ApplyChange(req ChangeRequestMsg) error {
 func (s *Server) logChangeLocked(req ChangeRequestMsg) {
 	s.changeLog = append(s.changeLog, ChangeEvent{
 		At: s.fabric.Network().Clock().Now(), InstanceID: req.InstanceID,
-		What: req.What, To: req.To, From: req.From,
+		What: req.What, To: req.To, From: req.From, Via: req.Via,
 	})
 }
 
@@ -748,6 +750,50 @@ func (ts *TieraServer) handle(_ context.Context, method string, payload []byte) 
 	}
 }
 
+// sloParams assembles the node's SLO objectives from spawn params:
+// sloPut/sloGet (latency thresholds, durations) and sloAvailability (bool)
+// declare objectives; sloTarget (good ratio, default 0.999), sloFastWindow/
+// sloSlowWindow (burn windows), sloBurn (alert threshold, default 2), and
+// sloInterval (evaluation period) tune them. Sources are bound by NewNode.
+func sloParams(params map[string]policy.Value) ([]flight.Objective, time.Duration) {
+	num := func(key string, def float64) float64 {
+		if v, ok := params[key]; ok && v.Kind == policy.ValNumber {
+			return v.Num
+		}
+		return def
+	}
+	dur := func(key string) time.Duration {
+		if v, ok := params[key]; ok && v.Kind == policy.ValDuration {
+			return v.Dur
+		}
+		return 0
+	}
+	target := num("sloTarget", 0.999)
+	base := flight.Objective{
+		Target:     target,
+		FastWindow: dur("sloFastWindow"),
+		SlowWindow: dur("sloSlowWindow"),
+		AlertBurn:  num("sloBurn", 0), // 0 => flight.DefaultAlertBurn
+	}
+	var slos []flight.Objective
+	if th := dur("sloPut"); th > 0 {
+		o := base
+		o.Name, o.Op, o.Threshold = "put-latency", "put", th
+		slos = append(slos, o)
+	}
+	if th := dur("sloGet"); th > 0 {
+		o := base
+		o.Name, o.Op, o.Threshold = "get-latency", "get", th
+		slos = append(slos, o)
+	}
+	if v, ok := params["sloAvailability"]; ok && v.Kind == policy.ValBool && v.Bool {
+		o := base
+		o.Name, o.Op = "availability", "availability"
+		slos = append(slos, o)
+	}
+	return slos, dur("sloInterval")
+}
+
 // Spawn creates a node from a spawn request (Sec 4.1 steps 4-5).
 func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 	localSpec, err := policy.Parse(req.LocalSrc)
@@ -818,6 +864,7 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 			antiEntropy = -1
 		}
 	}
+	slos, sloInterval := sloParams(params)
 	node, err := NewNode(NodeConfig{
 		Name:             req.NodeName,
 		InstanceID:       req.InstanceID,
@@ -835,6 +882,8 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 		QueueFlushEvery:  queueFlush,
 		NoQueueSupersede: noSupersede,
 		AntiEntropyEvery: antiEntropy,
+		SLOs:             slos,
+		SLOInterval:      sloInterval,
 		ExtraTiers:       extraTiers,
 	})
 	if err != nil {
