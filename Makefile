@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: ci verify vet build test race race-obs bench convergence
+.PHONY: ci verify vet build test race race-obs race-ring bench convergence scaleout
 
-ci: vet build race-obs race
+ci: vet build race-obs race-ring race
 
 # One-stop pre-commit check: static analysis, full build, race-checked tests.
-verify: vet build race-obs race
+verify: vet build race-obs race-ring race
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,17 @@ race:
 # data race would silently corrupt metrics, so they get their own fast gate.
 race-obs:
 	$(GO) test -race -count=2 ./internal/flight/ ./internal/telemetry/
+
+# Focused race pass over keyspace sharding: ring construction, client
+# routing under concurrent map swaps, and online rebalancing — migration
+# code moves keys between live workers, so races here lose writes.
+race-ring:
+	$(GO) test -race -run 'TestBalance|TestMinimalMovement|TestDeterminism|TestMapHelpers|TestRing|TestTable|TestSharded|TestWrongShard|TestAddWorker|TestRemoveWorker|TestStrayUpdate|TestClientRouting' ./internal/ring/ ./internal/wiera/
+
+# Sharding scale-out experiment (quick mode): YCSB-B throughput vs pool
+# size plus a live worker-join audit.
+scaleout:
+	$(GO) run ./cmd/wierabench -exp scaleout
 
 # Telemetry overhead: instrumented vs bare client PUT/GET.
 bench:

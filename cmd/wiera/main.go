@@ -8,6 +8,13 @@
 //
 //	wiera [-listen 127.0.0.1:7360] [-metrics-addr 127.0.0.1:7361]
 //	      [-regions us-east,us-west,eu-west,asia-east] [-factor 50]
+//	      [-workers N]
+//
+// -workers sets the default per-region worker pool size for new instances:
+// each region of an instance runs N Tiera workers that split the keyspace
+// over a consistent-hash ring (a start request carrying its own workers
+// param wins). Pools grow and shrink online via wieractl grow/shrink, and
+// wieractl ring shows the resulting key ownership.
 //
 // The TCP front serves the Table 1 management API (startInstances /
 // stopInstances / getInstances) and proxies the Table 2 data API (put /
@@ -46,6 +53,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7360", "TCP listen address")
 	metricsAddr := flag.String("metrics-addr", "127.0.0.1:7361", "HTTP address for /metrics and /traces (empty = disabled)")
 	regionsFlag := flag.String("regions", "us-east,us-west,eu-west,asia-east", "comma-separated simulated regions")
+	workers := flag.Int("workers", 1, "default per-region worker pool size for new instances (overridable per start request)")
 	factor := flag.Float64("factor", 50, "clock compression factor for the simulated WAN")
 	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N root traces (0 = trace everything; slow requests are always sampled)")
 	flag.Parse()
@@ -82,7 +90,7 @@ func main() {
 	}
 	server.Start()
 
-	front := &frontend{fabric: fabric, server: server}
+	front := &frontend{fabric: fabric, server: server, defaultWorkers: *workers}
 	tcp, err := transport.ListenTCP(*listen, front.handle,
 		transport.WithServerTelemetry(fabric.Metrics(), fabric.Tracer()))
 	if err != nil {
@@ -127,8 +135,9 @@ func main() {
 // telemetry dumps are answered directly from the fabric's registry and
 // tracer.
 type frontend struct {
-	fabric *transport.Fabric
-	server *wiera.Server
+	fabric         *transport.Fabric
+	server         *wiera.Server
+	defaultWorkers int // injected into startInstances when the request has no workers param
 
 	mu      sync.Mutex
 	clients map[string]*wiera.Client // per instance id
@@ -137,7 +146,14 @@ type frontend struct {
 
 func (f *frontend) handle(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	switch method {
-	case wiera.MethodStartInstances, wiera.MethodStopInstances, wiera.MethodGetInstances, wiera.MethodCollectStats:
+	case wiera.MethodStartInstances, wiera.MethodStopInstances, wiera.MethodGetInstances,
+		wiera.MethodCollectStats, wiera.MethodAddWorker, wiera.MethodRemoveWorker:
+		if method == wiera.MethodStartInstances && f.defaultWorkers > 1 {
+			var err error
+			if payload, err = f.injectWorkers(payload); err != nil {
+				return nil, err
+			}
+		}
 		ep, cleanup, err := f.ephemeralEndpoint()
 		if err != nil {
 			return nil, err
@@ -164,7 +180,13 @@ func (f *frontend) handle(ctx context.Context, method string, payload []byte) ([
 				ctx = telemetry.ContextWithSpan(ctx, sp)
 			}
 		}
-		return cli.Call(ctx, method, env.Payload)
+		// Route by the request's key so sharded instances are hit at the
+		// owning worker instead of bouncing off wrong-shard NACKs.
+		key, err := dataKey(method, env.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return cli.CallKeyed(ctx, key, method, env.Payload)
 	case wiera.MethodMetricsDump:
 		return transport.Encode(wiera.MetricsDumpResponse{
 			Prometheus: f.fabric.Metrics().RenderPrometheus(),
@@ -194,6 +216,62 @@ func (f *frontend) handle(ctx context.Context, method string, payload []byte) ([
 	default:
 		return nil, fmt.Errorf("wiera: unknown method %q", method)
 	}
+}
+
+// dataKey extracts the object key from an encoded Table 2 data request.
+func dataKey(method string, payload []byte) (string, error) {
+	var req any
+	switch method {
+	case wiera.MethodPut:
+		req = &wiera.PutRequest{}
+	case wiera.MethodGet:
+		req = &wiera.GetRequest{}
+	case wiera.MethodGetVersion:
+		req = &wiera.GetVersionRequest{}
+	case wiera.MethodVersionList:
+		req = &wiera.VersionListRequest{}
+	case wiera.MethodRemove:
+		req = &wiera.RemoveRequest{}
+	case wiera.MethodRemoveVer:
+		req = &wiera.RemoveVersionRequest{}
+	default:
+		return "", nil
+	}
+	if err := transport.Decode(payload, req); err != nil {
+		return "", err
+	}
+	switch r := req.(type) {
+	case *wiera.PutRequest:
+		return r.Key, nil
+	case *wiera.GetRequest:
+		return r.Key, nil
+	case *wiera.GetVersionRequest:
+		return r.Key, nil
+	case *wiera.VersionListRequest:
+		return r.Key, nil
+	case *wiera.RemoveRequest:
+		return r.Key, nil
+	case *wiera.RemoveVersionRequest:
+		return r.Key, nil
+	}
+	return "", nil
+}
+
+// injectWorkers applies the daemon's -workers default to a startInstances
+// request that doesn't name a pool size itself.
+func (f *frontend) injectWorkers(payload []byte) ([]byte, error) {
+	var req wiera.StartInstancesRequest
+	if err := transport.Decode(payload, &req); err != nil {
+		return nil, err
+	}
+	if _, ok := req.Params["workers"]; ok {
+		return payload, nil
+	}
+	if req.Params == nil {
+		req.Params = map[string]string{}
+	}
+	req.Params["workers"] = fmt.Sprintf("%d", f.defaultWorkers)
+	return transport.Encode(req)
 }
 
 func (f *frontend) ephemeralEndpoint() (*transport.Endpoint, func(), error) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wieractl [-addr 127.0.0.1:7360] start  -id myapp -policy policy.wiera [-param t=2s] [-dynamic dyn.wiera]
+//	wieractl [-addr 127.0.0.1:7360] start  -id myapp -policy policy.wiera [-param t=2s] [-dynamic dyn.wiera] [-workers N]
 //	wieractl [-addr 127.0.0.1:7360] stop   -id myapp
 //	wieractl [-addr 127.0.0.1:7360] list   -id myapp
 //	wieractl [-addr 127.0.0.1:7360] stats  -id myapp
@@ -18,6 +18,14 @@
 //	wieractl [-addr 127.0.0.1:7360] trace [-trace <id>] [-raw]
 //	wieractl [-addr 127.0.0.1:7360] slow  [-n 20] [-all] [-summary] [-raw]
 //	wieractl [-addr 127.0.0.1:7360] top   -id myapp [-watch] [-interval 2s]
+//	wieractl [-addr 127.0.0.1:7360] ring  -id myapp
+//	wieractl [-addr 127.0.0.1:7360] grow  -id myapp
+//	wieractl [-addr 127.0.0.1:7360] shrink -id myapp
+//
+// ring shows the instance's consistent-hash ring: map epoch and, per
+// worker, the shard index, virtual nodes, key/byte ownership, cumulative
+// migration counters, and any in-flight migrations. grow adds one worker
+// per region (rebalancing the keyspace online); shrink removes one.
 //
 // slow prints the flight recorder's always-keep slow/expensive request log
 // (hop-by-hop tier/RPC/lock/repair breakdown with attributed cost); -all
@@ -59,7 +67,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|remove|policies|metrics|repair|trace|slow|top> ...")
+		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|remove|policies|metrics|repair|trace|slow|top|ring|grow|shrink> ...")
 	}
 	cmdName, cmdArgs := rest[0], rest[1:]
 	if cmdName == "policies" {
@@ -89,6 +97,7 @@ func run(args []string) error {
 	summary := fs.Bool("summary", false, "append a per-hop-kind aggregate (slow command)")
 	watch := fs.Bool("watch", false, "refresh continuously (top command)")
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval for -watch (top command)")
+	workers := fs.Int("workers", 0, "per-region worker pool size (start command; 0 = daemon default)")
 	var params paramFlags
 	fs.Var(&params, "param", "policy parameter binding name=value (repeatable)")
 	if err := fs.Parse(cmdArgs); err != nil {
@@ -172,6 +181,9 @@ func run(args []string) error {
 		if p == nil {
 			p = map[string]string{}
 		}
+		if *workers > 0 {
+			p["workers"] = fmt.Sprintf("%d", *workers)
+		}
 		if *dynamicPath != "" {
 			dyn, err := loadPolicy(*dynamicPath)
 			if err != nil {
@@ -206,6 +218,27 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(resp.Render())
+		return nil
+	case "ring":
+		out, err := renderRing(cli, *id)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	case "grow":
+		var resp wiera.RingDrainResponse
+		if err := call(cli, wiera.MethodAddWorker, wiera.GetInstancesRequest{InstanceID: *id}, &resp); err != nil {
+			return err
+		}
+		fmt.Printf("added one worker per region; %d keys rebalanced\n", resp.Moved)
+		return nil
+	case "shrink":
+		var resp wiera.RingDrainResponse
+		if err := call(cli, wiera.MethodRemoveWorker, wiera.GetInstancesRequest{InstanceID: *id}, &resp); err != nil {
+			return err
+		}
+		fmt.Printf("removed one worker per region; %d keys rebalanced\n", resp.Moved)
 		return nil
 	case "top":
 		for {
@@ -320,6 +353,89 @@ func renderTop(cli *transport.TCPClient, id string) (string, error) {
 	section("slo (error-budget burn; alert when both windows >= 2)", "slo_")
 	section("repair (anti-entropy)", "repair_")
 	return b.String(), nil
+}
+
+// renderRing builds the ring view: a CollectStats round trip first (which
+// refreshes the daemon-side ring ownership gauges and yields the worker
+// list with shard indexes), then a metrics dump parsed for the per-node
+// ring_* families.
+func renderRing(cli *transport.TCPClient, id string) (string, error) {
+	var stats wiera.InstanceStats
+	if err := call(cli, wiera.MethodCollectStats, wiera.GetInstancesRequest{InstanceID: id}, &stats); err != nil {
+		return "", err
+	}
+	var metrics wiera.MetricsDumpResponse
+	if err := call(cli, wiera.MethodMetricsDump, wiera.MetricsDumpRequest{}, &metrics); err != nil {
+		return "", err
+	}
+	ring := parseRingMetrics(metrics.Prometheus)
+
+	var b strings.Builder
+	epoch := int64(0)
+	for _, n := range stats.Nodes {
+		if n.RingEpoch > epoch {
+			epoch = n.RingEpoch
+		}
+	}
+	if epoch == 0 {
+		fmt.Fprintf(&b, "instance %s is unsharded (single worker per region; start with -workers N or grow to shard)\n", id)
+		return b.String(), nil
+	}
+	fmt.Fprintf(&b, "instance %s  ring epoch %d  workers %d\n", id, epoch, len(stats.Nodes))
+	fmt.Fprintf(&b, "%-28s %-10s %5s %6s %7s %10s %8s %8s %6s %8s\n",
+		"worker", "region", "shard", "vnodes", "keys", "bytes", "moved", "movedB", "nacks", "inflight")
+	nodes := append([]wiera.NodeStats(nil), stats.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Region != nodes[j].Region {
+			return nodes[i].Region < nodes[j].Region
+		}
+		return nodes[i].Shard < nodes[j].Shard
+	})
+	inflight := 0.0
+	for _, n := range nodes {
+		m := ring[n.Name]
+		fmt.Fprintf(&b, "%-28s %-10s %5d %6.0f %7.0f %10.0f %8.0f %8.0f %6.0f %8.0f\n",
+			n.Name, n.Region, n.Shard, m["ring_vnodes"], m["ring_keys"], m["ring_bytes"],
+			m["ring_keys_moved_total"], m["ring_bytes_moved_total"],
+			m["ring_wrong_shard_total"], m["ring_migrations_inflight"])
+		inflight += m["ring_migrations_inflight"]
+	}
+	if inflight > 0 {
+		fmt.Fprintf(&b, "rebalance in progress: %.0f migrations in flight\n", inflight)
+	}
+	return b.String(), nil
+}
+
+// parseRingMetrics pulls the ring_* gauge/counter samples out of a
+// Prometheus text dump, keyed by node name then family.
+func parseRingMetrics(prom string) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	for _, line := range strings.Split(prom, "\n") {
+		if !strings.HasPrefix(line, "ring_") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		brace := strings.IndexByte(line, '{')
+		end := strings.LastIndexByte(line, '}')
+		if brace < 0 || end < brace {
+			continue
+		}
+		family := line[:brace]
+		node := ""
+		for _, pair := range strings.Split(line[brace+1:end], ",") {
+			if k, v, ok := strings.Cut(pair, "="); ok && k == "node" {
+				node = strings.Trim(v, `"`)
+			}
+		}
+		var val float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(line[end+1:]), "%g", &val); err != nil || node == "" {
+			continue
+		}
+		if out[node] == nil {
+			out[node] = map[string]float64{}
+		}
+		out[node][family] = val
+	}
+	return out
 }
 
 // loadPolicy reads a policy source file, or resolves a builtin name.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/ring"
 	"repro/internal/transport"
 )
 
@@ -62,6 +63,7 @@ type Server struct {
 	nextID   int64
 	sessions map[int64]*session
 	locks    map[string]*lockState
+	rings    map[string]*ring.Map // authoritative shard maps by instance id
 }
 
 type session struct {
@@ -138,6 +140,22 @@ func (s *Server) Handler() transport.Handler {
 				return nil, err
 			}
 			return transport.Encode(empty{})
+		case methodRingPublish:
+			var req ringPublishReq
+			if err := transport.Decode(payload, &req); err != nil {
+				return nil, err
+			}
+			epoch, err := s.PublishRing(req.Name, req.Map)
+			if err != nil {
+				return nil, err
+			}
+			return transport.Encode(ringPublishResp{Epoch: epoch})
+		case methodRingFetch:
+			var req ringFetchReq
+			if err := transport.Decode(payload, &req); err != nil {
+				return nil, err
+			}
+			return transport.Encode(ringFetchResp{Map: s.FetchRing(req.Name)})
 		default:
 			return nil, fmt.Errorf("coord: unknown method %q", method)
 		}

@@ -1,0 +1,106 @@
+package coord
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/ring"
+	"repro/internal/transport"
+)
+
+// The coordination service is also the ring-epoch authority (the ISSUE's
+// "coordinator owns the authoritative ring epoch"): the Wiera control
+// plane publishes each instance's shard map here, the service assigns the
+// next epoch, and anyone can fetch the latest map. Like locks, ring state
+// needs no session — a map outlives the control-plane connection that
+// published it.
+const (
+	methodRingPublish = "coord.ringPublish"
+	methodRingFetch   = "coord.ringFetch"
+)
+
+type ringPublishReq struct {
+	Name string
+	Map  *ring.Map
+}
+type ringPublishResp struct{ Epoch int64 }
+type ringFetchReq struct{ Name string }
+type ringFetchResp struct{ Map *ring.Map }
+
+// ErrNoRing reports fetching a ring that was never published.
+var ErrNoRing = errors.New("coord: no ring published under that name")
+
+// PublishRing stores m as the authoritative shard map for name and returns
+// the epoch assigned to it: one past the previous map's, or one past the
+// epoch the caller proposed, whichever is larger — so a control plane that
+// fell back to local epochs while the coordinator was unreachable never
+// publishes a stale-looking map.
+func (s *Server) PublishRing(name string, m *ring.Map) (int64, error) {
+	if m == nil {
+		return 0, errors.New("coord: nil ring map")
+	}
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rings == nil {
+		s.rings = make(map[string]*ring.Map)
+	}
+	epoch := m.Epoch
+	if prev := s.rings[name]; prev != nil && prev.Epoch >= epoch {
+		epoch = prev.Epoch + 1
+	}
+	if epoch <= 0 {
+		epoch = 1
+	}
+	stored := m.Clone()
+	stored.Epoch = epoch
+	s.rings[name] = stored
+	return epoch, nil
+}
+
+// FetchRing returns the latest published map for name (a copy), or nil.
+func (s *Server) FetchRing(name string) *ring.Map {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rings[name].Clone()
+}
+
+// PublishRing publishes m for name on the coordination server reachable as
+// serverDst via caller, returning the assigned epoch.
+func PublishRing(caller transport.Caller, serverDst, name string, m *ring.Map) (int64, error) {
+	payload, err := transport.Encode(ringPublishReq{Name: name, Map: m})
+	if err != nil {
+		return 0, err
+	}
+	raw, err := caller.Call(context.Background(), serverDst, methodRingPublish, payload)
+	if err != nil {
+		return 0, err
+	}
+	var resp ringPublishResp
+	if err := transport.Decode(raw, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// FetchRing fetches the latest map for name from the coordination server.
+func FetchRing(caller transport.Caller, serverDst, name string) (*ring.Map, error) {
+	payload, err := transport.Encode(ringFetchReq{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := caller.Call(context.Background(), serverDst, methodRingFetch, payload)
+	if err != nil {
+		return nil, err
+	}
+	var resp ringFetchResp
+	if err := transport.Decode(raw, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Map == nil {
+		return nil, ErrNoRing
+	}
+	return resp.Map, nil
+}

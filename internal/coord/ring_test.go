@@ -1,0 +1,99 @@
+package coord
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+func testMap(workers ...string) *ring.Map {
+	return &ring.Map{Workers: map[string][]string{"us-east": workers}}
+}
+
+func TestPublishRingAssignsEpochs(t *testing.T) {
+	s, _ := newServer()
+	e1, err := s.PublishRing("inst", testMap("a"))
+	if err != nil || e1 != 1 {
+		t.Fatalf("first publish: epoch=%d err=%v", e1, err)
+	}
+	e2, err := s.PublishRing("inst", testMap("a", "b"))
+	if err != nil || e2 != 2 {
+		t.Fatalf("second publish: epoch=%d err=%v", e2, err)
+	}
+	// A caller proposing a higher epoch (local fallback while the
+	// coordinator was down) keeps it.
+	m := testMap("a", "b", "c")
+	m.Epoch = 9
+	e3, err := s.PublishRing("inst", m)
+	if err != nil || e3 != 9 {
+		t.Fatalf("proposed-epoch publish: epoch=%d err=%v", e3, err)
+	}
+	// ...and the next anonymous publish continues past it.
+	e4, err := s.PublishRing("inst", testMap("a"))
+	if err != nil || e4 != 10 {
+		t.Fatalf("post-proposal publish: epoch=%d err=%v", e4, err)
+	}
+	// Other names have independent epochs.
+	if e, _ := s.PublishRing("other", testMap("x")); e != 1 {
+		t.Fatalf("other instance epoch = %d, want 1", e)
+	}
+}
+
+func TestFetchRingReturnsLatestCopy(t *testing.T) {
+	s, _ := newServer()
+	if s.FetchRing("inst") != nil {
+		t.Fatal("fetch before publish should be nil")
+	}
+	if _, err := s.PublishRing("inst", testMap("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	got := s.FetchRing("inst")
+	if got == nil || got.Epoch != 1 || got.Shards() != 2 {
+		t.Fatalf("fetched %+v", got)
+	}
+	got.Workers["us-east"][0] = "mutated"
+	if s.FetchRing("inst").Workers["us-east"][0] == "mutated" {
+		t.Fatal("FetchRing must return a copy")
+	}
+}
+
+func TestPublishRingRejectsInvalid(t *testing.T) {
+	s, _ := newServer()
+	if _, err := s.PublishRing("inst", nil); err == nil {
+		t.Fatal("nil map accepted")
+	}
+	if _, err := s.PublishRing("inst", &ring.Map{}); err == nil {
+		t.Fatal("empty map accepted")
+	}
+}
+
+func TestRingOverRPC(t *testing.T) {
+	s, clk := newServer()
+	net := simnet.New(clk)
+	fabric := transport.NewFabric(net)
+	defer fabric.Close()
+	ep, err := fabric.NewEndpoint("zk", simnet.USEast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Serve(s.Handler())
+	cli, err := fabric.NewEndpoint("cli", simnet.USWest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := FetchRing(cli, "zk", "inst"); !errors.Is(err, ErrNoRing) {
+		t.Fatalf("fetch before publish: %v, want ErrNoRing", err)
+	}
+	epoch, err := PublishRing(cli, "zk", "inst", testMap("a", "b", "c"))
+	if err != nil || epoch != 1 {
+		t.Fatalf("publish over RPC: epoch=%d err=%v", epoch, err)
+	}
+	m, err := FetchRing(cli, "zk", "inst")
+	if err != nil || m.Epoch != 1 || m.Shards() != 3 {
+		t.Fatalf("fetch over RPC: %+v err=%v", m, err)
+	}
+}

@@ -169,3 +169,14 @@ func TestAblationBlockSize(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestScaleoutSharding(t *testing.T) {
+	res, err := Scaleout(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}

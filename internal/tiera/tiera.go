@@ -308,6 +308,21 @@ func (in *Instance) Tier(label string) (tier.Tier, bool) {
 // Objects exposes the version index (read-mostly; used by Wiera and tests).
 func (in *Instance) Objects() *object.Store { return in.objects }
 
+// Usage reports how many keys the instance holds and the total size of
+// their latest versions — the per-worker ownership numbers the sharding
+// layer exports (ring_keys / ring_bytes).
+func (in *Instance) Usage() (keys int, bytes int64) {
+	for _, key := range in.objects.Keys() {
+		m, err := in.objects.Latest(key)
+		if err != nil {
+			continue
+		}
+		keys++
+		bytes += m.Size
+	}
+	return keys, bytes
+}
+
 // PutCount and GetCount report operation totals.
 func (in *Instance) PutCount() int64 { return in.putCount.Value() }
 

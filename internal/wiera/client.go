@@ -4,70 +4,207 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/object"
+	"repro/internal/ring"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
+// clientMaxAttempts bounds one logical operation's retries: transient
+// transport failures and wrong-shard map refreshes share the same budget,
+// so a flapping instance cannot trap a caller in a retry loop.
+const clientMaxAttempts = 4
+
+// clientRetryBase is the first backoff step; each retry doubles it and adds
+// jitter so colliding clients spread out.
+const clientRetryBase = 2 * time.Millisecond
+
 // Client is an application-side handle to a Wiera instance. It connects to
 // the closest node (head of the instance list, Sec 4.1 step 8) and fails
-// over to the next closest when a node is down (Sec 4.4).
+// over to the next closest when a node is down (Sec 4.4). For a sharded
+// instance it routes each keyed operation to the owning worker from a
+// cached shard map, refreshing the map when a node answers wrong-shard.
 type Client struct {
-	name   string
-	region simnet.Region
-	ep     *transport.Endpoint
-	fabric *transport.Fabric
-	nodes  []PeerInfo // sorted by RTT from the client's region
+	name       string
+	region     simnet.Region
+	ep         *transport.Endpoint
+	fabric     *transport.Fabric
+	serverDst  string
+	instanceID string
+
+	mu      sync.RWMutex
+	nodes   []PeerInfo // sorted by RTT from the client's region
+	table   *ring.Table
+	shardOf map[string]int // node name -> shard under the cached map
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewClient registers a client endpoint and fetches the instance's node
-// list from the Wiera server.
+// list (and shard map, when sharded) from the Wiera server.
 func NewClient(fabric *transport.Fabric, name string, region simnet.Region, serverDst, instanceID string) (*Client, error) {
 	ep, err := fabric.NewEndpoint(name, region)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{name: name, region: region, ep: ep, fabric: fabric}
-	payload, err := transport.Encode(GetInstancesRequest{InstanceID: instanceID})
-	if err != nil {
+	c := &Client{
+		name: name, region: region, ep: ep, fabric: fabric,
+		serverDst: serverDst, instanceID: instanceID,
+		rng: rand.New(rand.NewSource(int64(len(name)) + 17)),
+	}
+	if err := c.Refresh(context.Background()); err != nil {
 		fabric.Remove(name)
 		return nil, err
 	}
-	raw, err := ep.Call(context.Background(), serverDst, MethodGetInstances, payload)
-	if err != nil {
-		fabric.Remove(name)
-		return nil, err
-	}
-	var resp StartInstancesResponse
-	if err := transport.Decode(raw, &resp); err != nil {
-		fabric.Remove(name)
-		return nil, err
-	}
-	c.SetNodes(resp.Nodes)
 	return c, nil
 }
 
-// SetNodes installs the node list, sorted closest-first for this client.
+// Refresh re-fetches the membership and shard map from the Wiera server.
+func (c *Client) Refresh(ctx context.Context) error {
+	payload, err := transport.Encode(GetInstancesRequest{InstanceID: c.instanceID})
+	if err != nil {
+		return err
+	}
+	raw, err := c.ep.Call(ctx, c.serverDst, MethodGetInstances, payload)
+	if err != nil {
+		return err
+	}
+	var resp StartInstancesResponse
+	if err := transport.Decode(raw, &resp); err != nil {
+		return err
+	}
+	c.setView(resp.Nodes, resp.Ring)
+	return nil
+}
+
+// SetNodes installs the node list, sorted closest-first for this client,
+// keeping whatever shard map is cached.
 func (c *Client) SetNodes(nodes []PeerInfo) {
-	c.nodes = append([]PeerInfo(nil), nodes...)
+	c.mu.Lock()
+	rm := (*ring.Map)(nil)
+	if c.table != nil {
+		rm = c.table.Map()
+	}
+	c.mu.Unlock()
+	c.setView(nodes, rm)
+}
+
+// SetRing installs a shard map (nil reverts to unsharded routing).
+func (c *Client) SetRing(rm *ring.Map) {
+	c.mu.Lock()
+	nodes := append([]PeerInfo(nil), c.nodes...)
+	c.mu.Unlock()
+	c.setView(nodes, rm)
+}
+
+func (c *Client) setView(nodes []PeerInfo, rm *ring.Map) {
+	sorted := append([]PeerInfo(nil), nodes...)
 	net := c.fabric.Network()
-	sort.SliceStable(c.nodes, func(i, j int) bool {
-		return net.RTT(c.region, c.nodes[i].Region) < net.RTT(c.region, c.nodes[j].Region)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return net.RTT(c.region, sorted[i].Region) < net.RTT(c.region, sorted[j].Region)
 	})
+	var table *ring.Table
+	shardOf := map[string]int(nil)
+	if rm != nil {
+		table = ring.NewTable(rm)
+		shardOf = make(map[string]int, len(sorted))
+		for _, n := range sorted {
+			shardOf[n.Name] = rm.ShardOf(string(n.Region), n.Name)
+		}
+	}
+	c.mu.Lock()
+	c.nodes = sorted
+	c.table = table
+	c.shardOf = shardOf
+	c.mu.Unlock()
 }
 
 // Nodes returns the client's node list, closest first.
-func (c *Client) Nodes() []PeerInfo { return append([]PeerInfo(nil), c.nodes...) }
+func (c *Client) Nodes() []PeerInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]PeerInfo(nil), c.nodes...)
+}
+
+// RingEpoch reports the cached shard map's epoch (0 when unsharded).
+func (c *Client) RingEpoch() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.table == nil {
+		return 0
+	}
+	return c.table.Epoch()
+}
 
 // Closest returns the nearest node's name.
 func (c *Client) Closest() (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if len(c.nodes) == 0 {
 		return "", errors.New("wiera: client has no nodes")
 	}
 	return c.nodes[0].Name, nil
+}
+
+// route lists the nodes that may serve key, closest first: the owning
+// shard's workers under the cached map, or every node when unsharded.
+func (c *Client) route(key string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.nodes))
+	if c.table == nil || key == "" {
+		for _, n := range c.nodes {
+			names = append(names, n.Name)
+		}
+		return names
+	}
+	shard := c.table.Owner(key)
+	for _, n := range c.nodes {
+		if c.shardOf[n.Name] == shard {
+			names = append(names, n.Name)
+		}
+	}
+	if len(names) == 0 {
+		// The map references workers absent from the node list (mid-refresh
+		// inconsistency); fall back to trying everyone.
+		for _, n := range c.nodes {
+			names = append(names, n.Name)
+		}
+	}
+	return names
+}
+
+// backoff computes the jittered delay before retry number attempt.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := clientRetryBase << attempt
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(base)))
+	c.rngMu.Unlock()
+	return base/2 + j
+}
+
+// transientErr reports whether err is a connectivity failure worth retrying
+// on another node (application errors surface immediately). A node that
+// answers "shutting down" counts too: it is leaving the instance (teardown
+// or policy change) and a refreshed view routes around it.
+func transientErr(err error) bool {
+	if errors.Is(err, transport.ErrNoEndpoint) {
+		return true
+	}
+	var ue simnet.ErrUnreachable
+	if errors.As(err, &ue) {
+		return true
+	}
+	// ErrChanging arrives string-flattened through the transport.
+	return strings.Contains(err.Error(), ErrChanging.Error())
 }
 
 // startOp opens the operation's trace span: a child when the caller's ctx
@@ -92,33 +229,81 @@ func (c *Client) startOp(ctx context.Context, name string) (context.Context, *te
 }
 
 // Call invokes a raw data-plane method on the instance, trying nodes
-// closest-first (used by TCP proxies that already hold encoded payloads).
+// closest-first. The key is unknown here, so a wrong-shard answer follows
+// the NACK's owner redirect instead of re-routing locally; callers that
+// know the key should prefer CallKeyed.
 func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
-	return c.call(ctx, method, payload)
+	return c.callKey(ctx, method, payload, "")
 }
 
-// call tries each node closest-first until one answers.
-func (c *Client) call(ctx context.Context, method string, payload []byte) ([]byte, error) {
-	if len(c.nodes) == 0 {
-		return nil, errors.New("wiera: client has no nodes")
-	}
+// CallKeyed invokes a raw data-plane method routed to the worker owning
+// key (used by TCP proxies that already hold encoded payloads).
+func (c *Client) CallKeyed(ctx context.Context, key, method string, payload []byte) ([]byte, error) {
+	return c.callKey(ctx, method, payload, key)
+}
+
+// callKey routes one operation on key to its owner, retrying within a
+// single bounded budget: transient transport failures back off with jitter
+// and move on; wrong-shard answers refresh the cached map (or follow the
+// NACK's redirect when the server is unreachable) and re-route.
+func (c *Client) callKey(ctx context.Context, method string, payload []byte, key string) ([]byte, error) {
+	clk := c.fabric.Network().Clock()
 	var lastErr error
-	for _, n := range c.nodes {
-		raw, err := c.ep.Call(ctx, n.Name, method, payload)
-		if err == nil {
-			return raw, nil
+	for attempt := 0; attempt < clientMaxAttempts; attempt++ {
+		candidates := c.route(key)
+		if len(candidates) == 0 {
+			return nil, errors.New("wiera: client has no nodes")
 		}
-		lastErr = err
-		// Only fail over on connectivity errors; application errors (e.g.
-		// key not found) surface immediately.
-		if !errors.Is(err, transport.ErrNoEndpoint) {
-			var ue simnet.ErrUnreachable
-			if !errors.As(err, &ue) {
+		wrongShard := false
+		var redirect string
+		for _, name := range candidates {
+			raw, err := c.ep.Call(ctx, name, method, payload)
+			if err == nil {
+				return raw, nil
+			}
+			lastErr = err
+			if ws := AsWrongShard(err); ws != nil {
+				wrongShard = true
+				redirect = ws.Owner
+				break
+			}
+			if !transientErr(err) {
 				return nil, err
 			}
 		}
+		if wrongShard {
+			// Keyless calls cannot re-route locally — without the key a
+			// refreshed map still yields the same candidates — so the NACK's
+			// owner is the only way forward.
+			if key == "" && redirect != "" {
+				raw, err := c.ep.Call(ctx, redirect, method, payload)
+				if err == nil {
+					return raw, nil
+				}
+				lastErr = err
+				continue
+			}
+			// The cached map is stale. The authoritative fix is a server
+			// refresh; when the server is unreachable the NACK itself names
+			// an owner to follow. Either way the retry burns budget.
+			if err := c.Refresh(ctx); err != nil && redirect != "" {
+				raw, err := c.ep.Call(ctx, redirect, method, payload)
+				if err == nil {
+					return raw, nil
+				}
+				lastErr = err
+			}
+			continue
+		}
+		if attempt < clientMaxAttempts-1 {
+			// Every candidate failed transiently: the membership may have
+			// changed under us (a drained worker shut down) — refresh the
+			// view before backing off so the retry routes around it.
+			_ = c.Refresh(ctx)
+			clk.Sleep(c.backoff(attempt))
+		}
 	}
-	return nil, fmt.Errorf("wiera: all nodes unreachable: %w", lastErr)
+	return nil, fmt.Errorf("wiera: retries exhausted: %w", lastErr)
 }
 
 // Put stores data under key (Table 2 put).
@@ -130,7 +315,7 @@ func (c *Client) Put(ctx context.Context, key string, data []byte) (object.Meta,
 		span.SetError(err)
 		return object.Meta{}, err
 	}
-	raw, err := c.call(ctx, MethodPut, payload)
+	raw, err := c.callKey(ctx, MethodPut, payload, key)
 	if err != nil {
 		span.SetError(err)
 		return object.Meta{}, err
@@ -152,7 +337,7 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, object.Meta, erro
 		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
-	raw, err := c.call(ctx, MethodGet, payload)
+	raw, err := c.callKey(ctx, MethodGet, payload, key)
 	if err != nil {
 		span.SetError(err)
 		return nil, object.Meta{}, err
@@ -173,7 +358,7 @@ func (c *Client) GetVersion(ctx context.Context, key string, v object.Version) (
 	if err != nil {
 		return nil, object.Meta{}, err
 	}
-	raw, err := c.call(ctx, MethodGetVersion, payload)
+	raw, err := c.callKey(ctx, MethodGetVersion, payload, key)
 	if err != nil {
 		span.SetError(err)
 		return nil, object.Meta{}, err
@@ -191,7 +376,7 @@ func (c *Client) VersionList(ctx context.Context, key string) ([]object.Version,
 	if err != nil {
 		return nil, err
 	}
-	raw, err := c.call(ctx, MethodVersionList, payload)
+	raw, err := c.callKey(ctx, MethodVersionList, payload, key)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +395,7 @@ func (c *Client) Remove(ctx context.Context, key string) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.call(ctx, MethodRemove, payload)
+	_, err = c.callKey(ctx, MethodRemove, payload, key)
 	if err != nil {
 		span.SetError(err)
 	}
@@ -223,7 +408,7 @@ func (c *Client) RemoveVersion(ctx context.Context, key string, v object.Version
 	if err != nil {
 		return err
 	}
-	_, err = c.call(ctx, MethodRemoveVer, payload)
+	_, err = c.callKey(ctx, MethodRemoveVer, payload, key)
 	return err
 }
 

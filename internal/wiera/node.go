@@ -122,6 +122,7 @@ type Node struct {
 	gate   *opGate
 	queue  *updateQueue
 	repair *repairManager // nil when AntiEntropyEvery < 0
+	shards *shardManager  // inert (accepts every key) until a RingMsg arrives
 
 	latMon *thresholdMonitor // LatencyMonitoring (put)
 	reqMon *requestsMonitor  // RequestsMonitoring (primary)
@@ -224,6 +225,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n.queueDepth = reg.Gauge("wiera_queue_depth",
 		"Keys with updates queued for lazy propagation.", "node", "region").
 		With(cfg.Name, region)
+	n.shards = newShardManager(n)
 	n.controlEvents = append(n.controlEvents, prog.ByKind(policy.KindThreshold)...)
 	if cfg.DynamicSpec != nil {
 		dynProg, err := policy.Compile(cfg.DynamicSpec, cfg.GlobalParams)
@@ -424,6 +426,16 @@ func (n *Node) put(ctx context.Context, key string, data []byte, tags []string, 
 	if wait := start.Sub(appStart); wait > 0 {
 		fa.AddHop(flight.Hop{Kind: flight.HopQueue, Name: "gate", Wait: wait, Duration: wait})
 	}
+	// Ownership is checked inside the gate: an op parked behind a drain's
+	// freeze re-evaluates against the map installed meanwhile, so no write
+	// can land on a shard after its keys streamed away.
+	if err := n.shards.checkKey(key); err != nil {
+		span.SetError(err)
+		return object.Meta{}, err
+	}
+	// First write of a not-yet-migrated key during a rebalance: continue
+	// the previous owner's version history instead of restarting at v1.
+	n.shards.bootstrapKey(ctx, key)
 	n.mu.Lock()
 	prog := n.prog
 	n.mu.Unlock()
@@ -500,6 +512,10 @@ func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, re
 	if wait := start.Sub(gateStart); wait > 0 {
 		fa.AddHop(flight.Hop{Kind: flight.HopQueue, Name: "gate", Wait: wait, Duration: wait})
 	}
+	if err := n.shards.checkKey(key); err != nil {
+		span.SetError(err)
+		return nil, object.Meta{}, err
+	}
 
 	n.mu.Lock()
 	prog := n.prog
@@ -525,8 +541,14 @@ func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, re
 
 	data, meta, err := n.local.Get(ctx, key)
 	if err != nil {
-		// Local miss: read from the nearest peer that has it.
-		data, meta, err = n.getFromPeers(ctx, key)
+		// Local miss. During an unsettled rebalance the key may still live
+		// at its previous in-region owner; otherwise read from the nearest
+		// group peer that has it.
+		if d, m, ok := n.shards.fetchFromPrev(ctx, key); ok {
+			data, meta, err = d, m, nil
+		} else {
+			data, meta, err = n.getFromPeers(ctx, key)
+		}
 		if err != nil {
 			span.SetError(err)
 			return nil, object.Meta{}, err
@@ -772,6 +794,9 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
+		if err := n.shards.checkKey(req.Key); err != nil {
+			return nil, err
+		}
 		data, meta, err := n.GetVersion(ctx, req.Key, req.Version)
 		if err != nil {
 			return nil, err
@@ -780,6 +805,9 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 	case MethodVersionList:
 		var req VersionListRequest
 		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := n.shards.checkKey(req.Key); err != nil {
 			return nil, err
 		}
 		vs, err := n.VersionList(req.Key)
@@ -792,6 +820,11 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
+		// Group peers hold the same shard, so the ownership check holds for
+		// both application removes and the owner's fan-out.
+		if err := n.shards.checkKey(req.Key); err != nil {
+			return nil, err
+		}
 		// Remote-initiated removes are local-only (no re-broadcast).
 		if err := n.local.Remove(ctx, req.Key); err != nil {
 			return nil, err
@@ -800,6 +833,9 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 	case MethodRemoveVer:
 		var req RemoveVersionRequest
 		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := n.shards.checkKey(req.Key); err != nil {
 			return nil, err
 		}
 		if err := n.RemoveVersion(ctx, req.Key, req.Version); err != nil {
@@ -811,7 +847,9 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err := transport.Decode(payload, &msg); err != nil {
 			return nil, err
 		}
-		accepted, err := n.local.ApplyRemote(ctx, msg.Meta, msg.Data)
+		// Replica updates for keys this shard no longer owns (hint replays,
+		// queued fan-outs from before a rebalance) redirect to the owner.
+		accepted, err := n.shards.applyOrForward(ctx, msg)
 		if err != nil {
 			return nil, err
 		}
@@ -830,6 +868,19 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		}
 		n.SetPeers(msg.Peers, msg.Primary)
 		return transport.Encode(Empty{})
+	case MethodSetRing:
+		var msg RingMsg
+		if err := transport.Decode(payload, &msg); err != nil {
+			return nil, err
+		}
+		n.shards.install(msg)
+		return transport.Encode(Empty{})
+	case MethodRingDrain:
+		moved, err := n.shards.drain(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(RingDrainResponse{Moved: moved})
 	case MethodSetPrimary:
 		var msg SetPrimaryMsg
 		if err := transport.Decode(payload, &msg); err != nil {

@@ -9,11 +9,14 @@
 package wiera
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/flight"
 	"repro/internal/object"
 	"repro/internal/repair"
+	"repro/internal/ring"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
 )
@@ -46,6 +49,8 @@ const (
 	// Control plane: server -> node.
 	MethodSetPeers      = "wiera.setPeers"
 	MethodSetPrimary    = "wiera.setPrimary"
+	MethodSetRing       = "wiera.setRing"
+	MethodRingDrain     = "wiera.ringDrain"
 	MethodPrepareChange = "wiera.prepareChange"
 	MethodCommitChange  = "wiera.commitChange"
 	MethodPing          = "wiera.ping"
@@ -62,6 +67,11 @@ const (
 	MethodStartInstances = "wiera.startInstances"
 	MethodStopInstances  = "wiera.stopInstances"
 	MethodGetInstances   = "wiera.getInstances"
+
+	// Elasticity API: grow/shrink an instance's per-region worker pools by
+	// one shard, rebalancing the keyspace online.
+	MethodAddWorker    = "wiera.addWorker"
+	MethodRemoveWorker = "wiera.removeWorker"
 
 	// Telemetry API served by the cmd/wiera TCP front. Handled in the
 	// daemon process directly: the metrics registry and tracer live on the
@@ -126,10 +136,14 @@ type RemoveVersionRequest struct {
 
 // UpdateMsg propagates one version between replicas, with the metadata
 // (version number, last modified time) the receiver needs for last-writer-
-// wins conflict resolution (paper Sec 4.2).
+// wins conflict resolution (paper Sec 4.2). Forwarded marks an update a
+// non-owning worker redirected to the key's owner during a rebalance; the
+// receiver applies it locally even if its own map disagrees, so two
+// workers with momentarily different epochs cannot bounce it forever.
 type UpdateMsg struct {
-	Meta object.Meta
-	Data []byte
+	Meta      object.Meta
+	Data      []byte
+	Forwarded bool
 }
 
 // UpdateAck reports whether the update won at the receiver.
@@ -210,6 +224,75 @@ type SetPrimaryMsg struct {
 	Primary string
 }
 
+// RingMsg installs a shard map on a worker. During a rebalance the control
+// plane first installs the new map unsettled (Settled false) with Prev
+// carrying the outgoing map, so workers can pull not-yet-migrated keys from
+// their previous owners; once every moved key has been streamed, a second
+// settled RingMsg drops the fallback path.
+type RingMsg struct {
+	Map     *ring.Map
+	Prev    *ring.Map // previous map during an unsettled rebalance (nil once settled)
+	Settled bool
+}
+
+// RingDrainRequest asks a worker to stream every key it no longer owns
+// under its current map to the new in-region owners, deleting local copies
+// as they are acknowledged. Idempotent; returns when the drain completes.
+type RingDrainRequest struct{}
+
+// RingDrainResponse reports how many keys the drain moved.
+type RingDrainResponse struct {
+	Moved int
+}
+
+// wrongShardMarker prefixes every WrongShardError so the string form
+// survives the transport's error flattening and is recognizable remotely.
+const wrongShardMarker = "wiera: wrong shard: "
+
+// WrongShardError is a worker's NACK for an operation on a key it does not
+// own: the client's shard map is stale (or the op raced a rebalance). It
+// names the epoch the worker holds and the in-region owner so the client
+// can refresh its map, or retry directly against Owner.
+//
+// The transport layer flattens handler errors into strings, so the error
+// must round-trip through its message: Error() emits a fixed grammar and
+// AsWrongShard parses it back.
+type WrongShardError struct {
+	Epoch int64  // ring epoch at the NACKing worker
+	Shard int    // shard that owns the key under that epoch
+	Owner string // in-region worker serving the shard
+}
+
+// Error implements error with the parseable wire format.
+func (e *WrongShardError) Error() string {
+	return fmt.Sprintf("%sepoch=%d shard=%d owner=%s", wrongShardMarker, e.Epoch, e.Shard, e.Owner)
+}
+
+// AsWrongShard recovers a WrongShardError from an error that crossed the
+// fabric (where typed errors collapse to strings). It returns nil when err
+// is not a wrong-shard NACK.
+func AsWrongShard(err error) *WrongShardError {
+	if err == nil {
+		return nil
+	}
+	msg := err.Error()
+	i := strings.Index(msg, wrongShardMarker)
+	if i < 0 {
+		return nil
+	}
+	rest := msg[i+len(wrongShardMarker):]
+	var ws WrongShardError
+	j := strings.Index(rest, " owner=")
+	if j < 0 {
+		return nil
+	}
+	if _, err := fmt.Sscanf(rest[:j], "epoch=%d shard=%d", &ws.Epoch, &ws.Shard); err != nil {
+		return nil
+	}
+	ws.Owner = rest[j+len(" owner="):]
+	return &ws
+}
+
 // PrepareChangeMsg blocks new operations and drains queues ahead of a
 // consistency change (Sec 3.3.2: in-progress and queued operations are
 // applied first; new requests block until the change takes effect).
@@ -260,9 +343,12 @@ type StartInstancesRequest struct {
 
 // StartInstancesResponse returns the launched node list (closest first for
 // the caller's region when the server can tell; declaration order
-// otherwise).
+// otherwise). Ring carries the instance's shard map when it runs with more
+// than one worker per region (nil for unsharded instances), so clients can
+// route keys without a second round trip.
 type StartInstancesResponse struct {
 	Nodes []PeerInfo
+	Ring  *ring.Map
 }
 
 // StopInstancesRequest stops a Wiera instance (Table 1).

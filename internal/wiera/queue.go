@@ -124,6 +124,14 @@ func (q *updateQueue) flushNow() {
 	q.n.queueDepth.Set(0)
 
 	for _, msg := range batch {
+		if !q.n.shards.ownsKey(msg.Meta.Key) {
+			// A rebalance moved this key away between enqueue and flush. The
+			// group fan-out below still reaches the other regions (their old
+			// owners redirect strays onward), but no group member covers this
+			// node's own region anymore — hand the update to the in-region
+			// owner directly so it cannot be stranded here.
+			_, _ = q.n.shards.applyOrForward(context.Background(), msg)
+		}
 		start := q.n.clk.Now()
 		err := q.n.fanOutSync(context.Background(), msg)
 		if err == nil {

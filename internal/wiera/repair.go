@@ -182,7 +182,10 @@ func (m *repairManager) handle(ctx context.Context, method string, payload []byt
 		}
 		accepted := 0
 		for _, u := range req.Updates {
-			if store.Apply(repair.Update{Meta: u.Meta, Data: u.Data}) {
+			// Ownership-aware apply: a push for a key this shard no longer
+			// owns (a hint replayed after a rebalance) redirects to the
+			// in-region owner instead of stranding a version here.
+			if ok, err := m.n.shards.applyOrForward(ctx, u); err == nil && ok {
 				accepted++
 			}
 		}

@@ -9,8 +9,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/flight"
 	"repro/internal/policy"
+	"repro/internal/ring"
 	"repro/internal/simnet"
 	"repro/internal/tier"
 	"repro/internal/tiera"
@@ -77,6 +79,15 @@ type instanceState struct {
 	nodes       []PeerInfo
 	plans       []regionPlan // for respawning failed replicas
 	changing    bool
+
+	// Sharding state (nil ringMap = classic one-worker-per-region layout).
+	// Worker i across all regions forms shard group i: it receives its own
+	// membership list and primary, and the per-key policy machinery runs
+	// inside the group exactly as it does for an unsharded instance.
+	ringMap       *ring.Map
+	vnodes        int
+	primaryRegion simnet.Region // region whose workers lead their groups
+	rebalancing   bool
 }
 
 // regionPlan records how to (re)spawn one member.
@@ -160,11 +171,11 @@ func (s *Server) handle(_ context.Context, method string, payload []byte) ([]byt
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		nodes, err := s.GetInstances(req.InstanceID)
+		nodes, rm, err := s.InstanceView(req.InstanceID)
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(StartInstancesResponse{Nodes: nodes})
+		return transport.Encode(StartInstancesResponse{Nodes: nodes, Ring: rm})
 	case MethodCollectStats:
 		var req GetInstancesRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -184,6 +195,26 @@ func (s *Server) handle(_ context.Context, method string, payload []byte) ([]byt
 			return nil, err
 		}
 		return transport.Encode(Empty{})
+	case MethodAddWorker:
+		var req GetInstancesRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		moved, err := s.AddWorker(req.InstanceID)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(RingDrainResponse{Moved: moved})
+	case MethodRemoveWorker:
+		var req GetInstancesRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		moved, err := s.RemoveWorker(req.InstanceID)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(RingDrainResponse{Moved: moved})
 	default:
 		return nil, fmt.Errorf("wiera: server: unknown method %q", method)
 	}
@@ -232,23 +263,85 @@ func (s *Server) StartInstances(req StartInstancesRequest) ([]PeerInfo, error) {
 		st.dynamicSrc = dyn
 	}
 
-	var nodes []PeerInfo
-	for _, decl := range globalSpec.Regions {
-		plan, nodeName, err := s.planFor(req.InstanceID, globalSpec, decl, req.LocalSpecs)
-		if err != nil {
-			s.teardown(nodes)
-			return nil, err
+	// Worker pools (sharding): "workers" asks for N Tiera-backed workers per
+	// region instead of one, partitioned by a consistent-hash ring; "vnodes"
+	// overrides the ring's per-shard virtual node count.
+	workers := 1
+	if v, ok := req.Params["workers"]; ok {
+		if _, err := fmt.Sscanf(v, "%d", &workers); err != nil || workers < 1 {
+			return nil, fmt.Errorf("wiera: workers must be a positive integer, got %q", v)
 		}
-		node, err := s.spawn(req.InstanceID, nodeName, plan, st)
+	}
+	if v, ok := req.Params["vnodes"]; ok {
+		fmt.Sscanf(v, "%d", &st.vnodes)
+	}
+
+	type placement struct {
+		plan regionPlan
+		base string
+	}
+	var placements []placement
+	for _, decl := range globalSpec.Regions {
+		plan, base, err := s.planFor(req.InstanceID, globalSpec, decl, req.LocalSpecs)
 		if err != nil {
-			s.teardown(nodes)
 			return nil, err
 		}
 		if plan.Primary {
-			st.primary = node.Name
+			st.primaryRegion = plan.Region
 		}
 		st.plans = append(st.plans, plan)
-		nodes = append(nodes, node)
+		placements = append(placements, placement{plan, base})
+	}
+
+	var nodes []PeerInfo
+	if workers == 1 {
+		// Classic layout: one worker per region, original names, no ring.
+		for _, p := range placements {
+			primary := st.primary
+			if p.plan.Primary {
+				primary = p.base
+			}
+			node, err := s.spawn(req.InstanceID, p.base, p.plan, st, primary)
+			if err != nil {
+				s.teardown(nodes)
+				return nil, err
+			}
+			if p.plan.Primary {
+				st.primary = node.Name
+			}
+			nodes = append(nodes, node)
+		}
+	} else {
+		// Sharded layout: workers per region named <id>/<region>/w<k>.
+		// Worker k of every region forms shard group k, led by the primary
+		// region's worker k.
+		rm := &ring.Map{Vnodes: st.vnodes, Workers: make(map[string][]string)}
+		for _, p := range placements {
+			region := string(p.plan.Region)
+			for k := 0; k < workers; k++ {
+				rm.Workers[region] = append(rm.Workers[region], fmt.Sprintf("%s/w%d", p.base, k))
+			}
+		}
+		for _, p := range placements {
+			region := string(p.plan.Region)
+			for k := 0; k < workers; k++ {
+				primary := ""
+				if st.primaryRegion != "" {
+					primary = rm.Workers[string(st.primaryRegion)][k]
+				}
+				node, err := s.spawn(req.InstanceID, rm.Workers[region][k], p.plan, st, primary)
+				if err != nil {
+					s.teardown(nodes)
+					return nil, err
+				}
+				nodes = append(nodes, node)
+			}
+		}
+		if st.primaryRegion != "" {
+			st.primary = rm.Workers[string(st.primaryRegion)][0]
+		}
+		s.nextRingEpoch(st, rm)
+		st.ringMap = rm
 	}
 	if st.minReplicas == 0 {
 		st.minReplicas = len(nodes)
@@ -259,6 +352,11 @@ func (s *Server) StartInstances(req StartInstancesRequest) ([]PeerInfo, error) {
 	s.mu.Unlock()
 	if err := s.broadcastPeers(st); err != nil {
 		return nil, err
+	}
+	if st.ringMap != nil {
+		if err := s.broadcastRing(st.nodes, RingMsg{Map: st.ringMap, Settled: true}); err != nil {
+			return nil, err
+		}
 	}
 	return nodes, nil
 }
@@ -321,19 +419,14 @@ func mergeTierOverrides(spec *policy.Spec, overrides []policy.TierDecl) *policy.
 	return &merged
 }
 
-// spawn asks the region's Tiera server to create the node.
-func (s *Server) spawn(instanceID, nodeName string, plan regionPlan, st *instanceState) (PeerInfo, error) {
+// spawn asks the region's Tiera server to create the node. primaryName is
+// the primary of the node's shard group (its own name when it leads).
+func (s *Server) spawn(instanceID, nodeName string, plan regionPlan, st *instanceState, primaryName string) (PeerInfo, error) {
 	s.mu.Lock()
 	tsEndpoint, ok := s.tieraServers[plan.Region]
 	s.mu.Unlock()
 	if !ok {
 		return PeerInfo{}, fmt.Errorf("wiera: no Tiera server registered for region %s", plan.Region)
-	}
-	primaryName := ""
-	if plan.Primary {
-		primaryName = nodeName
-	} else {
-		primaryName = st.primary
 	}
 	payload, err := transport.Encode(SpawnRequest{
 		InstanceID: instanceID,
@@ -365,18 +458,103 @@ func (s *Server) teardown(nodes []PeerInfo) {
 }
 
 // broadcastPeers distributes the membership list and primary to all nodes
-// (Sec 4.1 step 6).
+// (Sec 4.1 step 6). For a sharded instance every shard group gets its own
+// list: worker k of each region, led by the primary region's worker k.
 func (s *Server) broadcastPeers(st *instanceState) error {
-	payload, err := transport.Encode(PeersMsg{Peers: st.nodes, Primary: st.primary})
+	s.mu.Lock()
+	rm := st.ringMap
+	nodes := append([]PeerInfo(nil), st.nodes...)
+	primary := st.primary
+	primaryRegion := string(st.primaryRegion)
+	s.mu.Unlock()
+	if rm == nil {
+		payload, err := transport.Encode(PeersMsg{Peers: nodes, Primary: primary})
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			if _, err := s.ep.Call(context.Background(), n.Name, MethodSetPeers, payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for shard := 0; shard < rm.Shards(); shard++ {
+		group := shardGroup(rm, shard)
+		groupPrimary := ""
+		if primaryRegion != "" {
+			groupPrimary = rm.Workers[primaryRegion][shard]
+		}
+		if err := s.sendPeers(group, groupPrimary); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendPeers pushes one membership list to its members.
+func (s *Server) sendPeers(group []PeerInfo, primary string) error {
+	payload, err := transport.Encode(PeersMsg{Peers: group, Primary: primary})
 	if err != nil {
 		return err
 	}
-	for _, n := range st.nodes {
+	for _, n := range group {
 		if _, err := s.ep.Call(context.Background(), n.Name, MethodSetPeers, payload); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// broadcastRing installs a shard map on the given workers.
+func (s *Server) broadcastRing(workers []PeerInfo, msg RingMsg) error {
+	payload, err := transport.Encode(msg)
+	if err != nil {
+		return err
+	}
+	for _, w := range workers {
+		if _, err := s.ep.Call(context.Background(), w.Name, MethodSetRing, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardGroup lists shard's workers across all regions.
+func shardGroup(rm *ring.Map, shard int) []PeerInfo {
+	var group []PeerInfo
+	for _, region := range rm.Regions() {
+		group = append(group, PeerInfo{Name: rm.Workers[region][shard], Region: simnet.Region(region)})
+	}
+	return group
+}
+
+// ringWorkers lists every worker of a map as PeerInfo.
+func ringWorkers(rm *ring.Map) []PeerInfo {
+	var out []PeerInfo
+	for _, region := range rm.Regions() {
+		for _, w := range rm.Workers[region] {
+			out = append(out, PeerInfo{Name: w, Region: simnet.Region(region)})
+		}
+	}
+	return out
+}
+
+// nextRingEpoch stamps m with its next epoch: through the coordination
+// service when one is configured (the authoritative path), locally past the
+// instance's previous epoch otherwise.
+func (s *Server) nextRingEpoch(st *instanceState, m *ring.Map) {
+	prev := int64(0)
+	if st.ringMap != nil {
+		prev = st.ringMap.Epoch
+	}
+	m.Epoch = prev + 1
+	if s.coordDst == "" {
+		return
+	}
+	if epoch, err := coord.PublishRing(s.ep, s.coordDst, st.id, m); err == nil {
+		m.Epoch = epoch
+	}
 }
 
 // StopInstances implements Table 1 stopInstances.
@@ -396,13 +574,248 @@ func (s *Server) StopInstances(instanceID string) error {
 
 // GetInstances implements Table 1 getInstances.
 func (s *Server) GetInstances(instanceID string) ([]PeerInfo, error) {
+	nodes, _, err := s.InstanceView(instanceID)
+	return nodes, err
+}
+
+// InstanceView returns the membership and, for sharded instances, the
+// current shard map (nil otherwise) — what clients cache for routing.
+func (s *Server) InstanceView(instanceID string) ([]PeerInfo, *ring.Map, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.instances[instanceID]
 	if !ok {
-		return nil, fmt.Errorf("wiera: no instance %q", instanceID)
+		return nil, nil, fmt.Errorf("wiera: no instance %q", instanceID)
 	}
-	return append([]PeerInfo(nil), st.nodes...), nil
+	var rm *ring.Map
+	if st.ringMap != nil {
+		rm = st.ringMap.Clone()
+	}
+	return append([]PeerInfo(nil), st.nodes...), rm, nil
+}
+
+// Ring returns the instance's current shard map (nil when unsharded).
+func (s *Server) Ring(instanceID string) (*ring.Map, error) {
+	_, rm, err := s.InstanceView(instanceID)
+	return rm, err
+}
+
+// beginRebalance checks out the instance for an exclusive membership change
+// and snapshots what the change needs.
+func (s *Server) beginRebalance(instanceID string) (*instanceState, *ring.Map, []regionPlan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.instances[instanceID]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("wiera: no instance %q", instanceID)
+	}
+	if st.rebalancing {
+		return nil, nil, nil, fmt.Errorf("wiera: instance %q is already rebalancing", instanceID)
+	}
+	cur := st.ringMap
+	if cur == nil {
+		// An unsharded instance becomes the one-shard base case: every
+		// region's single worker is shard 0.
+		cur = &ring.Map{Vnodes: st.vnodes, Workers: make(map[string][]string)}
+		for _, n := range st.nodes {
+			region := string(n.Region)
+			if len(cur.Workers[region]) > 0 {
+				return nil, nil, nil, fmt.Errorf("wiera: instance %q has several workers in %s but no ring", instanceID, region)
+			}
+			cur.Workers[region] = []string{n.Name}
+		}
+	}
+	st.rebalancing = true
+	return st, cur.Clone(), append([]regionPlan(nil), st.plans...), nil
+}
+
+func (s *Server) endRebalance(st *instanceState) {
+	s.mu.Lock()
+	st.rebalancing = false
+	s.mu.Unlock()
+}
+
+// AddWorker grows the instance's per-region worker pools by one shard and
+// rebalances online: spawn the new workers, stamp a new epoch, teach the
+// new workers the map first (unsettled, so they pull not-yet-moved keys
+// from the previous owners), then let the old owners NACK and drain only
+// the moved keys. Returns how many keys moved.
+func (s *Server) AddWorker(instanceID string) (int, error) {
+	st, cur, plans, err := s.beginRebalance(instanceID)
+	if err != nil {
+		return 0, err
+	}
+	defer s.endRebalance(st)
+
+	s.mu.Lock()
+	primaryRegion := st.primaryRegion
+	s.mu.Unlock()
+
+	newShard := cur.Shards()
+	next := cur.Clone()
+
+	// One new worker per region; worker k of every region is shard group k.
+	var added []PeerInfo
+	for _, region := range cur.Regions() {
+		plan, ok := planForRegion(plans, simnet.Region(region))
+		if !ok {
+			s.teardown(added)
+			return 0, fmt.Errorf("wiera: no region plan for %s", region)
+		}
+		name := fmt.Sprintf("%s/%s/w%d", instanceID, region, newShard)
+		primary := ""
+		if primaryRegion != "" {
+			primary = fmt.Sprintf("%s/%s/w%d", instanceID, primaryRegion, newShard)
+		}
+		node, err := s.spawn(instanceID, name, plan, st, primary)
+		if err != nil {
+			s.teardown(added)
+			return 0, err
+		}
+		added = append(added, node)
+		next.Workers[region] = append(next.Workers[region], name)
+	}
+	s.nextRingEpoch(st, next)
+
+	groupPrimary := ""
+	if primaryRegion != "" {
+		groupPrimary = next.Workers[string(primaryRegion)][newShard]
+	}
+	if err := s.sendPeers(added, groupPrimary); err != nil {
+		return 0, err
+	}
+
+	// 1) The new workers learn the map first, with the old map as fallback:
+	//    a client routed by the new map is never refused — the new owner
+	//    pulls the key from its previous owner on demand.
+	unsettled := RingMsg{Map: next, Prev: cur}
+	if err := s.broadcastRing(added, unsettled); err != nil {
+		return 0, err
+	}
+
+	// 2) Publish to clients: GetInstances now hands out the new map.
+	oldWorkers := ringWorkers(cur)
+	s.mu.Lock()
+	st.ringMap = next
+	st.nodes = append(append([]PeerInfo(nil), st.nodes...), added...)
+	if st.minReplicas > 0 {
+		st.minReplicas = len(st.nodes)
+	}
+	s.mu.Unlock()
+
+	// 3) The previous owners install the map and start NACKing moved keys.
+	if err := s.broadcastRing(oldWorkers, unsettled); err != nil {
+		return 0, err
+	}
+
+	// 4) Drain one worker at a time: each freezes its op gate, flushes its
+	//    queue, streams the moved keys to their new owners, and resumes.
+	moved := 0
+	drainReq, err := transport.Encode(RingDrainRequest{})
+	if err != nil {
+		return 0, err
+	}
+	for _, w := range oldWorkers {
+		raw, err := s.ep.Call(context.Background(), w.Name, MethodRingDrain, drainReq)
+		if err != nil {
+			return moved, err
+		}
+		var resp RingDrainResponse
+		if err := transport.Decode(raw, &resp); err != nil {
+			return moved, err
+		}
+		moved += resp.Moved
+	}
+
+	// 5) Settle: drop the previous-owner fallback everywhere.
+	settled := RingMsg{Map: next, Settled: true}
+	if err := s.broadcastRing(append(oldWorkers, added...), settled); err != nil {
+		return moved, err
+	}
+	return moved, nil
+}
+
+// RemoveWorker shrinks the pools by one shard (the highest index): the
+// remaining workers take over its key ranges, the leaving workers drain
+// everything they hold to the new owners, then shut down.
+func (s *Server) RemoveWorker(instanceID string) (int, error) {
+	st, cur, _, err := s.beginRebalance(instanceID)
+	if err != nil {
+		return 0, err
+	}
+	defer s.endRebalance(st)
+
+	if cur.Shards() < 2 {
+		return 0, fmt.Errorf("wiera: instance %q has no worker to remove", instanceID)
+	}
+	leavingShard := cur.Shards() - 1
+	next := cur.Clone()
+	var leaving []PeerInfo
+	for _, region := range next.Regions() {
+		ws := next.Workers[region]
+		leaving = append(leaving, PeerInfo{Name: ws[leavingShard], Region: simnet.Region(region)})
+		next.Workers[region] = ws[:leavingShard]
+	}
+	s.nextRingEpoch(st, next)
+	remaining := ringWorkers(next)
+
+	// Remaining workers first (unsettled: misses fall back to the leaving
+	// owners), then clients, then the leaving workers — whose shard index
+	// under the new map is -1, so they NACK every op and drain everything.
+	unsettled := RingMsg{Map: next, Prev: cur}
+	if err := s.broadcastRing(remaining, unsettled); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	st.ringMap = next
+	st.nodes = remaining
+	if st.minReplicas > 0 {
+		st.minReplicas = len(remaining)
+	}
+	if !sliceHas(remaining, st.primary) && st.primary != "" {
+		if string(st.primaryRegion) != "" && len(next.Workers[string(st.primaryRegion)]) > 0 {
+			st.primary = next.Workers[string(st.primaryRegion)][0]
+		} else {
+			st.primary = remaining[0].Name
+		}
+	}
+	s.mu.Unlock()
+	if err := s.broadcastRing(leaving, unsettled); err != nil {
+		return 0, err
+	}
+
+	moved := 0
+	drainReq, err := transport.Encode(RingDrainRequest{})
+	if err != nil {
+		return 0, err
+	}
+	for _, w := range leaving {
+		raw, err := s.ep.Call(context.Background(), w.Name, MethodRingDrain, drainReq)
+		if err != nil {
+			return moved, err
+		}
+		var resp RingDrainResponse
+		if err := transport.Decode(raw, &resp); err != nil {
+			return moved, err
+		}
+		moved += resp.Moved
+	}
+
+	settled := RingMsg{Map: next, Settled: true}
+	if err := s.broadcastRing(remaining, settled); err != nil {
+		return moved, err
+	}
+	s.teardown(leaving)
+	return moved, nil
+}
+
+func sliceHas(nodes []PeerInfo, name string) bool {
+	for _, n := range nodes {
+		if n.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // ApplyChange executes a change_policy request from a node: a consistency
@@ -592,13 +1005,19 @@ func (s *Server) HeartbeatOnce() {
 func (s *Server) checkInstance(id string) {
 	s.mu.Lock()
 	st, ok := s.instances[id]
-	if !ok {
+	if !ok || st.rebalancing {
+		// A rebalance in flight owns the membership; skip this round.
 		s.mu.Unlock()
 		return
 	}
 	nodes := append([]PeerInfo(nil), st.nodes...)
 	plans := append([]regionPlan(nil), st.plans...)
 	minReplicas := st.minReplicas
+	var rm *ring.Map
+	if st.ringMap != nil {
+		rm = st.ringMap.Clone()
+	}
+	primary := st.primary
 	s.mu.Unlock()
 
 	ping, _ := transport.Encode(PingMsg{})
@@ -610,16 +1029,17 @@ func (s *Server) checkInstance(id string) {
 			live = append(live, n)
 		}
 	}
-	if len(dead) == 0 || len(live) >= minReplicas {
+	if len(dead) == 0 || (rm == nil && len(live) >= minReplicas) {
 		if len(dead) > 0 {
-			s.commitMembership(st, live)
+			s.commitMembership(st, live, rm)
 		}
 		return
 	}
-	// Respawn failed replicas in their original regions until the minimum
-	// is met.
+	// Respawn failed replicas in their original regions: until the minimum
+	// is met for the classic layout, unconditionally for a sharded one (the
+	// dead worker's key range has no other owner in its region).
 	for _, d := range dead {
-		if len(live) >= minReplicas {
+		if rm == nil && len(live) >= minReplicas {
 			break
 		}
 		plan, ok := planForRegion(plans, d.Region)
@@ -627,37 +1047,74 @@ func (s *Server) checkInstance(id string) {
 			continue
 		}
 		newName := respawnName(d.Name)
-		node, err := s.spawn(id, newName, plan, st)
+		groupPrimary := primary
+		shard := -1
+		if rm != nil {
+			shard = rm.ShardOf(string(d.Region), d.Name)
+			if shard < 0 {
+				continue // not in the current map; nothing to restore
+			}
+			if pr := rm.Workers[string(st.primaryRegion)]; len(pr) > shard {
+				groupPrimary = pr[shard]
+			}
+		}
+		node, err := s.spawn(id, newName, plan, st, groupPrimary)
 		if err != nil {
 			continue
 		}
-		// Bootstrap from any live peer.
-		if len(live) > 0 {
+		// Bootstrap from a live peer — for a sharded instance, from a live
+		// member of the same shard group (others hold different key ranges).
+		from := ""
+		if rm == nil {
+			if len(live) > 0 {
+				from = live[0].Name
+			}
+		} else {
+			for _, region := range rm.Regions() {
+				if ws := rm.Workers[region]; len(ws) > shard && sliceHas(live, ws[shard]) {
+					from = ws[shard]
+					break
+				}
+			}
+			// The new name replaces the dead one in the map.
+			rm.Workers[string(d.Region)][shard] = node.Name
+			if groupPrimary == d.Name {
+				groupPrimary = node.Name
+			}
+		}
+		if from != "" {
 			if n := lookupNode(node.Name); n != nil {
-				_ = n.SyncFrom(live[0].Name)
+				_ = n.SyncFrom(from)
 			}
 		}
 		live = append(live, node)
 	}
-	s.commitMembership(st, live)
+	s.commitMembership(st, live, rm)
 }
 
-func (s *Server) commitMembership(st *instanceState, live []PeerInfo) {
+func (s *Server) commitMembership(st *instanceState, live []PeerInfo, rm *ring.Map) {
 	s.mu.Lock()
 	st.nodes = live
-	// If the primary died, promote the first live node.
-	primaryAlive := false
-	for _, n := range live {
-		if n.Name == st.primary {
-			primaryAlive = true
-			break
-		}
+	if rm != nil {
+		// The patched map gets a fresh epoch so nodes and clients holding the
+		// pre-respawn map refresh their routing.
+		s.nextRingEpoch(st, rm)
+		st.ringMap = rm
 	}
-	if !primaryAlive && len(live) > 0 && st.primary != "" {
-		st.primary = live[0].Name
+	// If the primary died, promote: the primary region's shard-0 worker for
+	// a sharded instance, the first live node otherwise.
+	if !sliceHas(live, st.primary) && len(live) > 0 && st.primary != "" {
+		if rm != nil && string(st.primaryRegion) != "" && len(rm.Workers[string(st.primaryRegion)]) > 0 {
+			st.primary = rm.Workers[string(st.primaryRegion)][0]
+		} else {
+			st.primary = live[0].Name
+		}
 	}
 	s.mu.Unlock()
 	_ = s.broadcastPeers(st)
+	if rm != nil {
+		_ = s.broadcastRing(live, RingMsg{Map: rm, Settled: true})
+	}
 }
 
 func planForRegion(plans []regionPlan, region simnet.Region) (regionPlan, bool) {

@@ -27,6 +27,12 @@ type NodeStats struct {
 	Primary    string
 	IsPrimary  bool
 
+	// Shard is the worker's shard index under the instance's ring (-1 when
+	// the instance is unsharded); RingEpoch is the installed map's epoch (0
+	// when unsharded).
+	Shard     int
+	RingEpoch int64
+
 	Puts       int64
 	Gets       int64
 	PutMeanMs  float64
@@ -56,12 +62,17 @@ func (n *Node) statsLocal() NodeStats {
 	}
 	toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	pending, repaired, readRepairs, replayed := n.repair.statsSnapshot()
+	// A stats round trip doubles as the gauge refresh for wieractl ring:
+	// CollectStats before a metrics dump leaves ring_keys/ring_bytes current.
+	n.shards.updateOwnershipGauges()
 	return NodeStats{
 		Name:       n.name,
 		Region:     string(n.region),
 		PolicyName: n.PolicyName(),
 		Primary:    n.Primary(),
 		IsPrimary:  n.IsPrimary(),
+		Shard:      n.shards.ownShard(),
+		RingEpoch:  n.shards.ringEpoch(),
 		Puts:       int64(n.PutLatency.Count()),
 		Gets:       int64(n.GetLatency.Count()),
 		PutMeanMs:  toMs(n.PutLatency.Mean()),
@@ -149,6 +160,9 @@ func (is *InstanceStats) Render() string {
 		role := ""
 		if n.IsPrimary {
 			role = " (primary)"
+		}
+		if n.Shard >= 0 {
+			role += fmt.Sprintf(" [shard %d @ epoch %d]", n.Shard, n.RingEpoch)
 		}
 		fmt.Fprintf(&b, "  %-24s %-10s%s\n", n.Name, n.Region, role)
 		fmt.Fprintf(&b, "    puts=%d mean=%.1fms p99=%.1fms  gets=%d mean=%.1fms p99=%.1fms\n",
