@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: ci verify vet build test race race-obs race-ring bench convergence scaleout
+.PHONY: ci verify vet build test race race-obs race-ring race-batch bench convergence scaleout batchflush
 
-ci: vet build race-obs race-ring race
+ci: vet build race-obs race-ring race-batch race
 
 # One-stop pre-commit check: static analysis, full build, race-checked tests.
-verify: vet build race-obs race-ring race
+verify: vet build race-obs race-ring race-batch race
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,18 @@ race-obs:
 # code moves keys between live workers, so races here lose writes.
 race-ring:
 	$(GO) test -race -run 'TestBalance|TestMinimalMovement|TestDeterminism|TestMapHelpers|TestRing|TestTable|TestSharded|TestWrongShard|TestAddWorker|TestRemoveWorker|TestStrayUpdate|TestClientRouting' ./internal/ring/ ./internal/wiera/
+
+# Focused race pass over the batched replication path: the TCP multiplexer
+# (shared per-connection gob streams, demux, in-flight window) and the
+# per-peer batcher (queue drain, chunking, partial-failure hinting) both
+# share mutable state across goroutines on every flush.
+race-batch:
+	$(GO) test -race -run 'TestTCPMux|TestChunk|TestBatched|TestPerKey|TestQueueDepthGauge|TestApplyUpdateBatch|TestRemoveIdempotent|TestRemoveSurfaces|TestAsyncPush' ./internal/transport/ ./internal/wiera/
+
+# Replication group-commit experiment (quick mode): per-key vs batched flush
+# fan-out plus the flush-under-partition audit.
+batchflush:
+	$(GO) run ./cmd/wierabench -exp batchflush
 
 # Sharding scale-out experiment (quick mode): YCSB-B throughput vs pool
 # size plus a live worker-join audit.

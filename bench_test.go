@@ -209,8 +209,8 @@ func BenchmarkAblationQueueSupersede(b *testing.B) {
 		if err := res.ShapeHolds(); err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(res.TransfersSupersede), "transfers-superseding")
-		b.ReportMetric(float64(res.TransfersNaive), "transfers-naive")
+		b.ReportMetric(float64(res.BytesSupersede), "bytes-superseding")
+		b.ReportMetric(float64(res.BytesNaive), "bytes-naive")
 	}
 }
 

@@ -145,6 +145,17 @@ func TestAblationConsistency(t *testing.T) {
 	}
 }
 
+func TestBatchFlush(t *testing.T) {
+	res, err := BatchFlush(Options{Quick: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if err := res.ShapeHolds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestAblationQueue(t *testing.T) {
 	res, err := AblationQueue(Options{Quick: true, Seed: 6})
 	if err != nil {

@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"testing"
 
 	"repro/internal/clock"
@@ -46,6 +48,72 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEncode compares the pooled Encode/Decode path against a naive
+// fresh-buffer implementation: the pooled variant should show fewer
+// allocs/op since the scratch bytes.Buffer and bytes.Reader are reused.
+func BenchmarkEncode(b *testing.B) {
+	type msg struct {
+		Key  string
+		Data []byte
+	}
+	in := msg{Key: "object-key", Data: make([]byte, 4096)}
+
+	b.Run("pooled", func(b *testing.B) {
+		b.SetBytes(4096)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			raw, err := Encode(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out msg
+			if err := Decode(raw, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("unpooled", func(b *testing.B) {
+		b.SetBytes(4096)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+				b.Fatal(err)
+			}
+			raw := make([]byte, buf.Len())
+			copy(raw, buf.Bytes())
+			var out msg
+			if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTCPPipelined measures throughput with many concurrent callers
+// on one multiplexed connection — contrast with BenchmarkTCPRoundTrip's
+// single serial caller.
+func BenchmarkTCPPipelined(b *testing.B) {
+	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, _ string, p []byte) ([]byte, error) { return p, nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli := DialTCP(srv.Addr())
+	defer cli.Close()
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := cli.Call(context.Background(), "", "echo", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkGobEncodeDecode(b *testing.B) {

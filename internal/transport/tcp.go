@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -14,29 +13,49 @@ import (
 )
 
 // wireRequest/wireResponse are the gob frame types of the TCP transport.
+// Frames are tagged with a sequence ID so one connection carries many
+// in-flight calls: the client stamps Seq, the server echoes it on the
+// matching response, and responses may arrive in any order. The conn's gob
+// encoder/decoder pair persists for its lifetime, so type descriptors
+// cross the wire once per connection, not once per frame.
+//
 // The Payload may carry a telemetry trace envelope exactly as on the
 // Fabric transport — the server unwraps it before dispatch.
 type wireRequest struct {
+	Seq     uint64
 	Method  string
 	Payload []byte
 }
 
 type wireResponse struct {
+	Seq     uint64
 	Payload []byte
 	Err     string
 }
 
+// clientWindow bounds how many calls a client keeps in flight on one
+// multiplexed connection; excess callers block until a slot frees.
+const clientWindow = 128
+
+// serverWindow bounds how many handlers one server connection runs
+// concurrently (memory backstop against a misbehaving client).
+const serverWindow = 256
+
 // TCPServer serves transport handlers on a real TCP listener. It is the
 // deployment-grade counterpart of the in-process Fabric, used by cmd/wiera.
+// Requests on one connection are served concurrently (each in its own
+// goroutine, bounded by serverWindow); responses are written back tagged
+// with the request's sequence ID, in completion order.
 type TCPServer struct {
 	ln      net.Listener
 	handler Handler
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
 
-	rpcLatency *telemetry.HistogramVec
-	rpcCalls   *telemetry.CounterVec
-	rpcErrors  *telemetry.CounterVec
+	rpcLatency  *telemetry.HistogramVec
+	rpcCalls    *telemetry.CounterVec
+	rpcErrors   *telemetry.CounterVec
+	rpcInflight *telemetry.GaugeVec
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -58,7 +77,7 @@ func WithServerTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) TCPServe
 
 // ListenTCP starts a server on addr ("host:port", empty port picks one) and
 // serves h on every accepted connection. Connections are persistent: each
-// carries a stream of request/response frames served sequentially.
+// carries a stream of tagged request/response frames served concurrently.
 func ListenTCP(addr string, h Handler, opts ...TCPServerOption) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -75,6 +94,8 @@ func ListenTCP(addr string, h Handler, opts ...TCPServerOption) (*TCPServer, err
 			"RPCs dispatched to a handler.", "method", "region")
 		s.rpcErrors = s.metrics.Counter("rpc_errors_total",
 			"RPCs whose handler returned an error.", "method", "region")
+		s.rpcInflight = s.metrics.Gauge("rpc_inflight",
+			"RPCs currently executing in a handler.", "method", "region")
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -110,8 +131,13 @@ const tcpRegionLabel = "tcp"
 
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	var (
+		handlers sync.WaitGroup
+		writeMu  sync.Mutex // guards enc + bw: responses interleave frame-atomically
+	)
 	defer func() {
 		conn.Close()
+		handlers.Wait() // late handlers must not write into the next conn's map slot
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -120,24 +146,34 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(bw)
+	sem := make(chan struct{}, serverWindow)
 	for {
 		var req wireRequest
 		if err := dec.Decode(&req); err != nil {
 			return // EOF or broken connection
 		}
-		var resp wireResponse
-		out, err := s.serve(req.Method, req.Payload)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Payload = out
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(req wireRequest) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			resp := wireResponse{Seq: req.Seq}
+			out, err := s.serve(req.Method, req.Payload)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Payload = out
+			}
+			writeMu.Lock()
+			werr := enc.Encode(&resp)
+			if werr == nil {
+				werr = bw.Flush()
+			}
+			writeMu.Unlock()
+			if werr != nil {
+				conn.Close() // wake the read loop; remaining handlers fail fast
+			}
+		}(req)
 	}
 }
 
@@ -154,9 +190,15 @@ func (s *TCPServer) serve(method string, payload []byte) ([]byte, error) {
 		span.SetAttr("transport", "tcp")
 		ctx = telemetry.ContextWithSpan(ctx, span)
 	}
+	var inflight *telemetry.Gauge
+	if s.metrics != nil {
+		inflight = s.rpcInflight.With(method, tcpRegionLabel)
+		inflight.Add(1)
+	}
 	start := time.Now()
 	out, err := s.handler(ctx, method, inner)
 	if s.metrics != nil {
+		inflight.Add(-1)
 		s.rpcLatency.With(method, tcpRegionLabel).Record(time.Since(start))
 		s.rpcCalls.With(method, tcpRegionLabel).Inc()
 		if err != nil {
@@ -185,115 +227,235 @@ func (s *TCPServer) Close() error {
 	return err
 }
 
-// TCPClient issues calls to one TCPServer over a pool of persistent
-// connections. Safe for concurrent use; concurrent calls use separate
-// pooled connections.
+// TCPClient issues calls to one TCPServer over a single multiplexed
+// connection: every in-flight call gets a sequence ID, frames share the
+// connection's persistent gob streams, and a demux goroutine routes each
+// tagged response to its waiting caller. Concurrency is bounded by
+// clientWindow; callers past the window block until a slot frees. Safe for
+// concurrent use. A broken connection fails all its in-flight calls and is
+// replaced on the next Call.
 type TCPClient struct {
 	addr string
 
 	mu     sync.Mutex
-	idle   []*tcpConn
+	cur    *muxConn
+	dials  int // connections dialed over the client's lifetime (tests)
 	closed bool
 }
 
-type tcpConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	bw   *bufio.Writer
+// muxConn is one multiplexed connection: a shared encoder guarded by
+// sendMu, a demux goroutine draining responses, and per-sequence completion
+// channels.
+type muxConn struct {
+	conn   net.Conn
+	window chan struct{} // in-flight slots
+
+	sendMu sync.Mutex // guards enc + bw
+	enc    *gob.Encoder
+	bw     *bufio.Writer
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan wireResponse
+	dead    bool
+	err     error // why the conn died (set once, before channels close)
 }
 
-// DialTCP returns a client for the server at addr. Connections are opened
-// lazily.
+// DialTCP returns a client for the server at addr. The connection is
+// opened lazily on the first Call.
 func DialTCP(addr string) *TCPClient {
 	return &TCPClient{addr: addr}
 }
 
-// Call implements a single request/response exchange. The dst parameter is
-// ignored (a TCPClient is bound to one server); it exists so TCPClient can
-// satisfy call sites written against Caller. A trace span carried by ctx is
-// propagated to the server inside the payload.
+// Call implements a single request/response exchange over the shared
+// multiplexed connection. The dst parameter is ignored (a TCPClient is
+// bound to one server); it exists so TCPClient can satisfy call sites
+// written against Caller. A trace span carried by ctx is propagated to the
+// server inside the payload.
 func (c *TCPClient) Call(ctx context.Context, _ string, method string, payload []byte) ([]byte, error) {
 	if sp := telemetry.SpanFromContext(ctx); sp != nil {
 		payload = telemetry.WrapPayload(sp.Context(), payload)
 	}
-	tc, err := c.acquire()
+	mc, err := c.acquire()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := tc.roundTrip(method, payload)
+	resp, err := mc.roundTrip(method, payload)
 	if err != nil {
-		tc.conn.Close() // connection state unknown; drop it
+		c.discard(mc)
 		return nil, err
 	}
-	c.release(tc)
 	if resp.Err != "" {
 		return nil, RemoteError{Msg: resp.Err}
 	}
 	return resp.Payload, nil
 }
 
-func (tc *tcpConn) roundTrip(method string, payload []byte) (*wireResponse, error) {
-	if err := tc.enc.Encode(wireRequest{Method: method, Payload: payload}); err != nil {
-		return nil, fmt.Errorf("transport: send: %w", err)
-	}
-	if err := tc.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("transport: flush: %w", err)
-	}
-	var resp wireResponse
-	if err := tc.dec.Decode(&resp); err != nil {
-		if err == io.EOF {
-			return nil, fmt.Errorf("transport: connection closed by server")
-		}
-		return nil, fmt.Errorf("transport: recv: %w", err)
-	}
-	return &resp, nil
-}
-
-func (c *TCPClient) acquire() (*tcpConn, error) {
+// acquire returns the live multiplexed connection, dialing one if needed.
+func (c *TCPClient) acquire() (*muxConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if n := len(c.idle); n > 0 {
-		tc := c.idle[n-1]
-		c.idle = c.idle[:n-1]
+	if mc := c.cur; mc != nil && !mc.isDead() {
 		c.mu.Unlock()
-		return tc, nil
+		return mc, nil
 	}
 	c.mu.Unlock()
+
 	conn, err := net.Dial("tcp", c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
 	}
 	bw := bufio.NewWriter(conn)
-	return &tcpConn{
-		conn: conn,
-		enc:  gob.NewEncoder(bw),
-		dec:  gob.NewDecoder(bufio.NewReader(conn)),
-		bw:   bw,
-	}, nil
+	mc := &muxConn{
+		conn:    conn,
+		window:  make(chan struct{}, clientWindow),
+		enc:     gob.NewEncoder(bw),
+		bw:      bw,
+		pending: make(map[uint64]chan wireResponse),
+	}
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	go mc.demux(dec)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		mc.fail(ErrClosed)
+		return nil, ErrClosed
+	}
+	if c.cur != nil && !c.cur.isDead() {
+		// A concurrent caller won the dial race; use its connection.
+		cur := c.cur
+		c.mu.Unlock()
+		mc.fail(ErrClosed)
+		return cur, nil
+	}
+	c.cur = mc
+	c.dials++
+	c.mu.Unlock()
+	return mc, nil
 }
 
-func (c *TCPClient) release(tc *tcpConn) {
+// discard drops mc after a transport error so the next Call redials.
+func (c *TCPClient) discard(mc *muxConn) {
+	mc.fail(fmt.Errorf("transport: connection discarded"))
 	c.mu.Lock()
-	if c.closed || len(c.idle) >= 8 {
-		c.mu.Unlock()
-		tc.conn.Close()
-		return
+	if c.cur == mc {
+		c.cur = nil
 	}
-	c.idle = append(c.idle, tc)
 	c.mu.Unlock()
 }
 
-// Close closes all pooled connections.
+// Dials reports how many connections the client has opened (test hook for
+// asserting connection reuse under concurrent calls).
+func (c *TCPClient) Dials() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dials
+}
+
+// Close fails all in-flight calls and closes the connection.
 func (c *TCPClient) Close() {
 	c.mu.Lock()
-	c.closed = true
-	for _, tc := range c.idle {
-		tc.conn.Close()
+	if c.closed {
+		c.mu.Unlock()
+		return
 	}
-	c.idle = nil
+	c.closed = true
+	mc := c.cur
+	c.cur = nil
 	c.mu.Unlock()
+	if mc != nil {
+		mc.fail(ErrClosed)
+	}
+}
+
+// roundTrip sends one tagged frame and blocks until its response is
+// demuxed back (or the connection dies).
+func (mc *muxConn) roundTrip(method string, payload []byte) (*wireResponse, error) {
+	mc.window <- struct{}{}
+	defer func() { <-mc.window }()
+
+	ch := make(chan wireResponse, 1)
+	mc.mu.Lock()
+	if mc.dead {
+		err := mc.err
+		mc.mu.Unlock()
+		return nil, err
+	}
+	mc.nextSeq++
+	seq := mc.nextSeq
+	mc.pending[seq] = ch
+	mc.mu.Unlock()
+
+	mc.sendMu.Lock()
+	err := mc.enc.Encode(wireRequest{Seq: seq, Method: method, Payload: payload})
+	if err == nil {
+		err = mc.bw.Flush()
+	}
+	mc.sendMu.Unlock()
+	if err != nil {
+		mc.mu.Lock()
+		delete(mc.pending, seq)
+		mc.mu.Unlock()
+		mc.fail(fmt.Errorf("transport: send: %w", err))
+		return nil, fmt.Errorf("transport: send: %w", err)
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		mc.mu.Lock()
+		err := mc.err
+		mc.mu.Unlock()
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// demux drains tagged responses off the connection and completes the
+// matching callers. A decode error (EOF, server close, corrupt stream)
+// fails every pending call.
+func (mc *muxConn) demux(dec *gob.Decoder) {
+	for {
+		var resp wireResponse
+		if err := dec.Decode(&resp); err != nil {
+			mc.fail(fmt.Errorf("transport: connection closed by server: %w", err))
+			return
+		}
+		mc.mu.Lock()
+		ch := mc.pending[resp.Seq]
+		delete(mc.pending, resp.Seq)
+		mc.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// isDead reports whether the connection has failed.
+func (mc *muxConn) isDead() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.dead
+}
+
+// fail marks the connection dead with err, closes it, and completes every
+// pending call with the failure (idempotent; the first error wins).
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.dead {
+		mc.mu.Unlock()
+		return
+	}
+	mc.dead = true
+	mc.err = err
+	pending := mc.pending
+	mc.pending = make(map[uint64]chan wireResponse)
+	mc.mu.Unlock()
+	mc.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
 }

@@ -75,9 +75,10 @@ type Fabric struct {
 	tracer    *telemetry.Tracer
 	flightRec *flight.Recorder
 
-	rpcLatency *telemetry.HistogramVec // {method, region} server-side service time
-	rpcCalls   *telemetry.CounterVec   // {method, region}
-	rpcErrors  *telemetry.CounterVec   // {method, region}
+	rpcLatency  *telemetry.HistogramVec // {method, region} server-side service time
+	rpcCalls    *telemetry.CounterVec   // {method, region}
+	rpcErrors   *telemetry.CounterVec   // {method, region}
+	rpcInflight *telemetry.GaugeVec     // {method, region} handlers currently executing
 
 	// rpcMetrics caches metric children per (method, region) so dispatch
 	// skips the label-join lookup on every call.
@@ -94,9 +95,10 @@ type rpcKey struct{ method, region string }
 
 // rpcChildren caches the per-(method, region) server-side RPC metrics.
 type rpcChildren struct {
-	latency *telemetry.Histogram
-	calls   *telemetry.Counter
-	errors  *telemetry.Counter
+	latency  *telemetry.Histogram
+	calls    *telemetry.Counter
+	errors   *telemetry.Counter
+	inflight *telemetry.Gauge
 }
 
 // rpc returns the cached metric children for (method, region).
@@ -114,9 +116,10 @@ func (f *Fabric) rpc(method, region string) *rpcChildren {
 		return c
 	}
 	c = &rpcChildren{
-		latency: f.rpcLatency.With(method, region),
-		calls:   f.rpcCalls.With(method, region),
-		errors:  f.rpcErrors.With(method, region),
+		latency:  f.rpcLatency.With(method, region),
+		calls:    f.rpcCalls.With(method, region),
+		errors:   f.rpcErrors.With(method, region),
+		inflight: f.rpcInflight.With(method, region),
 	}
 	f.rpcMetrics[key] = c
 	return c
@@ -175,6 +178,8 @@ func NewFabric(net *simnet.Network, opts ...FabricOption) *Fabric {
 			"RPCs dispatched to a handler.", "method", "region")
 		f.rpcErrors = f.metrics.Counter("rpc_errors_total",
 			"RPCs whose handler returned an error.", "method", "region")
+		f.rpcInflight = f.metrics.Gauge("rpc_inflight",
+			"RPCs currently executing in a handler.", "method", "region")
 		f.rpcMetrics = make(map[rpcKey]*rpcChildren)
 		net.Instrument(f.metrics)
 	}
@@ -368,10 +373,18 @@ func (f *Fabric) dispatch(target *Endpoint, h Handler, method string, wire []byt
 		sctx = telemetry.ContextWithSpan(sctx, serverSpan)
 	}
 
+	// Dispatch is concurrent by construction: each caller goroutine runs
+	// the handler itself, so one endpoint serves many in-flight calls at
+	// once — the same semantics the multiplexed TCP transport provides.
+	var m *rpcChildren
+	if f.metrics != nil {
+		m = f.rpc(method, string(target.region))
+		m.inflight.Add(1)
+	}
 	start := f.net.Clock().Now()
 	resp, herr := h(sctx, method, inner)
-	if f.metrics != nil {
-		m := f.rpc(method, string(target.region))
+	if m != nil {
+		m.inflight.Add(-1)
 		m.latency.Record(f.net.Clock().Now().Sub(start))
 		m.calls.Inc()
 		if herr != nil {
@@ -383,18 +396,38 @@ func (f *Fabric) dispatch(target *Endpoint, h Handler, method string, wire []byt
 	return resp, herr
 }
 
-// Encode gob-encodes v for use as an RPC payload.
+// encBufPool recycles encode scratch buffers: a hot replication path
+// encodes thousands of payloads per flush, and re-growing a fresh
+// bytes.Buffer for each one dominated the allocation profile. Buffers keep
+// their grown capacity across uses, so steady-state Encode allocates only
+// the returned copy (plus gob's own encoder state).
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// decReaderPool recycles the reader wrapper Decode needs around its input.
+var decReaderPool = sync.Pool{New: func() any { return bytes.NewReader(nil) }}
+
+// Encode gob-encodes v for use as an RPC payload. The returned slice is
+// owned by the caller (scratch space is pooled internally).
 func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		encBufPool.Put(buf)
 		return nil, fmt.Errorf("transport: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	encBufPool.Put(buf)
+	return out, nil
 }
 
 // Decode gob-decodes an RPC payload into v (a pointer).
 func Decode(data []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+	r := decReaderPool.Get().(*bytes.Reader)
+	r.Reset(data)
+	err := gob.NewDecoder(r).Decode(v)
+	decReaderPool.Put(r)
+	if err != nil {
 		return fmt.Errorf("transport: decode: %w", err)
 	}
 	return nil

@@ -128,21 +128,17 @@ func (e *globalPutExec) distribute(call *policy.ActionCall, sync bool) error {
 			return err
 		}
 		msg := UpdateMsg{Meta: *e.meta, Data: e.data}
+		if !sync {
+			// Async delivery outlives the put's span; it goes through the
+			// batcher, which coalesces updates bound for the same peer while
+			// a push is in flight and hints failed entries so the update
+			// survives the target being partitioned or down.
+			e.n.batch.pushAsync(target, msg)
+			return nil
+		}
 		payload, err := transport.Encode(msg)
 		if err != nil {
 			return err
-		}
-		if !sync {
-			// Async delivery outlives the put's span; detach from it. A
-			// failed delivery becomes a hint so the update survives the
-			// target being partitioned or down.
-			n := e.n
-			go func() {
-				if _, err := n.ep.Call(context.Background(), target, MethodApplyUpdate, payload); err != nil && n.repair != nil {
-					n.repair.addHint(target, msg)
-				}
-			}()
-			return nil
 		}
 		callStart := e.n.clk.Now()
 		if _, err := e.n.ep.Call(e.ctx, target, MethodApplyUpdate, payload); err != nil {

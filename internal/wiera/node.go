@@ -69,6 +69,11 @@ type NodeConfig struct {
 	// NoQueueSupersede disables per-key supersession in the update queue
 	// (ablation only).
 	NoQueueSupersede bool
+	// MaxBatchBytes bounds one replication batch chunk's payload (the
+	// maxBatchBytes spawn param). 0 uses the 1 MiB default; negative
+	// disables batching so every queued update ships as its own fan-out RPC
+	// (the per-key ablation the batchflush experiment measures against).
+	MaxBatchBytes int64
 	// AntiEntropyEvery is the background anti-entropy round period
 	// (internal/repair). A positive period enables full Merkle digest sync
 	// every round; 0 (the default) runs hinted handoff and read repair only
@@ -121,6 +126,7 @@ type Node struct {
 
 	gate   *opGate
 	queue  *updateQueue
+	batch  *batcher       // chunked group-commit replication fan-out
 	repair *repairManager // nil when AntiEntropyEvery < 0
 	shards *shardManager  // inert (accepts every key) until a RingMsg arrives
 
@@ -226,6 +232,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		"Keys with updates queued for lazy propagation.", "node", "region").
 		With(cfg.Name, region)
 	n.shards = newShardManager(n)
+	n.batch = newBatcher(n, cfg.MaxBatchBytes)
 	n.controlEvents = append(n.controlEvents, prog.ByKind(policy.KindThreshold)...)
 	if cfg.DynamicSpec != nil {
 		dynProg, err := policy.Compile(cfg.DynamicSpec, cfg.GlobalParams)
@@ -603,16 +610,37 @@ func (n *Node) VersionList(key string) ([]object.Version, error) {
 	return n.local.VersionList(key)
 }
 
-// Remove deletes all versions locally and on all peers.
+// Remove deletes all versions locally and on all peers, fanning the peer
+// removes out in parallel and surfacing the first failure — a remove the
+// application saw succeed must not silently leave live copies behind.
+// Receivers treat a missing key as already removed, so peers that never
+// held the key do not turn the fan-out into an error.
 func (n *Node) Remove(ctx context.Context, key string) error {
 	if err := n.local.Remove(ctx, key); err != nil {
 		return err
 	}
-	for _, p := range n.Peers() {
-		payload, _ := transport.Encode(RemoveRequest{Key: key})
-		_, _ = n.ep.Call(ctx, p.Name, MethodRemove, payload)
+	peers := n.Peers()
+	if len(peers) == 0 {
+		return nil
 	}
-	return nil
+	payload, err := transport.Encode(RemoveRequest{Key: key})
+	if err != nil {
+		return err
+	}
+	errs := make(chan error, len(peers))
+	for _, p := range peers {
+		go func(p PeerInfo) {
+			_, err := n.ep.Call(ctx, p.Name, MethodRemove, payload)
+			errs <- err
+		}(p)
+	}
+	var firstErr error
+	for range peers {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // RemoveVersion deletes one version locally.
@@ -825,9 +853,14 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err := n.shards.checkKey(req.Key); err != nil {
 			return nil, err
 		}
-		// Remote-initiated removes are local-only (no re-broadcast).
+		// Remote-initiated removes are local-only (no re-broadcast) and
+		// idempotent: a key this replica never stored is already removed,
+		// not an error the originator's fan-out should surface.
 		if err := n.local.Remove(ctx, req.Key); err != nil {
-			return nil, err
+			var nf object.ErrNotFound
+			if !errors.As(err, &nf) {
+				return nil, err
+			}
 		}
 		return transport.Encode(Empty{})
 	case MethodRemoveVer:
@@ -854,6 +887,24 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 			return nil, err
 		}
 		return transport.Encode(UpdateAck{Accepted: accepted})
+	case MethodApplyUpdateBatch:
+		var req UpdateBatchRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		// Entries are independent: each applies (or forwards) under LWW and
+		// acks individually, so one bad entry fails only itself and the
+		// sender retries/hints just that entry.
+		resp := UpdateBatchResponse{Acks: make([]BatchAck, len(req.Updates))}
+		for i, msg := range req.Updates {
+			accepted, err := n.shards.applyOrForward(ctx, msg)
+			if err != nil {
+				resp.Acks[i].Err = err.Error()
+				continue
+			}
+			resp.Acks[i].Accepted = accepted
+		}
+		return transport.Encode(resp)
 	case MethodSnapshot:
 		return n.snapshot(ctx)
 	case MethodRepairDigest, MethodRepairEntries, MethodRepairPull, MethodRepairPush:
@@ -962,6 +1013,14 @@ func (n *Node) SyncFrom(peer string) error {
 	}
 	return nil
 }
+
+// FlushQueue synchronously distributes every queued update (the queue
+// response's lazy propagation, forced now). Experiments use it to measure
+// one flush's wall clock instead of waiting out the background period.
+func (n *Node) FlushQueue() { n.queue.flushNow() }
+
+// QueueDepth reports how many keys currently have queued updates.
+func (n *Node) QueueDepth() int { return n.queue.Len() }
 
 // prepareChange drains in-flight operations and the update queue, then
 // blocks new operations until commitChange.

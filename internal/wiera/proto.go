@@ -34,10 +34,11 @@ const (
 	MethodRemoveVer   = "wiera.removeVersion"
 
 	// Node-to-node data plane.
-	MethodApplyUpdate = "wiera.applyUpdate"
-	MethodForwardPut  = "wiera.forwardPut"
-	MethodForwardGet  = "wiera.forwardGet"
-	MethodSnapshot    = "wiera.snapshot"
+	MethodApplyUpdate      = "wiera.applyUpdate"
+	MethodApplyUpdateBatch = "wiera.applyUpdateBatch"
+	MethodForwardPut       = "wiera.forwardPut"
+	MethodForwardGet       = "wiera.forwardGet"
+	MethodSnapshot         = "wiera.snapshot"
 
 	// Node-to-node anti-entropy (internal/repair): Merkle digest exchange,
 	// divergent-leaf summaries, and targeted version transfer.
@@ -149,6 +150,29 @@ type UpdateMsg struct {
 // UpdateAck reports whether the update won at the receiver.
 type UpdateAck struct {
 	Accepted bool
+}
+
+// UpdateBatchRequest carries many queued updates in one frame — the
+// group-commit unit of the replication fan-out. Entries preserve the
+// sender's FIFO order; the receiver applies each under LWW exactly as it
+// would a lone MethodApplyUpdate.
+type UpdateBatchRequest struct {
+	Updates []UpdateMsg
+}
+
+// BatchAck is the per-entry outcome of a batched update. Err carries an
+// apply failure (the entry must be retried or hinted); Accepted false with
+// an empty Err means the entry simply lost LWW at the receiver, which is a
+// success for replication purposes.
+type BatchAck struct {
+	Accepted bool
+	Err      string
+}
+
+// UpdateBatchResponse acks a batch entry-by-entry, in request order, so a
+// partial failure costs the sender only the failed entries.
+type UpdateBatchResponse struct {
+	Acks []BatchAck
 }
 
 // SnapshotRequest asks a peer for its full live state (new-replica sync).

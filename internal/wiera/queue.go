@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/object"
 )
 
@@ -47,9 +48,10 @@ func (q *updateQueue) enqueue(msg UpdateMsg) {
 		key := fmt.Sprintf("%s#%d", msg.Meta.Key, len(q.order))
 		q.order = append(q.order, key)
 		q.pending[key] = msg
-		depth := len(q.pending)
+		// The gauge is set while still holding q.mu: a Set after unlock
+		// could clobber a concurrent flush's (or enqueue's) newer depth.
+		q.n.queueDepth.Set(float64(len(q.pending)))
 		q.mu.Unlock()
-		q.n.queueDepth.Set(float64(depth))
 		return
 	}
 	cur, ok := q.pending[msg.Meta.Key]
@@ -64,9 +66,10 @@ func (q *updateQueue) enqueue(msg UpdateMsg) {
 	if !ok || object.Newer(msg.Meta, cur.Meta) {
 		q.pending[msg.Meta.Key] = msg
 	}
-	depth := len(q.pending)
+	// Under q.mu for the same reason as above: gauge updates must be
+	// ordered with the depth changes they report.
+	q.n.queueDepth.Set(float64(len(q.pending)))
 	q.mu.Unlock()
-	q.n.queueDepth.Set(float64(depth))
 }
 
 // Len reports how many keys have queued updates.
@@ -120,8 +123,10 @@ func (q *updateQueue) flushNow() {
 	}
 	q.pending = make(map[string]UpdateMsg)
 	q.order = q.order[:0]
-	q.mu.Unlock()
+	// Gauge update stays inside q.mu: setting it after unlock would race a
+	// concurrent enqueue and clobber its (correct, non-zero) depth.
 	q.n.queueDepth.Set(0)
+	q.mu.Unlock()
 
 	for _, msg := range batch {
 		if !q.n.shards.ownsKey(msg.Meta.Key) {
@@ -132,25 +137,62 @@ func (q *updateQueue) flushNow() {
 			// owner directly so it cannot be stranded here.
 			_, _ = q.n.shards.applyOrForward(context.Background(), msg)
 		}
+	}
+
+	if q.n.batch.enabled() {
+		// Group commit: all peers in parallel, one RPC per chunk, so the
+		// flush pays the WAN round trip per chunk rather than per key. The
+		// batcher observes per-peer push latency into the latency monitor
+		// and the replication histogram (the DynamicConsistency / SLOSwitch
+		// recovery signal the per-key path used to feed).
+		fa := q.n.flightRec.Begin("repl-flush", "", q.n.name, string(q.n.region), q.n.PolicyName())
+		ctx := flight.NewContext(context.Background(), fa)
+		failed := q.n.batch.fanOut(ctx, batch)
+		var retErr error
+		for i, msg := range batch {
+			if !failed[i] {
+				continue
+			}
+			if retErr == nil {
+				retErr = fmt.Errorf("wiera: flush: %d of %d updates failed", countTrue(failed), len(batch))
+			}
+			// Failed entries were hinted per peer by the batcher when repair
+			// is enabled; without it, re-enqueue so they retry next flush.
+			// LWW supersession keeps the retry from clobbering newer queued
+			// versions.
+			if q.n.repair == nil {
+				q.enqueue(msg)
+			}
+		}
+		fa.End(retErr)
+		return
+	}
+
+	// Per-key ablation (maxBatchBytes: false): one fan-out RPC per queued
+	// update, serially — the baseline the batchflush experiment measures
+	// against.
+	for _, msg := range batch {
 		start := q.n.clk.Now()
 		err := q.n.fanOutSync(context.Background(), msg)
 		if err == nil {
-			// Feed the replication latency to the latency monitor and the
-			// replication histogram (which the SLO put objective draws
-			// from): under eventual consistency this is the signal that
-			// tells the DynamicConsistency / SLOSwitch policies whether the
-			// network has recovered.
 			elapsed := q.n.clk.Since(start)
 			q.n.latMon.observe(elapsed)
 			q.n.ReplLatency.Record(elapsed)
 		} else if q.n.repair == nil {
-			// fanOutSync hinted the unreachable peers when repair is
-			// enabled; without it, re-enqueue so the update is retried on
-			// the next flush instead of being lost. LWW supersession keeps
-			// the retry from clobbering newer queued versions.
 			q.enqueue(msg)
 		}
 	}
+}
+
+// countTrue counts set flags (failure accounting for flush flight records).
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
 }
 
 // stop terminates the flusher without flushing.

@@ -1321,6 +1321,20 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 			antiEntropy = -1
 		}
 	}
+	// maxBatchBytes accepts a size (per-chunk payload budget for batched
+	// replication), a bare number (bytes), or false (disable batching —
+	// per-key fan-out ablation).
+	var maxBatchBytes int64
+	if v, ok := params["maxBatchBytes"]; ok {
+		switch {
+		case v.Kind == policy.ValSize:
+			maxBatchBytes = v.Size
+		case v.Kind == policy.ValNumber:
+			maxBatchBytes = int64(v.Num)
+		case v.Kind == policy.ValBool && !v.Bool:
+			maxBatchBytes = -1
+		}
+	}
 	slos, sloInterval := sloParams(params)
 	node, err := NewNode(NodeConfig{
 		Name:             req.NodeName,
@@ -1338,6 +1352,7 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 		MonitorWindow:    monitorWindow,
 		QueueFlushEvery:  queueFlush,
 		NoQueueSupersede: noSupersede,
+		MaxBatchBytes:    maxBatchBytes,
 		AntiEntropyEvery: antiEntropy,
 		SLOs:             slos,
 		SLOInterval:      sloInterval,

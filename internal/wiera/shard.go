@@ -11,9 +11,6 @@ import (
 	"repro/internal/transport"
 )
 
-// drainBatch caps how many updates one migration push carries so a large
-// keyspace streams in bounded messages.
-const drainBatch = 64
 
 // shardManager is a node's view of the keyspace partition: the current
 // (and, mid-rebalance, previous) shard map, the node's own shard index,
@@ -308,30 +305,59 @@ func (m *shardManager) drain(ctx context.Context) (int, error) {
 
 	moved := 0
 	for target, keys := range byTarget {
-		for len(keys) > 0 {
-			batch := keys
-			if len(batch) > drainBatch {
-				batch = batch[:drainBatch]
-			}
-			keys = keys[len(batch):]
-			n, err := m.pushBatch(ctx, target, batch, fa)
-			moved += n
-			if err != nil {
-				retErr = err
-				return moved, err
-			}
+		n, err := m.pushKeys(ctx, target, keys, fa)
+		moved += n
+		if err != nil {
+			retErr = err
+			return moved, err
 		}
 	}
 	m.updateOwnershipGauges()
 	return moved, nil
 }
 
-// pushBatch streams one batch of keys to target and deletes local copies of
-// the keys the target acknowledged receiving.
-func (m *shardManager) pushBatch(ctx context.Context, target string, keys []string, fa *flight.Active) (int, error) {
+// pushKeys streams the latest versions of keys to target in chunks bounded
+// by the replication batcher's caps (entry count and payload bytes), so a
+// large keyspace migrates in bounded messages sized like every other
+// batched push. Local copies are deleted only after their chunk is
+// acknowledged — an acked write is never in zero places.
+func (m *shardManager) pushKeys(ctx context.Context, target string, keys []string, fa *flight.Active) (int, error) {
+	maxBytes, maxEntries := m.n.batch.caps()
+	moved := 0
 	req := RepairPushRequest{}
-	var bytes int64
-	sent := make([]string, 0, len(keys))
+	// budget sizes the chunk (payload + per-entry overhead); chunkBytes
+	// tracks payload only, the unit ring_bytes_moved_total reports.
+	var budget, chunkBytes int64
+	sent := make([]string, 0, maxEntries)
+
+	flush := func() error {
+		if len(req.Updates) == 0 {
+			return nil
+		}
+		payload, err := transport.Encode(req)
+		if err != nil {
+			return err
+		}
+		start := m.n.clk.Now()
+		if _, err := m.n.ep.Call(ctx, target, MethodRepairPush, payload); err != nil {
+			fa.AddHop(flight.Hop{Kind: flight.HopRPC, Name: target,
+				Duration: m.n.clk.Since(start), Err: err.Error()})
+			return err
+		}
+		fa.AddHop(flight.Hop{Kind: flight.HopRPC, Name: target,
+			Duration: m.n.clk.Since(start), Bytes: chunkBytes})
+		for _, key := range sent {
+			_ = m.n.local.Remove(ctx, key)
+		}
+		m.keysMoved.Add(int64(len(sent)))
+		m.bytesMoved.Add(chunkBytes)
+		moved += len(sent)
+		req = RepairPushRequest{}
+		budget, chunkBytes = 0, 0
+		sent = sent[:0]
+		return nil
+	}
+
 	for _, key := range keys {
 		meta, err := m.n.local.Objects().Latest(key)
 		if err != nil {
@@ -341,31 +367,21 @@ func (m *shardManager) pushBatch(ctx context.Context, target string, keys []stri
 		if err != nil {
 			continue
 		}
+		sz := int64(len(data)) + batchEntryOverhead
+		if len(req.Updates) > 0 && (budget+sz > maxBytes || len(req.Updates) >= maxEntries) {
+			if err := flush(); err != nil {
+				return moved, err
+			}
+		}
 		req.Updates = append(req.Updates, UpdateMsg{Meta: meta, Data: data})
-		bytes += int64(len(data))
+		budget += sz
+		chunkBytes += int64(len(data))
 		sent = append(sent, key)
 	}
-	if len(req.Updates) == 0 {
-		return 0, nil
+	if err := flush(); err != nil {
+		return moved, err
 	}
-	payload, err := transport.Encode(req)
-	if err != nil {
-		return 0, err
-	}
-	start := m.n.clk.Now()
-	if _, err := m.n.ep.Call(ctx, target, MethodRepairPush, payload); err != nil {
-		fa.AddHop(flight.Hop{Kind: flight.HopRPC, Name: target,
-			Duration: m.n.clk.Since(start), Err: err.Error()})
-		return 0, err
-	}
-	fa.AddHop(flight.Hop{Kind: flight.HopRPC, Name: target,
-		Duration: m.n.clk.Since(start), Bytes: bytes})
-	for _, key := range sent {
-		_ = m.n.local.Remove(ctx, key)
-	}
-	m.keysMoved.Add(int64(len(sent)))
-	m.bytesMoved.Add(bytes)
-	return len(sent), nil
+	return moved, nil
 }
 
 // updateOwnershipGauges refreshes ring_keys / ring_bytes from the local

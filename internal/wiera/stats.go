@@ -50,6 +50,14 @@ type NodeStats struct {
 	HintsReplayed int64
 	KeysRepaired  int64
 	ReadRepairs   int64
+
+	// Batched replication view (repl_batch_* counters); all zero when the
+	// instance runs with maxBatchBytes: false.
+	BatchFlushes       int64
+	BatchChunks        int64
+	BatchUpdates       int64
+	BatchBytes         int64
+	BatchEntryFailures int64
 }
 
 // statsLocal builds the node's own summary.
@@ -89,6 +97,12 @@ func (n *Node) statsLocal() NodeStats {
 		HintsReplayed: replayed,
 		KeysRepaired:  repaired,
 		ReadRepairs:   readRepairs,
+
+		BatchFlushes:       n.batch.flushes.Value(),
+		BatchChunks:        n.batch.chunks.Value(),
+		BatchUpdates:       n.batch.updates.Value(),
+		BatchBytes:         n.batch.bytes.Value(),
+		BatchEntryFailures: n.batch.entryFailures.Value(),
 	}
 }
 
@@ -171,6 +185,10 @@ func (is *InstanceStats) Render() string {
 			n.Keys, n.BytesUsed, n.QueueDepth, n.StaleReads, n.FreshReads)
 		fmt.Fprintf(&b, "    repair: hints=%d replayed=%d repaired=%d readRepairs=%d\n",
 			n.HintsPending, n.HintsReplayed, n.KeysRepaired, n.ReadRepairs)
+		if n.BatchChunks > 0 {
+			fmt.Fprintf(&b, "    batch: flushes=%d chunks=%d updates=%d bytes=%d entryFailures=%d\n",
+				n.BatchFlushes, n.BatchChunks, n.BatchUpdates, n.BatchBytes, n.BatchEntryFailures)
+		}
 	}
 	if len(is.RTTms) > 0 {
 		keys := make([]string, 0, len(is.RTTms))
