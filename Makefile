@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: ci verify vet build test race race-obs race-ring race-batch bench convergence scaleout batchflush
+.PHONY: ci verify vet build test race race-obs race-ring race-batch race-ec bench convergence scaleout batchflush eccost
 
-ci: vet build race-obs race-ring race-batch race
+ci: vet build race-obs race-ring race-batch race-ec race
 
 # One-stop pre-commit check: static analysis, full build, race-checked tests.
-verify: vet build race-obs race-ring race-batch race
+verify: vet build race-obs race-ring race-batch race-ec race
 
 vet:
 	$(GO) vet ./...
@@ -40,10 +40,22 @@ race-ring:
 race-batch:
 	$(GO) test -race -run 'TestTCPMux|TestChunk|TestBatched|TestPerKey|TestQueueDepthGauge|TestApplyUpdateBatch|TestRemoveIdempotent|TestRemoveSurfaces|TestAsyncPush' ./internal/transport/ ./internal/wiera/
 
+# Focused race pass over erasure coding: the codec itself (matrix inversion
+# under concurrent encodes), fragment gathers with hedged peer fan-out, and
+# repair-driven regeneration all run on shared node state.
+race-ec:
+	$(GO) test -race -count=2 ./internal/ec/
+	$(GO) test -race -run 'TestEC' ./internal/wiera/
+
 # Replication group-commit experiment (quick mode): per-key vs batched flush
 # fan-out plus the flush-under-partition audit.
 batchflush:
 	$(GO) run ./cmd/wierabench -exp batchflush
+
+# Erasure-coding cost experiment (quick mode): 3x replication vs EC(4+2)
+# storage bytes and $/month, plus the region-loss reconstruction audit.
+eccost:
+	$(GO) run ./cmd/wierabench -exp eccost
 
 # Sharding scale-out experiment (quick mode): YCSB-B throughput vs pool
 # size plus a live worker-join audit.

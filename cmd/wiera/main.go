@@ -161,7 +161,8 @@ func (f *frontend) handle(ctx context.Context, method string, payload []byte) ([
 		defer cleanup()
 		return ep.Call(ctx, f.server.Name(), method, payload)
 	case wiera.MethodPut, wiera.MethodGet, wiera.MethodGetVersion,
-		wiera.MethodVersionList, wiera.MethodRemove, wiera.MethodRemoveVer:
+		wiera.MethodVersionList, wiera.MethodRemove, wiera.MethodRemoveVer,
+		wiera.MethodPlacement:
 		// Data methods carry the instance id in a ProxyRequest envelope.
 		var env wiera.ProxyRequest
 		if err := transport.Decode(payload, &env); err != nil {
@@ -234,6 +235,8 @@ func dataKey(method string, payload []byte) (string, error) {
 		req = &wiera.RemoveRequest{}
 	case wiera.MethodRemoveVer:
 		req = &wiera.RemoveVersionRequest{}
+	case wiera.MethodPlacement:
+		req = &wiera.PlacementRequest{}
 	default:
 		return "", nil
 	}
@@ -252,6 +255,8 @@ func dataKey(method string, payload []byte) (string, error) {
 	case *wiera.RemoveRequest:
 		return r.Key, nil
 	case *wiera.RemoveVersionRequest:
+		return r.Key, nil
+	case *wiera.PlacementRequest:
 		return r.Key, nil
 	}
 	return "", nil

@@ -11,6 +11,7 @@
 //	wieractl [-addr 127.0.0.1:7360] put    -id myapp -key k [-value v | -file f]
 //	wieractl [-addr 127.0.0.1:7360] get    -id myapp -key k [-version N]
 //	wieractl [-addr 127.0.0.1:7360] versions -id myapp -key k
+//	wieractl [-addr 127.0.0.1:7360] placement -id myapp -key k
 //	wieractl [-addr 127.0.0.1:7360] remove -id myapp -key k [-version N]
 //	wieractl [-addr 127.0.0.1:7360] policies
 //	wieractl [-addr 127.0.0.1:7360] metrics
@@ -26,6 +27,11 @@
 // worker, the shard index, virtual nodes, key/byte ownership, cumulative
 // migration counters, and any in-flight migrations. grow adds one worker
 // per region (rebalancing the keyspace online); shrink removes one.
+//
+// placement shows where a key's latest version physically lives: the
+// scheme it was stored under (full replicas vs an erasure-coded k+m
+// stripe), and per node the fragment indexes held and physical bytes —
+// the storage-cost view of the per-object replication/EC chooser.
 //
 // slow prints the flight recorder's always-keep slow/expensive request log
 // (hop-by-hop tier/RPC/lock/repair breakdown with attributed cost); -all
@@ -67,7 +73,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|remove|policies|metrics|repair|trace|slow|top|ring|grow|shrink> ...")
+		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|placement|remove|policies|metrics|repair|trace|slow|top|ring|grow|shrink> ...")
 	}
 	cmdName, cmdArgs := rest[0], rest[1:]
 	if cmdName == "policies" {
@@ -302,6 +308,16 @@ func run(args []string) error {
 			fmt.Println(v)
 		}
 		return nil
+	case "placement":
+		if *key == "" {
+			return fmt.Errorf("-key is required")
+		}
+		var resp wiera.PlacementResponse
+		if err := proxyCall(cli, *id, wiera.MethodPlacement, wiera.PlacementRequest{Key: *key}, &resp); err != nil {
+			return err
+		}
+		fmt.Print(renderPlacement(resp))
+		return nil
 	case "remove":
 		if *key == "" {
 			return fmt.Errorf("-key is required")
@@ -315,6 +331,52 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmdName)
 	}
+}
+
+// renderPlacement formats an object's physical layout: replicated versus
+// erasure-coded, and each member's share (fragment indexes and bytes),
+// with a per-region byte rollup.
+func renderPlacement(p wiera.PlacementResponse) string {
+	var b strings.Builder
+	scheme := "replicated"
+	if p.ECK > 0 {
+		scheme = fmt.Sprintf("erasure-coded %d+%d", p.ECK, p.ECM)
+	}
+	fmt.Fprintf(&b, "%s  version %d  size %d bytes  %s\n", p.Key, p.Version, p.Size, scheme)
+	var total int64
+	regionBytes := map[string]int64{}
+	var regions []string
+	for _, e := range p.Entries {
+		r := string(e.Region)
+		if _, ok := regionBytes[r]; !ok {
+			regions = append(regions, r)
+		}
+		if !e.Has {
+			fmt.Fprintf(&b, "  %-28s %-10s -\n", e.Node, e.Region)
+			continue
+		}
+		share := "full copy"
+		if len(e.Frags) > 0 {
+			idx := make([]string, len(e.Frags))
+			for i, f := range e.Frags {
+				idx[i] = fmt.Sprintf("%d", f)
+			}
+			share = "fragments [" + strings.Join(idx, " ") + "]"
+		}
+		fmt.Fprintf(&b, "  %-28s %-10s v%-4d %-18s %d bytes\n", e.Node, e.Region, e.Version, share, e.Bytes)
+		total += e.Bytes
+		regionBytes[r] += e.Bytes
+	}
+	fmt.Fprintf(&b, "  per region:")
+	for _, r := range regions {
+		fmt.Fprintf(&b, "  %s=%dB", r, regionBytes[r])
+	}
+	if p.Size > 0 {
+		fmt.Fprintf(&b, "\n  physical total %d bytes (%.2fx the object)\n", total, float64(total)/float64(p.Size))
+	} else {
+		fmt.Fprintf(&b, "\n  physical total %d bytes\n", total)
+	}
+	return b.String()
 }
 
 // renderTop builds one frame of the top view: per-node operation stats for

@@ -1,0 +1,222 @@
+package ec
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// subsets enumerates every size-r subset of {0..n-1}.
+func subsets(n, r int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == r {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i <= n-(r-len(cur)); i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func roundTrip(t *testing.T, c *Codec, data []byte, keep []int) {
+	t.Helper()
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatalf("encode %dB: %v", len(data), err)
+	}
+	kept := make([][]byte, c.Shards())
+	for _, i := range keep {
+		// Copy while preserving presence: an empty fragment (0B object)
+		// must stay non-nil, since nil means "missing" to Reconstruct.
+		kept[i] = append(make([]byte, 0, len(shards[i])), shards[i]...)
+	}
+	if err := c.Reconstruct(kept); err != nil {
+		t.Fatalf("reconstruct %dB from %v: %v", len(data), keep, err)
+	}
+	got, err := c.Join(kept, int64(len(data)))
+	if err != nil {
+		t.Fatalf("join %dB from %v: %v", len(data), keep, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip %dB via %v: payload mismatch", len(data), keep)
+	}
+	// Reconstructed parity must match the original encoding too.
+	for i := 0; i < c.Shards(); i++ {
+		if !bytes.Equal(kept[i], shards[i]) {
+			t.Fatalf("round trip %dB via %v: fragment %d differs after reconstruct", len(data), keep, i)
+		}
+	}
+}
+
+// TestRSRoundTripProperty: for random sizes from 0B to 8MiB, every
+// k-subset of fragments reconstructs the object, and any k-1 fragments
+// fail loudly.
+func TestRSRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := subsets(c.Shards(), c.K())
+
+	sizes := []int{0, 1, 2, 3, c.K(), c.K() + 1, 17, 1 << 10, 64<<10 + 3, 8 << 20}
+	for i := 0; i < 8; i++ {
+		sizes = append(sizes, rng.Intn(8<<20))
+	}
+	for _, size := range sizes {
+		data := make([]byte, size)
+		rng.Read(data)
+		if size <= 64<<10 {
+			for _, keep := range all { // all C(6,4)=15 subsets
+				roundTrip(t, c, data, keep)
+			}
+		} else {
+			for i := 0; i < 4; i++ { // large payloads: sampled subsets
+				roundTrip(t, c, data, all[rng.Intn(len(all))])
+			}
+		}
+
+		// Any k-1 fragments must fail loudly, never return wrong bytes.
+		shards, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, keep := range subsets(c.Shards(), c.K()-1) {
+			kept := make([][]byte, c.Shards())
+			for _, j := range keep {
+				kept[j] = shards[j]
+			}
+			if err := c.Reconstruct(kept); err == nil {
+				t.Fatalf("size %d: reconstruct from %d fragments %v succeeded, want error",
+					size, c.K()-1, keep)
+			}
+		}
+	}
+}
+
+// TestRSOtherSchemes exercises a couple of non-default geometries.
+func TestRSOtherSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sc := range []Scheme{{K: 2, M: 1}, {K: 3, M: 3}, {K: 6, M: 2}} {
+		c, err := New(sc.K, sc.M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 10*1024+5)
+		rng.Read(data)
+		all := subsets(c.Shards(), c.K())
+		for i := 0; i < 6; i++ {
+			roundTrip(t, c, data, all[rng.Intn(len(all))])
+		}
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	s, err := ParseScheme("4+2")
+	if err != nil || s.K != 4 || s.M != 2 {
+		t.Fatalf("ParseScheme(4+2) = %v, %v", s, err)
+	}
+	if s.Overhead() != 1.5 {
+		t.Fatalf("overhead = %v, want 1.5", s.Overhead())
+	}
+	for _, bad := range []string{"", "4", "4-2", "0+2", "4+0", "300+1", "a+b"} {
+		if _, err := ParseScheme(bad); err == nil {
+			t.Fatalf("ParseScheme(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAssign(t *testing.T) {
+	// 6 fragments across 3 members: round-robin, 2 each, disjoint, complete.
+	seen := map[int]int{}
+	for r := 0; r < 3; r++ {
+		frags := Assign(6, 3, r)
+		if len(frags) != 2 {
+			t.Fatalf("rank %d got %v, want 2 fragments", r, frags)
+		}
+		for _, f := range frags {
+			seen[f]++
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("fragment %d assigned %d times", i, seen[i])
+		}
+	}
+	// Uneven split: 6 fragments across 4 members.
+	total := 0
+	for r := 0; r < 4; r++ {
+		total += len(Assign(6, 4, r))
+	}
+	if total != 6 {
+		t.Fatalf("assigned %d of 6 fragments", total)
+	}
+	if got := Assign(6, 0, 0); got != nil {
+		t.Fatalf("Assign with 0 members = %v, want nil", got)
+	}
+}
+
+func TestShardSize(t *testing.T) {
+	for _, tc := range []struct{ size, k, want int64 }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8 << 20, 4, 2 << 20},
+	} {
+		if got := ShardSize(tc.size, int(tc.k)); got != tc.want {
+			t.Fatalf("ShardSize(%d, %d) = %d, want %d", tc.size, tc.k, got, tc.want)
+		}
+	}
+}
+
+func benchPayload(n int) []byte {
+	data := make([]byte, n)
+	rand.New(rand.NewSource(3)).Read(data)
+	return data
+}
+
+func BenchmarkECEncode(b *testing.B) {
+	c, _ := New(4, 2)
+	data := benchPayload(1 << 20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECReconstruct(b *testing.B) {
+	c, _ := New(4, 2)
+	data := benchPayload(1 << 20)
+	shards, _ := c.Encode(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Worst case: two data fragments lost, recovered from parity.
+		kept := make([][]byte, c.Shards())
+		for j := 2; j < c.Shards(); j++ {
+			kept[j] = shards[j]
+		}
+		if err := c.Reconstruct(kept); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Join(kept, int64(len(data))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleCodec() {
+	c, _ := New(4, 2)
+	shards, _ := c.Encode([]byte("geo-distributed storage"))
+	shards[0], shards[5] = nil, nil // lose a data and a parity fragment
+	_ = c.Reconstruct(shards)
+	out, _ := c.Join(shards, int64(len("geo-distributed storage")))
+	fmt.Println(string(out))
+	// Output: geo-distributed storage
+}

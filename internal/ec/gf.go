@@ -1,0 +1,62 @@
+package ec
+
+// GF(2^8) arithmetic over the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d, the Rijndael field generator's companion used by most RS
+// implementations). Multiplication goes through log/exp tables; the
+// exp table is doubled so gfMul never reduces mod 255 in the hot loop.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("ec: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// mulAddSlice folds c*src into dst (dst[i] ^= c*src[i]) — the hot loop
+// of both encode and reconstruct. The log of the coefficient is hoisted
+// so each byte costs one table lookup and one add.
+func mulAddSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package ec implements systematic Reed-Solomon erasure coding over
+// GF(2^8) for the Wiera EC distribution engine: an object is split into
+// k data fragments plus m parity fragments, and any k of the k+m
+// fragments reconstruct the original bytes. The code is systematic —
+// data fragments are plain slices of the object — so the common-case
+// read that finds all data fragments pays no field arithmetic at all.
+//
+// Parity rows come from a Cauchy matrix (a_ij = 1/(x_i XOR y_j) with
+// x_i = k+i, y_j = j). Every square submatrix of a Cauchy matrix is
+// nonsingular, and deleting identity rows from [I_k; C] reduces any
+// k-row minor to such a submatrix, so the stacked matrix is MDS: every
+// k-subset of fragments is an invertible system.
+package ec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Codec encodes and reconstructs one k+m scheme. It is stateless after
+// construction and safe for concurrent use.
+type Codec struct {
+	k, m   int
+	parity [][]byte // m rows of k Cauchy coefficients
+}
+
+// New builds a codec for k data and m parity fragments.
+func New(k, m int) (*Codec, error) {
+	if k < 1 || m < 1 || k+m > 256 {
+		return nil, fmt.Errorf("ec: invalid scheme %d+%d (need k,m >= 1 and k+m <= 256)", k, m)
+	}
+	c := &Codec{k: k, m: m, parity: make([][]byte, m)}
+	for i := 0; i < m; i++ {
+		row := make([]byte, k)
+		for j := 0; j < k; j++ {
+			row[j] = gfInv(byte(k+i) ^ byte(j))
+		}
+		c.parity[i] = row
+	}
+	return c, nil
+}
+
+// K and M report the scheme dimensions; Shards is k+m.
+func (c *Codec) K() int      { return c.k }
+func (c *Codec) M() int      { return c.m }
+func (c *Codec) Shards() int { return c.k + c.m }
+
+// ShardSize is the per-fragment byte size for an object of size bytes
+// under a k-way split (the last data fragment is zero-padded up to it).
+func ShardSize(size int64, k int) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return (size + int64(k) - 1) / int64(k)
+}
+
+// Encode splits data into k data fragments and computes m parity
+// fragments. Data fragments alias the input wherever possible (only a
+// fragment covering the zero-padded tail is copied); callers that
+// mutate data after encoding must copy first.
+func (c *Codec) Encode(data []byte) ([][]byte, error) {
+	size := int(ShardSize(int64(len(data)), c.k))
+	shards := make([][]byte, c.k+c.m)
+	for i := 0; i < c.k; i++ {
+		lo := i * size
+		hi := lo + size
+		switch {
+		case size == 0:
+			shards[i] = []byte{}
+		case hi <= len(data):
+			shards[i] = data[lo:hi:hi]
+		default:
+			s := make([]byte, size)
+			if lo < len(data) {
+				copy(s, data[lo:])
+			}
+			shards[i] = s
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		p := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(c.parity[i][j], shards[j], p)
+		}
+		shards[c.k+i] = p
+	}
+	return shards, nil
+}
+
+// Reconstruct fills every nil entry of shards in place. shards must
+// have length k+m; at least k entries must be present (non-nil) and of
+// equal length. Fewer than k present fragments is an error — the loud
+// failure mode the durability math depends on.
+func (c *Codec) Reconstruct(shards [][]byte) error {
+	n := c.k + c.m
+	if len(shards) != n {
+		return fmt.Errorf("ec: got %d shard slots, scheme %d+%d needs %d", len(shards), c.k, c.m, n)
+	}
+	present, size := 0, -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		present++
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("ec: fragment %d is %dB, others are %dB", i, len(s), size)
+		}
+	}
+	if present < c.k {
+		return fmt.Errorf("ec: need %d fragments to reconstruct, have %d", c.k, present)
+	}
+
+	dataMissing := false
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			dataMissing = true
+			break
+		}
+	}
+	if dataMissing {
+		// Solve A * data = collected for the first k present fragments,
+		// where A stacks the matching rows of the encode matrix [I; C].
+		idx := make([]int, 0, c.k)
+		for i := 0; i < n && len(idx) < c.k; i++ {
+			if shards[i] != nil {
+				idx = append(idx, i)
+			}
+		}
+		a := make([][]byte, c.k)
+		for r, i := range idx {
+			row := make([]byte, c.k)
+			if i < c.k {
+				row[i] = 1
+			} else {
+				copy(row, c.parity[i-c.k])
+			}
+			a[r] = row
+		}
+		inv, err := invert(a)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < c.k; j++ {
+			if shards[j] != nil {
+				continue
+			}
+			out := make([]byte, size)
+			for r := 0; r < c.k; r++ {
+				mulAddSlice(inv[j][r], shards[idx[r]], out)
+			}
+			shards[j] = out
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		if shards[c.k+i] != nil {
+			continue
+		}
+		p := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(c.parity[i][j], shards[j], p)
+		}
+		shards[c.k+i] = p
+	}
+	return nil
+}
+
+// Join reassembles the original object of length size from the k data
+// fragments (call Reconstruct first if any are nil).
+func (c *Codec) Join(shards [][]byte, size int64) ([]byte, error) {
+	if int64(len(shards)) < int64(c.k) {
+		return nil, errors.New("ec: join needs all data fragments")
+	}
+	out := make([]byte, 0, size)
+	for i := 0; i < c.k && int64(len(out)) < size; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("ec: data fragment %d missing in join", i)
+		}
+		out = append(out, shards[i]...)
+	}
+	if int64(len(out)) < size {
+		return nil, fmt.Errorf("ec: fragments cover %d of %d bytes", len(out), size)
+	}
+	return out[:size], nil
+}
+
+// invert Gauss-Jordans a k×k matrix over GF(2^8), consuming a.
+func invert(a [][]byte) ([][]byte, error) {
+	k := len(a)
+	inv := make([][]byte, k)
+	for i := range inv {
+		inv[i] = make([]byte, k)
+		inv[i][i] = 1
+	}
+	for col := 0; col < k; col++ {
+		piv := -1
+		for r := col; r < k; r++ {
+			if a[r][col] != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, errors.New("ec: singular fragment matrix")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		inv[col], inv[piv] = inv[piv], inv[col]
+		d := gfInv(a[col][col])
+		for j := 0; j < k; j++ {
+			a[col][j] = gfMul(a[col][j], d)
+			inv[col][j] = gfMul(inv[col][j], d)
+		}
+		for r := 0; r < k; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := 0; j < k; j++ {
+				a[r][j] ^= gfMul(f, a[col][j])
+				inv[r][j] ^= gfMul(f, inv[col][j])
+			}
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,71 @@
+package ec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Scheme names a k+m Reed-Solomon layout, e.g. "4+2": 4 data fragments,
+// 2 parity fragments, any 4 of the 6 reconstruct. The zero Scheme means
+// "no erasure coding" (full replication).
+type Scheme struct {
+	K int // data fragments
+	M int // parity fragments
+}
+
+// DefaultScheme is EC(4+2): 1.5x storage overhead vs 3x for triple
+// replication, tolerating any two lost fragments.
+var DefaultScheme = Scheme{K: 4, M: 2}
+
+// ParseScheme parses "k+m" (e.g. "4+2").
+func ParseScheme(s string) (Scheme, error) {
+	lhs, rhs, ok := strings.Cut(strings.TrimSpace(s), "+")
+	if !ok {
+		return Scheme{}, fmt.Errorf("ec: scheme %q is not of the form k+m", s)
+	}
+	k, err := strconv.Atoi(strings.TrimSpace(lhs))
+	if err != nil {
+		return Scheme{}, fmt.Errorf("ec: bad data-fragment count in %q: %v", s, err)
+	}
+	m, err := strconv.Atoi(strings.TrimSpace(rhs))
+	if err != nil {
+		return Scheme{}, fmt.Errorf("ec: bad parity-fragment count in %q: %v", s, err)
+	}
+	if k < 1 || m < 1 || k+m > 256 {
+		return Scheme{}, fmt.Errorf("ec: invalid scheme %d+%d (need k,m >= 1 and k+m <= 256)", k, m)
+	}
+	return Scheme{K: k, M: m}, nil
+}
+
+// IsZero reports whether the scheme is unset.
+func (s Scheme) IsZero() bool { return s.K == 0 && s.M == 0 }
+
+// Shards is the total fragment count k+m.
+func (s Scheme) Shards() int { return s.K + s.M }
+
+// Overhead is the storage amplification (k+m)/k of the scheme.
+func (s Scheme) Overhead() float64 {
+	if s.K == 0 {
+		return 0
+	}
+	return float64(s.K+s.M) / float64(s.K)
+}
+
+func (s Scheme) String() string { return fmt.Sprintf("%d+%d", s.K, s.M) }
+
+// Assign returns the fragment indexes that member `rank` of `members`
+// stores, out of `total` fragments: round-robin striping (fragment i
+// lives on member i mod members), so fragments spread as evenly as the
+// counts allow and one lost member costs at most ceil(total/members)
+// fragments.
+func Assign(total, members, rank int) []int {
+	if members <= 0 || rank < 0 || rank >= members {
+		return nil
+	}
+	var out []int
+	for i := rank; i < total; i += members {
+		out = append(out, i)
+	}
+	return out
+}

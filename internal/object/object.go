@@ -36,6 +36,17 @@ type Meta struct {
 	// them transparently. When both are set, compression was applied first.
 	Compressed bool
 	Encrypted  bool
+	// Erasure-coding layout. ECK/ECM record the Reed-Solomon scheme the
+	// version was written under (0/0 = fully replicated); ECFrags lists the
+	// fragment indexes whose bytes this replica's stored payload holds,
+	// concatenated in ascending index order. Size stays the full logical
+	// object size, so the physical bytes here are
+	// len(ECFrags) * ceil(Size/ECK). Replicas of an EC version differ only
+	// in ECFrags; the LWW tuple (Version, ModifiedAt, Origin) is identical
+	// across all fragment holders, so anti-entropy sees no false conflicts.
+	ECK     int
+	ECM     int
+	ECFrags []int
 }
 
 // HasTag reports whether the version carries tag.
@@ -52,7 +63,31 @@ func (m *Meta) HasTag(tag string) bool {
 func (m *Meta) Clone() Meta {
 	c := *m
 	c.Tags = append([]string(nil), m.Tags...)
+	c.ECFrags = append([]int(nil), m.ECFrags...)
 	return c
+}
+
+// IsEC reports whether the version was stored erasure-coded.
+func (m *Meta) IsEC() bool { return m.ECK > 0 }
+
+// FragSize is the per-fragment byte size of an EC version (0 for
+// replicated versions): the k-way split of Size, rounded up.
+func (m *Meta) FragSize() int64 {
+	if m.ECK <= 0 || m.Size <= 0 {
+		return 0
+	}
+	return (m.Size + int64(m.ECK) - 1) / int64(m.ECK)
+}
+
+// StoredBytes is the physical payload size this replica holds for the
+// version: the full Size for replicated objects, the fragment-bundle
+// size for EC objects. Capacity accounting and byte-transfer metrics
+// must use this, not Size, or EC storage savings vanish on paper.
+func (m *Meta) StoredBytes() int64 {
+	if !m.IsEC() {
+		return m.Size
+	}
+	return int64(len(m.ECFrags)) * m.FragSize()
 }
 
 // Newer reports whether version a should win over b under the paper's

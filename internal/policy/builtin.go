@@ -60,6 +60,24 @@ Wiera MultiPrimariesConsistency {
 	}
 }`,
 
+	// Erasure-coded distribution: the stripe action runs a per-object
+	// replication/EC chooser (internal/ec). Large cold objects encode into
+	// k+m Reed-Solomon fragments striped across the regions; small or hot
+	// objects keep full replicas.
+	"ECCostOptimized": `
+Wiera ECCostOptimized {
+	Region1 = {name: LowLatencyInstance, region: us-west,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	Region2 = {name: LowLatencyInstance, region: us-east,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	Region3 = {name: LowLatencyInstance, region: eu-west,
+		tier1 = {name: memory, size: 5G}, tier2 = {name: ebs-ssd, size: 5G}};
+	% Erasure-coded storage with a per-object replication/EC choice
+	event(insert.into) : response {
+		stripe(what: insert.object, to: all_regions);
+	}
+}`,
+
 	// Figure 3(b): a single primary; non-primaries forward puts.
 	"PrimaryBackupConsistency": `
 Wiera PrimaryBackupConsistency {

@@ -242,6 +242,11 @@ func (l *HintLog) ReplayFor(peer string, push func([]Update) (int, error)) (int,
 		replayed += len(batch)
 		if l.metrics != nil {
 			l.metrics.HintsReplayed.Add(int64(len(batch)))
+			var bytes int64
+			for _, u := range batch {
+				bytes += updateWireSize(u)
+			}
+			l.metrics.BytesReplayed.Add(bytes)
 		}
 	}
 }

@@ -110,6 +110,7 @@ type Metrics struct {
 	ReadRepairs   *telemetry.Counter // repair_read_repairs_total
 	Sessions      *telemetry.Counter // repair_sessions_total
 	SyncBytes     *telemetry.Counter // repair_sync_bytes_total
+	BytesReplayed *telemetry.Counter // repair_bytes_replayed_total
 }
 
 // NewMetrics registers the repair metric families for one node.
@@ -138,6 +139,11 @@ func NewMetrics(reg *telemetry.Registry, node, region string) *Metrics {
 		With(node, region)
 	m.SyncBytes = reg.Counter("repair_sync_bytes_total",
 		"Estimated wire bytes moved by anti-entropy sessions.", "node", "region").
+		With(node, region)
+	m.BytesReplayed = reg.Counter("repair_bytes_replayed_total",
+		"Estimated wire bytes moved by hinted-handoff replay. Sized from each "+
+			"update's actual payload (the fragment bundle for erasure-coded "+
+			"versions, not the full object).", "node", "region").
 		With(node, region)
 	return m
 }

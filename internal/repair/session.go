@@ -44,9 +44,17 @@ func entryWireSize(e Entry) int64 {
 	return int64(len(e.Key)) + int64(len(e.Origin)) + 18
 }
 
-// updateWireSize models one full version on the wire.
+// updateWireSize models one version on the wire. len(Data) is the bytes
+// this replica actually ships — for an erasure-coded version that is the
+// fragment bundle, not the full object, so repair byte metrics stay
+// truthful under EC; the EC layout header (scheme + fragment indexes)
+// is charged explicitly on top.
 func updateWireSize(u Update) int64 {
-	return entryWireSize(u.Entry()) + int64(len(u.Data))
+	n := entryWireSize(u.Entry()) + int64(len(u.Data))
+	if u.Meta.IsEC() {
+		n += 8 + 4*int64(len(u.Meta.ECFrags)) // k, m + fragment index list
+	}
+	return n
 }
 
 // Sync runs one anti-entropy session: build the local digest tree, walk it

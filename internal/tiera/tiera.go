@@ -308,9 +308,12 @@ func (in *Instance) Tier(label string) (tier.Tier, bool) {
 // Objects exposes the version index (read-mostly; used by Wiera and tests).
 func (in *Instance) Objects() *object.Store { return in.objects }
 
-// Usage reports how many keys the instance holds and the total size of
-// their latest versions — the per-worker ownership numbers the sharding
-// layer exports (ring_keys / ring_bytes).
+// Usage reports how many keys the instance holds and the total physical
+// size of their latest versions — the per-worker ownership numbers the
+// sharding layer exports (ring_keys / ring_bytes). Physical, not
+// logical: an erasure-coded version stores only this replica's fragment
+// bundle, so summing Meta.Size would over-report EC keys by the scheme's
+// stripe factor and erase the storage savings the layout exists for.
 func (in *Instance) Usage() (keys int, bytes int64) {
 	for _, key := range in.objects.Keys() {
 		m, err := in.objects.Latest(key)
@@ -318,7 +321,7 @@ func (in *Instance) Usage() (keys int, bytes int64) {
 			continue
 		}
 		keys++
-		bytes += m.Size
+		bytes += m.StoredBytes()
 	}
 	return keys, bytes
 }

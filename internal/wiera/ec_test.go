@@ -1,0 +1,260 @@
+package wiera
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ec"
+	"repro/internal/simnet"
+)
+
+// ecStripeSrc is a three-region policy whose insert handler runs the
+// per-object replication/EC chooser (memory-only tiers keep the byte
+// accounting exact).
+const ecStripeSrc = `
+Wiera ECStripe {
+	Region1 = {name: LowLatencyInstance, region: us-west,
+		tier1 = {name: memory, size: 5G}};
+	Region2 = {name: LowLatencyInstance, region: us-east,
+		tier1 = {name: memory, size: 5G}};
+	Region3 = {name: LowLatencyInstance, region: eu-west,
+		tier1 = {name: memory, size: 5G}};
+	event(insert.into) : response {
+		stripe(what: insert.object, to: all_regions);
+	}
+}`
+
+// ecTestPayload is deterministic so reconstruction is checked bytewise.
+func ecTestPayload(key string, size int) []byte {
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = byte(i)*31 + byte(len(key)) + key[i%len(key)]
+	}
+	return out
+}
+
+// waitECBundle polls until n holds an EC version of key.
+func waitECBundle(t *testing.T, n *Node, key string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		if m, err := n.local.Objects().Latest(key); err == nil && m.IsEC() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never received an EC bundle for %s", n.Name(), key)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestECStripePlacesFragmentsAndReconstructs(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast, simnet.EUWest)
+	c.startSrc(t, "ec", ecStripeSrc, map[string]string{
+		"ecThresholdBytes": "4K", "antiEntropy": "500ms"})
+	west := c.node(t, "ec/us-west")
+	east := c.node(t, "ec/us-east")
+	eu := c.node(t, "ec/eu-west")
+	ctx := context.Background()
+
+	want := ecTestPayload("big", 32<<10)
+	if _, err := west.Put(ctx, "big", want, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Every member ends up with exactly its rank's fragments, never a full
+	// copy. Members sort lexically: eu-west=0, us-east=1, us-west=2.
+	ranks := map[*Node]int{eu: 0, east: 1, west: 2}
+	for n, rank := range ranks {
+		waitECBundle(t, n, "big", 5*time.Second)
+		m, err := n.local.Objects().Latest("big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ECK != 4 || m.ECM != 2 {
+			t.Fatalf("%s scheme = %d+%d, want 4+2", n.Name(), m.ECK, m.ECM)
+		}
+		wantFrags := ec.Assign(6, 3, rank)
+		if fmt.Sprint(m.ECFrags) != fmt.Sprint(wantFrags) {
+			t.Fatalf("%s holds fragments %v, want %v", n.Name(), m.ECFrags, wantFrags)
+		}
+		if m.StoredBytes() >= m.Size {
+			t.Fatalf("%s stores %d bytes for a %d-byte object: full copy, not a bundle",
+				n.Name(), m.StoredBytes(), m.Size)
+		}
+	}
+	// Reads decode back to the original bytes on every member, and the
+	// returned meta must not leak the bundle layout.
+	for n := range ranks {
+		got, m, err := n.Get(ctx, "big")
+		if err != nil {
+			t.Fatalf("%s get: %v", n.Name(), err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s reconstructed wrong bytes (%d vs %d)", n.Name(), len(got), len(want))
+		}
+		if len(m.ECFrags) != 0 {
+			t.Fatalf("%s returned meta still carries fragment list %v", n.Name(), m.ECFrags)
+		}
+	}
+
+	// Below the size threshold the chooser keeps full replicas.
+	if _, err := west.Put(ctx, "small", []byte("tiny"), nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := west.local.Objects().Latest("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsEC() {
+		t.Fatal("chooser erasure-coded an object below the size threshold")
+	}
+}
+
+// TestECPartitionHealConvergence severs one region, keeps writing and
+// reading, and checks the paper's durability story under EC: acked writes
+// survive (ISSUE acceptance: zero lost acked writes), reads during the
+// loss reconstruct from parity, and repair re-delivers the lost region's
+// fragments — not full object copies.
+func TestECPartitionHealConvergence(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast, simnet.EUWest)
+	c.startSrc(t, "ecp", ecStripeSrc, map[string]string{
+		"ecThresholdBytes": "4K", "antiEntropy": "500ms"})
+	west := c.node(t, "ecp/us-west")
+	east := c.node(t, "ecp/us-east")
+	eu := c.node(t, "ecp/eu-west")
+	ctx := context.Background()
+
+	payload := func(i int) []byte { return ecTestPayload(fmt.Sprintf("k%d", i), 32<<10) }
+	baseKey := func(i int) string { return fmt.Sprintf("base-%d", i) }
+	for i := 0; i < 5; i++ {
+		if _, err := west.Put(ctx, baseKey(i), payload(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		waitECBundle(t, eu, baseKey(i), 5*time.Second)
+	}
+
+	// Full region loss: eu-west drops off both links. eu held data
+	// fragments 0 and 3, so surviving reads must do real parity math.
+	c.net.Partition(simnet.USWest, simnet.EUWest)
+	c.net.Partition(simnet.USEast, simnet.EUWest)
+
+	partKey := func(i int) string { return fmt.Sprintf("part-%d", i) }
+	for i := 0; i < 5; i++ {
+		if _, err := west.Put(ctx, partKey(i), payload(100+i), nil); err != nil {
+			t.Fatalf("put during region loss not acked: %v", err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		got, _, err := west.Get(ctx, baseKey(i))
+		if err != nil {
+			t.Fatalf("read of %s during region loss: %v", baseKey(i), err)
+		}
+		if !bytes.Equal(got, payload(i)) {
+			t.Fatalf("%s reconstructed wrong bytes during region loss", baseKey(i))
+		}
+	}
+	_, _, recon, _, _ := west.ecm.statsSnapshot()
+	if recon == 0 {
+		t.Fatal("reads during region loss never exercised parity reconstruction")
+	}
+
+	// Heal: hint replay must deliver eu-west its own fragment bundles of
+	// the partition-era writes — zero lost acked writes, and the bundles
+	// arrive as fragments, not full copies.
+	c.net.Heal(simnet.USWest, simnet.EUWest)
+	c.net.Heal(simnet.USEast, simnet.EUWest)
+	for i := 0; i < 5; i++ {
+		waitECBundle(t, eu, partKey(i), 5*time.Second)
+	}
+	for i := 0; i < 5; i++ {
+		m, err := eu.local.Objects().Latest(partKey(i))
+		if err != nil {
+			t.Fatalf("acked write %s lost on healed region: %v", partKey(i), err)
+		}
+		wantFrags := ec.Assign(6, 3, 0)
+		if fmt.Sprint(m.ECFrags) != fmt.Sprint(wantFrags) {
+			t.Fatalf("healed region holds fragments %v of %s, want %v",
+				m.ECFrags, partKey(i), wantFrags)
+		}
+		if m.StoredBytes() >= m.Size {
+			t.Fatalf("repair shipped %s as a full copy (%d of %d bytes)",
+				partKey(i), m.StoredBytes(), m.Size)
+		}
+	}
+	waitConverged(t, west, east, 5*time.Second)
+	waitConverged(t, west, eu, 5*time.Second)
+
+	// After heal, reads on the recovered region decode every acked write.
+	for i := 0; i < 5; i++ {
+		got, _, err := eu.Get(ctx, partKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload(100+i)) {
+			t.Fatalf("%s wrong bytes on healed region", partKey(i))
+		}
+	}
+}
+
+// TestECFragmentRegenerationOnForeignBundle drops a member's bundle
+// entirely and hands it a Merkle-style push carrying a survivor's own
+// (foreign) bundle: the repair path must regenerate the member's assigned
+// fragments from parity instead of installing the foreign bundle or a
+// full copy. Anti-entropy is off so no background replay races the
+// direct applyRepair call.
+func TestECFragmentRegenerationOnForeignBundle(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast, simnet.EUWest)
+	c.startSrc(t, "ecr", ecStripeSrc, map[string]string{
+		"ecThresholdBytes": "4K", "antiEntropy": "false"})
+	west := c.node(t, "ecr/us-west")
+	eu := c.node(t, "ecr/eu-west")
+	ctx := context.Background()
+
+	want := ecTestPayload("lost", 32<<10)
+	if _, err := west.Put(ctx, "lost", want, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitECBundle(t, eu, "lost", 5*time.Second)
+	if err := eu.local.Remove(ctx, "lost"); err != nil {
+		t.Fatal(err)
+	}
+
+	// What a Merkle sync pushes: the sender's stored bundle, fragments
+	// 2 and 5 — not the receiver's 0 and 3.
+	u, ok := (nodeStore{west}).Load("lost")
+	if !ok {
+		t.Fatal("west lost its own bundle")
+	}
+	if fmt.Sprint(u.Meta.ECFrags) != fmt.Sprint(ec.Assign(6, 3, 2)) {
+		t.Fatalf("west's bundle holds %v, want %v", u.Meta.ECFrags, ec.Assign(6, 3, 2))
+	}
+	if !eu.ecm.applyRepair(u) {
+		t.Fatal("applyRepair rejected the foreign bundle")
+	}
+	m, err := eu.local.Objects().Latest("lost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(m.ECFrags) != fmt.Sprint(ec.Assign(6, 3, 0)) {
+		t.Fatalf("regenerated fragments %v, want %v", m.ECFrags, ec.Assign(6, 3, 0))
+	}
+	if m.StoredBytes() >= m.Size {
+		t.Fatalf("regeneration stored %d of %d bytes: full copy", m.StoredBytes(), m.Size)
+	}
+	got, _, err := eu.Get(ctx, "lost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("regenerated bundle decodes to wrong bytes")
+	}
+	_, _, _, frags, _ := eu.ecm.statsSnapshot()
+	if frags == 0 {
+		t.Fatal("ec_fragments_repaired_total never incremented")
+	}
+}

@@ -102,6 +102,10 @@ func (e *globalPutExec) Do(call *policy.ActionCall) error {
 		e.meta = &resp.Meta
 		e.forwarded = true
 		return nil
+	case "stripe":
+		// Erasure-coded distribution with a per-object replication/EC
+		// chooser (internal/ec); replaces store+copy/queue entirely.
+		return e.n.ecm.stripe(e, call)
 	case "change_policy":
 		return doChangePolicy(e.n, call)
 	default:

@@ -15,6 +15,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/object"
 	"repro/internal/policy"
+	"repro/internal/repair"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -74,6 +75,17 @@ type NodeConfig struct {
 	// disables batching so every queued update ships as its own fan-out RPC
 	// (the per-key ablation the batchflush experiment measures against).
 	MaxBatchBytes int64
+	// ECScheme selects the erasure-coding scheme for the stripe action as
+	// "k+m" (the ecScheme spawn param). Empty uses ec.DefaultScheme (4+2).
+	ECScheme string
+	// ECThresholdBytes is the minimum object size the stripe chooser will
+	// erasure-code (the ecThresholdBytes spawn param). 0 uses the 64 KiB
+	// default; negative erasure-codes every size.
+	ECThresholdBytes int64
+	// ECHotGets is the access count at which the stripe chooser deems an
+	// object hot and keeps it fully replicated (the ecHotGets spawn
+	// param). <= 0 uses the default.
+	ECHotGets int64
 	// AntiEntropyEvery is the background anti-entropy round period
 	// (internal/repair). A positive period enables full Merkle digest sync
 	// every round; 0 (the default) runs hinted handoff and read repair only
@@ -127,6 +139,7 @@ type Node struct {
 	gate   *opGate
 	queue  *updateQueue
 	batch  *batcher       // chunked group-commit replication fan-out
+	ecm    *ecManager     // erasure-coded distribution (stripe action)
 	repair *repairManager // nil when AntiEntropyEvery < 0
 	shards *shardManager  // inert (accepts every key) until a RingMsg arrives
 
@@ -233,6 +246,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		With(cfg.Name, region)
 	n.shards = newShardManager(n)
 	n.batch = newBatcher(n, cfg.MaxBatchBytes)
+	n.ecm, err = newECManager(n, cfg)
+	if err != nil {
+		local.Close()
+		cfg.Fabric.Remove(cfg.Name)
+		return nil, err
+	}
 	n.controlEvents = append(n.controlEvents, prog.ByKind(policy.KindThreshold)...)
 	if cfg.DynamicSpec != nil {
 		dynProg, err := policy.Compile(cfg.DynamicSpec, cfg.GlobalParams)
@@ -547,6 +566,11 @@ func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, re
 	}
 
 	data, meta, err := n.local.Get(ctx, key)
+	if err == nil && meta.IsEC() {
+		// The local payload is a fragment bundle: gather any k fragments
+		// from the group and reconstruct the object.
+		data, meta, err = n.ecm.reconstruct(ctx, data, meta)
+	}
 	if err != nil {
 		// Local miss. During an unsettled rebalance the key may still live
 		// at its previous in-region owner; otherwise read from the nearest
@@ -561,10 +585,18 @@ func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, re
 			return nil, object.Meta{}, err
 		}
 		// Read repair: install the fetched version locally in the
-		// background so the next read of key is served here.
+		// background so the next read of key is served here. An
+		// erasure-coded version must never absorb the reconstructed full
+		// object (that would replace this member's fragment bundle with a
+		// full copy); regenerate our own fragments from parity instead.
 		if n.repair != nil {
-			n.repair.absorb(meta, data)
-			fa.AddHop(flight.Hop{Kind: flight.HopRepair, Name: "absorb", Bytes: int64(len(data))})
+			if meta.IsEC() {
+				go n.ecm.applyRepair(repair.Update{Meta: meta})
+				fa.AddHop(flight.Hop{Kind: flight.HopRepair, Name: "ec-regenerate"})
+			} else {
+				n.repair.absorb(meta, data)
+				fa.AddHop(flight.Hop{Kind: flight.HopRepair, Name: "absorb", Bytes: int64(len(data))})
+			}
 		}
 	}
 	n.GetLatency.Record(n.clk.Since(start))
@@ -813,6 +845,9 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 			return nil, err
 		}
 		data, meta, err := n.local.Get(ctx, req.Key)
+		if err == nil && meta.IsEC() {
+			data, meta, err = n.ecm.reconstruct(ctx, data, meta)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -826,6 +861,9 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 			return nil, err
 		}
 		data, meta, err := n.GetVersion(ctx, req.Key, req.Version)
+		if err == nil && meta.IsEC() {
+			data, meta, err = n.ecm.reconstruct(ctx, data, meta)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -905,6 +943,23 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 			resp.Acks[i].Accepted = accepted
 		}
 		return transport.Encode(resp)
+	case MethodECFrag:
+		return n.ecm.handleECFrag(ctx, payload)
+	case MethodPlacement:
+		var req PlacementRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := n.shards.checkKey(req.Key); err != nil {
+			return nil, err
+		}
+		return n.ecm.handlePlacement(ctx, req.Key)
+	case MethodPlacementLocal:
+		var req PlacementRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return transport.Encode(n.ecm.placementLocal(req.Key))
 	case MethodSnapshot:
 		return n.snapshot(ctx)
 	case MethodRepairDigest, MethodRepairEntries, MethodRepairPull, MethodRepairPush:

@@ -40,6 +40,15 @@ const (
 	MethodForwardGet       = "wiera.forwardGet"
 	MethodSnapshot         = "wiera.snapshot"
 
+	// Erasure-coding data plane: raw fragment-bundle fetch (the gather
+	// half of an EC read or fragment repair) and object-layout queries.
+	// MethodPlacement is application-facing (wieractl placement); a node
+	// answers it by combining its own layout row with every peer's
+	// MethodPlacementLocal answer.
+	MethodECFrag         = "wiera.ecFragment"
+	MethodPlacement      = "wiera.placement"
+	MethodPlacementLocal = "wiera.placementLocal"
+
 	// Node-to-node anti-entropy (internal/repair): Merkle digest exchange,
 	// divergent-leaf summaries, and targeted version transfer.
 	MethodRepairDigest  = "wiera.repairDigest"
@@ -173,6 +182,57 @@ type BatchAck struct {
 // partial failure costs the sender only the failed entries.
 type UpdateBatchResponse struct {
 	Acks []BatchAck
+}
+
+// ECFragRequest asks a peer for its stored fragment bundle of a key's
+// latest version. Version > 0 restricts the answer to that version (a
+// gatherer never mixes fragments across versions).
+type ECFragRequest struct {
+	Key     string
+	Version object.Version // 0 = latest
+}
+
+// ECFragResponse carries the peer's raw bundle bytes verbatim (no
+// reconstruction): Meta.ECFrags says which fragment indexes Data
+// concatenates. For a replicated version the peer answers with the full
+// payload and ECK == 0.
+type ECFragResponse struct {
+	Meta object.Meta
+	Data []byte
+}
+
+// PlacementRequest asks where a key's latest version physically lives.
+type PlacementRequest struct {
+	Key string
+}
+
+// PlacementLocalResponse is one node's own layout row: the latest local
+// meta for the key (Has false when the node holds nothing). The querying
+// node derives the rendered PlacementEntry from it.
+type PlacementLocalResponse struct {
+	Has  bool
+	Meta object.Meta
+}
+
+// PlacementEntry is one replica's row of a placement answer.
+type PlacementEntry struct {
+	Node    string
+	Region  simnet.Region
+	Has     bool
+	Version object.Version
+	Frags   []int // fragment indexes held (empty for a full replica)
+	Bytes   int64 // physical payload bytes stored on this node
+}
+
+// PlacementResponse describes an object's layout: the scheme it was
+// written under and every member's share of it.
+type PlacementResponse struct {
+	Key     string
+	Version object.Version
+	Size    int64
+	ECK     int // 0 = fully replicated
+	ECM     int
+	Entries []PlacementEntry
 }
 
 // SnapshotRequest asks a peer for its full live state (new-replica sync).

@@ -182,6 +182,17 @@ func (m *repairManager) handle(ctx context.Context, method string, payload []byt
 		}
 		accepted := 0
 		for _, u := range req.Updates {
+			// Erasure-coded versions go through the EC manager: a hint
+			// replay carries exactly this member's fragment bundle and
+			// installs verbatim, while a Merkle-sync push carries the
+			// sender's bundle and triggers regeneration of our own
+			// fragments from parity.
+			if u.Meta.IsEC() {
+				if m.n.ecm.applyRepair(repair.Update{Meta: u.Meta, Data: u.Data}) {
+					accepted++
+				}
+				continue
+			}
 			// Ownership-aware apply: a push for a key this shard no longer
 			// owns (a hint replayed after a rebalance) redirects to the
 			// in-region owner instead of stranding a version here.
@@ -233,7 +244,13 @@ func (s nodeStore) Load(key string) (repair.Update, bool) {
 }
 
 // Apply implements repair.Store through the LWW remote-apply path.
+// Erasure-coded versions divert to the EC manager, which regenerates this
+// member's own fragments from parity instead of installing whatever
+// bundle the pushing peer holds.
 func (s nodeStore) Apply(u repair.Update) bool {
+	if u.Meta.IsEC() {
+		return s.n.ecm.applyRepair(u)
+	}
 	ok, err := s.n.local.ApplyRemote(context.Background(), u.Meta, u.Data)
 	return err == nil && ok
 }

@@ -1335,6 +1335,25 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 			maxBatchBytes = -1
 		}
 	}
+	// Erasure-coding knobs for the stripe action's chooser. ecScheme is a
+	// raw "k+m" string ("4+2" is three policy tokens, not a literal), so it
+	// rides req.Params directly like the dynamic policy source does.
+	ecScheme := req.Params["ecScheme"]
+	var ecThreshold int64
+	if v, ok := params["ecThresholdBytes"]; ok {
+		switch {
+		case v.Kind == policy.ValSize:
+			ecThreshold = v.Size
+		case v.Kind == policy.ValNumber:
+			ecThreshold = int64(v.Num)
+		case v.Kind == policy.ValBool && !v.Bool:
+			ecThreshold = -1 // erasure-code every size
+		}
+	}
+	var ecHotGets int64
+	if v, ok := params["ecHotGets"]; ok && v.Kind == policy.ValNumber {
+		ecHotGets = int64(v.Num)
+	}
 	slos, sloInterval := sloParams(params)
 	node, err := NewNode(NodeConfig{
 		Name:             req.NodeName,
@@ -1353,6 +1372,9 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 		QueueFlushEvery:  queueFlush,
 		NoQueueSupersede: noSupersede,
 		MaxBatchBytes:    maxBatchBytes,
+		ECScheme:         ecScheme,
+		ECThresholdBytes: ecThreshold,
+		ECHotGets:        ecHotGets,
 		AntiEntropyEvery: antiEntropy,
 		SLOs:             slos,
 		SLOInterval:      sloInterval,
@@ -1398,8 +1420,8 @@ func decodeParams(raw map[string]string) (map[string]policy.Value, error) {
 	}
 	out := make(map[string]policy.Value, len(raw))
 	for k, v := range raw {
-		if k == "dynamic" {
-			continue // carried separately: a policy source, not a value
+		if k == "dynamic" || k == "ecScheme" {
+			continue // carried separately: not single policy literals
 		}
 		val, err := parseParamValue(v)
 		if err != nil {

@@ -58,6 +58,14 @@ type NodeStats struct {
 	BatchUpdates       int64
 	BatchBytes         int64
 	BatchEntryFailures int64
+
+	// Erasure-coding view (ec_* counters); all zero unless the policy uses
+	// the stripe action.
+	ECPuts          int64
+	ECReplPuts      int64
+	ECReconstructs  int64
+	ECFragsRepaired int64
+	ECBytesSaved    int64
 }
 
 // statsLocal builds the node's own summary.
@@ -70,6 +78,7 @@ func (n *Node) statsLocal() NodeStats {
 	}
 	toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	pending, repaired, readRepairs, replayed := n.repair.statsSnapshot()
+	ecPuts, ecRepl, ecRecon, ecFrags, ecSaved := n.ecm.statsSnapshot()
 	// A stats round trip doubles as the gauge refresh for wieractl ring:
 	// CollectStats before a metrics dump leaves ring_keys/ring_bytes current.
 	n.shards.updateOwnershipGauges()
@@ -103,6 +112,12 @@ func (n *Node) statsLocal() NodeStats {
 		BatchUpdates:       n.batch.updates.Value(),
 		BatchBytes:         n.batch.bytes.Value(),
 		BatchEntryFailures: n.batch.entryFailures.Value(),
+
+		ECPuts:          ecPuts,
+		ECReplPuts:      ecRepl,
+		ECReconstructs:  ecRecon,
+		ECFragsRepaired: ecFrags,
+		ECBytesSaved:    ecSaved,
 	}
 }
 
@@ -188,6 +203,10 @@ func (is *InstanceStats) Render() string {
 		if n.BatchChunks > 0 {
 			fmt.Fprintf(&b, "    batch: flushes=%d chunks=%d updates=%d bytes=%d entryFailures=%d\n",
 				n.BatchFlushes, n.BatchChunks, n.BatchUpdates, n.BatchBytes, n.BatchEntryFailures)
+		}
+		if n.ECPuts > 0 || n.ECReplPuts > 0 {
+			fmt.Fprintf(&b, "    ec: puts=%d replicated=%d reconstructs=%d fragsRepaired=%d bytesSaved=%d\n",
+				n.ECPuts, n.ECReplPuts, n.ECReconstructs, n.ECFragsRepaired, n.ECBytesSaved)
 		}
 	}
 	if len(is.RTTms) > 0 {
