@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: ci verify vet build test race race-obs race-ring race-batch race-ec bench convergence scaleout batchflush eccost
+.PHONY: ci verify vet build test race race-obs race-ring race-batch race-ec race-autoscale bench convergence scaleout batchflush eccost elastic
 
-ci: vet build race-obs race-ring race-batch race-ec race
+ci: vet build race-obs race-ring race-batch race-ec race-autoscale race
 
 # One-stop pre-commit check: static analysis, full build, race-checked tests.
-verify: vet build race-obs race-ring race-batch race-ec race
+verify: vet build race-obs race-ring race-batch race-ec race-autoscale race
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,19 @@ race-batch:
 race-ec:
 	$(GO) test -race -count=2 ./internal/ec/
 	$(GO) test -race -run 'TestEC' ./internal/wiera/
+
+# Focused race pass over the elastic autoscaler: the heat sketch and
+# controller primitives, then the integration paths that mutate membership
+# and hot-replica state under concurrent clients — promotion/demotion,
+# typed rebalance NACKs, membership churn, and hedged EC gathers.
+race-autoscale:
+	$(GO) test -race -count=2 ./internal/autoscale/
+	$(GO) test -race -run 'TestHot|TestRebalanceInProgress|TestMembershipChurn|TestECHedged' ./internal/wiera/
+
+# Elastic autoscaling experiment (quick mode): 12x load swing with hot-spot
+# shift; the pool must grow, promote/demote hot keys, and shed capacity.
+elastic:
+	$(GO) run ./cmd/wierabench -exp elastic
 
 # Replication group-commit experiment (quick mode): per-key vs batched flush
 # fan-out plus the flush-under-partition audit.

@@ -147,7 +147,8 @@ type frontend struct {
 func (f *frontend) handle(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	switch method {
 	case wiera.MethodStartInstances, wiera.MethodStopInstances, wiera.MethodGetInstances,
-		wiera.MethodCollectStats, wiera.MethodAddWorker, wiera.MethodRemoveWorker:
+		wiera.MethodCollectStats, wiera.MethodAddWorker, wiera.MethodRemoveWorker,
+		wiera.MethodHeatTop:
 		if method == wiera.MethodStartInstances && f.defaultWorkers > 1 {
 			var err error
 			if payload, err = f.injectWorkers(payload); err != nil {

@@ -22,11 +22,16 @@
 //	wieractl [-addr 127.0.0.1:7360] ring  -id myapp
 //	wieractl [-addr 127.0.0.1:7360] grow  -id myapp
 //	wieractl [-addr 127.0.0.1:7360] shrink -id myapp
+//	wieractl [-addr 127.0.0.1:7360] heat  -id myapp [-n 20]
 //
 // ring shows the instance's consistent-hash ring: map epoch and, per
 // worker, the shard index, virtual nodes, key/byte ownership, cumulative
 // migration counters, and any in-flight migrations. grow adds one worker
 // per region (rebalancing the keyspace online); shrink removes one.
+//
+// heat prints the instance's hottest keys (decayed access-rate estimates
+// merged across every worker's sketch, hottest first) — the same ranking
+// the heat tracker promotes into selective hot-key replication.
 //
 // placement shows where a key's latest version physically lives: the
 // scheme it was stored under (full replicas vs an erasure-coded k+m
@@ -37,7 +42,9 @@
 // (hop-by-hop tier/RPC/lock/repair breakdown with attributed cost); -all
 // switches to the recent-request ring. top is a one-shot (or -watch
 // refreshed) health view combining per-node operation stats, anti-entropy
-// repair counters, and SLO error-budget burn gauges.
+// repair counters, SLO error-budget burn gauges, and — when the instance
+// runs the elastic controller or heat tracker — the autoscale_* decision
+// gauges and heat_* promotion counters.
 package main
 
 import (
@@ -73,7 +80,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|placement|remove|policies|metrics|repair|trace|slow|top|ring|grow|shrink> ...")
+		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|placement|remove|policies|metrics|repair|trace|slow|top|ring|grow|shrink|heat> ...")
 	}
 	cmdName, cmdArgs := rest[0], rest[1:]
 	if cmdName == "policies" {
@@ -98,7 +105,7 @@ func run(args []string) error {
 	dynamicPath := fs.String("dynamic", "", "dynamic (control) policy source file or builtin name")
 	traceID := fs.String("trace", "", "trace id to dump (trace command; empty = all spans)")
 	rawSpans := fs.Bool("raw", false, "print output as JSON instead of a table/tree (trace, slow commands)")
-	maxN := fs.Int("n", 20, "max records to show (slow command)")
+	maxN := fs.Int("n", 20, "max records to show (slow, heat commands)")
 	allRecs := fs.Bool("all", false, "show the recent-request ring instead of the slowlog (slow command)")
 	summary := fs.Bool("summary", false, "append a per-hop-kind aggregate (slow command)")
 	watch := fs.Bool("watch", false, "refresh continuously (top command)")
@@ -245,6 +252,21 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("removed one worker per region; %d keys rebalanced\n", resp.Moved)
+		return nil
+	case "heat":
+		var resp wiera.HeatTopResponse
+		if err := call(cli, wiera.MethodHeatTop,
+			wiera.HeatTopRequest{InstanceID: *id, K: *maxN}, &resp); err != nil {
+			return err
+		}
+		if len(resp.Entries) == 0 {
+			fmt.Println("no heat data (heat tracking off, or no traffic yet)")
+			return nil
+		}
+		fmt.Printf("%-40s %s\n", "key", "rate (accesses/half-life)")
+		for _, e := range resp.Entries {
+			fmt.Printf("%-40s %.1f\n", e.Key, e.Rate)
+		}
 		return nil
 	case "top":
 		for {
@@ -414,6 +436,8 @@ func renderTop(cli *transport.TCPClient, id string) (string, error) {
 	}
 	section("slo (error-budget burn; alert when both windows >= 2)", "slo_")
 	section("repair (anti-entropy)", "repair_")
+	section("autoscale (elastic controller)", "autoscale_")
+	section("heat (hot-key replication)", "heat_")
 	return b.String(), nil
 }
 

@@ -1,0 +1,312 @@
+package autoscale
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+)
+
+// Controller defaults. The watermarks are per-worker ops/s and deliberately
+// leave a dead band between them (grow above High, shrink below Low) so a
+// load sitting between the two parks the pool instead of oscillating.
+const (
+	DefaultInterval     = 2 * time.Second
+	DefaultCoolDown     = 10 * time.Second
+	DefaultGrowStreak   = 2
+	DefaultShrinkStreak = 3
+)
+
+// Signals is one evaluation's aggregated instance view — everything the
+// controller consumes, sourced from the existing observability families
+// (slo_* burn, ring_* ownership, queue depth, op counters).
+type Signals struct {
+	Workers    int     // shards per region currently serving
+	OpsPerSec  float64 // aggregate instance throughput since the last tick
+	Burn       float64 // worst per-node SLO error-budget burn rate
+	Firing     bool    // any node's multi-window SLO alert firing
+	QueueDepth int     // aggregate lazy-propagation queue depth
+	Imbalance  float64 // (max-mean)/mean keys per worker; 0 when even
+}
+
+// SignalSource supplies one Signals snapshot per tick.
+type SignalSource interface {
+	Signals() (Signals, error)
+}
+
+// Actuator applies capacity changes; in production it is the Wiera
+// server's AddWorker/RemoveWorker pair.
+type Actuator interface {
+	Grow() error
+	Shrink() error
+}
+
+// Config tunes a Controller.
+type Config struct {
+	Clock    clock.Clock
+	Interval time.Duration // evaluation period (default 2s)
+
+	MinWorkers int // never shrink below (default 1)
+	MaxWorkers int // never grow above (default 8)
+
+	// GrowOpsPerWorker and ShrinkOpsPerWorker are the per-worker throughput
+	// watermarks: sustained load above the first grows the pool, below the
+	// second shrinks it. Zero disables the throughput term (SLO burn alone
+	// then drives growth and nothing drives shrink).
+	GrowOpsPerWorker   float64
+	ShrinkOpsPerWorker float64
+
+	// GrowStreak / ShrinkStreak are how many consecutive ticks the condition
+	// must hold before acting (hysteresis against transient spikes).
+	GrowStreak, ShrinkStreak int
+
+	// CoolDown is the minimum quiet period after any grow/shrink before the
+	// next action: a rebalance changes the very signals being watched, so
+	// the controller waits for them to re-settle.
+	CoolDown time.Duration
+
+	// Blocked classifies an actuator error as "another rebalance holds the
+	// instance" (retry next tick, counted separately) versus a real failure.
+	Blocked func(error) bool
+
+	// Registry receives the autoscale_* families (nil skips export).
+	Registry *telemetry.Registry
+	Instance string // instance label for the metric families
+
+	Source   SignalSource
+	Actuator Actuator
+}
+
+// Action records one controller decision for tests and experiments.
+type Action struct {
+	At      time.Time
+	What    string // "grow" or "shrink"
+	Workers int    // pool size before the action
+	Err     error
+}
+
+// Controller is the autoscaler loop: evaluate signals, decide under
+// hysteresis, actuate at most one membership change at a time.
+type Controller struct {
+	cfg Config
+	clk clock.Clock
+
+	mu           sync.Mutex
+	growStreak   int
+	shrinkStreak int
+	lastAction   time.Time
+	acted        bool // an action has happened (lastAction is meaningful)
+	actions      []Action
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	workersG  *telemetry.Gauge
+	pressureG *telemetry.Gauge
+	cooldownG *telemetry.Gauge
+	grows     *telemetry.Counter
+	shrinks   *telemetry.Counter
+	blocked   *telemetry.Counter
+	errs      *telemetry.Counter
+}
+
+// New builds a controller. Source and Actuator are required.
+func New(cfg Config) *Controller {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.MinWorkers <= 0 {
+		cfg.MinWorkers = 1
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = 8
+	}
+	if cfg.CoolDown <= 0 {
+		cfg.CoolDown = DefaultCoolDown
+	}
+	if cfg.GrowStreak <= 0 {
+		cfg.GrowStreak = DefaultGrowStreak
+	}
+	if cfg.ShrinkStreak <= 0 {
+		cfg.ShrinkStreak = DefaultShrinkStreak
+	}
+	c := &Controller{
+		cfg:  cfg,
+		clk:  cfg.Clock,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cfg.Registry != nil {
+		gauge := func(name, help string) *telemetry.Gauge {
+			return cfg.Registry.Gauge(name, help, "instance").With(cfg.Instance)
+		}
+		counter := func(name, help string) *telemetry.Counter {
+			return cfg.Registry.Counter(name, help, "instance").With(cfg.Instance)
+		}
+		c.workersG = gauge("autoscale_workers", "Workers per region the controller last observed.")
+		c.pressureG = gauge("autoscale_pressure",
+			"Per-worker load relative to the grow watermark (>1 = grow pressure).")
+		c.cooldownG = gauge("autoscale_cooldown", "1 while the post-action cool-down window holds.")
+		c.grows = counter("autoscale_grow_total", "AddWorker actions the controller issued.")
+		c.shrinks = counter("autoscale_shrink_total", "RemoveWorker actions the controller issued.")
+		c.blocked = counter("autoscale_blocked_total",
+			"Actions skipped because another rebalance held the instance.")
+		c.errs = counter("autoscale_errors_total", "Signal or actuator failures.")
+	}
+	return c
+}
+
+// Start launches the evaluation loop; at most one runs.
+func (c *Controller) Start() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	go func() {
+		defer close(c.done)
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-c.clk.After(c.cfg.Interval):
+				c.TickNow()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it to exit. Safe before Start and
+// repeatedly.
+func (c *Controller) Stop() {
+	if c == nil {
+		return
+	}
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		<-c.done
+	}
+}
+
+// Actions returns the decision log in order.
+func (c *Controller) Actions() []Action {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Action(nil), c.actions...)
+}
+
+// TickNow evaluates one controller round immediately (tests and the
+// experiment harness drive it deterministically). It returns the action
+// taken ("", "grow", or "shrink").
+func (c *Controller) TickNow() string {
+	sig, err := c.cfg.Source.Signals()
+	if err != nil {
+		if c.errs != nil {
+			c.errs.Inc()
+		}
+		return ""
+	}
+	now := c.clk.Now()
+	if c.workersG != nil {
+		c.workersG.Set(float64(sig.Workers))
+	}
+	pressure := 0.0
+	if c.cfg.GrowOpsPerWorker > 0 && sig.Workers > 0 {
+		pressure = sig.OpsPerSec / (float64(sig.Workers) * c.cfg.GrowOpsPerWorker)
+	}
+	if c.pressureG != nil {
+		c.pressureG.Set(pressure)
+	}
+
+	c.mu.Lock()
+	cooling := c.acted && now.Sub(c.lastAction) < c.cfg.CoolDown
+	if c.cooldownG != nil {
+		if cooling {
+			c.cooldownG.Set(1)
+		} else {
+			c.cooldownG.Set(0)
+		}
+	}
+
+	// Streaks advance even through the cool-down so a persistent condition
+	// acts the moment the window opens; the *action* is what cools down.
+	wantGrow := sig.Firing || pressure > 1
+	wantShrink := !sig.Firing && c.cfg.ShrinkOpsPerWorker > 0 && sig.Workers > 0 &&
+		sig.OpsPerSec < float64(sig.Workers)*c.cfg.ShrinkOpsPerWorker
+	if wantGrow {
+		c.growStreak++
+	} else {
+		c.growStreak = 0
+	}
+	if wantShrink {
+		c.shrinkStreak++
+	} else {
+		c.shrinkStreak = 0
+	}
+
+	what := ""
+	switch {
+	case cooling:
+	case c.growStreak >= c.cfg.GrowStreak && sig.Workers < c.cfg.MaxWorkers:
+		what = "grow"
+	case c.shrinkStreak >= c.cfg.ShrinkStreak && sig.Workers > c.cfg.MinWorkers:
+		what = "shrink"
+	}
+	c.mu.Unlock()
+	if what == "" {
+		return ""
+	}
+
+	var actErr error
+	if what == "grow" {
+		actErr = c.cfg.Actuator.Grow()
+	} else {
+		actErr = c.cfg.Actuator.Shrink()
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if actErr != nil && c.cfg.Blocked != nil && c.cfg.Blocked(actErr) {
+		// A manual wieractl grow/shrink (or a heartbeat respawn) holds the
+		// rebalance lock; keep the streak and retry next tick.
+		if c.blocked != nil {
+			c.blocked.Inc()
+		}
+		return ""
+	}
+	c.actions = append(c.actions, Action{At: now, What: what, Workers: sig.Workers, Err: actErr})
+	if actErr != nil {
+		if c.errs != nil {
+			c.errs.Inc()
+		}
+		return ""
+	}
+	c.acted = true
+	c.lastAction = now
+	c.growStreak, c.shrinkStreak = 0, 0
+	switch what {
+	case "grow":
+		if c.grows != nil {
+			c.grows.Inc()
+		}
+	case "shrink":
+		if c.shrinks != nil {
+			c.shrinks.Inc()
+		}
+	}
+	return what
+}

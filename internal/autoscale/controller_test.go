@@ -1,0 +1,275 @@
+package autoscale
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// fakeSource hands back a mutable Signals snapshot. The mutex matters only
+// for the Start/Stop test, where the loop goroutine reads concurrently.
+type fakeSource struct {
+	mu  sync.Mutex
+	sig Signals
+	err error
+}
+
+func (f *fakeSource) Signals() (Signals, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sig, f.err
+}
+
+// fakeActuator records grow/shrink calls, mutating the source's worker
+// count to mimic a real rebalance, and can fail with a canned error.
+type fakeActuator struct {
+	src     *fakeSource
+	mu      sync.Mutex
+	grown   int
+	shrunk  int
+	nextErr error
+}
+
+func (f *fakeActuator) counts() (grown, shrunk int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.grown, f.shrunk
+}
+
+func (f *fakeActuator) Grow() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.nextErr; err != nil {
+		f.nextErr = nil
+		return err
+	}
+	f.grown++
+	f.src.mu.Lock()
+	f.src.sig.Workers++
+	f.src.mu.Unlock()
+	return nil
+}
+
+func (f *fakeActuator) Shrink() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.nextErr; err != nil {
+		f.nextErr = nil
+		return err
+	}
+	f.shrunk++
+	f.src.mu.Lock()
+	f.src.sig.Workers--
+	f.src.mu.Unlock()
+	return nil
+}
+
+// harness wires a controller to fakes over a sim clock, with TickNow-driven
+// deterministic evaluation (the loop is never started).
+func harness(workers int) (*Controller, *fakeSource, *fakeActuator, *clock.Sim) {
+	clk := clock.NewSim(time.Time{})
+	src := &fakeSource{sig: Signals{Workers: workers}}
+	act := &fakeActuator{src: src}
+	c := New(Config{
+		Clock:              clk,
+		MinWorkers:         2,
+		MaxWorkers:         5,
+		CoolDown:           10 * time.Second,
+		GrowOpsPerWorker:   100,
+		ShrinkOpsPerWorker: 50,
+		GrowStreak:         2,
+		ShrinkStreak:       3,
+		Source:             src,
+		Actuator:           act,
+		Blocked: func(err error) bool {
+			return err != nil && err.Error() == "blocked"
+		},
+	})
+	return c, src, act, clk
+}
+
+// TestControllerGrowsUnderLoad: sustained over-watermark throughput grows
+// the pool after GrowStreak ticks, not on the first spike.
+func TestControllerGrowsUnderLoad(t *testing.T) {
+	c, src, act, _ := harness(2)
+	src.sig.OpsPerSec = 400 // 200/worker > 100 watermark
+	if got := c.TickNow(); got != "" {
+		t.Fatalf("tick 1 acted %q, want streak to hold it back", got)
+	}
+	if got := c.TickNow(); got != "grow" {
+		t.Fatalf("tick 2 = %q, want grow", got)
+	}
+	if act.grown != 1 || src.sig.Workers != 3 {
+		t.Fatalf("grown=%d workers=%d, want 1 grow to 3 workers", act.grown, src.sig.Workers)
+	}
+}
+
+// TestControllerSLOFiringGrows: a firing SLO alone (no throughput term)
+// drives growth.
+func TestControllerSLOFiringGrows(t *testing.T) {
+	c, src, act, _ := harness(2)
+	src.sig.Firing = true
+	c.TickNow()
+	if got := c.TickNow(); got != "grow" {
+		t.Fatalf("tick 2 = %q, want grow on firing SLO", got)
+	}
+	if act.grown != 1 {
+		t.Fatalf("grown=%d, want 1", act.grown)
+	}
+}
+
+// TestControllerShrinksWhenIdle: sustained under-watermark load shrinks
+// after ShrinkStreak ticks, and never while the SLO fires.
+func TestControllerShrinksWhenIdle(t *testing.T) {
+	c, src, act, _ := harness(4)
+	src.sig.OpsPerSec = 40 // 10/worker < 50 watermark
+	for i := 0; i < 2; i++ {
+		if got := c.TickNow(); got != "" {
+			t.Fatalf("tick %d acted %q before streak filled", i+1, got)
+		}
+	}
+	if got := c.TickNow(); got != "shrink" {
+		t.Fatalf("tick 3 = %q, want shrink", got)
+	}
+	if act.shrunk != 1 || src.sig.Workers != 3 {
+		t.Fatalf("shrunk=%d workers=%d, want 1 shrink to 3", act.shrunk, src.sig.Workers)
+	}
+	// A firing SLO vetoes shrink even at idle throughput.
+	src.sig.Firing = true
+	for i := 0; i < 6; i++ {
+		if got := c.TickNow(); got == "shrink" {
+			t.Fatal("shrank while SLO firing")
+		}
+	}
+}
+
+// TestControllerCoolDown: after an action the controller stays quiet for
+// the cool-down window, then acts again once it reopens.
+func TestControllerCoolDown(t *testing.T) {
+	c, src, act, clk := harness(2)
+	src.sig.OpsPerSec = 1000
+	c.TickNow()
+	if got := c.TickNow(); got != "grow" {
+		t.Fatalf("want initial grow, got %q", got)
+	}
+	// Still hot, but inside the 10s cool-down: no action.
+	for i := 0; i < 5; i++ {
+		clk.Advance(time.Second)
+		if got := c.TickNow(); got != "" {
+			t.Fatalf("acted %q %ds into cool-down", got, i+1)
+		}
+	}
+	clk.Advance(6 * time.Second) // past the window
+	if got := c.TickNow(); got != "grow" {
+		t.Fatalf("want grow after cool-down, got %q", got)
+	}
+	if act.grown != 2 {
+		t.Fatalf("grown=%d, want 2", act.grown)
+	}
+}
+
+// TestControllerBounds: the pool never leaves [MinWorkers, MaxWorkers].
+func TestControllerBounds(t *testing.T) {
+	c, src, act, clk := harness(2)
+	src.sig.OpsPerSec = 10000
+	for i := 0; i < 50; i++ {
+		clk.Advance(11 * time.Second)
+		c.TickNow()
+	}
+	if src.sig.Workers != 5 {
+		t.Fatalf("workers=%d under unbounded load, want max 5", src.sig.Workers)
+	}
+	src.sig.OpsPerSec = 0
+	for i := 0; i < 50; i++ {
+		clk.Advance(11 * time.Second)
+		c.TickNow()
+	}
+	if src.sig.Workers != 2 {
+		t.Fatalf("workers=%d at idle, want min 2", src.sig.Workers)
+	}
+	if act.grown != 3 || act.shrunk != 3 {
+		t.Fatalf("grown=%d shrunk=%d, want 3 and 3", act.grown, act.shrunk)
+	}
+}
+
+// TestControllerBlockedRetries: a blocked actuator (manual rebalance in
+// flight) is not fatal — the streak holds and the next tick retries.
+func TestControllerBlockedRetries(t *testing.T) {
+	c, src, act, _ := harness(2)
+	src.sig.OpsPerSec = 400
+	c.TickNow()
+	act.nextErr = errors.New("blocked")
+	if got := c.TickNow(); got != "" {
+		t.Fatalf("blocked tick reported action %q", got)
+	}
+	if act.grown != 0 {
+		t.Fatalf("grown=%d after blocked attempt, want 0", act.grown)
+	}
+	// Next tick: the lock is free, the still-satisfied streak acts at once.
+	if got := c.TickNow(); got != "grow" {
+		t.Fatalf("retry tick = %q, want grow", got)
+	}
+	if len(c.Actions()) != 1 {
+		t.Fatalf("actions logged %d, want 1 (blocked attempt not logged)", len(c.Actions()))
+	}
+}
+
+// TestControllerSignalError: a failing source is counted and skipped, never
+// acted on.
+func TestControllerSignalError(t *testing.T) {
+	c, src, _, _ := harness(2)
+	src.sig.OpsPerSec = 1000
+	src.err = errors.New("stats unavailable")
+	for i := 0; i < 5; i++ {
+		if got := c.TickNow(); got != "" {
+			t.Fatalf("acted %q on failing signals", got)
+		}
+	}
+	src.err = nil
+	c.TickNow()
+	if got := c.TickNow(); got != "grow" {
+		t.Fatalf("want grow once signals recover, got %q", got)
+	}
+}
+
+// TestControllerStartStop: the background loop ticks off the sim clock and
+// Stop is idempotent, safe before Start, and actually halts the loop.
+func TestControllerStartStop(t *testing.T) {
+	clk := clock.NewSim(time.Time{})
+	stopAuto := clk.AutoAdvance(50 * time.Microsecond)
+	defer stopAuto()
+	src := &fakeSource{sig: Signals{Workers: 2, OpsPerSec: 1000}}
+	act := &fakeActuator{src: src}
+	c := New(Config{
+		Clock:            clk,
+		Interval:         time.Second,
+		MinWorkers:       1,
+		MaxWorkers:       3,
+		CoolDown:         2 * time.Second,
+		GrowOpsPerWorker: 100,
+		GrowStreak:       1,
+		Source:           src,
+		Actuator:         act,
+	})
+	c.Start()
+	deadline := time.After(5 * time.Second)
+	for {
+		if g, _ := act.counts(); g > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("controller loop never acted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	c.Stop()
+	c.Stop() // idempotent
+
+	var unstarted *Controller
+	unstarted.Stop() // nil-safe
+	New(Config{Source: src, Actuator: act}).Stop()
+}

@@ -1,0 +1,206 @@
+// Package autoscale closes the loop the paper leaves open: instances that
+// detect pressure (SLO burn, ring imbalance, queue depth) and adapt
+// capacity themselves. It contributes two building blocks: a decaying
+// per-key access sketch (Sketch) every worker maintains to find its hot
+// keys, and a hysteresis controller (Controller) that consumes aggregated
+// signals and grows or shrinks a worker pool one rebalance at a time —
+// the shape Anna's policy engine gives elastic KV stores, applied to
+// Wiera's worker pools and selective hot-key replication.
+package autoscale
+
+import (
+	"sort"
+	"sync"
+)
+
+// Sketch defaults: 4 rows x 512 counters bounds the count-min error at
+// roughly 2e/512 of the total observed weight with 98% confidence, and 32
+// tracked keys is far above any realistic hot set under zipfian skew.
+const (
+	DefaultSketchRows = 4
+	DefaultSketchCols = 512
+	DefaultTopK       = 32
+)
+
+// HeatEntry is one tracked key with its decayed access rate estimate.
+type HeatEntry struct {
+	Key  string
+	Rate float64
+}
+
+// SketchConfig sizes a Sketch. Zero fields take the defaults.
+type SketchConfig struct {
+	Rows int // count-min depth (independent hash rows)
+	Cols int // counters per row
+	TopK int // keys kept exactly in the top set
+}
+
+// Sketch is a decaying count-min sketch with an exact top-K overlay: a
+// space-bounded per-key access-rate estimator. Observe charges one access
+// to the key; Decay multiplies every counter by a factor < 1, so the
+// estimates converge on an exponentially weighted access rate rather than
+// an all-time count — a key that was hot yesterday and idle today decays
+// back out of the top set. Rows use float64 counters precisely so decay
+// loses nothing to integer truncation.
+//
+// All methods are safe for concurrent use. The mutex is uncontended in
+// practice (observation is a few array writes), which is cheap enough for
+// the data path of a store whose ops cost milliseconds.
+type Sketch struct {
+	mu   sync.Mutex
+	rows [][]float64
+	topK int
+	top  map[string]float64 // exact decayed counts for the tracked keys
+}
+
+// NewSketch builds a sketch with the given geometry.
+func NewSketch(cfg SketchConfig) *Sketch {
+	if cfg.Rows <= 0 {
+		cfg.Rows = DefaultSketchRows
+	}
+	if cfg.Cols <= 0 {
+		cfg.Cols = DefaultSketchCols
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = DefaultTopK
+	}
+	s := &Sketch{topK: cfg.TopK, top: make(map[string]float64)}
+	s.rows = make([][]float64, cfg.Rows)
+	for i := range s.rows {
+		s.rows[i] = make([]float64, cfg.Cols)
+	}
+	return s
+}
+
+// hash is FNV-1a with a per-row seed, giving the independent hash
+// functions count-min needs without importing hash/fnv per call.
+func (s *Sketch) hash(row int, key string) int {
+	h := uint64(14695981039346656037) ^ (uint64(row+1) * 0x9e3779b97f4a7c15)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(s.rows[row])))
+}
+
+// Observe charges one access to key.
+func (s *Sketch) Observe(key string) { s.ObserveN(key, 1) }
+
+// ObserveN charges n accesses to key.
+func (s *Sketch) ObserveN(key string, n float64) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	est := n
+	for row := range s.rows {
+		c := &s.rows[row][s.hash(row, key)]
+		*c += n
+		if row == 0 || *c < est {
+			est = *c
+		}
+	}
+	// est is the count-min estimate (min over rows) after the update.
+	if _, tracked := s.top[key]; tracked {
+		s.top[key] = est
+		return
+	}
+	if len(s.top) < s.topK {
+		s.top[key] = est
+		return
+	}
+	// Evict the coldest tracked key when the newcomer overtakes it.
+	minKey, minVal := "", 0.0
+	first := true
+	for k, v := range s.top {
+		if first || v < minVal {
+			minKey, minVal, first = k, v, false
+		}
+	}
+	if est > minVal {
+		delete(s.top, minKey)
+		s.top[key] = est
+	}
+}
+
+// Estimate returns the decayed access-rate estimate for key: exact for
+// tracked keys, the count-min upper bound otherwise.
+func (s *Sketch) Estimate(key string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.top[key]; ok {
+		return v
+	}
+	est := 0.0
+	for row := range s.rows {
+		c := s.rows[row][s.hash(row, key)]
+		if row == 0 || c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// Decay multiplies every counter by factor (0 < factor < 1), aging the
+// sketch toward an exponentially weighted rate. Tracked keys whose decayed
+// estimate drops below floor are dropped from the top set entirely.
+func (s *Sketch) Decay(factor, floor float64) {
+	if factor <= 0 || factor >= 1 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, row := range s.rows {
+		for i := range row {
+			row[i] *= factor
+		}
+	}
+	for k, v := range s.top {
+		v *= factor
+		if v < floor {
+			delete(s.top, k)
+			continue
+		}
+		s.top[k] = v
+	}
+}
+
+// Top returns up to k tracked keys, hottest first.
+func (s *Sketch) Top(k int) []HeatEntry {
+	s.mu.Lock()
+	out := make([]HeatEntry, 0, len(s.top))
+	for key, v := range s.top {
+		out = append(out, HeatEntry{Key: key, Rate: v})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Tracked reports how many keys the exact top set currently holds.
+func (s *Sketch) Tracked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.top)
+}
+
+// Reset zeroes the sketch.
+func (s *Sketch) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, row := range s.rows {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	s.top = make(map[string]float64)
+}

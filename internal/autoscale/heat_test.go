@@ -1,0 +1,137 @@
+package autoscale
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSketchEstimate: heavy hitters come back with (near-)exact counts;
+// an unseen key's count-min upper bound stays small next to them.
+func TestSketchEstimate(t *testing.T) {
+	s := NewSketch(SketchConfig{})
+	for i := 0; i < 100; i++ {
+		s.Observe("hot")
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe("warm")
+	}
+	// Background noise spread over many keys.
+	for i := 0; i < 200; i++ {
+		s.Observe(fmt.Sprintf("cold-%03d", i))
+	}
+	if got := s.Estimate("hot"); got < 100 {
+		t.Fatalf("hot estimate %.1f, want >= 100 (count-min never undercounts)", got)
+	}
+	if got := s.Estimate("hot"); got > 110 {
+		t.Fatalf("hot estimate %.1f, want near 100", got)
+	}
+	if got := s.Estimate("warm"); got < 10 || got > 20 {
+		t.Fatalf("warm estimate %.1f, want ~10", got)
+	}
+	if got := s.Estimate("never-seen"); got > 5 {
+		t.Fatalf("unseen key estimate %.1f, want near 0", got)
+	}
+}
+
+// TestSketchDecay: decay ages counts toward zero and drops tracked keys
+// that fall below the floor, so yesterday's hot key leaves the top set.
+func TestSketchDecay(t *testing.T) {
+	s := NewSketch(SketchConfig{})
+	for i := 0; i < 64; i++ {
+		s.Observe("fading")
+	}
+	if got := s.Estimate("fading"); got < 64 {
+		t.Fatalf("estimate %.1f before decay, want >= 64", got)
+	}
+	s.Decay(0.5, 1.0)
+	if got := s.Estimate("fading"); got < 30 || got > 34 {
+		t.Fatalf("estimate %.1f after one half-life, want ~32", got)
+	}
+	// Six more half-lives take 32 down to 0.5 < floor 1.0: dropped.
+	for i := 0; i < 6; i++ {
+		s.Decay(0.5, 1.0)
+	}
+	if s.Tracked() != 0 {
+		t.Fatalf("tracked %d after decay below floor, want 0", s.Tracked())
+	}
+	// Decay must reject degenerate factors rather than corrupt state.
+	s.Observe("k")
+	s.Decay(0, 1)
+	s.Decay(1.5, 1)
+	if got := s.Estimate("k"); got != 1 {
+		t.Fatalf("estimate %.1f after no-op decays, want 1", got)
+	}
+}
+
+// TestSketchTopK: the overlay keeps the genuinely hottest keys in order
+// and evicts the coldest tracked key when a newcomer overtakes it.
+func TestSketchTopK(t *testing.T) {
+	s := NewSketch(SketchConfig{TopK: 4})
+	weights := map[string]int{"a": 50, "b": 40, "c": 30, "d": 20, "e": 10}
+	// Interleave so eviction logic is exercised, not just initial fill.
+	rng := rand.New(rand.NewSource(1))
+	var stream []string
+	for k, n := range weights {
+		for i := 0; i < n; i++ {
+			stream = append(stream, k)
+		}
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	for _, k := range stream {
+		s.Observe(k)
+	}
+	top := s.Top(0)
+	if len(top) != 4 {
+		t.Fatalf("tracked %d keys, want 4", len(top))
+	}
+	want := []string{"a", "b", "c", "d"}
+	for i, entry := range top {
+		if entry.Key != want[i] {
+			t.Fatalf("top[%d] = %q (%.0f), want %q; full: %v", i, entry.Key, entry.Rate, want[i], top)
+		}
+	}
+	if top2 := s.Top(2); len(top2) != 2 || top2[0].Key != "a" {
+		t.Fatalf("Top(2) = %v, want [a b]", top2)
+	}
+}
+
+// TestSketchReset zeroes counters and the top set.
+func TestSketchReset(t *testing.T) {
+	s := NewSketch(SketchConfig{})
+	for i := 0; i < 10; i++ {
+		s.Observe("k")
+	}
+	s.Reset()
+	if s.Tracked() != 0 {
+		t.Fatalf("tracked %d after reset, want 0", s.Tracked())
+	}
+	if got := s.Estimate("k"); got != 0 {
+		t.Fatalf("estimate %.1f after reset, want 0", got)
+	}
+}
+
+// TestSketchConcurrent drives observers and decayers in parallel under
+// -race; correctness of values is covered elsewhere.
+func TestSketchConcurrent(t *testing.T) {
+	s := NewSketch(SketchConfig{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				s.Observe(fmt.Sprintf("key-%d-%d", g, i%17))
+				if i%100 == 0 {
+					s.Decay(0.9, 0.01)
+					s.Top(8)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if s.Tracked() == 0 {
+		t.Fatal("expected some tracked keys after concurrent load")
+	}
+}

@@ -40,6 +40,9 @@ const (
 	HopRPC = "rpc"
 	// HopRepair marks repair work triggered by this request (read repair).
 	HopRepair = "repair"
+	// HopCache marks a request served from a local side cache (a hot-key
+	// replica) instead of the authoritative data path.
+	HopCache = "cache"
 )
 
 // Hop is one step of a request's path.

@@ -95,6 +95,7 @@ type Engine struct {
 
 	mu     sync.Mutex
 	states []*objectiveState
+	last   []Status // most recent EvaluateNow result (autoscaler signal)
 
 	started  bool
 	stopOnce sync.Once
@@ -234,7 +235,21 @@ func (e *Engine) EvaluateNow() []Status {
 		}
 		out = append(out, s)
 	}
+	e.last = out
 	return out
+}
+
+// Statuses returns the most recent evaluation's statuses without
+// re-sampling the sources, so passive consumers (the autoscaler's signal
+// collection) never perturb the evaluation cadence or alert streaks. Nil
+// until the first evaluation; nil-safe on a nil engine.
+func (e *Engine) Statuses() []Status {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Status(nil), e.last...)
 }
 
 // push appends a sample and prunes history, always keeping one sample older

@@ -1,0 +1,130 @@
+package wiera
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ring"
+)
+
+// TestMembershipChurnProperties is the elasticity property test: 20
+// alternating AddWorker/RemoveWorker operations under concurrent writers
+// must (1) keep every acked write readable, (2) move no more than ~1/N of
+// the keyspace per membership change, and (3) leave the final ring's
+// keyspace shares within 10% of the mean.
+func TestMembershipChurnProperties(t *testing.T) {
+	const (
+		preKeys   = 210 // divisible by the writer count: disjoint partitions
+		writers   = 3
+		ops       = 20
+		moveSlack = 1.6 // vnode placement is statistical; 1/N is the expectation
+	)
+	c, cli, _ := shardedCluster(t, "churn", 3)
+	ctx := context.Background()
+	for i := 0; i < preKeys; i++ {
+		key := fmt.Sprintf("pre-%03d", i)
+		if _, err := cli.Put(ctx, key, []byte("v1:"+key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Writers keep updating throughout all 20 membership changes; every
+	// acked write must survive to the final audit. Each writer owns a
+	// disjoint key partition so "last acked value" is well-defined per key.
+	var acked sync.Map // key -> last acked value
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				key := fmt.Sprintf("pre-%03d", w+writers*(i%(preKeys/writers)))
+				val := fmt.Sprintf("v2:%s:%d:%d", key, w, i)
+				if _, err := cli.Put(ctx, key, []byte(val)); err == nil {
+					acked.Store(key, val)
+				}
+			}
+		}(w)
+	}
+
+	for op := 0; op < ops; op++ {
+		rm, err := c.server.Ring("churn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := rm.Shards()
+		var moved int
+		var after int
+		if op%2 == 0 {
+			moved, err = c.server.AddWorker("churn")
+			after = before + 1
+		} else {
+			moved, err = c.server.RemoveWorker("churn")
+			after = before - 1
+		}
+		if err != nil {
+			t.Fatalf("op %d (shards %d): %v", op, before, err)
+		}
+		// A membership change must not reshuffle the world: consistent
+		// hashing bounds movement near 1/N of the stored keys — joins move
+		// keys INTO the new shard (1/after), drains move the leaving
+		// shard's share OUT (1/before).
+		denom := after
+		if moved > 0 && op%2 == 1 {
+			denom = before
+		}
+		if limit := int(moveSlack * float64(preKeys) / float64(denom)); moved > limit {
+			t.Fatalf("op %d moved %d keys (shards %d->%d), limit %d", op, moved, before, after, limit)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Final ring balance, measured over the keyspace itself (sampled keys
+	// against the final table) so the check is about placement, not about
+	// which keys this test happened to write.
+	rm, err := c.server.Ring("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Shards() != 3 {
+		t.Fatalf("final shards = %d, want 3 after %d alternating ops", rm.Shards(), ops)
+	}
+	table := ring.NewTable(rm)
+	const samples = 20000
+	counts := make([]int, rm.Shards())
+	for i := 0; i < samples; i++ {
+		counts[table.Owner(fmt.Sprintf("sample-%05d", i))]++
+	}
+	mean := float64(samples) / float64(rm.Shards())
+	for shard, n := range counts {
+		if imb := (float64(n) - mean) / mean; imb > 0.10 {
+			t.Fatalf("shard %d owns %.1f%% above the mean (counts %v)", shard, imb*100, counts)
+		}
+	}
+
+	// Zero lost acked writes: every key is readable and holds at least the
+	// last value its writer saw acknowledged.
+	for i := 0; i < preKeys; i++ {
+		key := fmt.Sprintf("pre-%03d", i)
+		data, _, err := cli.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("lost key %s after churn: %v", key, err)
+		}
+		if want, ok := acked.Load(key); ok && string(data) != want.(string) {
+			t.Fatalf("key %s = %q, want last acked %q", key, data, want)
+		}
+	}
+	// Every surviving worker owns a share of the keyspace.
+	for _, region := range rm.Regions() {
+		for _, name := range rm.Workers[region] {
+			if c.node(t, name).local.Objects().Len() == 0 {
+				t.Fatalf("worker %s owns no keys after churn", name)
+			}
+		}
+	}
+}

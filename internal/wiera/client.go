@@ -26,6 +26,10 @@ const clientMaxAttempts = 4
 // jitter so colliding clients spread out.
 const clientRetryBase = 2 * time.Millisecond
 
+// hotHintCap bounds the client's hot-replica hint cache; when full, an
+// arbitrary entry is evicted to admit the new key.
+const hotHintCap = 512
+
 // Client is an application-side handle to a Wiera instance. It connects to
 // the closest node (head of the instance list, Sec 4.1 step 8) and fails
 // over to the next closest when a node is down (Sec 4.4). For a sharded
@@ -46,6 +50,13 @@ type Client struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// hotHints caches per-key hot-replica sets advertised by owners in
+	// GetResponse.HotReplicas; hotSeq rotates reads across a hot key's
+	// equally-near copies.
+	hotMu    sync.Mutex
+	hotHints map[string][]string
+	hotSeq   uint64
 }
 
 // NewClient registers a client endpoint and fetches the instance's node
@@ -182,6 +193,104 @@ func (c *Client) route(key string) []string {
 	return names
 }
 
+// hotHint returns the cached hot-replica set for key (nil when absent).
+func (c *Client) hotHint(key string) []string {
+	c.hotMu.Lock()
+	defer c.hotMu.Unlock()
+	return c.hotHints[key]
+}
+
+// setHotHint caches key's advertised hot-replica set. Empty sets are
+// ignored: a read served by a replica rather than the owner carries no
+// hint, and forgetting the cached one would bounce the next read back to
+// the owner. Stale hints self-correct — a demoted replica answers
+// wrong-shard, which drops the hint.
+func (c *Client) setHotHint(key string, replicas []string) {
+	if key == "" || len(replicas) == 0 {
+		return
+	}
+	c.hotMu.Lock()
+	defer c.hotMu.Unlock()
+	if c.hotHints == nil {
+		c.hotHints = make(map[string][]string)
+	}
+	if _, ok := c.hotHints[key]; !ok && len(c.hotHints) >= hotHintCap {
+		for k := range c.hotHints {
+			delete(c.hotHints, k)
+			break
+		}
+	}
+	c.hotHints[key] = append([]string(nil), replicas...)
+}
+
+// dropHotHint forgets key's hint after an error involving its route.
+func (c *Client) dropHotHint(key string) {
+	if key == "" {
+		return
+	}
+	c.hotMu.Lock()
+	delete(c.hotHints, key)
+	c.hotMu.Unlock()
+}
+
+// hotCandidates reorders a GET's candidate list using key's cached hint:
+// the hot set (owner plus advertised replicas) is sorted nearest-first,
+// reads rotate across the copies tied at the minimum RTT so a hot key's
+// load spreads instead of hammering one replica, and the remaining
+// candidates follow as fallback.
+func (c *Client) hotCandidates(key string, names []string) []string {
+	hints := c.hotHint(key)
+	if len(hints) == 0 {
+		return names
+	}
+	c.mu.RLock()
+	regionOf := make(map[string]simnet.Region, len(c.nodes))
+	for _, n := range c.nodes {
+		regionOf[n.Name] = n.Region
+	}
+	c.mu.RUnlock()
+	seen := make(map[string]bool, len(hints)+1)
+	hot := make([]string, 0, len(hints)+1)
+	if len(names) > 0 {
+		hot = append(hot, names[0])
+		seen[names[0]] = true
+	}
+	for _, h := range hints {
+		if !seen[h] {
+			hot = append(hot, h)
+			seen[h] = true
+		}
+	}
+	net := c.fabric.Network()
+	rtt := func(name string) time.Duration {
+		r, ok := regionOf[name]
+		if !ok {
+			// A hinted node absent from the view (mid-refresh) sorts last.
+			return time.Hour
+		}
+		return net.RTT(c.region, r)
+	}
+	sort.SliceStable(hot, func(i, j int) bool { return rtt(hot[i]) < rtt(hot[j]) })
+	near := 1
+	for near < len(hot) && rtt(hot[near]) == rtt(hot[0]) {
+		near++
+	}
+	c.hotMu.Lock()
+	idx := int(c.hotSeq % uint64(near))
+	c.hotSeq++
+	c.hotMu.Unlock()
+	out := make([]string, 0, len(names)+len(hot))
+	out = append(out, hot[idx:near]...)
+	out = append(out, hot[:idx]...)
+	out = append(out, hot[near:]...)
+	for _, n := range names {
+		if !seen[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // backoff computes the jittered delay before retry number attempt.
 func (c *Client) backoff(attempt int) time.Duration {
 	base := clientRetryBase << attempt
@@ -251,6 +360,9 @@ func (c *Client) callKey(ctx context.Context, method string, payload []byte, key
 	var lastErr error
 	for attempt := 0; attempt < clientMaxAttempts; attempt++ {
 		candidates := c.route(key)
+		if method == MethodGet {
+			candidates = c.hotCandidates(key, candidates)
+		}
 		if len(candidates) == 0 {
 			return nil, errors.New("wiera: client has no nodes")
 		}
@@ -262,6 +374,10 @@ func (c *Client) callKey(ctx context.Context, method string, payload []byte, key
 				return raw, nil
 			}
 			lastErr = err
+			// Any failure on key's route invalidates its hot hint: a demoted
+			// replica NACKs wrong-shard, a dead one times out — either way the
+			// next read re-learns the set from the owner.
+			c.dropHotHint(key)
 			if ws := AsWrongShard(err); ws != nil {
 				wrongShard = true
 				redirect = ws.Owner
@@ -347,6 +463,7 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, object.Meta, erro
 		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
+	c.setHotHint(key, resp.HotReplicas)
 	return resp.Data, resp.Meta, nil
 }
 

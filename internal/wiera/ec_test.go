@@ -158,7 +158,7 @@ func TestECPartitionHealConvergence(t *testing.T) {
 			t.Fatalf("%s reconstructed wrong bytes during region loss", baseKey(i))
 		}
 	}
-	_, _, recon, _, _ := west.ecm.statsSnapshot()
+	_, _, recon, _, _, _ := west.ecm.statsSnapshot()
 	if recon == 0 {
 		t.Fatal("reads during region loss never exercised parity reconstruction")
 	}
@@ -253,8 +253,41 @@ func TestECFragmentRegenerationOnForeignBundle(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatal("regenerated bundle decodes to wrong bytes")
 	}
-	_, _, _, frags, _ := eu.ecm.statsSnapshot()
+	_, _, _, frags, _, _ := eu.ecm.statsSnapshot()
 	if frags == 0 {
 		t.Fatal("ec_fragments_repaired_total never incremented")
+	}
+}
+
+// TestECHedgedGatherCancelsLosers checks the hedged fragment fan-out's
+// cancellation: under the 4+2 scheme each member holds 2 fragments, so a
+// reader's own bundle plus the FIRST peer answer already completes the
+// k-set — the other in-flight request must be canceled and counted.
+func TestECHedgedGatherCancelsLosers(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast, simnet.EUWest)
+	c.startSrc(t, "ech", ecStripeSrc, map[string]string{
+		"ecThresholdBytes": "4K", "antiEntropy": "false"})
+	west := c.node(t, "ech/us-west")
+	east := c.node(t, "ech/us-east")
+	eu := c.node(t, "ech/eu-west")
+	ctx := context.Background()
+
+	want := ecTestPayload("hedge", 32<<10)
+	if _, err := west.Put(ctx, "hedge", want, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitECBundle(t, east, "hedge", 5*time.Second)
+	waitECBundle(t, eu, "hedge", 5*time.Second)
+
+	got, _, err := eu.Get(ctx, "hedge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("hedged gather decoded wrong bytes")
+	}
+	_, _, _, _, _, cancels := eu.ecm.statsSnapshot()
+	if cancels == 0 {
+		t.Fatal("ec_gather_cancels_total never incremented: losing hedge not canceled")
 	}
 }

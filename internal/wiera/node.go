@@ -86,6 +86,24 @@ type NodeConfig struct {
 	// object hot and keeps it fully replicated (the ecHotGets spawn
 	// param). <= 0 uses the default.
 	ECHotGets int64
+	// HeatTrack enables per-key heat tracking and hot-key selective
+	// replication (the heatTrack spawn param). The remaining Heat fields
+	// are ignored when false.
+	HeatTrack bool
+	// HeatPromoteRate / HeatDemoteRate are the decayed access-rate
+	// thresholds (accesses per heat interval half-life) at which a key is
+	// promoted to extra replicas / demoted back. Zero uses defaults; a
+	// demote at or above promote is clamped to promote/5.
+	HeatPromoteRate float64
+	HeatDemoteRate  float64
+	// HeatReplicas is how many extra replicas a promoted key gets (default
+	// 2).
+	HeatReplicas int
+	// HeatInterval is the heat loop period (decay + promote/demote scan;
+	// default 2s of clock time).
+	HeatInterval time.Duration
+	// HeatTopK sizes the exact hottest-keys overlay (default 32).
+	HeatTopK int
 	// AntiEntropyEvery is the background anti-entropy round period
 	// (internal/repair). A positive period enables full Merkle digest sync
 	// every round; 0 (the default) runs hinted handoff and read repair only
@@ -142,6 +160,7 @@ type Node struct {
 	ecm    *ecManager     // erasure-coded distribution (stripe action)
 	repair *repairManager // nil when AntiEntropyEvery < 0
 	shards *shardManager  // inert (accepts every key) until a RingMsg arrives
+	heat   *heatTracker   // nil unless HeatTrack (hot-key selective replication)
 
 	latMon *thresholdMonitor // LatencyMonitoring (put)
 	reqMon *requestsMonitor  // RequestsMonitoring (primary)
@@ -252,6 +271,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cfg.Fabric.Remove(cfg.Name)
 		return nil, err
 	}
+	n.heat = newHeatTracker(n, cfg)
 	n.controlEvents = append(n.controlEvents, prog.ByKind(policy.KindThreshold)...)
 	if cfg.DynamicSpec != nil {
 		dynProg, err := policy.Compile(cfg.DynamicSpec, cfg.GlobalParams)
@@ -304,6 +324,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.repair.start()
 	}
 	n.sloEngine.Start()
+	n.heat.start()
 	local.Start()
 	registerNode(n)
 	return n, nil
@@ -494,6 +515,8 @@ func (n *Node) put(ctx context.Context, key string, data []byte, tags []string, 
 		n.latMon.observe(n.clk.Since(start))
 		n.reqMon.observeDirect()
 	}
+	n.heat.observe(key)
+	n.heat.afterPut(key, *op.meta, data)
 	return *op.meta, nil
 }
 
@@ -538,10 +561,20 @@ func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, re
 	if wait := start.Sub(gateStart); wait > 0 {
 		fa.AddHop(flight.Hop{Kind: flight.HopQueue, Name: "gate", Wait: wait, Duration: wait})
 	}
+	// A hot-key replica serves gets for keys this worker does not own: the
+	// cache is consulted before the ownership NACK so clients spread across
+	// owner + replicas without tripping wrong-shard redirects.
+	if data, meta, ok := n.heat.serveHot(key); ok {
+		n.heat.observe(key)
+		n.GetLatency.Record(n.clk.Since(start))
+		fa.AddHop(flight.Hop{Kind: flight.HopCache, Name: "hot-replica", Bytes: int64(len(data))})
+		return data, meta, nil
+	}
 	if err := n.shards.checkKey(key); err != nil {
 		span.SetError(err)
 		return nil, object.Meta{}, err
 	}
+	n.heat.observe(key)
 
 	n.mu.Lock()
 	prog := n.prog
@@ -838,7 +871,11 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(GetResponse{Data: data, Meta: meta})
+		// A hot key's owner advertises its replica set so the client can
+		// spread subsequent gets; empty clears any hint the client holds.
+		return transport.Encode(GetResponse{
+			Data: data, Meta: meta, HotReplicas: n.heat.replicasFor(req.Key),
+		})
 	case MethodForwardGet:
 		var req GetRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -960,6 +997,23 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 			return nil, err
 		}
 		return transport.Encode(n.ecm.placementLocal(req.Key))
+	case MethodHotInstall:
+		var msg HotInstallMsg
+		if err := transport.Decode(payload, &msg); err != nil {
+			return nil, err
+		}
+		if n.heat == nil {
+			return nil, fmt.Errorf("wiera: node %s: heat tracking disabled", n.name)
+		}
+		n.heat.handleInstall(msg)
+		return transport.Encode(Empty{})
+	case MethodHotDrop:
+		var msg HotDropMsg
+		if err := transport.Decode(payload, &msg); err != nil {
+			return nil, err
+		}
+		n.heat.handleDrop(msg.Key)
+		return transport.Encode(Empty{})
 	case MethodSnapshot:
 		return n.snapshot(ctx)
 	case MethodRepairDigest, MethodRepairEntries, MethodRepairPull, MethodRepairPush:
@@ -1172,6 +1226,7 @@ func (n *Node) Close() error {
 	n.gate.kill() // unblock any operation parked behind a policy change
 	n.queue.stop()
 	n.sloEngine.Stop()
+	n.heat.stopLoop()
 	if n.repair != nil {
 		n.repair.stop()
 	}
@@ -1192,6 +1247,7 @@ func (n *Node) Crash() {
 	n.gate.kill()
 	n.queue.stop()
 	n.sloEngine.Stop()
+	n.heat.stopLoop()
 	if n.repair != nil {
 		// Stop the daemon but leave the hint backend unflushed: a crash
 		// takes no clean shutdown path, and durable hints replay on respawn.

@@ -83,6 +83,14 @@ const (
 	MethodAddWorker    = "wiera.addWorker"
 	MethodRemoveWorker = "wiera.removeWorker"
 
+	// Hot-key selective replication: a key's owner pushes extra replicas of
+	// a hot key to chosen peers (install) and retires them when the key
+	// cools (drop). MethodHeatTop is the management query aggregating the
+	// per-worker heat sketches into an instance-wide hottest-keys list.
+	MethodHotInstall = "wiera.hotInstall"
+	MethodHotDrop    = "wiera.hotDrop"
+	MethodHeatTop    = "wiera.heatTop"
+
 	// Telemetry API served by the cmd/wiera TCP front. Handled in the
 	// daemon process directly: the metrics registry and tracer live on the
 	// fabric, not on any single node.
@@ -117,10 +125,14 @@ type GetVersionRequest struct {
 	Version object.Version
 }
 
-// GetResponse carries payload and metadata.
+// GetResponse carries payload and metadata. HotReplicas, set only by a
+// key's owner when the key is promoted as hot, lists the extra replica
+// nodes currently holding it; clients may spread subsequent GETs across
+// owner + replicas. Empty means the key is not (or no longer) hot.
 type GetResponse struct {
-	Data []byte
-	Meta object.Meta
+	Data        []byte
+	Meta        object.Meta
+	HotReplicas []string
 }
 
 // VersionListRequest lists versions (Table 2 getVersionList).
@@ -327,6 +339,75 @@ type RingDrainRequest struct{}
 // RingDrainResponse reports how many keys the drain moved.
 type RingDrainResponse struct {
 	Moved int
+}
+
+// HotInstallMsg pushes an extra replica of a hot key onto a peer that does
+// not own it. Owner names the pushing worker so the receiver can advertise
+// where authoritative writes go. The receiver keeps the copy in a bounded
+// side cache (never its authoritative store), so hot replicas can never be
+// confused with owned keys during a rebalance drain.
+type HotInstallMsg struct {
+	Meta  object.Meta
+	Data  []byte
+	Owner string
+}
+
+// HotDropMsg retires a hot replica when the key cools (or ownership moves).
+// The receiver tombstones the key briefly so an install that raced the drop
+// cannot resurrect a stale copy.
+type HotDropMsg struct {
+	Key string
+}
+
+// HeatTopRequest asks the server for an instance's hottest keys, merged
+// across every worker's sketch. K caps the answer (<= 0 uses a default).
+type HeatTopRequest struct {
+	InstanceID string
+	K          int
+}
+
+// HeatKey is one entry of a heat report: a key and its decayed access-rate
+// estimate (accesses per sketch half-life, summed across workers).
+type HeatKey struct {
+	Key  string
+	Rate float64
+}
+
+// HeatTopResponse carries the merged hottest keys, hottest first.
+type HeatTopResponse struct {
+	Entries []HeatKey
+}
+
+// rebalanceMarker prefixes every ErrRebalanceInProgress so the typed error
+// survives the transport's error flattening, exactly like wrongShardMarker.
+const rebalanceMarker = "wiera: rebalance in progress: "
+
+// ErrRebalanceInProgress is the NACK for AddWorker/RemoveWorker when the
+// instance already has an unsettled ring change in flight: membership
+// changes are strictly serialized, so the autoscaler and a manual wieractl
+// grow/shrink can never interleave two rebalances. Callers should retry
+// after the current rebalance settles.
+type ErrRebalanceInProgress struct {
+	InstanceID string
+}
+
+// Error implements error with the parseable wire format.
+func (e *ErrRebalanceInProgress) Error() string {
+	return rebalanceMarker + e.InstanceID
+}
+
+// AsRebalanceInProgress recovers an ErrRebalanceInProgress from an error
+// that crossed the fabric. It returns nil when err is something else.
+func AsRebalanceInProgress(err error) *ErrRebalanceInProgress {
+	if err == nil {
+		return nil
+	}
+	msg := err.Error()
+	i := strings.Index(msg, rebalanceMarker)
+	if i < 0 {
+		return nil
+	}
+	return &ErrRebalanceInProgress{InstanceID: msg[i+len(rebalanceMarker):]}
 }
 
 // wrongShardMarker prefixes every WrongShardError so the string form

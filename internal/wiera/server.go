@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/coord"
 	"repro/internal/flight"
 	"repro/internal/policy"
@@ -88,6 +89,11 @@ type instanceState struct {
 	vnodes        int
 	primaryRegion simnet.Region // region whose workers lead their groups
 	rebalancing   bool
+
+	// autoctl is the instance's elastic autoscaler (nil unless the
+	// autoscale param asked for one). It consumes the aggregated stats
+	// signals and actuates AddWorker/RemoveWorker itself.
+	autoctl *autoscale.Controller
 }
 
 // regionPlan records how to (re)spawn one member.
@@ -215,6 +221,16 @@ func (s *Server) handle(_ context.Context, method string, payload []byte) ([]byt
 			return nil, err
 		}
 		return transport.Encode(RingDrainResponse{Moved: moved})
+	case MethodHeatTop:
+		var req HeatTopRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		entries, err := s.HeatTop(req.InstanceID, req.K)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(HeatTopResponse{Entries: entries})
 	default:
 		return nil, fmt.Errorf("wiera: server: unknown method %q", method)
 	}
@@ -358,8 +374,155 @@ func (s *Server) StartInstances(req StartInstancesRequest) ([]PeerInfo, error) {
 			return nil, err
 		}
 	}
+	s.startAutoscaler(st, req.Params)
 	return nodes, nil
 }
+
+// startAutoscaler launches the instance's elastic controller when the
+// autoscale param asks for one. Tuning params (all optional): asMin/asMax
+// (worker bounds), asInterval/asCooldown (durations), asHighOps/asLowOps
+// (per-worker ops/s watermarks), asGrowStreak/asShrinkStreak (consecutive
+// ticks before acting).
+func (s *Server) startAutoscaler(st *instanceState, params map[string]string) {
+	if v, ok := params["autoscale"]; !ok || v != "true" {
+		return
+	}
+	pInt := func(key string, def int) int {
+		if v, ok := params[key]; ok {
+			var n int
+			if _, err := fmt.Sscanf(v, "%d", &n); err == nil {
+				return n
+			}
+		}
+		return def
+	}
+	pFloat := func(key string, def float64) float64 {
+		if v, ok := params[key]; ok {
+			var f float64
+			if _, err := fmt.Sscanf(v, "%g", &f); err == nil {
+				return f
+			}
+		}
+		return def
+	}
+	pDur := func(key string) time.Duration {
+		if v, ok := params[key]; ok {
+			if d, err := time.ParseDuration(v); err == nil {
+				return d
+			}
+		}
+		return 0
+	}
+	id := st.id
+	src := &instanceSignals{s: s, id: id}
+	ctl := autoscale.New(autoscale.Config{
+		Clock:              s.fabric.Network().Clock(),
+		Interval:           pDur("asInterval"),
+		MinWorkers:         pInt("asMin", 1),
+		MaxWorkers:         pInt("asMax", 8),
+		CoolDown:           pDur("asCooldown"),
+		GrowOpsPerWorker:   pFloat("asHighOps", 0),
+		ShrinkOpsPerWorker: pFloat("asLowOps", 0),
+		GrowStreak:         pInt("asGrowStreak", 0),
+		ShrinkStreak:       pInt("asShrinkStreak", 0),
+		Registry:           s.fabric.Metrics(),
+		Instance:           id,
+		Source:             src,
+		Actuator:           &instanceActuator{s: s, id: id},
+		Blocked: func(err error) bool {
+			return AsRebalanceInProgress(err) != nil
+		},
+	})
+	s.mu.Lock()
+	if _, ok := s.instances[id]; !ok {
+		s.mu.Unlock()
+		return // instance stopped while the controller was being built
+	}
+	st.autoctl = ctl
+	s.mu.Unlock()
+	ctl.Start()
+}
+
+// Autoscaler returns the instance's controller (nil when autoscaling is
+// off) so experiments can drive ticks deterministically and read the
+// decision log.
+func (s *Server) Autoscaler(instanceID string) *autoscale.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.instances[instanceID]; ok {
+		return st.autoctl
+	}
+	return nil
+}
+
+// instanceSignals aggregates one instance's stats into the autoscaler's
+// Signals view: worker count from the ring, throughput from op-counter
+// deltas between ticks, SLO burn/firing from the nodes' engines, queue
+// depth, and per-worker key imbalance.
+type instanceSignals struct {
+	s  *Server
+	id string
+
+	mu      sync.Mutex
+	lastOps int64
+	lastAt  time.Time
+}
+
+func (g *instanceSignals) Signals() (autoscale.Signals, error) {
+	stats, err := g.s.CollectStats(g.id)
+	if err != nil {
+		return autoscale.Signals{}, err
+	}
+	rm, err := g.s.Ring(g.id)
+	if err != nil {
+		return autoscale.Signals{}, err
+	}
+	var sig autoscale.Signals
+	sig.Workers = 1
+	if rm != nil {
+		sig.Workers = rm.Shards()
+	}
+	var ops int64
+	var maxKeys, totalKeys int
+	for _, ns := range stats.Nodes {
+		ops += ns.Puts + ns.Gets
+		sig.QueueDepth += ns.QueueDepth
+		if ns.SLOBurn > sig.Burn {
+			sig.Burn = ns.SLOBurn
+		}
+		sig.Firing = sig.Firing || ns.SLOFiring
+		totalKeys += ns.Keys
+		if ns.Keys > maxKeys {
+			maxKeys = ns.Keys
+		}
+	}
+	if len(stats.Nodes) > 0 && totalKeys > 0 {
+		mean := float64(totalKeys) / float64(len(stats.Nodes))
+		if mean > 0 {
+			sig.Imbalance = (float64(maxKeys) - mean) / mean
+		}
+	}
+	now := g.s.fabric.Network().Clock().Now()
+	g.mu.Lock()
+	if !g.lastAt.IsZero() {
+		if dt := now.Sub(g.lastAt).Seconds(); dt > 0 {
+			sig.OpsPerSec = float64(ops-g.lastOps) / dt
+		}
+	}
+	g.lastOps, g.lastAt = ops, now
+	g.mu.Unlock()
+	return sig, nil
+}
+
+// instanceActuator maps the controller's grow/shrink onto the server's
+// online rebalance operations.
+type instanceActuator struct {
+	s  *Server
+	id string
+}
+
+func (a *instanceActuator) Grow() error   { _, err := a.s.AddWorker(a.id); return err }
+func (a *instanceActuator) Shrink() error { _, err := a.s.RemoveWorker(a.id); return err }
 
 // planFor derives a region plan from one region declaration: resolve the
 // local policy (builtin name), apply tier overrides, and name the node.
@@ -454,6 +617,16 @@ func (s *Server) teardown(nodes []PeerInfo) {
 	for _, n := range nodes {
 		payload, _ := transport.Encode(Empty{})
 		_, _ = s.ep.Call(context.Background(), n.Name, MethodShutdown, payload)
+	}
+	// A node acks the shutdown RPC before it closes (it cannot reply over a
+	// removed endpoint), so the name lingers briefly. Wait it out: a
+	// follow-up AddWorker reuses worker names, and the autoscaler's
+	// shrink-then-grow cycles do exactly that back to back.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, n := range nodes {
+		for s.fabric.Registered(n.Name) && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
 	}
 }
 
@@ -568,6 +741,7 @@ func (s *Server) StopInstances(instanceID string) error {
 	if !ok {
 		return fmt.Errorf("wiera: no instance %q", instanceID)
 	}
+	st.autoctl.Stop() // nil-safe; before teardown so no action races the shutdown
 	s.teardown(st.nodes)
 	return nil
 }
@@ -600,6 +774,40 @@ func (s *Server) Ring(instanceID string) (*ring.Map, error) {
 	return rm, err
 }
 
+// HeatTop merges every worker's heat sketch into the instance's hottest
+// keys: per-key rates are summed across workers (a hot key read through
+// hot replicas accrues heat on several nodes) and the merged list is
+// sorted hottest first, truncated to k (<= 0 uses 20).
+func (s *Server) HeatTop(instanceID string, k int) ([]HeatKey, error) {
+	if k <= 0 {
+		k = 20
+	}
+	stats, err := s.CollectStats(instanceID)
+	if err != nil {
+		return nil, err
+	}
+	merged := make(map[string]float64)
+	for _, ns := range stats.Nodes {
+		for _, e := range ns.HeatTop {
+			merged[e.Key] += e.Rate
+		}
+	}
+	out := make([]HeatKey, 0, len(merged))
+	for key, rate := range merged {
+		out = append(out, HeatKey{Key: key, Rate: rate})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
 // beginRebalance checks out the instance for an exclusive membership change
 // and snapshots what the change needs.
 func (s *Server) beginRebalance(instanceID string) (*instanceState, *ring.Map, []regionPlan, error) {
@@ -610,7 +818,10 @@ func (s *Server) beginRebalance(instanceID string) (*instanceState, *ring.Map, [
 		return nil, nil, nil, fmt.Errorf("wiera: no instance %q", instanceID)
 	}
 	if st.rebalancing {
-		return nil, nil, nil, fmt.Errorf("wiera: instance %q is already rebalancing", instanceID)
+		// Typed NACK: membership changes are strictly serialized, so a
+		// caller (the autoscaler, or a second wieractl grow/shrink) can
+		// recognize the collision and retry after the settle.
+		return nil, nil, nil, &ErrRebalanceInProgress{InstanceID: instanceID}
 	}
 	cur := st.ringMap
 	if cur == nil {
@@ -971,6 +1182,15 @@ func (s *Server) Stop() {
 // Close stops the server and removes its endpoint.
 func (s *Server) Close() {
 	s.Stop()
+	s.mu.Lock()
+	ctls := make([]*autoscale.Controller, 0, len(s.instances))
+	for _, st := range s.instances {
+		ctls = append(ctls, st.autoctl)
+	}
+	s.mu.Unlock()
+	for _, c := range ctls {
+		c.Stop() // nil-safe
+	}
 	s.fabric.Remove(s.name)
 }
 
@@ -1354,6 +1574,23 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 	if v, ok := params["ecHotGets"]; ok && v.Kind == policy.ValNumber {
 		ecHotGets = int64(v.Num)
 	}
+	// Heat tracking knobs (hot-key selective replication): heatTrack turns
+	// the tracker on; the rest tune thresholds, replica count, loop period,
+	// and top-set size.
+	heatTrack := false
+	if v, ok := params["heatTrack"]; ok && v.Kind == policy.ValBool {
+		heatTrack = v.Bool
+	}
+	pnum := func(key string) float64 {
+		if v, ok := params[key]; ok && v.Kind == policy.ValNumber {
+			return v.Num
+		}
+		return 0
+	}
+	var heatInterval time.Duration
+	if v, ok := params["heatInterval"]; ok && v.Kind == policy.ValDuration {
+		heatInterval = v.Dur
+	}
 	slos, sloInterval := sloParams(params)
 	node, err := NewNode(NodeConfig{
 		Name:             req.NodeName,
@@ -1375,6 +1612,12 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 		ECScheme:         ecScheme,
 		ECThresholdBytes: ecThreshold,
 		ECHotGets:        ecHotGets,
+		HeatTrack:        heatTrack,
+		HeatPromoteRate:  pnum("heatPromoteRate"),
+		HeatDemoteRate:   pnum("heatDemoteRate"),
+		HeatReplicas:     int(pnum("heatReplicas")),
+		HeatInterval:     heatInterval,
+		HeatTopK:         int(pnum("heatTopK")),
 		AntiEntropyEvery: antiEntropy,
 		SLOs:             slos,
 		SLOInterval:      sloInterval,

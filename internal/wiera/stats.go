@@ -66,6 +66,22 @@ type NodeStats struct {
 	ECReconstructs  int64
 	ECFragsRepaired int64
 	ECBytesSaved    int64
+	ECGatherCancels int64
+
+	// SLO view: the worst objective's slow-window burn rate from the last
+	// engine evaluation, and whether any objective's alert is firing. Zero
+	// when the node declares no objectives.
+	SLOBurn   float64
+	SLOFiring bool
+
+	// Heat view (heat_* counters); all zero unless heatTrack is enabled.
+	HeatTrackedKeys int
+	HotKeys         int
+	HotCached       int
+	HeatPromotions  int64
+	HeatDemotions   int64
+	HotGets         int64
+	HeatTop         []HeatKey
 }
 
 // statsLocal builds the node's own summary.
@@ -78,7 +94,16 @@ func (n *Node) statsLocal() NodeStats {
 	}
 	toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	pending, repaired, readRepairs, replayed := n.repair.statsSnapshot()
-	ecPuts, ecRepl, ecRecon, ecFrags, ecSaved := n.ecm.statsSnapshot()
+	ecPuts, ecRepl, ecRecon, ecFrags, ecSaved, ecCancels := n.ecm.statsSnapshot()
+	hs := n.heat.statsSnapshot()
+	var sloBurn float64
+	var sloFiring bool
+	for _, st := range n.sloEngine.Statuses() {
+		if st.SlowBurn > sloBurn {
+			sloBurn = st.SlowBurn
+		}
+		sloFiring = sloFiring || st.Firing
+	}
 	// A stats round trip doubles as the gauge refresh for wieractl ring:
 	// CollectStats before a metrics dump leaves ring_keys/ring_bytes current.
 	n.shards.updateOwnershipGauges()
@@ -118,6 +143,18 @@ func (n *Node) statsLocal() NodeStats {
 		ECReconstructs:  ecRecon,
 		ECFragsRepaired: ecFrags,
 		ECBytesSaved:    ecSaved,
+		ECGatherCancels: ecCancels,
+
+		SLOBurn:   sloBurn,
+		SLOFiring: sloFiring,
+
+		HeatTrackedKeys: hs.tracked,
+		HotKeys:         hs.hot,
+		HotCached:       hs.cached,
+		HeatPromotions:  hs.promotions,
+		HeatDemotions:   hs.demotions,
+		HotGets:         hs.hotGets,
+		HeatTop:         hs.top,
 	}
 }
 
@@ -205,8 +242,15 @@ func (is *InstanceStats) Render() string {
 				n.BatchFlushes, n.BatchChunks, n.BatchUpdates, n.BatchBytes, n.BatchEntryFailures)
 		}
 		if n.ECPuts > 0 || n.ECReplPuts > 0 {
-			fmt.Fprintf(&b, "    ec: puts=%d replicated=%d reconstructs=%d fragsRepaired=%d bytesSaved=%d\n",
-				n.ECPuts, n.ECReplPuts, n.ECReconstructs, n.ECFragsRepaired, n.ECBytesSaved)
+			fmt.Fprintf(&b, "    ec: puts=%d replicated=%d reconstructs=%d fragsRepaired=%d bytesSaved=%d gatherCancels=%d\n",
+				n.ECPuts, n.ECReplPuts, n.ECReconstructs, n.ECFragsRepaired, n.ECBytesSaved, n.ECGatherCancels)
+		}
+		if n.SLOBurn > 0 || n.SLOFiring {
+			fmt.Fprintf(&b, "    slo: burn=%.2f firing=%v\n", n.SLOBurn, n.SLOFiring)
+		}
+		if n.HeatTrackedKeys > 0 || n.HotKeys > 0 || n.HotGets > 0 {
+			fmt.Fprintf(&b, "    heat: tracked=%d hot=%d cached=%d promoted=%d demoted=%d hotGets=%d\n",
+				n.HeatTrackedKeys, n.HotKeys, n.HotCached, n.HeatPromotions, n.HeatDemotions, n.HotGets)
 		}
 	}
 	if len(is.RTTms) > 0 {
