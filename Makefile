@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: ci verify vet build test race race-obs race-ring race-batch race-ec race-autoscale bench convergence scaleout batchflush eccost elastic
+.PHONY: ci verify vet build test race race-obs race-obsplane race-ring race-batch race-ec race-autoscale smoke-obsplane bench convergence scaleout batchflush eccost elastic
 
-ci: vet build race-obs race-ring race-batch race-ec race-autoscale race
+ci: vet build race-obs race-obsplane race-ring race-batch race-ec race-autoscale race smoke-obsplane
 
 # One-stop pre-commit check: static analysis, full build, race-checked tests.
-verify: vet build race-obs race-ring race-batch race-ec race-autoscale race
+verify: vet build race-obs race-obsplane race-ring race-batch race-ec race-autoscale race
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,19 @@ race:
 # data race would silently corrupt metrics, so they get their own fast gate.
 race-obs:
 	$(GO) test -race -count=2 ./internal/flight/ ./internal/telemetry/
+
+# Focused race pass over the cluster observability plane: snapshot-merge
+# under concurrent Record (the exact-merge property test races recorders
+# against MergeSnapshots), exemplar recency, the event journal ring, and the
+# watchdog's trip/clear edges.
+race-obsplane:
+	$(GO) test -race -count=2 ./internal/telemetry/ ./internal/watch/
+
+# End-to-end observability smoke: boots a 2-worker daemon, drives traffic,
+# and asserts /healthz answers, /cluster/metrics carries a resolvable
+# exemplar, and grow/shrink ring epochs land in the event journal in order.
+smoke-obsplane:
+	./scripts/smoke_obsplane.sh
 
 # Focused race pass over keyspace sharding: ring construction, client
 # routing under concurrent map swaps, and online rebalancing — migration

@@ -15,8 +15,10 @@
 //	wieractl [-addr 127.0.0.1:7360] remove -id myapp -key k [-version N]
 //	wieractl [-addr 127.0.0.1:7360] policies
 //	wieractl [-addr 127.0.0.1:7360] metrics
+//	wieractl [-addr 127.0.0.1:7360] cluster [-raw]
+//	wieractl [-addr 127.0.0.1:7360] events [-n 50] [-raw]
 //	wieractl [-addr 127.0.0.1:7360] repair
-//	wieractl [-addr 127.0.0.1:7360] trace [-trace <id>] [-raw]
+//	wieractl [-addr 127.0.0.1:7360] trace [-trace <id>] [-analyze] [-raw]
 //	wieractl [-addr 127.0.0.1:7360] slow  [-n 20] [-all] [-summary] [-raw]
 //	wieractl [-addr 127.0.0.1:7360] top   -id myapp [-watch] [-interval 2s]
 //	wieractl [-addr 127.0.0.1:7360] ring  -id myapp
@@ -39,12 +41,22 @@
 // the storage-cost view of the per-object replication/EC chooser.
 //
 // slow prints the flight recorder's always-keep slow/expensive request log
-// (hop-by-hop tier/RPC/lock/repair breakdown with attributed cost); -all
-// switches to the recent-request ring. top is a one-shot (or -watch
-// refreshed) health view combining per-node operation stats, anti-entropy
-// repair counters, SLO error-budget burn gauges, and — when the instance
-// runs the elastic controller or heat tracker — the autoscale_* decision
-// gauges and heat_* promotion counters.
+// (hop-by-hop tier/RPC/lock/repair breakdown with attributed cost) plus
+// the current per-op p99 exemplar traces; -all switches to the
+// recent-request ring. top is a one-shot (or -watch refreshed) health view
+// combining per-node operation stats, anti-entropy repair counters, SLO
+// error-budget burn gauges, the most recent journal events, and — when the
+// instance runs the elastic controller or heat tracker — the autoscale_*
+// decision gauges and heat_* promotion counters.
+//
+// cluster asks the daemon for the fleet-merged metric view (itself plus
+// every daemon it was started with -peers for) and prints true fleet-wide
+// per-op latency percentiles with their p99 exemplar trace IDs — each
+// resolvable via trace -trace <id> -analyze, which attributes the trace's
+// wall time across its critical path by hop kind (queue/lock/tier/rpc/
+// repair/batch). events prints the daemon's structured event journal
+// (ring epoch changes, autoscale decisions, SLO fire/clear edges, hot-key
+// promotions, repair cycles, watchdog trips) oldest-first.
 package main
 
 import (
@@ -62,6 +74,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
+	"repro/internal/watch"
 	"repro/internal/wiera"
 )
 
@@ -80,7 +93,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|placement|remove|policies|metrics|repair|trace|slow|top|ring|grow|shrink|heat> ...")
+		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|placement|remove|policies|metrics|cluster|events|repair|trace|slow|top|ring|grow|shrink|heat> ...")
 	}
 	cmdName, cmdArgs := rest[0], rest[1:]
 	if cmdName == "policies" {
@@ -104,6 +117,7 @@ func run(args []string) error {
 	policyPath := fs.String("policy", "", "global policy source file, or a builtin policy name")
 	dynamicPath := fs.String("dynamic", "", "dynamic (control) policy source file or builtin name")
 	traceID := fs.String("trace", "", "trace id to dump (trace command; empty = all spans)")
+	analyze := fs.Bool("analyze", false, "critical-path analysis of one trace (trace command; requires -trace)")
 	rawSpans := fs.Bool("raw", false, "print output as JSON instead of a table/tree (trace, slow commands)")
 	maxN := fs.Int("n", 20, "max records to show (slow, heat commands)")
 	allRecs := fs.Bool("all", false, "show the recent-request ring instead of the slowlog (slow command)")
@@ -150,12 +164,57 @@ func run(args []string) error {
 		if err := call(cli, wiera.MethodTraceDump, wiera.TraceDumpRequest{TraceID: *traceID}, &resp); err != nil {
 			return err
 		}
+		if *analyze {
+			if *traceID == "" {
+				return fmt.Errorf("-analyze requires -trace <id>")
+			}
+			a, err := telemetry.AnalyzeTrace(resp.Spans)
+			if err != nil {
+				return fmt.Errorf("trace %s: %w", *traceID, err)
+			}
+			if *rawSpans {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				return enc.Encode(a)
+			}
+			fmt.Print(telemetry.RenderAnalysis(a))
+			return nil
+		}
 		if *rawSpans {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			return enc.Encode(resp.Spans)
 		}
 		fmt.Print(telemetry.RenderSpanTree(resp.Spans))
+		return nil
+	case "cluster":
+		var resp wiera.ClusterMetricsResponse
+		if err := call(cli, wiera.MethodClusterMetrics, wiera.ClusterMetricsRequest{}, &resp); err != nil {
+			return err
+		}
+		if *rawSpans {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(resp)
+		}
+		fmt.Print(renderCluster(resp))
+		return nil
+	case "events":
+		var resp wiera.EventsDumpResponse
+		if err := call(cli, wiera.MethodEventsDump, wiera.EventsDumpRequest{Max: *maxN}, &resp); err != nil {
+			return err
+		}
+		if *rawSpans {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(resp)
+		}
+		if len(resp.Events) == 0 {
+			fmt.Println("no events recorded yet")
+			return nil
+		}
+		fmt.Printf("events (%d shown; %d recorded since start)\n", len(resp.Events), resp.Total)
+		fmt.Print(renderEvents(resp.Events))
 		return nil
 	case "slow":
 		var resp wiera.FlightDumpResponse
@@ -177,6 +236,14 @@ func run(args []string) error {
 		fmt.Print(flight.RenderRecords(resp.Records))
 		if *summary {
 			fmt.Print(flight.RenderHopSummary(resp.Records))
+		}
+		// Tail exemplars: the concrete traces currently sitting in each op's
+		// p99 bucket — the fastest route from "the tail is slow" to a trace.
+		var snap wiera.MetricsSnapshotResponse
+		if err := call(cli, wiera.MethodMetricsSnapshot, wiera.MetricsSnapshotRequest{}, &snap); err == nil {
+			if out := renderTailExemplars(snap.Families); out != "" {
+				fmt.Print(out)
+			}
 		}
 		return nil
 	}
@@ -438,7 +505,93 @@ func renderTop(cli *transport.TCPClient, id string) (string, error) {
 	section("repair (anti-entropy)", "repair_")
 	section("autoscale (elastic controller)", "autoscale_")
 	section("heat (hot-key replication)", "heat_")
+	section("watchdog (runtime self-checks)", "watch_")
+
+	var events wiera.EventsDumpResponse
+	if err := call(cli, wiera.MethodEventsDump, wiera.EventsDumpRequest{Max: 8}, &events); err == nil &&
+		len(events.Events) > 0 {
+		fmt.Fprintf(&b, "\nevents (newest %d of %d)\n", len(events.Events), events.Total)
+		b.WriteString(renderEvents(events.Events))
+	}
 	return b.String(), nil
+}
+
+// renderEvents formats journal events oldest-first, one line each.
+func renderEvents(events []watch.Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "  %6d  %s  %-16s %-24s %s\n",
+			e.Seq, e.At.Format("15:04:05.000"), e.Type, e.Scope, e.Msg)
+	}
+	return b.String()
+}
+
+// renderCluster formats the fleet-merged metric view: the contributing
+// daemons, then true fleet-wide per-op latency distributions (count, p50,
+// p99) with the trace exemplar sitting in each op's p99 bucket.
+func renderCluster(resp wiera.ClusterMetricsResponse) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet view: %d daemon(s): %s\n", len(resp.Sources), strings.Join(resp.Sources, ", "))
+	if len(resp.Failed) > 0 {
+		fmt.Fprintf(&b, "unreachable peers: %s\n", strings.Join(resp.Failed, ", "))
+	}
+	printed := false
+	for _, spec := range []struct{ family, by string }{
+		{"wiera_op_seconds", "op"},
+		{"tiera_op_seconds", "op"},
+		{"rpc_server_seconds", "method"},
+	} {
+		fam, ok := telemetry.FindFamily(resp.Families, spec.family)
+		if !ok {
+			continue
+		}
+		merged := telemetry.CollapseHistogram(fam, spec.by)
+		if len(merged) == 0 {
+			continue
+		}
+		printed = true
+		fmt.Fprintf(&b, "\n%s (fleet-wide, by %s)\n", spec.family, spec.by)
+		fmt.Fprintf(&b, "  %-28s %9s %10s %10s  %s\n", spec.by, "count", "p50", "p99", "p99 exemplar")
+		for _, m := range merged {
+			name := strings.Join(m.LabelValues, "/")
+			ex := "-"
+			if trace, v, ok := telemetry.BucketExemplarAt(m.Buckets, 99); ok {
+				ex = fmt.Sprintf("%s (%v)", trace, v.Round(10*time.Microsecond))
+			}
+			fmt.Fprintf(&b, "  %-28s %9d %10v %10v  %s\n", name, m.Count,
+				telemetry.BucketsPercentile(m.Buckets, 50).Round(10*time.Microsecond),
+				telemetry.BucketsPercentile(m.Buckets, 99).Round(10*time.Microsecond), ex)
+		}
+	}
+	if !printed {
+		b.WriteString("no op latency families recorded yet (no traffic?)\n")
+	} else {
+		b.WriteString("\nresolve an exemplar: wieractl trace -trace <id> -analyze\n")
+	}
+	return b.String()
+}
+
+// renderTailExemplars lists each op's current p99 exemplar trace from one
+// daemon's own snapshot (the slow command's bridge from percentile to
+// trace).
+func renderTailExemplars(fams []telemetry.FamilySnapshot) string {
+	fam, ok := telemetry.FindFamily(fams, "wiera_op_seconds")
+	if !ok {
+		return ""
+	}
+	var b strings.Builder
+	for _, m := range telemetry.CollapseHistogram(fam, "op") {
+		trace, v, ok := telemetry.BucketExemplarAt(m.Buckets, 99)
+		if !ok {
+			continue
+		}
+		if b.Len() == 0 {
+			b.WriteString("p99 exemplars (wieractl trace -trace <id> -analyze):\n")
+		}
+		fmt.Fprintf(&b, "  %-12s %v  trace %s\n",
+			strings.Join(m.LabelValues, "/"), v.Round(10*time.Microsecond), trace)
+	}
+	return b.String()
 }
 
 // renderRing builds the ring view: a CollectStats round trip first (which

@@ -1,11 +1,13 @@
 package autoscale
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/telemetry"
+	"repro/internal/watch"
 )
 
 // Controller defaults. The watermarks are per-worker ops/s and deliberately
@@ -73,6 +75,10 @@ type Config struct {
 	// Registry receives the autoscale_* families (nil skips export).
 	Registry *telemetry.Registry
 	Instance string // instance label for the metric families
+
+	// Journal receives autoscale.grow / autoscale.shrink events for every
+	// successful action, attributed to Instance (nil skips).
+	Journal *watch.Journal
 
 	Source   SignalSource
 	Actuator Actuator
@@ -308,5 +314,12 @@ func (c *Controller) TickNow() string {
 			c.shrinks.Inc()
 		}
 	}
+	c.cfg.Journal.Record("autoscale."+what, c.cfg.Instance,
+		fmt.Sprintf("%s from %d workers (ops/s %.1f, burn %.2f, firing %v)",
+			what, sig.Workers, sig.OpsPerSec, sig.Burn, sig.Firing),
+		map[string]string{
+			"workers":   fmt.Sprintf("%d", sig.Workers),
+			"opsPerSec": fmt.Sprintf("%.1f", sig.OpsPerSec),
+		})
 	return what
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/ring"
 	"repro/internal/transport"
+	"repro/internal/watch"
 )
 
 // Coordination errors.
@@ -57,7 +58,8 @@ type empty struct{}
 
 // Server is the coordination service state machine.
 type Server struct {
-	clk clock.Clock
+	clk     clock.Clock
+	journal *watch.Journal // optional: records ring.epoch publications
 
 	mu       sync.Mutex
 	nextID   int64
@@ -65,6 +67,11 @@ type Server struct {
 	locks    map[string]*lockState
 	rings    map[string]*ring.Map // authoritative shard maps by instance id
 }
+
+// AttachJournal makes the server record every ring publication as a
+// ring.epoch event — the authoritative membership-change history of the
+// deployment. Call before serving.
+func (s *Server) AttachJournal(j *watch.Journal) { s.journal = j }
 
 type session struct {
 	id       int64

@@ -3,6 +3,7 @@ package coord
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"repro/internal/ring"
 	"repro/internal/transport"
@@ -57,6 +58,12 @@ func (s *Server) PublishRing(name string, m *ring.Map) (int64, error) {
 	stored := m.Clone()
 	stored.Epoch = epoch
 	s.rings[name] = stored
+	// The coordinator is the epoch authority, so its journal is the
+	// canonical record of every ring membership change in the deployment.
+	s.journal.Record("ring.epoch", name, stored.Summary(), map[string]string{
+		"epoch":  fmt.Sprintf("%d", epoch),
+		"shards": fmt.Sprintf("%d", stored.Shards()),
+	})
 	return epoch, nil
 }
 

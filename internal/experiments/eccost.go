@@ -35,17 +35,17 @@ type ECCostResult struct {
 	// Chooser classification at the writer: large cold objects stored
 	// erasure-coded, small objects kept replicated, hot rewrites kept
 	// replicated despite their size.
-	LargeEC        int
-	SmallRepl      int
-	HotRepl        int
+	LargeEC   int
+	SmallRepl int
+	HotRepl   int
 
 	// Physical bytes across all three regions for the large cold objects
 	// only (the equal-durability comparison the cost claim is about), and
 	// their Table 4 monthly storage cost.
-	ReplBytes    int64
-	ECBytes      int64
-	ReplMonthly  float64
-	ECMonthly    float64
+	ReplBytes     int64
+	ECBytes       int64
+	ReplMonthly   float64
+	ECMonthly     float64
 	CostReduction float64
 
 	// Region-loss audit: with eu-west fully severed, every erasure-coded

@@ -61,14 +61,14 @@ type Hop struct {
 
 // Record is one completed request.
 type Record struct {
-	ID      uint64    `json:"id"`
-	Op      string    `json:"op"` // "put" or "get"
-	Key     string    `json:"key"`
-	Node    string    `json:"node"`
-	Region  string    `json:"region"`
-	Policy  string    `json:"policy"`
-	TraceID string    `json:"traceId,omitempty"`
-	Start   time.Time `json:"start"`
+	ID      uint64        `json:"id"`
+	Op      string        `json:"op"` // "put" or "get"
+	Key     string        `json:"key"`
+	Node    string        `json:"node"`
+	Region  string        `json:"region"`
+	Policy  string        `json:"policy"`
+	TraceID string        `json:"traceId,omitempty"`
+	Start   time.Time     `json:"start"`
 	Total   time.Duration `json:"totalNs"`
 	CostUSD float64       `json:"costUsd"`
 	Err     string        `json:"err,omitempty"`

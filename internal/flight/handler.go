@@ -34,10 +34,15 @@ func Dump(r *Recorder, slowOnly bool, max int) DumpResponse {
 	return resp
 }
 
+// maxHandlerRecords caps one /debug/requests response regardless of ?n, so
+// the endpoint cannot be turned into a bandwidth amplifier.
+const maxHandlerRecords = 1000
+
 // Handler serves the flight recorder at /debug/requests.
 //
 //	?slow=1       only the always-keep slow/expensive log
-//	?n=50         cap the record count (default 100)
+//	?n=50         cap the record count (default 100, max 1000; malformed
+//	              or non-positive values fall back to the default)
 //	?format=text  human-readable table instead of JSON
 func Handler(r *Recorder) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
@@ -45,9 +50,12 @@ func Handler(r *Recorder) http.Handler {
 		slowOnly := q.Get("slow") == "1" || q.Get("slow") == "true"
 		max := 100
 		if v := q.Get("n"); v != "" {
-			if n, err := strconv.Atoi(v); err == nil {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
 				max = n
 			}
+		}
+		if max > maxHandlerRecords {
+			max = maxHandlerRecords
 		}
 		resp := Dump(r, slowOnly, max)
 		if q.Get("format") == "text" {

@@ -1,11 +1,13 @@
 package flight
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/telemetry"
+	"repro/internal/watch"
 )
 
 // Objective declares one service-level objective: a good/total event ratio
@@ -83,6 +85,9 @@ type EngineConfig struct {
 	// OnStatus, when set, is invoked for every objective at every
 	// evaluation — the wiera SLO monitor turns these into policy events.
 	OnStatus func(Status)
+	// Journal, when set, receives slo.fire / slo.clear events on alert
+	// transitions, attributed to Node.
+	Journal *watch.Journal
 }
 
 // Engine evaluates declared objectives with multi-window burn rates and
@@ -92,6 +97,8 @@ type Engine struct {
 	clk      clock.Clock
 	interval time.Duration
 	onStatus func(Status)
+	journal  *watch.Journal
+	node     string
 
 	mu     sync.Mutex
 	states []*objectiveState
@@ -116,6 +123,8 @@ func NewEngine(cfg EngineConfig, objectives ...Objective) *Engine {
 		clk:      cfg.Clock,
 		interval: cfg.Interval,
 		onStatus: cfg.OnStatus,
+		journal:  cfg.Journal,
+		node:     cfg.Node,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -219,7 +228,20 @@ func (e *Engine) EvaluateNow() []Status {
 	for _, st := range e.states {
 		good, total := st.obj.Source()
 		st.push(sloSample{at: now, good: good, total: total}, now)
+		wasFiring := !st.firingSince.IsZero()
+		firedFor := time.Duration(0)
+		if wasFiring {
+			firedFor = now.Sub(st.firingSince)
+		}
 		s := st.evaluate(now)
+		if s.Firing != wasFiring {
+			typ, msg := "slo.fire", fmt.Sprintf("%s firing: burn %.2f (fast %.2f, slow %.2f)",
+				s.Objective, s.Burn, s.FastBurn, s.SlowBurn)
+			if !s.Firing {
+				typ, msg = "slo.clear", fmt.Sprintf("%s cleared after %v", s.Objective, firedFor)
+			}
+			e.journal.Record(typ, e.node, msg, map[string]string{"slo": s.Objective, "op": s.Op})
+		}
 		if st.violation != nil {
 			st.burnFast.Set(s.FastBurn)
 			st.burnSlow.Set(s.SlowBurn)

@@ -1,10 +1,12 @@
 package repair
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/watch"
 )
 
 // DefaultPeriod is the anti-entropy round interval when the caller does not
@@ -30,6 +32,9 @@ type Daemon struct {
 	period  time.Duration
 	metrics *Metrics
 
+	journal      *watch.Journal // optional event journal (repair.cycle)
+	journalScope string
+
 	mu           sync.Mutex
 	next         int // round-robin cursor over cluster.Peers()
 	retryAt      map[string]time.Time
@@ -54,6 +59,15 @@ func NewDaemon(clk clock.Clock, store Store, hints *HintLog, cluster Cluster, ge
 
 // Period returns the round interval.
 func (d *Daemon) Period() time.Duration { return d.period }
+
+// AttachJournal makes the daemon record a repair.cycle event (attributed
+// to scope, typically the replica name) for every anti-entropy round that
+// actually repaired keys. Call before Start.
+func (d *Daemon) AttachJournal(j *watch.Journal, scope string) {
+	d.mu.Lock()
+	d.journal, d.journalScope = j, scope
+	d.mu.Unlock()
+}
 
 // DisableSync turns off the periodic Merkle sync leg, leaving hint replay
 // (and departed-peer garbage collection) running. Callers use this when the
@@ -128,6 +142,15 @@ func (d *Daemon) RunOnce() Stats {
 		d.metrics.DigestRounds.Add(int64(st.Rounds))
 		d.metrics.KeysRepaired.Add(int64(st.KeysRepaired))
 		d.metrics.SyncBytes.Add(st.TotalBytes())
+	}
+	if st.KeysRepaired > 0 {
+		d.mu.Lock()
+		j, scope := d.journal, d.journalScope
+		d.mu.Unlock()
+		j.Record("repair.cycle", scope,
+			fmt.Sprintf("repaired %d keys from %s (%d digest rounds, %d bytes)",
+				st.KeysRepaired, peer, st.Rounds, st.TotalBytes()),
+			map[string]string{"peer": peer, "keys": fmt.Sprintf("%d", st.KeysRepaired)})
 	}
 	_ = err // partitioned peers converge on a later round
 	return st

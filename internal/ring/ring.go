@@ -51,6 +51,24 @@ func (m *Map) Shards() int {
 	return 0
 }
 
+// Summary renders the map's shape in one line — the form event journals
+// and health endpoints attribute ring changes with.
+func (m *Map) Summary() string {
+	if m == nil {
+		return "unsharded"
+	}
+	return fmt.Sprintf("epoch %d: %d regions x %d shards (%d vnodes/shard)",
+		m.Epoch, len(m.Workers), m.Shards(), m.VnodeCount())
+}
+
+// VnodeCount returns the effective per-shard virtual node count.
+func (m *Map) VnodeCount() int {
+	if m == nil || m.Vnodes <= 0 {
+		return DefaultVnodes
+	}
+	return m.Vnodes
+}
+
 // Regions returns the map's region names in sorted order.
 func (m *Map) Regions() []string {
 	out := make([]string, 0, len(m.Workers))

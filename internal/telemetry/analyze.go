@@ -1,0 +1,250 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Trace critical-path analysis: given the span DAG of one trace (spans
+// cross processes via the WT01 envelope, so the DAG covers the whole
+// request), compute the chain of spans that actually bounded the wall
+// time, and attribute each segment of it to a hop kind
+// (queue/lock/tier/rpc/repair/batch). The p99 question "which hop is
+// burning the time" becomes one table.
+
+// Hop kinds the classifier emits. KindOther collects coordination
+// self-time in spans that name no specific hop (root op spans, policy
+// evaluation).
+const (
+	HopQueue  = "queue"
+	HopLock   = "lock"
+	HopTier   = "tier"
+	HopRPC    = "rpc"
+	HopRepair = "repair"
+	HopBatch  = "batch"
+	HopOther  = "other"
+)
+
+// SpanKind classifies a span name into a hop kind by its naming
+// conventions: rpc.client/rpc.server, tier.* / tiera.* (storage tier
+// work), repair/sync/hint (anti-entropy), batch/flush (replication
+// batching), queue/drain (lazy propagation), lock/gate/acquire
+// (coordination waits). Names matching nothing are "other".
+func SpanKind(name string) string {
+	n := strings.ToLower(name)
+	switch {
+	case strings.HasPrefix(n, "rpc."):
+		return HopRPC
+	case strings.HasPrefix(n, "tier.") || strings.HasPrefix(n, "tiera."):
+		return HopTier
+	case strings.Contains(n, "repair") || strings.Contains(n, "sync") || strings.Contains(n, "hint") || strings.Contains(n, "merkle"):
+		return HopRepair
+	case strings.Contains(n, "batch") || strings.Contains(n, "flush"):
+		return HopBatch
+	case strings.Contains(n, "queue") || strings.Contains(n, "drain"):
+		return HopQueue
+	case strings.Contains(n, "lock") || strings.Contains(n, "gate") || strings.Contains(n, "acquire"):
+		return HopLock
+	default:
+		return HopOther
+	}
+}
+
+// PathStep is one span on the critical path.
+type PathStep struct {
+	SpanID   uint64        `json:"spanId"`
+	Name     string        `json:"name"`
+	Kind     string        `json:"kind"`
+	Depth    int           `json:"depth"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNs"` // the span's full duration
+	SelfTime time.Duration `json:"selfNs"`     // critical-path time attributed to this span itself
+	Err      string        `json:"err,omitempty"`
+}
+
+// KindTime is one hop kind's share of the critical path.
+type KindTime struct {
+	Kind string        `json:"kind"`
+	Time time.Duration `json:"timeNs"`
+	Frac float64       `json:"frac"` // share of the root's wall time
+}
+
+// TraceAnalysis is the critical-path breakdown of one trace.
+type TraceAnalysis struct {
+	TraceID string        `json:"traceId"`
+	Root    string        `json:"root"`
+	Spans   int           `json:"spans"`
+	Total   time.Duration `json:"totalNs"` // root span wall time
+	// Path is the critical path, root first: at every instant of the
+	// root's wall time, the deepest span on the path that covers it.
+	Path []PathStep `json:"path"`
+	// ByKind attributes the root's wall time to hop kinds, largest first.
+	// Sums to Total exactly (every instant belongs to exactly one step).
+	ByKind []KindTime `json:"byKind"`
+}
+
+// Attributed returns the fraction of wall time attributed to named hop
+// kinds (everything but "other").
+func (a *TraceAnalysis) Attributed() float64 {
+	if a == nil || a.Total <= 0 {
+		return 0
+	}
+	var named time.Duration
+	for _, k := range a.ByKind {
+		if k.Kind != HopOther {
+			named += k.Time
+		}
+	}
+	return float64(named) / float64(a.Total)
+}
+
+// ErrNoSpans reports an AnalyzeTrace call with nothing to analyze.
+var ErrNoSpans = errors.New("telemetry: no spans to analyze")
+
+// AnalyzeTrace computes the critical path of one trace from its retained
+// spans. The root is the longest parentless span (orphans whose parent was
+// evicted count as parentless). The walk is the standard backward scan:
+// starting from the root's end, repeatedly descend into the child that
+// finishes latest before the cursor; gaps no child covers are the parent's
+// own self-time. Attribution therefore partitions the root's wall time
+// exactly across the path's spans.
+func AnalyzeTrace(spans []SpanRecord) (*TraceAnalysis, error) {
+	if len(spans) == 0 {
+		return nil, ErrNoSpans
+	}
+	have := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		have[s.SpanID] = true
+	}
+	children := make(map[uint64][]SpanRecord)
+	var roots []SpanRecord
+	for _, s := range spans {
+		if s.ParentID != 0 && have[s.ParentID] {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, ErrNoSpans
+	}
+	root := roots[0]
+	for _, r := range roots[1:] {
+		if r.Duration > root.Duration {
+			root = r
+		}
+	}
+
+	a := &TraceAnalysis{
+		TraceID: root.TraceID,
+		Root:    root.Name,
+		Spans:   len(spans),
+		Total:   root.Duration,
+	}
+	byKind := make(map[string]time.Duration)
+
+	var walk func(s SpanRecord, start, end time.Time, depth int)
+	walk = func(s SpanRecord, start, end time.Time, depth int) {
+		window := end.Sub(start)
+		if window < 0 {
+			window = 0
+		}
+		// Children that finish latest first; each claims the slice of the
+		// remaining window it covers, scanning backwards from the end.
+		kids := append([]SpanRecord(nil), children[s.SpanID]...)
+		sort.Slice(kids, func(i, j int) bool {
+			ei := kids[i].Start.Add(kids[i].Duration)
+			ej := kids[j].Start.Add(kids[j].Duration)
+			if !ei.Equal(ej) {
+				return ei.After(ej)
+			}
+			return kids[i].SpanID < kids[j].SpanID
+		})
+		cursor := end
+		type seg struct {
+			child      SpanRecord
+			start, end time.Time
+		}
+		var picked []seg
+		self := window
+		for _, k := range kids {
+			ks := k.Start
+			ke := k.Start.Add(k.Duration)
+			if ke.After(cursor) {
+				ke = cursor // clamp: child outlives the window (skew/overlap)
+			}
+			if !ke.After(ks) || !ke.After(start) {
+				continue // fully outside the remaining window
+			}
+			if ks.Before(start) {
+				ks = start
+			}
+			picked = append(picked, seg{child: k, start: ks, end: ke})
+			self -= ke.Sub(ks)
+			cursor = ks
+			if !cursor.After(start) {
+				break
+			}
+		}
+		if self < 0 {
+			self = 0
+		}
+		step := PathStep{
+			SpanID: s.SpanID, Name: s.Name, Kind: SpanKind(s.Name),
+			Depth: depth, Start: s.Start, Duration: s.Duration,
+			SelfTime: self, Err: s.Err,
+		}
+		a.Path = append(a.Path, step)
+		byKind[step.Kind] += self
+		// Recurse in chronological order so the path reads start-to-finish.
+		for i := len(picked) - 1; i >= 0; i-- {
+			walk(picked[i].child, picked[i].start, picked[i].end, depth+1)
+		}
+	}
+	walk(root, root.Start, root.Start.Add(root.Duration), 0)
+
+	for k, d := range byKind {
+		kt := KindTime{Kind: k, Time: d}
+		if a.Total > 0 {
+			kt.Frac = float64(d) / float64(a.Total)
+		}
+		a.ByKind = append(a.ByKind, kt)
+	}
+	sort.Slice(a.ByKind, func(i, j int) bool {
+		if a.ByKind[i].Time != a.ByKind[j].Time {
+			return a.ByKind[i].Time > a.ByKind[j].Time
+		}
+		return a.ByKind[i].Kind < a.ByKind[j].Kind
+	})
+	return a, nil
+}
+
+// RenderAnalysis formats an analysis for terminals (`wieractl trace
+// -analyze`): the per-kind attribution table, then the path with each
+// span's self-time share.
+func RenderAnalysis(a *TraceAnalysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  root %s  wall %v  (%d spans, %.0f%% attributed to named hops)\n",
+		a.TraceID, a.Root, a.Total, a.Spans, 100*a.Attributed())
+	fmt.Fprintf(&b, "\n%-8s %12s %6s\n", "kind", "time", "share")
+	for _, k := range a.ByKind {
+		fmt.Fprintf(&b, "%-8s %12v %5.1f%%\n", k.Kind, k.Time, 100*k.Frac)
+	}
+	b.WriteString("\ncritical path:\n")
+	for _, s := range a.Path {
+		share := 0.0
+		if a.Total > 0 {
+			share = 100 * float64(s.SelfTime) / float64(a.Total)
+		}
+		fmt.Fprintf(&b, "%s%-30s %-7s span %12v  self %12v (%4.1f%%)",
+			strings.Repeat("  ", s.Depth), s.Name, s.Kind, s.Duration, s.SelfTime, share)
+		if s.Err != "" {
+			fmt.Fprintf(&b, "  ERR=%s", s.Err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -61,12 +61,15 @@ func formatFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
-// RenderPrometheus renders the registry snapshot in the Prometheus text
+// RenderSnapshot renders a metrics snapshot in the Prometheus text
 // exposition format. Histogram buckets and sums are reported in seconds,
-// matching Prometheus duration conventions.
-func (r *Registry) RenderPrometheus() string {
+// matching Prometheus duration conventions; buckets holding an exemplar
+// append it in OpenMetrics syntax (`# {trace_id="..."} value`), resolving a
+// latency bucket to a concrete retrievable trace in one step. Works on
+// both live registry snapshots and merged fleet snapshots.
+func RenderSnapshot(fams []FamilySnapshot) string {
 	var b strings.Builder
-	for _, fam := range r.Snapshot() {
+	for _, fam := range fams {
 		name := sanitizeMetricName(fam.Name)
 		if fam.Help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", name, fam.Help)
@@ -80,8 +83,13 @@ func (r *Registry) RenderPrometheus() string {
 					if bk.UpperBound != math.MaxInt64 {
 						le = formatFloat(bk.UpperBound.Seconds())
 					}
-					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					fmt.Fprintf(&b, "%s_bucket%s %d",
 						name, formatLabels(fam.LabelNames, m.LabelValues, "le", le), bk.Count)
+					if bk.Exemplar != "" {
+						fmt.Fprintf(&b, " # {trace_id=%q} %s",
+							escapeLabelValue(bk.Exemplar), formatFloat(bk.ExemplarValue.Seconds()))
+					}
+					b.WriteByte('\n')
 				}
 				fmt.Fprintf(&b, "%s_sum%s %s\n",
 					name, formatLabels(fam.LabelNames, m.LabelValues), formatFloat(m.Sum.Seconds()))
@@ -96,6 +104,12 @@ func (r *Registry) RenderPrometheus() string {
 	return b.String()
 }
 
+// RenderPrometheus renders the registry's current snapshot in the
+// Prometheus text exposition format.
+func (r *Registry) RenderPrometheus() string {
+	return RenderSnapshot(r.Snapshot())
+}
+
 // MetricsHandler serves the registry in Prometheus text format.
 func MetricsHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
@@ -104,15 +118,71 @@ func MetricsHandler(r *Registry) http.Handler {
 	})
 }
 
+// Handler input bounds: a telemetry endpoint must not be a memory or
+// bandwidth amplifier, so query inputs are validated and response sizes
+// capped regardless of what the URL asks for.
+const (
+	maxHandlerSpans = 4096 // spans served per /traces response
+)
+
+// ValidTraceID reports whether id is a well-formed trace ID: exactly 32
+// lowercase/uppercase hex digits (16 bytes).
+func ValidTraceID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ClampQueryInt parses a positive integer query value, clamping to [1,
+// max]; empty or malformed values return def.
+func ClampQueryInt(v string, def, max int) int {
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return def
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
+
 // TracesHandler serves the tracer's retained spans as JSON. The optional
-// ?trace=<hex id> query filters to one trace.
+// ?trace=<hex id> query filters to one trace (rejecting malformed IDs with
+// 400); ?n caps the span count (default and max 4096); ?analyze=1 with a
+// trace ID serves the trace's critical-path analysis instead of raw spans.
 func TracesHandler(t *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		analyze := q.Get("analyze") == "1" || q.Get("analyze") == "true"
+		id := q.Get("trace")
+		if id != "" && !ValidTraceID(id) {
+			http.Error(w, "trace must be 32 hex digits", http.StatusBadRequest)
+			return
+		}
+		if analyze && id == "" {
+			http.Error(w, "analyze requires ?trace=<id>", http.StatusBadRequest)
+			return
+		}
+		max := ClampQueryInt(q.Get("n"), maxHandlerSpans, maxHandlerSpans)
 		var spans []SpanRecord
-		if id := req.URL.Query().Get("trace"); id != "" {
+		if id != "" {
 			spans = t.TraceSpans(id)
 		} else {
 			spans = t.Spans()
+		}
+		if len(spans) > max {
+			spans = spans[len(spans)-max:]
 		}
 		if spans == nil {
 			spans = []SpanRecord{}
@@ -120,6 +190,15 @@ func TracesHandler(t *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		if analyze {
+			a, err := AnalyzeTrace(spans)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(a)
+			return
+		}
 		_ = enc.Encode(spans)
 	})
 }

@@ -39,7 +39,24 @@ type Histogram struct {
 	sum    atomic.Int64 // nanoseconds
 	min    atomic.Int64 // nanoseconds; valid when count > 0
 	max    atomic.Int64 // nanoseconds; valid when count > 0
+
+	// exemplars holds, per raw bucket, the most recent traced observation
+	// that landed in it — the one-step bridge from a latency bucket to a
+	// concrete retrievable trace. Untraced observations never touch it.
+	exemplars [numBuckets + 1]atomic.Pointer[exemplar]
 }
+
+// exemplar is one sampled observation retained for a bucket.
+type exemplar struct {
+	trace string        // trace ID (hex)
+	value time.Duration // the observation itself
+	seq   uint64        // process-wide recency order (merge tie-break)
+}
+
+// exemplarSeq orders exemplars by recency across all histograms in the
+// process, so merging snapshots can keep the newest without comparing
+// clocks.
+var exemplarSeq atomic.Uint64
 
 // NewHistogram returns a standalone histogram (not attached to a registry).
 func NewHistogram() *Histogram {
@@ -66,13 +83,25 @@ func bucketIndex(d time.Duration) int {
 
 // Record adds one observation. Negative durations clamp to zero.
 func (h *Histogram) Record(d time.Duration) {
+	h.RecordTrace(d, "")
+}
+
+// RecordTrace adds one observation and, when traceID is non-empty, retains
+// it as the exemplar of the bucket the observation lands in. Callers pass
+// the sampled request's trace ID (empty for untraced requests), so every
+// exported bucket can name a live trace that exhibits its latency.
+func (h *Histogram) RecordTrace(d time.Duration, traceID string) {
 	if h == nil {
 		return
 	}
 	if d < 0 {
 		d = 0
 	}
-	h.counts[bucketIndex(d)].Add(1)
+	idx := bucketIndex(d)
+	if traceID != "" {
+		h.exemplars[idx].Store(&exemplar{trace: traceID, value: d, seq: exemplarSeq.Add(1)})
+	}
+	h.counts[idx].Add(1)
 	h.count.Add(1)
 	h.sum.Add(int64(d))
 	for {
@@ -200,6 +229,7 @@ func (h *Histogram) Reset() {
 	}
 	for i := range h.counts {
 		h.counts[i].Store(0)
+		h.exemplars[i].Store(nil)
 	}
 	h.count.Store(0)
 	h.sum.Store(0)
@@ -212,7 +242,8 @@ func (h *Histogram) Reset() {
 // derived from the bucket loads themselves — not h.count, which under
 // concurrent Record could lag the buckets and make the +Inf bucket smaller
 // than a cumulative finite bucket, an invariant violation Prometheus
-// clients reject.
+// clients reject. Each emitted bucket carries its own raw bucket's
+// exemplar (the +Inf entry carries the overflow bucket's).
 func (h *Histogram) snapshot() (int64, time.Duration, []BucketCount) {
 	sum := time.Duration(h.sum.Load())
 	// Find the highest non-empty finite bucket so exports stay compact.
@@ -230,9 +261,17 @@ func (h *Histogram) snapshot() (int64, time.Duration, []BucketCount) {
 	var cum int64
 	for i := 0; i <= last; i++ {
 		cum += raw[i]
-		out = append(out, BucketCount{UpperBound: bucketBounds[i], Count: cum})
+		bc := BucketCount{UpperBound: bucketBounds[i], Count: cum}
+		if ex := h.exemplars[i].Load(); ex != nil {
+			bc.Exemplar, bc.ExemplarValue, bc.ExemplarSeq = ex.trace, ex.value, ex.seq
+		}
+		out = append(out, bc)
 	}
-	out = append(out, BucketCount{UpperBound: math.MaxInt64, Count: total})
+	inf := BucketCount{UpperBound: math.MaxInt64, Count: total}
+	if ex := h.exemplars[numBuckets].Load(); ex != nil {
+		inf.Exemplar, inf.ExemplarValue, inf.ExemplarSeq = ex.trace, ex.value, ex.seq
+	}
+	out = append(out, inf)
 	return total, sum, out
 }
 

@@ -1,0 +1,329 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Fleet metric merging. Every histogram in the repository shares the same
+// fixed log-bucket layout (bucketBounds), so per-node snapshots are
+// exactly mergeable: adding per-bucket counts of two snapshots yields the
+// snapshot the union stream would have produced — no approximation beyond
+// the bucketing both sides already share. Counters merge by summing,
+// gauges keep their per-source children plus synthetic sum/max rollups
+// (a fleet queue depth is a sum; a fleet burn rate is a max).
+
+// SourceSnapshot is one scrape target's registry snapshot tagged with its
+// origin (daemon address or name).
+type SourceSnapshot struct {
+	Source   string
+	Families []FamilySnapshot
+}
+
+// gauge merge pseudo-sources: the synthetic rollup children injected ahead
+// of the per-source gauge children.
+const (
+	GaugeSum = "(sum)"
+	GaugeMax = "(max)"
+)
+
+// MergeSnapshots merges per-source registry snapshots into one fleet-wide
+// snapshot:
+//
+//   - counters: children with identical label values sum across sources;
+//   - histograms: children with identical label values merge bucket-wise
+//     (counts, sums, and totals add; bucket exemplars keep the most recent
+//     by sequence) — exact because all histograms share one bucket layout;
+//   - gauges: a "source" label is prepended; every source's child is kept,
+//     preceded by synthetic GaugeSum/GaugeMax rollup children per label
+//     combination.
+//
+// Families are sorted by name, children in first-seen order.
+func MergeSnapshots(sources ...SourceSnapshot) []FamilySnapshot {
+	type famAcc struct {
+		fam   FamilySnapshot
+		index map[string]int // joined label values -> position in fam.Metrics
+	}
+	accs := make(map[string]*famAcc)
+	var order []string
+
+	for _, src := range sources {
+		for _, fam := range src.Families {
+			acc, ok := accs[fam.Name]
+			if !ok {
+				labels := append([]string(nil), fam.LabelNames...)
+				if fam.Kind == KindGauge {
+					labels = append([]string{"source"}, labels...)
+				}
+				acc = &famAcc{
+					fam: FamilySnapshot{
+						Name: fam.Name, Help: fam.Help, Kind: fam.Kind,
+						LabelNames: labels,
+					},
+					index: make(map[string]int),
+				}
+				accs[fam.Name] = acc
+				order = append(order, fam.Name)
+			}
+			for _, m := range fam.Metrics {
+				switch fam.Kind {
+				case KindGauge:
+					mergeGauge(acc.index, &acc.fam, src.Source, m)
+				case KindCounter:
+					i, ok := acc.index[joinVals(m.LabelValues)]
+					if !ok {
+						acc.index[joinVals(m.LabelValues)] = len(acc.fam.Metrics)
+						acc.fam.Metrics = append(acc.fam.Metrics, MetricSnapshot{
+							LabelValues: append([]string(nil), m.LabelValues...),
+							Value:       m.Value,
+						})
+					} else {
+						acc.fam.Metrics[i].Value += m.Value
+					}
+				case KindHistogram:
+					i, ok := acc.index[joinVals(m.LabelValues)]
+					if !ok {
+						acc.index[joinVals(m.LabelValues)] = len(acc.fam.Metrics)
+						acc.fam.Metrics = append(acc.fam.Metrics, MetricSnapshot{
+							LabelValues: append([]string(nil), m.LabelValues...),
+							Count:       m.Count,
+							Sum:         m.Sum,
+							Buckets:     append([]BucketCount(nil), m.Buckets...),
+						})
+					} else {
+						t := &acc.fam.Metrics[i]
+						t.Count += m.Count
+						t.Sum += m.Sum
+						t.Buckets = MergeBuckets(t.Buckets, m.Buckets)
+					}
+				}
+			}
+		}
+	}
+
+	sort.Strings(order)
+	out := make([]FamilySnapshot, 0, len(order))
+	for _, name := range order {
+		out = append(out, accs[name].fam)
+	}
+	return out
+}
+
+// mergeGauge keeps m as a per-source child and folds it into the synthetic
+// sum/max rollup children for its label combination. Rollups are inserted
+// when a combination is first seen, so they precede the per-source rows.
+func mergeGauge(index map[string]int, fam *FamilySnapshot, source string, m MetricSnapshot) {
+	base := joinVals(m.LabelValues)
+	sumKey := GaugeSum + labelSep + base
+	if i, ok := index[sumKey]; !ok {
+		for _, pseudo := range []string{GaugeSum, GaugeMax} {
+			index[pseudo+labelSep+base] = len(fam.Metrics)
+			fam.Metrics = append(fam.Metrics, MetricSnapshot{
+				LabelValues: append([]string{pseudo}, m.LabelValues...),
+				Value:       m.Value,
+			})
+		}
+	} else {
+		fam.Metrics[i].Value += m.Value
+		if j := index[GaugeMax+labelSep+base]; m.Value > fam.Metrics[j].Value {
+			fam.Metrics[j].Value = m.Value
+		}
+	}
+	srcKey := source + labelSep + base
+	if i, ok := index[srcKey]; ok {
+		// Same source scraped twice: keep the latest reading.
+		fam.Metrics[i].Value = m.Value
+	} else {
+		index[srcKey] = len(fam.Metrics)
+		fam.Metrics = append(fam.Metrics, MetricSnapshot{
+			LabelValues: append([]string{source}, m.LabelValues...),
+			Value:       m.Value,
+		})
+	}
+}
+
+// MergeBuckets merges two cumulative bucket slices bucket-wise. Both sides
+// must come from histograms with the shared bound layout (always true in
+// this repository); the result is the exact cumulative bucket slice of the
+// concatenated stream. Exemplars keep the most recent (highest sequence).
+func MergeBuckets(a, b []BucketCount) []BucketCount {
+	type raw struct {
+		count int64
+		ex    string
+		exVal time.Duration
+		exSeq uint64
+	}
+	byBound := make(map[time.Duration]*raw, len(a)+len(b))
+	var bounds []time.Duration
+	add := func(bs []BucketCount) {
+		var prev int64
+		for _, bc := range bs {
+			r, ok := byBound[bc.UpperBound]
+			if !ok {
+				r = &raw{}
+				byBound[bc.UpperBound] = r
+				bounds = append(bounds, bc.UpperBound)
+			}
+			r.count += bc.Count - prev // de-cumulate
+			prev = bc.Count
+			if bc.Exemplar != "" && (r.ex == "" || bc.ExemplarSeq >= r.exSeq) {
+				r.ex, r.exVal, r.exSeq = bc.Exemplar, bc.ExemplarValue, bc.ExemplarSeq
+			}
+		}
+	}
+	add(a)
+	add(b)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	out := make([]BucketCount, 0, len(bounds))
+	var cum int64
+	for _, ub := range bounds {
+		r := byBound[ub]
+		cum += r.count
+		out = append(out, BucketCount{
+			UpperBound: ub, Count: cum,
+			Exemplar: r.ex, ExemplarValue: r.exVal, ExemplarSeq: r.exSeq,
+		})
+	}
+	return out
+}
+
+// BucketsPercentile estimates the p-th percentile (0 < p <= 100) from a
+// cumulative bucket slice — the same bucket-walk-plus-interpolation
+// Histogram.Percentile performs, usable on merged fleet buckets where no
+// live histogram exists. The overflow bucket reports the highest finite
+// bound (the merged view has no exact max to clamp to).
+func BucketsPercentile(buckets []BucketCount, p float64) time.Duration {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	for i, bc := range buckets {
+		if float64(bc.Count) < rank {
+			continue
+		}
+		if bc.UpperBound == math.MaxInt64 {
+			// Overflow: no finite bound; report the last finite one.
+			if i > 0 {
+				return buckets[i-1].UpperBound
+			}
+			return 0
+		}
+		lower := time.Duration(0)
+		var prev int64
+		if i > 0 {
+			lower = buckets[i-1].UpperBound
+			prev = buckets[i-1].Count
+		}
+		inBucket := bc.Count - prev
+		if inBucket <= 0 {
+			return bc.UpperBound
+		}
+		frac := (rank - float64(prev)) / float64(inBucket)
+		return lower + time.Duration(frac*float64(bc.UpperBound-lower))
+	}
+	return buckets[len(buckets)-1].UpperBound
+}
+
+// BucketExemplarAt returns the exemplar of the bucket containing the p-th
+// percentile rank — the concrete trace to pull when asking "what does a
+// p99 request look like". Falls back to the nearest lower non-empty
+// exemplar so sparse tails still resolve; returns ok=false when the slice
+// holds no exemplars at or below that bucket.
+func BucketExemplarAt(buckets []BucketCount, p float64) (trace string, value time.Duration, ok bool) {
+	if len(buckets) == 0 {
+		return "", 0, false
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return "", 0, false
+	}
+	rank := p / 100 * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	idx := len(buckets) - 1
+	for i, bc := range buckets {
+		if float64(bc.Count) >= rank {
+			idx = i
+			break
+		}
+	}
+	for i := idx; i >= 0; i-- {
+		if buckets[i].Exemplar != "" {
+			return buckets[i].Exemplar, buckets[i].ExemplarValue, true
+		}
+	}
+	return "", 0, false
+}
+
+// CollapseHistogram merges all children of a histogram family that agree
+// on the kept labels, returning one merged child per group (in first-seen
+// order) whose LabelValues are the kept labels' values. Collapsing
+// wiera_op_seconds by "op" yields the true fleet-wide per-op distribution.
+func CollapseHistogram(fam FamilySnapshot, keep ...string) []MetricSnapshot {
+	if fam.Kind != KindHistogram {
+		return nil
+	}
+	keepIdx := make([]int, 0, len(keep))
+	for _, k := range keep {
+		for i, n := range fam.LabelNames {
+			if n == k {
+				keepIdx = append(keepIdx, i)
+				break
+			}
+		}
+	}
+	index := make(map[string]int)
+	var out []MetricSnapshot
+	for _, m := range fam.Metrics {
+		vals := make([]string, 0, len(keepIdx))
+		for _, i := range keepIdx {
+			if i < len(m.LabelValues) {
+				vals = append(vals, m.LabelValues[i])
+			}
+		}
+		key := joinVals(vals)
+		if i, ok := index[key]; ok {
+			out[i].Count += m.Count
+			out[i].Sum += m.Sum
+			out[i].Buckets = MergeBuckets(out[i].Buckets, m.Buckets)
+		} else {
+			index[key] = len(out)
+			out = append(out, MetricSnapshot{
+				LabelValues: vals,
+				Count:       m.Count,
+				Sum:         m.Sum,
+				Buckets:     append([]BucketCount(nil), m.Buckets...),
+			})
+		}
+	}
+	return out
+}
+
+// FindFamily returns the named family from a snapshot, ok=false if absent.
+func FindFamily(fams []FamilySnapshot, name string) (FamilySnapshot, bool) {
+	for _, f := range fams {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnapshot{}, false
+}
+
+// joinVals joins label values with the registry's child-key separator.
+func joinVals(vals []string) string { return strings.Join(vals, labelSep) }

@@ -273,10 +273,16 @@ type MetricSnapshot struct {
 	Buckets     []BucketCount // cumulative, ascending upper bounds
 }
 
-// BucketCount is one cumulative histogram bucket.
+// BucketCount is one cumulative histogram bucket, optionally carrying the
+// most recent traced observation that landed in it (the bucket's raw
+// range, not the cumulative one).
 type BucketCount struct {
 	UpperBound time.Duration // last bucket uses math.MaxInt64 (rendered as +Inf)
 	Count      int64
+
+	Exemplar      string        // trace ID of the newest traced observation ("" = none)
+	ExemplarValue time.Duration // that observation's value
+	ExemplarSeq   uint64        // process recency order; merges keep the highest
 }
 
 // Snapshot copies the registry's current state, families sorted by name and

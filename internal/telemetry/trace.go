@@ -66,6 +66,16 @@ func (s *Span) Context() SpanContext {
 	return s.sc
 }
 
+// TraceIDString returns the span's trace ID as hex — the form histograms
+// retain as bucket exemplars. It returns "" for nil and unsampled spans,
+// so an exemplar is only ever retained when the trace is retrievable.
+func (s *Span) TraceIDString() string {
+	if s == nil || !s.sc.Valid() {
+		return ""
+	}
+	return s.sc.Trace.String()
+}
+
 // SetAttr attaches a key/value attribute (region, tier, method, ...).
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {

@@ -352,7 +352,7 @@ func (in *Instance) PutTagged(ctx context.Context, key string, data []byte, tags
 		return object.Meta{}, err
 	}
 	in.PutLatency.Record(in.clk.Since(start))
-	in.putSeconds.Record(in.clk.Since(start))
+	in.putSeconds.RecordTrace(in.clk.Since(start), span.TraceIDString())
 	in.putCount.Inc()
 	return meta, nil
 }
@@ -457,7 +457,7 @@ func (in *Instance) Get(ctx context.Context, key string) ([]byte, object.Meta, e
 				continue
 			}
 			in.GetLatency.Record(in.clk.Since(start))
-			in.getSeconds.Record(in.clk.Since(start))
+			in.getSeconds.RecordTrace(in.clk.Since(start), span.TraceIDString())
 			in.getCount.Inc()
 			return data, m, nil
 		}
@@ -496,7 +496,8 @@ func (in *Instance) getVersion(ctx context.Context, meta object.Meta) ([]byte, o
 		}
 		in.objects.Touch(meta.Key, meta.Version, in.clk.Now())
 		in.GetLatency.Record(in.clk.Since(start))
-		in.getSeconds.Record(in.clk.Since(start))
+		in.getSeconds.RecordTrace(in.clk.Since(start),
+			telemetry.SpanFromContext(ctx).TraceIDString())
 		in.getCount.Inc()
 		m, err := in.objects.GetVersion(meta.Key, meta.Version)
 		if err != nil {

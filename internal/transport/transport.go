@@ -30,6 +30,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
+	"repro/internal/watch"
 )
 
 // Handler serves one method invocation. The context carries the server-side
@@ -74,6 +75,7 @@ type Fabric struct {
 	metrics   *telemetry.Registry
 	tracer    *telemetry.Tracer
 	flightRec *flight.Recorder
+	journal   *watch.Journal
 
 	rpcLatency  *telemetry.HistogramVec // {method, region} server-side service time
 	rpcCalls    *telemetry.CounterVec   // {method, region}
@@ -137,14 +139,21 @@ func WithTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) FabricOption {
 	}
 }
 
-// WithoutTelemetry disables the fabric's default registry, tracer, and
-// flight recorder; calls pay only a nil check.
+// WithoutTelemetry disables the fabric's default registry, tracer, flight
+// recorder, and event journal; calls pay only a nil check.
 func WithoutTelemetry() FabricOption {
 	return func(f *Fabric) {
 		f.metrics = nil
 		f.tracer = nil
 		f.flightRec = nil
+		f.journal = nil
 	}
+}
+
+// WithJournal replaces the fabric's default event journal (nil disables
+// structured event recording).
+func WithJournal(j *watch.Journal) FabricOption {
+	return func(f *Fabric) { f.journal = j }
 }
 
 // WithFlightRecorder replaces the fabric's default flight recorder (nil
@@ -162,6 +171,7 @@ func NewFabric(net *simnet.Network, opts ...FabricOption) *Fabric {
 	f.metrics = telemetry.NewRegistry()
 	f.tracer = telemetry.NewTracer(telemetry.WithNow(net.Clock().Now))
 	f.flightRec = flight.NewRecorder(flight.Config{Now: net.Clock().Now})
+	f.journal = watch.NewJournal(net.Clock().Now, 0)
 	for _, o := range opts {
 		o(f)
 	}
@@ -198,6 +208,12 @@ func (f *Fabric) Tracer() *telemetry.Tracer { return f.tracer }
 // Flight returns the fabric's shared request flight recorder (nil when
 // disabled).
 func (f *Fabric) Flight() *flight.Recorder { return f.flightRec }
+
+// Events returns the fabric's shared structured event journal (nil when
+// disabled). Every layer above the fabric records what it did to the
+// deployment here: ring epochs, autoscale actions, SLO transitions,
+// hot-key promotions, repair cycles, watchdog trips.
+func (f *Fabric) Events() *watch.Journal { return f.journal }
 
 // Endpoint is one addressable party on a Fabric.
 type Endpoint struct {
@@ -393,7 +409,13 @@ func (f *Fabric) dispatch(target *Endpoint, h Handler, method string, wire []byt
 	resp, herr := h(sctx, method, inner)
 	if m != nil {
 		m.inflight.Add(-1)
-		m.latency.Record(f.net.Clock().Now().Sub(start))
+		// Traced calls stamp their trace ID into the latency bucket as its
+		// exemplar — the fleet p99 bucket then names a concrete trace.
+		trace := ""
+		if remote.Valid() {
+			trace = remote.Trace.String()
+		}
+		m.latency.RecordTrace(f.net.Clock().Now().Sub(start), trace)
 		m.calls.Inc()
 		if herr != nil {
 			m.errors.Inc()

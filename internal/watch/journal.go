@@ -1,0 +1,112 @@
+// Package watch is the cluster's self-observation layer: a bounded
+// structured event journal that records what the system did to itself
+// (ring epoch changes, autoscale grow/shrink, SLO fire/clear, hot-key
+// promote/demote, repair cycles, watchdog trips), and a runtime watchdog
+// that monitors goroutine count, heap size, scheduler stalls, and
+// registry-backed probes (queue depth) against bounded thresholds.
+//
+// Both halves are deliberately dependency-light (journal: stdlib only;
+// watchdog: internal/telemetry for its gauges) so every layer of the stack
+// — transport, flight, autoscale, wiera, coord — can emit events without
+// import cycles. The journal is nil-safe throughout: an unwired component
+// pays one nil check per would-be event.
+package watch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one structured journal entry.
+type Event struct {
+	Seq   uint64            `json:"seq"`             // monotone per journal; orders events totally
+	At    time.Time         `json:"at"`              // journal clock timestamp
+	Type  string            `json:"type"`            // taxonomy: "ring.epoch", "autoscale.grow", "slo.fire", ...
+	Scope string            `json:"scope,omitempty"` // attribution: instance id, node name, or component
+	Msg   string            `json:"msg,omitempty"`   // one-line human summary
+	Attrs map[string]string `json:"attrs,omitempty"` // structured detail
+}
+
+// DefaultJournalCapacity bounds the ring when NewJournal gets n <= 0.
+const DefaultJournalCapacity = 1024
+
+// Journal is a bounded ring of Events. All methods are safe for concurrent
+// use and nil-safe, so components can emit unconditionally.
+type Journal struct {
+	now func() time.Time
+
+	mu    sync.Mutex
+	ring  []Event
+	head  int // next overwrite position once full
+	seq   uint64
+	total int
+}
+
+// NewJournal returns a journal of at most capacity events timestamped with
+// now (nil uses wall time; pass the simnet clock's Now in simulations).
+func NewJournal(now func() time.Time, capacity int) *Journal {
+	if now == nil {
+		now = time.Now
+	}
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	return &Journal{now: now, ring: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full. attrs may be
+// nil; the map is retained (callers must not mutate it afterwards).
+func (j *Journal) Record(typ, scope, msg string, attrs map[string]string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.seq++
+	ev := Event{Seq: j.seq, At: j.now(), Type: typ, Scope: scope, Msg: msg, Attrs: attrs}
+	if len(j.ring) < cap(j.ring) {
+		j.ring = append(j.ring, ev)
+	} else if cap(j.ring) > 0 {
+		j.ring[j.head] = ev
+		j.head = (j.head + 1) % cap(j.ring)
+	}
+	j.total++
+	j.mu.Unlock()
+}
+
+// Recordf is Record with a formatted message and no attrs — the common
+// one-liner emission form.
+func (j *Journal) Recordf(typ, scope, format string, args ...any) {
+	if j == nil {
+		return
+	}
+	j.Record(typ, scope, fmt.Sprintf(format, args...), nil)
+}
+
+// Events returns the retained events oldest first; max > 0 keeps only the
+// newest max.
+func (j *Journal) Events(max int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	out := make([]Event, 0, len(j.ring))
+	out = append(out, j.ring[j.head:]...)
+	out = append(out, j.ring[:j.head]...)
+	j.mu.Unlock()
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// Total returns how many events were recorded over the journal's lifetime
+// (including evicted ones).
+func (j *Journal) Total() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}

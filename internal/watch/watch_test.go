@@ -1,0 +1,176 @@
+package watch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fakeClock hands the journal a deterministic, strictly increasing time.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func TestJournalOrderAndEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	j := NewJournal(clk.now, 4)
+	for i := 0; i < 10; i++ {
+		j.Recordf("test.event", "scope", "event %d", i)
+	}
+	if j.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", j.Total())
+	}
+	evs := j.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want capacity 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := fmt.Sprintf("event %d", 6+i); e.Msg != want {
+			t.Fatalf("event[%d] = %q, want %q (oldest-first after eviction)", i, e.Msg, want)
+		}
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("Seq not strictly increasing: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	if got := j.Events(2); len(got) != 2 || got[1].Msg != "event 9" {
+		t.Fatalf("Events(2) = %v, want the newest two", got)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record("t", "s", "m", nil) // must not panic
+	j.Recordf("t", "s", "%d", 1)
+	if j.Events(5) != nil || j.Total() != 0 {
+		t.Fatal("nil journal must report empty")
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(nil, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Record("t", "s", "m", nil)
+				j.Events(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Total() != 1600 {
+		t.Fatalf("Total = %d, want 1600", j.Total())
+	}
+}
+
+// TestWatchdogTripAndClear drives a probe over and back under its
+// threshold and checks the gauge, counter, and journal edges.
+func TestWatchdogTripAndClear(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	j := NewJournal(nil, 0)
+	val := 0.0
+	var mu sync.Mutex
+	w := NewWatchdog(WatchdogConfig{
+		MaxGoroutines: -1, MaxHeapBytes: ^uint64(0), MaxTickLag: -1,
+		Probes: []Probe{{Name: "queue", Max: 10, Value: func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return val
+		}}},
+		Registry: reg,
+		Journal:  j,
+		Scope:    "test",
+	})
+
+	if firing := w.CheckNow(); len(firing) != 0 {
+		t.Fatalf("tripped at baseline: %v", firing)
+	}
+	mu.Lock()
+	val = 50
+	mu.Unlock()
+	if firing := w.CheckNow(); len(firing) != 1 || firing[0] != "queue" {
+		t.Fatalf("firing = %v, want [queue]", firing)
+	}
+	w.CheckNow() // still over: no second trip event
+	mu.Lock()
+	val = 0
+	mu.Unlock()
+	if firing := w.CheckNow(); len(firing) != 0 {
+		t.Fatalf("still firing after clear: %v", firing)
+	}
+
+	var edges []string
+	for _, e := range j.Events(0) {
+		if e.Type == "watch.trip" || e.Type == "watch.clear" {
+			edges = append(edges, e.Type)
+			if e.Scope != "test" || e.Attrs["check"] != "queue" {
+				t.Fatalf("edge event misattributed: %+v", e)
+			}
+		}
+	}
+	if len(edges) != 2 || edges[0] != "watch.trip" || edges[1] != "watch.clear" {
+		t.Fatalf("journal edges = %v, want [watch.trip watch.clear]", edges)
+	}
+
+	trips := 0.0
+	tripped := -1.0
+	for _, fam := range reg.Snapshot() {
+		for _, m := range fam.Metrics {
+			switch fam.Name {
+			case "watch_trips_total":
+				trips = m.Value
+			case "watch_tripped":
+				tripped = m.Value
+			}
+		}
+	}
+	if trips != 1 {
+		t.Fatalf("watch_trips_total = %v, want 1 (edge-triggered)", trips)
+	}
+	if tripped != 0 {
+		t.Fatalf("watch_tripped = %v, want 0 after clearing", tripped)
+	}
+}
+
+// TestGaugeSumProbe checks the registry-backed probe sums a family's
+// children across nodes.
+func TestGaugeSumProbe(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("wiera_queue_depth", "", "node").With("w0").Set(3)
+	reg.Gauge("wiera_queue_depth", "", "node").With("w1").Set(4)
+	p := GaugeSumProbe(reg, "wiera_queue_depth", "queue-depth", 100)
+	if got := p.Value(); got != 7 {
+		t.Fatalf("probe value = %v, want 7", got)
+	}
+}
+
+// TestWatchdogRuntimeChecks runs the built-in runtime checks with generous
+// bounds (must not trip) and then with impossible bounds (must trip).
+func TestWatchdogRuntimeChecks(t *testing.T) {
+	calm := NewWatchdog(WatchdogConfig{})
+	if firing := calm.CheckNow(); len(firing) != 0 {
+		t.Fatalf("default bounds tripped in a test process: %v", firing)
+	}
+	strict := NewWatchdog(WatchdogConfig{MaxGoroutines: 1, MaxHeapBytes: 1})
+	firing := strict.CheckNow()
+	found := map[string]bool{}
+	for _, f := range firing {
+		found[f] = true
+	}
+	if !found["goroutines"] || !found["heap"] {
+		t.Fatalf("firing = %v, want goroutines and heap over impossible bounds", firing)
+	}
+}

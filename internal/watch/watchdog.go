@@ -1,0 +1,259 @@
+package watch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Watchdog defaults. The bounds are deliberately generous: the watchdog is
+// a last line of defense against runaway daemons (goroutine leaks, heap
+// blowups, scheduler stalls, unbounded replication queues), not a tuning
+// instrument.
+const (
+	DefaultWatchInterval = 5 * time.Second
+	DefaultMaxGoroutines = 20000
+	DefaultMaxHeapBytes  = 2 << 30 // 2 GiB
+	DefaultMaxTickLag    = 2 * time.Second
+)
+
+// Probe is one pluggable check: Value is sampled every interval and trips
+// while it exceeds Max. The queue-stall probe sums the wiera_queue_depth
+// gauge family; see GaugeSumProbe.
+type Probe struct {
+	Name  string
+	Max   float64
+	Value func() float64
+}
+
+// GaugeSumProbe returns a probe whose value is the sum of every child of
+// the named gauge family in reg — e.g. total replication queue depth
+// across all nodes the process hosts.
+func GaugeSumProbe(reg *telemetry.Registry, family, name string, max float64) Probe {
+	return Probe{Name: name, Max: max, Value: func() float64 {
+		var sum float64
+		for _, fam := range reg.Snapshot() {
+			if fam.Name != family || fam.Kind != telemetry.KindGauge {
+				continue
+			}
+			for _, m := range fam.Metrics {
+				sum += m.Value
+			}
+		}
+		return sum
+	}}
+}
+
+// WatchdogConfig tunes a Watchdog. Zero thresholds select the defaults; a
+// negative threshold disables that check.
+type WatchdogConfig struct {
+	Interval time.Duration
+
+	MaxGoroutines int           // runtime.NumGoroutine bound
+	MaxHeapBytes  uint64        // runtime heap-alloc bound
+	MaxTickLag    time.Duration // scheduler stall bound: how late a tick may fire
+
+	Probes []Probe
+
+	// Registry receives the watch_* families (nil skips export).
+	Registry *telemetry.Registry
+	// Journal receives watch.trip / watch.clear events (nil skips).
+	Journal *Journal
+	// Scope attributes journal events (defaults to "watchdog").
+	Scope string
+}
+
+// Watchdog periodically samples runtime health and the configured probes,
+// exports watch_* gauges, and journals threshold crossings. A nil
+// *Watchdog is a valid no-op.
+type Watchdog struct {
+	cfg     WatchdogConfig
+	journal *Journal
+
+	goroutinesG *telemetry.Gauge
+	heapG       *telemetry.Gauge
+	tickLagG    *telemetry.Gauge
+	probeVec    *telemetry.GaugeVec
+	trippedVec  *telemetry.GaugeVec
+	trips       *telemetry.CounterVec
+
+	mu       sync.Mutex
+	tripped  map[string]bool // check name -> currently over threshold
+	lastTick time.Time
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewWatchdog builds a watchdog; Start launches its loop, or drive it
+// deterministically with CheckNow.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultWatchInterval
+	}
+	if cfg.MaxGoroutines == 0 {
+		cfg.MaxGoroutines = DefaultMaxGoroutines
+	}
+	if cfg.MaxHeapBytes == 0 {
+		cfg.MaxHeapBytes = DefaultMaxHeapBytes
+	}
+	if cfg.MaxTickLag == 0 {
+		cfg.MaxTickLag = DefaultMaxTickLag
+	}
+	if cfg.Scope == "" {
+		cfg.Scope = "watchdog"
+	}
+	w := &Watchdog{
+		cfg:     cfg,
+		journal: cfg.Journal,
+		tripped: make(map[string]bool),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if cfg.Registry != nil {
+		w.goroutinesG = cfg.Registry.Gauge("watch_goroutines",
+			"Goroutines alive at the last watchdog sample.").With()
+		w.heapG = cfg.Registry.Gauge("watch_heap_bytes",
+			"Heap bytes allocated at the last watchdog sample.").With()
+		w.tickLagG = cfg.Registry.Gauge("watch_tick_lag_seconds",
+			"How late the last watchdog tick fired (scheduler stall detector).").With()
+		w.probeVec = cfg.Registry.Gauge("watch_probe",
+			"Last sampled value per pluggable watchdog probe.", "probe")
+		w.trippedVec = cfg.Registry.Gauge("watch_tripped",
+			"1 while the named watchdog check is over its threshold.", "check")
+		w.trips = cfg.Registry.Counter("watch_trips_total",
+			"Threshold crossings per watchdog check.", "check")
+	}
+	return w
+}
+
+// Start launches the sampling loop (idempotent, nil-safe). The watchdog
+// runs on wall time: it watches the real process, not the simulation.
+func (w *Watchdog) Start() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		return
+	}
+	w.started = true
+	w.lastTick = time.Now()
+	w.mu.Unlock()
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(w.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.CheckNow()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it to exit (idempotent, nil-safe).
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.mu.Lock()
+	started := w.started
+	w.mu.Unlock()
+	if started {
+		<-w.done
+	}
+}
+
+// CheckNow runs one watchdog round: sample, export, and journal any
+// threshold crossings. Returns the names of checks currently tripped.
+func (w *Watchdog) CheckNow() []string {
+	if w == nil {
+		return nil
+	}
+	now := time.Now()
+	w.mu.Lock()
+	lag := time.Duration(0)
+	if !w.lastTick.IsZero() {
+		if late := now.Sub(w.lastTick) - w.cfg.Interval; late > 0 {
+			lag = late
+		}
+	}
+	w.lastTick = now
+	w.mu.Unlock()
+
+	goroutines := runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.goroutinesG.Set(float64(goroutines))
+	w.heapG.Set(float64(ms.HeapAlloc))
+	w.tickLagG.Set(lag.Seconds())
+
+	var firing []string
+	check := func(name string, value, max float64, detail string) {
+		over := max >= 0 && value > max
+		if over {
+			firing = append(firing, name)
+		}
+		w.setTripped(name, over, detail)
+	}
+	if w.cfg.MaxGoroutines > 0 {
+		check("goroutines", float64(goroutines), float64(w.cfg.MaxGoroutines),
+			fmt.Sprintf("%d goroutines (max %d)", goroutines, w.cfg.MaxGoroutines))
+	}
+	if w.cfg.MaxHeapBytes > 0 {
+		check("heap", float64(ms.HeapAlloc), float64(w.cfg.MaxHeapBytes),
+			fmt.Sprintf("%d heap bytes (max %d)", ms.HeapAlloc, w.cfg.MaxHeapBytes))
+	}
+	if w.cfg.MaxTickLag > 0 {
+		check("tick-lag", lag.Seconds(), w.cfg.MaxTickLag.Seconds(),
+			fmt.Sprintf("tick %s late (max %s)", lag, w.cfg.MaxTickLag))
+	}
+	for _, p := range w.cfg.Probes {
+		if p.Value == nil {
+			continue
+		}
+		v := p.Value()
+		if w.probeVec != nil {
+			w.probeVec.With(p.Name).Set(v)
+		}
+		check(p.Name, v, p.Max, fmt.Sprintf("%s=%g (max %g)", p.Name, v, p.Max))
+	}
+	return firing
+}
+
+// setTripped updates one check's firing state, exporting the gauge and
+// journaling edge transitions (trip on rise, clear on fall).
+func (w *Watchdog) setTripped(name string, over bool, detail string) {
+	w.mu.Lock()
+	was := w.tripped[name]
+	w.tripped[name] = over
+	w.mu.Unlock()
+	if w.trippedVec != nil {
+		g := w.trippedVec.With(name)
+		if over {
+			g.Set(1)
+		} else {
+			g.Set(0)
+		}
+	}
+	if over && !was {
+		if w.trips != nil {
+			w.trips.With(name).Inc()
+		}
+		w.journal.Record("watch.trip", w.cfg.Scope, detail, map[string]string{"check": name})
+	}
+	if !over && was {
+		w.journal.Record("watch.clear", w.cfg.Scope, name+" back under threshold",
+			map[string]string{"check": name})
+	}
+}

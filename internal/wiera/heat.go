@@ -2,7 +2,9 @@ package wiera
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,10 +51,10 @@ type heatTracker struct {
 	topK     int
 
 	mu        sync.Mutex
-	hot       map[string][]string     // owner side: promoted key -> replica nodes
-	cache     map[string]hotEntry     // replica side: installed hot copies
-	tombs     map[string]time.Time    // replica side: recently dropped keys
-	lastEpoch int64                   // ring epoch the promotions were made under
+	hot       map[string][]string  // owner side: promoted key -> replica nodes
+	cache     map[string]hotEntry  // replica side: installed hot copies
+	tombs     map[string]time.Time // replica side: recently dropped keys
+	lastEpoch int64                // ring epoch the promotions were made under
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -288,6 +290,9 @@ func (h *heatTracker) promoteKey(key string) {
 	h.hot[key] = installed
 	h.mu.Unlock()
 	h.promotions.Inc()
+	h.n.fabric.Events().Record("heat.promote", h.n.name,
+		fmt.Sprintf("promoted hot key %q to %d extra replicas", key, len(installed)),
+		map[string]string{"key": key, "replicas": strings.Join(installed, ",")})
 }
 
 // installTo pushes one version to each target, returning those that took it.
@@ -324,6 +329,9 @@ func (h *heatTracker) demoteKey(key string) {
 		}
 	}
 	h.demotions.Inc()
+	h.n.fabric.Events().Record("heat.demote", h.n.name,
+		fmt.Sprintf("demoted cooled key %q (%d replicas dropped)", key, len(targets)),
+		map[string]string{"key": key})
 }
 
 // afterPut refreshes a promoted key's replicas with the new version, in the

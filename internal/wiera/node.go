@@ -316,6 +316,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			Node:     cfg.Name,
 			Region:   region,
 			OnStatus: n.sloMon.observe,
+			Journal:  cfg.Fabric.Events(),
 		}, n.sloObjectives(cfg.SLOs)...)
 	}
 	ep.Serve(n.handle)
@@ -510,7 +511,7 @@ func (n *Node) put(ctx context.Context, key string, data []byte, tags []string, 
 	}
 	elapsed := n.clk.Since(appStart)
 	if fromApp {
-		n.PutLatency.Record(elapsed)
+		n.PutLatency.RecordTrace(elapsed, span.TraceIDString())
 		n.PutSeries.Append(n.clk.Now(), float64(elapsed)/float64(time.Millisecond))
 		n.latMon.observe(n.clk.Since(start))
 		n.reqMon.observeDirect()
@@ -566,7 +567,7 @@ func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, re
 	// owner + replicas without tripping wrong-shard redirects.
 	if data, meta, ok := n.heat.serveHot(key); ok {
 		n.heat.observe(key)
-		n.GetLatency.Record(n.clk.Since(start))
+		n.GetLatency.RecordTrace(n.clk.Since(start), span.TraceIDString())
 		fa.AddHop(flight.Hop{Kind: flight.HopCache, Name: "hot-replica", Bytes: int64(len(data))})
 		return data, meta, nil
 	}
@@ -593,7 +594,7 @@ func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, re
 			return nil, object.Meta{}, err
 		}
 		if fired && ge.resp != nil {
-			n.GetLatency.Record(n.clk.Since(start))
+			n.GetLatency.RecordTrace(n.clk.Since(start), span.TraceIDString())
 			return ge.resp.Data, ge.resp.Meta, nil
 		}
 	}
@@ -632,7 +633,7 @@ func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, re
 			}
 		}
 	}
-	n.GetLatency.Record(n.clk.Since(start))
+	n.GetLatency.RecordTrace(n.clk.Since(start), span.TraceIDString())
 	if n.trackFreshness(meta) && n.repair != nil {
 		// Read repair: a peer holds a newer version than the one just
 		// returned — reconcile the key asynchronously.

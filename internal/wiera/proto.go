@@ -19,6 +19,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
+	"repro/internal/watch"
 )
 
 // RPC method names. The application-facing ones implement the paper's
@@ -97,6 +98,15 @@ const (
 	MethodMetricsDump = "wiera.metricsDump"
 	MethodTraceDump   = "wiera.traceDump"
 	MethodFlightDump  = "wiera.flightDump"
+
+	// Observability plane, also served by the daemon front directly.
+	// MethodMetricsSnapshot returns one daemon's registry in structured
+	// (mergeable) form; MethodClusterMetrics has the daemon scrape itself
+	// plus its -peers and answer with the merged fleet view;
+	// MethodEventsDump returns the structured event journal.
+	MethodMetricsSnapshot = "wiera.metricsSnapshot"
+	MethodClusterMetrics  = "wiera.clusterMetrics"
+	MethodEventsDump      = "wiera.eventsDump"
 )
 
 // PutRequest stores an object (Table 2 put / update). From names the
@@ -588,4 +598,42 @@ type FlightDumpResponse struct {
 	TotalSeen int64
 	SlowSeen  int64
 	Records   []flight.Record
+}
+
+// MetricsSnapshotRequest asks one daemon for its registry in structured
+// form — the mergeable counterpart of MethodMetricsDump's rendered text.
+type MetricsSnapshotRequest struct{}
+
+// MetricsSnapshotResponse carries one daemon's metric families. Source is
+// the daemon's node name; the merger prefixes gauges with it.
+type MetricsSnapshotResponse struct {
+	Source   string
+	Families []telemetry.FamilySnapshot
+}
+
+// ClusterMetricsRequest asks a daemon for the merged fleet view: its own
+// registry plus a MethodMetricsSnapshot scrape of every configured peer.
+type ClusterMetricsRequest struct{}
+
+// ClusterMetricsResponse is the fleet merge. Sources lists every daemon
+// that contributed; Failed lists peers that could not be scraped (the
+// merge proceeds without them — partial fleet views are still views).
+type ClusterMetricsResponse struct {
+	Sources  []string
+	Failed   []string
+	Families []telemetry.FamilySnapshot
+}
+
+// EventsDumpRequest asks a daemon for its structured event journal.
+// Max caps the answer to the newest Max events (<= 0 returns the whole
+// retained ring).
+type EventsDumpRequest struct {
+	Max int
+}
+
+// EventsDumpResponse carries the retained events oldest-first. Total is
+// the number ever recorded (>= len(Events) once the ring has evicted).
+type EventsDumpResponse struct {
+	Total  int
+	Events []watch.Event
 }

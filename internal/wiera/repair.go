@@ -54,6 +54,7 @@ func newRepairManager(n *Node, cfg NodeConfig) (*repairManager, error) {
 	}
 	m.hints = hints
 	m.daemon = repair.NewDaemon(n.clk, nodeStore{n}, hints, nodeCluster{n}, m.geo, cfg.AntiEntropyEvery, m.metrics)
+	m.daemon.AttachJournal(n.fabric.Events(), n.name)
 	if cfg.AntiEntropyEvery == 0 {
 		// Default mode: hinted handoff and read repair only. Periodic Merkle
 		// sync replicates whatever a peer lacks, which would override

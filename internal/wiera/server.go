@@ -427,6 +427,7 @@ func (s *Server) startAutoscaler(st *instanceState, params map[string]string) {
 		ShrinkStreak:       pInt("asShrinkStreak", 0),
 		Registry:           s.fabric.Metrics(),
 		Instance:           id,
+		Journal:            s.fabric.Events(),
 		Source:             src,
 		Actuator:           &instanceActuator{s: s, id: id},
 		Blocked: func(err error) bool {
@@ -723,6 +724,12 @@ func (s *Server) nextRingEpoch(st *instanceState, m *ring.Map) {
 	}
 	m.Epoch = prev + 1
 	if s.coordDst == "" {
+		// No coordinator: this control plane is the only epoch authority,
+		// so its journal carries the ring-change record instead.
+		s.fabric.Events().Record("ring.epoch", st.id, m.Summary(), map[string]string{
+			"epoch":  fmt.Sprintf("%d", m.Epoch),
+			"shards": fmt.Sprintf("%d", m.Shards()),
+		})
 		return
 	}
 	if epoch, err := coord.PublishRing(s.ep, s.coordDst, st.id, m); err == nil {
@@ -772,6 +779,39 @@ func (s *Server) InstanceView(instanceID string) ([]PeerInfo, *ring.Map, error) 
 func (s *Server) Ring(instanceID string) (*ring.Map, error) {
 	_, rm, err := s.InstanceView(instanceID)
 	return rm, err
+}
+
+// InstanceHealth is one instance's row of a Health report (the /healthz
+// endpoint's payload): enough to see at a glance that the control plane
+// is serving and what shape each instance currently has.
+type InstanceHealth struct {
+	ID          string `json:"id"`
+	Policy      string `json:"policy"`
+	Nodes       int    `json:"nodes"`
+	Workers     int    `json:"workersPerRegion"` // shards per region (1 = unsharded)
+	RingEpoch   int64  `json:"ringEpoch"`        // 0 = unsharded
+	Rebalancing bool   `json:"rebalancing"`
+	Autoscaled  bool   `json:"autoscaled"`
+}
+
+// Health snapshots every live instance, sorted by id.
+func (s *Server) Health() []InstanceHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]InstanceHealth, 0, len(s.instances))
+	for id, st := range s.instances {
+		h := InstanceHealth{
+			ID: id, Policy: st.policyName, Nodes: len(st.nodes),
+			Workers: 1, Rebalancing: st.rebalancing, Autoscaled: st.autoctl != nil,
+		}
+		if st.ringMap != nil {
+			h.Workers = st.ringMap.Shards()
+			h.RingEpoch = st.ringMap.Epoch
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // HeatTop merges every worker's heat sketch into the instance's hottest

@@ -11,7 +11,6 @@ import (
 	"repro/internal/transport"
 )
 
-
 // shardManager is a node's view of the keyspace partition: the current
 // (and, mid-rebalance, previous) shard map, the node's own shard index,
 // ownership checks for incoming operations, and the drain that streams

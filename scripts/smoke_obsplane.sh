@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Smoke test for the cluster observability plane: boots a 2-worker wiera
+# daemon, drives a little traffic, then asserts the plane's end-to-end
+# contract — /healthz answers, /cluster/metrics carries at least one
+# trace-ID exemplar, and the event journal recorded at least one event.
+#
+# Run from the repo root: ./scripts/smoke_obsplane.sh
+set -euo pipefail
+
+GO=${GO:-go}
+LISTEN=${LISTEN:-127.0.0.1:7460}
+METRICS=${METRICS:-127.0.0.1:7461}
+
+WORKDIR=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== build =="
+$GO build -o "$WORKDIR/wiera" ./cmd/wiera
+$GO build -o "$WORKDIR/wieractl" ./cmd/wieractl
+
+echo "== boot daemon (2 workers per region) =="
+"$WORKDIR/wiera" -listen "$LISTEN" -metrics-addr "$METRICS" -workers 2 \
+  >"$WORKDIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -fsS "http://$METRICS/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "FAIL: daemon exited during startup"; cat "$WORKDIR/daemon.log"; exit 1
+  fi
+  sleep 0.2
+done
+curl -fsS "http://$METRICS/healthz" >/dev/null || {
+  echo "FAIL: /healthz never came up"; cat "$WORKDIR/daemon.log"; exit 1; }
+
+echo "== start instance + drive traffic =="
+"$WORKDIR/wieractl" -addr "$LISTEN" start -id smoke -policy PrimaryBackupConsistency -param t=2s
+for i in $(seq 1 20); do
+  "$WORKDIR/wieractl" -addr "$LISTEN" put -id smoke -key "k$i" -value "v$i" >/dev/null
+  "$WORKDIR/wieractl" -addr "$LISTEN" get -id smoke -key "k$i" >/dev/null
+done
+
+echo "== assert /healthz reports the instance =="
+HEALTH=$(curl -fsS "http://$METRICS/healthz")
+echo "$HEALTH"
+grep -q '"status": *"ok"' <<<"$HEALTH" || { echo "FAIL: healthz status not ok"; exit 1; }
+grep -q '"smoke"' <<<"$HEALTH" || { echo "FAIL: healthz missing the smoke instance"; exit 1; }
+
+echo "== assert /cluster/metrics carries >=1 exemplar =="
+CLUSTER=$(curl -fsS "http://$METRICS/cluster/metrics")
+grep -q '^# cluster sources' <<<"$CLUSTER" || { echo "FAIL: no cluster sources header"; exit 1; }
+if ! grep -q '# {trace_id="' <<<"$CLUSTER"; then
+  echo "FAIL: no exemplar in /cluster/metrics"; head -40 <<<"$CLUSTER"; exit 1
+fi
+EXEMPLAR=$(grep -o 'trace_id="[0-9a-f]*"' <<<"$CLUSTER" | head -1 | cut -d'"' -f2)
+echo "exemplar trace: $EXEMPLAR"
+
+echo "== assert the exemplar resolves to an analyzable trace =="
+"$WORKDIR/wieractl" -addr "$LISTEN" trace -trace "$EXEMPLAR" -analyze
+
+echo "== grow then shrink: ring epochs must land in the journal in order =="
+"$WORKDIR/wieractl" -addr "$LISTEN" grow -id smoke >/dev/null
+"$WORKDIR/wieractl" -addr "$LISTEN" shrink -id smoke >/dev/null
+
+echo "== assert the journal recorded >=1 event =="
+EVENTS=$(curl -fsS "http://$METRICS/events")
+grep -q '"total": *[1-9]' <<<"$EVENTS" || {
+  echo "FAIL: event journal empty"; echo "$EVENTS"; exit 1; }
+EVLIST=$("$WORKDIR/wieractl" -addr "$LISTEN" events -n 20)
+echo "$EVLIST"
+EPOCHS=$(grep -c 'ring.epoch' <<<"$EVLIST" || true)
+if [ "$EPOCHS" -lt 3 ]; then
+  echo "FAIL: want >=3 ring.epoch events (start, grow, shrink), got $EPOCHS"; exit 1
+fi
+
+echo "== fleet view =="
+"$WORKDIR/wieractl" -addr "$LISTEN" cluster
+
+echo "smoke_obsplane: OK"
