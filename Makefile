@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: ci verify vet build test race race-obs race-obsplane race-ring race-batch race-ec race-autoscale smoke-obsplane bench convergence scaleout batchflush eccost elastic
+.PHONY: ci verify vet build test race race-obs race-obsplane race-ring race-batch race-ec race-autoscale race-tenant smoke-obsplane smoke-tenancy bench convergence scaleout batchflush eccost elastic tenancy
 
-ci: vet build race-obs race-obsplane race-ring race-batch race-ec race-autoscale race smoke-obsplane
+ci: vet build race-obs race-obsplane race-ring race-batch race-ec race-autoscale race-tenant race smoke-obsplane smoke-tenancy
 
 # One-stop pre-commit check: static analysis, full build, race-checked tests.
-verify: vet build race-obs race-obsplane race-ring race-batch race-ec race-autoscale race
+verify: vet build race-obs race-obsplane race-ring race-batch race-ec race-autoscale race-tenant race
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +67,26 @@ race-ec:
 race-autoscale:
 	$(GO) test -race -count=2 ./internal/autoscale/
 	$(GO) test -race -run 'TestHot|TestRebalanceInProgress|TestMembershipChurn|TestECHedged' ./internal/wiera/
+
+# Focused race pass over multi-tenancy: the token buckets and the stride
+# scheduler (whose fairness property test races thousands of waiters), then
+# the integration paths where admission, the WFQ, and tenant-qualified keys
+# run under concurrent clients.
+race-tenant:
+	$(GO) test -race -count=2 ./internal/tenant/
+	$(GO) test -race -run 'TestTenant|TestQuota|TestByteQuota' ./internal/wiera/
+
+# End-to-end tenancy smoke: boots a daemon, starts a two-tenant instance,
+# and asserts disjoint keyspaces, fail-fast quota NACKs, tenant_* metrics,
+# the wieractl tenants view, and the /healthz tenant count.
+smoke-tenancy:
+	./scripts/smoke_tenancy.sh
+
+# Multi-tenant isolation experiment (quick mode): a noisy tenant at >=10x
+# its IOPS quota vs a paced victim; admission must throttle the aggressor
+# and the victim's p99 must hold the stated bound with no lost acked writes.
+tenancy:
+	$(GO) run ./cmd/wierabench -exp tenancy
 
 # Elastic autoscaling experiment (quick mode): 12x load swing with hot-spot
 # shift; the pool must grow, promote/demote hot keys, and shed capacity.

@@ -425,9 +425,10 @@ func (f *frontend) healthz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	instances := f.server.Health()
-	workers := 0
+	workers, tenants := 0, 0
 	for _, h := range instances {
 		workers += h.Nodes
+		tenants += h.Tenants
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{
@@ -435,6 +436,7 @@ func (f *frontend) healthz(w http.ResponseWriter, _ *http.Request) {
 		"node":      f.source,
 		"instances": instances,
 		"workers":   workers,
+		"tenants":   tenants,
 		"sloFiring": firing,
 		"events":    f.fabric.Events().Total(),
 	})

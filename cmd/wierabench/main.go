@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wierabench [-exp all|fig7|sloswitch|fig8|table3|fig9|table4|sec53|fig10|fig11|fig12|convergence|scaleout|batchflush|eccost|elastic] [-full] [-seed N] [-watchdog]
+//	wierabench [-exp all|fig7|sloswitch|fig8|table3|fig9|table4|sec53|fig10|fig11|fig12|convergence|scaleout|batchflush|eccost|elastic|tenancy] [-full] [-seed N] [-watchdog]
 //
 // By default experiments run in quick mode (seconds each); -full uses the
 // paper-scale durations. -watchdog runs the runtime watchdog alongside the
@@ -37,7 +37,7 @@ type renderable interface {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: all, fig7, sloswitch, fig8, table3, fig9, table4, sec53, fig10, fig11, fig12, convergence, scaleout, batchflush, eccost, elastic, ablation-consistency, ablation-queue, ablation-blocksize")
+	expFlag := flag.String("exp", "all", "experiment to run: all, fig7, sloswitch, fig8, table3, fig9, table4, sec53, fig10, fig11, fig12, convergence, scaleout, batchflush, eccost, elastic, tenancy, ablation-consistency, ablation-queue, ablation-blocksize")
 	full := flag.Bool("full", false, "run at paper-scale durations instead of quick mode")
 	seed := flag.Int64("seed", 1, "random seed")
 	watchdog := flag.Bool("watchdog", false, "run the runtime watchdog during experiments and report trips")
@@ -71,6 +71,7 @@ func main() {
 		{"batchflush", func(o experiments.Options) (renderable, error) { return experiments.BatchFlush(o) }},
 		{"eccost", func(o experiments.Options) (renderable, error) { return experiments.ECCost(o) }},
 		{"elastic", func(o experiments.Options) (renderable, error) { return experiments.Elastic(o) }},
+		{"tenancy", func(o experiments.Options) (renderable, error) { return experiments.Tenancy(o) }},
 		{"ablation-consistency", func(o experiments.Options) (renderable, error) { return experiments.AblationConsistency(o) }},
 		{"ablation-queue", func(o experiments.Options) (renderable, error) { return experiments.AblationQueue(o) }},
 		{"ablation-blocksize", func(o experiments.Options) (renderable, error) { return experiments.AblationBlockSize(o) }},

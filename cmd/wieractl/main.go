@@ -8,11 +8,12 @@
 //	wieractl [-addr 127.0.0.1:7360] stop   -id myapp
 //	wieractl [-addr 127.0.0.1:7360] list   -id myapp
 //	wieractl [-addr 127.0.0.1:7360] stats  -id myapp
-//	wieractl [-addr 127.0.0.1:7360] put    -id myapp -key k [-value v | -file f]
-//	wieractl [-addr 127.0.0.1:7360] get    -id myapp -key k [-version N]
-//	wieractl [-addr 127.0.0.1:7360] versions -id myapp -key k
-//	wieractl [-addr 127.0.0.1:7360] placement -id myapp -key k
-//	wieractl [-addr 127.0.0.1:7360] remove -id myapp -key k [-version N]
+//	wieractl [-addr 127.0.0.1:7360] put    -id myapp -key k [-value v | -file f] [-tenant t]
+//	wieractl [-addr 127.0.0.1:7360] get    -id myapp -key k [-version N] [-tenant t]
+//	wieractl [-addr 127.0.0.1:7360] versions -id myapp -key k [-tenant t]
+//	wieractl [-addr 127.0.0.1:7360] placement -id myapp -key k [-tenant t]
+//	wieractl [-addr 127.0.0.1:7360] remove -id myapp -key k [-version N] [-tenant t]
+//	wieractl [-addr 127.0.0.1:7360] tenants -id myapp
 //	wieractl [-addr 127.0.0.1:7360] policies
 //	wieractl [-addr 127.0.0.1:7360] metrics
 //	wieractl [-addr 127.0.0.1:7360] cluster [-raw]
@@ -30,6 +31,12 @@
 // worker, the shard index, virtual nodes, key/byte ownership, cumulative
 // migration counters, and any in-flight migrations. grow adds one worker
 // per region (rebalancing the keyspace online); shrink removes one.
+//
+// tenants aggregates the instance's per-tenant accounting across its
+// worker nodes: configured weight and quotas, admitted ops, payload bytes
+// in/out, quota denials, and the weighted-fair queue wait / op latency
+// p99s. -tenant on the data commands scopes the key into that tenant's
+// namespace (the same qualification a tenant-scoped client applies).
 //
 // heat prints the instance's hottest keys (decayed access-rate estimates
 // merged across every worker's sketch, hottest first) — the same ranking
@@ -73,6 +80,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/policy"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/transport"
 	"repro/internal/watch"
 	"repro/internal/wiera"
@@ -93,7 +101,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|placement|remove|policies|metrics|cluster|events|repair|trace|slow|top|ring|grow|shrink|heat> ...")
+		return fmt.Errorf("usage: wieractl [-addr host:port] <start|stop|list|stats|put|get|versions|placement|remove|policies|metrics|cluster|events|repair|trace|slow|top|ring|grow|shrink|heat|tenants> ...")
 	}
 	cmdName, cmdArgs := rest[0], rest[1:]
 	if cmdName == "policies" {
@@ -125,6 +133,7 @@ func run(args []string) error {
 	watch := fs.Bool("watch", false, "refresh continuously (top command)")
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval for -watch (top command)")
 	workers := fs.Int("workers", 0, "per-region worker pool size (start command; 0 = daemon default)")
+	tenantID := fs.String("tenant", "", "tenant namespace for data commands (empty = default tenant)")
 	var params paramFlags
 	fs.Var(&params, "param", "policy parameter binding name=value (repeatable)")
 	if err := fs.Parse(cmdArgs); err != nil {
@@ -250,6 +259,14 @@ func run(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("-id is required")
 	}
+	// -tenant scopes the data commands' key into the tenant's namespace —
+	// the same qualification a tenant-scoped client applies on every op.
+	if *tenantID != "" && *key != "" {
+		if !tenant.ValidID(*tenantID) {
+			return fmt.Errorf("invalid tenant id %q", *tenantID)
+		}
+		*key = tenant.Qualify(*tenantID, *key)
+	}
 
 	switch cmdName {
 	case "start":
@@ -319,6 +336,13 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("removed one worker per region; %d keys rebalanced\n", resp.Moved)
+		return nil
+	case "tenants":
+		var resp wiera.InstanceStats
+		if err := call(cli, wiera.MethodCollectStats, wiera.GetInstancesRequest{InstanceID: *id}, &resp); err != nil {
+			return err
+		}
+		fmt.Print(renderTenants(*id, resp))
 		return nil
 	case "heat":
 		var resp wiera.HeatTopResponse
@@ -505,6 +529,7 @@ func renderTop(cli *transport.TCPClient, id string) (string, error) {
 	section("repair (anti-entropy)", "repair_")
 	section("autoscale (elastic controller)", "autoscale_")
 	section("heat (hot-key replication)", "heat_")
+	section("tenants (quota admission + weighted-fair queue)", "tenant_")
 	section("watchdog (runtime self-checks)", "watch_")
 
 	var events wiera.EventsDumpResponse
@@ -514,6 +539,66 @@ func renderTop(cli *transport.TCPClient, id string) (string, error) {
 		b.WriteString(renderEvents(events.Events))
 	}
 	return b.String(), nil
+}
+
+// renderTenants aggregates per-tenant accounting across the instance's
+// worker nodes: counters sum, latency p99s take the worst node (a tenant's
+// tail is its slowest shard), weight and quotas are configuration and come
+// from any node.
+func renderTenants(id string, stats wiera.InstanceStats) string {
+	type agg struct {
+		wiera.TenantStats
+		seen bool
+	}
+	byID := map[string]*agg{}
+	var order []string
+	for _, n := range stats.Nodes {
+		for _, t := range n.Tenants {
+			a := byID[t.ID]
+			if a == nil {
+				a = &agg{}
+				byID[t.ID] = a
+				order = append(order, t.ID)
+			}
+			if !a.seen {
+				a.TenantStats = t
+				a.seen = true
+				continue
+			}
+			a.Ops += t.Ops
+			a.BytesIn += t.BytesIn
+			a.BytesOut += t.BytesOut
+			a.Throttled += t.Throttled
+			for _, p := range []struct{ dst *float64; v float64 }{
+				{&a.QueueP99Ms, t.QueueP99Ms}, {&a.PutP99Ms, t.PutP99Ms}, {&a.GetP99Ms, t.GetP99Ms},
+			} {
+				if p.v > *p.dst {
+					*p.dst = p.v
+				}
+			}
+		}
+	}
+	if len(order) == 0 {
+		return fmt.Sprintf("instance %s has no tenants configured (start with -param tenants=a,b)\n", id)
+	}
+	sort.Strings(order)
+	quota := func(v float64, unit string) string {
+		if v <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%g%s", v, unit)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "instance %s  %d tenant(s), %d worker node(s)\n", id, len(order), len(stats.Nodes))
+	fmt.Fprintf(&b, "%-12s %3s %9s %9s %8s %10s %10s %9s %9s %9s\n",
+		"tenant", "w", "iops", "bytes/s", "ops", "in", "out", "throttled", "wfqP99", "putP99")
+	for _, tid := range order {
+		a := byID[tid]
+		fmt.Fprintf(&b, "%-12s %3d %9s %9s %8d %9dB %9dB %9d %8.1fms %8.1fms\n",
+			tid, a.Weight, quota(a.IOPSQuota, ""), quota(a.BytesQuota, "B"),
+			a.Ops, a.BytesIn, a.BytesOut, a.Throttled, a.QueueP99Ms, a.PutP99Ms)
+	}
+	return b.String()
 }
 
 // renderEvents formats journal events oldest-first, one line each.

@@ -68,6 +68,7 @@ type Record struct {
 	Region  string        `json:"region"`
 	Policy  string        `json:"policy"`
 	TraceID string        `json:"traceId,omitempty"`
+	Tenant  string        `json:"tenant,omitempty"`
 	Start   time.Time     `json:"start"`
 	Total   time.Duration `json:"totalNs"`
 	CostUSD float64       `json:"costUsd"`
@@ -348,6 +349,16 @@ func (a *Active) SetTraceID(id string) {
 	}
 	a.mu.Lock()
 	a.r.TraceID = id
+	a.mu.Unlock()
+}
+
+// SetTenant tags the record with the tenant the request belongs to.
+func (a *Active) SetTenant(id string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.r.Tenant = id
 	a.mu.Unlock()
 }
 

@@ -1,0 +1,181 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrSchedulerClosed is returned from Acquire when the scheduler shuts down
+// while the caller is queued, so node teardown never strands a request.
+var ErrSchedulerClosed = errors.New("tenant: scheduler closed")
+
+// strideScale is the stride numerator: stride = strideScale / weight. Large
+// enough that integer division keeps weight ratios accurate for any sane
+// weight (1..strideScale).
+const strideScale = 1 << 20
+
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+type tenantQueue struct {
+	stride  uint64
+	pass    uint64
+	waiters []*waiter
+}
+
+// Scheduler is a stride weighted-fair scheduler over per-tenant FIFO queues.
+// At most `slots` requests are active at once; when a slot frees, the waiter
+// at the head of the queue with the minimum virtual pass runs next, and that
+// queue's pass advances by strideScale/weight — so over any saturated window
+// each tenant's share of grants converges to weight_i / Σ weight_j regardless
+// of how deep any one tenant's backlog is. A backlogged tenant therefore
+// cannot inflate another tenant's queue wait beyond its weighted share.
+//
+// The scheduler is clock-free (pure event ordering), so it behaves
+// identically under the simulated and wall clocks.
+type Scheduler struct {
+	mu     sync.Mutex
+	slots  int
+	vtime  uint64 // pass of the most recent grant: floor for reactivated queues
+	active int
+	queues map[string]*tenantQueue
+	closed bool
+}
+
+// NewScheduler builds a scheduler with the given concurrency and tenant
+// weights. Slots < 1 defaults to 1. Tenants not configured up front are added
+// lazily with weight 1.
+func NewScheduler(slots int, cfgs []Config) *Scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	s := &Scheduler{slots: slots, queues: make(map[string]*tenantQueue)}
+	for _, c := range cfgs {
+		s.queues[c.ID] = &tenantQueue{stride: strideFor(c.Weight)}
+	}
+	if _, ok := s.queues[DefaultID]; !ok {
+		s.queues[DefaultID] = &tenantQueue{stride: strideFor(1)}
+	}
+	return s
+}
+
+func strideFor(weight int) uint64 {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > strideScale {
+		weight = strideScale
+	}
+	return strideScale / uint64(weight)
+}
+
+// Acquire blocks until the tenant is granted a slot (or the scheduler
+// closes). Every caller must pair a successful Acquire with Release.
+func (s *Scheduler) Acquire(tenant string) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSchedulerClosed
+	}
+	q := s.queues[tenant]
+	if q == nil {
+		q = &tenantQueue{stride: strideFor(1)}
+		s.queues[tenant] = q
+	}
+	if len(q.waiters) == 0 && q.pass < s.vtime {
+		// Reactivating after idle: start at the current virtual time so
+		// accumulated idleness is not a credit to burn.
+		q.pass = s.vtime
+	}
+	w := &waiter{ch: make(chan struct{})}
+	q.waiters = append(q.waiters, w)
+	s.dispatch()
+	s.mu.Unlock()
+
+	<-w.ch
+	s.mu.Lock()
+	granted := w.granted
+	s.mu.Unlock()
+	if !granted {
+		return ErrSchedulerClosed
+	}
+	return nil
+}
+
+// Release frees a slot and hands it to the minimum-pass queue, if any.
+func (s *Scheduler) Release() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.active > 0 {
+		s.active--
+	}
+	s.dispatch()
+	s.mu.Unlock()
+}
+
+// dispatch grants free slots to waiters in stride order. Caller holds s.mu.
+func (s *Scheduler) dispatch() {
+	for s.active < s.slots {
+		var best *tenantQueue
+		for _, q := range s.queues {
+			if len(q.waiters) == 0 {
+				continue
+			}
+			if best == nil || q.pass < best.pass {
+				best = q
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.waiters[0]
+		best.waiters = best.waiters[1:]
+		best.pass += best.stride
+		s.vtime = best.pass
+		s.active++
+		w.granted = true
+		close(w.ch)
+	}
+}
+
+// Close wakes every queued waiter with ErrSchedulerClosed and rejects future
+// Acquires.
+func (s *Scheduler) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, q := range s.queues {
+		for _, w := range q.waiters {
+			close(w.ch)
+		}
+		q.waiters = nil
+	}
+}
+
+// Waiting reports the number of queued (not yet granted) requests, for stats
+// and tests.
+func (s *Scheduler) Waiting() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, q := range s.queues {
+		n += len(q.waiters)
+	}
+	return n
+}

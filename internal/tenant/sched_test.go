@@ -1,0 +1,204 @@
+package tenant
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Under saturation (every tenant always has a queued request), each tenant's
+// share of grants must land within 10% of its weight ratio. The test holds
+// the only slot while a deep backlog is pre-queued for every tenant, then
+// observes the grant order over a window in which no queue can drain empty —
+// so the measured share is pure scheduler policy, not goroutine timing.
+func TestSchedulerFairShare(t *testing.T) {
+	cfgs := []Config{
+		{ID: "gold", Weight: 6},
+		{ID: "silver", Weight: 3},
+		{ID: "bronze", Weight: 1},
+	}
+	const perTenant = 2000
+	const window = 1000 // grants counted; < perTenant, so every queue stays nonempty
+	s := NewScheduler(1, append(cfgs, Config{ID: "holder", Weight: 1}))
+	defer s.Close()
+
+	// Occupy the single slot so all backlog enqueues before any grant.
+	if err := s.Acquire("holder"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	for _, c := range cfgs {
+		c := c
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.Acquire(c.ID); err != nil {
+					return
+				}
+				mu.Lock()
+				order = append(order, c.ID)
+				mu.Unlock()
+				s.Release()
+			}()
+		}
+	}
+	for s.Waiting() < perTenant*len(cfgs) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Release() // open the floodgate; grants proceed one at a time in stride order
+	wg.Wait()
+
+	counts := map[string]int{}
+	for _, id := range order[:window] {
+		counts[id]++
+	}
+	totalWeight := 0.0
+	for _, c := range cfgs {
+		totalWeight += float64(c.Weight)
+	}
+	for _, c := range cfgs {
+		if counts[c.ID] == 0 {
+			t.Fatalf("tenant %s starved: zero grants in saturated window", c.ID)
+		}
+		got := float64(counts[c.ID]) / float64(window)
+		want := float64(c.Weight) / totalWeight
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("tenant %s share %.3f, want %.3f ±10%%", c.ID, got, want)
+		}
+	}
+}
+
+// A tenant with a huge backlog must not starve a light tenant: the light
+// tenant's requests complete promptly even while thousands are queued.
+func TestSchedulerNoStarvationUnderBacklog(t *testing.T) {
+	s := NewScheduler(1, []Config{{ID: "noisy", Weight: 1}, {ID: "victim", Weight: 1}})
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.Acquire("noisy"); err != nil {
+					return
+				}
+				s.Release()
+			}
+		}()
+	}
+	// The victim sends 100 sequential requests; each must be granted.
+	for i := 0; i < 100; i++ {
+		done := make(chan error, 1)
+		go func() { done <- s.Acquire("victim") }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("victim acquire %d failed: %v", i, err)
+			}
+			s.Release()
+		case <-time.After(5 * time.Second):
+			t.Fatalf("victim request %d starved behind noisy backlog", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// An idle tenant must not bank credit: after sitting out, it resumes at the
+// current virtual time rather than monopolizing the scheduler.
+func TestSchedulerIdleNoCredit(t *testing.T) {
+	s := NewScheduler(1, []Config{{ID: "a", Weight: 1}, {ID: "b", Weight: 1}})
+	defer s.Close()
+	// Tenant a runs alone for a while, advancing its pass far ahead.
+	for i := 0; i < 1000; i++ {
+		if err := s.Acquire("a"); err != nil {
+			t.Fatal(err)
+		}
+		s.Release()
+	}
+	// Now both contend; b must not get 1000 grants of "catch-up".
+	var aGrants, bGrants int64
+	var wg sync.WaitGroup
+	deadline := make(chan struct{})
+	for _, tn := range []struct {
+		id  string
+		ctr *int64
+	}{{"a", &aGrants}, {"b", &bGrants}} {
+		tn := tn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-deadline:
+					return
+				default:
+				}
+				if err := s.Acquire(tn.id); err != nil {
+					return
+				}
+				atomic.AddInt64(tn.ctr, 1)
+				s.Release()
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(deadline)
+	wg.Wait()
+	a, b := atomic.LoadInt64(&aGrants), atomic.LoadInt64(&bGrants)
+	if a == 0 || b == 0 {
+		t.Fatalf("grants a=%d b=%d: both tenants must make progress", a, b)
+	}
+	ratio := float64(b) / float64(a+b)
+	if ratio > 0.75 {
+		t.Fatalf("reactivated tenant b took %.0f%% of grants: idle time banked as credit", ratio*100)
+	}
+}
+
+func TestSchedulerCloseUnblocks(t *testing.T) {
+	s := NewScheduler(1, nil)
+	if err := s.Acquire("x"); err != nil {
+		t.Fatal(err)
+	}
+	// This waiter is queued behind the held slot.
+	done := make(chan error, 1)
+	go func() { done <- s.Acquire("x") }()
+	for s.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	select {
+	case err := <-done:
+		if err != ErrSchedulerClosed {
+			t.Fatalf("queued waiter got %v, want ErrSchedulerClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock queued waiter")
+	}
+	if err := s.Acquire("x"); err != ErrSchedulerClosed {
+		t.Fatalf("Acquire after Close = %v, want ErrSchedulerClosed", err)
+	}
+}
+
+func TestSchedulerNil(t *testing.T) {
+	var s *Scheduler
+	if err := s.Acquire("x"); err != nil {
+		t.Fatal("nil scheduler must admit everything")
+	}
+	s.Release()
+	s.Close()
+	if s.Waiting() != 0 {
+		t.Fatal("nil scheduler Waiting != 0")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/transport"
 )
 
@@ -42,6 +43,11 @@ type Client struct {
 	fabric     *transport.Fabric
 	serverDst  string
 	instanceID string
+	// tenantID scopes every keyed op: keys are qualified with it before
+	// routing and encoding, so ring placement, storage, and repair all see
+	// the tenant-disjoint key family. Empty or "default" leaves keys bare
+	// (the untenanted compatibility path).
+	tenantID string
 
 	mu      sync.RWMutex
 	nodes   []PeerInfo // sorted by RTT from the client's region
@@ -77,6 +83,26 @@ func NewClient(fabric *transport.Fabric, name string, region simnet.Region, serv
 	}
 	return c, nil
 }
+
+// NewTenantClient is NewClient with a tenant context: every keyed op the
+// returned client issues lands in tenantID's keyspace and quota.
+func NewTenantClient(fabric *transport.Fabric, name string, region simnet.Region, serverDst, instanceID, tenantID string) (*Client, error) {
+	c, err := NewClient(fabric, name, region, serverDst, instanceID)
+	if err != nil {
+		return nil, err
+	}
+	c.tenantID = tenantID
+	return c, nil
+}
+
+// SetTenant changes the client's tenant context for subsequent keyed ops.
+func (c *Client) SetTenant(id string) { c.tenantID = id }
+
+// Tenant reports the client's tenant context ("" = default tenant).
+func (c *Client) Tenant() string { return c.tenantID }
+
+// qualify folds the client's tenant into an application key.
+func (c *Client) qualify(key string) string { return tenant.Qualify(c.tenantID, key) }
 
 // Refresh re-fetches the membership and shard map from the Wiera server.
 func (c *Client) Refresh(ctx context.Context) error {
@@ -300,6 +326,17 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return base/2 + j
 }
 
+// failFastErr reports whether err carries a marker-prefixed typed NACK that
+// deterministically recurs on immediate retry: quota admission denials and
+// rebalance-in-progress. Burning the backoff budget on these delays the
+// caller without any chance of success, so callKey surfaces them at once.
+func failFastErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	return tenant.AsQuotaExceeded(err) != nil || AsRebalanceInProgress(err) != nil
+}
+
 // transientErr reports whether err is a connectivity failure worth retrying
 // on another node (application errors surface immediately). A node that
 // answers "shutting down" counts too: it is leaving the instance (teardown
@@ -311,6 +348,12 @@ func transientErr(err error) bool {
 	var ue simnet.ErrUnreachable
 	if errors.As(err, &ue) {
 		return true
+	}
+	// Typed NACKs are never transient, even when the surrounding error text
+	// happens to contain a retryable substring (a forwarded op's flattened
+	// chain can accumulate both).
+	if failFastErr(err) {
+		return false
 	}
 	// ErrChanging arrives string-flattened through the transport.
 	return strings.Contains(err.Error(), ErrChanging.Error())
@@ -383,6 +426,12 @@ func (c *Client) callKey(ctx context.Context, method string, payload []byte, key
 				redirect = ws.Owner
 				break
 			}
+			// Typed NACKs (quota exceeded, rebalance in progress) fail fast:
+			// the condition is deterministic, so neither the remaining
+			// candidates nor the backoff budget can change the answer.
+			if failFastErr(err) {
+				return nil, err
+			}
 			if !transientErr(err) {
 				return nil, err
 			}
@@ -426,6 +475,7 @@ func (c *Client) callKey(ctx context.Context, method string, payload []byte, key
 func (c *Client) Put(ctx context.Context, key string, data []byte) (object.Meta, error) {
 	ctx, span := c.startOp(ctx, "client.put")
 	defer span.End()
+	key = c.qualify(key)
 	payload, err := transport.Encode(PutRequest{Key: key, Data: data})
 	if err != nil {
 		span.SetError(err)
@@ -448,6 +498,7 @@ func (c *Client) Put(ctx context.Context, key string, data []byte) (object.Meta,
 func (c *Client) Get(ctx context.Context, key string) ([]byte, object.Meta, error) {
 	ctx, span := c.startOp(ctx, "client.get")
 	defer span.End()
+	key = c.qualify(key)
 	payload, err := transport.Encode(GetRequest{Key: key})
 	if err != nil {
 		span.SetError(err)
@@ -471,6 +522,7 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, object.Meta, erro
 func (c *Client) GetVersion(ctx context.Context, key string, v object.Version) ([]byte, object.Meta, error) {
 	ctx, span := c.startOp(ctx, "client.getVersion")
 	defer span.End()
+	key = c.qualify(key)
 	payload, err := transport.Encode(GetVersionRequest{Key: key, Version: v})
 	if err != nil {
 		return nil, object.Meta{}, err
@@ -489,6 +541,7 @@ func (c *Client) GetVersion(ctx context.Context, key string, v object.Version) (
 
 // VersionList lists available versions (Table 2 getVersionList).
 func (c *Client) VersionList(ctx context.Context, key string) ([]object.Version, error) {
+	key = c.qualify(key)
 	payload, err := transport.Encode(VersionListRequest{Key: key})
 	if err != nil {
 		return nil, err
@@ -508,6 +561,7 @@ func (c *Client) VersionList(ctx context.Context, key string) ([]object.Version,
 func (c *Client) Remove(ctx context.Context, key string) error {
 	ctx, span := c.startOp(ctx, "client.remove")
 	defer span.End()
+	key = c.qualify(key)
 	payload, err := transport.Encode(RemoveRequest{Key: key})
 	if err != nil {
 		return err
@@ -521,6 +575,7 @@ func (c *Client) Remove(ctx context.Context, key string) error {
 
 // RemoveVersion deletes one version of key (Table 2 removeVersion).
 func (c *Client) RemoveVersion(ctx context.Context, key string, v object.Version) error {
+	key = c.qualify(key)
 	payload, err := transport.Encode(RemoveVersionRequest{Key: key, Version: v})
 	if err != nil {
 		return err

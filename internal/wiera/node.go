@@ -19,6 +19,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/tier"
 	"repro/internal/tiera"
 	"repro/internal/transport"
@@ -104,6 +105,14 @@ type NodeConfig struct {
 	HeatInterval time.Duration
 	// HeatTopK sizes the exact hottest-keys overlay (default 32).
 	HeatTopK int
+	// Tenants declares the instance's tenants with their scheduler weights
+	// and admission quotas (the tenants/tenantWeight:<id>/tenantIOPS:<id>/
+	// tenantBytes:<id> spawn params). Empty disables tenancy entirely:
+	// untenanted keys stay unqualified and no admission or scheduling runs.
+	Tenants []tenant.Config
+	// TenantSlots is the weighted-fair scheduler's concurrency (the
+	// tenantSlots spawn param); <=0 uses defaultTenantSlots.
+	TenantSlots int
 	// AntiEntropyEvery is the background anti-entropy round period
 	// (internal/repair). A positive period enables full Merkle digest sync
 	// every round; 0 (the default) runs hinted handoff and read repair only
@@ -154,13 +163,14 @@ type Node struct {
 	// creation; consistency changes do not replace them.
 	controlEvents []*policy.CompiledEvent
 
-	gate   *opGate
-	queue  *updateQueue
-	batch  *batcher       // chunked group-commit replication fan-out
-	ecm    *ecManager     // erasure-coded distribution (stripe action)
-	repair *repairManager // nil when AntiEntropyEvery < 0
-	shards *shardManager  // inert (accepts every key) until a RingMsg arrives
-	heat   *heatTracker   // nil unless HeatTrack (hot-key selective replication)
+	gate    *opGate
+	queue   *updateQueue
+	batch   *batcher       // chunked group-commit replication fan-out
+	ecm     *ecManager     // erasure-coded distribution (stripe action)
+	repair  *repairManager // nil when AntiEntropyEvery < 0
+	shards  *shardManager  // inert (accepts every key) until a RingMsg arrives
+	heat    *heatTracker   // nil unless HeatTrack (hot-key selective replication)
+	tenants *tenantManager // nil unless the instance declares tenants
 
 	latMon *thresholdMonitor // LatencyMonitoring (put)
 	reqMon *requestsMonitor  // RequestsMonitoring (primary)
@@ -272,6 +282,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n.heat = newHeatTracker(n, cfg)
+	n.tenants = newTenantManager(n, cfg)
 	n.controlEvents = append(n.controlEvents, prog.ByKind(policy.KindThreshold)...)
 	if cfg.DynamicSpec != nil {
 		dynProg, err := policy.Compile(cfg.DynamicSpec, cfg.GlobalParams)
@@ -317,7 +328,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			Region:   region,
 			OnStatus: n.sloMon.observe,
 			Journal:  cfg.Fabric.Events(),
-		}, n.sloObjectives(cfg.SLOs)...)
+		}, append(n.sloObjectives(cfg.SLOs), n.tenants.objectives(cfg.SLOs)...)...)
 	}
 	ep.Serve(n.handle)
 	n.queue.start()
@@ -445,18 +456,30 @@ func (n *Node) put(ctx context.Context, key string, data []byte, tags []string, 
 	// Only application-initiated puts open a flight record; forwarded puts
 	// appear as rpc hops in the originator's record instead.
 	var fa *flight.Active
+	tid := n.tenants.tenantOf(key)
 	if fromApp {
 		fa = n.flightRec.Begin("put", key, n.name, string(n.region), n.PolicyName())
 		if sc := span.Context(); sc.Valid() {
 			fa.SetTraceID(sc.Trace.String())
 		}
+		if n.tenants != nil {
+			fa.SetTenant(tid)
+		}
 		ctx = flight.NewContext(ctx, fa)
 		defer func() {
-			if retErr != nil {
+			// A quota NACK is admission doing its job, not an availability
+			// event: it must not burn the instance's error budget.
+			if retErr != nil && tenant.AsQuotaExceeded(retErr) == nil {
 				n.putErrors.Inc()
 			}
 			fa.End(retErr)
 		}()
+		// Quota admission runs before the gate so a throttled tenant is
+		// NACKed without consuming a slot, a lock, or tier capacity.
+		if err := n.tenants.admit(tid, len(data)); err != nil {
+			span.SetError(err)
+			return object.Meta{}, err
+		}
 	}
 
 	appStart := n.clk.Now()
@@ -473,6 +496,16 @@ func (n *Node) put(ctx context.Context, key string, data []byte, tags []string, 
 	start := n.clk.Now()
 	if wait := start.Sub(appStart); wait > 0 {
 		fa.AddHop(flight.Hop{Kind: flight.HopQueue, Name: "gate", Wait: wait, Duration: wait})
+	}
+	// Weighted-fair scheduling applies to application-initiated ops only:
+	// forwarded puts already consumed their originator's slot, and letting
+	// them queue here could deadlock two saturated nodes against each other.
+	if fromApp {
+		if err := n.tenants.acquire(tid, fa); err != nil {
+			span.SetError(err)
+			return object.Meta{}, err
+		}
+		defer n.tenants.release()
 	}
 	// Ownership is checked inside the gate: an op parked behind a drain's
 	// freeze re-evaluates against the map installed meanwhile, so no write
@@ -515,6 +548,7 @@ func (n *Node) put(ctx context.Context, key string, data []byte, tags []string, 
 		n.PutSeries.Append(n.clk.Now(), float64(elapsed)/float64(time.Millisecond))
 		n.latMon.observe(n.clk.Since(start))
 		n.reqMon.observeDirect()
+		n.tenants.observe(tid, "put", elapsed, len(data))
 	}
 	n.heat.observe(key)
 	n.heat.afterPut(key, *op.meta, data)
@@ -533,7 +567,7 @@ func (n *Node) putEnv(key string, data []byte) *policy.MapEnv {
 // Get retrieves key's latest local version through the global policy
 // (forwarding policies apply); on a local miss it falls back to the
 // nearest peer holding the data.
-func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, retErr error) {
+func (n *Node) Get(ctx context.Context, key string) (retData []byte, _ object.Meta, retErr error) {
 	ctx, span := telemetry.StartSpan(ctx, "wiera.get")
 	span.SetAttr("node", n.name)
 	span.SetAttr("region", string(n.region))
@@ -544,13 +578,29 @@ func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, re
 	if sc := span.Context(); sc.Valid() {
 		fa.SetTraceID(sc.Trace.String())
 	}
+	tid := n.tenants.tenantOf(key)
+	if n.tenants != nil {
+		fa.SetTenant(tid)
+	}
 	ctx = flight.NewContext(ctx, fa)
+	opStart := n.clk.Now()
 	defer func() {
-		if retErr != nil {
+		// Quota NACKs are neither availability events nor tenant workload.
+		if retErr != nil && tenant.AsQuotaExceeded(retErr) == nil {
 			n.getErrors.Inc()
+		}
+		if retErr == nil {
+			n.tenants.observe(tid, "get", n.clk.Since(opStart), len(retData))
 		}
 		fa.End(retErr)
 	}()
+	// Quota admission before the gate: a throttled get is NACKed without
+	// consuming a slot or touching a tier. Gets spend an IOPS token only;
+	// the byte quota meters write ingress.
+	if err := n.tenants.admit(tid, 0); err != nil {
+		span.SetError(err)
+		return nil, object.Meta{}, err
+	}
 
 	gateStart := n.clk.Now()
 	if err := n.gate.enter(); err != nil {
@@ -562,6 +612,13 @@ func (n *Node) Get(ctx context.Context, key string) (_ []byte, _ object.Meta, re
 	if wait := start.Sub(gateStart); wait > 0 {
 		fa.AddHop(flight.Hop{Kind: flight.HopQueue, Name: "gate", Wait: wait, Duration: wait})
 	}
+	// Application gets queue in the weighted-fair scheduler alongside puts;
+	// forwarded gets (MethodForwardGet) bypass it on the remote side.
+	if err := n.tenants.acquire(tid, fa); err != nil {
+		span.SetError(err)
+		return nil, object.Meta{}, err
+	}
+	defer n.tenants.release()
 	// A hot-key replica serves gets for keys this worker does not own: the
 	// cache is consulted before the ownership NACK so clients spread across
 	// owner + replicas without tripping wrong-shard redirects.
@@ -1225,6 +1282,7 @@ func (n *Node) Close() error {
 	n.closed = true
 	n.mu.Unlock()
 	n.gate.kill() // unblock any operation parked behind a policy change
+	n.tenants.close()
 	n.queue.stop()
 	n.sloEngine.Stop()
 	n.heat.stopLoop()
@@ -1246,6 +1304,7 @@ func (n *Node) Crash() {
 	n.closed = true
 	n.mu.Unlock()
 	n.gate.kill()
+	n.tenants.close()
 	n.queue.stop()
 	n.sloEngine.Stop()
 	n.heat.stopLoop()

@@ -15,6 +15,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/ring"
 	"repro/internal/simnet"
+	"repro/internal/tenant"
 	"repro/internal/tier"
 	"repro/internal/tiera"
 	"repro/internal/transport"
@@ -792,6 +793,7 @@ type InstanceHealth struct {
 	RingEpoch   int64  `json:"ringEpoch"`        // 0 = unsharded
 	Rebalancing bool   `json:"rebalancing"`
 	Autoscaled  bool   `json:"autoscaled"`
+	Tenants     int    `json:"tenants"` // configured tenants incl. default (0 = tenancy off)
 }
 
 // Health snapshots every live instance, sorted by id.
@@ -803,6 +805,9 @@ func (s *Server) Health() []InstanceHealth {
 		h := InstanceHealth{
 			ID: id, Policy: st.policyName, Nodes: len(st.nodes),
 			Workers: 1, Rebalancing: st.rebalancing, Autoscaled: st.autoctl != nil,
+		}
+		if cfgs, err := tenant.ParseConfigs(st.params); err == nil {
+			h.Tenants = len(cfgs)
 		}
 		if st.ringMap != nil {
 			h.Workers = st.ringMap.Shards()
@@ -1631,6 +1636,18 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 	if v, ok := params["heatInterval"]; ok && v.Kind == policy.ValDuration {
 		heatInterval = v.Dur
 	}
+	// Tenancy: tenant IDs, weights, and quotas ride req.Params raw (comma
+	// lists and colon-suffixed keys are not single policy literals).
+	tenants, err := tenant.ParseConfigs(req.Params)
+	if err != nil {
+		return nil, err
+	}
+	tenantSlots := 0
+	if raw, ok := req.Params["tenantSlots"]; ok {
+		if _, err := fmt.Sscanf(strings.TrimSpace(raw), "%d", &tenantSlots); err != nil {
+			return nil, fmt.Errorf("wiera: bad tenantSlots %q", raw)
+		}
+	}
 	slos, sloInterval := sloParams(params)
 	node, err := NewNode(NodeConfig{
 		Name:             req.NodeName,
@@ -1659,6 +1676,8 @@ func (ts *TieraServer) Spawn(req SpawnRequest) (*Node, error) {
 		HeatInterval:     heatInterval,
 		HeatTopK:         int(pnum("heatTopK")),
 		AntiEntropyEvery: antiEntropy,
+		Tenants:          tenants,
+		TenantSlots:      tenantSlots,
 		SLOs:             slos,
 		SLOInterval:      sloInterval,
 		ExtraTiers:       extraTiers,
@@ -1703,7 +1722,7 @@ func decodeParams(raw map[string]string) (map[string]policy.Value, error) {
 	}
 	out := make(map[string]policy.Value, len(raw))
 	for k, v := range raw {
-		if k == "dynamic" || k == "ecScheme" {
+		if k == "dynamic" || k == "ecScheme" || tenant.IsTenantParam(k) {
 			continue // carried separately: not single policy literals
 		}
 		val, err := parseParamValue(v)

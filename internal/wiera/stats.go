@@ -82,6 +82,10 @@ type NodeStats struct {
 	HeatDemotions   int64
 	HotGets         int64
 	HeatTop         []HeatKey
+
+	// Tenancy view (tenant_* counters); nil unless the instance declares
+	// tenants.
+	Tenants []TenantStats
 }
 
 // statsLocal builds the node's own summary.
@@ -155,6 +159,8 @@ func (n *Node) statsLocal() NodeStats {
 		HeatDemotions:   hs.demotions,
 		HotGets:         hs.hotGets,
 		HeatTop:         hs.top,
+
+		Tenants: n.tenants.snapshot(),
 	}
 }
 
@@ -251,6 +257,10 @@ func (is *InstanceStats) Render() string {
 		if n.HeatTrackedKeys > 0 || n.HotKeys > 0 || n.HotGets > 0 {
 			fmt.Fprintf(&b, "    heat: tracked=%d hot=%d cached=%d promoted=%d demoted=%d hotGets=%d\n",
 				n.HeatTrackedKeys, n.HotKeys, n.HotCached, n.HeatPromotions, n.HeatDemotions, n.HotGets)
+		}
+		for _, t := range n.Tenants {
+			fmt.Fprintf(&b, "    tenant %-10s w=%d ops=%d throttled=%d in=%dB out=%dB queueP99=%.1fms putP99=%.1fms getP99=%.1fms\n",
+				t.ID, t.Weight, t.Ops, t.Throttled, t.BytesIn, t.BytesOut, t.QueueP99Ms, t.PutP99Ms, t.GetP99Ms)
 		}
 	}
 	if len(is.RTTms) > 0 {

@@ -1,0 +1,317 @@
+package wiera
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/tenant"
+)
+
+// tenantCluster starts a single-region instance with two tenants and returns
+// one client per tenant.
+func tenantCluster(t *testing.T, id string, extraParams map[string]string) (*cluster, *Client, *Client) {
+	t.Helper()
+	c := newCluster(t, simnet.USWest)
+	params := map[string]string{"tenants": "gold,bronze"}
+	for k, v := range extraParams {
+		params[k] = v
+	}
+	c.start(t, id, "EventualConsistency", params)
+	gold, err := NewTenantClient(c.fabric, "cli-"+id+"-gold", simnet.USWest, c.server.Name(), id, "gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gold.Close)
+	bronze, err := NewTenantClient(c.fabric, "cli-"+id+"-bronze", simnet.USWest, c.server.Name(), id, "bronze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bronze.Close)
+	return c, gold, bronze
+}
+
+// Two tenants writing the same application key must land on disjoint stored
+// keys: each reads back its own value, and neither tenant's removal touches
+// the other's data.
+func TestTenantKeyIsolation(t *testing.T) {
+	c, gold, bronze := tenantCluster(t, "iso", nil)
+	ctx := context.Background()
+	const key = "shared-name"
+	if _, err := gold.Put(ctx, key, []byte("gold-value")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bronze.Put(ctx, key, []byte("bronze-value")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _, err := gold.Get(ctx, key); err != nil || string(data) != "gold-value" {
+		t.Fatalf("gold read = %q, %v; want gold-value", data, err)
+	}
+	if data, _, err := bronze.Get(ctx, key); err != nil || string(data) != "bronze-value" {
+		t.Fatalf("bronze read = %q, %v; want bronze-value", data, err)
+	}
+
+	// The stored keyspace is tenant-qualified: every stored key parses back
+	// to exactly one tenant, and both tenants' families are present.
+	node := c.node(t, "iso/us-west")
+	families := map[string]int{}
+	for _, k := range node.local.Objects().Keys() {
+		id, bare := tenant.Split(k)
+		if bare != key {
+			t.Fatalf("stored key %q: bare name %q, want %q", k, bare, key)
+		}
+		families[id]++
+	}
+	if families["gold"] != 1 || families["bronze"] != 1 {
+		t.Fatalf("stored key families = %v, want one gold and one bronze", families)
+	}
+
+	// Removing bronze's key must not affect gold's.
+	if err := bronze.Remove(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bronze.Get(ctx, key); err == nil {
+		t.Fatal("bronze read succeeded after remove")
+	}
+	if data, _, err := gold.Get(ctx, key); err != nil || string(data) != "gold-value" {
+		t.Fatalf("gold read after bronze remove = %q, %v", data, err)
+	}
+}
+
+// An untenanted client on a tenanted instance keeps the pre-tenancy key
+// encoding and maps to the default tenant.
+func TestTenantDefaultCompat(t *testing.T) {
+	c, _, _ := tenantCluster(t, "compat", nil)
+	ctx := context.Background()
+	plain, err := NewClient(c.fabric, "cli-compat-plain", simnet.USWest, c.server.Name(), "compat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.Put(ctx, "bare-key", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	node := c.node(t, "compat/us-west")
+	found := false
+	for _, k := range node.local.Objects().Keys() {
+		if k == "bare-key" {
+			found = true
+		}
+		if strings.HasPrefix(k, "tn:") {
+			id, _ := tenant.Split(k)
+			if id == tenant.DefaultID {
+				t.Fatalf("default-tenant key stored qualified: %q", k)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("untenanted put did not store the bare key unchanged")
+	}
+}
+
+// A quota-exceeded NACK must surface immediately as the typed error without
+// burning the retry budget (no "retries exhausted" wrapping, no backoff).
+func TestQuotaExceededFailsFast(t *testing.T) {
+	_, gold, bronze := tenantCluster(t, "quota", map[string]string{
+		// Practically zero refill: one burst token, then every op NACKs.
+		"tenantIOPS:gold": "0.0001",
+	})
+	ctx := context.Background()
+	// First put may consume the single burst token.
+	_, _ = gold.Put(ctx, "k0", []byte("v"))
+	var nack error
+	for i := 0; i < 5; i++ {
+		if _, err := gold.Put(ctx, fmt.Sprintf("k%d", i+1), []byte("v")); err != nil {
+			nack = err
+			break
+		}
+	}
+	if nack == nil {
+		t.Fatal("gold never hit its IOPS quota")
+	}
+	qe := tenant.AsQuotaExceeded(nack)
+	if qe == nil {
+		t.Fatalf("error %v is not a typed quota NACK", nack)
+	}
+	if qe.Tenant != "gold" || qe.Kind != "iops" {
+		t.Fatalf("NACK = %+v, want tenant=gold kind=iops", qe)
+	}
+	// Fail fast: the client must not have burned its retry budget on the
+	// deterministic NACK.
+	if strings.Contains(nack.Error(), "retries exhausted") {
+		t.Fatalf("quota NACK burned the retry budget: %v", nack)
+	}
+	// The unthrottled tenant is unaffected.
+	if _, err := bronze.Put(ctx, "bk", []byte("v")); err != nil {
+		t.Fatalf("bronze put failed while gold throttled: %v", err)
+	}
+}
+
+// Byte-rate quotas throttle large writes independently of IOPS.
+func TestByteQuotaThrottles(t *testing.T) {
+	c, gold, _ := tenantCluster(t, "bq", map[string]string{
+		"tenantBytes:gold": "64",
+	})
+	ctx := context.Background()
+	big := make([]byte, 256)
+	var sawNACK bool
+	for i := 0; i < 4; i++ {
+		if _, err := gold.Put(ctx, fmt.Sprintf("big%d", i), big); err != nil {
+			qe := tenant.AsQuotaExceeded(err)
+			if qe == nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if qe.Kind != "bytes" {
+				t.Fatalf("NACK kind = %q, want bytes", qe.Kind)
+			}
+			sawNACK = true
+			break
+		}
+	}
+	if !sawNACK {
+		t.Fatal("256B puts never tripped the 64B/s byte quota")
+	}
+	node := c.node(t, "bq/us-west")
+	if node.tenants.state("gold").thrBytes.Value() == 0 {
+		t.Fatal("tenant_throttled_total{kind=bytes} stayed zero")
+	}
+}
+
+// Throttles and per-tenant accounting must surface through NodeStats (the
+// wieractl tenants / top path) and the instance health report.
+func TestTenantStatsSurface(t *testing.T) {
+	c, gold, bronze := tenantCluster(t, "tstats", map[string]string{
+		"tenantIOPS:gold": "0.0001",
+	})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		_, _ = gold.Put(ctx, fmt.Sprintf("g%d", i), []byte("v"))
+	}
+	if _, err := bronze.Put(ctx, "b0", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.server.CollectStats("tstats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]TenantStats{}
+	for _, ns := range st.Nodes {
+		for _, ten := range ns.Tenants {
+			agg := byID[ten.ID]
+			agg.ID = ten.ID
+			agg.Ops += ten.Ops
+			agg.Throttled += ten.Throttled
+			byID[ten.ID] = agg
+		}
+	}
+	if byID["gold"].Throttled == 0 {
+		t.Fatalf("gold throttles not in NodeStats: %+v", byID)
+	}
+	if byID["bronze"].Ops == 0 {
+		t.Fatalf("bronze ops not in NodeStats: %+v", byID)
+	}
+	if !strings.Contains(st.Render(), "tenant gold") {
+		t.Fatal("InstanceStats.Render misses the tenants section")
+	}
+	var found bool
+	for _, h := range c.server.Health() {
+		if h.ID == "tstats" {
+			found = true
+			if h.Tenants != 3 { // gold, bronze, default
+				t.Fatalf("health tenants = %d, want 3", h.Tenants)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("instance missing from health report")
+	}
+}
+
+// Anti-entropy Merkle sync must stay per-tenant-correct: replicas converge
+// on the qualified keys, and no key crosses into another tenant's family.
+func TestTenantRepairStaysInFamily(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast)
+	c.startSrc(t, "trep", eventual2Src, map[string]string{
+		"tenants": "gold,bronze", "queueFlush": "100ms", "antiEntropy": "300ms"})
+	gold, err := NewTenantClient(c.fabric, "cli-trep-gold", simnet.USWest, c.server.Name(), "trep", "gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gold.Close()
+	bronze, err := NewTenantClient(c.fabric, "cli-trep-bronze", simnet.USWest, c.server.Name(), "trep", "bronze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bronze.Close()
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := gold.Put(ctx, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("g%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bronze.Put(ctx, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	east := c.node(t, "trep/us-east")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if east.local.Objects().Len() >= 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("east converged to %d keys, want 20", east.local.Objects().Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Every replicated key must still parse to its original tenant with the
+	// tenant's own value — sync moved whole qualified keys, never blended
+	// families.
+	for i := 0; i < 10; i++ {
+		bare := fmt.Sprintf("k%d", i)
+		for id, want := range map[string]string{"gold": fmt.Sprintf("g%d", i), "bronze": fmt.Sprintf("b%d", i)} {
+			data, meta, err := east.local.Get(ctx, tenant.Qualify(id, bare))
+			if err != nil {
+				t.Fatalf("east missing %s/%s after sync: %v", id, bare, err)
+			}
+			if string(data) != want {
+				t.Fatalf("east %s/%s = %q, want %q (cross-tenant leakage)", id, bare, data, want)
+			}
+			if gotID, gotBare := tenant.Split(meta.Key); gotID != id || gotBare != bare {
+				t.Fatalf("meta key %q parses to (%s,%s), want (%s,%s)", meta.Key, gotID, gotBare, id, bare)
+			}
+		}
+	}
+}
+
+// The weighted-fair scheduler and admission must not deadlock forwarded
+// operations: a replication fan-out lands on peers as forwarded puts that
+// bypass tenancy, so a saturated instance still drains.
+func TestTenantForwardedOpsBypass(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast)
+	c.startSrc(t, "fwd", eventual2Src, map[string]string{
+		"tenants": "gold", "tenantSlots": "1", "queueFlush": "50ms"})
+	gold, err := NewTenantClient(c.fabric, "cli-fwd-gold", simnet.USWest, c.server.Name(), "fwd", "gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gold.Close()
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := gold.Put(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	west := c.node(t, "fwd/us-west")
+	west.FlushQueue()
+	east := c.node(t, "fwd/us-east")
+	deadline := time.Now().Add(5 * time.Second)
+	for east.local.Objects().Len() < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("east has %d keys, want 20 — forwarded ops starved", east.local.Objects().Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Smoke test for multi-tenant namespaces: boots a 2-worker wiera daemon,
+# starts an instance with two tenants (one with a tiny IOPS quota), and
+# asserts the end-to-end tenancy contract — tenant-scoped keys are disjoint,
+# the throttled tenant gets fail-fast quota NACKs while the other tenant
+# keeps working, tenant_* metrics and the wieractl tenants view carry the
+# accounting, and /healthz reports the tenant count.
+#
+# Run from the repo root: ./scripts/smoke_tenancy.sh
+set -euo pipefail
+
+GO=${GO:-go}
+LISTEN=${LISTEN:-127.0.0.1:7470}
+METRICS=${METRICS:-127.0.0.1:7471}
+
+WORKDIR=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== build =="
+$GO build -o "$WORKDIR/wiera" ./cmd/wiera
+$GO build -o "$WORKDIR/wieractl" ./cmd/wieractl
+
+echo "== boot daemon (2 workers per region) =="
+"$WORKDIR/wiera" -listen "$LISTEN" -metrics-addr "$METRICS" -workers 2 \
+  >"$WORKDIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -fsS "http://$METRICS/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "FAIL: daemon exited during startup"; cat "$WORKDIR/daemon.log"; exit 1
+  fi
+  sleep 0.2
+done
+curl -fsS "http://$METRICS/healthz" >/dev/null || {
+  echo "FAIL: /healthz never came up"; cat "$WORKDIR/daemon.log"; exit 1; }
+
+echo "== start a two-tenant instance (noisy has a near-zero IOPS quota) =="
+"$WORKDIR/wieractl" -addr "$LISTEN" start -id smoke -policy PrimaryBackupConsistency \
+  -param t=2s -param tenants=gold,noisy \
+  -param tenantWeight:gold=4 -param tenantIOPS:noisy=0.01
+
+echo "== tenant keyspaces are disjoint =="
+"$WORKDIR/wieractl" -addr "$LISTEN" put -id smoke -tenant gold -key shared -value from-gold >/dev/null
+OUT=$("$WORKDIR/wieractl" -addr "$LISTEN" get -id smoke -tenant gold -key shared 2>/dev/null)
+[ "$OUT" = "from-gold" ] || { echo "FAIL: gold read back '$OUT'"; exit 1; }
+if "$WORKDIR/wieractl" -addr "$LISTEN" get -id smoke -key shared >/dev/null 2>&1; then
+  echo "FAIL: default tenant can read gold's key"; exit 1
+fi
+
+echo "== noisy tenant hits its quota with a fail-fast NACK =="
+NACKED=0
+for i in $(seq 1 10); do
+  if ! "$WORKDIR/wieractl" -addr "$LISTEN" put -id smoke -tenant noisy -key "n$i" -value v \
+      >/dev/null 2>"$WORKDIR/nack.err"; then
+    NACKED=1; break
+  fi
+done
+[ "$NACKED" = 1 ] || { echo "FAIL: noisy tenant was never throttled"; exit 1; }
+grep -q 'quota exceeded' "$WORKDIR/nack.err" || {
+  echo "FAIL: NACK is not the typed quota error:"; cat "$WORKDIR/nack.err"; exit 1; }
+
+echo "== the other tenant keeps working while noisy is throttled =="
+"$WORKDIR/wieractl" -addr "$LISTEN" put -id smoke -tenant gold -key after -value still-works >/dev/null
+
+echo "== tenant metrics + tenants view carry the accounting =="
+METRICS_OUT=$(curl -fsS "http://$METRICS/metrics")
+grep -q '^tenant_throttled_total' <<<"$METRICS_OUT" || {
+  echo "FAIL: no tenant_throttled_total samples"; exit 1; }
+grep -q '^tenant_ops_total{tenant="gold"' <<<"$METRICS_OUT" || {
+  echo "FAIL: no tenant_ops_total for gold"; exit 1; }
+TENANTS_OUT=$("$WORKDIR/wieractl" -addr "$LISTEN" tenants -id smoke)
+echo "$TENANTS_OUT"
+grep -q 'gold' <<<"$TENANTS_OUT" || { echo "FAIL: tenants view misses gold"; exit 1; }
+grep -q 'noisy' <<<"$TENANTS_OUT" || { echo "FAIL: tenants view misses noisy"; exit 1; }
+
+echo "== /healthz reports the tenant count =="
+HEALTH=$(curl -fsS "http://$METRICS/healthz")
+echo "$HEALTH"
+grep -q '"tenants": *3' <<<"$HEALTH" || {
+  echo "FAIL: healthz tenant count is not 3 (gold, noisy, default)"; exit 1; }
+
+echo "smoke_tenancy: OK"
