@@ -73,6 +73,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -531,6 +532,9 @@ func renderTop(cli *transport.TCPClient, id string) (string, error) {
 	section("heat (hot-key replication)", "heat_")
 	section("tenants (quota admission + weighted-fair queue)", "tenant_")
 	section("watchdog (runtime self-checks)", "watch_")
+	if s := renderRPCBytes(metrics.Prometheus); s != "" {
+		fmt.Fprintf(&b, "\nwire (per-method rpc bytes, top %d)\n%s", rpcBytesTopN, s)
+	}
 
 	var events wiera.EventsDumpResponse
 	if err := call(cli, wiera.MethodEventsDump, wiera.EventsDumpRequest{Max: 8}, &events); err == nil &&
@@ -539,6 +543,74 @@ func renderTop(cli *transport.TCPClient, id string) (string, error) {
 		b.WriteString(renderEvents(events.Events))
 	}
 	return b.String(), nil
+}
+
+// rpcBytesTopN bounds the per-method RPC byte table in the top view.
+const rpcBytesTopN = 8
+
+// renderRPCBytes parses the rpc_bytes_in_total / rpc_bytes_out_total
+// counters out of a Prometheus text dump and renders the top methods by
+// total byte volume (in+out, summed across regions). Empty string when the
+// daemon exposes no RPC byte counters.
+func renderRPCBytes(prom string) string {
+	type vol struct{ in, out float64 }
+	byMethod := map[string]*vol{}
+	var order []string
+	for _, line := range strings.Split(prom, "\n") {
+		var dir int // 0 = in, 1 = out
+		switch {
+		case strings.HasPrefix(line, "rpc_bytes_in_total{"):
+			dir = 0
+		case strings.HasPrefix(line, "rpc_bytes_out_total{"):
+			dir = 1
+		default:
+			continue
+		}
+		_, rest, ok := strings.Cut(line, `method="`)
+		if !ok {
+			continue
+		}
+		method, rest, ok := strings.Cut(rest, `"`)
+		if !ok {
+			continue
+		}
+		_, val, ok := strings.Cut(rest, "} ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		m := byMethod[method]
+		if m == nil {
+			m = &vol{}
+			byMethod[method] = m
+			order = append(order, method)
+		}
+		if dir == 0 {
+			m.in += v
+		} else {
+			m.out += v
+		}
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := byMethod[order[i]], byMethod[order[j]]
+		return a.in+a.out > b.in+b.out
+	})
+	if len(order) > rpcBytesTopN {
+		order = order[:rpcBytesTopN]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-28s %12s %12s\n", "method", "bytes in", "bytes out")
+	for _, m := range order {
+		v := byMethod[m]
+		fmt.Fprintf(&b, "  %-28s %12.0f %12.0f\n", m, v.in, v.out)
+	}
+	return b.String()
 }
 
 // renderTenants aggregates per-tenant accounting across the instance's
@@ -569,7 +641,10 @@ func renderTenants(id string, stats wiera.InstanceStats) string {
 			a.BytesIn += t.BytesIn
 			a.BytesOut += t.BytesOut
 			a.Throttled += t.Throttled
-			for _, p := range []struct{ dst *float64; v float64 }{
+			for _, p := range []struct {
+				dst *float64
+				v   float64
+			}{
 				{&a.QueueP99Ms, t.QueueP99Ms}, {&a.PutP99Ms, t.PutP99Ms}, {&a.GetP99Ms, t.GetP99Ms},
 			} {
 				if p.v > *p.dst {
@@ -646,6 +721,44 @@ func renderCluster(resp wiera.ClusterMetricsResponse) string {
 			fmt.Fprintf(&b, "  %-28s %9d %10v %10v  %s\n", name, m.Count,
 				telemetry.BucketsPercentile(m.Buckets, 50).Round(10*time.Microsecond),
 				telemetry.BucketsPercentile(m.Buckets, 99).Round(10*time.Microsecond), ex)
+		}
+	}
+	type vol struct{ in, out float64 }
+	rpcVol := map[string]*vol{}
+	var rpcOrder []string
+	for dir, family := range map[int]string{0: "rpc_bytes_in_total", 1: "rpc_bytes_out_total"} {
+		fam, ok := telemetry.FindFamily(resp.Families, family)
+		if !ok {
+			continue
+		}
+		for _, m := range telemetry.CollapseCounter(fam, "method") {
+			method := strings.Join(m.LabelValues, "/")
+			v := rpcVol[method]
+			if v == nil {
+				v = &vol{}
+				rpcVol[method] = v
+				rpcOrder = append(rpcOrder, method)
+			}
+			if dir == 0 {
+				v.in += m.Value
+			} else {
+				v.out += m.Value
+			}
+		}
+	}
+	if len(rpcOrder) > 0 {
+		sort.Slice(rpcOrder, func(i, j int) bool {
+			a, c := rpcVol[rpcOrder[i]], rpcVol[rpcOrder[j]]
+			return a.in+a.out > c.in+c.out
+		})
+		if len(rpcOrder) > rpcBytesTopN {
+			rpcOrder = rpcOrder[:rpcBytesTopN]
+		}
+		fmt.Fprintf(&b, "\nwire (fleet-wide per-method rpc bytes, top %d)\n", rpcBytesTopN)
+		fmt.Fprintf(&b, "  %-28s %12s %12s\n", "method", "bytes in", "bytes out")
+		for _, m := range rpcOrder {
+			v := rpcVol[m]
+			fmt.Fprintf(&b, "  %-28s %12.0f %12.0f\n", m, v.in, v.out)
 		}
 	}
 	if !printed {

@@ -315,6 +315,43 @@ func CollapseHistogram(fam FamilySnapshot, keep ...string) []MetricSnapshot {
 	return out
 }
 
+// CollapseCounter merges all children of a counter family that agree on
+// the kept labels, summing their values — one merged child per group in
+// first-seen order. Collapsing rpc_bytes_in_total by "method" yields the
+// fleet-wide per-method byte volume regardless of region.
+func CollapseCounter(fam FamilySnapshot, keep ...string) []MetricSnapshot {
+	if fam.Kind != KindCounter {
+		return nil
+	}
+	keepIdx := make([]int, 0, len(keep))
+	for _, k := range keep {
+		for i, n := range fam.LabelNames {
+			if n == k {
+				keepIdx = append(keepIdx, i)
+				break
+			}
+		}
+	}
+	index := make(map[string]int)
+	var out []MetricSnapshot
+	for _, m := range fam.Metrics {
+		vals := make([]string, 0, len(keepIdx))
+		for _, i := range keepIdx {
+			if i < len(m.LabelValues) {
+				vals = append(vals, m.LabelValues[i])
+			}
+		}
+		key := joinVals(vals)
+		if i, ok := index[key]; ok {
+			out[i].Value += m.Value
+		} else {
+			index[key] = len(out)
+			out = append(out, MetricSnapshot{LabelValues: vals, Value: m.Value})
+		}
+	}
+	return out
+}
+
 // FindFamily returns the named family from a snapshot, ok=false if absent.
 func FindFamily(fams []FamilySnapshot, name string) (FamilySnapshot, bool) {
 	for _, f := range fams {

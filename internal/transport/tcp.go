@@ -56,6 +56,8 @@ type TCPServer struct {
 	rpcCalls    *telemetry.CounterVec
 	rpcErrors   *telemetry.CounterVec
 	rpcInflight *telemetry.GaugeVec
+	rpcBytesIn  *telemetry.CounterVec
+	rpcBytesOut *telemetry.CounterVec
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -96,6 +98,10 @@ func ListenTCP(addr string, h Handler, opts ...TCPServerOption) (*TCPServer, err
 			"RPCs whose handler returned an error.", "method", "region")
 		s.rpcInflight = s.metrics.Gauge("rpc_inflight",
 			"RPCs currently executing in a handler.", "method", "region")
+		s.rpcBytesIn = s.metrics.Counter("rpc_bytes_in_total",
+			"Request payload bytes received, per RPC method.", "method", "region")
+		s.rpcBytesOut = s.metrics.Counter("rpc_bytes_out_total",
+			"Response payload bytes sent, per RPC method.", "method", "region")
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -204,6 +210,8 @@ func (s *TCPServer) serve(method string, payload []byte) ([]byte, error) {
 		if err != nil {
 			s.rpcErrors.With(method, tcpRegionLabel).Inc()
 		}
+		s.rpcBytesIn.With(method, tcpRegionLabel).Add(int64(len(inner)))
+		s.rpcBytesOut.With(method, tcpRegionLabel).Add(int64(len(out)))
 	}
 	span.SetError(err)
 	span.End()

@@ -8,8 +8,12 @@
 //   - TCP (tcp.go): a real wire transport with gob framing, used by the
 //     cmd/wiera daemon and cmd/wieractl client.
 //
-// Payloads are opaque bytes; callers encode typed messages with
-// encoding/gob (see Encode/Decode helpers).
+// Payloads are opaque bytes; callers encode typed messages with the
+// Encode/Decode helpers. Hot-path messages (put/get/batch/repair/ec) use
+// the hand-rolled binary codec in internal/wire; everything else uses
+// encoding/gob. Frames are self-describing — Decode routes on the leading
+// magic bytes — so mixed-codec and mixed-version peers interoperate (see
+// Codec and DESIGN.md §14).
 //
 // Both implementations carry distributed-trace context across calls: when
 // the caller's context holds a telemetry span, its SpanContext is prepended
@@ -26,11 +30,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/flight"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
 	"repro/internal/watch"
+	"repro/internal/wire"
 )
 
 // Handler serves one method invocation. The context carries the server-side
@@ -81,6 +87,8 @@ type Fabric struct {
 	rpcCalls    *telemetry.CounterVec   // {method, region}
 	rpcErrors   *telemetry.CounterVec   // {method, region}
 	rpcInflight *telemetry.GaugeVec     // {method, region} handlers currently executing
+	rpcBytesIn  *telemetry.CounterVec   // {method, region} request payload bytes
+	rpcBytesOut *telemetry.CounterVec   // {method, region} response payload bytes
 
 	// rpcMetrics caches metric children per (method, region) so dispatch
 	// skips the label-join lookup on every call.
@@ -101,6 +109,8 @@ type rpcChildren struct {
 	calls    *telemetry.Counter
 	errors   *telemetry.Counter
 	inflight *telemetry.Gauge
+	bytesIn  *telemetry.Counter
+	bytesOut *telemetry.Counter
 }
 
 // rpc returns the cached metric children for (method, region).
@@ -122,6 +132,8 @@ func (f *Fabric) rpc(method, region string) *rpcChildren {
 		calls:    f.rpcCalls.With(method, region),
 		errors:   f.rpcErrors.With(method, region),
 		inflight: f.rpcInflight.With(method, region),
+		bytesIn:  f.rpcBytesIn.With(method, region),
+		bytesOut: f.rpcBytesOut.With(method, region),
 	}
 	f.rpcMetrics[key] = c
 	return c
@@ -190,6 +202,10 @@ func NewFabric(net *simnet.Network, opts ...FabricOption) *Fabric {
 			"RPCs whose handler returned an error.", "method", "region")
 		f.rpcInflight = f.metrics.Gauge("rpc_inflight",
 			"RPCs currently executing in a handler.", "method", "region")
+		f.rpcBytesIn = f.metrics.Counter("rpc_bytes_in_total",
+			"Request payload bytes received, per RPC method.", "method", "region")
+		f.rpcBytesOut = f.metrics.Counter("rpc_bytes_out_total",
+			"Response payload bytes sent, per RPC method.", "method", "region")
 		f.rpcMetrics = make(map[rpcKey]*rpcChildren)
 		net.Instrument(f.metrics)
 	}
@@ -385,8 +401,8 @@ func (e *Endpoint) Call(ctx context.Context, dst, method string, payload []byte)
 // another process — nothing from the caller's context leaks across except
 // the SpanContext), invokes the handler, and records the server-side RPC
 // metrics labeled by method and the callee's region.
-func (f *Fabric) dispatch(target *Endpoint, h Handler, method string, wire []byte) ([]byte, error) {
-	remote, inner := telemetry.UnwrapPayload(wire)
+func (f *Fabric) dispatch(target *Endpoint, h Handler, method string, payload []byte) ([]byte, error) {
+	remote, inner := telemetry.UnwrapPayload(payload)
 	sctx := context.Background()
 	var serverSpan *telemetry.Span
 	if remote.Valid() && f.tracer != nil {
@@ -420,25 +436,68 @@ func (f *Fabric) dispatch(target *Endpoint, h Handler, method string, wire []byt
 		if herr != nil {
 			m.errors.Inc()
 		}
+		// Per-method WAN byte attribution: request bytes after envelope
+		// stripping, response bytes as handed back to the caller. These
+		// feed the cost model and `wieractl top`'s wire section.
+		m.bytesIn.Add(int64(len(inner)))
+		m.bytesOut.Add(int64(len(resp)))
 	}
 	serverSpan.SetError(herr)
 	serverSpan.End()
 	return resp, herr
 }
 
+// Codec selects how Encode serializes a message. The decode side needs no
+// selection: payloads are self-describing (wire frames open with a magic
+// byte gob streams can never produce), so Decode always accepts both.
+type Codec uint8
+
+const (
+	// CodecAuto uses the hand-rolled binary codec for messages that
+	// implement wire.Marshaler (the put/get/batch/repair/ec hot path) and
+	// gob for everything else. This is the process default.
+	CodecAuto Codec = iota
+	// CodecGob forces gob for every message — the pre-wire format. Used
+	// during rolling upgrades while gob-only peers remain, and by the
+	// mixed-codec interop tests.
+	CodecGob
+)
+
+// defaultCodec is the process-wide codec used by Encode. Nodes and clients
+// can override it per instance; this atomic only sets the default.
+var defaultCodec atomic.Uint32
+
+// DefaultCodec returns the process-wide default encode codec.
+func DefaultCodec() Codec { return Codec(defaultCodec.Load()) }
+
+// SetDefaultCodec sets the process-wide default encode codec.
+func SetDefaultCodec(c Codec) { defaultCodec.Store(uint32(c)) }
+
 // encBufPool recycles encode scratch buffers: a hot replication path
 // encodes thousands of payloads per flush, and re-growing a fresh
 // bytes.Buffer for each one dominated the allocation profile. Buffers keep
-// their grown capacity across uses, so steady-state Encode allocates only
-// the returned copy (plus gob's own encoder state).
+// their grown capacity across uses, so steady-state gob Encode allocates
+// only the returned copy (plus gob's own encoder state).
 var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// decReaderPool recycles the reader wrapper Decode needs around its input.
+// decReaderPool recycles the reader wrapper gob Decode needs around its
+// input.
 var decReaderPool = sync.Pool{New: func() any { return bytes.NewReader(nil) }}
 
-// Encode gob-encodes v for use as an RPC payload. The returned slice is
-// owned by the caller (scratch space is pooled internally).
-func Encode(v any) ([]byte, error) {
+// Encode serializes v for use as an RPC payload using the process default
+// codec. The returned slice is owned by the caller.
+func Encode(v any) ([]byte, error) { return EncodeWith(DefaultCodec(), v) }
+
+// EncodeWith serializes v under an explicit codec choice. Under CodecAuto,
+// messages implementing wire.Marshaler take the binary fast path — a
+// single exact-size allocation, no reflection; everything else (and
+// everything under CodecGob) goes through gob.
+func EncodeWith(c Codec, v any) ([]byte, error) {
+	if c != CodecGob {
+		if m, ok := v.(wire.Marshaler); ok {
+			return wire.Marshal(m), nil
+		}
+	}
 	buf := encBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := gob.NewEncoder(buf).Encode(v); err != nil {
@@ -451,8 +510,38 @@ func Encode(v any) ([]byte, error) {
 	return out, nil
 }
 
-// Decode gob-decodes an RPC payload into v (a pointer).
+// AppendEncode appends v's binary frame to dst when v supports the wire
+// codec and c permits it, avoiding the per-message allocation Encode pays.
+// The bool result reports whether the fast path was taken; when false the
+// caller must fall back to Encode (gob needs its own buffer management).
+func AppendEncode(c Codec, dst []byte, v any) ([]byte, bool) {
+	if c == CodecGob {
+		return dst, false
+	}
+	m, ok := v.(wire.Marshaler)
+	if !ok {
+		return dst, false
+	}
+	return wire.AppendFrame(dst, m), true
+}
+
+// Decode deserializes an RPC payload into v (a pointer). The payload's
+// leading bytes pick the decoder: binary wire frames (magic 0xBD 0x57) go
+// to the message's UnmarshalWire, anything else is gob. A wire frame
+// arriving for a type without a binary decoding is an error; a gob payload
+// for a wire-capable type decodes fine — that is what lets an upgraded
+// node keep serving gob-only peers.
 func Decode(data []byte, v any) error {
+	if wire.Is(data) {
+		u, ok := v.(wire.Unmarshaler)
+		if !ok {
+			return fmt.Errorf("transport: decode: wire frame for non-wire type %T", v)
+		}
+		if err := wire.Unmarshal(data, u); err != nil {
+			return fmt.Errorf("transport: decode: %w", err)
+		}
+		return nil
+	}
 	r := decReaderPool.Get().(*bytes.Reader)
 	r.Reset(data)
 	err := gob.NewDecoder(r).Decode(v)

@@ -29,7 +29,15 @@ type benchStack struct {
 	cli    *Client
 }
 
-func newBenchStack(b *testing.B, telemetryOn bool) *benchStack {
+func newBenchStack(b *testing.B, telemetryOn bool, extraParams ...map[string]string) *benchStack {
+	var extra map[string]string
+	if len(extraParams) > 0 {
+		extra = extraParams[0]
+	}
+	return newBenchStackParams(b, telemetryOn, extra)
+}
+
+func newBenchStackParams(b *testing.B, telemetryOn bool, extraParams map[string]string) *benchStack {
 	b.Helper()
 	// A huge compression factor makes the simulated WAN sleeps vanish in
 	// real time, so the benchmark measures code cost, not timer resolution.
@@ -62,8 +70,12 @@ func newBenchStack(b *testing.B, telemetryOn bool) *benchStack {
 	if err != nil {
 		b.Fatal(err)
 	}
+	params := map[string]string{"t": "1h"}
+	for k, v := range extraParams {
+		params[k] = v
+	}
 	if _, err := srv.StartInstances(StartInstancesRequest{
-		InstanceID: "bench", PolicySrc: src, Params: map[string]string{"t": "1h"},
+		InstanceID: "bench", PolicySrc: src, Params: params,
 	}); err != nil {
 		b.Fatal(err)
 	}
@@ -94,6 +106,111 @@ func BenchmarkClientPut(b *testing.B) {
 			s := newBenchStack(b, variant.on)
 			ctx := context.Background()
 			data := make([]byte, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.cli.Put(ctx, fmt.Sprintf("k%d", i%64), data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncode compares gob against the binary wire codec on the real
+// hot-path messages (not a stand-in shape — see internal/transport's
+// BenchmarkEncode for the transport-local variant). Each iteration is one
+// encode+decode round trip; wire/append is the steady state the node and
+// client hit in production (reused buffer, zero allocations).
+func BenchmarkEncode(b *testing.B) {
+	meta := sampleMeta("bench-key")
+	messages := []struct {
+		name string
+		msg  any
+		zero func() any
+	}{
+		{"PutRequest", PutRequest{Key: "bench-key", Data: make([]byte, 4096), Tags: []string{"hot"}, From: "us-east"},
+			func() any { return &PutRequest{} }},
+		{"GetRequest", GetRequest{Key: "bench-key"}, func() any { return &GetRequest{} }},
+		{"GetResponse", GetResponse{Data: make([]byte, 4096), Meta: meta, HotReplicas: []string{"a", "b"}},
+			func() any { return &GetResponse{} }},
+		{"UpdateBatchRequest", UpdateBatchRequest{Updates: []UpdateMsg{
+			{Meta: meta, Data: make([]byte, 1024)},
+			{Meta: meta, Data: make([]byte, 1024)},
+			{Meta: meta, Data: make([]byte, 1024)},
+			{Meta: meta, Data: make([]byte, 1024)},
+		}}, func() any { return &UpdateBatchRequest{} }},
+	}
+	for _, m := range messages {
+		raw, err := transport.EncodeWith(transport.CodecGob, m.msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := int64(len(raw))
+		b.Run(m.name+"/gob", func(b *testing.B) {
+			b.SetBytes(payload)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				raw, err := transport.EncodeWith(transport.CodecGob, m.msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := transport.Decode(raw, m.zero()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(m.name+"/wire", func(b *testing.B) {
+			b.SetBytes(payload)
+			b.ReportAllocs()
+			out := m.zero()
+			for i := 0; i < b.N; i++ {
+				raw, err := transport.Encode(m.msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := transport.Decode(raw, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(m.name+"/wire/append", func(b *testing.B) {
+			b.SetBytes(payload)
+			b.ReportAllocs()
+			out := m.zero()
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				raw, ok := transport.AppendEncode(transport.CodecAuto, buf[:0], m.msg)
+				if !ok {
+					b.Fatal("wire fast path not taken")
+				}
+				buf = raw
+				if err := transport.Decode(raw, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClientPutCodec measures the end-to-end effect of the wire codec
+// on a full client put — same stack as BenchmarkClientPut, but flipping
+// the process-default codec between gob and the binary wire format.
+func BenchmarkClientPutCodec(b *testing.B) {
+	for _, variant := range []struct {
+		name  string
+		codec transport.Codec
+	}{{"gob", transport.CodecGob}, {"wire", transport.CodecAuto}} {
+		b.Run(variant.name, func(b *testing.B) {
+			param := "gob"
+			if variant.codec == transport.CodecAuto {
+				param = "binary"
+			}
+			s := newBenchStack(b, false, map[string]string{"wireCodec": param})
+			s.cli.SetCodec(variant.codec)
+			ctx := context.Background()
+			data := make([]byte, 4096)
+			b.SetBytes(4096)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.cli.Put(ctx, fmt.Sprintf("k%d", i%64), data); err != nil {

@@ -48,6 +48,10 @@ type Client struct {
 	// the tenant-disjoint key family. Empty or "default" leaves keys bare
 	// (the untenanted compatibility path).
 	tenantID string
+	// codec selects how outgoing request payloads are encoded. The zero
+	// value CodecAuto takes the binary wire codec on keyed ops; SetCodec
+	// with CodecGob emulates a not-yet-upgraded client.
+	codec transport.Codec
 
 	mu      sync.RWMutex
 	nodes   []PeerInfo // sorted by RTT from the client's region
@@ -97,6 +101,13 @@ func NewTenantClient(fabric *transport.Fabric, name string, region simnet.Region
 
 // SetTenant changes the client's tenant context for subsequent keyed ops.
 func (c *Client) SetTenant(id string) { c.tenantID = id }
+
+// SetCodec changes how the client encodes outgoing requests (CodecGob
+// emulates a legacy gob-only client; decoding always accepts both).
+func (c *Client) SetCodec(codec transport.Codec) { c.codec = codec }
+
+// enc encodes an outgoing request payload under the client's codec.
+func (c *Client) enc(v any) ([]byte, error) { return transport.EncodeWith(c.codec, v) }
 
 // Tenant reports the client's tenant context ("" = default tenant).
 func (c *Client) Tenant() string { return c.tenantID }
@@ -476,7 +487,7 @@ func (c *Client) Put(ctx context.Context, key string, data []byte) (object.Meta,
 	ctx, span := c.startOp(ctx, "client.put")
 	defer span.End()
 	key = c.qualify(key)
-	payload, err := transport.Encode(PutRequest{Key: key, Data: data})
+	payload, err := c.enc(PutRequest{Key: key, Data: data})
 	if err != nil {
 		span.SetError(err)
 		return object.Meta{}, err
@@ -499,7 +510,7 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, object.Meta, erro
 	ctx, span := c.startOp(ctx, "client.get")
 	defer span.End()
 	key = c.qualify(key)
-	payload, err := transport.Encode(GetRequest{Key: key})
+	payload, err := c.enc(GetRequest{Key: key})
 	if err != nil {
 		span.SetError(err)
 		return nil, object.Meta{}, err
@@ -523,7 +534,7 @@ func (c *Client) GetVersion(ctx context.Context, key string, v object.Version) (
 	ctx, span := c.startOp(ctx, "client.getVersion")
 	defer span.End()
 	key = c.qualify(key)
-	payload, err := transport.Encode(GetVersionRequest{Key: key, Version: v})
+	payload, err := c.enc(GetVersionRequest{Key: key, Version: v})
 	if err != nil {
 		return nil, object.Meta{}, err
 	}
@@ -562,7 +573,7 @@ func (c *Client) Remove(ctx context.Context, key string) error {
 	ctx, span := c.startOp(ctx, "client.remove")
 	defer span.End()
 	key = c.qualify(key)
-	payload, err := transport.Encode(RemoveRequest{Key: key})
+	payload, err := c.enc(RemoveRequest{Key: key})
 	if err != nil {
 		return err
 	}
@@ -576,7 +587,7 @@ func (c *Client) Remove(ctx context.Context, key string) error {
 // RemoveVersion deletes one version of key (Table 2 removeVersion).
 func (c *Client) RemoveVersion(ctx context.Context, key string, v object.Version) error {
 	key = c.qualify(key)
-	payload, err := transport.Encode(RemoveVersionRequest{Key: key, Version: v})
+	payload, err := c.enc(RemoveVersionRequest{Key: key, Version: v})
 	if err != nil {
 		return err
 	}

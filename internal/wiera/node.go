@@ -23,6 +23,7 @@ import (
 	"repro/internal/tier"
 	"repro/internal/tiera"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // lockWait bounds how long a node waits for the global per-key lock.
@@ -131,6 +132,12 @@ type NodeConfig struct {
 	// SLOInterval is the SLO engine's evaluation period (default 1s of
 	// clock time).
 	SLOInterval time.Duration
+	// WireCodec selects how this node encodes outgoing RPC payloads (the
+	// wireCodec spawn param). The zero value CodecAuto uses the binary wire
+	// codec for hot-path messages; CodecGob forces gob everywhere — the
+	// pre-upgrade format — for mixed-version clusters. Decoding always
+	// accepts both formats regardless of this setting.
+	WireCodec transport.Codec
 	// MetaPath persists local metadata when non-empty.
 	MetaPath string
 	// ExtraTiers installs pre-built tiers into the local instance, keyed by
@@ -151,6 +158,7 @@ type Node struct {
 	fabric     *transport.Fabric
 	locks      *coord.Client
 	serverDst  string
+	codec      transport.Codec // encode codec for outgoing requests
 
 	mu         sync.Mutex
 	prog       *policy.Program
@@ -246,6 +254,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		ep:         ep,
 		fabric:     cfg.Fabric,
 		serverDst:  cfg.ServerDst,
+		codec:      cfg.WireCodec,
 		prog:       prog,
 		policyName: cfg.GlobalSpec.Name,
 		primary:    cfg.Primary,
@@ -746,7 +755,7 @@ func (n *Node) Remove(ctx context.Context, key string) error {
 	if len(peers) == 0 {
 		return nil
 	}
-	payload, err := transport.Encode(RemoveRequest{Key: key})
+	payload, err := n.enc(RemoveRequest{Key: key})
 	if err != nil {
 		return err
 	}
@@ -781,7 +790,7 @@ func (n *Node) getFromPeers(ctx context.Context, key string) ([]byte, object.Met
 	var lastErr error = object.ErrNotFound{Key: key}
 	fa := flight.FromContext(ctx)
 	for _, p := range peers {
-		payload, err := transport.Encode(GetRequest{Key: key})
+		payload, err := n.enc(GetRequest{Key: key})
 		if err != nil {
 			return nil, object.Meta{}, err
 		}
@@ -853,7 +862,7 @@ func (n *Node) fanOutSync(ctx context.Context, msg UpdateMsg) error {
 	if len(peers) == 0 {
 		return nil
 	}
-	payload, err := transport.Encode(msg)
+	payload, err := n.enc(msg)
 	if err != nil {
 		return err
 	}
@@ -895,9 +904,26 @@ func (n *Node) fanOutSync(ctx context.Context, msg UpdateMsg) error {
 	return firstErr
 }
 
+// enc encodes an outgoing request payload under the node's codec.
+func (n *Node) enc(v any) ([]byte, error) {
+	return transport.EncodeWith(n.codec, v)
+}
+
+// replyCodec picks the codec for a response: answer in the format the
+// request arrived in. A binary request proves the peer decodes wire
+// frames, so the node's own codec applies; a gob request may come from a
+// not-yet-upgraded peer, so the reply stays gob.
+func (n *Node) replyCodec(payload []byte) transport.Codec {
+	if wire.Is(payload) {
+		return n.codec
+	}
+	return transport.CodecGob
+}
+
 // handle is the node's RPC dispatcher. ctx carries the caller's trace
 // span (extracted from the wire envelope by the transport layer).
 func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	rc := n.replyCodec(payload)
 	switch method {
 	case MethodPut:
 		var req PutRequest
@@ -908,7 +934,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(PutResponse{Meta: meta})
+		return transport.EncodeWith(rc, PutResponse{Meta: meta})
 	case MethodForwardPut:
 		var req PutRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -919,7 +945,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(PutResponse{Meta: meta})
+		return transport.EncodeWith(rc, PutResponse{Meta: meta})
 	case MethodGet:
 		var req GetRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -931,7 +957,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		}
 		// A hot key's owner advertises its replica set so the client can
 		// spread subsequent gets; empty clears any hint the client holds.
-		return transport.Encode(GetResponse{
+		return transport.EncodeWith(rc, GetResponse{
 			Data: data, Meta: meta, HotReplicas: n.heat.replicasFor(req.Key),
 		})
 	case MethodForwardGet:
@@ -946,7 +972,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(GetResponse{Data: data, Meta: meta})
+		return transport.EncodeWith(rc, GetResponse{Data: data, Meta: meta})
 	case MethodGetVersion:
 		var req GetVersionRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -962,7 +988,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(GetResponse{Data: data, Meta: meta})
+		return transport.EncodeWith(rc, GetResponse{Data: data, Meta: meta})
 	case MethodVersionList:
 		var req VersionListRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -975,7 +1001,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(VersionListResponse{Versions: vs})
+		return transport.EncodeWith(rc, VersionListResponse{Versions: vs})
 	case MethodRemove:
 		var req RemoveRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -995,7 +1021,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 				return nil, err
 			}
 		}
-		return transport.Encode(Empty{})
+		return transport.EncodeWith(rc, Empty{})
 	case MethodRemoveVer:
 		var req RemoveVersionRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -1007,7 +1033,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err := n.RemoveVersion(ctx, req.Key, req.Version); err != nil {
 			return nil, err
 		}
-		return transport.Encode(Empty{})
+		return transport.EncodeWith(rc, Empty{})
 	case MethodApplyUpdate:
 		var msg UpdateMsg
 		if err := transport.Decode(payload, &msg); err != nil {
@@ -1019,7 +1045,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(UpdateAck{Accepted: accepted})
+		return transport.EncodeWith(rc, UpdateAck{Accepted: accepted})
 	case MethodApplyUpdateBatch:
 		var req UpdateBatchRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -1037,7 +1063,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 			}
 			resp.Acks[i].Accepted = accepted
 		}
-		return transport.Encode(resp)
+		return transport.EncodeWith(rc, resp)
 	case MethodECFrag:
 		return n.ecm.handleECFrag(ctx, payload)
 	case MethodPlacement:
@@ -1054,7 +1080,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err := transport.Decode(payload, &req); err != nil {
 			return nil, err
 		}
-		return transport.Encode(n.ecm.placementLocal(req.Key))
+		return transport.EncodeWith(rc, n.ecm.placementLocal(req.Key))
 	case MethodHotInstall:
 		var msg HotInstallMsg
 		if err := transport.Decode(payload, &msg); err != nil {
@@ -1064,14 +1090,14 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 			return nil, fmt.Errorf("wiera: node %s: heat tracking disabled", n.name)
 		}
 		n.heat.handleInstall(msg)
-		return transport.Encode(Empty{})
+		return transport.EncodeWith(rc, Empty{})
 	case MethodHotDrop:
 		var msg HotDropMsg
 		if err := transport.Decode(payload, &msg); err != nil {
 			return nil, err
 		}
 		n.heat.handleDrop(msg.Key)
-		return transport.Encode(Empty{})
+		return transport.EncodeWith(rc, Empty{})
 	case MethodSnapshot:
 		return n.snapshot(ctx)
 	case MethodRepairDigest, MethodRepairEntries, MethodRepairPull, MethodRepairPush:
@@ -1085,20 +1111,20 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 			return nil, err
 		}
 		n.SetPeers(msg.Peers, msg.Primary)
-		return transport.Encode(Empty{})
+		return transport.EncodeWith(rc, Empty{})
 	case MethodSetRing:
 		var msg RingMsg
 		if err := transport.Decode(payload, &msg); err != nil {
 			return nil, err
 		}
 		n.shards.install(msg)
-		return transport.Encode(Empty{})
+		return transport.EncodeWith(rc, Empty{})
 	case MethodRingDrain:
 		moved, err := n.shards.drain(ctx)
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(RingDrainResponse{Moved: moved})
+		return transport.EncodeWith(rc, RingDrainResponse{Moved: moved})
 	case MethodSetPrimary:
 		var msg SetPrimaryMsg
 		if err := transport.Decode(payload, &msg); err != nil {
@@ -1109,7 +1135,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		n.mu.Unlock()
 		n.reqMon.reset()
 		n.sloMon.reset()
-		return transport.Encode(Empty{})
+		return transport.EncodeWith(rc, Empty{})
 	case MethodPrepareChange:
 		var msg PrepareChangeMsg
 		if err := transport.Decode(payload, &msg); err != nil {
@@ -1118,7 +1144,7 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err := n.prepareChange(msg.Epoch); err != nil {
 			return nil, err
 		}
-		return transport.Encode(Empty{})
+		return transport.EncodeWith(rc, Empty{})
 	case MethodCommitChange:
 		var msg CommitChangeMsg
 		if err := transport.Decode(payload, &msg); err != nil {
@@ -1127,14 +1153,14 @@ func (n *Node) handle(ctx context.Context, method string, payload []byte) ([]byt
 		if err := n.commitChange(msg); err != nil {
 			return nil, err
 		}
-		return transport.Encode(Empty{})
+		return transport.EncodeWith(rc, Empty{})
 	case MethodStats:
-		return transport.Encode(n.statsLocal())
+		return transport.EncodeWith(rc, n.statsLocal())
 	case MethodPing:
-		return transport.Encode(PongMsg{Name: n.name})
+		return transport.EncodeWith(rc, PongMsg{Name: n.name})
 	case MethodShutdown:
 		go n.Close()
-		return transport.Encode(Empty{})
+		return transport.EncodeWith(rc, Empty{})
 	default:
 		return nil, fmt.Errorf("wiera: node %s: unknown method %q", n.name, method)
 	}

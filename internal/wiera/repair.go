@@ -141,6 +141,7 @@ func (m *repairManager) absorb(meta object.Meta, data []byte) {
 // handle serves the four repair RPCs out of the node's dispatcher.
 func (m *repairManager) handle(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	store := nodeStore{m.n}
+	rc := m.n.replyCodec(payload)
 	switch method {
 	case MethodRepairDigest:
 		var req RepairDigestRequest
@@ -152,7 +153,7 @@ func (m *repairManager) handle(ctx context.Context, method string, payload []byt
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(RepairDigestResponse{Digests: digests})
+		return transport.EncodeWith(rc, RepairDigestResponse{Digests: digests})
 	case MethodRepairEntries:
 		var req RepairEntriesRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -163,7 +164,7 @@ func (m *repairManager) handle(ctx context.Context, method string, payload []byt
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(RepairEntriesResponse{Entries: entries})
+		return transport.EncodeWith(rc, RepairEntriesResponse{Entries: entries})
 	case MethodRepairPull:
 		var req RepairPullRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -175,7 +176,7 @@ func (m *repairManager) handle(ctx context.Context, method string, payload []byt
 				resp.Updates = append(resp.Updates, UpdateMsg{Meta: u.Meta, Data: u.Data})
 			}
 		}
-		return transport.Encode(resp)
+		return transport.EncodeWith(rc, resp)
 	case MethodRepairPush:
 		var req RepairPushRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -201,7 +202,7 @@ func (m *repairManager) handle(ctx context.Context, method string, payload []byt
 				accepted++
 			}
 		}
-		return transport.Encode(RepairPushResponse{Accepted: accepted})
+		return transport.EncodeWith(rc, RepairPushResponse{Accepted: accepted})
 	default:
 		return nil, errUnknownRepairMethod(method)
 	}
@@ -294,7 +295,7 @@ func (p rpcPeer) call(method string, req, resp any) error {
 	span.SetAttr("node", p.n.name)
 	span.SetAttr("peer", p.peer)
 	defer span.End()
-	payload, err := transport.Encode(req)
+	payload, err := p.n.enc(req)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,327 @@
+package wiera
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/object"
+	"repro/internal/repair"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// sampleMeta fills every Meta field, including the ones that are usually
+// zero (EC layout, tags, flags), so round-trip tests cover the full walk.
+func sampleMeta(key string) object.Meta {
+	return object.Meta{
+		Key:        key,
+		Version:    7,
+		Size:       4096,
+		Dirty:      true,
+		TierName:   "memory",
+		Origin:     "node/us-west",
+		CreatedAt:  time.Unix(1700000000, 111),
+		ModifiedAt: time.Unix(1700000001, 222),
+		AccessedAt: time.Unix(1700000002, 333),
+		AccessCnt:  42,
+		Tags:       []string{"hot", "pinned"},
+		Compressed: true,
+		Encrypted:  false,
+		ECK:        4,
+		ECM:        2,
+		ECFrags:    []int{0, 3, 5},
+	}
+}
+
+// hotMessages returns one populated sample of every wire-capable message,
+// paired with a fresh zero destination of the same type.
+func hotMessages() []struct {
+	name string
+	msg  wire.Unmarshaler
+	zero func() wire.Unmarshaler
+} {
+	meta := sampleMeta("obj/a")
+	upd := UpdateMsg{Meta: meta, Data: []byte("payload-1"), Forwarded: true}
+	upd2 := UpdateMsg{Meta: sampleMeta("obj/b"), Data: nil}
+	return []struct {
+		name string
+		msg  wire.Unmarshaler
+		zero func() wire.Unmarshaler
+	}{
+		{"PutRequest", &PutRequest{Key: "k", Data: []byte("data"), Tags: []string{"a", "b"}, From: "n1"}, func() wire.Unmarshaler { return &PutRequest{} }},
+		{"PutRequest/empty", &PutRequest{}, func() wire.Unmarshaler { return &PutRequest{} }},
+		{"PutResponse", &PutResponse{Meta: meta}, func() wire.Unmarshaler { return &PutResponse{} }},
+		{"GetRequest", &GetRequest{Key: "k"}, func() wire.Unmarshaler { return &GetRequest{} }},
+		{"GetResponse", &GetResponse{Data: []byte("d"), Meta: meta, HotReplicas: []string{"n2", "n3"}}, func() wire.Unmarshaler { return &GetResponse{} }},
+		{"GetVersionRequest", &GetVersionRequest{Key: "k", Version: 9}, func() wire.Unmarshaler { return &GetVersionRequest{} }},
+		{"RemoveRequest", &RemoveRequest{Key: "k"}, func() wire.Unmarshaler { return &RemoveRequest{} }},
+		{"RemoveVersionRequest", &RemoveVersionRequest{Key: "k", Version: 3}, func() wire.Unmarshaler { return &RemoveVersionRequest{} }},
+		{"UpdateMsg", &upd, func() wire.Unmarshaler { return &UpdateMsg{} }},
+		{"UpdateAck", &UpdateAck{Accepted: true}, func() wire.Unmarshaler { return &UpdateAck{} }},
+		{"UpdateBatchRequest", &UpdateBatchRequest{Updates: []UpdateMsg{upd, upd2}}, func() wire.Unmarshaler { return &UpdateBatchRequest{} }},
+		{"UpdateBatchRequest/empty", &UpdateBatchRequest{}, func() wire.Unmarshaler { return &UpdateBatchRequest{} }},
+		{"UpdateBatchResponse", &UpdateBatchResponse{Acks: []BatchAck{{Accepted: true}, {Err: "lost LWW"}}}, func() wire.Unmarshaler { return &UpdateBatchResponse{} }},
+		{"ECFragRequest", &ECFragRequest{Key: "k", Version: 5}, func() wire.Unmarshaler { return &ECFragRequest{} }},
+		{"ECFragResponse", &ECFragResponse{Meta: meta, Data: []byte("frag")}, func() wire.Unmarshaler { return &ECFragResponse{} }},
+		{"RepairDigestRequest", &RepairDigestRequest{Fanout: 4, Depth: 3, Nodes: []int{0, 1, 7}}, func() wire.Unmarshaler { return &RepairDigestRequest{} }},
+		{"RepairDigestResponse", &RepairDigestResponse{Digests: []uint64{0, 1, 1 << 60}}, func() wire.Unmarshaler { return &RepairDigestResponse{} }},
+		{"RepairEntriesRequest", &RepairEntriesRequest{Fanout: 2, Depth: 1, Leaves: []int{3}}, func() wire.Unmarshaler { return &RepairEntriesRequest{} }},
+		{"RepairEntriesResponse", &RepairEntriesResponse{Entries: []repair.Entry{{Key: "k", Version: 2, Mtime: 12345, Origin: "n1"}}}, func() wire.Unmarshaler { return &RepairEntriesResponse{} }},
+		{"RepairPullRequest", &RepairPullRequest{Keys: []string{"a", "b"}}, func() wire.Unmarshaler { return &RepairPullRequest{} }},
+		{"RepairPullResponse", &RepairPullResponse{Updates: []UpdateMsg{upd}}, func() wire.Unmarshaler { return &RepairPullResponse{} }},
+		{"RepairPushRequest", &RepairPushRequest{Updates: []UpdateMsg{upd, upd2}}, func() wire.Unmarshaler { return &RepairPushRequest{} }},
+		{"RepairPushResponse", &RepairPushResponse{Accepted: 3}, func() wire.Unmarshaler { return &RepairPushResponse{} }},
+		{"Empty", &Empty{}, func() wire.Unmarshaler { return &Empty{} }},
+	}
+}
+
+// TestWireRoundTrip checks, for every hot message: the encoded frame is
+// exactly header + WireSize bytes, decodes into an equal value, and
+// re-encodes byte-exact.
+func TestWireRoundTrip(t *testing.T) {
+	for _, tc := range hotMessages() {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := wire.Marshal(tc.msg)
+			if want := wire.HeaderLen + tc.msg.WireSize(); len(frame) != want {
+				t.Fatalf("frame is %d bytes, WireSize promises %d", len(frame), want)
+			}
+			out := tc.zero()
+			if err := wire.Unmarshal(frame, out); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			again := wire.Marshal(out)
+			if !bytes.Equal(frame, again) {
+				t.Fatalf("re-encode differs:\n  first  %x\n  second %x", frame, again)
+			}
+		})
+	}
+}
+
+// TestWireRoundTripThroughTransport runs the same round trip through
+// transport.EncodeWith/Decode — the integration seam the RPC paths use —
+// and checks the gob fallback decodes into the same value.
+func TestWireRoundTripThroughTransport(t *testing.T) {
+	for _, tc := range hotMessages() {
+		t.Run(tc.name, func(t *testing.T) {
+			bin, err := transport.EncodeWith(transport.CodecAuto, tc.msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !wire.Is(bin) {
+				t.Fatal("CodecAuto did not produce a wire frame for a hot message")
+			}
+			gobbed, err := transport.EncodeWith(transport.CodecGob, tc.msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wire.Is(gobbed) {
+				t.Fatal("CodecGob produced a wire frame")
+			}
+			fromBin, fromGob := tc.zero(), tc.zero()
+			if err := transport.Decode(bin, fromBin); err != nil {
+				t.Fatalf("decode binary: %v", err)
+			}
+			if err := transport.Decode(gobbed, fromGob); err != nil {
+				t.Fatalf("decode gob: %v", err)
+			}
+			// Both decode paths must agree; compare via canonical re-encode
+			// (DeepEqual trips over time.Time internals and nil-vs-empty).
+			b1, b2 := wire.Marshal(fromBin), wire.Marshal(fromGob)
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("binary and gob decodes disagree:\n  wire %x\n  gob  %x", b1, b2)
+			}
+		})
+	}
+}
+
+// TestWireTruncationAndCorruption: every strict prefix of every frame must
+// return an error (never panic, never succeed), as must trailing garbage
+// and an unknown version byte.
+func TestWireTruncationAndCorruption(t *testing.T) {
+	for _, tc := range hotMessages() {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := wire.Marshal(tc.msg)
+			for i := wire.HeaderLen; i < len(frame); i++ {
+				if err := wire.Unmarshal(frame[:i:i], tc.zero()); err == nil {
+					t.Fatalf("truncation at byte %d/%d decoded successfully", i, len(frame))
+				}
+			}
+			trailing := append(append([]byte{}, frame...), 0x00)
+			if err := wire.Unmarshal(trailing, tc.zero()); err == nil {
+				t.Fatal("trailing byte not rejected")
+			}
+			if len(frame) > wire.HeaderLen {
+				// Corrupt version byte.
+				bad := append([]byte{}, frame...)
+				bad[2] = 0x7E
+				if err := transport.Decode(bad, tc.zero()); err == nil {
+					t.Fatal("unknown frame version not rejected")
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeWireFrameIntoNonWireType: a binary frame arriving at a decoder
+// for a gob-only message type must error cleanly.
+func TestDecodeWireFrameIntoNonWireType(t *testing.T) {
+	frame := wire.Marshal(GetRequest{Key: "k"})
+	var out VersionListRequest // gob-only type
+	if err := transport.Decode(frame, &out); err == nil {
+		t.Fatal("wire frame decoded into a non-wire type")
+	}
+}
+
+// TestWireDecodeZeroCopy: a decoded payload must alias the frame, not a
+// copy — the zero-copy contract the tier layer's copy-on-Put makes safe.
+func TestWireDecodeZeroCopy(t *testing.T) {
+	in := PutRequest{Key: "k", Data: bytes.Repeat([]byte{0xAA}, 256)}
+	frame := wire.Marshal(in)
+	var out PutRequest
+	if err := wire.Unmarshal(frame, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Data) != 256 {
+		t.Fatalf("data length %d", len(out.Data))
+	}
+	// Mutating the frame must show through the decoded slice: Data aliases
+	// the frame rather than copying it.
+	i := bytes.IndexByte(frame, 0xAA)
+	if i < 0 {
+		t.Fatal("payload bytes not found in frame")
+	}
+	frame[i] = 0x55
+	if out.Data[0] != 0x55 {
+		t.Fatal("decoded Data does not alias the frame buffer")
+	}
+}
+
+// TestMixedCodecInterop is the rolling-upgrade scenario from the issue: a
+// gob-only peer (old binary emulated by pinning CodecGob) and wire-enabled
+// peers complete put/get/batch flush/repair/remove against each other with
+// zero lost acked writes.
+func TestMixedCodecInterop(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast, simnet.EUWest)
+	c.startSrc(t, "mx", eventual3Src, map[string]string{"queueFlush": "10m"})
+	west := c.node(t, "mx/us-west") // wire-enabled (CodecAuto default)
+	east := c.node(t, "mx/us-east") // downgraded to gob below
+	eu := c.node(t, "mx/eu-west")   // wire-enabled
+
+	// Emulate a not-yet-upgraded peer: everything east sends is gob.
+	east.codec = transport.CodecGob
+	if west.codec != transport.CodecAuto || eu.codec != transport.CodecAuto {
+		t.Fatal("expected CodecAuto default on upgraded nodes")
+	}
+
+	ctx := context.Background()
+	const keys = 50
+
+	// Wire node writes, batch fan-out ships binary frames to the gob peer
+	// (which replies gob because its own codec is gob).
+	for i := 0; i < keys; i++ {
+		if _, err := west.Put(ctx, fmt.Sprintf("w%03d", i), []byte("from-west"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	west.FlushQueue()
+
+	// Gob node writes, batch fan-out ships gob frames to wire peers.
+	for i := 0; i < keys; i++ {
+		if _, err := east.Put(ctx, fmt.Sprintf("e%03d", i), []byte("from-east"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	east.FlushQueue()
+
+	// Zero lost acked writes: every node holds all 2*keys objects.
+	for _, n := range []*Node{west, east, eu} {
+		if got := n.local.Objects().Len(); got != 2*keys {
+			t.Fatalf("%s holds %d keys, want %d", n.Name(), got, 2*keys)
+		}
+	}
+
+	// Cross-codec reads, both directions.
+	if data, _, err := east.Get(ctx, "w000"); err != nil || string(data) != "from-west" {
+		t.Fatalf("gob node read of wire write: %q, %v", data, err)
+	}
+	if data, _, err := west.Get(ctx, "e000"); err != nil || string(data) != "from-east" {
+		t.Fatalf("wire node read of gob write: %q, %v", data, err)
+	}
+
+	// Repair exchange across the codec boundary, both directions: digests,
+	// leaf entries, pull, push.
+	geo := repair.Geometry{Fanout: 4, Depth: 3}
+	for _, dir := range []struct {
+		name string
+		peer rpcPeer
+	}{
+		{"wire->gob", rpcPeer{n: west, peer: east.Name()}},
+		{"gob->wire", rpcPeer{n: east, peer: west.Name()}},
+	} {
+		if _, err := dir.peer.Digests(geo, []int{0}); err != nil {
+			t.Fatalf("%s digests: %v", dir.name, err)
+		}
+		if _, err := dir.peer.LeafEntries(geo, []int{0, 1}); err != nil {
+			t.Fatalf("%s leaf entries: %v", dir.name, err)
+		}
+		ups, err := dir.peer.Pull([]string{"w000", "e000"})
+		if err != nil || len(ups) != 2 {
+			t.Fatalf("%s pull: %d updates, %v", dir.name, len(ups), err)
+		}
+		meta := sampleMeta("r-" + dir.name)
+		meta.ModifiedAt = c.clk.Now()
+		n, err := dir.peer.Push([]repair.Update{{Meta: meta, Data: []byte("repair")}})
+		if err != nil || n != 1 {
+			t.Fatalf("%s push: accepted %d, %v", dir.name, n, err)
+		}
+	}
+
+	// Remove fan-out across the boundary.
+	if err := west.Remove(ctx, "w001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := east.Get(ctx, "w001"); err == nil {
+		t.Fatal("remove did not propagate from wire node to gob node")
+	}
+	if err := east.Remove(ctx, "e001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := west.Get(ctx, "e001"); err == nil {
+		t.Fatal("remove did not propagate from gob node to wire node")
+	}
+}
+
+// TestGobOnlyClientAgainstWireNodes: a legacy client pinned to gob talks
+// to wire-enabled nodes; nodes answer in the request's format.
+func TestGobOnlyClientAgainstWireNodes(t *testing.T) {
+	c := newCluster(t, simnet.USWest, simnet.USEast, simnet.EUWest)
+	c.start(t, "gc", "EventualConsistency", nil)
+
+	cl, err := NewClient(c.fabric, "legacy-client", simnet.USWest, "wiera", "gc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetCodec(transport.CodecGob)
+
+	ctx := context.Background()
+	if _, err := cl.Put(ctx, "k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	data, meta, err := cl.Get(ctx, "k1")
+	if err != nil || string(data) != "v1" {
+		t.Fatalf("get: %q, %v", data, err)
+	}
+	if _, _, err := cl.GetVersion(ctx, "k1", meta.Version); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Remove(ctx, "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Get(ctx, "k1"); err == nil {
+		t.Fatal("get after remove succeeded")
+	}
+}

@@ -1,0 +1,87 @@
+package wiera
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// fuzzTargets maps every hot message's tag to a fresh-destination
+// constructor, so the fuzzer can route arbitrary frames to the right
+// decoder the same way transport.Decode's callers do.
+func fuzzTargets() map[byte]func() wire.Unmarshaler {
+	targets := make(map[byte]func() wire.Unmarshaler)
+	for _, tc := range hotMessages() {
+		zero := tc.zero
+		targets[tc.msg.WireTag()] = zero
+	}
+	return targets
+}
+
+// FuzzWireRoundTrip feeds arbitrary bytes to the wire decoder. Two
+// invariants: decoding never panics (truncated/corrupt frames return
+// errors), and any input that does decode is canonical-stable — encoding
+// the decoded value and decoding/encoding again reproduces the exact same
+// bytes. (The fuzzer can synthesize non-canonical inputs only by breaking
+// strict varint/bool rules, which the decoder rejects, so byte-exactness
+// is checked on the first re-encode generation.)
+func FuzzWireRoundTrip(f *testing.F) {
+	// Seed with every hot message's real encoding plus mutations the
+	// decoder must reject.
+	for _, tc := range hotMessages() {
+		frame := wire.Marshal(tc.msg)
+		f.Add(frame)
+		if len(frame) > wire.HeaderLen {
+			f.Add(frame[:len(frame)-1])
+			f.Add(append(append([]byte{}, frame...), 0x00))
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xBD})
+	f.Add([]byte{0xBD, 0x57, 0x01})
+	f.Add([]byte{0xBD, 0x57, 0xFF, 0x01})
+
+	targets := fuzzTargets()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !wire.Is(data) {
+			// Non-wire inputs must be identified as such, not crash.
+			for _, zero := range targets {
+				if err := wire.Unmarshal(data, zero()); err == nil {
+					t.Fatalf("non-wire input decoded: %x", data)
+				}
+			}
+			return
+		}
+		zero, ok := targets[data[3]]
+		if !ok {
+			// Unknown tag: every decoder must reject the frame.
+			for _, z := range targets {
+				if err := wire.Unmarshal(data, z()); err == nil {
+					t.Fatalf("frame with unknown tag 0x%02x decoded", data[3])
+				}
+			}
+			return
+		}
+		msg := zero()
+		if err := wire.Unmarshal(data, msg); err != nil {
+			return // rejected cleanly — fine
+		}
+		// Round-trip stability: decode(marshal(decode(data))) re-encodes
+		// byte-exact.
+		b1 := wire.Marshal(msg)
+		msg2 := zero()
+		if err := wire.Unmarshal(b1, msg2); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v\ninput: %x\nre-encoded: %x", err, data, b1)
+		}
+		b2 := wire.Marshal(msg2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("unstable round trip:\ninput: %x\ngen1:  %x\ngen2:  %x", data, b1, b2)
+		}
+		// The decoder is strict (canonical varints, 0/1 bools, exact
+		// trailing check), so accepted input must itself be canonical.
+		if !bytes.Equal(data, b1) {
+			t.Fatalf("accepted non-canonical frame:\ninput: %x\ngen1:  %x", data, b1)
+		}
+	})
+}

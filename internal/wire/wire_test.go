@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 300, 1 << 14, 1 << 21, 1 << 35, math.MaxUint64}
+	for _, v := range cases {
+		b := AppendUvarint(nil, v)
+		if len(b) != SizeUvarint(v) {
+			t.Fatalf("size mismatch for %d: got %d want %d", v, len(b), SizeUvarint(v))
+		}
+		r := NewReader(b)
+		got := r.Uvarint()
+		if err := r.Close(); err != nil {
+			t.Fatalf("close after %d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 63, -64, 64, -65, math.MaxInt64, math.MinInt64}
+	for _, v := range cases {
+		b := AppendVarint(nil, v)
+		if len(b) != SizeVarint(v) {
+			t.Fatalf("size mismatch for %d: got %d want %d", v, len(b), SizeVarint(v))
+		}
+		r := NewReader(b)
+		got := r.Varint()
+		if err := r.Close(); err != nil {
+			t.Fatalf("close after %d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestUvarintOverflowRejected(t *testing.T) {
+	// 11-byte varint: always corrupt.
+	long := bytes.Repeat([]byte{0x80}, 10)
+	long = append(long, 0x01)
+	r := NewReader(long)
+	r.Uvarint()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("11-byte varint: got %v want ErrCorrupt", r.Err())
+	}
+	// 10-byte varint whose last byte overflows 64 bits.
+	over := bytes.Repeat([]byte{0xFF}, 9)
+	over = append(over, 0x02)
+	r = NewReader(over)
+	r.Uvarint()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("overflowing varint: got %v want ErrCorrupt", r.Err())
+	}
+	// Non-minimal encoding (0xFC 0x00 encodes 0x7C in two bytes).
+	r = NewReader([]byte{0xFC, 0x00})
+	r.Uvarint()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("non-minimal varint: got %v want ErrCorrupt", r.Err())
+	}
+}
+
+func TestUvarintTruncated(t *testing.T) {
+	b := AppendUvarint(nil, 1<<30)
+	for i := 0; i < len(b); i++ {
+		r := NewReader(b[:i])
+		r.Uvarint()
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Fatalf("prefix %d: got %v want ErrTruncated", i, r.Err())
+		}
+	}
+}
+
+func TestBytesZeroCopy(t *testing.T) {
+	payload := []byte("hello world")
+	frame := AppendBytes(nil, payload)
+	r := NewReader(frame)
+	got := r.Bytes()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+	// The decoded slice must alias the frame, not a copy.
+	if &got[0] != &frame[len(frame)-len(payload)] {
+		t.Fatal("Bytes() copied instead of aliasing the frame")
+	}
+}
+
+func TestBytesTruncated(t *testing.T) {
+	frame := AppendBytes(nil, []byte("hello"))
+	r := NewReader(frame[:3])
+	r.Bytes()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("got %v want ErrTruncated", r.Err())
+	}
+}
+
+func TestStringInto(t *testing.T) {
+	frame := AppendString(nil, "wiera")
+	s := "wiera" // already matching: must not be replaced
+	r := NewReader(frame)
+	r.StringInto(&s)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s != "wiera" {
+		t.Fatalf("got %q", s)
+	}
+	s = "other"
+	r = NewReader(frame)
+	r.StringInto(&s)
+	if s != "wiera" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestBoolCanonical(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("bool byte 2: got %v want ErrCorrupt", r.Err())
+	}
+}
+
+func TestTimeRoundTrip(t *testing.T) {
+	for _, tm := range []time.Time{{}, time.Unix(0, 0), time.Unix(1700000000, 123456789), time.Unix(-5, 7)} {
+		b := AppendTime(nil, tm)
+		if len(b) != SizeTime(tm) {
+			t.Fatalf("size mismatch for %v", tm)
+		}
+		r := NewReader(b)
+		got := r.Time()
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if tm.IsZero() {
+			if !got.IsZero() {
+				t.Fatalf("zero time decoded as %v", got)
+			}
+			continue
+		}
+		if !got.Equal(tm) {
+			t.Fatalf("round trip %v -> %v", tm, got)
+		}
+	}
+}
+
+func TestCountGuard(t *testing.T) {
+	// A claimed count of 1000 with only 2 bytes left must be rejected
+	// before any allocation happens.
+	frame := AppendUvarint(nil, 1000)
+	frame = append(frame, 0, 0)
+	r := NewReader(frame)
+	r.Count()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("got %v want ErrCorrupt", r.Err())
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader(nil)
+	r.Uvarint() // latches ErrTruncated
+	if r.Bool() || r.Varint() != 0 || r.Bytes() != nil {
+		t.Fatal("reads after error must return zero values")
+	}
+	if !errors.Is(r.Close(), ErrTruncated) {
+		t.Fatalf("got %v", r.Close())
+	}
+}
+
+type testMsg struct {
+	Key  string
+	Data []byte
+}
+
+func (m testMsg) WireTag() byte { return 0x7F }
+func (m testMsg) WireSize() int { return SizeString(m.Key) + SizeBytes(m.Data) }
+func (m testMsg) AppendWire(dst []byte) []byte {
+	dst = AppendString(dst, m.Key)
+	return AppendBytes(dst, m.Data)
+}
+func (m *testMsg) UnmarshalWire(body []byte) error {
+	r := NewReader(body)
+	r.StringInto(&m.Key)
+	m.Data = r.Bytes()
+	return r.Close()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := testMsg{Key: "k1", Data: []byte("payload")}
+	frame := Marshal(in)
+	if !Is(frame) {
+		t.Fatal("Marshal output not recognized by Is()")
+	}
+	if len(frame) != HeaderLen+in.WireSize() {
+		t.Fatalf("frame length %d, want %d", len(frame), HeaderLen+in.WireSize())
+	}
+	var out testMsg
+	if err := Unmarshal(frame, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Key != in.Key || !bytes.Equal(out.Data, in.Data) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	// AppendFrame into a reused buffer produces identical bytes.
+	buf := make([]byte, 0, 64)
+	if got := AppendFrame(buf, in); !bytes.Equal(got, frame) {
+		t.Fatal("AppendFrame differs from Marshal")
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	in := testMsg{Key: "k", Data: []byte("d")}
+	frame := Marshal(in)
+
+	var out testMsg
+	if err := Unmarshal([]byte{1, 2, 3}, &out); !errors.Is(err, ErrNotWire) {
+		t.Fatalf("non-wire: got %v", err)
+	}
+	bad := append([]byte{}, frame...)
+	bad[2] = 0x42
+	if err := Unmarshal(bad, &out); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: got %v", err)
+	}
+	bad = append([]byte{}, frame...)
+	bad[3] = 0x01
+	if err := Unmarshal(bad, &out); !errors.Is(err, ErrTag) {
+		t.Fatalf("bad tag: got %v", err)
+	}
+	for i := HeaderLen; i < len(frame); i++ {
+		if err := Unmarshal(frame[:i], &out); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+	trailing := append(append([]byte{}, frame...), 0xEE)
+	if err := Unmarshal(trailing, &out); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("trailing: got %v", err)
+	}
+}
+
+func TestMarshalZeroAlloc(t *testing.T) {
+	in := testMsg{Key: "bench-key", Data: bytes.Repeat([]byte{0xAB}, 512)}
+	buf := make([]byte, 0, HeaderLen+in.WireSize())
+	var out testMsg
+	// Hoist the interface conversions: at real call sites the message is
+	// already held as `any` by transport.Encode/Decode.
+	var m Marshaler = in
+	var um Unmarshaler = &out
+	frame := AppendFrame(buf, m)
+	if err := Unmarshal(frame, um); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		frame := AppendFrame(buf[:0], m)
+		if err := Unmarshal(frame, um); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode+decode allocated %.1f times per op, want 0", allocs)
+	}
+}

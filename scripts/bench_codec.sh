@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Codec benchmark gate: runs the gob-vs-wire encode/decode benchmarks on
+# the real hot-path messages and fails the build if the hand-rolled wire
+# codec ever regresses to gob speed (it must stay >= 2x faster on every
+# message) or if the zero-alloc steady state (wire/append) allocates.
+#
+# Run from the repo root: ./scripts/bench_codec.sh
+set -euo pipefail
+
+GO=${GO:-go}
+BENCHTIME=${BENCHTIME:-2000x}
+MIN_SPEEDUP=${MIN_SPEEDUP:-2}
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+echo "== codec benchmarks (real messages, -benchtime $BENCHTIME) =="
+$GO test -run '^$' -bench 'BenchmarkEncode' -benchtime "$BENCHTIME" \
+  ./internal/wiera/ | tee "$OUT"
+
+# Parse "BenchmarkEncode/<msg>/<variant> <N> <ns> ns/op ... <allocs> allocs/op"
+# into per-message gob/wire ns figures and wire/append alloc counts.
+awk -v min="$MIN_SPEEDUP" '
+  $1 ~ /^BenchmarkEncode\// {
+    split($1, parts, "/")
+    msg = parts[2]
+    variant = parts[3]
+    if (length(parts) > 3) variant = variant "/" parts[4]
+    ns = $3
+    allocs = "?"
+    for (i = 4; i <= NF; i++) if ($(i) == "allocs/op") allocs = $(i - 1)
+    if (variant == "gob") gob[msg] = ns
+    if (variant == "wire") wire[msg] = ns
+    if (variant == "wire/append") { app[msg] = ns; appallocs[msg] = allocs }
+    msgs[msg] = 1
+  }
+  END {
+    fail = 0
+    for (m in msgs) {
+      if (!(m in gob) || !(m in wire)) {
+        printf "FAIL %s: missing gob or wire sub-benchmark\n", m
+        fail = 1
+        continue
+      }
+      speedup = gob[m] / wire[m]
+      printf "%-20s gob %10.0f ns/op  wire %9.1f ns/op  (%.1fx)", m, gob[m], wire[m], speedup
+      if (m in app) printf "  append %8.1f ns/op %s allocs/op", app[m], appallocs[m]
+      printf "\n"
+      if (speedup < min) {
+        printf "FAIL %s: wire only %.2fx faster than gob (need >= %sx)\n", m, speedup, min
+        fail = 1
+      }
+      if ((m in appallocs) && appallocs[m] + 0 != 0) {
+        printf "FAIL %s: wire/append allocated %s times per op (need 0)\n", m, appallocs[m]
+        fail = 1
+      }
+    }
+    if (fail) exit 1
+    print "PASS: wire codec >= " min "x faster than gob on every message; steady state allocation-free"
+  }
+' "$OUT"
